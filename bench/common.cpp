@@ -1,0 +1,63 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "util/units.hpp"
+
+namespace iop::bench {
+
+void banner(const std::string& experimentId, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experimentId.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+apps::MadbenchParams paperMadbench(const std::string& mount) {
+  apps::MadbenchParams p;
+  p.mount = mount;
+  p.kpix = 8;
+  p.bins = 8;
+  p.busyWorkSeconds = 0.5;
+  return p;
+}
+
+apps::BtioParams paperBtio(const std::string& mount, apps::BtClass cls) {
+  apps::BtioParams p;
+  p.mount = mount;
+  p.cls = cls;
+  return p;
+}
+
+apps::StridedExampleParams paperExample(const std::string& mount) {
+  apps::StridedExampleParams p;
+  p.mount = mount;
+  return p;
+}
+
+analysis::AppRun traceOn(configs::ConfigId id, const std::string& appName,
+                         const std::function<mpi::Runtime::RankMain(
+                             const configs::ClusterConfig&)>& makeMain,
+                         int np) {
+  auto cfg = configs::makeConfig(id);
+  return analysis::runAndTrace(cfg, appName, makeMain(cfg), np);
+}
+
+std::string fmtSec(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f", seconds);
+  return buf;
+}
+
+std::string fmtMiBs(double bytesPerSecond) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.0f", util::toMiBs(bytesPerSecond));
+  return buf;
+}
+
+std::string fmtPct(double pct) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.0f%%", pct);
+  return buf;
+}
+
+}  // namespace iop::bench

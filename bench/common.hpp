@@ -1,0 +1,43 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Each binary regenerates one table or figure from the paper (see
+// DESIGN.md's experiment index) and prints the simulated result next to
+// the paper's reported values where the paper gives them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/runner.hpp"
+#include "apps/btio.hpp"
+#include "apps/madbench.hpp"
+#include "apps/strided_example.hpp"
+#include "configs/configs.hpp"
+
+namespace iop::bench {
+
+/// Print a standard experiment banner.
+void banner(const std::string& experimentId, const std::string& title);
+
+/// Paper's MADbench2 setup: 16 processes, 8KPIX, shared filetype, 32 MB
+/// request size (Section IV-A).
+apps::MadbenchParams paperMadbench(const std::string& mount);
+
+/// Paper's BT-IO setup for a class (Section IV-B).
+apps::BtioParams paperBtio(const std::string& mount, apps::BtClass cls);
+
+/// Paper's Figures 2-5 example application (4 processes).
+apps::StridedExampleParams paperExample(const std::string& mount);
+
+/// Run + trace an app on a fresh instance of a configuration.
+analysis::AppRun traceOn(configs::ConfigId id, const std::string& appName,
+                         const std::function<mpi::Runtime::RankMain(
+                             const configs::ClusterConfig&)>& makeMain,
+                         int np);
+
+/// Format seconds / MB/s with the paper's comma-free style.
+std::string fmtSec(double seconds);
+std::string fmtMiBs(double bytesPerSecond);
+std::string fmtPct(double pct);
+
+}  // namespace iop::bench

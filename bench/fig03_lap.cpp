@@ -1,0 +1,30 @@
+// Figure 3: local access patterns (LAPs) of the example application.
+//
+// Paper: each of the 4 processes compresses to one write LAP and one read
+// LAP with Rep=40, RequestSize=10612080, Disp=265302, OffsetInit=0.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/lap.hpp"
+
+int main() {
+  using namespace iop;
+  bench::banner("Figure 3", "Access patterns (LAP) of the example app");
+
+  auto run = bench::traceOn(
+      configs::ConfigId::A, "example",
+      [](const configs::ClusterConfig& cfg) {
+        return apps::makeStridedExample(bench::paperExample(cfg.mount));
+      },
+      4);
+
+  for (int rank = 0; rank < run.trace.np; ++rank) {
+    auto laps = core::extractLaps(
+        run.trace.perRank[static_cast<std::size_t>(rank)]);
+    std::printf("%s\n", core::renderLapTable(laps).c_str());
+  }
+  std::printf(
+      "Paper reference: per process, one write LAP and one read LAP,\n"
+      "Rep=40, RequestSize=10612080, Disp=265302, OffsetInit=0.\n");
+  return 0;
+}

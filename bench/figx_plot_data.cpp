@@ -1,0 +1,121 @@
+// Emit gnuplot-ready data + scripts for the paper's model figures
+// (Figs. 5, 7, 9, 10 — the 3-D global access patterns) and the Fig. 8
+// device time series, into ./plots/.
+//
+//   for f in plots/*.gp; do gnuplot "$f"; done   # renders .png files
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "apps/madbench.hpp"
+#include "common.hpp"
+#include "monitor/monitor.hpp"
+#include "mpi/runtime.hpp"
+
+namespace {
+
+using namespace iop;
+
+void writeFile(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+void emitModelSeries(const std::filesystem::path& dir,
+                     const std::string& stem, const core::IOModel& model,
+                     const std::string& title) {
+  writeFile(dir / (stem + ".dat"), model.renderGlobalPatternSeries());
+  std::string gp =
+      "set terminal png size 900,600\n"
+      "set output '" + stem + ".png'\n"
+      "set title '" + title + "'\n"
+      "set xlabel 'tick'\nset ylabel 'process'\nset zlabel 'file offset'\n"
+      "set ticslevel 0\n"
+      "splot '" + stem + ".dat' using 3:2:(strcol(6) eq 'W' ? $4 : 1/0) "
+      "with points pt 7 lc rgb 'red' title 'writes', \\\n"
+      "      '" + stem + ".dat' using 3:2:(strcol(6) eq 'R' ? $4 : 1/0) "
+      "with points pt 7 lc rgb 'blue' title 'reads'\n";
+  writeFile(dir / (stem + ".gp"), gp);
+  std::printf("  %s.dat / %s.gp — %s\n", stem.c_str(), stem.c_str(),
+              title.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Plot data", "gnuplot inputs for Figures 5, 7, 8, 9, 10");
+  const std::filesystem::path dir = "plots";
+  std::filesystem::create_directories(dir);
+
+  emitModelSeries(
+      dir, "fig05_example",
+      bench::traceOn(configs::ConfigId::A, "example",
+                     [](const configs::ClusterConfig& cfg) {
+                       return apps::makeStridedExample(
+                           bench::paperExample(cfg.mount));
+                     },
+                     4)
+          .model,
+      "Figure 5: I/O model of the example application (4 processes)");
+
+  emitModelSeries(
+      dir, "fig07_madbench",
+      bench::traceOn(configs::ConfigId::A, "madbench2",
+                     [](const configs::ClusterConfig& cfg) {
+                       return apps::makeMadbench(
+                           bench::paperMadbench(cfg.mount));
+                     },
+                     16)
+          .model,
+      "Figure 7: I/O model of MADbench2 (16 processes, 8KPIX, SHARED)");
+
+  emitModelSeries(
+      dir, "fig09_btio_c",
+      bench::traceOn(configs::ConfigId::A, "btio-C",
+                     [](const configs::ClusterConfig& cfg) {
+                       return apps::makeBtio(
+                           bench::paperBtio(cfg.mount, apps::BtClass::C));
+                     },
+                     16)
+          .model,
+      "Figure 9: I/O model of NAS BT-IO class C (16 processes)");
+
+  emitModelSeries(
+      dir, "fig10_btio_d",
+      bench::traceOn(configs::ConfigId::C, "btio-D",
+                     [](const configs::ClusterConfig& cfg) {
+                       return apps::makeBtio(
+                           bench::paperBtio(cfg.mount, apps::BtClass::D));
+                     },
+                     36)
+          .model,
+      "Figure 10: I/O model of NAS BT-IO class D (36 processes)");
+
+  // Figure 8: device time series CSV during MADbench2 on configuration B.
+  {
+    auto cfg = configs::makeConfig(configs::ConfigId::B);
+    auto params = bench::paperMadbench(cfg.mount);
+    monitor::DeviceMonitor mon(*cfg.engine, cfg.topology->allDisks(), 1.0);
+    mon.start();
+    auto opts = cfg.runtimeOptions(16);
+    opts.onAppComplete = [&mon] { mon.stop(); };
+    mpi::Runtime runtime(*cfg.topology, opts);
+    runtime.runToCompletion(apps::makeMadbench(params));
+    writeFile(dir / "fig08_devices.csv", mon.renderCsv());
+    writeFile(dir / "fig08_devices.gp",
+              "set terminal png size 900,400\n"
+              "set output 'fig08_devices.png'\n"
+              "set datafile separator ','\n"
+              "set title 'Figure 8: disk sectors/s during MADbench2 on "
+              "configuration B'\n"
+              "set xlabel 'time (s)'\nset ylabel 'sectors/s'\n"
+              "plot 'fig08_devices.csv' every 3::1 using 1:3 with lines "
+              "title 'read', \\\n"
+              "     'fig08_devices.csv' every 3::1 using 1:4 with lines "
+              "title 'write'\n");
+    std::printf("  fig08_devices.csv / fig08_devices.gp — device series\n");
+  }
+  std::printf("\nwrote plots/ — render with: "
+              "cd plots && for f in *.gp; do gnuplot $f; done\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the model-extraction pipeline:
+// LAP extraction, cycle segmentation (DP and greedy), phase detection, and
+// offset-function fitting on synthetic traces of growing size.
+#include <benchmark/benchmark.h>
+
+#include "core/iomodel.hpp"
+#include "sim/engine.hpp"
+#include "core/lap.hpp"
+#include "core/phase.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace iop;
+
+std::vector<trace::Record> syntheticRun(int rank, int ops, bool interleaved) {
+  std::vector<trace::Record> records;
+  std::uint64_t tick = 1;
+  for (int i = 0; i < ops; ++i) {
+    trace::Record r;
+    r.rank = rank;
+    r.fileId = 1;
+    const bool write = !interleaved || i % 2 == 0;
+    r.op = write ? "MPI_File_write" : "MPI_File_read";
+    r.offsetUnits = static_cast<std::uint64_t>(i / (interleaved ? 2 : 1)) *
+                    1048576;
+    r.tick = tick++;
+    r.requestBytes = 1048576;
+    r.time = 0.01 * i;
+    r.duration = 0.005;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+trace::TraceData syntheticTrace(int np, int opsPerRank) {
+  trace::TraceData data;
+  data.appName = "synthetic";
+  data.np = np;
+  trace::FileMeta meta;
+  meta.fileId = 1;
+  meta.np = np;
+  data.files.push_back(meta);
+  for (int r = 0; r < np; ++r) {
+    data.perRank.push_back(syntheticRun(r, opsPerRank, false));
+  }
+  data.commEventsPerRank.assign(static_cast<std::size_t>(np), 0);
+  return data;
+}
+
+void BM_LapExtraction(benchmark::State& state) {
+  auto records = syntheticRun(0, static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extractLaps(records));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LapExtraction)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SegmentationDp(benchmark::State& state) {
+  auto records = syntheticRun(0, static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::segmentRecords(records));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SegmentationDp)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SegmentationGreedy(benchmark::State& state) {
+  auto records = syntheticRun(0, static_cast<int>(state.range(0)), true);
+  core::SegmentOptions opt;
+  opt.dpLimit = 1;  // force greedy
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::segmentRecords(records, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SegmentationGreedy)->Arg(1024)->Arg(16384);
+
+void BM_PhaseDetection(benchmark::State& state) {
+  auto data = syntheticTrace(static_cast<int>(state.range(0)), 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detectPhases(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 200);
+}
+BENCHMARK(BM_PhaseDetection)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_OffsetFit(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  std::vector<int> ranks;
+  std::vector<std::uint64_t> offsets;
+  for (int r = 0; r < np; ++r) {
+    ranks.push_back(r);
+    offsets.push_back(static_cast<std::uint64_t>(r) * 8 * 33554432);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fitRankOffsets(ranks, offsets));
+  }
+}
+BENCHMARK(BM_OffsetFit)->Arg(16)->Arg(121)->Arg(1024);
+
+void BM_ModelExtraction(benchmark::State& state) {
+  auto data = syntheticTrace(16, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extractModel(data));
+  }
+}
+BENCHMARK(BM_ModelExtraction)->Arg(100)->Arg(400);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  // Raw event dispatch rate of the simulation engine: the figure that
+  // bounds how much simulated I/O a second of wall time buys.
+  for (auto _ : state) {
+    iop::sim::Engine eng;
+    const int chains = static_cast<int>(state.range(0));
+    for (int c = 0; c < chains; ++c) {
+      eng.spawn([](iop::sim::Engine& e) -> iop::sim::Task<void> {
+        for (int i = 0; i < 1000; ++i) co_await e.delay(0.001);
+      }(eng));
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.eventsDispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 1000);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table X: I/O system utilization of MADbench2 on configuration B
+// (PVFS2 over 3 JBOD I/O nodes).  The paper reports ~30% usage w.r.t. the
+// ideal BW_PK (eq. 4 sums the 3 nodes' device peaks) while the device
+// monitor shows the disks near 100% busy — BW_PK assumes ideal parallel
+// devices, but the strided PVFS2 traffic keeps the disks seeking.
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/peaks.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace iop;
+  bench::banner("Table X",
+                "System usage of MADbench2 on configuration B");
+
+  auto run = bench::traceOn(
+      configs::ConfigId::B, "madbench2",
+      [](const configs::ClusterConfig& cfg) {
+        return apps::makeMadbench(bench::paperMadbench(cfg.mount));
+      },
+      16);
+
+  auto peakCfg = configs::makeConfig(configs::ConfigId::B);
+  auto peaks = analysis::measurePeaks(peakCfg);
+  std::printf("BW_PK (eq. 4, sum over the 3 I/O nodes): write %s MB/s, "
+              "read %s MB/s\n\n",
+              bench::fmtMiBs(peaks.writePeak).c_str(),
+              bench::fmtMiBs(peaks.readPeak).c_str());
+
+  auto rows = analysis::systemUsage(run.model, peaks.writePeak,
+                                    peaks.readPeak);
+  util::Table table(
+      "MADbench2, 16 processes, 4GB file, SHARED, configuration B");
+  table.setHeader({"Phase", "#Oper.", "weight", "BW_PK (MB/s)",
+                   "BW_MD (MB/s)", "SystemUsage"},
+                  {util::Align::Left, util::Align::Left, util::Align::Right,
+                   util::Align::Right, util::Align::Right,
+                   util::Align::Right});
+  for (const auto& row : rows) {
+    table.addRow({std::to_string(row.phaseId), row.opsLabel,
+                  util::formatBytes(row.weightBytes),
+                  bench::fmtMiBs(row.peakBandwidth),
+                  bench::fmtMiBs(row.measuredBandwidth),
+                  bench::fmtPct(row.usagePct)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper reference: \"MADBench2 uses about 30%% of the I/O "
+              "subsystem capacity with respect to BW_PK\" on this "
+              "configuration, while the disks run near 100%% busy "
+              "(see fig08_device_monitor).\n");
+  return 0;
+}

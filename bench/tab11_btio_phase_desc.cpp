@@ -1,0 +1,59 @@
+// Table XI: I/O phase description of NAS BT-IO subtype FULL for np
+// processes, classes C and D.
+//
+// Paper:
+//   Class C, phases 1-40: np W each, initOffset = rs*idP + rs*(ph-1) +
+//                         rs*(np-1)*(ph-1)  [= rs*idP + rs*np*(ph-1)]
+//   Class C, phase 41:    np R, rep 40, same per-repetition progression
+//   Class D: 1-50 / 51 with rep 50.
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+void describeClass(iop::apps::BtClass cls, int np) {
+  using namespace iop;
+  auto run = bench::traceOn(
+      configs::ConfigId::A, "btio",
+      [cls](const configs::ClusterConfig& cfg) {
+        return apps::makeBtio(bench::paperBtio(cfg.mount, cls));
+      },
+      np);
+  const auto& phases = run.model.phases();
+  const auto& firstWrite = phases.front();
+  const auto& readPhase = phases.back();
+  std::printf("Class %s (np=%d, rs=%llu bytes):\n", apps::btClassName(cls),
+              np,
+              static_cast<unsigned long long>(firstWrite.ops[0].rsBytes));
+  std::printf("  Phases 1-%zu: %d W in each phase, InitOffset = %s\n",
+              phases.size() - 1, firstWrite.np(),
+              firstWrite.ops[0]
+                  .offsetFn.render(firstWrite.ops[0].rsBytes,
+                                   firstWrite.np())
+                  .c_str());
+  std::printf("  Phase %d:    %d R, Rep = %llu, InitOffset = %s, "
+              "disp per rep = rs*np\n",
+              readPhase.id, readPhase.np(),
+              static_cast<unsigned long long>(readPhase.rep),
+              readPhase.ops[0]
+                  .offsetFn.render(readPhase.ops[0].rsBytes, readPhase.np())
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace iop;
+  bench::banner("Table XI",
+                "I/O phase description of NAS BT-IO subtype FULL");
+  describeClass(apps::BtClass::C, 16);
+  std::printf("\n");
+  describeClass(apps::BtClass::D, 36);
+  std::printf(
+      "\nPaper reference: class C = 40 write phases + 1 read phase (rep "
+      "40);\nclass D = 50 write phases + 1 read phase (rep 50); InitOffset "
+      "=\nrs*idP + (rs*(ph-1)) + (rs*(np-1)*(ph-1)) = rs*idP + "
+      "rs*np*(ph-1).\n");
+  return 0;
+}

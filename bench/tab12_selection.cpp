@@ -1,0 +1,69 @@
+// Table XII: configuration selection — Time_io(CH) of NAS BT-IO class D,
+// 64 processes, estimated (via IOR phase replay only, eqs. 1-2) on
+// configuration C and on Finisterrae.  The configuration with less I/O
+// time is selected.
+//
+// Paper (seconds): conf. C 1167.40 / 2868.51; Finisterrae 932.36 / 844.42
+// -> Finisterrae selected.
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/replay.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace iop;
+  bench::banner("Table XII",
+                "Time_io(CH) of BT-IO class D, 64 procs: conf. C vs "
+                "Finisterrae");
+
+  // Characterize once on configuration A (a third machine).
+  auto charRun = bench::traceOn(
+      configs::ConfigId::A, "btio-D",
+      [](const configs::ClusterConfig& cfg) {
+        return apps::makeBtio(bench::paperBtio(cfg.mount, apps::BtClass::D));
+      },
+      64);
+
+  std::vector<analysis::SelectionCandidate> candidates;
+  {
+    analysis::Replayer onC(
+        [] { return configs::makeConfig(configs::ConfigId::C); }, "/home");
+    candidates.push_back(
+        {"Configuration C", analysis::estimateIoTime(charRun.model, onC)});
+  }
+  {
+    analysis::Replayer onF(
+        [] { return configs::makeConfig(configs::ConfigId::Finisterrae); },
+        "homesfs");
+    candidates.push_back(
+        {"Finisterrae", analysis::estimateIoTime(charRun.model, onF)});
+  }
+
+  util::Table table("Time_io(CH), 64 processes (paper: C 1167.40/2868.51, "
+                    "Finisterrae 932.36/844.42)");
+  table.setHeader({"Phase", "on conf. C (s)", "on Finisterrae (s)"},
+                  {util::Align::Left, util::Align::Right,
+                   util::Align::Right});
+  auto rowsC = candidates[0].estimate.familyRows();
+  auto rowsF = candidates[1].estimate.familyRows();
+  for (std::size_t i = 0; i < rowsC.size(); ++i) {
+    std::string label =
+        rowsC[i].firstPhase == rowsC[i].lastPhase
+            ? "Phase " + std::to_string(rowsC[i].firstPhase)
+            : "Phase " + std::to_string(rowsC[i].firstPhase) + "-" +
+                  std::to_string(rowsC[i].lastPhase);
+    table.addRow({label, bench::fmtSec(rowsC[i].timeCH),
+                  bench::fmtSec(rowsF[i].timeCH)});
+  }
+  table.addSeparator();
+  table.addRow({"total", bench::fmtSec(candidates[0].estimate.totalTimeSec),
+                bench::fmtSec(candidates[1].estimate.totalTimeSec)});
+  std::printf("%s\n", table.render().c_str());
+
+  const auto* best = analysis::selectConfiguration(candidates);
+  std::printf("selected configuration: %s (paper: Finisterrae)\n",
+              best->name.c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table XIII: relative error of the I/O-time estimation on configuration C
+// for NAS BT-IO class D with 36, 64 and 121 processes.
+//
+// Paper (Time_CH / Time_MD / error):
+//   36p:  1137.50/1239.05 9%   and 2773.32/2701.22 3%
+//   64p:  1167.40/1153.05 1%   and 2868.51/2984.75 4%
+//   121p: 1253.05/1262.10 1%   and 3065.91/3107.19 1%
+// "estimation is better for a higher number of processes; the error is
+// less than 10%".
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/replay.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace iop;
+  bench::banner("Table XIII",
+                "Estimation error on configuration C, BT-IO class D");
+
+  util::Table table("Time_io(CH) vs Time_io(MD) on configuration C");
+  table.setHeader({"np", "Phase", "Time_CH (s)", "Time_MD (s)", "error_rel"},
+                  {util::Align::Right, util::Align::Left, util::Align::Right,
+                   util::Align::Right, util::Align::Right});
+
+  double worstError = 0;
+  for (int np : {36, 64, 121}) {
+    // Characterize on configuration A, estimate on C with IOR, then run
+    // the application on C and compare.
+    auto charRun = bench::traceOn(
+        configs::ConfigId::A, "btio-D",
+        [](const configs::ClusterConfig& cfg) {
+          return apps::makeBtio(
+              bench::paperBtio(cfg.mount, apps::BtClass::D));
+        },
+        np);
+    analysis::Replayer replayer(
+        [] { return configs::makeConfig(configs::ConfigId::C); }, "/home");
+    auto estimate = analysis::estimateIoTime(charRun.model, replayer);
+    auto measured = bench::traceOn(
+        configs::ConfigId::C, "btio-D",
+        [](const configs::ClusterConfig& cfg) {
+          return apps::makeBtio(
+              bench::paperBtio(cfg.mount, apps::BtClass::D));
+        },
+        np);
+    auto rows = analysis::compareEstimate(estimate, measured.model);
+    for (const auto& row : rows) {
+      table.addRow({std::to_string(np) + "p", row.label(),
+                    bench::fmtSec(row.timeCH), bench::fmtSec(row.timeMD),
+                    bench::fmtPct(row.errorPct)});
+      worstError = std::max(worstError, row.errorPct);
+    }
+    table.addSeparator();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("worst relative error: %.1f%% (paper: <10%%)\n", worstError);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table XIV: relative error of the I/O-time estimation on Finisterrae for
+// NAS BT-IO class D with 64 processes.
+//
+// Paper: Phase 1-50 932.36/924.85 (1%); Phase 51 844.42/909.43 (7%).
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/replay.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace iop;
+  bench::banner("Table XIV",
+                "Estimation error on Finisterrae, BT-IO class D, 64 procs");
+
+  auto charRun = bench::traceOn(
+      configs::ConfigId::A, "btio-D",
+      [](const configs::ClusterConfig& cfg) {
+        return apps::makeBtio(bench::paperBtio(cfg.mount, apps::BtClass::D));
+      },
+      64);
+  analysis::Replayer replayer(
+      [] { return configs::makeConfig(configs::ConfigId::Finisterrae); },
+      "homesfs");
+  auto estimate = analysis::estimateIoTime(charRun.model, replayer);
+  auto measured = bench::traceOn(
+      configs::ConfigId::Finisterrae, "btio-D",
+      [](const configs::ClusterConfig& cfg) {
+        return apps::makeBtio(bench::paperBtio(cfg.mount, apps::BtClass::D));
+      },
+      64);
+  auto rows = analysis::compareEstimate(estimate, measured.model);
+
+  util::Table table(
+      "Paper reference: 932.36/924.85 (1%) and 844.42/909.43 (7%)");
+  table.setHeader({"Phase", "Time_CH (s)", "Time_MD (s)", "error_rel"},
+                  {util::Align::Left, util::Align::Right, util::Align::Right,
+                   util::Align::Right});
+  double worst = 0;
+  for (const auto& row : rows) {
+    table.addRow({row.label(), bench::fmtSec(row.timeCH),
+                  bench::fmtSec(row.timeMD), bench::fmtPct(row.errorPct)});
+    worst = std::max(worst, row.errorPct);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("worst relative error: %.1f%% (paper: <=7%%)\n", worst);
+  return 0;
+}

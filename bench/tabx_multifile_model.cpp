@@ -1,0 +1,55 @@
+// Extension (the paper's Section V ongoing work): a ROMS-style application
+// that opens several files during execution.  The model is extracted per
+// file; phases of different files interleave on the shared tick timeline.
+#include <cstdio>
+
+#include "apps/roms.hpp"
+#include "common.hpp"
+#include "core/phase.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace iop;
+  bench::banner("Multi-file model (ROMS-style)",
+                "grid read + history/restart record appends, 16 procs");
+
+  auto run = bench::traceOn(
+      configs::ConfigId::Finisterrae, "roms-upwelling",
+      [](const configs::ClusterConfig& cfg) {
+        apps::RomsParams p;
+        p.mount = cfg.mount;
+        return apps::makeRoms(p);
+      },
+      16);
+
+  std::printf("%zu files, %zu phases in the global model\n\n",
+              run.model.files().size(), run.model.phases().size());
+  for (const auto& f : run.model.files()) {
+    int phases = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& ph : run.model.phases()) {
+      if (ph.idF != f.fileId) continue;
+      ++phases;
+      bytes += ph.weightBytes;
+    }
+    std::printf("file %d (%-14s): %2d phases, %s moved, metadata: %s",
+                f.fileId, f.path.c_str(), phases,
+                util::formatBytesApprox(bytes).c_str(),
+                run.model.metadataFor(f.fileId).describe().c_str());
+  }
+  std::printf("\nglobal phase timeline (file interleaving):\n");
+  for (const auto& ph : run.model.phases()) {
+    if (ph.id > 8 && ph.id < static_cast<int>(run.model.phases().size())) {
+      if (ph.id == 9) std::printf("  ...\n");
+      continue;
+    }
+    std::printf("  phase %2d -> file %d (%s, rep %llu, %s)\n", ph.id, ph.idF,
+                ph.opTypeLabel().c_str(),
+                static_cast<unsigned long long>(ph.rep),
+                util::formatBytesApprox(ph.weightBytes).c_str());
+  }
+  std::printf("\nPaper reference (Section V): \"this application open "
+              "different files in executing time and we can observe that "
+              "our model is applicable to each file\".\n");
+  return 0;
+}

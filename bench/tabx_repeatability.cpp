@@ -1,0 +1,63 @@
+// Repeatability: the paper notes "we have evaluated these errors by
+// executing several times NAS BT-IO and error was similar for the
+// different tests".  This bench repeats the characterize/estimate/measure
+// loop across seeds with jittered compute times and reports the spread of
+// the per-group relative errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/replay.hpp"
+#include "analysis/runner.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace iop;
+  bench::banner("Repeatability",
+                "BT-IO class C, 16 procs: estimation error across 5 "
+                "jittered runs (A -> B)");
+
+  util::Table table("per-run relative errors");
+  table.setHeader({"seed", "Phase 1-40 err", "Phase 41 err"},
+                  {util::Align::Right, util::Align::Right,
+                   util::Align::Right});
+  std::vector<double> writeErrors, readErrors;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto makeApp = [](const configs::ClusterConfig& cfg) {
+      auto p = bench::paperBtio(cfg.mount, apps::BtClass::C);
+      p.jitterFraction = 0.3;
+      return apps::makeBtio(p);
+    };
+    auto source = configs::makeConfig(configs::ConfigId::A, seed);
+    auto charRun = analysis::runAndTrace(source, "btio-C",
+                                         makeApp(source), 16);
+    analysis::Replayer replayer(
+        [seed] { return configs::makeConfig(configs::ConfigId::B,
+                                            seed + 100); },
+        "/mnt/pvfs2");
+    auto estimate = analysis::estimateIoTime(charRun.model, replayer);
+    auto target = configs::makeConfig(configs::ConfigId::B, seed + 200);
+    auto measured = analysis::runAndTrace(target, "btio-C",
+                                          makeApp(target), 16);
+    auto rows = analysis::compareEstimate(estimate, measured.model);
+    table.addRow({std::to_string(seed), bench::fmtPct(rows[0].errorPct),
+                  bench::fmtPct(rows[1].errorPct)});
+    writeErrors.push_back(rows[0].errorPct);
+    readErrors.push_back(rows[1].errorPct);
+  }
+  std::printf("%s\n", table.render().c_str());
+  auto spread = [](const std::vector<double>& v) {
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return std::make_pair(*lo, *hi);
+  };
+  auto [wLo, wHi] = spread(writeErrors);
+  auto [rLo, rHi] = spread(readErrors);
+  std::printf("write-phase errors span %.1f%%..%.1f%%; read-phase "
+              "%.1f%%..%.1f%%\n",
+              wLo, wHi, rLo, rHi);
+  std::printf("Paper reference: \"error was similar for the different "
+              "tests\".\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scenario: a system administrator wants to know whether the cluster's
+// I/O subsystem is the bottleneck for a production workload — how much of
+// the storage's capacity does the application actually use, and do the
+// devices saturate?
+//
+// Workflow (the paper's Section IV-A): trace the application, extract its
+// phases, measure the device-level peak with the IOzone sweep (eqs. 3-4),
+// compute per-phase SystemUsage (eq. 5), and watch the disks with the
+// iostat-style monitor while it runs.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/peaks.hpp"
+#include "analysis/runner.hpp"
+#include "apps/madbench.hpp"
+#include "configs/configs.hpp"
+#include "monitor/monitor.hpp"
+#include "mpi/runtime.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace iop;
+
+  // The production workload: MADbench2 (cosmology) on the PVFS2 cluster.
+  auto cfg = configs::makeConfig(configs::ConfigId::B);
+  apps::MadbenchParams app;
+  app.mount = cfg.mount;
+  app.kpix = 8;
+
+  // Trace + monitor in one run.
+  trace::Tracer tracer("madbench2", 16);
+  monitor::DeviceMonitor mon(*cfg.engine, cfg.topology->allDisks(), 1.0);
+  mon.start();
+  auto opts = cfg.runtimeOptions(16, &tracer);
+  opts.onAppComplete = [&mon] { mon.stop(); };
+  mpi::Runtime runtime(*cfg.topology, opts);
+  const double makespan = runtime.runToCompletion(apps::makeMadbench(app));
+  auto model = core::extractModel(tracer.data());
+  std::printf("run finished in %.0f s; %zu I/O phases\n", makespan,
+              model.phases().size());
+
+  // Device peaks (fresh instance so the sweep starts cold).
+  auto peakCfg = configs::makeConfig(configs::ConfigId::B);
+  auto peaks = analysis::measurePeaks(peakCfg);
+  std::printf("device peaks (eq. 4): write %.0f MB/s, read %.0f MB/s\n\n",
+              util::toMiBs(peaks.writePeak), util::toMiBs(peaks.readPeak));
+
+  // Usage per phase.
+  for (const auto& row :
+       analysis::systemUsage(model, peaks.writePeak, peaks.readPeak)) {
+    std::printf("phase %d (%-8s %5s): BW_MD %4.0f MB/s -> %3.0f%% of peak\n",
+                row.phaseId, row.opsLabel.c_str(),
+                util::formatBytes(row.weightBytes).c_str(),
+                util::toMiBs(row.measuredBandwidth), row.usagePct);
+  }
+
+  // The verdict, the way an admin would phrase it.
+  std::printf("\npeak disk utilization during the run: %.0f%%\n",
+              mon.peakUtilization() * 100);
+  std::printf("interpretation: the devices saturate (seek-bound) long "
+              "before the ideal sequential peak is reached — the access "
+              "pattern, not raw capacity, is the bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Scenario: two applications share one storage system.  The paper's
+// closing observation — the phase view "can be useful ... for the
+// planning the parallel applications taking into account when the I/O
+// phases are done" — made concrete: use the two apps' I/O models to pick
+// a launch stagger that keeps their heavy phases from colliding, and
+// verify the prediction by actually co-running them.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/planner.hpp"
+#include "analysis/runner.hpp"
+#include "apps/madbench.hpp"
+#include "configs/configs.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/tracer.hpp"
+
+using namespace iop;
+
+namespace {
+
+/// Co-run two MADbench2 instances on one configuration-B topology, the
+/// second delayed by `staggerSeconds`; returns the pair of makespans.
+std::pair<double, double> corun(double staggerSeconds) {
+  auto cfg = configs::makeConfig(configs::ConfigId::B);
+  apps::MadbenchParams params;
+  params.kpix = 4;
+  params.mount = cfg.mount;
+
+  auto opts = cfg.runtimeOptions(8);
+  opts.shutdownTopologyOnCompletion = false;
+  mpi::Runtime first(*cfg.topology, opts);
+  mpi::Runtime second(*cfg.topology, opts);
+
+  first.launch(apps::makeMadbench(params));
+  auto delayed = [params, staggerSeconds](mpi::Rank& rank)
+      -> sim::Task<void> {
+    co_await rank.compute(staggerSeconds);
+    co_await apps::makeMadbench(params)(rank);
+  };
+  second.launch(delayed);
+
+  // Shut the shared topology down once both apps finished.
+  cfg.engine->spawn([](mpi::Runtime& a, mpi::Runtime& b,
+                       storage::Topology& topo) -> sim::Task<void> {
+    co_await a.completed().wait();
+    co_await b.completed().wait();
+    topo.shutdown();
+  }(first, second, *cfg.topology));
+  cfg.engine->run();
+  return {first.appElapsed(), second.appElapsed() - staggerSeconds};
+}
+
+}  // namespace
+
+int main() {
+  // 1. Each app alone: the baseline and the model that guides the plan.
+  auto solo = configs::makeConfig(configs::ConfigId::B);
+  apps::MadbenchParams params;
+  params.kpix = 4;
+  params.mount = solo.mount;
+  auto run = analysis::runAndTrace(solo, "madbench2",
+                                   apps::makeMadbench(params), 8);
+  std::printf("solo makespan: %.1f s; phases:\n", run.makespanSeconds);
+  for (const auto& ph : run.model.phases()) {
+    std::printf("  phase %d (%s): %.1f .. %.1f s\n", ph.id,
+                ph.opTypeLabel().c_str(), ph.startTime, ph.endTime);
+  }
+
+  // 2. The model-informed stagger, computed by the planner: the smallest
+  //    launch offset that keeps the two apps' I/O windows from
+  //    overlapping.
+  std::vector<const core::IOModel*> apps{&run.model, &run.model};
+  auto plan = analysis::planStaggeredLaunch(apps);
+  const double informedStagger = plan[1].startOffset;
+  std::printf("\nplanner-chosen stagger: %.1f s (predicted I/O overlap "
+              "%.1f s -> %.1f s)\n",
+              informedStagger,
+              analysis::ioOverlapSeconds(run.model, 0, run.model, 0),
+              analysis::ioOverlapSeconds(run.model, 0, run.model,
+                                         informedStagger));
+
+  // 3. Compare collide vs stagger by actually co-running.
+  auto [a0, b0] = corun(0.0);
+  auto [a1, b1] = corun(informedStagger);
+  std::printf("\nco-run, no stagger:    app1 %.1f s, app2 %.1f s "
+              "(worst %.1f)\n",
+              a0, b0, std::max(a0, b0));
+  std::printf("co-run, with stagger:  app1 %.1f s, app2 %.1f s "
+              "(worst %.1f)\n",
+              a1, b1, std::max(a1, b1));
+  const double worst0 = std::max(a0, b0);
+  const double worst1 = std::max(a1, b1);
+  std::printf("\nslowdown vs solo: %.0f%% -> %.0f%% — the stagger chosen "
+              "from the phase model, no trial runs needed.\n",
+              100.0 * (worst0 / run.makespanSeconds - 1.0),
+              100.0 * (worst1 / run.makespanSeconds - 1.0));
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Scenario: capacity planning — "should we buy a RAID5 NAS upgrade or two
+// more PVFS I/O nodes?".  This example builds *custom* topologies with the
+// storage-simulator API (not the canned paper configurations) and replays
+// a previously saved application model on each candidate design.
+//
+// It demonstrates the public topology-building API end to end: nodes,
+// links, devices (RAID5 vs JBOD), caches, filesystems, and mounts.
+#include <cstdio>
+#include <memory>
+
+#include "analysis/replay.hpp"
+#include "analysis/runner.hpp"
+#include "apps/madbench.hpp"
+#include "configs/configs.hpp"
+#include "storage/blockdev.hpp"
+#include "storage/filesystem.hpp"
+#include "util/units.hpp"
+
+using namespace iop;
+using iop::util::GiB;
+using iop::util::KiB;
+using iop::util::MiB;
+
+namespace {
+
+storage::DiskParams commodityDisk(const std::string& name) {
+  storage::DiskParams p;
+  p.name = name;
+  p.seqReadBw = 110.0e6;
+  p.seqWriteBw = 105.0e6;
+  p.positionTime = 8.0e-3;
+  return p;
+}
+
+/// Candidate 1: one beefy NAS with an 8-disk RAID5 behind NFS.
+configs::ClusterConfig bigNas() {
+  configs::ClusterConfig cfg;
+  cfg.name = "big-NAS (8-disk RAID5, NFS)";
+  cfg.engine = std::make_unique<sim::Engine>(7);
+  cfg.topology = std::make_unique<storage::Topology>(*cfg.engine);
+  for (int i = 0; i < 8; ++i) {
+    cfg.topology->addNode("c" + std::to_string(i),
+                          storage::gigabitEthernet());
+    cfg.computeNodes.push_back(static_cast<std::size_t>(i));
+  }
+  auto& nas = cfg.topology->addNode("nas", storage::gigabitEthernet());
+  std::vector<storage::DiskParams> members;
+  for (int i = 0; i < 8; ++i) members.push_back(commodityDisk("raid-d"));
+  storage::ServerParams sp;
+  sp.cache.sizeBytes = 4 * GiB;
+  auto& server = cfg.topology->addServer(
+      nas, std::make_unique<storage::Raid5>(*cfg.engine, members, 256 * KiB),
+      sp);
+  cfg.topology->mount(
+      "/data", std::make_unique<storage::NfsFS>(*cfg.engine, server));
+  cfg.mount = "/data";
+  cfg.hints.cbNodes = 1;
+  return cfg;
+}
+
+/// Candidate 2: five thin striped I/O nodes (PVFS-style), one disk each.
+configs::ClusterConfig wideStripe() {
+  configs::ClusterConfig cfg;
+  cfg.name = "wide-stripe (5 I/O nodes, PVFS)";
+  cfg.engine = std::make_unique<sim::Engine>(7);
+  cfg.topology = std::make_unique<storage::Topology>(*cfg.engine);
+  for (int i = 0; i < 8; ++i) {
+    cfg.topology->addNode("c" + std::to_string(i),
+                          storage::gigabitEthernet());
+    cfg.computeNodes.push_back(static_cast<std::size_t>(i));
+  }
+  std::vector<storage::IoServer*> ions;
+  for (int i = 0; i < 5; ++i) {
+    auto& node = cfg.topology->addNode("ion" + std::to_string(i),
+                                       storage::gigabitEthernet());
+    storage::ServerParams sp;
+    sp.cache.sizeBytes = 1 * GiB;
+    ions.push_back(&cfg.topology->addServer(
+        node,
+        std::make_unique<storage::SingleDisk>(*cfg.engine,
+                                              commodityDisk("ion-d")),
+        sp));
+  }
+  storage::StripedParams pvfs;
+  pvfs.stripeUnit = 64 * KiB;
+  cfg.topology->mount("/data", std::make_unique<storage::StripedFS>(
+                                   *cfg.engine, ions, nullptr, pvfs));
+  cfg.mount = "/data";
+  cfg.hints.cbNodes = 5;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  // Characterize the workload once (on the existing production cluster).
+  auto prod = configs::makeConfig(configs::ConfigId::A);
+  apps::MadbenchParams app;
+  app.mount = prod.mount;
+  app.kpix = 8;
+  auto run = analysis::runAndTrace(prod, "madbench2",
+                                   apps::makeMadbench(app), 16);
+  std::printf("workload model: %zu phases, %s total\n\n",
+              run.model.phases().size(),
+              util::formatBytesApprox(run.model.totalWeightBytes()).c_str());
+
+  // Replay the model on each candidate design.
+  struct Design {
+    const char* label;
+    configs::ClusterConfig (*make)();
+  };
+  const Design designs[] = {{"big-NAS", bigNas},
+                            {"wide-stripe", wideStripe}};
+  for (const auto& d : designs) {
+    analysis::Replayer replayer(d.make, "/data");
+    auto estimate = analysis::estimateIoTime(run.model, replayer);
+    std::printf("%-12s estimated I/O time: %7.1f s\n", d.label,
+                estimate.totalTimeSec);
+    for (const auto& row : estimate.familyRows()) {
+      std::printf("    phases %d-%d (%s): %7.1f s\n", row.firstPhase,
+                  row.lastPhase,
+                  util::formatBytesApprox(row.weightBytes).c_str(),
+                  row.timeCH);
+    }
+  }
+  std::printf("\nThe design with the smaller estimate wins for *this*\n"
+              "workload — a different access pattern may prefer the other\n"
+              "candidate, which is exactly why the model is extracted per\n"
+              "application.\n");
+  return 0;
+}

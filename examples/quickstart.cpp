@@ -1,0 +1,58 @@
+// Quickstart: the complete methodology in ~60 lines.
+//
+//  1. run an application on a simulated cluster with tracing,
+//  2. extract its I/O abstract model (phases + f(initOffset)),
+//  3. save the model, reload it (characterize once, analyze anywhere),
+//  4. estimate the app's I/O time on a *different* cluster using only the
+//     model and IOR phase replay — without running the app there.
+//
+// Build: cmake --build build --target quickstart
+// Run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "analysis/replay.hpp"
+#include "analysis/runner.hpp"
+#include "apps/btio.hpp"
+#include "configs/configs.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace iop;
+
+  // 1. Characterize: NAS BT-IO class A, 4 processes, on configuration A.
+  auto home = configs::makeConfig(configs::ConfigId::A);
+  apps::BtioParams app;
+  app.mount = home.mount;
+  app.cls = apps::BtClass::A;
+  auto run = analysis::runAndTrace(home, "btio-quickstart",
+                                   apps::makeBtio(app), 4);
+  std::printf("application ran in %.1f simulated seconds\n",
+              run.makespanSeconds);
+
+  // 2. The extracted I/O abstract model.
+  std::printf("\n%s\n", run.model.renderSummary().c_str());
+
+  // 3. Persist and reload — the model is independent of the machine it
+  //    was traced on.
+  run.model.save("quickstart.model");
+  auto model = core::IOModel::load("quickstart.model");
+  std::printf("model round-tripped through quickstart.model (%zu phases)\n",
+              model.phases().size());
+
+  // 4. Estimate the I/O time on configuration B (PVFS2) via IOR replay.
+  analysis::Replayer replayer(
+      [] { return configs::makeConfig(configs::ConfigId::B); },
+      "/mnt/pvfs2");
+  auto estimate = analysis::estimateIoTime(model, replayer);
+  std::printf("\nestimated I/O time on %s: %.2f s "
+              "(%zu IOR runs for %zu phases — identical phases replay "
+              "once)\n",
+              "configuration B", estimate.totalTimeSec,
+              replayer.benchmarkRuns(), estimate.phases.size());
+  for (const auto& row : estimate.familyRows()) {
+    std::printf("  phases %d-%d: %.2f s for %s\n", row.firstPhase,
+                row.lastPhase, row.timeCH,
+                util::formatBytesApprox(row.weightBytes).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Scenario: a user must choose where to run a checkpoint-heavy solver —
+// the local NFS cluster or the shared Lustre machine — without burning an
+// allocation on trial runs.
+//
+// Workflow: characterize the application once on the local cluster, then
+// replay its phases with IOR on every candidate and pick the configuration
+// with the smallest estimated I/O time (the paper's Table XII workflow).
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/replay.hpp"
+#include "analysis/runner.hpp"
+#include "apps/btio.hpp"
+#include "configs/configs.hpp"
+
+int main() {
+  using namespace iop;
+
+  // The "application": BT-IO class C on 16 processes (checkpoint every 5
+  // steps + verification read-back).
+  auto local = configs::makeConfig(configs::ConfigId::A);
+  apps::BtioParams app;
+  app.mount = local.mount;
+  app.cls = apps::BtClass::C;
+  std::printf("characterizing on %s...\n", local.name.c_str());
+  auto run =
+      analysis::runAndTrace(local, "solver", apps::makeBtio(app), 16);
+
+  struct Candidate {
+    configs::ConfigId id;
+    const char* mount;
+  };
+  const Candidate candidates[] = {
+      {configs::ConfigId::B, "/mnt/pvfs2"},
+      {configs::ConfigId::C, "/home"},
+      {configs::ConfigId::Finisterrae, "homesfs"},
+  };
+
+  std::vector<analysis::SelectionCandidate> evaluated;
+  for (const auto& c : candidates) {
+    analysis::Replayer replayer(
+        [id = c.id] { return configs::makeConfig(id); }, c.mount);
+    analysis::SelectionCandidate sc;
+    sc.name = configs::configName(c.id);
+    sc.estimate = analysis::estimateIoTime(run.model, replayer);
+    std::printf("  %-16s estimated I/O time %8.2f s (%zu IOR runs)\n",
+                sc.name.c_str(), sc.estimate.totalTimeSec,
+                replayer.benchmarkRuns());
+    evaluated.push_back(std::move(sc));
+  }
+
+  const auto* best = analysis::selectConfiguration(evaluated);
+  std::printf("\n=> run the solver on: %s\n", best->name.c_str());
+  std::printf("   (no application run was needed on any candidate — only "
+              "the model + IOR)\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "analysis/evaluate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iop::analysis {
+
+double relativeErrorPct(double characterized, double measured) {
+  if (measured <= 0) return 0;
+  return 100.0 * std::abs(characterized - measured) / measured;
+}
+
+std::vector<UsageRow> systemUsage(const core::IOModel& measuredModel,
+                                  double peakWrite, double peakRead) {
+  std::vector<UsageRow> rows;
+  for (const auto& phase : measuredModel.phases()) {
+    UsageRow row;
+    row.phaseId = phase.id;
+    row.opsLabel =
+        std::to_string(phase.opCount()) + " " + phase.opTypeLabel();
+    row.weightBytes = phase.weightBytes;
+    const std::string type = phase.opTypeLabel();
+    if (type == "W") {
+      row.peakBandwidth = peakWrite;
+    } else if (type == "R") {
+      row.peakBandwidth = peakRead;
+    } else {
+      row.peakBandwidth = (peakWrite + peakRead) / 2.0;
+    }
+    row.measuredBandwidth = phase.measuredBandwidth();
+    if (row.peakBandwidth > 0) {
+      row.usagePct = 100.0 * row.measuredBandwidth / row.peakBandwidth;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string ComparisonRow::label() const {
+  if (firstPhase == lastPhase) return "Phase " + std::to_string(firstPhase);
+  return "Phase " + std::to_string(firstPhase) + "-" +
+         std::to_string(lastPhase);
+}
+
+std::vector<ComparisonRow> compareEstimate(const Estimate& estimate,
+                                           const core::IOModel& measured) {
+  // Group the measured phases per family, in order.
+  struct Group {
+    int familyId = -1;
+    int firstPhase = 0;
+    int lastPhase = 0;
+    std::uint64_t weightBytes = 0;
+    double timeMD = 0;
+  };
+  std::vector<Group> measuredGroups;
+  for (const auto& phase : measured.phases()) {
+    if (measuredGroups.empty() ||
+        measuredGroups.back().familyId != phase.familyId) {
+      measuredGroups.push_back(
+          Group{phase.familyId, phase.id, phase.id, 0, 0});
+    }
+    auto& g = measuredGroups.back();
+    g.lastPhase = phase.id;
+    g.weightBytes += phase.weightBytes;
+    g.timeMD += phase.measuredIoTime();
+  }
+
+  const auto estimateRows = estimate.familyRows();
+  if (estimateRows.size() != measuredGroups.size()) {
+    throw std::runtime_error(
+        "estimate and measured models disagree on phase structure (" +
+        std::to_string(estimateRows.size()) + " vs " +
+        std::to_string(measuredGroups.size()) + " groups)");
+  }
+  for (std::size_t i = 0; i < estimateRows.size(); ++i) {
+    if (estimateRows[i].weightBytes != measuredGroups[i].weightBytes) {
+      throw std::runtime_error(
+          "estimate and measured models disagree on group weights");
+    }
+  }
+
+  std::vector<ComparisonRow> rows;
+  for (std::size_t i = 0; i < estimateRows.size(); ++i) {
+    const auto& e = estimateRows[i];
+    const auto& m = measuredGroups[i];
+    ComparisonRow row;
+    row.firstPhase = e.firstPhase;
+    row.lastPhase = e.lastPhase;
+    row.timeCH = e.timeCH;
+    row.timeMD = m.timeMD;
+    const double bwCH =
+        e.timeCH > 0 ? static_cast<double>(e.weightBytes) / e.timeCH : 0;
+    const double bwMD =
+        m.timeMD > 0 ? static_cast<double>(m.weightBytes) / m.timeMD : 0;
+    row.errorPct = relativeErrorPct(bwCH, bwMD);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+const SelectionCandidate* selectConfiguration(
+    const std::vector<SelectionCandidate>& candidates) {
+  const SelectionCandidate* best = nullptr;
+  for (const auto& c : candidates) {
+    if (best == nullptr || c.estimate.totalTimeSec <
+                               best->estimate.totalTimeSec) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+}  // namespace iop::analysis

@@ -1,0 +1,64 @@
+// Evaluation stage (Section III-C): system usage (eq. 5), characterized
+// vs measured comparison and relative error (eqs. 6-7), and configuration
+// selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/replay.hpp"
+#include "core/iomodel.hpp"
+
+namespace iop::analysis {
+
+/// Eqs. (6)-(7): 100 * |BW_CH - BW_MD| / BW_MD.
+double relativeErrorPct(double characterized, double measured);
+
+/// One row of the paper's Table IX/X: per-phase system usage on a
+/// configuration, from the *measured* model on that configuration and the
+/// IOzone device peaks.
+struct UsageRow {
+  int phaseId = 0;
+  std::string opsLabel;         ///< "128 W", "192 W-R", ...
+  std::uint64_t weightBytes = 0;
+  double peakBandwidth = 0;     ///< BW_PK for the phase's op type (bytes/s)
+  double measuredBandwidth = 0; ///< BW_MD (bytes/s)
+  double usagePct = 0;          ///< eq. (5)
+};
+
+/// Compute per-phase usage rows.  `peakWrite`/`peakRead` are the
+/// configuration's BW_PK per operation type (eqs. 3-4); W-R phases use the
+/// average of both peaks.
+std::vector<UsageRow> systemUsage(const core::IOModel& measuredModel,
+                                  double peakWrite, double peakRead);
+
+/// One row of Tables XIII/XIV: estimated vs measured time per phase group.
+struct ComparisonRow {
+  int firstPhase = 0;
+  int lastPhase = 0;
+  double timeCH = 0;
+  double timeMD = 0;
+  double errorPct = 0;  ///< eqs. (6)-(7) applied to the group bandwidths
+
+  std::string label() const;
+};
+
+/// Compare an estimate against the measured model from an actual traced
+/// run on the target configuration.  Rows are grouped per phase family
+/// ("Phase 1-50" / "Phase 51").  Measured time of a group is the sum of
+/// its phases' wall windows.
+std::vector<ComparisonRow> compareEstimate(const Estimate& estimate,
+                                           const core::IOModel& measured);
+
+/// Configuration-selection outcome (Table XII): pick the candidate with
+/// the smallest estimated total I/O time.
+struct SelectionCandidate {
+  std::string name;
+  Estimate estimate;
+};
+
+const SelectionCandidate* selectConfiguration(
+    const std::vector<SelectionCandidate>& candidates);
+
+}  // namespace iop::analysis

@@ -1,0 +1,128 @@
+#include "analysis/multiop.hpp"
+
+#include <stdexcept>
+
+#include "mpi/file.hpp"
+#include "mpi/runtime.hpp"
+
+namespace iop::analysis {
+
+namespace {
+
+/// Shared measurement window, written by rank 0 at the barriers.
+struct Window {
+  double start = 0;
+  double end = 0;
+};
+
+sim::Task<void> replayRank(mpi::Rank& rank, const core::Phase& phase,
+                           const std::string& mount, bool unique,
+                           storage::Topology& topology, Window& window) {
+  auto file = co_await rank.open(
+      mount, "multiop-replay.dat",
+      unique ? mpi::AccessType::Unique : mpi::AccessType::Shared);
+  const auto r = static_cast<std::size_t>(rank.id());
+
+  // Population pass: write the regions the cycle's reads will touch, so
+  // the timed pass reads real (cold, after the drop below) data.
+  for (const auto& op : phase.ops) {
+    if (!op.isWrite()) {
+      co_await file->writeAt(op.initOffsetBytes[r], op.rsBytes * phase.rep);
+    }
+  }
+  co_await rank.barrier();
+  if (rank.id() == 0) {
+    topology.dropCaches();
+    window.start = rank.engine().now();
+  }
+  co_await rank.barrier();
+
+  for (std::uint64_t m = 0; m < phase.rep; ++m) {
+    for (const auto& op : phase.ops) {
+      const std::uint64_t offset =
+          op.initOffsetBytes[r] +
+          static_cast<std::uint64_t>(op.dispBytes) * m;
+      if (op.isWrite()) {
+        co_await file->writeAt(offset, op.rsBytes);
+      } else {
+        co_await file->readAt(offset, op.rsBytes);
+      }
+    }
+  }
+  co_await rank.barrier();
+  if (rank.id() == 0) window.end = rank.engine().now();
+  co_await file->close();
+}
+
+}  // namespace
+
+MultiOpResult replayMultiOpPhase(const core::IOModel& model,
+                                 const core::Phase& phase,
+                                 const ConfigBuilder& builder,
+                                 const std::string& mount) {
+  for (const auto& op : phase.ops) {
+    if (op.initOffsetBytes.size() != phase.ranks.size()) {
+      throw std::invalid_argument(
+          "phase op is missing per-rank initial offsets");
+    }
+  }
+  const bool unique = model.metadataFor(phase.idF).accessType == "Unique";
+
+  auto cluster = builder();
+  auto opts = cluster.runtimeOptions(phase.np());
+  mpi::Runtime runtime(*cluster.topology, opts);
+  Window window;
+  const core::Phase& ph = phase;
+  storage::Topology& topo = *cluster.topology;
+  Window* w = &window;
+  std::string mountCopy = mount;
+  runtime.runToCompletion(
+      [&ph, mountCopy, unique, &topo, w](mpi::Rank& rank) -> sim::Task<void> {
+        return replayRank(rank, ph, mountCopy, unique, topo, *w);
+      });
+
+  MultiOpResult result;
+  result.seconds = window.end - window.start;
+  if (result.seconds > 0) {
+    result.bandwidth =
+        static_cast<double>(phase.weightBytes) / result.seconds;
+  }
+  return result;
+}
+
+Estimate estimateIoTimeMultiOp(const core::IOModel& model,
+                               Replayer& iorReplayer,
+                               const ConfigBuilder& builder,
+                               const std::string& mount) {
+  Estimate estimate;
+  // Multi-op phases with identical structure share one replay, like the
+  // IOR path's memoization; key on the family id.
+  std::map<int, double> familyBandwidth;
+  for (const auto& phase : model.phases()) {
+    PhaseEstimate pe;
+    pe.phaseId = phase.id;
+    pe.familyId = phase.familyId;
+    pe.weightBytes = phase.weightBytes;
+    if (phase.ops.size() >= 2) {
+      auto it = familyBandwidth.find(phase.familyId);
+      if (it == familyBandwidth.end()) {
+        it = familyBandwidth
+                 .emplace(phase.familyId,
+                          replayMultiOpPhase(model, phase, builder, mount)
+                              .bandwidth)
+                 .first;
+      }
+      pe.bandwidthCH = it->second;
+    } else {
+      pe.bandwidthCH = iorReplayer.measure(model, phase).characterized;
+    }
+    pe.timeCH = pe.bandwidthCH > 0
+                    ? static_cast<double>(pe.weightBytes) / pe.bandwidthCH
+                    : 0;
+    estimate.totalTimeSec += pe.timeCH;
+    estimate.phases.push_back(pe);
+  }
+  return estimate;
+}
+
+}  // namespace iop::analysis

@@ -1,0 +1,40 @@
+// Multi-operation phase replayer — the paper's Section V proposal.
+//
+// "We are designing benchmark to replicate the I/O when there are 2 or
+// more operations in a phase to fit the characterization better and
+// reduce estimation error."
+//
+// Where the IOR mapping replays a W-R phase as two separate single-op
+// passes (and averages their bandwidths), this replayer drives the
+// phase's exact operation cycle: every repetition issues the phase's ops
+// in order, at each rank's own offsets, with the phase's displacement —
+// so interleaving effects (read/write switching, seek patterns) are
+// reproduced on the target configuration.
+#pragma once
+
+#include "analysis/replay.hpp"
+#include "core/iomodel.hpp"
+
+namespace iop::analysis {
+
+struct MultiOpResult {
+  double seconds = 0;        ///< wall time of the replayed phase
+  double bandwidth = 0;      ///< BW_CH = weight / seconds
+};
+
+/// Replay one phase's op cycle on a fresh instance of the target
+/// configuration.  Reads are preceded by an untimed data-population pass
+/// plus a cache drop, like IOR's write-then-read discipline.
+MultiOpResult replayMultiOpPhase(const core::IOModel& model,
+                                 const core::Phase& phase,
+                                 const ConfigBuilder& builder,
+                                 const std::string& mount);
+
+/// estimateIoTime variant that uses the multi-op replayer for phases with
+/// two or more operations and the standard IOR mapping otherwise.
+Estimate estimateIoTimeMultiOp(const core::IOModel& model,
+                               Replayer& iorReplayer,
+                               const ConfigBuilder& builder,
+                               const std::string& mount);
+
+}  // namespace iop::analysis

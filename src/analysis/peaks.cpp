@@ -1,0 +1,22 @@
+#include "analysis/peaks.hpp"
+
+namespace iop::analysis {
+
+PeakResult measurePeaks(configs::ClusterConfig& cluster,
+                        const iozone::IozoneParams& params) {
+  PeakResult result;
+  auto& fs = cluster.topology->fs(cluster.mount);
+  for (storage::IoServer* server : fs.dataServers()) {
+    auto sweep = iozone::runIozone(*cluster.engine, *server, params);
+    ServerPeak peak;
+    peak.nodeName = server->node().name();
+    peak.writePeak = sweep.peakWriteBandwidth;
+    peak.readPeak = sweep.peakReadBandwidth;
+    result.writePeak += peak.writePeak;   // eq. (4); single server = eq. (3)
+    result.readPeak += peak.readPeak;
+    result.perServer.push_back(std::move(peak));
+  }
+  return result;
+}
+
+}  // namespace iop::analysis

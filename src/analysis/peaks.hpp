@@ -1,0 +1,33 @@
+// Peak device bandwidth BW_PK (Section III-B, eqs. 3-4): IOzone runs on
+// every I/O node of a configuration; the configuration peak is the
+// per-node maximum (eq. 3), summed over the I/O nodes of a parallel
+// filesystem (eq. 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "configs/configs.hpp"
+#include "iozone/iozone.hpp"
+
+namespace iop::analysis {
+
+struct ServerPeak {
+  std::string nodeName;
+  double writePeak = 0;  ///< bytes/s
+  double readPeak = 0;
+};
+
+struct PeakResult {
+  std::vector<ServerPeak> perServer;
+  /// Eq. (3)/(4): per-node max, summed over the mount's data servers.
+  double writePeak = 0;
+  double readPeak = 0;
+};
+
+/// Measure BW_PK for the cluster's evaluated mount.  Consumes simulated
+/// time on the cluster's engine (run it on a dedicated instance).
+PeakResult measurePeaks(configs::ClusterConfig& cluster,
+                        const iozone::IozoneParams& params = {});
+
+}  // namespace iop::analysis

@@ -1,0 +1,75 @@
+#include "analysis/planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iop::analysis {
+
+namespace {
+
+/// [start, end) I/O windows of a model shifted by `offset`.
+std::vector<std::pair<double, double>> ioWindows(const core::IOModel& model,
+                                                 double offset) {
+  std::vector<std::pair<double, double>> windows;
+  for (const auto& phase : model.phases()) {
+    windows.emplace_back(phase.startTime + offset,
+                         phase.endTime + offset);
+  }
+  std::sort(windows.begin(), windows.end());
+  return windows;
+}
+
+double overlap(const std::vector<std::pair<double, double>>& a,
+               const std::vector<std::pair<double, double>>& b) {
+  double total = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double ioOverlapSeconds(const core::IOModel& a, double offsetA,
+                        const core::IOModel& b, double offsetB) {
+  return overlap(ioWindows(a, offsetA), ioWindows(b, offsetB));
+}
+
+std::vector<PlanEntry> planStaggeredLaunch(
+    const std::vector<const core::IOModel*>& apps,
+    const PlannerOptions& options) {
+  if (options.stepSeconds <= 0 || options.maxStaggerSeconds < 0) {
+    throw std::invalid_argument("invalid planner options");
+  }
+  std::vector<PlanEntry> plan;
+  std::vector<std::vector<std::pair<double, double>>> placed;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    double bestOffset = 0;
+    double bestOverlap = -1;
+    for (double offset = 0; offset <= options.maxStaggerSeconds;
+         offset += options.stepSeconds) {
+      auto windows = ioWindows(*apps[i], offset);
+      double sum = 0;
+      for (const auto& other : placed) sum += overlap(windows, other);
+      if (bestOverlap < 0 || sum < bestOverlap - 1e-12) {
+        bestOverlap = sum;
+        bestOffset = offset;
+      }
+      if (sum == 0) break;  // cannot do better; earliest zero-overlap wins
+    }
+    plan.push_back(PlanEntry{i, bestOffset});
+    placed.push_back(ioWindows(*apps[i], bestOffset));
+  }
+  return plan;
+}
+
+}  // namespace iop::analysis

@@ -1,0 +1,43 @@
+// I/O-aware launch planning.
+//
+// The paper's closing observation: the phase view "can be useful for the
+// matching of processes that do I/O operations near to I/O nodes or for
+// the planning the parallel applications taking into account when the
+// I/O phases are done".  This module implements the planning half: given
+// several applications' I/O models (phase wall windows from their traced
+// runs), choose launch offsets that minimize the overlap of their I/O
+// activity on a shared storage system — without running anything.
+#pragma once
+
+#include <vector>
+
+#include "core/iomodel.hpp"
+
+namespace iop::analysis {
+
+/// Total seconds during which both models are doing I/O when started at
+/// the given offsets (overlap of their phase wall windows).
+double ioOverlapSeconds(const core::IOModel& a, double offsetA,
+                        const core::IOModel& b, double offsetB);
+
+struct PlannerOptions {
+  /// Candidate offsets are multiples of this granularity.
+  double stepSeconds = 1.0;
+  /// Offsets are searched in [0, maxStaggerSeconds].
+  double maxStaggerSeconds = 600.0;
+};
+
+struct PlanEntry {
+  std::size_t appIndex = 0;
+  double startOffset = 0;
+};
+
+/// Greedy staggering: apps are placed in order; each new app gets the
+/// smallest offset that minimizes its I/O overlap with everything placed
+/// before it (ties resolved toward the earliest start, so apps are never
+/// delayed without benefit).
+std::vector<PlanEntry> planStaggeredLaunch(
+    const std::vector<const core::IOModel*>& apps,
+    const PlannerOptions& options = {});
+
+}  // namespace iop::analysis

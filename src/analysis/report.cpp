@@ -1,0 +1,126 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/peaks.hpp"
+#include "analysis/replay.hpp"
+#include "util/units.hpp"
+
+namespace iop::analysis {
+
+namespace {
+
+std::string mdRow(std::initializer_list<std::string> cells) {
+  std::string row = "|";
+  for (const auto& c : cells) row += " " + c + " |";
+  row += "\n";
+  return row;
+}
+
+std::string fmt(const char* pattern, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, pattern, value);
+  return buf;
+}
+
+}  // namespace
+
+std::string generateReport(const AppRun& run, configs::ConfigId sourceId,
+                           const ReportOptions& options) {
+  std::ostringstream out;
+  const auto& model = run.model;
+
+  out << "# I/O report: " << model.appName() << " (" << model.np()
+      << " processes)\n\n";
+  out << "Traced on **" << configs::configName(sourceId) << "**; makespan "
+      << fmt("%.2f", run.makespanSeconds) << " s, "
+      << util::formatBytesApprox(model.totalWeightBytes())
+      << " moved across " << model.phases().size() << " I/O phases and "
+      << model.files().size() << " file(s).\n\n";
+
+  out << "## Files and access characteristics\n\n";
+  for (const auto& f : model.files()) {
+    auto meta = model.metadataFor(f.fileId);
+    out << "* `" << f.path << "` — " << meta.accessMode << ", "
+        << meta.accessType << ", "
+        << (meta.collectiveIo ? "collective" : "non-collective")
+        << (meta.individualPointers ? ", individual file pointers" : "")
+        << (meta.explicitOffsets ? ", explicit offsets" : "");
+    if (meta.etypeBytes != 1) out << ", etype " << meta.etypeBytes << " B";
+    out << "\n";
+  }
+
+  out << "\n## Phase model\n\n";
+  out << mdRow({"phase", "file", "ops", "rep", "weight", "f(initOffset)"});
+  out << mdRow({"---", "---", "---", "---", "---", "---"});
+  // Collapse families into single rows to keep long models readable.
+  const auto& phases = model.phases();
+  for (std::size_t i = 0; i < phases.size();) {
+    std::size_t j = i;
+    while (j + 1 < phases.size() &&
+           phases[j + 1].familyId == phases[i].familyId) {
+      ++j;
+    }
+    const auto& p = phases[i];
+    std::uint64_t familyWeight = 0;
+    for (std::size_t k = i; k <= j; ++k) {
+      familyWeight += phases[k].weightBytes;
+    }
+    const std::string label =
+        i == j ? std::to_string(p.id)
+               : std::to_string(p.id) + "-" + std::to_string(phases[j].id);
+    out << mdRow({label, std::to_string(p.idF),
+                  std::to_string(p.opCount() / p.rep) + " " +
+                      p.opTypeLabel() + " x" + std::to_string(p.rep),
+                  std::to_string(p.rep),
+                  util::formatBytesApprox(familyWeight),
+                  p.ops[0].offsetFn.render(p.ops[0].rsBytes, p.np())});
+    i = j + 1;
+  }
+
+  if (options.includeUsage) {
+    out << "\n## System usage on " << configs::configName(sourceId)
+        << " (eq. 5)\n\n";
+    auto peakCfg = configs::makeConfig(sourceId);
+    auto peaks = measurePeaks(peakCfg);
+    out << "Device peaks (eqs. 3-4): write "
+        << fmt("%.0f", util::toMiBs(peaks.writePeak)) << " MB/s, read "
+        << fmt("%.0f", util::toMiBs(peaks.readPeak)) << " MB/s.\n\n";
+    out << mdRow({"phase", "ops", "BW_MD (MB/s)", "usage"});
+    out << mdRow({"---", "---", "---", "---"});
+    for (const auto& row :
+         systemUsage(model, peaks.writePeak, peaks.readPeak)) {
+      out << mdRow({std::to_string(row.phaseId), row.opsLabel,
+                    fmt("%.0f", util::toMiBs(row.measuredBandwidth)),
+                    fmt("%.0f%%", row.usagePct)});
+    }
+  }
+
+  out << "\n## Estimated I/O time on candidate configurations "
+         "(eqs. 1-2)\n\n";
+  out << mdRow({"configuration", "Time_io(CH)", "IOR runs"});
+  out << mdRow({"---", "---", "---"});
+  std::vector<SelectionCandidate> candidates;
+  for (auto target : options.targets) {
+    auto probe = configs::makeConfig(target);
+    Replayer replayer([target] { return configs::makeConfig(target); },
+                      probe.mount);
+    SelectionCandidate candidate;
+    candidate.name = probe.name;
+    candidate.estimate = estimateIoTime(model, replayer);
+    out << mdRow({candidate.name,
+                  fmt("%.2f s", candidate.estimate.totalTimeSec),
+                  std::to_string(replayer.benchmarkRuns())});
+    candidates.push_back(std::move(candidate));
+  }
+  if (const auto* best = selectConfiguration(candidates)) {
+    out << "\n**Recommendation:** run on " << best->name << " ("
+        << fmt("%.2f", best->estimate.totalTimeSec)
+        << " s estimated I/O time).\n";
+  }
+  return out.str();
+}
+
+}  // namespace iop::analysis

@@ -1,0 +1,34 @@
+// Report generation: one self-contained markdown document summarizing an
+// application's I/O behaviour and its prospects on candidate storage
+// configurations — the artifact a performance engineer would hand to the
+// application's owners.
+//
+// Contents: the extracted model (metadata + phase table + offset
+// formulas), per-phase measured bandwidths and SystemUsage on the source
+// configuration (eq. 5), the estimated I/O time on every target (eqs.
+// 1-2), and the configuration-selection verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "configs/configs.hpp"
+
+namespace iop::analysis {
+
+struct ReportOptions {
+  /// Candidate configurations to estimate on.
+  std::vector<configs::ConfigId> targets = {
+      configs::ConfigId::A, configs::ConfigId::B, configs::ConfigId::C,
+      configs::ConfigId::Finisterrae};
+  /// Include IOzone device peaks and SystemUsage of the source run.
+  bool includeUsage = true;
+};
+
+/// Generate the report for a traced run.  `sourceId` is the configuration
+/// the run was traced on (used for usage peaks).
+std::string generateReport(const AppRun& run, configs::ConfigId sourceId,
+                           const ReportOptions& options = {});
+
+}  // namespace iop::analysis

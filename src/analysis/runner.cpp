@@ -1,0 +1,18 @@
+#include "analysis/runner.hpp"
+
+namespace iop::analysis {
+
+AppRun runAndTrace(configs::ClusterConfig& cluster,
+                   const std::string& appName, mpi::Runtime::RankMain main,
+                   int np, const core::PhaseDetectionOptions& options) {
+  trace::Tracer tracer(appName, np);
+  auto opts = cluster.runtimeOptions(np, &tracer);
+  mpi::Runtime runtime(*cluster.topology, opts);
+  AppRun run;
+  run.makespanSeconds = runtime.runToCompletion(std::move(main));
+  run.trace = tracer.takeData();
+  run.model = core::extractModel(run.trace, options);
+  return run;
+}
+
+}  // namespace iop::analysis

@@ -1,0 +1,29 @@
+// Convenience runner: execute an application on a cluster configuration
+// with tracing enabled and return the trace, the extracted I/O model, and
+// the measured makespan.  Used both for characterization (build the model
+// once) and for validation (measure the real phase times on a target).
+#pragma once
+
+#include <string>
+
+#include "configs/configs.hpp"
+#include "core/iomodel.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/tracer.hpp"
+
+namespace iop::analysis {
+
+struct AppRun {
+  trace::TraceData trace;
+  core::IOModel model;
+  double makespanSeconds = 0;
+};
+
+/// Run `main` with `np` ranks on `cluster` (consumes the cluster's cold
+/// state) and extract the I/O model from the trace.
+AppRun runAndTrace(configs::ClusterConfig& cluster,
+                   const std::string& appName, mpi::Runtime::RankMain main,
+                   int np,
+                   const core::PhaseDetectionOptions& options = {});
+
+}  // namespace iop::analysis

@@ -1,0 +1,144 @@
+#include "analysis/synthesize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "mpi/file.hpp"
+#include "trace/tracer.hpp"
+
+namespace iop::analysis {
+
+namespace {
+
+const trace::FileMeta* metaFor(const core::IOModel& model, int fileId) {
+  for (const auto& f : model.files()) {
+    if (f.fileId == fileId) return &f;
+  }
+  return nullptr;
+}
+
+void validateModel(const core::IOModel& model) {
+  for (const auto& phase : model.phases()) {
+    const auto* meta = metaFor(model, phase.idF);
+    const std::uint64_t etype = meta != nullptr ? meta->etypeBytes : 1;
+    for (const auto& op : phase.ops) {
+      if (phase.anyCollective() &&
+          phase.np() != model.np()) {
+        throw std::invalid_argument(
+            "cannot synthesize: collective phase " +
+            std::to_string(phase.id) + " covers a subset of the ranks");
+      }
+      if (op.initOffsetBytes.size() != phase.ranks.size()) {
+        throw std::invalid_argument(
+            "cannot synthesize: phase " + std::to_string(phase.id) +
+            " is missing per-rank offsets");
+      }
+      if (op.rsBytes % etype != 0) {
+        throw std::invalid_argument(
+            "cannot synthesize: request size of phase " +
+            std::to_string(phase.id) + " is not a whole etype count");
+      }
+      for (auto offset : op.initOffsetBytes) {
+        if (offset % etype != 0 ||
+            op.dispBytes % static_cast<std::int64_t>(etype) != 0) {
+          throw std::invalid_argument(
+              "cannot synthesize: offsets of phase " +
+              std::to_string(phase.id) + " are not etype-aligned");
+        }
+      }
+    }
+  }
+}
+
+sim::Task<void> issue(mpi::File& file, const core::PhaseOp& op,
+                      std::uint64_t offsetEtypes) {
+  const bool collective = trace::isCollectiveOp(op.op);
+  const bool pointerOp = op.op.find("_at") == std::string::npos;
+  if (pointerOp) {
+    file.seek(offsetEtypes);
+    if (op.isWrite()) {
+      if (collective) {
+        co_await file.writeAll(op.rsBytes);
+      } else {
+        co_await file.write(op.rsBytes);
+      }
+    } else {
+      if (collective) {
+        co_await file.readAll(op.rsBytes);
+      } else {
+        co_await file.read(op.rsBytes);
+      }
+    }
+  } else if (op.isWrite()) {
+    if (collective) {
+      co_await file.writeAtAll(offsetEtypes, op.rsBytes);
+    } else {
+      co_await file.writeAt(offsetEtypes, op.rsBytes);
+    }
+  } else {
+    if (collective) {
+      co_await file.readAtAll(offsetEtypes, op.rsBytes);
+    } else {
+      co_await file.readAt(offsetEtypes, op.rsBytes);
+    }
+  }
+}
+
+sim::Task<void> syntheticMain(mpi::Rank& rank, const core::IOModel& model,
+                              const std::string& mount) {
+  // Open the model's files with their recorded views.
+  std::map<int, std::shared_ptr<mpi::File>> files;
+  for (const auto& meta : model.files()) {
+    auto file = co_await rank.open(
+        mount, meta.path,
+        meta.shared ? mpi::AccessType::Shared : mpi::AccessType::Unique);
+    file->setView(meta.viewDisp, meta.etypeBytes, meta.filetypeBlock,
+                  meta.filetypeStride);
+    files.emplace(meta.fileId, std::move(file));
+  }
+
+  std::uint64_t prevLastTick = 0;
+  bool first = true;
+  for (const auto& phase : model.phases()) {
+    // Recreate the inter-phase tick gap with communication events so the
+    // synthetic trace splits into the same phases.
+    if (!first && phase.firstTick > prevLastTick + 1) {
+      co_await rank.allreduce(64);
+    }
+    first = false;
+    prevLastTick = phase.lastTick;
+
+    const auto it = std::find(phase.ranks.begin(), phase.ranks.end(),
+                              rank.id());
+    if (it == phase.ranks.end()) continue;  // subset phase, non-collective
+    const auto rankIdx =
+        static_cast<std::size_t>(it - phase.ranks.begin());
+    const auto* meta = metaFor(model, phase.idF);
+    const std::uint64_t etype = meta != nullptr ? meta->etypeBytes : 1;
+    mpi::File& file = *files.at(phase.idF);
+    for (std::uint64_t m = 0; m < phase.rep; ++m) {
+      for (const auto& op : phase.ops) {
+        const std::uint64_t offsetBytes = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(op.initOffsetBytes[rankIdx]) +
+            op.dispBytes * static_cast<std::int64_t>(m));
+        co_await issue(file, op, offsetBytes / etype);
+      }
+    }
+  }
+  for (auto& [id, file] : files) co_await file->close();
+}
+
+}  // namespace
+
+mpi::Runtime::RankMain makeSyntheticApp(const core::IOModel& model,
+                                        const std::string& mount) {
+  validateModel(model);
+  auto shared = std::make_shared<core::IOModel>(model);
+  return [shared, mount](mpi::Rank& rank) {
+    return syntheticMain(rank, *shared, mount);
+  };
+}
+
+}  // namespace iop::analysis

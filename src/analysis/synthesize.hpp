@@ -1,0 +1,33 @@
+// Model-driven benchmark synthesis: turn an I/O abstract model back into a
+// runnable workload.
+//
+// This is the paper's replay idea taken to its logical end ("we are
+// designing benchmark to replicate the I/O...").  The synthetic
+// application executes the model's phases in order — every repetition of
+// every operation at the offsets given by f(initOffset) and the
+// displacement, with communication events inserted between phases to
+// recreate the tick gaps — so that tracing the synthetic app and
+// extracting ITS model yields the original back (the round-trip fidelity
+// property tested in tests/extensions_test.cpp).
+//
+// Compared to the per-phase IOR mapping this preserves inter-phase
+// ordering and cache state, at the cost of executing the whole model.
+#pragma once
+
+#include <string>
+
+#include "core/iomodel.hpp"
+#include "mpi/runtime.hpp"
+
+namespace iop::analysis {
+
+/// Build a rank-main that executes `model` against `mount`.
+///
+/// Requirements (violations throw std::invalid_argument up front):
+///  * phases with collective operations must cover all np ranks;
+///  * per-rank offsets and request sizes must be whole etypes of their
+///    file's view.
+mpi::Runtime::RankMain makeSyntheticApp(const core::IOModel& model,
+                                        const std::string& mount);
+
+}  // namespace iop::analysis

@@ -1,0 +1,118 @@
+#include "analysis/trace_replay.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "mpi/file.hpp"
+#include "mpi/runtime.hpp"
+
+namespace iop::analysis {
+
+namespace {
+
+/// Issue one traced operation through the matching File call.
+sim::Task<void> issueOp(mpi::File& file, const trace::Record& rec) {
+  if (rec.op == "MPI_File_write_at") {
+    co_await file.writeAt(rec.offsetUnits, rec.requestBytes);
+  } else if (rec.op == "MPI_File_read_at") {
+    co_await file.readAt(rec.offsetUnits, rec.requestBytes);
+  } else if (rec.op == "MPI_File_write_at_all") {
+    co_await file.writeAtAll(rec.offsetUnits, rec.requestBytes);
+  } else if (rec.op == "MPI_File_read_at_all") {
+    co_await file.readAtAll(rec.offsetUnits, rec.requestBytes);
+  } else if (rec.op == "MPI_File_write") {
+    file.seek(rec.offsetUnits);
+    co_await file.write(rec.requestBytes);
+  } else if (rec.op == "MPI_File_read") {
+    file.seek(rec.offsetUnits);
+    co_await file.read(rec.requestBytes);
+  } else if (rec.op == "MPI_File_write_all") {
+    file.seek(rec.offsetUnits);
+    co_await file.writeAll(rec.requestBytes);
+  } else if (rec.op == "MPI_File_read_all") {
+    file.seek(rec.offsetUnits);
+    co_await file.readAll(rec.requestBytes);
+  } else {
+    throw std::runtime_error("trace replay: unknown operation " + rec.op);
+  }
+}
+
+sim::Task<void> replayRank(mpi::Rank& rank, const trace::TraceData& source,
+                           const std::string& mount,
+                           bool preserveThinkTime) {
+  const auto& records =
+      source.perRank[static_cast<std::size_t>(rank.id())];
+
+  // Open every file of the source trace and restore its view.
+  std::map<int, std::shared_ptr<mpi::File>> files;
+  for (const auto& meta : source.files) {
+    auto file = co_await rank.open(
+        mount, meta.path,
+        meta.shared ? mpi::AccessType::Shared : mpi::AccessType::Unique);
+    file->setView(meta.viewDisp, meta.etypeBytes, meta.filetypeBlock,
+                  meta.filetypeStride);
+    files.emplace(meta.fileId, std::move(file));
+  }
+
+  double prevEnd = 0;
+  for (const auto& rec : records) {
+    if (preserveThinkTime && rec.time > prevEnd) {
+      co_await rank.compute(rec.time - prevEnd);
+    }
+    prevEnd = rec.time + rec.duration;
+    auto it = files.find(rec.fileId);
+    if (it == files.end()) {
+      throw std::runtime_error("trace replay: record for unknown file " +
+                               std::to_string(rec.fileId));
+    }
+    co_await issueOp(*it->second, rec);
+  }
+  for (auto& [id, file] : files) co_await file->close();
+}
+
+}  // namespace
+
+TraceReplayResult replayTrace(const trace::TraceData& source,
+                              const ConfigBuilder& builder,
+                              const std::string& mount,
+                              const TraceReplayOptions& options) {
+  auto cluster = builder();
+  trace::Tracer tracer(source.appName + "-replay", source.np);
+  auto opts = cluster.runtimeOptions(source.np, &tracer);
+  mpi::Runtime runtime(*cluster.topology, opts);
+  const trace::TraceData& src = source;
+  const std::string mountCopy = mount;
+  const bool think = options.preserveThinkTime;
+  TraceReplayResult result;
+  result.makespanSeconds = runtime.runToCompletion(
+      [&src, mountCopy, think](mpi::Rank& rank) -> sim::Task<void> {
+        return replayRank(rank, src, mountCopy, think);
+      });
+
+  // Carry the original ticks over so phase detection reconstructs the
+  // source's phase structure with the target's measured timings.  The
+  // replayed I/O records are in the source's per-rank order by
+  // construction (open/close events are not I/O records).
+  auto replayed = tracer.takeData();
+  for (int r = 0; r < source.np; ++r) {
+    auto& out = replayed.perRank[static_cast<std::size_t>(r)];
+    const auto& in = source.perRank[static_cast<std::size_t>(r)];
+    if (out.size() != in.size()) {
+      throw std::logic_error("trace replay: record count mismatch");
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      if (out[k].op != in[k].op ||
+          out[k].requestBytes != in[k].requestBytes) {
+        throw std::logic_error("trace replay: record sequence diverged");
+      }
+      out[k].tick = in[k].tick;
+      out[k].fileId = in[k].fileId;  // replay run renumbers logical files
+    }
+  }
+  replayed.files = source.files;
+  result.measuredModel = core::extractModel(replayed);
+  return result;
+}
+
+}  // namespace iop::analysis

@@ -1,0 +1,42 @@
+// Trace-driven replay: execute a recorded trace, operation by operation,
+// on a *different* target configuration, preserving each rank's original
+// think time between operations.
+//
+// This is the fidelity rung between the paper's abstract-model replay
+// (IOR per phase — cheap, approximate) and actually porting the
+// application: it needs only the trace, reproduces the exact request
+// sequence including collective structure and file views, and yields a
+// measured model with the original phase structure but the target's
+// timings.  Comparing all three quantifies exactly what the phase
+// abstraction loses (see bench/tabx_model_vs_trace).
+#pragma once
+
+#include <string>
+
+#include "analysis/replay.hpp"
+#include "core/iomodel.hpp"
+#include "trace/tracer.hpp"
+
+namespace iop::analysis {
+
+struct TraceReplayOptions {
+  /// Reproduce each rank's original gaps between operations as busy-work.
+  /// false = issue operations back to back (pure I/O pressure).
+  bool preserveThinkTime = true;
+};
+
+struct TraceReplayResult {
+  double makespanSeconds = 0;
+  /// Model with the ORIGINAL phase structure (ticks are carried over from
+  /// the source trace) but the target configuration's measured timings —
+  /// directly comparable against an Estimate via compareEstimate().
+  core::IOModel measuredModel;
+};
+
+/// Replay `source` on a fresh instance of the target configuration.
+TraceReplayResult replayTrace(const trace::TraceData& source,
+                              const ConfigBuilder& builder,
+                              const std::string& mount,
+                              const TraceReplayOptions& options = {});
+
+}  // namespace iop::analysis

@@ -1,0 +1,96 @@
+#include "apps/btio.hpp"
+
+#include <stdexcept>
+
+#include "mpi/file.hpp"
+
+namespace iop::apps {
+
+const char* btClassName(BtClass c) {
+  switch (c) {
+    case BtClass::A: return "A";
+    case BtClass::B: return "B";
+    case BtClass::C: return "C";
+    case BtClass::D: return "D";
+  }
+  return "?";
+}
+
+int btClassMesh(BtClass c) {
+  switch (c) {
+    case BtClass::A: return 64;
+    case BtClass::B: return 102;
+    case BtClass::C: return 162;
+    case BtClass::D: return 408;
+  }
+  return 0;
+}
+
+int btClassDumps(BtClass c) { return c == BtClass::D ? 50 : 40; }
+
+std::uint64_t btioRequestSize(const BtioParams& params, int np) {
+  const std::uint64_t n = static_cast<std::uint64_t>(btClassMesh(params.cls));
+  const std::uint64_t cells = n * n * n;
+  const std::uint64_t cellsPerProc =
+      (cells + static_cast<std::uint64_t>(np) - 1) /
+      static_cast<std::uint64_t>(np);
+  return cellsPerProc * params.etypeBytes;
+}
+
+namespace {
+
+sim::Task<void> btioMain(mpi::Rank& rank, const BtioParams& p) {
+  const std::uint64_t rs = btioRequestSize(p, rank.np());
+  const std::uint64_t rsEtypes = rs / p.etypeBytes;
+  const std::uint64_t np = static_cast<std::uint64_t>(rank.np());
+  const int dumps =
+      p.dumpsOverride > 0 ? p.dumpsOverride : btClassDumps(p.cls);
+
+  auto file = co_await rank.open(p.mount, p.fileName,
+                                 mpi::AccessType::Shared);
+  file->setView(0, p.etypeBytes, 1, 1);  // contiguous cells
+
+  for (int d = 0; d < dumps; ++d) {
+    // 5 solver timesteps between dumps.
+    for (int step = 0; step < 5; ++step) {
+      for (int e = 0; e < p.commEventsPerStep; ++e) {
+        co_await rank.allreduce(2048);
+      }
+      double compute = p.computePerStep;
+      if (p.jitterFraction > 0) {
+        compute *= 1.0 + p.jitterFraction *
+                             rank.engine().rng().uniform(-1.0, 1.0);
+      }
+      co_await rank.compute(compute);
+    }
+    const std::uint64_t offset =
+        rsEtypes * static_cast<std::uint64_t>(rank.id()) +
+        rsEtypes * np * static_cast<std::uint64_t>(d);
+    if (p.fullSubtype) {
+      co_await file->writeAtAll(offset, rs);
+    } else {
+      co_await file->writeAt(offset, rs);
+    }
+  }
+
+  // Verification: re-read every dump's slice, back-to-back.
+  for (int d = 0; d < dumps; ++d) {
+    const std::uint64_t offset =
+        rsEtypes * static_cast<std::uint64_t>(rank.id()) +
+        rsEtypes * np * static_cast<std::uint64_t>(d);
+    if (p.fullSubtype) {
+      co_await file->readAtAll(offset, rs);
+    } else {
+      co_await file->readAt(offset, rs);
+    }
+  }
+  co_await file->close();
+}
+
+}  // namespace
+
+mpi::Runtime::RankMain makeBtio(BtioParams params) {
+  return [params](mpi::Rank& rank) { return btioMain(rank, params); };
+}
+
+}  // namespace iop::apps

@@ -1,0 +1,55 @@
+// NAS BT-IO kernel (NPB Block-Tridiagonal with I/O, the paper's Section
+// IV-B workload).
+//
+// Every 5 solver timesteps the entire solution field (5 doubles per mesh
+// point) is appended to a shared file with collective MPI-IO (subtype
+// FULL); after all timesteps the benchmark reads every dump back for
+// verification.  Classes set the mesh: A=64^3/200 steps, B=102^3/200,
+// C=162^3/200, D=408^3/250 — i.e. 40 dumps for A-C and 50 for D, which is
+// exactly Table XI's phase structure: `dumps` write phases with
+//   initOffset = rs*idP + rs*np*(ph-1)
+// plus one read phase of rep `dumps`.
+//
+// The per-process request is rs ~= N^3*40/np bytes (10.6 MB for class C on
+// 16 processes — the "request size 10MB" of the paper's BT-IO metadata).
+// The file view uses an etype of 40 bytes (one 5-double mesh cell).
+//
+// Subtype SIMPLE issues the same requests independently (no collective
+// buffering) — the ablation DESIGN.md calls out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpi/runtime.hpp"
+
+namespace iop::apps {
+
+enum class BtClass { A, B, C, D };
+
+const char* btClassName(BtClass c);
+int btClassMesh(BtClass c);   ///< N (mesh is N^3)
+int btClassDumps(BtClass c);  ///< solution dumps (timesteps / 5)
+
+struct BtioParams {
+  std::string mount;
+  std::string fileName = "btio.out";
+  BtClass cls = BtClass::C;
+  bool fullSubtype = true;  ///< FULL = collective; SIMPLE = independent
+  int dumpsOverride = 0;    ///< 0 = class default
+  /// Solver communication events per timestep (5 timesteps per dump):
+  /// these create the tick gaps separating the write phases.
+  int commEventsPerStep = 2;
+  double computePerStep = 0.1;
+  /// Multiplicative noise on compute times (0 = deterministic): models
+  /// run-to-run variability for repeatability studies.
+  double jitterFraction = 0;
+  std::uint64_t etypeBytes = 40;
+};
+
+/// Per-process bytes per dump, rounded to whole etypes.
+std::uint64_t btioRequestSize(const BtioParams& params, int np);
+
+mpi::Runtime::RankMain makeBtio(BtioParams params);
+
+}  // namespace iop::apps

@@ -1,0 +1,49 @@
+#include "apps/flash_io.hpp"
+
+#include "hdf5/h5.hpp"
+
+namespace iop::apps {
+
+std::uint64_t flashSlabBytes(const FlashIoParams& params) {
+  return static_cast<std::uint64_t>(params.blocksPerRank) *
+         static_cast<std::uint64_t>(params.cellsPerBlock) * 8;
+}
+
+namespace {
+
+sim::Task<void> flashIoMain(mpi::Rank& rank, const FlashIoParams& p) {
+  const std::uint64_t slab = flashSlabBytes(p);
+  const std::uint64_t np = static_cast<std::uint64_t>(rank.np());
+
+  auto file = co_await hdf5::H5File::create(rank, p.mount, p.fileName);
+
+  // Header datasets: simulation parameters, refinement info, ... written
+  // independently by rank 0 (H5Dwrite with the default transfer plist).
+  for (int h = 0; h < p.headerDatasets; ++h) {
+    auto ds = co_await file->createDataset(
+        rank, "header" + std::to_string(h), p.headerBytes);
+    if (rank.id() == 0) {
+      co_await ds.writeIndependent(0, p.headerBytes);
+    }
+    co_await rank.barrier();
+  }
+
+  // Unknowns: one large dataset per variable, one collective hyperslab
+  // per rank, block-partitioned by rank.
+  for (int u = 0; u < p.unknowns; ++u) {
+    auto ds = co_await file->createDataset(rank, "unk" + std::to_string(u),
+                                           slab * np, p.chunkBytes);
+    co_await rank.compute(p.computeBetweenVariables);
+    co_await ds.writeHyperslab(
+        rank, slab * static_cast<std::uint64_t>(rank.id()), slab);
+  }
+  co_await file->close(rank);
+}
+
+}  // namespace
+
+mpi::Runtime::RankMain makeFlashIo(FlashIoParams params) {
+  return [params](mpi::Rank& rank) { return flashIoMain(rank, params); };
+}
+
+}  // namespace iop::apps

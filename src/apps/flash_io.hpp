@@ -1,0 +1,36 @@
+// FLASH-IO style checkpoint kernel: the HDF5 checkpointing pattern of the
+// FLASH astrophysics code, built on the simplified parallel-HDF5 layer.
+//
+// One checkpoint file holds a handful of small header datasets (written
+// independently by rank 0 — metadata noise in the trace) followed by
+// `unknowns` large block-structured datasets, each written with one
+// collective hyperslab per rank.  This is the workload class the paper's
+// Section V flags as future work for the methodology (HDF5 library,
+// metadata operations mixed with bulk data).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpi/runtime.hpp"
+
+namespace iop::apps {
+
+struct FlashIoParams {
+  std::string mount;
+  std::string fileName = "flash_chk_0001";
+  int unknowns = 24;        ///< large per-variable datasets
+  int blocksPerRank = 80;   ///< AMR blocks per process
+  int cellsPerBlock = 512;  ///< 8x8x8
+  int headerDatasets = 4;   ///< small rank-0-written metadata datasets
+  std::uint64_t headerBytes = 16 * 1024;
+  std::uint64_t chunkBytes = 0;  ///< 0 = contiguous dataset layout
+  double computeBetweenVariables = 0.05;
+};
+
+/// Bytes one rank contributes to one unknown's dataset.
+std::uint64_t flashSlabBytes(const FlashIoParams& params);
+
+mpi::Runtime::RankMain makeFlashIo(FlashIoParams params);
+
+}  // namespace iop::apps

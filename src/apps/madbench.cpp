@@ -1,0 +1,114 @@
+#include "apps/madbench.hpp"
+
+#include <stdexcept>
+
+#include "mpi/file.hpp"
+
+namespace iop::apps {
+
+std::uint64_t madbenchRequestSize(const MadbenchParams& params, int np) {
+  if (params.rsOverrideBytes != 0) return params.rsOverrideBytes;
+  const std::uint64_t npix =
+      static_cast<std::uint64_t>(params.kpix) * 1024;
+  return npix * npix * 8 / static_cast<std::uint64_t>(np);
+}
+
+namespace {
+
+sim::Task<void> busyWork(mpi::Rank& rank, const MadbenchParams& p) {
+  double t = p.busyWorkSeconds;
+  if (p.jitterFraction > 0) {
+    t *= 1.0 + p.jitterFraction * rank.engine().rng().uniform(-1.0, 1.0);
+  }
+  co_await rank.compute(t);
+}
+
+sim::Task<void> madbenchMain(mpi::Rank& rank, const MadbenchParams& p) {
+  if (p.bins < 2) throw std::invalid_argument("bins must be >= 2");
+  const std::uint64_t rs = madbenchRequestSize(p, rank.np());
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(rank.id()) *
+      static_cast<std::uint64_t>(p.bins) * rs;
+
+  auto file = co_await rank.open(p.mount, p.fileName,
+                                 mpi::AccessType::Shared);
+
+  auto writeBin = [](mpi::File& f, std::uint64_t base0, std::uint64_t rs0,
+                     int bin) -> sim::Task<void> {
+    f.seek(base0 + static_cast<std::uint64_t>(bin) * rs0);
+    co_await f.write(rs0);
+  };
+  auto readBin = [](mpi::File& f, std::uint64_t base0, std::uint64_t rs0,
+                    int bin) -> sim::Task<void> {
+    f.seek(base0 + static_cast<std::uint64_t>(bin) * rs0);
+    co_await f.read(rs0);
+  };
+
+  // --- S: build and write each component matrix.
+  for (int bin = 0; bin < p.bins; ++bin) {
+    co_await busyWork(rank, p);
+    co_await writeBin(*file, base, rs, bin);
+  }
+  co_await rank.barrier();
+
+  // --- W: read each matrix, rewrite it; software pipeline with lag 2.
+  {
+    int nextRead = 0;
+    int nextWrite = 0;
+    for (int step = 0; step < p.bins + 2; ++step) {
+      if (nextRead < p.bins) {
+        co_await readBin(*file, base, rs, nextRead++);
+      }
+      if (step >= 2) {
+        co_await busyWork(rank, p);
+        co_await writeBin(*file, base, rs, nextWrite++);
+      }
+    }
+  }
+  co_await rank.barrier();
+
+  // --- C: read every matrix.
+  for (int bin = 0; bin < p.bins; ++bin) {
+    co_await readBin(*file, base, rs, bin);
+    co_await busyWork(rank, p);
+  }
+  co_await file->close();
+}
+
+/// Multi-gang variant: W and C synchronize within a gang communicator
+/// (matrices are redistributed over processor subsets for their
+/// manipulation, as the paper describes).
+sim::Task<void> madbenchGangMain(mpi::Rank& rank, const MadbenchParams& p,
+                                 mpi::Comm& gang) {
+  co_await gang.barrier(rank);
+  co_await madbenchMain(rank, p);
+  co_await gang.barrier(rank);
+}
+
+}  // namespace
+
+mpi::Runtime::RankMain makeMadbench(MadbenchParams params) {
+  if (params.gangs <= 1) {
+    return [params](mpi::Rank& rank) { return madbenchMain(rank, params); };
+  }
+  // Gang communicators are created lazily on first use, one per gang.
+  auto gangComms =
+      std::make_shared<std::map<int, mpi::Comm*>>();
+  return [params, gangComms](mpi::Rank& rank) -> sim::Task<void> {
+    const int gangSize = rank.np() / params.gangs;
+    const int gangId = gangSize > 0 ? rank.id() / gangSize : 0;
+    auto it = gangComms->find(gangId);
+    if (it == gangComms->end()) {
+      std::vector<int> members;
+      for (int r = gangId * gangSize;
+           r < (gangId + 1) * gangSize && r < rank.np(); ++r) {
+        members.push_back(r);
+      }
+      it = gangComms->emplace(gangId,
+                              &rank.runtime().createComm(members)).first;
+    }
+    return madbenchGangMain(rank, params, *it->second);
+  };
+}
+
+}  // namespace iop::apps

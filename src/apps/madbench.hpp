@@ -1,0 +1,50 @@
+// MADbench2 I/O-mode kernel (Carter/Borrill/Oliker's CMB analysis
+// benchmark, the paper's Section IV-A workload).
+//
+// The out-of-core matrix store is a shared file laid out rank-major: rank
+// idP owns a contiguous region of `bins` slices of rs bytes at
+// idP*bins*rs.  The three I/O-active functions (IO mode skips D and
+// replaces calculation/communication with busy-work):
+//
+//   S  writes each of the `bins` component matrices        (bins writes)
+//   W  reads each matrix, rewrites it, software-pipelined
+//      with a lag of 2 (read bins 0,1; then read i / write i-2; then
+//      write the last two)                                  (bins R + bins W)
+//   C  reads every matrix                                   (bins reads)
+//
+// With 16 processes, 8KPIX and 8 bins this reproduces the paper's Table
+// VIII: rs = (8*1024)^2 * 8 / 16 = 32 MB and the five-phase structure
+// with initOffset = idP*8*32MB (+- 2*32MB for the pipelined W edges).
+//
+// I/O is non-collective with individual file pointers (seek + read/write),
+// matching the paper's extracted metadata.  Multi-gang runs add gang
+// barriers around W and C (matrices manipulated per gang).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpi/runtime.hpp"
+
+namespace iop::apps {
+
+struct MadbenchParams {
+  std::string mount;
+  std::string fileName = "madbench.dat";
+  int kpix = 8;  ///< map size in units of 1024 pixels (8KPIX)
+  int bins = 8;
+  int gangs = 1;  ///< multi-gang mode: W and C synchronize per gang
+  /// Busy-work between I/O calls (IO mode replaces real work with this);
+  /// it is *not* an MPI event, so ticks stay contiguous inside functions.
+  double busyWorkSeconds = 0.2;
+  /// Multiplicative noise on the busy-work (0 = deterministic).
+  double jitterFraction = 0;
+  std::uint64_t rsOverrideBytes = 0;  ///< 0 = derive from kpix and np
+};
+
+/// Per-process slice size: npix^2 * 8 / np with npix = kpix * 1024.
+std::uint64_t madbenchRequestSize(const MadbenchParams& params, int np);
+
+mpi::Runtime::RankMain makeMadbench(MadbenchParams params);
+
+}  // namespace iop::apps

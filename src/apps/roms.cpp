@@ -1,0 +1,65 @@
+#include "apps/roms.hpp"
+
+#include <stdexcept>
+
+#include "mpi/file.hpp"
+
+namespace iop::apps {
+
+namespace {
+
+sim::Task<void> romsMain(mpi::Rank& rank, const RomsParams& p) {
+  if (p.gridBytesPerRank % p.etypeBytes != 0 ||
+      p.hisRecordPerRank % p.etypeBytes != 0 ||
+      p.rstRecordPerRank % p.etypeBytes != 0) {
+    throw std::invalid_argument("record sizes must be whole etypes");
+  }
+  const std::uint64_t np = static_cast<std::uint64_t>(rank.np());
+  const std::uint64_t id = static_cast<std::uint64_t>(rank.id());
+
+  // Startup: read this rank's tile of the grid file.
+  auto grid = co_await rank.open(p.mount, p.gridFile,
+                                 mpi::AccessType::Shared);
+  grid->setView(0, p.etypeBytes, 1, 1);
+  co_await grid->readAtAll(id * (p.gridBytesPerRank / p.etypeBytes),
+                           p.gridBytesPerRank);
+  co_await grid->close();
+
+  auto his = co_await rank.open(p.mount, p.historyFile,
+                                mpi::AccessType::Shared);
+  his->setView(0, p.etypeBytes, 1, 1);
+  auto rst = co_await rank.open(p.mount, p.restartFile,
+                                mpi::AccessType::Shared);
+  rst->setView(0, p.etypeBytes, 1, 1);
+
+  const std::uint64_t hisEtypes = p.hisRecordPerRank / p.etypeBytes;
+  const std::uint64_t rstEtypes = p.rstRecordPerRank / p.etypeBytes;
+  std::uint64_t hisRecord = 0;
+  std::uint64_t rstRecord = 0;
+  for (int step = 1; step <= p.steps; ++step) {
+    for (int e = 0; e < p.commEventsPerStep; ++e) {
+      co_await rank.allreduce(1024);
+    }
+    co_await rank.compute(p.computePerStep);
+    if (step % p.hisInterval == 0) {
+      co_await his->writeAtAll(
+          hisEtypes * id + hisEtypes * np * hisRecord, p.hisRecordPerRank);
+      ++hisRecord;
+    }
+    if (step % p.rstInterval == 0) {
+      co_await rst->writeAtAll(
+          rstEtypes * id + rstEtypes * np * rstRecord, p.rstRecordPerRank);
+      ++rstRecord;
+    }
+  }
+  co_await his->close();
+  co_await rst->close();
+}
+
+}  // namespace
+
+mpi::Runtime::RankMain makeRoms(RomsParams params) {
+  return [params](mpi::Rank& rank) { return romsMain(rank, params); };
+}
+
+}  // namespace iop::apps

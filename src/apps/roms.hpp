@@ -1,0 +1,42 @@
+// ROMS-style ocean-model I/O kernel (the paper's Section V ongoing work:
+// "we are analyzing upwelling of ROMs framework that use HDF5 parallel to
+// writing operations.  This application open different files in executing
+// time and we can observe that our model is applicable to each file").
+//
+// Three files, mirroring ROMS' NetCDF/HDF5 layout:
+//   grid file    — read once collectively at startup,
+//   history file — one collective record append every `hisInterval`
+//                  timesteps (rank-blocked records),
+//   restart file — a larger collective record every `rstInterval` steps.
+//
+// The point for the methodology: the phase analysis runs per file, and
+// the global model interleaves the files' phases on the shared tick
+// timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpi/runtime.hpp"
+
+namespace iop::apps {
+
+struct RomsParams {
+  std::string mount;
+  std::string gridFile = "grid.nc";
+  std::string historyFile = "ocean_his.nc";
+  std::string restartFile = "ocean_rst.nc";
+  int steps = 60;
+  int hisInterval = 5;
+  int rstInterval = 20;
+  std::uint64_t gridBytesPerRank = 4ULL << 20;
+  std::uint64_t hisRecordPerRank = 8ULL << 20;
+  std::uint64_t rstRecordPerRank = 24ULL << 20;
+  int commEventsPerStep = 2;
+  double computePerStep = 0.05;
+  std::uint64_t etypeBytes = 8;  ///< one double, HDF5 dataset element
+};
+
+mpi::Runtime::RankMain makeRoms(RomsParams params);
+
+}  // namespace iop::apps

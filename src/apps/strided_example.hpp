@@ -1,0 +1,31 @@
+// The paper's running example (Figures 2-5): a 4-process application that
+// sets a strided file view (etype 40 B) and performs 40 collective writes
+// separated by solver communication, then 40 back-to-back collective
+// reads.  Request size 10 612 080 B and view-offset stride 265 302 etypes
+// reproduce Figure 2's trace rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpi/runtime.hpp"
+
+namespace iop::apps {
+
+struct StridedExampleParams {
+  std::string mount;
+  std::string fileName = "example.dat";
+  std::uint64_t rsBytes = 10612080;
+  std::uint64_t etypeBytes = 40;
+  int dumps = 40;
+  /// Communication events between consecutive writes (creates the tick
+  /// gaps that make each write its own phase, like Figure 2's ticks
+  /// 148, 269, 390, ...).
+  int commEventsBetweenDumps = 4;
+  double computeBetweenDumps = 0.4;
+};
+
+/// Rank entry point for the example application.
+mpi::Runtime::RankMain makeStridedExample(StridedExampleParams params);
+
+}  // namespace iop::apps

@@ -1,0 +1,297 @@
+#include "configs/configfile.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "storage/blockdev.hpp"
+#include "storage/filesystem.hpp"
+#include "storage/ssd.hpp"
+#include "util/text.hpp"
+#include "util/units.hpp"
+
+namespace iop::configs {
+
+namespace {
+
+[[noreturn]] void fail(int lineNo, const std::string& message) {
+  throw std::invalid_argument("cluster config line " +
+                              std::to_string(lineNo) + ": " + message);
+}
+
+storage::LinkParams parseLink(int lineNo, const std::string& name) {
+  if (name == "gbe") return storage::gigabitEthernet();
+  if (name == "ib") return storage::infiniband20G();
+  fail(lineNo, "unknown link type '" + name + "' (use gbe or ib)");
+}
+
+storage::DiskParams diskClass(int lineNo, const std::string& name) {
+  storage::DiskParams p;
+  p.name = name;
+  if (name == "sata") {
+    p.seqReadBw = 105.0e6;
+    p.seqWriteBw = 100.0e6;
+    p.positionTime = 8.5e-3;
+  } else if (name == "sas") {
+    p.seqReadBw = 135.0e6;
+    p.seqWriteBw = 125.0e6;
+    p.positionTime = 6.0e-3;
+  } else if (name == "ide") {
+    p.seqReadBw = 66.0e6;
+    p.seqWriteBw = 60.0e6;
+    p.positionTime = 10.0e-3;
+  } else if (name == "sfs20") {
+    p.seqReadBw = 80.0e6;
+    p.seqWriteBw = 112.0e6;
+    p.positionTime = 7.0e-3;
+  } else {
+    fail(lineNo, "unknown disk class '" + name + "'");
+  }
+  return p;
+}
+
+/// Split remaining tokens into positional args and key=value options.
+struct TokenView {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  TokenView(const std::vector<std::string>& tokens, std::size_t from) {
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        positional.push_back(tokens[i]);
+      } else {
+        options[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+      }
+    }
+  }
+
+  bool flag(const std::string& name) const {
+    for (const auto& p : positional) {
+      if (p == name) return true;
+    }
+    return false;
+  }
+};
+
+std::unique_ptr<storage::BlockDevice> parseDevice(
+    int lineNo, sim::Engine& engine, const TokenView& view) {
+  if (view.positional.empty()) fail(lineNo, "server needs a device");
+  const std::string& kind = view.positional[0];
+  auto stripe = view.options.count("stripe") != 0
+                    ? util::parseBytes(view.options.at("stripe"))
+                    : 256ULL << 10;
+  auto members = [&](std::size_t countIdx,
+                     std::size_t classIdx) -> std::vector<storage::DiskParams> {
+    if (view.positional.size() <= classIdx) {
+      fail(lineNo, kind + " needs a count and a disk class");
+    }
+    const int n = std::stoi(view.positional[countIdx]);
+    if (n < 1) fail(lineNo, "disk count must be positive");
+    std::vector<storage::DiskParams> v;
+    for (int i = 0; i < n; ++i) {
+      auto p = diskClass(lineNo, view.positional[classIdx]);
+      p.name += "-" + std::to_string(i);
+      v.push_back(std::move(p));
+    }
+    return v;
+  };
+
+  if (kind == "disk") {
+    if (view.positional.size() < 2) fail(lineNo, "disk needs a class");
+    return std::make_unique<storage::SingleDisk>(
+        engine, diskClass(lineNo, view.positional[1]));
+  }
+  if (kind == "ssd") {
+    storage::SsdParams p;
+    if (view.options.count("read") != 0) {
+      p.readBandwidth = util::fromMiBs(std::stod(view.options.at("read")));
+    }
+    if (view.options.count("write") != 0) {
+      p.writeBandwidth =
+          util::fromMiBs(std::stod(view.options.at("write")));
+    }
+    if (view.options.count("channels") != 0) {
+      p.channels = std::stoi(view.options.at("channels"));
+    }
+    return std::make_unique<storage::Ssd>(engine, p);
+  }
+  if (kind == "raid0") {
+    return std::make_unique<storage::Raid0>(engine, members(1, 2), stripe);
+  }
+  if (kind == "raid5") {
+    return std::make_unique<storage::Raid5>(engine, members(1, 2), stripe);
+  }
+  if (kind == "jbod") {
+    return std::make_unique<storage::Concat>(engine, members(1, 2),
+                                             1ULL << 40);
+  }
+  fail(lineNo, "unknown device '" + kind + "'");
+}
+
+}  // namespace
+
+ClusterConfig parseClusterConfig(const std::string& text,
+                                 std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.name = "custom-cluster";
+  cfg.engine = std::make_unique<sim::Engine>(seed);
+  cfg.topology = std::make_unique<storage::Topology>(*cfg.engine);
+
+  std::map<std::string, storage::Node*> namedNodes;
+  std::map<std::string, storage::IoServer*> serversByNode;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    auto tokens = util::splitWhitespace(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "name") {
+      if (tokens.size() < 2) fail(lineNo, "name needs a value");
+      cfg.name = tokens[1];
+    } else if (directive == "compute") {
+      if (tokens.size() < 3) fail(lineNo, "compute <count> <link>");
+      const int count = std::stoi(tokens[1]);
+      if (count < 1) fail(lineNo, "compute count must be positive");
+      auto link = parseLink(lineNo, tokens[2]);
+      for (int i = 0; i < count; ++i) {
+        cfg.computeNodes.push_back(cfg.topology->nodeCount());
+        cfg.topology->addNode("c" + std::to_string(i), link);
+      }
+    } else if (directive == "ionode") {
+      if (tokens.size() < 3) fail(lineNo, "ionode <name> <link>");
+      if (namedNodes.count(tokens[1]) != 0) {
+        fail(lineNo, "duplicate node '" + tokens[1] + "'");
+      }
+      namedNodes[tokens[1]] =
+          &cfg.topology->addNode(tokens[1], parseLink(lineNo, tokens[2]));
+    } else if (directive == "server") {
+      if (tokens.size() < 3) fail(lineNo, "server <node> <device...>");
+      auto nodeIt = namedNodes.find(tokens[1]);
+      if (nodeIt == namedNodes.end()) {
+        fail(lineNo, "unknown node '" + tokens[1] + "'");
+      }
+      if (serversByNode.count(tokens[1]) != 0) {
+        fail(lineNo, "node '" + tokens[1] + "' already has a server");
+      }
+      TokenView view(tokens, 2);
+      storage::ServerParams sp;
+      if (view.options.count("cache") != 0) {
+        sp.cache.sizeBytes = util::parseBytes(view.options.at("cache"));
+      }
+      if (view.options.count("dirty") != 0) {
+        sp.cache.dirtyLimitFraction = std::stod(view.options.at("dirty"));
+      }
+      if (view.options.count("cpu") != 0) {
+        sp.cpuPerRequest = std::stod(view.options.at("cpu")) * 1e-6;
+      }
+      if (view.flag("writethrough")) sp.cache.writeThrough = true;
+      serversByNode[tokens[1]] = &cfg.topology->addServer(
+          *nodeIt->second, parseDevice(lineNo, *cfg.engine, view), sp);
+    } else if (directive == "mount") {
+      if (tokens.size() < 4) {
+        fail(lineNo, "mount <point> <nfs|striped> <nodes...>");
+      }
+      const std::string& point = tokens[1];
+      const std::string& fsType = tokens[2];
+      TokenView view(tokens, 3);
+      if (fsType == "nfs") {
+        auto it = serversByNode.find(view.positional.at(0));
+        if (it == serversByNode.end()) {
+          fail(lineNo, "mount references node without a server");
+        }
+        storage::NfsParams params;
+        if (view.options.count("rpc") != 0) {
+          params.rpcSize = util::parseBytes(view.options.at("rpc"));
+        }
+        cfg.topology->mount(point, std::make_unique<storage::NfsFS>(
+                                       *cfg.engine, *it->second, params));
+      } else if (fsType == "striped") {
+        std::vector<storage::IoServer*> dataServers;
+        for (const auto& nodeName :
+             util::split(view.positional.at(0), ',')) {
+          auto it = serversByNode.find(nodeName);
+          if (it == serversByNode.end()) {
+            fail(lineNo, "striped mount references unknown server '" +
+                             nodeName + "'");
+          }
+          dataServers.push_back(it->second);
+        }
+        storage::IoServer* mds = nullptr;
+        if (view.options.count("mds") != 0) {
+          auto it = serversByNode.find(view.options.at("mds"));
+          if (it == serversByNode.end()) {
+            fail(lineNo, "mds references unknown server");
+          }
+          mds = it->second;
+        }
+        storage::StripedParams params;
+        if (view.options.count("stripe") != 0) {
+          params.stripeUnit = util::parseBytes(view.options.at("stripe"));
+        }
+        if (view.options.count("rpc") != 0) {
+          params.rpcSize = util::parseBytes(view.options.at("rpc"));
+        }
+        if (view.options.count("count") != 0) {
+          params.stripeCount = std::stoi(view.options.at("count"));
+        }
+        cfg.topology->mount(
+            point, std::make_unique<storage::StripedFS>(
+                       *cfg.engine, std::move(dataServers), mds, params));
+      } else {
+        fail(lineNo, "unknown filesystem type '" + fsType + "'");
+      }
+      if (cfg.mount.empty()) cfg.mount = point;
+    } else if (directive == "default-mount") {
+      if (tokens.size() < 2) fail(lineNo, "default-mount <point>");
+      cfg.mount = tokens[1];
+    } else if (directive == "hints") {
+      TokenView view(tokens, 1);
+      if (view.options.count("cb_nodes") != 0) {
+        cfg.hints.cbNodes = std::stoi(view.options.at("cb_nodes"));
+      }
+      if (view.options.count("cb_buffer") != 0) {
+        cfg.hints.cbBufferSize =
+            util::parseBytes(view.options.at("cb_buffer"));
+      }
+      if (view.flag("no-collective-buffering")) {
+        cfg.hints.collectiveBuffering = false;
+      }
+    } else {
+      fail(lineNo, "unknown directive '" + directive + "'");
+    }
+  }
+
+  if (cfg.computeNodes.empty()) {
+    throw std::invalid_argument(
+        "cluster config: at least one 'compute' line is required");
+  }
+  if (cfg.mount.empty()) {
+    throw std::invalid_argument(
+        "cluster config: at least one 'mount' line is required");
+  }
+  // Validate the default mount exists (throws otherwise).
+  cfg.topology->fs(cfg.mount);
+  return cfg;
+}
+
+ClusterConfig loadClusterConfig(const std::filesystem::path& path,
+                                std::uint64_t seed) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open cluster config " +
+                                path.string());
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parseClusterConfig(buffer.str(), seed);
+}
+
+}  // namespace iop::configs

@@ -1,0 +1,40 @@
+// Cluster description files: build a ClusterConfig from a small text
+// format, so the iop-* tools can evaluate configurations that are not the
+// paper's four (the "design and selection of different configurations"
+// use case of the paper's conclusion).
+//
+// Format (one directive per line, '#' comments):
+//
+//   name my-cluster
+//   compute 8 gbe                 # count, link: gbe | ib
+//   ionode nas gbe
+//   ionode oss0 ib
+//   server nas raid5 5 sata stripe=256K cache=2G
+//   server oss0 ssd cache=4G
+//   mount /data nfs nas rpc=256K
+//   mount /scratch striped oss0,oss1 mds=nas stripe=1M count=2
+//   default-mount /data
+//   hints cb_nodes=1 cb_buffer=16M
+//
+// Devices: disk <class> | ssd | raid0 <n> <class> | raid5 <n> <class> |
+//          jbod <n> <class>, with disk classes sata | sas | ide | sfs20.
+// Server options: cache=SIZE, dirty=FRACTION, writethrough, cpu=MICROS.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "configs/configs.hpp"
+
+namespace iop::configs {
+
+/// Parse and instantiate a cluster description.  Throws
+/// std::invalid_argument with a line reference on any malformed input.
+ClusterConfig loadClusterConfig(const std::filesystem::path& path,
+                                std::uint64_t seed = 1);
+
+/// Same, from an in-memory string (used by tests).
+ClusterConfig parseClusterConfig(const std::string& text,
+                                 std::uint64_t seed = 1);
+
+}  // namespace iop::configs

@@ -1,0 +1,272 @@
+#include "configs/configs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "storage/blockdev.hpp"
+#include "storage/filesystem.hpp"
+#include "util/units.hpp"
+
+namespace iop::configs {
+
+using util::GiB;
+using util::KiB;
+using util::MiB;
+
+const char* configName(ConfigId id) {
+  switch (id) {
+    case ConfigId::A: return "Configuration A";
+    case ConfigId::B: return "Configuration B";
+    case ConfigId::C: return "Configuration C";
+    case ConfigId::Finisterrae: return "Finisterrae";
+  }
+  return "?";
+}
+
+mpi::RuntimeOptions ClusterConfig::runtimeOptions(
+    int np, mpi::TraceSink* sink) const {
+  mpi::RuntimeOptions opt;
+  opt.np = np;
+  opt.computeNodes = computeNodes;
+  opt.hints = hints;
+  opt.sink = sink;
+  return opt;
+}
+
+namespace {
+
+storage::DiskParams sataDisk(const std::string& name) {
+  storage::DiskParams p;
+  p.name = name;
+  p.seqReadBw = 105.0e6;
+  p.seqWriteBw = 100.0e6;
+  p.positionTime = 8.5e-3;
+  p.perRequestOverhead = 0.15e-3;
+  return p;
+}
+
+storage::DiskParams oldIdeDisk(const std::string& name) {
+  // Config B's NASD nodes: Pentium 4 era 80 GB disks.
+  storage::DiskParams p;
+  p.name = name;
+  p.seqReadBw = 66.0e6;
+  p.seqWriteBw = 60.0e6;
+  p.positionTime = 10.0e-3;
+  p.perRequestOverhead = 0.2e-3;
+  return p;
+}
+
+storage::DiskParams sasDisk(const std::string& name) {
+  storage::DiskParams p;
+  p.name = name;
+  p.seqReadBw = 135.0e6;
+  p.seqWriteBw = 125.0e6;
+  p.positionTime = 6.0e-3;
+  p.perRequestOverhead = 0.1e-3;
+  return p;
+}
+
+storage::DiskParams sfs20Disk(const std::string& name) {
+  // HP SFS20 enclosure members behind the Finisterrae OSSes.  $HOMESFS
+  // shares these cabins with other filesystems and users, so the
+  // effective per-member rate is well below a dedicated disk.
+  storage::DiskParams p;
+  p.name = name;
+  p.seqReadBw = 80.0e6;
+  p.seqWriteBw = 112.0e6;
+  p.positionTime = 7.0e-3;
+  p.perRequestOverhead = 0.1e-3;
+  return p;
+}
+
+std::vector<storage::DiskParams> nDisks(int n, const std::string& prefix,
+                                        storage::DiskParams (*mk)(
+                                            const std::string&)) {
+  std::vector<storage::DiskParams> v;
+  for (int i = 0; i < n; ++i) v.push_back(mk(prefix + std::to_string(i)));
+  return v;
+}
+
+ClusterConfig makeAohyperBase(std::uint64_t seed, const std::string& name) {
+  ClusterConfig cfg;
+  cfg.name = name;
+  cfg.engine = std::make_unique<sim::Engine>(seed);
+  cfg.topology = std::make_unique<storage::Topology>(*cfg.engine);
+  for (int i = 0; i < 8; ++i) {
+    cfg.topology->addNode("aoh" + std::to_string(i),
+                          storage::gigabitEthernet());
+    cfg.computeNodes.push_back(static_cast<std::size_t>(i));
+  }
+  return cfg;
+}
+
+ClusterConfig makeConfigA(std::uint64_t seed) {
+  auto cfg = makeAohyperBase(seed, configName(ConfigId::A));
+  auto& nas = cfg.topology->addNode("nas", storage::gigabitEthernet());
+  storage::ServerParams sp;
+  sp.cache.sizeBytes = 1536 * MiB;  // 2 GB node, most of it page cache
+  auto dev = std::make_unique<storage::Raid5>(
+      *cfg.engine, nDisks(5, "nas-sata", sataDisk), 256 * KiB);
+  auto& server = cfg.topology->addServer(nas, std::move(dev), sp);
+  storage::NfsParams nfs;
+  nfs.rpcSize = 256 * KiB;  // NFSv3 wsize/rsize on the Aohyper era stack
+  cfg.topology->mount("/raid/raid5", std::make_unique<storage::NfsFS>(
+                                         *cfg.engine, server, nfs));
+  cfg.mount = "/raid/raid5";
+  cfg.hints.cbNodes = 1;  // ROMIO on NFS: single aggregator
+  return cfg;
+}
+
+ClusterConfig makeConfigB(std::uint64_t seed) {
+  auto cfg = makeAohyperBase(seed, configName(ConfigId::B));
+  std::vector<storage::IoServer*> ions;
+  for (int i = 0; i < 3; ++i) {
+    auto& node = cfg.topology->addNode("nasd" + std::to_string(i),
+                                       storage::gigabitEthernet());
+    storage::ServerParams sp;
+    sp.cache.sizeBytes = 640 * MiB;  // 1 GB Pentium 4 I/O nodes
+    // PVFS2's trove storage syncs every write to disk (TroveSyncData),
+    // so interleaved chunks from many clients each pay their seek — the
+    // reason the paper's JBOD disks run 100% busy at ~30% of BW_PK.
+    sp.cache.writeThrough = true;
+    sp.cpuPerRequest = 80.0e-6;      // slow single-core servers
+    auto dev = std::make_unique<storage::SingleDisk>(
+        *cfg.engine, oldIdeDisk("nasd-disk" + std::to_string(i)));
+    ions.push_back(&cfg.topology->addServer(node, std::move(dev), sp));
+  }
+  storage::StripedParams pvfs;
+  pvfs.stripeUnit = 64 * KiB;  // PVFS2 default
+  pvfs.rpcSize = 256 * KiB;
+  cfg.topology->mount("/mnt/pvfs2",
+                      std::make_unique<storage::StripedFS>(
+                          *cfg.engine, ions, ions.front(), pvfs));
+  cfg.mount = "/mnt/pvfs2";
+  cfg.hints.cbNodes = 3;
+  return cfg;
+}
+
+ClusterConfig makeConfigC(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.name = configName(ConfigId::C);
+  cfg.engine = std::make_unique<sim::Engine>(seed);
+  cfg.topology = std::make_unique<storage::Topology>(*cfg.engine);
+  for (int i = 0; i < 32; ++i) {
+    cfg.topology->addNode("x3550-" + std::to_string(i),
+                          storage::gigabitEthernet());
+    cfg.computeNodes.push_back(static_cast<std::size_t>(i));
+  }
+  auto& nas = cfg.topology->addNode("home-server",
+                                    storage::gigabitEthernet());
+  storage::ServerParams sp;
+  sp.cache.sizeBytes = 6 * GiB;  // 12 GB class server
+  auto dev = std::make_unique<storage::Raid5>(
+      *cfg.engine, nDisks(5, "home-sas", sasDisk), 256 * KiB);
+  auto& server = cfg.topology->addServer(nas, std::move(dev), sp);
+  storage::NfsParams nfs;
+  nfs.rpcSize = 256 * KiB;
+  cfg.topology->mount("/home", std::make_unique<storage::NfsFS>(
+                                   *cfg.engine, server, nfs));
+  cfg.mount = "/home";
+  cfg.hints.cbNodes = 1;
+  return cfg;
+}
+
+ClusterConfig makeFinisterrae(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.name = configName(ConfigId::Finisterrae);
+  cfg.engine = std::make_unique<sim::Engine>(seed);
+  cfg.topology = std::make_unique<storage::Topology>(*cfg.engine);
+  // Model 32 of the 142 rx7640 nodes as launchable compute nodes (each has
+  // 16 cores; ranks pack onto nodes round-robin like the scheduler would).
+  for (int i = 0; i < 32; ++i) {
+    cfg.topology->addNode("rx7640-" + std::to_string(i),
+                          storage::infiniband20G());
+    cfg.computeNodes.push_back(static_cast<std::size_t>(i));
+  }
+  std::vector<storage::IoServer*> osses;
+  for (int i = 0; i < 18; ++i) {
+    auto& node = cfg.topology->addNode("oss" + std::to_string(i),
+                                       storage::infiniband20G());
+    storage::ServerParams sp;
+    sp.cache.sizeBytes = 4 * GiB;
+    // Lustre throttles writers with small per-OSC dirty caps (32 MB per
+    // client/OST by default), so writes reach the devices almost
+    // synchronously — unlike an NFS server's deep write-back.
+    sp.cache.dirtyLimitFraction = 0.01;
+    auto dev = std::make_unique<storage::Raid5>(
+        *cfg.engine, nDisks(6, "sfs20-" + std::to_string(i) + "-",
+                            sfs20Disk),
+        256 * KiB);
+    osses.push_back(&cfg.topology->addServer(node, std::move(dev), sp));
+  }
+  auto& mdsNode = cfg.topology->addNode("mds", storage::infiniband20G());
+  storage::ServerParams mdsParams;
+  auto mdsDev = std::make_unique<storage::SingleDisk>(
+      *cfg.engine, sasDisk("mds-disk"));
+  auto& mds = cfg.topology->addServer(mdsNode, std::move(mdsDev), mdsParams);
+  storage::StripedParams lustre;
+  lustre.stripeUnit = 1 * MiB;  // Lustre default
+  lustre.rpcSize = 1 * MiB;
+  lustre.clientPerRpcOverhead = 40.0e-6;
+  // $HOMESFS uses the filesystem default stripe count, not all 18 OSSes.
+  lustre.stripeCount = 1;
+  cfg.topology->mount("homesfs", std::make_unique<storage::StripedFS>(
+                                     *cfg.engine, osses, &mds, lustre));
+  cfg.mount = "homesfs";
+  cfg.hints.cbNodes = 8;
+  return cfg;
+}
+
+}  // namespace
+
+ClusterConfig makeConfig(ConfigId id, std::uint64_t seed) {
+  switch (id) {
+    case ConfigId::A: return makeConfigA(seed);
+    case ConfigId::B: return makeConfigB(seed);
+    case ConfigId::C: return makeConfigC(seed);
+    case ConfigId::Finisterrae: return makeFinisterrae(seed);
+  }
+  throw std::invalid_argument("unknown config id");
+}
+
+std::string describeConfig(ConfigId id) {
+  std::ostringstream out;
+  out << configName(id) << "\n";
+  switch (id) {
+    case ConfigId::A:
+      out << "  I/O library: mpich2 (simulated MPI-IO)\n"
+             "  Network: 1 Gb Ethernet (shared compute/storage)\n"
+             "  Global filesystem: NFS v3\n"
+             "  I/O nodes: 8 DAS + 1 NAS\n"
+             "  Local level: RAID5, 5 disks, stripe 256KB (ext4)\n"
+             "  Mount: /raid/raid5\n";
+      break;
+    case ConfigId::B:
+      out << "  I/O library: mpich2 (simulated MPI-IO)\n"
+             "  Network: 1 Gb Ethernet (shared compute/storage)\n"
+             "  Global filesystem: PVFS2 2.8.2\n"
+             "  I/O nodes: 8 DAS + 3 NASD\n"
+             "  Local level: JBOD, 1x80GB disk per node (ext3)\n"
+             "  Mount: /mnt/pvfs2\n";
+      break;
+    case ConfigId::C:
+      out << "  I/O library: OpenMPI (simulated MPI-IO)\n"
+             "  Network: 1 Gb Ethernet\n"
+             "  Global filesystem: NFS v3\n"
+             "  I/O nodes: 8 DAS + 1 NAS (32 IBM x3550 clients)\n"
+             "  Local level: RAID5, 5 SAS disks (ext4)\n"
+             "  Mount: /home\n";
+      break;
+    case ConfigId::Finisterrae:
+      out << "  I/O library: mpich2 + HDF5 (simulated MPI-IO)\n"
+             "  Network: Infiniband 20 Gbps\n"
+             "  Global filesystem: Lustre (HP SFS)\n"
+             "  I/O nodes: 18 OSS, 2 MDS (72 SFS20 cabins)\n"
+             "  Local level: RAID5 (866 x 250GB disks)\n"
+             "  Mount: $HOMESFS\n";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace iop::configs

@@ -1,0 +1,55 @@
+// The paper's four I/O configurations (Tables VI and VII), expressed as
+// storage-simulator topologies.
+//
+//   A           Aohyper: NFSv3 on 1 NAS node, RAID5 (5 disks, 256 KB
+//               stripe), 1 GbE, 8 compute nodes
+//   B           Aohyper: PVFS2 over 3 NASD I/O nodes (JBOD, 1 disk each),
+//               1 GbE, 8 compute nodes
+//   C           32 IBM x3550 nodes, NFSv3 on 1 server, RAID5 (5 SAS
+//               disks), 1 GbE
+//   Finisterrae CESGA: Lustre (HP SFS), 18 OSS + 2 MDS, RAID5 SFS20
+//               cabins, 20 Gb/s Infiniband, 143 compute nodes
+//
+// Absolute device/link speeds are calibrated to the hardware classes the
+// paper names (SATA/SAS disks, GbE, IB); see DESIGN.md for the calibration
+// rationale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "sim/engine.hpp"
+#include "storage/topology.hpp"
+
+namespace iop::configs {
+
+enum class ConfigId { A, B, C, Finisterrae };
+
+const char* configName(ConfigId id);
+
+/// One instantiated configuration: owns the engine and topology.
+/// Move-only; create a fresh instance per measurement run so cache and
+/// device state start cold.
+struct ClusterConfig {
+  std::string name;
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<storage::Topology> topology;
+  std::vector<std::size_t> computeNodes;  ///< node indices usable for ranks
+  std::string mount;                      ///< the evaluated mount point
+  mpi::IoHints hints;                     ///< configuration-default hints
+
+  /// Convenience: runtime options for `np` ranks on this cluster.
+  mpi::RuntimeOptions runtimeOptions(int np,
+                                     mpi::TraceSink* sink = nullptr) const;
+};
+
+/// Build a configuration.  `seed` feeds the engine RNG (deterministic).
+ClusterConfig makeConfig(ConfigId id, std::uint64_t seed = 1);
+
+/// Table VI / VII style description of a configuration.
+std::string describeConfig(ConfigId id);
+
+}  // namespace iop::configs

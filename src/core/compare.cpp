@@ -1,0 +1,84 @@
+#include "core/compare.hpp"
+
+#include <sstream>
+
+namespace iop::core {
+
+namespace {
+
+void note(ModelDiff& diff, const std::string& message) {
+  diff.identical = false;
+  diff.differences.push_back(message);
+}
+
+std::string phaseRef(const Phase& p) {
+  return "phase " + std::to_string(p.id);
+}
+
+}  // namespace
+
+ModelDiff compareModels(const IOModel& a, const IOModel& b) {
+  ModelDiff diff;
+  if (a.np() != b.np()) {
+    note(diff, "process counts differ: " + std::to_string(a.np()) +
+                   " vs " + std::to_string(b.np()));
+  }
+  if (a.files().size() != b.files().size()) {
+    note(diff, "file counts differ: " + std::to_string(a.files().size()) +
+                   " vs " + std::to_string(b.files().size()));
+  }
+  if (a.phases().size() != b.phases().size()) {
+    note(diff,
+         "phase counts differ: " + std::to_string(a.phases().size()) +
+             " vs " + std::to_string(b.phases().size()));
+    return diff;  // positional comparison below would be meaningless
+  }
+  for (std::size_t i = 0; i < a.phases().size(); ++i) {
+    const Phase& pa = a.phases()[i];
+    const Phase& pb = b.phases()[i];
+    if (pa.idF != pb.idF) {
+      note(diff, phaseRef(pa) + ": file ids differ");
+    }
+    if (pa.rep != pb.rep) {
+      note(diff, phaseRef(pa) + ": repetitions differ (" +
+                     std::to_string(pa.rep) + " vs " +
+                     std::to_string(pb.rep) + ")");
+    }
+    if (pa.ranks != pb.ranks) {
+      note(diff, phaseRef(pa) + ": participating ranks differ");
+    }
+    if (pa.weightBytes != pb.weightBytes) {
+      note(diff, phaseRef(pa) + ": weights differ (" +
+                     std::to_string(pa.weightBytes) + " vs " +
+                     std::to_string(pb.weightBytes) + ")");
+    }
+    if (pa.ops.size() != pb.ops.size()) {
+      note(diff, phaseRef(pa) + ": operation cycles differ in length");
+      continue;
+    }
+    for (std::size_t j = 0; j < pa.ops.size(); ++j) {
+      const PhaseOp& oa = pa.ops[j];
+      const PhaseOp& ob = pb.ops[j];
+      if (oa.op != ob.op) {
+        note(diff, phaseRef(pa) + " op " + std::to_string(j) +
+                       ": operations differ (" + oa.op + " vs " + ob.op +
+                       ")");
+      }
+      if (oa.rsBytes != ob.rsBytes) {
+        note(diff, phaseRef(pa) + " op " + std::to_string(j) +
+                       ": request sizes differ");
+      }
+      if (oa.dispBytes != ob.dispBytes) {
+        note(diff, phaseRef(pa) + " op " + std::to_string(j) +
+                       ": displacements differ");
+      }
+      if (oa.initOffsetBytes != ob.initOffsetBytes) {
+        note(diff, phaseRef(pa) + " op " + std::to_string(j) +
+                       ": initial offsets differ");
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace iop::core

@@ -1,0 +1,30 @@
+// Structural comparison of I/O models.
+//
+// The paper's central claim is that the same application yields the same
+// model on every subsystem; this is the machine-checkable form of "the
+// same model": phase count, per-phase operations, request sizes,
+// repetitions, participating ranks, and per-rank initial offsets.
+// Timings (measured bandwidths, windows) are configuration-dependent and
+// excluded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/iomodel.hpp"
+
+namespace iop::core {
+
+struct ModelDiff {
+  bool identical = true;
+  /// Human-readable differences, most significant first (empty when
+  /// identical).
+  std::vector<std::string> differences;
+
+  explicit operator bool() const noexcept { return identical; }
+};
+
+/// Compare the structural content of two models.
+ModelDiff compareModels(const IOModel& a, const IOModel& b);
+
+}  // namespace iop::core

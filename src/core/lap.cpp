@@ -1,0 +1,237 @@
+#include "core/lap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace iop::core {
+
+namespace {
+
+void requireHomogeneous(const std::vector<trace::Record>& records) {
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].rank != records[0].rank ||
+        records[i].fileId != records[0].fileId) {
+      throw std::invalid_argument(
+          "records must belong to a single (rank, file) pair");
+    }
+  }
+}
+
+bool sameSig(const trace::Record& a, const trace::Record& b) {
+  return a.op == b.op && a.requestBytes == b.requestBytes;
+}
+
+std::int64_t offsetDelta(const trace::Record& later,
+                         const trace::Record& earlier) {
+  return static_cast<std::int64_t>(later.offsetUnits) -
+         static_cast<std::int64_t>(earlier.offsetUnits);
+}
+
+}  // namespace
+
+std::vector<Lap> extractLaps(const std::vector<trace::Record>& records) {
+  requireHomogeneous(records);
+  std::vector<Lap> laps;
+  std::size_t i = 0;
+  const std::size_t n = records.size();
+  while (i < n) {
+    Lap lap;
+    lap.idP = records[i].rank;
+    lap.idF = records[i].fileId;
+    lap.op = records[i].op;
+    lap.rsBytes = records[i].requestBytes;
+    lap.initOffsetUnits = records[i].offsetUnits;
+    lap.firstTick = records[i].tick;
+    lap.lastTick = records[i].tick;
+    lap.rep = 1;
+    std::size_t j = i + 1;
+    while (j < n && sameSig(records[j], records[i])) {
+      const std::int64_t delta = offsetDelta(records[j], records[j - 1]);
+      if (lap.rep == 1) {
+        lap.dispUnits = delta;
+      } else if (delta != lap.dispUnits) {
+        break;
+      }
+      lap.lastTick = records[j].tick;
+      ++lap.rep;
+      ++j;
+    }
+    laps.push_back(std::move(lap));
+    i = j;
+  }
+  return laps;
+}
+
+std::uint64_t Segment::bytesPerRep() const {
+  std::uint64_t total = 0;
+  for (const auto& op : ops) total += op.rsBytes;
+  return total;
+}
+
+namespace {
+
+/// Largest c such that records[i .. i + c*k) is c repetitions of the cycle
+/// records[i .. i+k) with per-position constant offset deltas.
+std::uint64_t maxCycles(const std::vector<trace::Record>& r, std::size_t i,
+                        std::size_t k) {
+  const std::size_t n = r.size();
+  std::vector<std::int64_t> disp(k, 0);
+  std::uint64_t c = 1;
+  for (;;) {
+    const std::size_t base = i + static_cast<std::size_t>(c) * k;
+    if (base + k > n) break;
+    bool match = true;
+    for (std::size_t j = 0; j < k && match; ++j) {
+      if (!sameSig(r[base + j], r[i + j])) {
+        match = false;
+        break;
+      }
+      const std::int64_t delta = offsetDelta(r[base + j], r[base + j - k]);
+      if (c == 1) {
+        disp[j] = delta;
+      } else if (delta != disp[j]) {
+        match = false;
+      }
+    }
+    if (!match) break;
+    ++c;
+  }
+  return c;
+}
+
+Segment makeSegment(const std::vector<trace::Record>& r, std::size_t i,
+                    std::size_t k, std::uint64_t c) {
+  Segment seg;
+  seg.idP = r[i].rank;
+  seg.idF = r[i].fileId;
+  for (std::size_t j = 0; j < k; ++j) {
+    CycleOp op;
+    op.op = r[i + j].op;
+    op.rsBytes = r[i + j].requestBytes;
+    op.initOffsetUnits = r[i + j].offsetUnits;
+    op.dispUnits = c >= 2 ? offsetDelta(r[i + k + j], r[i + j]) : 0;
+    seg.ops.push_back(std::move(op));
+  }
+  seg.rep = c;
+  for (std::uint64_t m = 0; m < c; ++m) {
+    const std::size_t first = i + static_cast<std::size_t>(m) * k;
+    const std::size_t last = first + k - 1;
+    seg.repFirstTicks.push_back(r[first].tick);
+    seg.repLastTicks.push_back(r[last].tick);
+    seg.repStartTimes.push_back(r[first].time);
+    seg.repEndTimes.push_back(r[last].time + r[last].duration);
+    double io = 0;
+    for (std::size_t p = first; p <= last; ++p) {
+      io += r[p].duration;
+      seg.opWindows.emplace_back(r[p].time, r[p].time + r[p].duration);
+    }
+    seg.repIoDurations.push_back(io);
+  }
+  return seg;
+}
+
+std::vector<Segment> segmentGreedy(const std::vector<trace::Record>& r,
+                                   const SegmentOptions& options) {
+  std::vector<Segment> out;
+  std::size_t i = 0;
+  const std::size_t n = r.size();
+  while (i < n) {
+    std::size_t bestK = 1;
+    std::uint64_t bestC = 1;
+    std::uint64_t bestCoverage = 1;
+    for (std::size_t k = 1;
+         k <= static_cast<std::size_t>(options.maxCycle) && i + k <= n; ++k) {
+      const std::uint64_t c = maxCycles(r, i, k);
+      if (k > 1 && c < 2) continue;
+      const std::uint64_t coverage = c * k;
+      if (coverage > bestCoverage) {
+        bestCoverage = coverage;
+        bestK = k;
+        bestC = c;
+      }
+    }
+    out.push_back(makeSegment(r, i, bestK, bestC));
+    i += static_cast<std::size_t>(bestCoverage);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Segment> segmentRecords(const std::vector<trace::Record>& records,
+                                    const SegmentOptions& options) {
+  requireHomogeneous(records);
+  if (options.maxCycle < 1) {
+    throw std::invalid_argument("maxCycle must be >= 1");
+  }
+  const std::size_t n = records.size();
+  if (n == 0) return {};
+  if (n > options.dpLimit) return segmentGreedy(records, options);
+
+  // DP over suffixes: minimize segment count, tie-break on maximal
+  // sum-of-squared segment lengths (prefers long cycles — e.g. the paper's
+  // [R x2][(R,W) x6][W x2] split of MADbench2's W function over the greedy
+  // [R x3][(W,R) x5][W x3]).
+  struct Best {
+    std::uint64_t segments = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t score = 0;  // sum of squared lengths
+    std::size_t k = 1;
+    std::uint64_t c = 1;
+  };
+  std::vector<Best> best(n + 1);
+  best[n] = Best{0, 0, 1, 0};
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t k = 1;
+         k <= static_cast<std::size_t>(options.maxCycle) && i + k <= n; ++k) {
+      const std::uint64_t cMax = maxCycles(records, i, k);
+      const std::uint64_t cMin = k == 1 ? 1 : 2;
+      if (cMax < cMin) continue;
+      for (std::uint64_t c = cMin; c <= cMax; ++c) {
+        const std::size_t next = i + static_cast<std::size_t>(c) * k;
+        if (best[next].segments ==
+            std::numeric_limits<std::uint64_t>::max()) {
+          continue;
+        }
+        const std::uint64_t len = c * k;
+        const std::uint64_t segs = best[next].segments + 1;
+        const std::uint64_t score = best[next].score + len * len;
+        Best& cur = best[i];
+        if (segs < cur.segments ||
+            (segs == cur.segments && score > cur.score) ||
+            (segs == cur.segments && score == cur.score && k < cur.k)) {
+          cur = Best{segs, score, k, c};
+        }
+      }
+    }
+  }
+
+  std::vector<Segment> out;
+  std::size_t i = 0;
+  while (i < n) {
+    const Best& b = best[i];
+    out.push_back(makeSegment(records, i, b.k, b.c));
+    i += static_cast<std::size_t>(b.c) * b.k;
+  }
+  return out;
+}
+
+std::string renderLapTable(const std::vector<Lap>& laps) {
+  util::Table table;
+  table.setHeader({"IdP", "IdF", "MPI-Operation", "Rep", "RequestSize",
+                   "Disp", "OffsetInit"},
+                  {util::Align::Right, util::Align::Right, util::Align::Left,
+                   util::Align::Right, util::Align::Right, util::Align::Right,
+                   util::Align::Right});
+  for (const auto& lap : laps) {
+    table.addRow({std::to_string(lap.idP), std::to_string(lap.idF), lap.op,
+                  std::to_string(lap.rep), std::to_string(lap.rsBytes),
+                  std::to_string(lap.dispUnits),
+                  std::to_string(lap.initOffsetUnits)});
+  }
+  return table.render();
+}
+
+}  // namespace iop::core

@@ -1,0 +1,132 @@
+#include "core/offsetfn.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace iop::core {
+
+namespace {
+
+constexpr double kTolerance = 0.5;  // bytes: offsets are integers
+
+bool nearlyInteger(double v) {
+  return std::abs(v - std::round(v)) < 1e-9 * std::max(1.0, std::abs(v));
+}
+
+/// Render one "<coeff>*rs" style term; coeff expressed as a multiple of rs
+/// when integral, else raw bytes.
+std::string renderCoeff(double bytes, std::uint64_t rsBytes) {
+  if (rsBytes > 0) {
+    const double mult = bytes / static_cast<double>(rsBytes);
+    if (nearlyInteger(mult)) {
+      const long long m = static_cast<long long>(std::llround(mult));
+      // Show the concrete size only when it is a clean MB/GB multiple
+      // ("idP*8*32MB"); otherwise stay symbolic ("idP*rs"), like Table XI.
+      const bool clean = rsBytes % (1ULL << 20) == 0;
+      const std::string rsText = clean ? util::formatBytes(rsBytes) : "rs";
+      if (m == 1) return rsText;
+      return std::to_string(m) + "*" + rsText;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0fB", bytes);
+  return buf;
+}
+
+}  // namespace
+
+std::string OffsetFn::render(std::uint64_t rsBytes, int np) const {
+  if (!exact) return "(irregular)";
+  std::string out;
+  if (aBytes != 0) {
+    out += "idP*" + renderCoeff(aBytes, rsBytes);
+  }
+  if (cBytes != 0) {
+    if (!out.empty()) out += " + ";
+    // Prefer the Table XI form when the coefficient is rs*np.
+    if (rsBytes > 0 && np > 0 &&
+        std::abs(cBytes - static_cast<double>(rsBytes) * np) < kTolerance) {
+      out += renderCoeff(static_cast<double>(rsBytes), rsBytes) + "*np*(ph-1)";
+    } else {
+      out += renderCoeff(cBytes, rsBytes) + "*(ph-1)";
+    }
+  }
+  if (bBytes != 0) {
+    if (!out.empty()) out += bBytes >= 0 ? " + " : " - ";
+    out += renderCoeff(std::abs(bBytes), rsBytes);
+  }
+  if (out.empty()) out = "0";
+  return out;
+}
+
+OffsetFn fitRankOffsets(const std::vector<int>& ranks,
+                        const std::vector<std::uint64_t>& offsets) {
+  if (ranks.size() != offsets.size() || ranks.empty()) {
+    throw std::invalid_argument("fitRankOffsets: bad input sizes");
+  }
+  OffsetFn fn;
+  if (ranks.size() == 1) {
+    fn.exact = true;
+    fn.aBytes = 0;
+    fn.bBytes = static_cast<double>(offsets[0]);
+    return fn;
+  }
+  // Use the first two distinct ranks to solve a*idP + b, verify the rest.
+  std::size_t second = 1;
+  while (second < ranks.size() && ranks[second] == ranks[0]) ++second;
+  if (second == ranks.size()) {
+    // All the same rank: degenerate; treat like a single sample.
+    fn.exact = true;
+    fn.bBytes = static_cast<double>(offsets[0]);
+    return fn;
+  }
+  const double a = (static_cast<double>(offsets[second]) -
+                    static_cast<double>(offsets[0])) /
+                   (ranks[second] - ranks[0]);
+  const double b = static_cast<double>(offsets[0]) - a * ranks[0];
+  fn.aBytes = a;
+  fn.bBytes = b;
+  fn.exact = true;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const double predicted = a * ranks[i] + b;
+    if (std::abs(predicted - static_cast<double>(offsets[i])) > kTolerance) {
+      fn.exact = false;
+      break;
+    }
+  }
+  return fn;
+}
+
+OffsetFn fitPhaseFamily(const std::vector<OffsetFn>& phaseFns) {
+  if (phaseFns.empty()) {
+    throw std::invalid_argument("fitPhaseFamily: empty family");
+  }
+  OffsetFn fn = phaseFns[0];
+  if (!fn.exact) return fn;
+  if (phaseFns.size() == 1) {
+    fn.cBytes = 0;
+    return fn;
+  }
+  for (const auto& p : phaseFns) {
+    if (!p.exact || std::abs(p.aBytes - fn.aBytes) > kTolerance) {
+      fn.exact = false;
+      return fn;
+    }
+  }
+  const double c = phaseFns[1].bBytes - phaseFns[0].bBytes;
+  for (std::size_t ph = 0; ph < phaseFns.size(); ++ph) {
+    const double predicted = phaseFns[0].bBytes + c * static_cast<double>(ph);
+    if (std::abs(predicted - phaseFns[ph].bBytes) > kTolerance) {
+      fn.exact = false;
+      return fn;
+    }
+  }
+  fn.bBytes = phaseFns[0].bBytes;
+  fn.cBytes = c;
+  return fn;
+}
+
+}  // namespace iop::core

@@ -1,0 +1,47 @@
+// Inference and rendering of the paper's f(initOffset): a closed-form
+// expression for each process's initial offset in a phase, as a function of
+// the process rank idP and the phase index ph (Table VIII's
+// "idP*8*32MB + 2*32MB", Table XI's "rs*idP + rs*(np-1+1)*(ph-1)").
+//
+// The fitted form is
+//    initOffset(idP, ph) = a*idP*rs + b*rs + c*(ph-1)*rs      [bytes]
+// with a,b,c rational multiples of the request size rs.  `exact` is false
+// when the observed offsets do not fit the linear model (the analysis then
+// falls back to per-rank offset lists).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iop::core {
+
+struct OffsetFn {
+  bool exact = false;
+  double aBytes = 0;  ///< coefficient of idP
+  double bBytes = 0;  ///< constant term
+  double cBytes = 0;  ///< coefficient of (ph-1)
+
+  std::uint64_t eval(int idP, int phIndex) const noexcept {
+    const double v = aBytes * idP + bBytes + cBytes * phIndex;
+    return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+
+  /// Render in the paper's style, expressing coefficients as multiples of
+  /// `rsBytes` where exact ("idP*8*32MB + 2*32MB"), falling back to raw
+  /// byte values.  `np` lets the (ph-1) coefficient be shown as "rs*np"
+  /// when it matches (the Table XI form).
+  std::string render(std::uint64_t rsBytes, int np) const;
+};
+
+/// Fit initOffset(idP) = a*idP + b over one phase's per-rank offsets
+/// (bytes).  `ranks[i]` is the rank of `offsets[i]`.
+OffsetFn fitRankOffsets(const std::vector<int>& ranks,
+                        const std::vector<std::uint64_t>& offsets);
+
+/// Given per-phase constant terms b[ph] of a family of phases with equal
+/// a, fit b[ph] = b0 + c*(ph-1); returns exact=false on misfit.
+/// `phaseFns` must all have exact == true and equal aBytes.
+OffsetFn fitPhaseFamily(const std::vector<OffsetFn>& phaseFns);
+
+}  // namespace iop::core

@@ -1,0 +1,326 @@
+#include "core/phase.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace iop::core {
+
+namespace {
+
+/// A tick-contiguous slice of one rank's segment: a candidate phase member.
+struct LocalPhase {
+  int idP = 0;
+  int idF = 0;
+  std::vector<CycleOp> ops;  ///< initOffsetUnits adjusted to the slice
+  std::uint64_t rep = 0;
+  std::uint64_t firstTick = 0;
+  std::uint64_t lastTick = 0;
+  double startTime = 0;
+  double endTime = 0;
+  double ioDuration = 0;
+  std::vector<std::pair<double, double>> opWindows;
+  std::string signature;  ///< grouping key (ops/rs/disp/rep)
+  std::size_t occurrence = 0;  ///< n-th local phase with this signature
+};
+
+std::string signatureOf(const std::vector<CycleOp>& ops, std::uint64_t rep) {
+  std::ostringstream sig;
+  sig << rep << '|';
+  for (const auto& op : ops) {
+    sig << op.op << ':' << op.rsBytes << ':' << op.dispUnits << ';';
+  }
+  return sig.str();
+}
+
+/// Split one segment at tick gaps into local phases.
+void splitSegment(const Segment& seg, std::uint64_t maxGap,
+                  std::vector<LocalPhase>& out) {
+  std::uint64_t m = 0;
+  while (m < seg.rep) {
+    std::uint64_t end = m + 1;
+    while (end < seg.rep &&
+           seg.repFirstTicks[end] - seg.repLastTicks[end - 1] <= maxGap) {
+      ++end;
+    }
+    LocalPhase lp;
+    lp.idP = seg.idP;
+    lp.idF = seg.idF;
+    lp.rep = end - m;
+    lp.ops = seg.ops;
+    for (auto& op : lp.ops) {
+      op.initOffsetUnits = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(op.initOffsetUnits) +
+          op.dispUnits * static_cast<std::int64_t>(m));
+    }
+    lp.firstTick = seg.repFirstTicks[m];
+    lp.lastTick = seg.repLastTicks[end - 1];
+    lp.startTime = seg.repStartTimes[m];
+    lp.endTime = seg.repEndTimes[end - 1];
+    const std::size_t k = seg.ops.size();
+    for (std::uint64_t i = m; i < end; ++i) {
+      lp.ioDuration += seg.repIoDurations[i];
+      for (std::size_t j = 0; j < k; ++j) {
+        lp.opWindows.push_back(
+            seg.opWindows[static_cast<std::size_t>(i) * k + j]);
+      }
+    }
+    lp.signature = signatureOf(lp.ops, lp.rep);
+    out.push_back(std::move(lp));
+    m = end;
+  }
+}
+
+/// Total length of the union of wall windows.
+double unionSeconds(std::vector<std::pair<double, double>> windows) {
+  if (windows.empty()) return 0;
+  std::sort(windows.begin(), windows.end());
+  double total = 0;
+  double curBegin = windows.front().first;
+  double curEnd = windows.front().second;
+  for (const auto& [b, e] : windows) {
+    if (b > curEnd) {
+      total += curEnd - curBegin;
+      curBegin = b;
+      curEnd = e;
+    } else {
+      curEnd = std::max(curEnd, e);
+    }
+  }
+  total += curEnd - curBegin;
+  return total;
+}
+
+}  // namespace
+
+bool Phase::anyCollective() const {
+  for (const auto& op : ops) {
+    if (trace::isCollectiveOp(op.op)) return true;
+  }
+  return false;
+}
+
+std::string Phase::opTypeLabel() const {
+  bool hasWrite = false;
+  bool hasRead = false;
+  for (const auto& op : ops) {
+    if (op.isWrite()) {
+      hasWrite = true;
+    } else {
+      hasRead = true;
+    }
+  }
+  if (hasWrite && hasRead) return "W-R";
+  return hasWrite ? "W" : "R";
+}
+
+std::vector<Phase> detectPhases(const trace::TraceData& data,
+                                const PhaseDetectionOptions& options) {
+  // 1. Per (rank, file): segment + tick-split into local phases.
+  std::vector<LocalPhase> locals;
+  for (int rank = 0; rank < data.np; ++rank) {
+    const auto& records = data.perRank[static_cast<std::size_t>(rank)];
+    // Partition this rank's records by file, preserving order; drop
+    // metadata noise when a threshold is configured.
+    std::map<int, std::vector<trace::Record>> byFile;
+    for (const auto& r : records) {
+      if (r.requestBytes < options.ignoreOpsSmallerThan) continue;
+      byFile[r.fileId].push_back(r);
+    }
+    for (auto& [fileId, fileRecords] : byFile) {
+      auto segments = segmentRecords(fileRecords, options.segmentation);
+      for (const auto& seg : segments) {
+        splitSegment(seg, options.maxIntraPhaseTickGap, locals);
+      }
+    }
+  }
+
+  // 2. Assign per-rank occurrence counters so the k-th local phase with a
+  // given signature groups with the other ranks' k-th occurrence.
+  std::map<std::pair<int, std::string>, std::size_t> occurrenceCounter;
+  // locals are currently ordered rank-major, tick-minor within each rank,
+  // which is exactly what the occurrence counter needs.
+  for (auto& lp : locals) {
+    auto key = std::make_pair(
+        lp.idP, std::to_string(lp.idF) + "|" + lp.signature);
+    lp.occurrence = occurrenceCounter[key]++;
+  }
+
+  // 3. Group by (file, signature, occurrence).
+  std::map<std::tuple<int, std::string, std::size_t>, std::vector<LocalPhase>>
+      groups;
+  for (auto& lp : locals) {
+    groups[{lp.idF, lp.signature, lp.occurrence}].push_back(std::move(lp));
+  }
+
+  // 3b. Temporal validation: members of one phase must overlap in logical
+  // time (the paper's traces show +-1 tick of skew).  If a group's members
+  // cluster at distant ticks — ranks executing the same pattern at truly
+  // different times — split it into tick clusters separated by more than
+  // the tolerance.
+  std::vector<std::vector<LocalPhase>> memberSets;
+  for (auto& [key, members] : groups) {
+    std::sort(members.begin(), members.end(),
+              [](const LocalPhase& a, const LocalPhase& b) {
+                return a.firstTick < b.firstTick;
+              });
+    std::vector<LocalPhase> cluster;
+    for (auto& lp : members) {
+      if (!cluster.empty() &&
+          lp.firstTick - cluster.back().firstTick >
+              options.crossRankTickTolerance) {
+        memberSets.push_back(std::move(cluster));
+        cluster.clear();
+      }
+      cluster.push_back(std::move(lp));
+    }
+    if (!cluster.empty()) memberSets.push_back(std::move(cluster));
+  }
+
+  // 4. Build global phases.
+  std::vector<Phase> phases;
+  for (auto& members : memberSets) {
+    std::sort(members.begin(), members.end(),
+              [](const LocalPhase& a, const LocalPhase& b) {
+                return a.idP < b.idP;
+              });
+    Phase phase;
+    phase.idF = members.front().idF;
+    phase.rep = members.front().rep;
+    phase.firstTick = members.front().firstTick;
+    phase.lastTick = members.front().lastTick;
+    phase.startTime = members.front().startTime;
+    phase.endTime = members.front().endTime;
+    const std::uint64_t etype =
+        data.fileMeta(phase.idF) != nullptr
+            ? data.fileMeta(phase.idF)->etypeBytes
+            : 1;
+    for (const auto& op : members.front().ops) {
+      PhaseOp po;
+      po.op = op.op;
+      po.rsBytes = op.rsBytes;
+      po.dispBytes = op.dispUnits * static_cast<std::int64_t>(etype);
+      phase.ops.push_back(std::move(po));
+    }
+    for (const auto& lp : members) {
+      phase.ranks.push_back(lp.idP);
+      phase.firstTick = std::min(phase.firstTick, lp.firstTick);
+      phase.lastTick = std::max(phase.lastTick, lp.lastTick);
+      phase.startTime = std::min(phase.startTime, lp.startTime);
+      phase.endTime = std::max(phase.endTime, lp.endTime);
+      phase.sumIoDuration += lp.ioDuration;
+      phase.maxRankIoDuration = std::max(phase.maxRankIoDuration,
+                                         lp.ioDuration);
+      for (std::size_t j = 0; j < lp.ops.size(); ++j) {
+        phase.ops[j].initOffsetBytes.push_back(lp.ops[j].initOffsetUnits *
+                                               etype);
+      }
+    }
+    std::vector<std::pair<double, double>> allWindows;
+    for (const auto& lp : members) {
+      allWindows.insert(allWindows.end(), lp.opWindows.begin(),
+                        lp.opWindows.end());
+    }
+    phase.ioUnionSeconds = unionSeconds(std::move(allWindows));
+    std::uint64_t cycleBytes = 0;
+    for (const auto& op : phase.ops) cycleBytes += op.rsBytes;
+    phase.weightBytes = static_cast<std::uint64_t>(phase.ranks.size()) *
+                        phase.rep * cycleBytes;
+    phases.push_back(std::move(phase));
+  }
+
+  // 5. Order by first tick (stable on weight/file for determinism).
+  std::sort(phases.begin(), phases.end(), [](const Phase& a, const Phase& b) {
+    if (a.firstTick != b.firstTick) return a.firstTick < b.firstTick;
+    if (a.idF != b.idF) return a.idF < b.idF;
+    return a.weightBytes > b.weightBytes;
+  });
+
+  // 6. Assign ids, then families and offset functions.  Families group
+  // consecutive same-signature phases *of the same file*, so interleaved
+  // multi-file timelines (e.g. a restart record between history records)
+  // do not break a file's progression.
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    phases[i].id = static_cast<int>(i) + 1;
+  }
+  auto sameFamily = [](const Phase& a, const Phase& b) {
+    if (a.rep != b.rep || a.ranks != b.ranks ||
+        a.ops.size() != b.ops.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < a.ops.size(); ++j) {
+      if (a.ops[j].op != b.ops[j].op ||
+          a.ops[j].rsBytes != b.ops[j].rsBytes) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::map<int, std::vector<std::size_t>> byFile;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    byFile[phases[i].idF].push_back(i);
+  }
+  int nextFamily = 0;
+  auto closeFamily = [&phases, &nextFamily](
+                         const std::vector<std::size_t>& members) {
+    const std::size_t opCount = phases[members.front()].ops.size();
+    for (std::size_t j = 0; j < opCount; ++j) {
+      std::vector<OffsetFn> fns;
+      for (std::size_t p : members) {
+        fns.push_back(fitRankOffsets(phases[p].ranks,
+                                     phases[p].ops[j].initOffsetBytes));
+      }
+      const OffsetFn family = fitPhaseFamily(fns);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::size_t p = members[m];
+        phases[p].ops[j].offsetFn = family.exact ? family : fns[m];
+        phases[p].familyId = nextFamily;
+        phases[p].familyIndex = static_cast<int>(m);
+      }
+    }
+    ++nextFamily;
+  };
+  for (auto& [fileId, indices] : byFile) {
+    std::vector<std::size_t> family;
+    for (std::size_t idx : indices) {
+      if (!family.empty() &&
+          !sameFamily(phases[family.back()], phases[idx])) {
+        closeFamily(family);
+        family.clear();
+      }
+      family.push_back(idx);
+    }
+    if (!family.empty()) closeFamily(family);
+  }
+  return phases;
+}
+
+std::string renderPhaseTable(const std::vector<Phase>& phases,
+                             const std::string& title) {
+  util::Table table(title);
+  table.setHeader({"Phase", "#Oper.", "InitOffset", "Rep", "weight"},
+                  {util::Align::Left, util::Align::Left, util::Align::Left,
+                   util::Align::Right, util::Align::Right});
+  for (const auto& phase : phases) {
+    for (std::size_t j = 0; j < phase.ops.size(); ++j) {
+      const auto& op = phase.ops[j];
+      const std::string phaseLabel =
+          j == 0 ? std::to_string(phase.id) : std::string{};
+      table.addRow(
+          {phaseLabel,
+           std::to_string(phase.np()) + " " + (op.isWrite() ? "write"
+                                                            : "read"),
+           op.offsetFn.render(op.rsBytes, phase.np()),
+           std::to_string(phase.rep),
+           util::formatBytes(static_cast<std::uint64_t>(phase.np()) *
+                             phase.rep * op.rsBytes)});
+    }
+  }
+  return table.render();
+}
+
+}  // namespace iop::core

@@ -1,0 +1,132 @@
+// I/O phases: the paper's central abstraction.
+//
+// "An I/O phase is a repetitive sequence of the same pattern on a file for
+// a number of processes of the parallel application."  Phases are built
+// from per-rank pattern segments (core/lap.hpp) in two steps:
+//
+//  1. tick splitting — repetitions of a segment separated by other MPI
+//     activity (tick gap > maxIntraPhaseTickGap) belong to different
+//     phases.  This is what turns NAS BT-IO's 40 dumps (solver
+//     communication between them) into phases 1..40 while its 40
+//     back-to-back verification reads stay one phase (the paper's
+//     Figure 9 / Table XI structure).
+//
+//  2. cross-rank grouping — local phases with the same signature (op
+//     cycle, request size, displacement, repetitions) and overlapping tick
+//     windows group into one global phase; initial offsets may differ per
+//     process and are captured by f(initOffset).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lap.hpp"
+#include "core/offsetfn.hpp"
+#include "trace/tracer.hpp"
+
+namespace iop::core {
+
+/// One operation of a phase's cycle, aggregated across ranks.
+struct PhaseOp {
+  std::string op;                ///< MPI operation name
+  std::uint64_t rsBytes = 0;     ///< request size
+  std::int64_t dispBytes = 0;    ///< displacement per repetition
+  /// Initial offset of each participating rank (bytes), parallel to
+  /// Phase::ranks.
+  std::vector<std::uint64_t> initOffsetBytes;
+  /// Fitted f(initOffset); family-aware (may carry a (ph-1) term).
+  OffsetFn offsetFn;
+
+  bool isWrite() const { return trace::isWriteOp(op); }
+};
+
+struct Phase {
+  int id = 0;   ///< 1-based position in the application's phase sequence
+  int idF = 0;  ///< file the phase operates on
+  std::vector<int> ranks;  ///< participating processes
+  std::uint64_t rep = 0;   ///< repetitions of the cycle inside the phase
+  std::vector<PhaseOp> ops;
+
+  /// weight = np * rep * sum(rs): bytes moved by the phase (the paper's
+  /// Figure-4 "weight = 40MB" for 4 procs x 1 rep x ~10MB).
+  std::uint64_t weightBytes = 0;
+
+  std::uint64_t firstTick = 0;
+  std::uint64_t lastTick = 0;
+
+  /// Measured wall-clock window of the phase in the traced run (includes
+  /// any busy-work interleaved between the phase's operations).
+  double startTime = 0;
+  double endTime = 0;
+  /// Sum of per-op durations across all ranks (CPU-side I/O time).
+  double sumIoDuration = 0;
+  /// Largest per-rank sum of op durations: the pure-I/O makespan of the
+  /// phase (the paper's MADbench2 busy-work is excluded from this).
+  double maxRankIoDuration = 0;
+  /// Length of the union of all member operations' wall windows: the
+  /// exact time during which *any* rank of the phase was doing I/O.
+  /// Robust to both overlapped and skewed execution.
+  double ioUnionSeconds = 0;
+
+  /// Phases with identical signatures occurring consecutively form a
+  /// family; f(initOffset) is fitted per family with a (ph-1) term.
+  int familyId = 0;
+  int familyIndex = 0;  ///< zero-based (ph-1) within the family
+
+  int np() const noexcept { return static_cast<int>(ranks.size()); }
+
+  /// "W", "R" or "W-R": the paper's operation-type label.
+  std::string opTypeLabel() const;
+
+  /// Total individual MPI operations in the phase (Table IX "#Oper.").
+  std::uint64_t opCount() const noexcept {
+    return static_cast<std::uint64_t>(ranks.size()) * rep * ops.size();
+  }
+
+  /// Measured aggregate bandwidth BW_MD = weight / measured I/O time,
+  /// where the I/O time is the slowest rank's summed op durations (falls
+  /// back to the wall window when durations are absent).
+  double measuredBandwidth() const noexcept {
+    const double dt = measuredIoTime();
+    return dt > 0 ? static_cast<double>(weightBytes) / dt : 0.0;
+  }
+
+  /// Measured I/O time of the phase (Time_io(MD) contribution): the union
+  /// of member op windows, falling back to per-rank durations / the wall
+  /// window for models loaded from older files.
+  double measuredIoTime() const noexcept {
+    if (ioUnionSeconds > 0) return ioUnionSeconds;
+    return maxRankIoDuration > 0 ? maxRankIoDuration
+                                 : endTime - startTime;
+  }
+
+  bool anyCollective() const;
+};
+
+struct PhaseDetectionOptions {
+  /// Repetitions whose tick gap exceeds this stay in one phase only if the
+  /// gap is <= the threshold; the default 1 means "no other MPI event in
+  /// between".
+  std::uint64_t maxIntraPhaseTickGap = 1;
+  /// Cross-rank tick skew allowed inside one phase (the paper's traces
+  /// show +-1; collective completion order gives a few more).
+  std::uint64_t crossRankTickTolerance = 16;
+  /// Drop operations smaller than this before segmentation: the
+  /// "metadata noise" filter for HDF5-style workloads, where rank 0's
+  /// object-header writes interleave with the bulk data stream and would
+  /// otherwise split it off from the other ranks' phases.  0 = keep all.
+  /// Filtered bytes are NOT represented in the model's weights.
+  std::uint64_t ignoreOpsSmallerThan = 0;
+  SegmentOptions segmentation;
+};
+
+/// Detect the global phase sequence of an application trace.
+std::vector<Phase> detectPhases(const trace::TraceData& data,
+                                const PhaseDetectionOptions& options = {});
+
+/// Render phases as the paper's Table VIII / Table XI style description.
+std::string renderPhaseTable(const std::vector<Phase>& phases,
+                             const std::string& title = {});
+
+}  // namespace iop::core

@@ -1,0 +1,121 @@
+#include "hdf5/h5.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iop::hdf5 {
+
+sim::Task<std::shared_ptr<H5File>> H5File::create(mpi::Rank& rank,
+                                                  const std::string& mount,
+                                                  const std::string& path) {
+  auto h5 = std::shared_ptr<H5File>(new H5File());
+  h5->file_ = co_await rank.open(mount, path, mpi::AccessType::Shared);
+  h5->file_->setView(0, 1, 1, 1);
+  if (rank.id() == 0) {
+    co_await h5->file_->writeAt(0, kSuperblockBytes);
+  }
+  co_await rank.barrier();
+  co_return h5;
+}
+
+sim::Task<Dataset> H5File::createDataset(mpi::Rank& rank,
+                                         const std::string& name,
+                                         std::uint64_t totalBytes,
+                                         std::uint64_t chunkBytes) {
+  // Validate eagerly: coroutine bodies run lazily, but bad arguments must
+  // surface at the call site, before any rank entered a collective.
+  if (totalBytes == 0) {
+    throw std::invalid_argument("dataset must not be empty");
+  }
+  if (chunkBytes != 0 && totalBytes % chunkBytes != 0) {
+    throw std::invalid_argument(
+        "chunked dataset size must be a whole number of chunks");
+  }
+  return createDatasetImpl(rank, name, totalBytes, chunkBytes);
+}
+
+sim::Task<Dataset> H5File::createDatasetImpl(mpi::Rank& rank,
+                                             const std::string& name,
+                                             std::uint64_t totalBytes,
+                                             std::uint64_t chunkBytes) {
+  // Deterministic local allocation: all ranks call collectively with the
+  // same arguments, so every rank computes the same offsets.
+  const std::uint64_t headerOffset = eof_;
+  const std::uint64_t dataOffset = headerOffset + kObjectHeaderBytes;
+  eof_ = dataOffset + totalBytes;
+  if (rank.id() == 0) {
+    co_await file_->writeAt(headerOffset, kObjectHeaderBytes);
+  }
+  co_await rank.barrier();
+  co_return Dataset(*this, name, dataOffset, totalBytes, chunkBytes);
+}
+
+sim::Task<void> H5File::close(mpi::Rank& rank) {
+  // Metadata cache flush on rank 0 (free-space info, symbol table).
+  if (rank.id() == 0) {
+    co_await file_->writeAt(kSuperblockBytes / 2, kSuperblockBytes / 2);
+  }
+  co_await rank.barrier();
+  co_await file_->close();
+}
+
+sim::Task<void> Dataset::hyperslab(mpi::Rank& rank, std::uint64_t offset,
+                                   std::uint64_t bytes, bool isWrite) {
+  // Eager validation (the body below runs lazily at first co_await).
+  if (offset + bytes > totalBytes_) {
+    throw std::out_of_range("hyperslab outside the dataset extent");
+  }
+  // Chunk-aligned selections only: unaligned selections would give ranks
+  // different collective-call counts (a deadlock in real HDF5 too).
+  if (chunkBytes_ != 0 &&
+      (offset % chunkBytes_ != 0 || bytes % chunkBytes_ != 0)) {
+    throw std::invalid_argument(
+        "hyperslab must be chunk-aligned for chunked datasets");
+  }
+  return hyperslabImpl(rank, offset, bytes, isWrite);
+}
+
+sim::Task<void> Dataset::hyperslabImpl(mpi::Rank& rank,
+                                       std::uint64_t offset,
+                                       std::uint64_t bytes, bool isWrite) {
+  (void)rank;  // participation is implied by the rank-bound mpi::File
+  mpi::File& file = file_->mpiFile();
+  // Chunked layout: one collective call per chunk the selection crosses
+  // (the HDF5 library's per-chunk I/O under collective transfer).
+  const std::uint64_t step = chunkBytes_ == 0 ? bytes : chunkBytes_;
+  std::uint64_t cursor = offset;
+  const std::uint64_t end = offset + bytes;
+  while (cursor < end) {
+    const std::uint64_t within = cursor % step;
+    const std::uint64_t take = std::min(end - cursor, step - within);
+    const std::uint64_t fileOffset = dataOffset_ + cursor;
+    if (isWrite) {
+      co_await file.writeAtAll(fileOffset, take);
+    } else {
+      co_await file.readAtAll(fileOffset, take);
+    }
+    cursor += take;
+  }
+}
+
+sim::Task<void> Dataset::writeIndependent(std::uint64_t offsetInDataset,
+                                          std::uint64_t bytes) {
+  if (offsetInDataset + bytes > totalBytes_) {
+    throw std::out_of_range("write outside the dataset extent");
+  }
+  return file_->mpiFile().writeAt(dataOffset_ + offsetInDataset, bytes);
+}
+
+sim::Task<void> Dataset::writeHyperslab(mpi::Rank& rank,
+                                        std::uint64_t offsetInDataset,
+                                        std::uint64_t bytes) {
+  return hyperslab(rank, offsetInDataset, bytes, true);
+}
+
+sim::Task<void> Dataset::readHyperslab(mpi::Rank& rank,
+                                       std::uint64_t offsetInDataset,
+                                       std::uint64_t bytes) {
+  return hyperslab(rank, offsetInDataset, bytes, false);
+}
+
+}  // namespace iop::hdf5

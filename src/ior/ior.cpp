@@ -1,0 +1,153 @@
+#include "ior/ior.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "mpi/file.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace iop::ior {
+
+namespace {
+
+/// Timestamps shared across ranks (rank 0 records at the pass barriers).
+struct PassTimes {
+  double writeStart = 0;
+  double writeEnd = 0;
+  double readStart = 0;
+  double readEnd = 0;
+};
+
+/// Per-rank transfer order for one segment.
+std::vector<std::uint64_t> transferOrder(const IorParams& p, int rank) {
+  const std::uint64_t perBlock = p.blockSize / p.transferSize;
+  std::vector<std::uint64_t> order(perBlock);
+  std::iota(order.begin(), order.end(), 0);
+  if (p.accessMode == AccessMode::Random) {
+    util::Rng rng(p.randomSeed + static_cast<std::uint64_t>(rank) * 7919);
+    rng.shuffle(order);
+  }
+  return order;
+}
+
+sim::Task<void> pass(mpi::Rank& rank, mpi::File& file, const IorParams& p,
+                     bool isWrite) {
+  const std::uint64_t npU = static_cast<std::uint64_t>(p.np);
+  const std::uint64_t rankU = static_cast<std::uint64_t>(rank.id());
+  for (int s = 0; s < p.segments; ++s) {
+    const std::uint64_t segBase =
+        static_cast<std::uint64_t>(s) *
+        (p.uniqueFilePerProc ? p.blockSize : npU * p.blockSize);
+    const std::uint64_t blockBase =
+        segBase + (p.uniqueFilePerProc ? 0 : rankU * p.blockSize);
+    for (std::uint64_t i : transferOrder(p, rank.id())) {
+      const std::uint64_t offset = blockBase + i * p.transferSize;
+      if (p.collective) {
+        if (isWrite) {
+          co_await file.writeAtAll(offset, p.transferSize);
+        } else {
+          co_await file.readAtAll(offset, p.transferSize);
+        }
+      } else {
+        if (isWrite) {
+          co_await file.writeAt(offset, p.transferSize);
+        } else {
+          co_await file.readAt(offset, p.transferSize);
+        }
+      }
+    }
+  }
+}
+
+sim::Task<void> iorRank(mpi::Rank& rank, const IorParams& p,
+                        storage::Topology& topology, PassTimes& times) {
+  auto file = co_await rank.open(p.mount, p.testFileName,
+                                 p.uniqueFilePerProc
+                                     ? mpi::AccessType::Unique
+                                     : mpi::AccessType::Shared);
+  if (p.doWrite) {
+    co_await rank.barrier();
+    if (rank.id() == 0) times.writeStart = rank.engine().now();
+    co_await pass(rank, *file, p, /*isWrite=*/true);
+    co_await rank.barrier();
+    if (rank.id() == 0) times.writeEnd = rank.engine().now();
+  }
+  if (p.doRead) {
+    if (p.dropCachesBeforeRead && rank.id() == 0) topology.dropCaches();
+    co_await rank.barrier();
+    if (rank.id() == 0) times.readStart = rank.engine().now();
+    co_await pass(rank, *file, p, /*isWrite=*/false);
+    co_await rank.barrier();
+    if (rank.id() == 0) times.readEnd = rank.engine().now();
+  }
+  co_await file->close();
+}
+
+}  // namespace
+
+std::string IorResult::summary() const {
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "write: %8.2f MB/s  %8.1f IOPS  %9.3f s\n",
+                util::toMiBs(writeBandwidth), writeOpsPerSec, writeTimeSec);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "read:  %8.2f MB/s  %8.1f IOPS  %9.3f s\n",
+                util::toMiBs(readBandwidth), readOpsPerSec, readTimeSec);
+  out << buf;
+  return out.str();
+}
+
+IorResult runIor(configs::ClusterConfig& cluster, const IorParams& params,
+                 mpi::TraceSink* sink) {
+  if (params.transferSize == 0 || params.blockSize == 0 ||
+      params.blockSize % params.transferSize != 0) {
+    throw std::invalid_argument(
+        "IOR requires transferSize | blockSize, both nonzero");
+  }
+  if (params.np <= 0 || params.segments <= 0) {
+    throw std::invalid_argument("IOR requires np > 0 and segments > 0");
+  }
+
+  auto opts = cluster.runtimeOptions(params.np, sink);
+  mpi::Runtime runtime(*cluster.topology, opts);
+  PassTimes times;
+  storage::Topology& topo = *cluster.topology;
+  const IorParams& p = params;
+  runtime.runToCompletion(
+      [&p, &topo, &times](mpi::Rank& rank) -> sim::Task<void> {
+        return iorRank(rank, p, topo, times);
+      });
+
+  IorResult result;
+  const std::uint64_t perRank =
+      params.blockSize * static_cast<std::uint64_t>(params.segments);
+  result.totalBytes = perRank * static_cast<std::uint64_t>(params.np);
+  const std::uint64_t ops =
+      result.totalBytes / params.transferSize;
+  if (params.doWrite) {
+    result.writeTimeSec = times.writeEnd - times.writeStart;
+    if (result.writeTimeSec > 0) {
+      result.writeBandwidth =
+          static_cast<double>(result.totalBytes) / result.writeTimeSec;
+      result.writeOpsPerSec =
+          static_cast<double>(ops) / result.writeTimeSec;
+    }
+  }
+  if (params.doRead) {
+    result.readTimeSec = times.readEnd - times.readStart;
+    if (result.readTimeSec > 0) {
+      result.readBandwidth =
+          static_cast<double>(result.totalBytes) / result.readTimeSec;
+      result.readOpsPerSec = static_cast<double>(ops) / result.readTimeSec;
+    }
+  }
+  return result;
+}
+
+}  // namespace iop::ior

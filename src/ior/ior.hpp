@@ -1,0 +1,65 @@
+// Reimplementation of the IOR benchmark's MPI-IO core (the paper's
+// Table III parameter set), running on the simulated runtime.
+//
+// Parameter mapping to IOR's CLI:
+//   blockSize    -b     bytes per task per segment
+//   transferSize -t     bytes per I/O call
+//   segments     -s     number of (np * blockSize) segments
+//   uniqueFilePerProc -F  one file per process instead of one shared file
+//   collective   -c     use MPI_File_write_at_all / read_at_all
+//   accessMode          sequential or random transfer order (IOR -z);
+//                       strided is not supported, exactly the limitation
+//                       the paper works around for NAS BT-IO (§IV-B)
+//
+// File layout (IOR "segmented"): segment s, rank r, transfer i lives at
+//   s * np * blockSize + r * blockSize + i * transferSize.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "configs/configs.hpp"
+#include "mpi/runtime.hpp"
+
+namespace iop::ior {
+
+enum class AccessMode { Sequential, Random };
+
+struct IorParams {
+  std::string mount;
+  std::string testFileName = "ior.dat";
+  std::uint64_t blockSize = 1ULL << 20;
+  std::uint64_t transferSize = 256ULL << 10;
+  int segments = 1;
+  int np = 1;
+  bool uniqueFilePerProc = false;
+  bool collective = false;
+  AccessMode accessMode = AccessMode::Sequential;
+  bool doWrite = true;
+  bool doRead = true;
+  /// Drop server caches between the write and read pass, emulating the
+  /// separate-run / re-mount discipline real IOR measurements use.
+  bool dropCachesBeforeRead = true;
+  std::uint64_t randomSeed = 7;
+};
+
+/// Table V's output metrics.
+struct IorResult {
+  double writeTimeSec = 0;
+  double readTimeSec = 0;
+  double writeBandwidth = 0;  ///< bytes/s aggregate (BW_w)
+  double readBandwidth = 0;   ///< bytes/s aggregate (BW_r)
+  double writeOpsPerSec = 0;  ///< IOPS_w
+  double readOpsPerSec = 0;   ///< IOPS_r
+  std::uint64_t totalBytes = 0;
+
+  std::string summary() const;
+};
+
+/// Run IOR on a (fresh) cluster configuration.  Pass a TraceSink to trace
+/// IOR itself (the paper's Figure 6).  The cluster's engine is consumed by
+/// the run; reuse only if cold caches are not required.
+IorResult runIor(configs::ClusterConfig& cluster, const IorParams& params,
+                 mpi::TraceSink* sink = nullptr);
+
+}  // namespace iop::ior

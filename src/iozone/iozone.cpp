@@ -1,0 +1,163 @@
+#include "iozone/iozone.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace iop::iozone {
+
+const char* patternName(Pattern p) {
+  switch (p) {
+    case Pattern::SequentialWrite: return "seq-write";
+    case Pattern::SequentialRead: return "seq-read";
+    case Pattern::StridedWrite: return "strided-write";
+    case Pattern::StridedRead: return "strided-read";
+    case Pattern::RandomWrite: return "random-write";
+    case Pattern::RandomRead: return "random-read";
+  }
+  return "?";
+}
+
+bool isWritePattern(Pattern p) {
+  return p == Pattern::SequentialWrite || p == Pattern::StridedWrite ||
+         p == Pattern::RandomWrite;
+}
+
+namespace {
+
+/// Offsets visited by one pass, in order.
+std::vector<std::uint64_t> passOffsets(Pattern pattern,
+                                       std::uint64_t fileSize,
+                                       std::uint64_t rs,
+                                       std::uint64_t strideFactor,
+                                       std::uint64_t seed) {
+  const std::uint64_t count = fileSize / rs;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(count);
+  switch (pattern) {
+    case Pattern::SequentialWrite:
+    case Pattern::SequentialRead:
+      for (std::uint64_t i = 0; i < count; ++i) offsets.push_back(i * rs);
+      break;
+    case Pattern::StridedWrite:
+    case Pattern::StridedRead: {
+      // Visit offset 0, S, 2S, ... wrapping with phase shift, S = f*RS.
+      const std::uint64_t stride = strideFactor * rs;
+      const std::uint64_t lanes = strideFactor;
+      for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+        for (std::uint64_t o = lane * rs; o + rs <= fileSize; o += stride) {
+          offsets.push_back(o);
+        }
+      }
+      break;
+    }
+    case Pattern::RandomWrite:
+    case Pattern::RandomRead: {
+      for (std::uint64_t i = 0; i < count; ++i) offsets.push_back(i * rs);
+      util::Rng rng(seed);
+      rng.shuffle(offsets);
+      break;
+    }
+  }
+  return offsets;
+}
+
+struct PassOutcome {
+  double seconds = 0;
+  std::uint64_t bytes = 0;
+};
+
+sim::Task<void> runPass(sim::Engine& engine, storage::IoServer& server,
+                        Pattern pattern,
+                        std::vector<std::uint64_t> offsets, std::uint64_t rs,
+                        bool includeFlush, std::uint64_t fileBase,
+                        PassOutcome& outcome) {
+  const double start = engine.now();
+  const bool isWrite = isWritePattern(pattern);
+  std::uint64_t bytes = 0;
+  for (std::uint64_t offset : offsets) {
+    if (isWrite) {
+      co_await server.handleWrite(fileBase + offset, rs);
+    } else {
+      co_await server.handleRead(fileBase + offset, rs);
+    }
+    bytes += rs;
+  }
+  if (isWrite && includeFlush) co_await server.sync();
+  outcome.seconds = engine.now() - start;
+  outcome.bytes = bytes;
+}
+
+}  // namespace
+
+std::string IozoneResult::renderTable() const {
+  util::Table table("IOzone sweep (MB/s)");
+  table.setHeader({"Pattern", "RecordSize", "Bandwidth"},
+                  {util::Align::Left, util::Align::Right,
+                   util::Align::Right});
+  for (const auto& cell : cells) {
+    table.addRow({patternName(cell.pattern),
+                  util::formatBytes(cell.recordSize),
+                  util::formatSeconds(util::toMiBs(cell.bandwidth), 1)});
+  }
+  return table.render();
+}
+
+IozoneResult runIozone(sim::Engine& engine, storage::IoServer& server,
+                       const IozoneParams& params) {
+  IozoneResult result;
+  std::uint64_t fileSize = params.fileSize;
+  if (fileSize == 0) fileSize = 2 * server.cache().params().sizeBytes;
+  // Distinct extent region per pass so a read pass never hits data a
+  // previous pass cached (drop + separate regions = cold start).
+  std::uint64_t region = 0;
+  const std::uint64_t regionSpan = 1ULL << 42;
+
+  for (std::uint64_t rs : params.recordSizes) {
+    if (rs == 0 || rs > fileSize) {
+      throw std::invalid_argument("record size must be in (0, fileSize]");
+    }
+    for (Pattern pattern : params.patterns) {
+      server.cache().dropClean();
+      const std::uint64_t base = region++ * regionSpan;
+      // Read patterns need data on "disk": sequential-write the region
+      // first (untimed), then drop caches.
+      if (!isWritePattern(pattern)) {
+        PassOutcome prep;
+        engine.spawn(runPass(engine, server, Pattern::SequentialWrite,
+                             passOffsets(Pattern::SequentialWrite, fileSize,
+                                         rs, params.strideFactor,
+                                         params.randomSeed),
+                             rs, true, base, prep));
+        engine.drain();
+        server.cache().dropClean();
+      }
+      PassOutcome outcome;
+      engine.spawn(runPass(engine, server, pattern,
+                           passOffsets(pattern, fileSize, rs,
+                                       params.strideFactor,
+                                       params.randomSeed),
+                           rs, params.includeFlush, base, outcome));
+      engine.drain();
+      IozoneCell cell;
+      cell.pattern = pattern;
+      cell.recordSize = rs;
+      cell.bandwidth = outcome.seconds > 0
+                           ? static_cast<double>(outcome.bytes) /
+                                 outcome.seconds
+                           : 0;
+      result.cells.push_back(cell);
+      auto& peak = isWritePattern(pattern) ? result.peakWriteBandwidth
+                                           : result.peakReadBandwidth;
+      peak = std::max(peak, cell.bandwidth);
+    }
+  }
+  return result;
+}
+
+}  // namespace iop::iozone

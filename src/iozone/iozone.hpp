@@ -1,0 +1,70 @@
+// IOzone-style device/local-filesystem benchmark (the paper's Table IV).
+//
+// Runs directly on one I/O server (through its page cache onto the block
+// device — "I/O devices on local filesystem" level) and sweeps record
+// sizes across access patterns: sequential (-i0 -i1), strided (-i5, stride
+// = factor * RS) and random (-i2).  The file size defaults to twice the
+// server's cache ("minimum size = 2 * RAM"), the paper's rule for pushing
+// the measurement past the page cache.
+//
+// The per-configuration peak BW_PK of eqs. (3)-(4) is the maximum cell per
+// operation type, summed over I/O nodes for parallel filesystems (that
+// aggregation lives in analysis/peaks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "storage/server.hpp"
+
+namespace iop::iozone {
+
+enum class Pattern {
+  SequentialWrite,
+  SequentialRead,
+  StridedWrite,
+  StridedRead,
+  RandomWrite,
+  RandomRead,
+};
+
+const char* patternName(Pattern p);
+bool isWritePattern(Pattern p);
+
+struct IozoneParams {
+  /// 0 = twice the server cache size (the paper's 2*RAM rule).
+  std::uint64_t fileSize = 0;
+  std::vector<std::uint64_t> recordSizes = {
+      64ULL << 10, 256ULL << 10, 1ULL << 20, 4ULL << 20, 16ULL << 20};
+  std::vector<Pattern> patterns = {
+      Pattern::SequentialWrite, Pattern::SequentialRead,
+      Pattern::StridedWrite,    Pattern::StridedRead,
+      Pattern::RandomWrite,     Pattern::RandomRead};
+  std::uint64_t strideFactor = 4;  ///< -i5 stride = factor * RS
+  std::uint64_t randomSeed = 11;
+  /// Include fsync (drain write-back) in write timings, like iozone -e.
+  bool includeFlush = true;
+};
+
+struct IozoneCell {
+  Pattern pattern;
+  std::uint64_t recordSize = 0;
+  double bandwidth = 0;  ///< bytes/s
+};
+
+struct IozoneResult {
+  std::vector<IozoneCell> cells;
+  double peakWriteBandwidth = 0;  ///< max over write cells (bytes/s)
+  double peakReadBandwidth = 0;   ///< max over read cells (bytes/s)
+
+  std::string renderTable() const;
+};
+
+/// Run the sweep on one I/O server.  Uses the server's engine; caches are
+/// dropped between passes.
+IozoneResult runIozone(sim::Engine& engine, storage::IoServer& server,
+                       const IozoneParams& params = {});
+
+}  // namespace iop::iozone

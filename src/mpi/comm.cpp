@@ -1,0 +1,91 @@
+#include "mpi/comm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mpi/rank.hpp"
+
+namespace iop::mpi {
+
+namespace {
+
+/// Pure-delay collective cost body (barrier/bcast/allreduce trees).
+class DelayBody final : public CollectiveBody {
+ public:
+  DelayBody(sim::Engine& engine, double seconds)
+      : engine_(engine), seconds_(seconds) {}
+
+  sim::Task<void> run() override { return delayTask(engine_, seconds_); }
+
+ private:
+  static sim::Task<void> delayTask(sim::Engine& engine, double seconds) {
+    co_await engine.delay(seconds);
+  }
+
+  sim::Engine& engine_;
+  double seconds_;
+};
+
+}  // namespace
+
+Comm::Comm(sim::Engine& engine, std::vector<int> rankIds, double linkLatency)
+    : engine_(engine), rankIds_(std::move(rankIds)),
+      linkLatency_(linkLatency) {
+  if (rankIds_.empty()) throw std::invalid_argument("empty communicator");
+  for (int id : rankIds_) seqOfRank_[id] = 0;
+}
+
+Comm::Slot& Comm::slot(std::uint64_t seq) {
+  auto& s = slots_[seq];
+  if (!s.cv) s.cv = std::make_unique<sim::CondVar>(engine_);
+  return s;
+}
+
+void Comm::retire(std::uint64_t seq, Slot& s) {
+  if (++s.released == size()) slots_.erase(seq);
+}
+
+double Comm::treeCost(std::uint64_t bytes) const noexcept {
+  const double depth = std::ceil(std::log2(std::max(2, size())));
+  // Latency term per tree level plus pipelined payload serialization at a
+  // nominal in-network rate.
+  return depth * (linkLatency_ + 5.0e-6) +
+         static_cast<double>(bytes) / 1.0e9 * depth;
+}
+
+sim::Task<void> Comm::rendezvous(Rank& rank, CollectiveBody* body) {
+  auto it = seqOfRank_.find(rank.id());
+  if (it == seqOfRank_.end()) {
+    throw std::logic_error("rank not a member of this communicator");
+  }
+  const std::uint64_t seq = it->second++;
+  Slot& s = slot(seq);
+  if (++s.arrived == size()) {
+    if (body != nullptr) co_await body->run();
+    s.done = true;
+    s.cv->notifyAll();
+  } else {
+    while (!s.done) co_await s.cv->wait();
+  }
+  retire(seq, s);
+}
+
+sim::Task<void> Comm::barrier(Rank& rank) {
+  rank.noteCommEvent("MPI_Barrier");
+  DelayBody body(engine_, treeCost(0));
+  co_await rendezvous(rank, &body);
+}
+
+sim::Task<void> Comm::bcast(Rank& rank, std::uint64_t bytes) {
+  rank.noteCommEvent("MPI_Bcast");
+  DelayBody body(engine_, treeCost(bytes));
+  co_await rendezvous(rank, &body);
+}
+
+sim::Task<void> Comm::allreduce(Rank& rank, std::uint64_t bytes) {
+  rank.noteCommEvent("MPI_Allreduce");
+  DelayBody body(engine_, 2 * treeCost(bytes));
+  co_await rendezvous(rank, &body);
+}
+
+}  // namespace iop::mpi

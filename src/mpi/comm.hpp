@@ -1,0 +1,80 @@
+// Simulated MPI communicator: barriers and rendezvous for collectives.
+//
+// Each rank joins the k-th collective of a communicator in program order
+// (MPI's non-overtaking rule for collectives), so a Rendezvous slot is
+// keyed by a per-rank sequence number.  The last rank to arrive performs
+// the modeled cost and releases everyone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace iop::mpi {
+
+class Rank;
+
+/// Work executed by the last-arriving rank of a rendezvous (the modeled
+/// cost of a barrier tree, or the two-phase aggregation of a collective
+/// I/O call).  Implementations live in the awaiting coroutine's frame.
+///
+/// NOTE: this is deliberately a virtual interface rather than a
+/// std::function parameter — GCC 12 miscompiles coroutine parameters whose
+/// std::function is constructed from a prvalue lambda at the call site
+/// (double-destruction of the conversion temporary's target).
+class CollectiveBody {
+ public:
+  virtual ~CollectiveBody() = default;
+  virtual sim::Task<void> run() = 0;
+};
+
+/// A group of ranks performing collectives together.
+class Comm {
+ public:
+  Comm(sim::Engine& engine, std::vector<int> rankIds, double linkLatency);
+
+  int size() const noexcept { return static_cast<int>(rankIds_.size()); }
+  const std::vector<int>& rankIds() const noexcept { return rankIds_; }
+
+  /// Synchronize all members.  Cost: a latency-scaled tree.
+  sim::Task<void> barrier(Rank& rank);
+
+  /// Broadcast `bytes` from the root; modeled as a binomial tree of
+  /// latency + serialization terms (pure delay, does not occupy NICs).
+  sim::Task<void> bcast(Rank& rank, std::uint64_t bytes);
+
+  /// Allreduce of `bytes`; ~2x the bcast tree.
+  sim::Task<void> allreduce(Rank& rank, std::uint64_t bytes);
+
+  /// Generic rendezvous: every member calls this; the last arrival runs
+  /// `body` (may be null) before everyone is released.  `body` must stay
+  /// alive until the returned task completes (keep it in the caller's
+  /// coroutine frame).
+  sim::Task<void> rendezvous(Rank& rank, CollectiveBody* body);
+
+ private:
+  struct Slot {
+    int arrived = 0;
+    int released = 0;
+    bool done = false;
+    std::unique_ptr<sim::CondVar> cv;
+  };
+
+  Slot& slot(std::uint64_t seq);
+  void retire(std::uint64_t seq, Slot& s);
+  double treeCost(std::uint64_t bytes) const noexcept;
+
+  sim::Engine& engine_;
+  std::vector<int> rankIds_;
+  double linkLatency_;
+  // Per-rank collective sequence numbers (indexed by position in comm).
+  std::unordered_map<int, std::uint64_t> seqOfRank_;
+  std::unordered_map<std::uint64_t, Slot> slots_;
+};
+
+}  // namespace iop::mpi

@@ -1,0 +1,14 @@
+// Physical byte extent of a file request after view mapping.
+#pragma once
+
+#include <cstdint>
+
+namespace iop::mpi {
+
+struct Extent {
+  int fsFileId = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace iop::mpi

@@ -1,0 +1,398 @@
+#include "mpi/file.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/sync.hpp"
+
+namespace iop::mpi {
+
+namespace {
+
+/// Move contribution payloads between ranks and aggregators (phase one of
+/// two-phase I/O).  Contribution i is owned by aggregator i % aggs.size().
+sim::Task<void> shuffleTransfers(sim::Engine& eng,
+                                 const std::vector<Contribution>& contribs,
+                                 const std::vector<storage::Node*>& aggs,
+                                 bool toAggregators) {
+  std::vector<sim::Task<void>> xfers;
+  for (std::size_t i = 0; i < contribs.size(); ++i) {
+    const auto& c = contribs[i];
+    storage::Node* agg = aggs[i % aggs.size()];
+    if (c.node == agg || c.bytes == 0) continue;
+    if (toAggregators) {
+      xfers.push_back(storage::transfer(eng, *c.node, *agg, c.bytes));
+    } else {
+      xfers.push_back(storage::transfer(eng, *agg, *c.node, c.bytes));
+    }
+  }
+  co_await sim::whenAll(eng, std::move(xfers));
+}
+
+/// Issue a list of extents sequentially from one node (one aggregator's
+/// share of phase two, or one rank's independent request list).
+sim::Task<void> runExtentsFromNode(storage::FileSystem& fs,
+                                   storage::Node& node,
+                                   std::vector<Extent> extents,
+                                   bool isWrite) {
+  for (const auto& e : extents) {
+    if (isWrite) {
+      co_await fs.write(node, e.fsFileId, e.offset, e.bytes);
+    } else {
+      co_await fs.read(node, e.fsFileId, e.offset, e.bytes);
+    }
+  }
+}
+
+/// The aggregation body executed by the last-arriving rank of a collective
+/// I/O call: merge all contributions into contiguous extents, shuffle data
+/// to the aggregator nodes, and issue large filesystem requests.
+sim::Task<void> runTwoPhase(sim::Engine& eng, storage::FileSystem& fs,
+                            const IoHints& hints,
+                            std::vector<Contribution> contribs,
+                            bool isWrite) {
+  if (!hints.collectiveBuffering) {
+    // "SIMPLE" behaviour: everyone writes their own pieces, concurrently.
+    std::vector<sim::Task<void>> ops;
+    for (auto& c : contribs) {
+      ops.push_back(runExtentsFromNode(fs, *c.node, c.extents, isWrite));
+    }
+    co_await sim::whenAll(eng, std::move(ops));
+    co_return;
+  }
+
+  // Merge every contribution's extents into maximal contiguous runs.
+  std::vector<Extent> all;
+  for (auto& c : contribs) {
+    all.insert(all.end(), c.extents.begin(), c.extents.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Extent& a, const Extent& b) {
+    if (a.fsFileId != b.fsFileId) return a.fsFileId < b.fsFileId;
+    return a.offset < b.offset;
+  });
+  std::vector<Extent> merged;
+  for (const auto& e : all) {
+    if (!merged.empty() && merged.back().fsFileId == e.fsFileId &&
+        merged.back().offset + merged.back().bytes == e.offset) {
+      merged.back().bytes += e.bytes;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  // Aggregator nodes: distinct compute nodes in rank order, capped by the
+  // cb_nodes hint.
+  std::vector<storage::Node*> aggs;
+  for (const auto& c : contribs) {
+    if (std::find(aggs.begin(), aggs.end(), c.node) == aggs.end()) {
+      aggs.push_back(c.node);
+    }
+  }
+  if (hints.cbNodes > 0 &&
+      aggs.size() > static_cast<std::size_t>(hints.cbNodes)) {
+    aggs.resize(static_cast<std::size_t>(hints.cbNodes));
+  }
+
+  // Phase two work split: cb-buffer-sized chunks round-robin over
+  // aggregators; each aggregator issues its chunks in order.
+  std::vector<std::vector<Extent>> perAgg(aggs.size());
+  std::size_t next = 0;
+  for (const auto& e : merged) {
+    std::uint64_t cursor = 0;
+    while (cursor < e.bytes) {
+      const std::uint64_t chunk =
+          std::min(e.bytes - cursor, hints.cbBufferSize);
+      perAgg[next % aggs.size()].push_back(
+          Extent{e.fsFileId, e.offset + cursor, chunk});
+      ++next;
+      cursor += chunk;
+    }
+  }
+
+  // ROMIO pipelines the exchange and I/O of successive cb-buffer rounds,
+  // so the shuffle overlaps the filesystem ops (an aggregator's NIC rx and
+  // tx are separate channels); modeling them concurrently captures that.
+  std::vector<sim::Task<void>> ops;
+  ops.push_back(shuffleTransfers(eng, contribs, aggs, isWrite));
+  for (std::size_t a = 0; a < aggs.size(); ++a) {
+    if (perAgg[a].empty()) continue;
+    ops.push_back(
+        runExtentsFromNode(fs, *aggs[a], std::move(perAgg[a]), isWrite));
+  }
+  co_await sim::whenAll(eng, std::move(ops));
+}
+
+}  // namespace
+
+File::File(Rank& rank, std::shared_ptr<SharedFileState> shared, int fsFileId)
+    : rank_(rank), shared_(std::move(shared)), fsFileId_(fsFileId) {}
+
+int File::logicalFileId() const noexcept { return shared_->logicalId(); }
+
+void File::setView(std::uint64_t dispBytes, std::uint64_t etypeBytes,
+                   std::uint64_t filetypeBlock,
+                   std::uint64_t filetypeStride) {
+  if (etypeBytes == 0 || filetypeBlock == 0 ||
+      filetypeStride < filetypeBlock) {
+    throw std::invalid_argument("invalid file view");
+  }
+  viewDisp_ = dispBytes;
+  etype_ = etypeBytes;
+  ftBlock_ = filetypeBlock;
+  ftStride_ = filetypeStride;
+  pointer_ = 0;
+  auto& meta = shared_->meta();
+  meta.etypeBytes = etypeBytes;
+  meta.viewDisp = dispBytes;
+  meta.filetypeBlock = filetypeBlock;
+  meta.filetypeStride = filetypeStride;
+}
+
+std::vector<Extent> File::mapToExtents(std::uint64_t offsetEtypes,
+                                       std::uint64_t bytes) const {
+  if (bytes % etype_ != 0) {
+    throw std::invalid_argument(
+        "request size must be a whole number of etypes");
+  }
+  std::vector<Extent> out;
+  if (ftBlock_ == ftStride_) {
+    out.push_back(
+        Extent{fsFileId_, viewDisp_ + offsetEtypes * etype_, bytes});
+    return out;
+  }
+  std::uint64_t e = offsetEtypes;
+  std::uint64_t remaining = bytes / etype_;
+  while (remaining > 0) {
+    const std::uint64_t tile = e / ftBlock_;
+    const std::uint64_t within = e % ftBlock_;
+    const std::uint64_t take = std::min(remaining, ftBlock_ - within);
+    const std::uint64_t physByte =
+        viewDisp_ + (tile * ftStride_ + within) * etype_;
+    if (!out.empty() &&
+        out.back().offset + out.back().bytes == physByte) {
+      out.back().bytes += take * etype_;
+    } else {
+      out.push_back(Extent{fsFileId_, physByte, take * etype_});
+    }
+    e += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+void File::emitTrace(const char* opName, std::uint64_t offsetEtypes,
+                     std::uint64_t bytes, std::uint64_t tick, double entry) {
+  if (TraceSink* sink = rank_.traceSink()) {
+    IoCallRecord rec;
+    rec.rank = rank_.id();
+    rec.fileId = shared_->logicalId();
+    rec.op = opName;
+    rec.offsetUnits = offsetEtypes;
+    rec.tick = tick;
+    rec.requestBytes = bytes;
+    rec.time = entry;
+    rec.duration = rank_.engine().now() - entry;
+    sink->onIoCall(rec);
+  }
+}
+
+void File::updateMeta(bool collective, bool explicitOffset) {
+  auto& meta = shared_->meta();
+  meta.sawCollective = meta.sawCollective || collective;
+  if (explicitOffset) {
+    meta.sawExplicitOffsets = true;
+  } else {
+    meta.sawIndividualPointers = true;
+  }
+}
+
+sim::Task<void> File::independentOp(OpKind kind, std::uint64_t offsetEtypes,
+                                    std::uint64_t bytes,
+                                    const char* opName) {
+  const std::uint64_t tick = rank_.bumpTick();
+  const double entry = rank_.engine().now();
+  auto extents = mapToExtents(offsetEtypes, bytes);
+  auto& fs = shared_->fs();
+  const IoHints& hints = rank_.runtime().hints();
+
+  // ROMIO data sieving: a fragmented request touches the whole spanning
+  // region in sieve-buffer passes — reads fetch the holes too; writes are
+  // read-modify-write over the span.  Cheaper than hundreds of small
+  // requests whenever the fragments are dense.
+  const bool sieve = kind == OpKind::Write ? hints.dataSievingWrites
+                                           : hints.dataSievingReads;
+  if (sieve && extents.size() >= 2) {
+    const std::uint64_t spanBegin = extents.front().offset;
+    const std::uint64_t spanEnd =
+        extents.back().offset + extents.back().bytes;
+    std::uint64_t cursor = spanBegin;
+    while (cursor < spanEnd) {
+      const std::uint64_t chunk =
+          std::min(spanEnd - cursor, hints.sieveBufferSize);
+      co_await fs.read(rank_.node(), extents.front().fsFileId, cursor,
+                       chunk);
+      if (kind == OpKind::Write) {
+        co_await fs.write(rank_.node(), extents.front().fsFileId, cursor,
+                          chunk);
+      }
+      cursor += chunk;
+    }
+  } else {
+    for (const auto& e : extents) {
+      if (kind == OpKind::Write) {
+        co_await fs.write(rank_.node(), e.fsFileId, e.offset, e.bytes);
+      } else {
+        co_await fs.read(rank_.node(), e.fsFileId, e.offset, e.bytes);
+      }
+    }
+  }
+  emitTrace(opName, offsetEtypes, bytes, tick, entry);
+}
+
+namespace {
+
+/// Two-phase aggregation body living in the calling rank's frame; run by
+/// whichever rank arrives last at the rendezvous.
+class TwoPhaseBody final : public CollectiveBody {
+ public:
+  TwoPhaseBody(sim::Engine& engine, SharedFileState& state,
+               const IoHints& hints, bool isWrite)
+      : engine_(engine), state_(state), hints_(hints), isWrite_(isWrite) {}
+
+  sim::Task<void> run() override {
+    std::vector<Contribution> contribs = std::move(state_.pending());
+    state_.pending().clear();
+    return runTwoPhase(engine_, state_.fs(), hints_, std::move(contribs),
+                       isWrite_);
+  }
+
+ private:
+  sim::Engine& engine_;
+  SharedFileState& state_;
+  const IoHints& hints_;
+  bool isWrite_;
+};
+
+}  // namespace
+
+sim::Task<void> File::collectiveOp(OpKind kind, std::uint64_t offsetEtypes,
+                                   std::uint64_t bytes, const char* opName) {
+  const std::uint64_t tick = rank_.bumpTick();
+  const double entry = rank_.engine().now();
+
+  Contribution contribution;
+  contribution.node = &rank_.node();
+  contribution.extents = mapToExtents(offsetEtypes, bytes);
+  contribution.bytes = bytes;
+
+  Runtime& rt = rank_.runtime();
+  const bool isWrite = kind == OpKind::Write;
+
+  // Contribute synchronously: execution is non-preemptive between awaits,
+  // and collectives on a file cannot overlap, so pending() accumulates
+  // exactly this collective's np contributions.
+  shared_->pending().push_back(std::move(contribution));
+  TwoPhaseBody body(rank_.engine(), *shared_, rt.hints(), isWrite);
+  co_await rt.world().rendezvous(rank_, &body);
+
+  emitTrace(opName, offsetEtypes, bytes, tick, entry);
+}
+
+sim::Task<void> File::writeAt(std::uint64_t offsetEtypes,
+                              std::uint64_t bytes) {
+  updateMeta(false, true);
+  return independentOp(OpKind::Write, offsetEtypes, bytes,
+                       "MPI_File_write_at");
+}
+
+sim::Task<void> File::readAt(std::uint64_t offsetEtypes,
+                             std::uint64_t bytes) {
+  updateMeta(false, true);
+  return independentOp(OpKind::Read, offsetEtypes, bytes,
+                       "MPI_File_read_at");
+}
+
+sim::Task<void> File::writeAtAll(std::uint64_t offsetEtypes,
+                                 std::uint64_t bytes) {
+  updateMeta(true, true);
+  return collectiveOp(OpKind::Write, offsetEtypes, bytes,
+                      "MPI_File_write_at_all");
+}
+
+sim::Task<void> File::readAtAll(std::uint64_t offsetEtypes,
+                                std::uint64_t bytes) {
+  updateMeta(true, true);
+  return collectiveOp(OpKind::Read, offsetEtypes, bytes,
+                      "MPI_File_read_at_all");
+}
+
+namespace {
+
+/// Background body of a non-blocking op: runs the independent operation
+/// detached, then releases the Request's latch.
+sim::Task<void> runNonBlocking(sim::Task<void> op,
+                               std::shared_ptr<sim::Latch> done) {
+  co_await std::move(op);
+  done->countDown();
+}
+
+}  // namespace
+
+Request File::nonBlockingOp(OpKind kind, std::uint64_t offsetEtypes,
+                            std::uint64_t bytes, const char* opName) {
+  auto done = std::make_shared<sim::Latch>(rank_.engine(), 1);
+  rank_.engine().spawn(runNonBlocking(
+      independentOp(kind, offsetEtypes, bytes, opName), done));
+  return Request(rank_.engine(), std::move(done));
+}
+
+Request File::iwriteAt(std::uint64_t offsetEtypes, std::uint64_t bytes) {
+  updateMeta(false, true);
+  shared_->meta().sawNonBlocking = true;
+  return nonBlockingOp(OpKind::Write, offsetEtypes, bytes,
+                       "MPI_File_iwrite_at");
+}
+
+Request File::ireadAt(std::uint64_t offsetEtypes, std::uint64_t bytes) {
+  updateMeta(false, true);
+  shared_->meta().sawNonBlocking = true;
+  return nonBlockingOp(OpKind::Read, offsetEtypes, bytes,
+                       "MPI_File_iread_at");
+}
+
+sim::Task<void> File::write(std::uint64_t bytes) {
+  updateMeta(false, false);
+  const std::uint64_t at = pointer_;
+  pointer_ += bytes / etype_;
+  return independentOp(OpKind::Write, at, bytes, "MPI_File_write");
+}
+
+sim::Task<void> File::read(std::uint64_t bytes) {
+  updateMeta(false, false);
+  const std::uint64_t at = pointer_;
+  pointer_ += bytes / etype_;
+  return independentOp(OpKind::Read, at, bytes, "MPI_File_read");
+}
+
+sim::Task<void> File::writeAll(std::uint64_t bytes) {
+  updateMeta(true, false);
+  const std::uint64_t at = pointer_;
+  pointer_ += bytes / etype_;
+  return collectiveOp(OpKind::Write, at, bytes, "MPI_File_write_all");
+}
+
+sim::Task<void> File::readAll(std::uint64_t bytes) {
+  updateMeta(true, false);
+  const std::uint64_t at = pointer_;
+  pointer_ += bytes / etype_;
+  return collectiveOp(OpKind::Read, at, bytes, "MPI_File_read_all");
+}
+
+sim::Task<void> File::close() {
+  rank_.noteCommEvent("MPI_File_close");
+  co_await shared_->fs().metadataOp(rank_.node());
+}
+
+}  // namespace iop::mpi

@@ -1,0 +1,64 @@
+#include "mpi/rank.hpp"
+
+#include "mpi/comm.hpp"
+#include "mpi/file.hpp"
+#include "mpi/runtime.hpp"
+
+namespace iop::mpi {
+
+Rank::Rank(Runtime& runtime, int id, storage::Node& node)
+    : runtime_(runtime), id_(id), node_(node) {}
+
+int Rank::np() const noexcept { return runtime_.np(); }
+
+sim::Engine& Rank::engine() noexcept { return runtime_.engine(); }
+
+Comm& Rank::world() noexcept { return runtime_.world(); }
+
+sim::Task<void> Rank::compute(double seconds) {
+  co_await engine().delay(seconds);
+}
+
+sim::Task<void> Rank::barrier() { return world().barrier(*this); }
+
+sim::Task<void> Rank::bcast(std::uint64_t bytes) {
+  return world().bcast(*this, bytes);
+}
+
+sim::Task<void> Rank::allreduce(std::uint64_t bytes) {
+  return world().allreduce(*this, bytes);
+}
+
+sim::Task<void> Rank::send(int destRank, std::uint64_t bytes) {
+  noteCommEvent("MPI_Send");
+  return runtime_.deliverMessage(*this, destRank, bytes);
+}
+
+sim::Task<void> Rank::recv(int sourceRank, std::uint64_t bytes) {
+  noteCommEvent("MPI_Recv");
+  return runtime_.awaitMessage(*this, sourceRank, bytes);
+}
+
+void Rank::noteCommEvent(const std::string& op) {
+  const std::uint64_t t = bumpTick();
+  if (TraceSink* sink = traceSink()) {
+    sink->onCommEvent(id_, t, op, engine().now());
+  }
+}
+
+TraceSink* Rank::traceSink() noexcept { return runtime_.sink(); }
+
+sim::Task<std::shared_ptr<File>> Rank::open(const std::string& mount,
+                                            const std::string& path,
+                                            AccessType accessType) {
+  noteCommEvent("MPI_File_open");
+  auto state = runtime_.fileState(mount, path, accessType);
+  // Unique access ("-F"): each rank gets its own extent namespace.
+  const int fsFileId = accessType == AccessType::Shared
+                           ? state->logicalId() * 100000
+                           : state->logicalId() * 100000 + 1 + id_;
+  co_await state->fs().metadataOp(node_);
+  co_return std::make_shared<File>(*this, std::move(state), fsFileId);
+}
+
+}  // namespace iop::mpi

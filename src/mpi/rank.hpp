@@ -1,0 +1,75 @@
+// A simulated MPI process.
+//
+// Ranks are coroutines scheduled by the discrete-event engine.  Each rank
+// carries the paper's logical clock: `tick` increments on every MPI event
+// (communication or I/O), independent of simulated wall time — exactly the
+// ordering token PAS2P uses and the phase analysis depends on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "storage/network.hpp"
+
+namespace iop::mpi {
+
+class Comm;
+class File;
+class Runtime;
+class TraceSink;
+
+enum class AccessType { Shared, Unique };
+
+class Rank {
+ public:
+  Rank(Runtime& runtime, int id, storage::Node& node);
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  int id() const noexcept { return id_; }
+  int np() const noexcept;
+  sim::Engine& engine() noexcept;
+  storage::Node& node() noexcept { return node_; }
+  Runtime& runtime() noexcept { return runtime_; }
+  Comm& world() noexcept;
+
+  std::uint64_t tick() const noexcept { return tick_; }
+
+  /// Busy-work / computation: advances simulated time, NOT the tick
+  /// (the paper's MADbench2 "busy-work" is invisible to the MPI trace).
+  sim::Task<void> compute(double seconds);
+
+  /// Convenience collectives on the world communicator.
+  sim::Task<void> barrier();
+  sim::Task<void> bcast(std::uint64_t bytes);
+  sim::Task<void> allreduce(std::uint64_t bytes);
+
+  /// Point-to-point: blocking send/recv of `bytes` (matched by source, in
+  /// order — MPI's non-overtaking guarantee for a single "tag" stream).
+  /// The payload moves over the node NICs like any other transfer.
+  sim::Task<void> send(int destRank, std::uint64_t bytes);
+  sim::Task<void> recv(int sourceRank, std::uint64_t bytes);
+
+  /// Open a file.  Shared: one file for all ranks (every rank must call).
+  /// Unique: one file per rank ("-F" in IOR terms).
+  /// Bumps the tick and charges the filesystem metadata cost.
+  sim::Task<std::shared_ptr<File>> open(const std::string& mount,
+                                        const std::string& path,
+                                        AccessType accessType);
+
+  /// --- internal hooks (used by Comm/File) ---
+  std::uint64_t bumpTick() noexcept { return ++tick_; }
+  void noteCommEvent(const std::string& op);
+  TraceSink* traceSink() noexcept;
+
+ private:
+  Runtime& runtime_;
+  int id_;
+  storage::Node& node_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace iop::mpi

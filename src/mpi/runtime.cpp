@@ -1,0 +1,161 @@
+#include "mpi/runtime.hpp"
+
+#include <stdexcept>
+
+#include "mpi/file.hpp"
+#include "sim/sync.hpp"
+
+namespace iop::mpi {
+
+namespace {
+
+// NOTE: `main` is taken by const reference (it lives in the Runtime for the
+// whole run) — GCC 12 miscompiles owning std::function coroutine parameters
+// in some call forms, so callables are never passed by value to coroutines
+// in this codebase.
+sim::Task<void> rankWrapper(const Runtime::RankMain& main, Rank& rank,
+                            sim::Latch& latch) {
+  co_await main(rank);
+  latch.countDown();
+}
+
+sim::Task<void> supervisor(Runtime& runtime, sim::Latch& latch,
+                           double& appElapsed,
+                           std::unique_ptr<sim::Latch> owned) {
+  (void)owned;  // keeps the latch alive for the whole run
+  co_await latch.wait();
+  appElapsed = runtime.engine().now();
+  runtime.notifyAppComplete();
+  runtime.completed().set();
+  if (runtime.shutdownOnCompletion()) runtime.topology().shutdown();
+}
+
+}  // namespace
+
+Runtime::Runtime(storage::Topology& topology, RuntimeOptions options)
+    : topology_(topology), options_(std::move(options)) {
+  if (options_.np <= 0) throw std::invalid_argument("np must be positive");
+  if (options_.computeNodes.empty()) {
+    throw std::invalid_argument("computeNodes must not be empty");
+  }
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(options_.np));
+  for (int i = 0; i < options_.np; ++i) ids.push_back(i);
+  const double latency =
+      topology_.node(options_.computeNodes.front()).link().latency;
+  world_ = std::make_unique<Comm>(engine(), ids, latency);
+  completed_ = std::make_unique<sim::Event>(engine());
+  for (int i = 0; i < options_.np; ++i) {
+    auto nodeIdx = options_.computeNodes[static_cast<std::size_t>(i) %
+                                         options_.computeNodes.size()];
+    ranks_.push_back(
+        std::make_unique<Rank>(*this, i, topology_.node(nodeIdx)));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::launch(RankMain main) {
+  mainFn_ = std::move(main);
+  auto latch = std::make_unique<sim::Latch>(
+      engine(), static_cast<std::size_t>(options_.np));
+  sim::Latch& latchRef = *latch;
+  for (auto& rank : ranks_) {
+    engine().spawn(rankWrapper(mainFn_, *rank, latchRef));
+  }
+  engine().spawn(supervisor(*this, latchRef, appElapsed_, std::move(latch)));
+}
+
+double Runtime::runToCompletion(RankMain main) {
+  launch(std::move(main));
+  engine().run();
+  // Emit per-file metadata now that access flags are final.
+  if (options_.sink != nullptr) {
+    for (auto& [key, state] : files_) {
+      options_.sink->onFileMeta(state->meta());
+    }
+  }
+  return appElapsed_;
+}
+
+/// A send waiting for its matching receive: `matched` fires when a recv
+/// claims it; `done` fires when the payload transfer finished.
+struct Runtime::PendingSend {
+  PendingSend(sim::Engine& engine, std::uint64_t size)
+      : bytes(size), matched(engine, 1), done(engine, 1) {}
+  std::uint64_t bytes;
+  sim::Latch matched;
+  sim::Latch done;
+};
+
+Runtime::MessageChannel& Runtime::msgChannel(int src, int dst) {
+  auto& slot = msgChannels_[{src, dst}];
+  if (!slot) slot = std::make_unique<MessageChannel>(engine());
+  return *slot;
+}
+
+sim::Task<void> Runtime::deliverMessage(Rank& sender, int destRank,
+                                        std::uint64_t bytes) {
+  if (destRank < 0 || destRank >= np()) {
+    throw std::invalid_argument("send: destination rank out of range");
+  }
+  auto pending = std::make_shared<PendingSend>(engine(), bytes);
+  msgChannel(sender.id(), destRank).push(pending);
+  // Blocking-send rendezvous: wait for the matching receive, then move the
+  // payload over the NICs.
+  co_await pending->matched.wait();
+  co_await storage::transfer(engine(), sender.node(),
+                             rank(destRank).node(), bytes);
+  pending->done.countDown();
+}
+
+sim::Task<void> Runtime::awaitMessage(Rank& receiver, int sourceRank,
+                                      std::uint64_t bytes) {
+  if (sourceRank < 0 || sourceRank >= np()) {
+    throw std::invalid_argument("recv: source rank out of range");
+  }
+  auto pending =
+      co_await msgChannel(sourceRank, receiver.id()).pop();
+  if (pending->bytes != bytes) {
+    throw std::runtime_error("recv: message size mismatch (" +
+                             std::to_string(pending->bytes) + " sent, " +
+                             std::to_string(bytes) + " expected)");
+  }
+  pending->matched.countDown();
+  co_await pending->done.wait();
+}
+
+void Runtime::notifyAppComplete() {
+  if (options_.onAppComplete) options_.onAppComplete();
+}
+
+bool Runtime::shutdownOnCompletion() const noexcept {
+  return options_.shutdownTopologyOnCompletion;
+}
+
+Comm& Runtime::createComm(std::vector<int> rankIds) {
+  const double latency =
+      topology_.node(options_.computeNodes.front()).link().latency;
+  extraComms_.emplace_back(engine(), std::move(rankIds), latency);
+  return extraComms_.back();
+}
+
+std::shared_ptr<SharedFileState> Runtime::fileState(
+    const std::string& mount, const std::string& path,
+    AccessType accessType) {
+  const std::string key = mount + ":" + path;
+  auto it = files_.find(key);
+  if (it != files_.end()) {
+    if (it->second->accessType() != accessType) {
+      throw std::logic_error("file reopened with different access type: " +
+                             key);
+    }
+    return it->second;
+  }
+  auto state = std::make_shared<SharedFileState>(
+      nextLogicalId_++, path, accessType, topology_.fs(mount), options_.np);
+  files_.emplace(key, state);
+  return state;
+}
+
+}  // namespace iop::mpi

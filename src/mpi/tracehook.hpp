@@ -1,0 +1,59 @@
+// Interposition interface between the simulated MPI-IO layer and the
+// tracing tool (the role PAS2P-IO plays in the paper).
+//
+// The MPI layer calls into a TraceSink for every I/O call, every file
+// metadata event, and every communication event.  The trace module
+// implements this interface; keeping it abstract here avoids a dependency
+// cycle and mirrors how real interposition (PMPI) sits between the
+// application and the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iop::mpi {
+
+/// One MPI-IO call as the tracer sees it (the paper's Figure 2 row).
+/// `offsetUnits` is the offset argument exactly as passed by the caller —
+/// in etype units relative to the current file view, which is how MPI-IO
+/// explicit offsets work and why the paper's Figure 2 shows etype-scaled
+/// offsets.
+struct IoCallRecord {
+  int rank = 0;
+  int fileId = 0;
+  std::string op;
+  std::uint64_t offsetUnits = 0;
+  std::uint64_t tick = 0;
+  std::uint64_t requestBytes = 0;
+  double time = 0;      ///< entry time, seconds
+  double duration = 0;  ///< exit - entry, seconds
+};
+
+/// Per-file metadata the paper's methodology extracts (Section III-A1):
+/// access type (shared/unique), pointer kind, collectivity, view shape.
+struct FileMetaRecord {
+  int fileId = 0;
+  std::string path;
+  bool shared = true;           ///< one file for all processes
+  std::uint64_t etypeBytes = 1;
+  std::uint64_t viewDisp = 0;   ///< bytes
+  std::uint64_t filetypeBlock = 1;   ///< etypes of data per tile
+  std::uint64_t filetypeStride = 1;  ///< etypes per tile (== block: contiguous)
+  bool sawCollective = false;
+  bool sawExplicitOffsets = false;
+  bool sawIndividualPointers = false;
+  bool sawNonBlocking = false;
+  int np = 0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onIoCall(const IoCallRecord& record) = 0;
+  virtual void onFileMeta(const FileMetaRecord& record) = 0;
+  /// Non-I/O MPI event (barrier, bcast, ...), for tick bookkeeping.
+  virtual void onCommEvent(int rank, std::uint64_t tick,
+                           const std::string& op, double time) = 0;
+};
+
+}  // namespace iop::mpi

@@ -1,0 +1,79 @@
+#include "sim/engine.hpp"
+
+namespace iop::sim {
+
+namespace detail {
+
+void reportDetachedException(Engine& engine, std::exception_ptr exc) {
+  if (!engine.firstException_) engine.firstException_ = exc;
+}
+
+void noteDetachedTaskFinished(Engine& engine) { --engine.liveDetached_; }
+
+}  // namespace detail
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+Engine::~Engine() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (ev.ownsHandle && ev.handle) {
+      ev.handle.destroy();
+      --liveDetached_;
+    }
+  }
+}
+
+void Engine::spawn(Task<void> task) { spawnAt(now_, std::move(task)); }
+
+void Engine::spawnAt(Time when, Task<void> task) {
+  auto handle = task.release();
+  if (!handle) return;
+  handle.promise().engine = this;
+  handle.promise().detached = true;
+  ++liveDetached_;
+  scheduleImpl(when < now_ ? now_ : when, handle, true);
+}
+
+void Engine::scheduleImpl(Time when, std::coroutine_handle<> h, bool owns) {
+  queue_.push(Event{when, seq_++, h, owns});
+}
+
+void Engine::dispatchUntil(Time limit, bool bounded) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    if (bounded && ev.when > limit) {
+      now_ = limit;
+      return;
+    }
+    queue_.pop();
+    now_ = ev.when;
+    ++dispatched_;
+    ev.handle.resume();
+    throwIfFailed();
+  }
+}
+
+void Engine::throwIfFailed() {
+  if (firstException_) {
+    std::exception_ptr exc = firstException_;
+    firstException_ = nullptr;
+    std::rethrow_exception(exc);
+  }
+}
+
+void Engine::run() {
+  dispatchUntil(0, false);
+  if (liveDetached_ > 0) {
+    throw DeadlockError("simulation deadlock: " +
+                        std::to_string(liveDetached_) +
+                        " process(es) blocked with an empty event queue");
+  }
+}
+
+void Engine::runUntil(Time limit) { dispatchUntil(limit, true); }
+
+void Engine::drain() { dispatchUntil(0, false); }
+
+}  // namespace iop::sim

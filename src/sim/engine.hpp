@@ -1,0 +1,129 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns the simulated clock and a priority queue of ready
+// coroutines.  Events with equal timestamps run in scheduling order
+// (monotonic sequence numbers), so a run is a pure function of its inputs
+// and the RNG seed — a property the whole repository relies on for
+// reproducing the paper's tables.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+
+namespace iop::sim {
+
+/// Simulated time, in seconds.
+using Time = double;
+
+/// Thrown by Engine::run when the event queue drains while detached
+/// processes are still blocked (a lost wake-up / deadlock in model code).
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  /// Destroys still-queued never-started detached frames.
+  ~Engine();
+
+  /// Current simulated time in seconds.
+  Time now() const noexcept { return now_; }
+
+  /// Deterministic RNG owned by this engine.
+  util::Rng& rng() noexcept { return rng_; }
+
+  /// Launch a detached process at the current time.  The coroutine frame
+  /// frees itself on completion; uncaught exceptions surface from run().
+  void spawn(Task<void> task);
+
+  /// Launch a detached process at an absolute future time.
+  void spawnAt(Time when, Task<void> task);
+
+  /// Schedule a raw coroutine resumption (used by awaitables).
+  void schedule(Time when, std::coroutine_handle<> h) {
+    scheduleImpl(when, h, false);
+  }
+  void scheduleNow(std::coroutine_handle<> h) { schedule(now_, h); }
+
+  /// Run until the event queue is empty.  Throws DeadlockError if detached
+  /// processes remain blocked, and rethrows the first uncaught exception
+  /// from any detached process.
+  void run();
+
+  /// Run until the queue is empty or simulated time would exceed `limit`.
+  /// Events after `limit` stay queued; now() is clamped to `limit`.
+  void runUntil(Time limit);
+
+  /// Like run(), but without the deadlock check: blocked daemon processes
+  /// (e.g. an idle cache flusher between benchmark passes) are tolerated.
+  void drain();
+
+  /// Awaitable: suspend the calling coroutine for `dt` simulated seconds.
+  /// A non-positive dt still yields through the event queue (runs after
+  /// already-scheduled same-time events).
+  auto delay(Time dt) {
+    struct Awaiter {
+      Engine& engine;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule(engine.now_ + (dt > 0 ? dt : 0), h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Awaitable: reschedule at the current time, after pending same-time
+  /// events (cooperative yield).
+  auto yield() { return delay(0); }
+
+  /// Number of events dispatched so far (for tests and micro-benchmarks).
+  std::uint64_t eventsDispatched() const noexcept { return dispatched_; }
+
+  /// Number of detached processes that have not finished yet.
+  int liveProcesses() const noexcept { return liveDetached_; }
+
+ private:
+  friend void detail::reportDetachedException(Engine&, std::exception_ptr);
+  friend void detail::noteDetachedTaskFinished(Engine&);
+
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    /// True only for a detached frame's very first scheduling: if the
+    /// engine dies before dispatch, the frame must be destroyed here.
+    bool ownsHandle = false;
+    bool operator>(const Event& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void scheduleImpl(Time when, std::coroutine_handle<> h, bool owns);
+  void dispatchUntil(Time limit, bool bounded);
+  void throwIfFailed();
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  int liveDetached_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::exception_ptr firstException_{};
+  util::Rng rng_;
+};
+
+}  // namespace iop::sim

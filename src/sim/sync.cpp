@@ -1,0 +1,89 @@
+#include "sim/sync.hpp"
+
+#include <stdexcept>
+
+namespace iop::sim {
+
+void Latch::countDown() {
+  if (count_ == 0) {
+    throw std::logic_error("Latch::countDown below zero");
+  }
+  if (--count_ == 0) {
+    for (auto h : waiters_) engine_.scheduleNow(h);
+    waiters_.clear();
+  }
+}
+
+void Event::set() {
+  set_ = true;
+  for (auto h : waiters_) engine_.scheduleNow(h);
+  waiters_.clear();
+}
+
+void Resource::release() {
+  accrue();
+  if (!queue_.empty()) {
+    // Hand the token straight to the next waiter; inUse_ is unchanged.
+    auto h = queue_.front();
+    queue_.pop_front();
+    engine_.scheduleNow(h);
+  } else {
+    if (inUse_ == 0) throw std::logic_error("Resource::release underflow");
+    --inUse_;
+  }
+}
+
+Task<void> Resource::use(Time serviceTime) {
+  co_await acquire();
+  co_await engine_.delay(serviceTime);
+  release();
+}
+
+void Resource::takeToken() {
+  accrue();
+  ++inUse_;
+}
+
+void Resource::accrue() {
+  const Time now = engine_.now();
+  busyIntegral_ +=
+      (now - lastChange_) * static_cast<double>(inUse_) / capacity_;
+  lastChange_ = now;
+}
+
+double Resource::busyIntegral(Time asOf) const {
+  return busyIntegral_ +
+         (asOf - lastChange_) * static_cast<double>(inUse_) / capacity_;
+}
+
+void CondVar::notifyAll() {
+  for (auto h : waiters_) engine_.scheduleNow(h);
+  waiters_.clear();
+}
+
+namespace {
+
+Task<void> runChild(Task<void> child, Latch& latch,
+                    std::exception_ptr& firstError) {
+  try {
+    co_await std::move(child);
+  } catch (...) {
+    if (!firstError) firstError = std::current_exception();
+  }
+  latch.countDown();
+}
+
+}  // namespace
+
+Task<void> whenAll(Engine& engine, std::vector<Task<void>> tasks) {
+  Latch latch(engine, tasks.size());
+  std::exception_ptr firstError{};
+  for (auto& task : tasks) {
+    engine.spawn(runChild(std::move(task), latch, firstError));
+  }
+  tasks.clear();
+  co_await latch.wait();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace iop::sim

@@ -1,0 +1,129 @@
+// Block-device layer: single disks, RAID arrays, and JBOD concatenation.
+//
+// Arrays split a logical request into per-member segments and service the
+// members concurrently (sim::whenAll), which is what gives RAID its
+// bandwidth scaling in the model.  RAID5 additionally models the
+// small-write read-modify-write penalty and parity traffic — the reason
+// configuration A (RAID5) and configuration B (JBOD) behave differently in
+// the paper's Tables IX and X.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "storage/disk.hpp"
+
+namespace iop::storage {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Service one logical request.
+  virtual sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
+                                 IoOp op) = 0;
+
+  /// Member disks, for monitoring and peak estimation.
+  virtual void collectDisks(std::vector<Disk*>& out) = 0;
+
+  /// Ideal streaming bandwidth (bytes/s) for the op, ignoring latency —
+  /// the "devices working in parallel without influence of other
+  /// components" number the paper uses for BW_PK reasoning.
+  virtual double idealBandwidth(IoOp op) const noexcept = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+/// A device backed by one disk.
+class SingleDisk final : public BlockDevice {
+ public:
+  SingleDisk(sim::Engine& engine, DiskParams params)
+      : disk_(engine, std::move(params)) {}
+
+  sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
+                         IoOp op) override;
+  void collectDisks(std::vector<Disk*>& out) override;
+  double idealBandwidth(IoOp op) const noexcept override;
+  std::string describe() const override;
+
+  Disk& disk() noexcept { return disk_; }
+
+ private:
+  Disk disk_;
+};
+
+/// RAID0: striping, no redundancy.  A request touching k members issues k
+/// concurrent accesses of ~size/k.
+class Raid0 final : public BlockDevice {
+ public:
+  Raid0(sim::Engine& engine, std::vector<DiskParams> members,
+        std::uint64_t stripeUnit);
+
+  sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
+                         IoOp op) override;
+  void collectDisks(std::vector<Disk*>& out) override;
+  double idealBandwidth(IoOp op) const noexcept override;
+  std::string describe() const override;
+
+ private:
+  sim::Engine& engine_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::uint64_t stripeUnit_;
+};
+
+/// RAID5: striping with rotating parity over n members.
+///
+/// Reads behave like RAID0 over n members (parity rotates, so every member
+/// holds data).  Writes distinguish:
+///  * full-stripe spans: write data + parity concurrently; the parity
+///    overhead is a factor n/(n-1) of extra bytes.
+///  * partial-stripe edges: read-modify-write, charged as read + write of
+///    the touched chunk plus parity read + write.
+class Raid5 final : public BlockDevice {
+ public:
+  Raid5(sim::Engine& engine, std::vector<DiskParams> members,
+        std::uint64_t stripeUnit);
+
+  sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
+                         IoOp op) override;
+  void collectDisks(std::vector<Disk*>& out) override;
+  double idealBandwidth(IoOp op) const noexcept override;
+  std::string describe() const override;
+
+  std::uint64_t stripeWidth() const noexcept {
+    return stripeUnit_ * (disks_.size() - 1);
+  }
+
+ private:
+  sim::Task<void> writePartial(std::uint64_t offset, std::uint64_t size);
+
+  sim::Engine& engine_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::uint64_t stripeUnit_;
+};
+
+/// JBOD-style concatenation: members appended one after another; a request
+/// lands on (at most a few) members by address range.  `memberSpan` is the
+/// logical size of each member's address window.
+class Concat final : public BlockDevice {
+ public:
+  Concat(sim::Engine& engine, std::vector<DiskParams> members,
+         std::uint64_t memberSpan);
+
+  sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
+                         IoOp op) override;
+  void collectDisks(std::vector<Disk*>& out) override;
+  double idealBandwidth(IoOp op) const noexcept override;
+  std::string describe() const override;
+
+ private:
+  sim::Engine& engine_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::uint64_t memberSpan_;
+};
+
+}  // namespace iop::storage

@@ -1,0 +1,129 @@
+#include "storage/cache.hpp"
+
+#include <algorithm>
+
+namespace iop::storage {
+
+PageCache::PageCache(sim::Engine& engine, BlockDevice& device,
+                     CacheParams params)
+    : engine_(engine),
+      device_(device),
+      params_(params),
+      dirtyCv_(engine),
+      spaceCv_(engine),
+      idleCv_(engine) {
+  if (params_.enabled && !params_.writeThrough) {
+    engine_.spawn(flusherLoop());
+  }
+}
+
+sim::Task<void> PageCache::flusherLoop() {
+  for (;;) {
+    while (dirty_.empty() && !shutdown_) {
+      co_await dirtyCv_.wait();
+    }
+    if (dirty_.empty() && shutdown_) break;
+
+    // Elevator sweep: continue from the last flushed offset so contiguous
+    // regions drain as large sequential device writes.
+    const auto pick = dirty_.firstIntervalAtOrAfter(flushCursor_);
+    const std::uint64_t offset = pick->first;
+    const std::uint64_t take =
+        std::min(pick->second - pick->first, params_.flushChunk);
+    dirty_.erase(offset, offset + take);
+    flushCursor_ = offset + take;
+
+    flushInFlight_ = take;
+    co_await device_.access(offset, take, IoOp::Write);
+    flushInFlight_ = 0;
+    spaceCv_.notifyAll();
+    if (dirtyBytes() == 0) idleCv_.notifyAll();
+  }
+}
+
+void PageCache::evictIfNeeded() {
+  while (resident_.totalBytes() > params_.sizeBytes && !fifo_.empty()) {
+    auto [b, e] = fifo_.front();
+    fifo_.pop_front();
+    resident_.erase(b, e);
+  }
+}
+
+sim::Task<void> PageCache::write(std::uint64_t offset, std::uint64_t size) {
+  if (!params_.enabled) {
+    co_await device_.access(offset, size, IoOp::Write);
+    co_return;
+  }
+  co_await engine_.delay(static_cast<double>(size) / params_.memBandwidth);
+  if (params_.writeThrough) {
+    co_await device_.access(offset, size, IoOp::Write);
+    resident_.insert(offset, offset + size);
+    fifo_.emplace_back(offset, offset + size);
+    evictIfNeeded();
+    co_return;
+  }
+  while (dirtyBytes() + size > dirtyLimit()) {
+    co_await spaceCv_.wait();
+  }
+  dirty_.insert(offset, offset + size);
+  resident_.insert(offset, offset + size);
+  fifo_.emplace_back(offset, offset + size);
+  evictIfNeeded();
+  dirtyCv_.notifyAll();
+}
+
+sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size) {
+  if (!params_.enabled) {
+    co_await device_.access(offset, size, IoOp::Read);
+    co_return;
+  }
+  const std::uint64_t end = offset + size;
+  auto gaps = resident_.gaps(offset, end);
+  std::uint64_t missBytes = 0;
+  for (const auto& [b, e] : gaps) missBytes += e - b;
+  readHitBytes_ += size - missBytes;
+  readMissBytes_ += missBytes;
+
+  if (!gaps.empty()) {
+    // If the request is mostly uncached, fetch it as one spanning device
+    // read (read coalescing); otherwise fetch each gap.
+    if (missBytes * 4 >= size * 3) {
+      const std::uint64_t b = gaps.front().first;
+      const std::uint64_t e = gaps.back().second;
+      co_await device_.access(b, e - b, IoOp::Read);
+    } else {
+      std::vector<sim::Task<void>> fetches;
+      for (const auto& [b, e] : gaps) {
+        fetches.push_back(device_.access(b, e - b, IoOp::Read));
+      }
+      co_await sim::whenAll(engine_, std::move(fetches));
+    }
+    for (const auto& [b, e] : gaps) {
+      resident_.insert(b, e);
+      fifo_.emplace_back(b, e);
+    }
+    evictIfNeeded();
+  }
+  // Copy-out of the full request at memory speed.
+  co_await engine_.delay(static_cast<double>(size) / params_.memBandwidth);
+}
+
+sim::Task<void> PageCache::flushAll() {
+  if (!params_.enabled) co_return;
+  dirtyCv_.notifyAll();
+  while (dirtyBytes() > 0) {
+    co_await idleCv_.wait();
+  }
+}
+
+void PageCache::dropClean() {
+  resident_.clear();
+  fifo_.clear();
+}
+
+void PageCache::shutdown() {
+  shutdown_ = true;
+  dirtyCv_.notifyAll();
+}
+
+}  // namespace iop::storage

@@ -1,0 +1,48 @@
+#include "storage/disk.hpp"
+
+#include <stdexcept>
+
+namespace iop::storage {
+
+bool Disk::isSequential(std::uint64_t offset) const noexcept {
+  if (!touched_) return true;  // first access: treat as positioned
+  return offset >= lastEnd_ && offset - lastEnd_ <= params_.seqWindow;
+}
+
+double Disk::serviceTime(std::uint64_t offset, std::uint64_t size,
+                         IoOp op) const noexcept {
+  const double bw =
+      op == IoOp::Read ? params_.seqReadBw : params_.seqWriteBw;
+  double t = params_.perRequestOverhead + static_cast<double>(size) / bw;
+  if (!isSequential(offset)) t += params_.positionTime;
+  return t * degradation_;
+}
+
+void Disk::setDegradation(double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("degradation factor must be >= 1");
+  }
+  degradation_ = factor;
+}
+
+sim::Task<void> Disk::access(std::uint64_t offset, std::uint64_t size,
+                             IoOp op) {
+  co_await arm_.acquire();
+  // Evaluate sequentiality after queueing: the arm position is whatever the
+  // previous request left behind.
+  const double t = serviceTime(offset, size, op);
+  if (!isSequential(offset)) ++counters_.positionEvents;
+  lastEnd_ = offset + size;
+  touched_ = true;
+  if (op == IoOp::Read) {
+    ++counters_.readOps;
+    counters_.bytesRead += size;
+  } else {
+    ++counters_.writeOps;
+    counters_.bytesWritten += size;
+  }
+  co_await engine_.delay(t);
+  arm_.release();
+}
+
+}  // namespace iop::storage

@@ -1,0 +1,137 @@
+// Filesystem models: local, NFS-like single-server, and striped parallel
+// (PVFS2/Lustre-like).
+//
+// A filesystem maps (fileId, file offset) onto device offsets of one or
+// more I/O servers and charges the network + server costs of getting the
+// bytes there.  File extents are allocated lazily: each fileId receives a
+// large contiguous window per server, so within-file sequentiality on the
+// client translates into sequential device access — matching how extent
+// allocators behave for the large files of scientific workloads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "storage/network.hpp"
+#include "storage/server.hpp"
+
+namespace iop::storage {
+
+class FileSystem {
+ public:
+  explicit FileSystem(sim::Engine& engine) : engine_(engine) {}
+  virtual ~FileSystem() = default;
+
+  virtual sim::Task<void> write(Node& client, int fileId,
+                                std::uint64_t offset, std::uint64_t size) = 0;
+  virtual sim::Task<void> read(Node& client, int fileId,
+                               std::uint64_t offset, std::uint64_t size) = 0;
+
+  /// Metadata round-trip (open/close/stat).
+  virtual sim::Task<void> metadataOp(Node& client) = 0;
+
+  /// Servers backing this filesystem (for peak analysis + monitoring).
+  virtual std::vector<IoServer*> servers() = 0;
+
+  /// Servers that hold file data (excludes a dedicated metadata server).
+  virtual std::vector<IoServer*> dataServers() { return servers(); }
+
+  /// Sum of the data devices' ideal streaming bandwidth — the
+  /// "devices in parallel, no other components" quantity behind the
+  /// paper's eq. (4).
+  double idealDeviceBandwidth(IoOp op);
+
+  virtual std::string describe() const = 0;
+
+ protected:
+  /// Per-server window base for a file; lazily assigns a fresh window.
+  std::uint64_t fileBase(int fileId);
+
+  sim::Engine& engine_;
+
+ private:
+  static constexpr std::uint64_t kFileWindow = 1ULL << 40;  // 1 TiB
+  std::map<int, std::uint64_t> fileBases_;
+  std::uint64_t nextBase_ = 0;
+};
+
+/// All data on one server reached over the network with fixed-size RPCs
+/// (NFSv3: wsize/rsize chunking, synchronous-ish request/response reads,
+/// server-side write-back caching).  Also models a purely local filesystem
+/// when the client *is* the server node (the network layer then charges a
+/// memory copy only).
+struct NfsParams {
+  std::uint64_t rpcSize = 1ULL << 20;  ///< wsize/rsize
+  double clientPerRpcOverhead = 120.0e-6;
+};
+
+class NfsFS final : public FileSystem {
+ public:
+  using Params = NfsParams;
+
+  NfsFS(sim::Engine& engine, IoServer& server, Params params = {})
+      : FileSystem(engine), server_(server), params_(params) {}
+
+  sim::Task<void> write(Node& client, int fileId, std::uint64_t offset,
+                        std::uint64_t size) override;
+  sim::Task<void> read(Node& client, int fileId, std::uint64_t offset,
+                       std::uint64_t size) override;
+  sim::Task<void> metadataOp(Node& client) override;
+  std::vector<IoServer*> servers() override { return {&server_}; }
+  std::string describe() const override;
+
+ private:
+  IoServer& server_;
+  Params params_;
+};
+
+/// Parallel filesystem: files striped round-robin over N data servers
+/// (PVFS2 I/O nodes or Lustre OSSes) with a metadata server.
+struct StripedParams {
+  std::uint64_t stripeUnit = 64ULL << 10;  ///< PVFS2 default 64 KB
+  std::uint64_t rpcSize = 1ULL << 20;
+  double clientPerRpcOverhead = 120.0e-6;
+  /// Servers actually used per file (Lustre stripe_count); 0 = all.
+  int stripeCount = 0;
+};
+
+class StripedFS final : public FileSystem {
+ public:
+  using Params = StripedParams;
+
+  StripedFS(sim::Engine& engine, std::vector<IoServer*> dataServers,
+            IoServer* metadataServer, Params params);
+
+  sim::Task<void> write(Node& client, int fileId, std::uint64_t offset,
+                        std::uint64_t size) override;
+  sim::Task<void> read(Node& client, int fileId, std::uint64_t offset,
+                       std::uint64_t size) override;
+  sim::Task<void> metadataOp(Node& client) override;
+  std::vector<IoServer*> servers() override;
+  std::vector<IoServer*> dataServers() override { return dataServers_; }
+  std::string describe() const override;
+
+ private:
+
+  /// Split [offset, offset+size) into per-server aggregated slices and move
+  /// them concurrently.
+  sim::Task<void> striped(Node& client, int fileId, std::uint64_t offset,
+                          std::uint64_t size, IoOp op);
+  sim::Task<void> perServer(Node& client, IoServer& server,
+                            std::uint64_t offset, std::uint64_t size,
+                            IoOp op);
+  int effectiveStripeCount() const noexcept;
+  /// First server index for a file (round-robin placement by fileId).
+  int firstServer(int fileId) const noexcept;
+
+  std::vector<IoServer*> dataServers_;
+  IoServer* metadataServer_;
+  Params params_;
+};
+
+}  // namespace iop::storage

@@ -1,0 +1,35 @@
+#include "storage/network.hpp"
+
+#include <algorithm>
+
+namespace iop::storage {
+
+LinkParams gigabitEthernet() {
+  // 1 Gb/s line rate; ~117 MB/s effective after TCP/IP framing.
+  return LinkParams{117.0e6, 60.0e-6, 30.0e-6};
+}
+
+LinkParams infiniband20G() {
+  // DDR 4x Infiniband: 20 Gb/s signalling, ~1.9 GB/s effective payload.
+  return LinkParams{1.9e9, 4.0e-6, 2.0e-6};
+}
+
+sim::Task<void> transfer(sim::Engine& engine, Node& src, Node& dst,
+                         std::uint64_t bytes) {
+  if (&src == &dst) {
+    // Loopback: a memory copy at a generous in-node rate.
+    co_await engine.delay(static_cast<double>(bytes) / 4.0e9);
+    co_return;
+  }
+  co_await src.tx().acquire();
+  co_await dst.rx().acquire();
+  const double bw = std::min(src.link().bandwidth, dst.link().bandwidth);
+  const double t = src.link().latency + src.link().perMessageOverhead +
+                   dst.link().perMessageOverhead +
+                   static_cast<double>(bytes) / bw;
+  co_await engine.delay(t);
+  dst.rx().release();
+  src.tx().release();
+}
+
+}  // namespace iop::storage

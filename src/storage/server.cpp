@@ -1,0 +1,21 @@
+#include "storage/server.hpp"
+
+namespace iop::storage {
+
+sim::Task<void> IoServer::handleWrite(std::uint64_t offset,
+                                      std::uint64_t size) {
+  co_await cpu_.use(params_.cpuPerRequest);
+  co_await cache_.write(offset, size);
+}
+
+sim::Task<void> IoServer::handleRead(std::uint64_t offset,
+                                     std::uint64_t size) {
+  co_await cpu_.use(params_.cpuPerRequest);
+  co_await cache_.read(offset, size);
+}
+
+sim::Task<void> IoServer::handleMetadata() {
+  co_await cpu_.use(params_.cpuPerRequest * 2);
+}
+
+}  // namespace iop::storage

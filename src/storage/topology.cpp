@@ -1,0 +1,67 @@
+#include "storage/topology.hpp"
+
+#include <sstream>
+
+namespace iop::storage {
+
+Node& Topology::addNode(const std::string& name, LinkParams link) {
+  nodes_.push_back(std::make_unique<Node>(
+      engine_, static_cast<int>(nodes_.size()), name, link));
+  return *nodes_.back();
+}
+
+IoServer& Topology::addServer(Node& node,
+                              std::unique_ptr<BlockDevice> device,
+                              ServerParams params) {
+  servers_.push_back(
+      std::make_unique<IoServer>(engine_, node, std::move(device), params));
+  return *servers_.back();
+}
+
+FileSystem& Topology::mount(const std::string& mountPoint,
+                            std::unique_ptr<FileSystem> fs) {
+  auto [it, inserted] = mounts_.emplace(mountPoint, std::move(fs));
+  if (!inserted) {
+    throw std::invalid_argument("mount point already in use: " + mountPoint);
+  }
+  return *it->second;
+}
+
+FileSystem& Topology::fs(const std::string& mountPoint) {
+  auto it = mounts_.find(mountPoint);
+  if (it == mounts_.end()) {
+    throw std::out_of_range("no filesystem mounted at " + mountPoint);
+  }
+  return *it->second;
+}
+
+Node& Topology::node(std::size_t index) {
+  if (index >= nodes_.size()) throw std::out_of_range("node index");
+  return *nodes_[index];
+}
+
+std::vector<Disk*> Topology::allDisks() {
+  std::vector<Disk*> out;
+  for (auto& s : servers_) s->device().collectDisks(out);
+  return out;
+}
+
+void Topology::shutdown() {
+  for (auto& s : servers_) s->shutdown();
+}
+
+void Topology::dropCaches() {
+  for (auto& s : servers_) s->cache().dropClean();
+}
+
+std::string Topology::describe() const {
+  std::ostringstream out;
+  out << "topology: " << nodes_.size() << " nodes, " << servers_.size()
+      << " I/O servers\n";
+  for (const auto& [mountPoint, fs] : mounts_) {
+    out << "  " << mountPoint << " -> " << fs->describe() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace iop::storage

@@ -1,0 +1,67 @@
+// Topology: the complete description of one "I/O configuration" in the
+// paper's sense — compute nodes, I/O nodes, their devices and caches, and
+// the filesystems mounted on top (Table VI / Table VII).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "storage/filesystem.hpp"
+#include "storage/network.hpp"
+#include "storage/server.hpp"
+
+namespace iop::storage {
+
+class Topology {
+ public:
+  explicit Topology(sim::Engine& engine) : engine_(engine) {}
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  sim::Engine& engine() noexcept { return engine_; }
+
+  /// Add a node (compute or I/O); returns a stable reference.
+  Node& addNode(const std::string& name, LinkParams link);
+
+  /// Attach an I/O server (device + cache) to a node.
+  IoServer& addServer(Node& node, std::unique_ptr<BlockDevice> device,
+                      ServerParams params);
+
+  /// Mount a filesystem under a name ("/raid/raid5", "/mnt/pvfs2", ...).
+  FileSystem& mount(const std::string& mountPoint,
+                    std::unique_ptr<FileSystem> fs);
+
+  FileSystem& fs(const std::string& mountPoint);
+  Node& node(std::size_t index);
+  std::size_t nodeCount() const noexcept { return nodes_.size(); }
+  const std::vector<std::unique_ptr<IoServer>>& ioServers() const noexcept {
+    return servers_;
+  }
+
+  /// All disks of all servers (for monitoring).
+  std::vector<Disk*> allDisks();
+
+  /// Stop background cache flushers so Engine::run() can complete; call
+  /// once the workload is done (the MPI runtime does this automatically).
+  void shutdown();
+
+  /// Drop all servers' clean cached data (like drop_caches before a
+  /// benchmark pass).
+  void dropCaches();
+
+  /// Human-readable inventory.
+  std::string describe() const;
+
+ private:
+  sim::Engine& engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<IoServer>> servers_;
+  std::map<std::string, std::unique_ptr<FileSystem>> mounts_;
+};
+
+}  // namespace iop::storage

@@ -1,0 +1,150 @@
+#include "trace/summary.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace iop::trace {
+
+namespace {
+
+std::size_t sizeBinIndex(std::uint64_t bytes) {
+  for (std::size_t i = 0; i < kSizeBinUpper.size(); ++i) {
+    if (bytes <= kSizeBinUpper[i]) return i;
+  }
+  return kSizeBinUpper.size();
+}
+
+std::string sizeBinLabel(std::size_t index) {
+  static const char* kLabels[] = {
+      "0-100",   "100-1K",  "1K-10K",   "10K-100K", "100K-1M",
+      "1M-4M",   "4M-10M",  "10M-100M", "100M-1G",  ">1G"};
+  return kLabels[index];
+}
+
+}  // namespace
+
+TraceSummary summarizeTrace(const TraceData& data) {
+  TraceSummary summary;
+  summary.appName = data.appName;
+  summary.np = data.np;
+
+  std::map<int, FileSummary> byFile;
+  // Per (rank, file) previous end offset, for the sequential counter.
+  // Offsets are in etype units of the file view; request sizes are bytes.
+  std::map<std::pair<int, int>, std::uint64_t> prevEnd;
+  std::map<int, std::uint64_t> sequentialOps;
+  std::map<int, std::uint64_t> etypeOf;
+
+  for (const auto& f : data.files) {
+    FileSummary fs;
+    fs.fileId = f.fileId;
+    fs.path = f.path;
+    byFile.emplace(f.fileId, std::move(fs));
+    etypeOf[f.fileId] = f.etypeBytes == 0 ? 1 : f.etypeBytes;
+  }
+
+  for (const auto& rankRecords : data.perRank) {
+    for (const auto& rec : rankRecords) {
+      auto& fs = byFile[rec.fileId];
+      if (fs.fileId == 0 && rec.fileId != 0) fs.fileId = rec.fileId;
+      if (isWriteOp(rec.op)) {
+        ++fs.writeOps;
+        fs.bytesWritten += rec.requestBytes;
+      } else {
+        ++fs.readOps;
+        fs.bytesRead += rec.requestBytes;
+      }
+      if (isCollectiveOp(rec.op)) {
+        ++fs.collectiveOps;
+      } else {
+        ++fs.independentOps;
+      }
+      if (fs.minRequest == 0 || rec.requestBytes < fs.minRequest) {
+        fs.minRequest = rec.requestBytes;
+      }
+      fs.maxRequest = std::max(fs.maxRequest, rec.requestBytes);
+      ++fs.sizeBins[sizeBinIndex(rec.requestBytes)];
+      fs.ioTimeSeconds += rec.duration;
+
+      const auto key = std::make_pair(rec.rank, rec.fileId);
+      auto etypeIt = etypeOf.find(rec.fileId);
+      const std::uint64_t etype =
+          etypeIt != etypeOf.end() ? etypeIt->second : 1;
+      auto it = prevEnd.find(key);
+      if (it != prevEnd.end() && rec.offsetUnits == it->second) {
+        ++sequentialOps[rec.fileId];
+      }
+      prevEnd[key] = rec.offsetUnits + rec.requestBytes / etype;
+
+      summary.totalBytes += rec.requestBytes;
+      summary.totalIoTimeSeconds += rec.duration;
+    }
+  }
+
+  for (auto& [fileId, fs] : byFile) {
+    const std::uint64_t ops = fs.readOps + fs.writeOps;
+    if (ops > 1) {
+      // The first op of each rank can never be sequential; normalize by
+      // the number of follow-up operations.
+      std::uint64_t followUps = 0;
+      for (const auto& [key, end] : prevEnd) {
+        (void)end;
+        if (key.second == fileId) ++followUps;
+      }
+      const std::uint64_t denominator = ops - followUps;
+      fs.sequentialFraction =
+          denominator > 0 ? static_cast<double>(sequentialOps[fileId]) /
+                                static_cast<double>(denominator)
+                          : 0.0;
+    }
+    summary.files.push_back(fs);
+  }
+  return summary;
+}
+
+std::string TraceSummary::render() const {
+  std::ostringstream out;
+  out << "trace summary: " << appName << ", " << np << " processes, "
+      << util::formatBytesApprox(totalBytes) << " moved, "
+      << util::formatSeconds(totalIoTimeSeconds)
+      << " s of summed operation time\n";
+  util::Table table;
+  table.setHeader({"file", "reads", "writes", "bytes read", "bytes written",
+                   "coll", "indep", "req min..max", "seq%"},
+                  {util::Align::Left, util::Align::Right, util::Align::Right,
+                   util::Align::Right, util::Align::Right, util::Align::Right,
+                   util::Align::Right, util::Align::Right,
+                   util::Align::Right});
+  for (const auto& f : files) {
+    char pct[16];
+    std::snprintf(pct, sizeof pct, "%.0f%%", f.sequentialFraction * 100);
+    table.addRow({f.path, std::to_string(f.readOps),
+                  std::to_string(f.writeOps),
+                  util::formatBytesApprox(f.bytesRead),
+                  util::formatBytesApprox(f.bytesWritten),
+                  std::to_string(f.collectiveOps),
+                  std::to_string(f.independentOps),
+                  util::formatBytesApprox(f.minRequest) + ".." +
+                      util::formatBytesApprox(f.maxRequest),
+                  pct});
+  }
+  out << table.render();
+  out << "request size histogram (all files):\n";
+  std::array<std::uint64_t, kSizeBinUpper.size() + 1> total{};
+  for (const auto& f : files) {
+    for (std::size_t i = 0; i < total.size(); ++i) {
+      total[i] += f.sizeBins[i];
+    }
+  }
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    if (total[i] == 0) continue;
+    out << "  " << sizeBinLabel(i) << ": " << total[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace iop::trace

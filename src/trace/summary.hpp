@@ -1,0 +1,59 @@
+// Darshan-style aggregate trace counters.
+//
+// The paper starts from Darshan before switching to PAS2P-style tracing
+// ("We have utilized Darshan in the beginning of our research"); the
+// counter view is still the quickest sanity check of a trace, so the
+// tracing tool keeps it: per-file operation counts, byte totals, request
+// size histogram, sequential-access fraction, and I/O time — the numbers
+// darshan-parser would print, computed from the full record stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace iop::trace {
+
+/// Darshan's POSIX access-size bins.
+inline constexpr std::array<std::uint64_t, 9> kSizeBinUpper = {
+    100,        1024,        10 * 1024,        100 * 1024, 1024 * 1024,
+    4u << 20,   10u << 20,   100u << 20,       1u << 30};
+
+struct FileSummary {
+  int fileId = 0;
+  std::string path;
+  std::uint64_t readOps = 0;
+  std::uint64_t writeOps = 0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+  std::uint64_t collectiveOps = 0;
+  std::uint64_t independentOps = 0;
+  std::uint64_t minRequest = 0;
+  std::uint64_t maxRequest = 0;
+  /// Request counts per size bin (kSizeBinUpper boundaries, last bin is
+  /// "larger").
+  std::array<std::uint64_t, kSizeBinUpper.size() + 1> sizeBins{};
+  /// Fraction of operations whose offset continues the same rank's
+  /// previous operation on this file (Darshan's SEQ counter).
+  double sequentialFraction = 0;
+  /// Sum of operation durations across ranks.
+  double ioTimeSeconds = 0;
+};
+
+struct TraceSummary {
+  std::string appName;
+  int np = 0;
+  std::vector<FileSummary> files;
+  std::uint64_t totalBytes = 0;
+  double totalIoTimeSeconds = 0;
+
+  /// darshan-parser-like text rendering.
+  std::string render() const;
+};
+
+TraceSummary summarizeTrace(const TraceData& data);
+
+}  // namespace iop::trace

@@ -1,0 +1,165 @@
+#include "trace/tracefile.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/text.hpp"
+
+namespace iop::trace {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string traceFileName(const std::string& app, int rank) {
+  return app + ".trace." + std::to_string(rank);
+}
+
+void writeRankFile(const fs::path& path,
+                   const std::vector<Record>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+  out << "# iop-trace v1\n";
+  out << "# IdP IdF MPI-Operation Offset tick RequestSize time duration\n";
+  char buf[256];
+  for (const auto& r : records) {
+    std::snprintf(buf, sizeof buf,
+                  "%d %d %s %" PRIu64 " %" PRIu64 " %" PRIu64 " %.9f %.9f\n",
+                  r.rank, r.fileId, r.op.c_str(), r.offsetUnits, r.tick,
+                  r.requestBytes, r.time, r.duration);
+    out << buf;
+  }
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+std::vector<Record> readRankFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::vector<Record> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto tokens = util::splitWhitespace(trimmed);
+    if (tokens.size() != 8) {
+      throw std::runtime_error("malformed trace line in " + path.string() +
+                               ": " + line);
+    }
+    Record r;
+    r.rank = std::stoi(tokens[0]);
+    r.fileId = std::stoi(tokens[1]);
+    r.op = tokens[2];
+    r.offsetUnits = std::stoull(tokens[3]);
+    r.tick = std::stoull(tokens[4]);
+    r.requestBytes = std::stoull(tokens[5]);
+    r.time = std::stod(tokens[6]);
+    r.duration = std::stod(tokens[7]);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace
+
+void writeTraces(const fs::path& dir, const TraceData& data) {
+  fs::create_directories(dir);
+  for (int rank = 0; rank < data.np; ++rank) {
+    writeRankFile(dir / traceFileName(data.appName, rank),
+                  data.perRank[static_cast<std::size_t>(rank)]);
+  }
+  std::ofstream meta(dir / (data.appName + ".meta"));
+  if (!meta) throw std::runtime_error("cannot open meta file");
+  meta << "# iop-trace-meta v1\n";
+  meta << "app " << data.appName << "\n";
+  meta << "np " << data.np << "\n";
+  for (const auto& f : data.files) {
+    meta << "file " << f.fileId << ' ' << f.path << ' ' << (f.shared ? 1 : 0)
+         << ' ' << f.etypeBytes << ' ' << f.viewDisp << ' '
+         << f.filetypeBlock << ' ' << f.filetypeStride << ' '
+         << (f.sawCollective ? 1 : 0) << ' ' << (f.sawExplicitOffsets ? 1 : 0)
+         << ' ' << (f.sawIndividualPointers ? 1 : 0) << ' ' << f.np << "\n";
+  }
+  for (std::size_t i = 0; i < data.commEventsPerRank.size(); ++i) {
+    meta << "comm " << i << ' ' << data.commEventsPerRank[i] << "\n";
+  }
+  if (!meta) throw std::runtime_error("meta write failed");
+}
+
+TraceData readTraces(const fs::path& dir, const std::string& appName) {
+  TraceData data;
+  data.appName = appName;
+  std::ifstream meta(dir / (appName + ".meta"));
+  if (!meta) {
+    throw std::runtime_error("cannot open meta file for " + appName);
+  }
+  std::string line;
+  while (std::getline(meta, line)) {
+    auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto tokens = util::splitWhitespace(trimmed);
+    if (tokens[0] == "np") {
+      data.np = std::stoi(tokens.at(1));
+    } else if (tokens[0] == "file") {
+      if (tokens.size() < 12) {
+        throw std::runtime_error("malformed meta file line: " + line);
+      }
+      FileMeta f;
+      f.fileId = std::stoi(tokens[1]);
+      f.path = tokens[2];
+      f.shared = tokens[3] == "1";
+      f.etypeBytes = std::stoull(tokens[4]);
+      f.viewDisp = std::stoull(tokens[5]);
+      f.filetypeBlock = std::stoull(tokens[6]);
+      f.filetypeStride = std::stoull(tokens[7]);
+      f.sawCollective = tokens[8] == "1";
+      f.sawExplicitOffsets = tokens[9] == "1";
+      f.sawIndividualPointers = tokens[10] == "1";
+      f.np = std::stoi(tokens[11]);
+      if (tokens.size() > 12) f.sawNonBlocking = tokens[12] == "1";
+      data.files.push_back(std::move(f));
+    } else if (tokens[0] == "comm") {
+      const auto rank = static_cast<std::size_t>(std::stoul(tokens.at(1)));
+      if (data.commEventsPerRank.size() <= rank) {
+        data.commEventsPerRank.resize(rank + 1, 0);
+      }
+      data.commEventsPerRank[rank] = std::stoull(tokens.at(2));
+    }
+  }
+  if (data.np <= 0) throw std::runtime_error("meta file missing np");
+  data.perRank.resize(static_cast<std::size_t>(data.np));
+  data.commEventsPerRank.resize(static_cast<std::size_t>(data.np), 0);
+  for (int rank = 0; rank < data.np; ++rank) {
+    data.perRank[static_cast<std::size_t>(rank)] =
+        readRankFile(dir / traceFileName(appName, rank));
+  }
+  return data;
+}
+
+std::string renderTraceTable(const TraceData& data, int rank,
+                             std::size_t maxRows) {
+  util::Table table("TraceFile of process " + std::to_string(rank) + " (" +
+                    data.appName + ")");
+  table.setHeader({"IdP", "IdF", "MPI-Operation", "Offset", "tick",
+                   "RequestSize", "time", "duration"},
+                  {util::Align::Right, util::Align::Right, util::Align::Left,
+                   util::Align::Right, util::Align::Right, util::Align::Right,
+                   util::Align::Right, util::Align::Right});
+  const auto& records = data.perRank.at(static_cast<std::size_t>(rank));
+  std::size_t count = 0;
+  for (const auto& r : records) {
+    if (maxRows != 0 && count++ >= maxRows) break;
+    char timeBuf[32], durBuf[32];
+    std::snprintf(timeBuf, sizeof timeBuf, "%.6f", r.time);
+    std::snprintf(durBuf, sizeof durBuf, "%.6f", r.duration);
+    table.addRow({std::to_string(r.rank), std::to_string(r.fileId), r.op,
+                  std::to_string(r.offsetUnits), std::to_string(r.tick),
+                  std::to_string(r.requestBytes), timeBuf, durBuf});
+  }
+  return table.render();
+}
+
+}  // namespace iop::trace

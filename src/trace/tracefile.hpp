@@ -1,0 +1,31 @@
+// Trace persistence in the paper's Figure-2 text format.
+//
+// One file per rank (`<app>.trace.<rank>`) with columns
+//   IdP IdF MPI-Operation Offset tick RequestSize time duration
+// plus one metadata file (`<app>.meta`) holding np and the per-file
+// characteristics.  Round-tripping a trace through disk is what decouples
+// the characterization machine from the analysis machine.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace iop::trace {
+
+/// Write `<app>.trace.<rank>` files and `<app>.meta` into `dir`.
+/// Creates the directory if needed.  Throws std::runtime_error on I/O
+/// failure.
+void writeTraces(const std::filesystem::path& dir, const TraceData& data);
+
+/// Read a trace previously written by writeTraces.
+TraceData readTraces(const std::filesystem::path& dir,
+                     const std::string& appName);
+
+/// Render one rank's records as a Figure-2-style table (for reports).
+std::string renderTraceTable(const TraceData& data, int rank,
+                             std::size_t maxRows = 0);
+
+}  // namespace iop::trace

@@ -1,0 +1,69 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/text.hpp"
+
+namespace iop::trace {
+
+bool isWriteOp(const std::string& op) {
+  return op.find("write") != std::string::npos;
+}
+
+bool isCollectiveOp(const std::string& op) {
+  return util::startsWith(op, "MPI_File_") &&
+         op.size() >= 4 && op.compare(op.size() - 4, 4, "_all") == 0;
+}
+
+std::vector<Record> TraceData::recordsForFile(int fileId) const {
+  std::vector<Record> out;
+  for (const auto& rankRecords : perRank) {
+    for (const auto& r : rankRecords) {
+      if (r.fileId == fileId) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceData::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& rankRecords : perRank) {
+    for (const auto& r : rankRecords) total += r.requestBytes;
+  }
+  return total;
+}
+
+const FileMeta* TraceData::fileMeta(int fileId) const {
+  for (const auto& f : files) {
+    if (f.fileId == fileId) return &f;
+  }
+  return nullptr;
+}
+
+Tracer::Tracer(std::string appName, int np) {
+  data_.appName = std::move(appName);
+  data_.np = np;
+  data_.perRank.resize(static_cast<std::size_t>(np));
+  data_.commEventsPerRank.resize(static_cast<std::size_t>(np), 0);
+}
+
+void Tracer::onIoCall(const Record& record) {
+  if (record.rank < 0 || record.rank >= data_.np) {
+    throw std::out_of_range("trace record rank out of range");
+  }
+  data_.perRank[static_cast<std::size_t>(record.rank)].push_back(record);
+}
+
+void Tracer::onFileMeta(const FileMeta& record) {
+  data_.files.push_back(record);
+}
+
+void Tracer::onCommEvent(int rank, std::uint64_t, const std::string&,
+                         double) {
+  if (rank >= 0 && rank < data_.np) {
+    ++data_.commEventsPerRank[static_cast<std::size_t>(rank)];
+  }
+}
+
+}  // namespace iop::trace

@@ -1,0 +1,61 @@
+// Tracing tool: the repository's equivalent of the paper's extended PAS2P
+// with MPI-IO interposition (Section III-A1).
+//
+// The Tracer implements the mpi::TraceSink interposition interface and
+// accumulates, per MPI process, the Figure-2 record stream (IdP IdF
+// MPI-Operation Offset tick RequestSize time duration) plus per-file
+// metadata.  TraceData is the portable result: it can be saved to
+// Figure-2-style text files and read back, which is what makes the
+// characterization stage a strictly offline, one-time activity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/tracehook.hpp"
+
+namespace iop::trace {
+
+using Record = mpi::IoCallRecord;
+using FileMeta = mpi::FileMetaRecord;
+
+/// A complete application trace: one record stream per rank + file metadata.
+struct TraceData {
+  std::string appName;
+  int np = 0;
+  std::vector<std::vector<Record>> perRank;  ///< indexed by rank, tick order
+  std::vector<FileMeta> files;
+  std::vector<std::uint64_t> commEventsPerRank;
+
+  /// All I/O records of one file across ranks, ordered by (rank, tick).
+  std::vector<Record> recordsForFile(int fileId) const;
+
+  /// Total bytes moved by op kind ("write"/"read" classified by name).
+  std::uint64_t totalBytes() const;
+
+  const FileMeta* fileMeta(int fileId) const;
+};
+
+/// True if the MPI op name is a write (otherwise it is a read).
+bool isWriteOp(const std::string& op);
+/// True if the MPI op name is collective (ends in _all).
+bool isCollectiveOp(const std::string& op);
+
+class Tracer final : public mpi::TraceSink {
+ public:
+  explicit Tracer(std::string appName, int np);
+
+  void onIoCall(const Record& record) override;
+  void onFileMeta(const FileMeta& record) override;
+  void onCommEvent(int rank, std::uint64_t tick, const std::string& op,
+                   double time) override;
+
+  const TraceData& data() const noexcept { return data_; }
+  TraceData takeData() { return std::move(data_); }
+
+ private:
+  TraceData data_;
+};
+
+}  // namespace iop::trace

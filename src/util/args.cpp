@@ -1,0 +1,109 @@
+#include "util/args.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace iop::util {
+
+void Args::addOption(const std::string& name, std::string help,
+                     std::optional<std::string> defaultValue) {
+  options_[name] = Option{std::move(help), std::move(defaultValue), false};
+}
+
+void Args::addFlag(const std::string& name, std::string help) {
+  options_[name] = Option{std::move(help), std::nullopt, true};
+}
+
+void Args::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      helpRequested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inlineValue;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      inlineValue = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown option --" + name);
+    }
+    if (it->second.isFlag) {
+      if (inlineValue) {
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      }
+      flagsSet_.insert(name);
+      continue;
+    }
+    if (inlineValue) {
+      values_[name] = *inlineValue;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("option --" + name + " needs a value");
+      }
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  if (values_.count(name) != 0) return true;
+  auto it = options_.find(name);
+  return it != options_.end() && it->second.defaultValue.has_value();
+}
+
+std::string Args::get(const std::string& name) const {
+  auto v = values_.find(name);
+  if (v != values_.end()) return v->second;
+  auto it = options_.find(name);
+  if (it != options_.end() && it->second.defaultValue) {
+    return *it->second.defaultValue;
+  }
+  throw std::invalid_argument("missing required option --" + name);
+}
+
+std::string Args::getOr(const std::string& name,
+                        const std::string& fallback) const {
+  return has(name) ? get(name) : fallback;
+}
+
+std::int64_t Args::getInt(const std::string& name,
+                          std::int64_t fallback) const {
+  if (!has(name)) return fallback;
+  return std::stoll(get(name));
+}
+
+double Args::getDouble(const std::string& name, double fallback) const {
+  if (!has(name)) return fallback;
+  return std::stod(get(name));
+}
+
+bool Args::flag(const std::string& name) const {
+  return flagsSet_.count(name) != 0;
+}
+
+std::string Args::usage(const std::string& program,
+                        const std::string& description) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [options]\n" << description << "\n\n";
+  out << "options:\n";
+  for (const auto& [name, opt] : options_) {
+    out << "  --" << name;
+    if (!opt.isFlag) out << " <value>";
+    out << "\n      " << opt.help;
+    if (opt.defaultValue) out << " (default: " << *opt.defaultValue << ")";
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace iop::util

@@ -1,0 +1,59 @@
+// Minimal command-line argument parser for the iop-* tools.
+//
+// Supports `--key value`, `--key=value`, boolean `--flag`, and positional
+// arguments; unknown options are an error so typos fail fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace iop::util {
+
+class Args {
+ public:
+  /// Declare before parse().  Flags take no value.
+  void addOption(const std::string& name, std::string help,
+                 std::optional<std::string> defaultValue = std::nullopt);
+  void addFlag(const std::string& name, std::string help);
+
+  /// Parse argv; throws std::invalid_argument on unknown options or a
+  /// missing value.  `--help` sets helpRequested().
+  void parse(int argc, const char* const* argv);
+
+  bool helpRequested() const noexcept { return helpRequested_; }
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;  ///< throws if absent
+  std::string getOr(const std::string& name,
+                    const std::string& fallback) const;
+  std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  bool flag(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Usage text from the declared options.
+  std::string usage(const std::string& program,
+                    const std::string& description) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::optional<std::string> defaultValue;
+    bool isFlag = false;
+  };
+
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flagsSet_;
+  std::vector<std::string> positional_;
+  bool helpRequested_ = false;
+};
+
+}  // namespace iop::util

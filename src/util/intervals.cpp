@@ -1,0 +1,107 @@
+#include "util/intervals.hpp"
+
+#include <algorithm>
+
+namespace iop::util {
+
+void IntervalSet::insert(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  // Find the first interval that could overlap or touch [begin, end).
+  auto it = map_.upper_bound(begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) it = prev;  // touches or overlaps from left
+  }
+  std::uint64_t newBegin = begin;
+  std::uint64_t newEnd = end;
+  while (it != map_.end() && it->first <= newEnd) {
+    newBegin = std::min(newBegin, it->first);
+    newEnd = std::max(newEnd, it->second);
+    total_ -= it->second - it->first;
+    it = map_.erase(it);
+  }
+  map_.emplace(newBegin, newEnd);
+  total_ += newEnd - newBegin;
+}
+
+void IntervalSet::erase(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  auto it = map_.upper_bound(begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) it = prev;
+  }
+  while (it != map_.end() && it->first < end) {
+    const std::uint64_t ivBegin = it->first;
+    const std::uint64_t ivEnd = it->second;
+    total_ -= ivEnd - ivBegin;
+    it = map_.erase(it);
+    if (ivBegin < begin) {
+      map_.emplace(ivBegin, begin);
+      total_ += begin - ivBegin;
+    }
+    if (ivEnd > end) {
+      map_.emplace(end, ivEnd);
+      total_ += ivEnd - end;
+      break;
+    }
+  }
+}
+
+std::uint64_t IntervalSet::coveredBytes(std::uint64_t begin,
+                                        std::uint64_t end) const {
+  if (begin >= end) return 0;
+  std::uint64_t covered = 0;
+  auto it = map_.upper_bound(begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) it = prev;
+  }
+  for (; it != map_.end() && it->first < end; ++it) {
+    const std::uint64_t lo = std::max(begin, it->first);
+    const std::uint64_t hi = std::min(end, it->second);
+    if (hi > lo) covered += hi - lo;
+  }
+  return covered;
+}
+
+bool IntervalSet::contains(std::uint64_t begin, std::uint64_t end) const {
+  if (begin >= end) return true;
+  return coveredBytes(begin, end) == end - begin;
+}
+
+std::vector<IntervalSet::Interval> IntervalSet::gaps(std::uint64_t begin,
+                                                     std::uint64_t end) const {
+  std::vector<Interval> out;
+  if (begin >= end) return out;
+  std::uint64_t cursor = begin;
+  auto it = map_.upper_bound(begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) it = prev;
+  }
+  for (; it != map_.end() && it->first < end; ++it) {
+    if (it->first > cursor) out.emplace_back(cursor, it->first);
+    cursor = std::max(cursor, it->second);
+    if (cursor >= end) break;
+  }
+  if (cursor < end) out.emplace_back(cursor, end);
+  return out;
+}
+
+std::optional<IntervalSet::Interval> IntervalSet::firstIntervalAtOrAfter(
+    std::uint64_t offset) const {
+  if (map_.empty()) return std::nullopt;
+  auto it = map_.lower_bound(offset);
+  if (it == map_.end()) it = map_.begin();  // wrap to the lowest offset
+  return Interval{it->first, it->second};
+}
+
+std::vector<IntervalSet::Interval> IntervalSet::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(map_.size());
+  for (const auto& [b, e] : map_) out.emplace_back(b, e);
+  return out;
+}
+
+}  // namespace iop::util

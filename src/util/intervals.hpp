@@ -1,0 +1,58 @@
+// Half-open byte-interval set used by the page-cache model to track which
+// device ranges are resident, and by tests to validate file coverage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace iop::util {
+
+/// An ordered set of disjoint half-open intervals [begin, end) over uint64.
+/// Adjacent/overlapping inserts coalesce.  All operations are O(log n) plus
+/// the number of intervals touched.
+class IntervalSet {
+ public:
+  using Interval = std::pair<std::uint64_t, std::uint64_t>;
+
+  /// Insert [begin, end); coalesces with neighbours.  Empty ranges ignored.
+  void insert(std::uint64_t begin, std::uint64_t end);
+
+  /// Remove [begin, end); may split an existing interval.
+  void erase(std::uint64_t begin, std::uint64_t end);
+
+  /// Bytes of [begin, end) covered by the set.
+  std::uint64_t coveredBytes(std::uint64_t begin, std::uint64_t end) const;
+
+  /// True if [begin, end) is fully covered.
+  bool contains(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Sub-ranges of [begin, end) NOT covered by the set, in order.
+  std::vector<Interval> gaps(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Total bytes covered by the whole set.
+  std::uint64_t totalBytes() const noexcept { return total_; }
+
+  std::size_t intervalCount() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+  void clear() noexcept {
+    map_.clear();
+    total_ = 0;
+  }
+
+  /// All intervals in ascending order.
+  std::vector<Interval> intervals() const;
+
+  /// First interval whose begin is >= offset; falls back to the first
+  /// interval overall (wrap-around), or nullopt when empty.  O(log n).
+  std::optional<Interval> firstIntervalAtOrAfter(std::uint64_t offset) const;
+
+ private:
+  // key = begin, value = end.
+  std::map<std::uint64_t, std::uint64_t> map_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace iop::util

@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace iop::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::setHeader(std::vector<std::string> header,
+                      std::vector<Align> align) {
+  header_ = std::move(header);
+  align_ = std::move(align);
+  align_.resize(header_.size(), Align::Right);
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::addSeparator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string line = "+";
+    for (auto w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - cell.size();
+      line += ' ';
+      if (align_[c] == Align::Right) line.append(pad, ' ');
+      line += cell;
+      if (align_[c] == Align::Left) line.append(pad, ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+  out << hline() << renderRow(header_) << hline();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out << hline();
+    } else {
+      out << renderRow(row.cells);
+    }
+  }
+  out << hline();
+  return out.str();
+}
+
+std::string Table::renderTsv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out << '\t';
+    out << header_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c) out << '\t';
+      out << row.cells[c];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace iop::util

@@ -1,0 +1,49 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// paper's tables (Table VIII, IX, ..., XIV) in a readable aligned format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iop::util {
+
+/// Column alignment inside a rendered table.
+enum class Align { Left, Right };
+
+/// A simple monospace table: set a title and header once, append rows, then
+/// render.  Cells are strings; numeric formatting is the caller's concern.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Define the header row.  Must be called before addRow.
+  void setHeader(std::vector<std::string> header,
+                 std::vector<Align> align = {});
+
+  /// Append a data row.  Rows shorter than the header are padded with "".
+  void addRow(std::vector<std::string> row);
+
+  /// Append a horizontal separator between row groups.
+  void addSeparator();
+
+  /// Render with box-drawing ASCII (+---+ style).
+  std::string render() const;
+
+  /// Render as tab-separated values (for machine consumption).
+  std::string renderTsv() const;
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace iop::util

@@ -1,0 +1,25 @@
+// Small string utilities shared by the trace reader/writer and report code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iop::util {
+
+/// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace iop::util

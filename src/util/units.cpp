@@ -1,0 +1,100 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace iop::util {
+
+std::string formatBytes(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t size;
+    const char* suffix;
+  };
+  static constexpr Unit units[] = {
+      {TiB, "TB"}, {GiB, "GB"}, {MiB, "MB"}, {KiB, "KB"}};
+  for (const auto& u : units) {
+    if (bytes >= u.size && bytes % u.size == 0) {
+      return std::to_string(bytes / u.size) + u.suffix;
+    }
+  }
+  if (bytes >= MiB) return formatBytesApprox(bytes);
+  return std::to_string(bytes) + "B";
+}
+
+std::string formatBytesApprox(std::uint64_t bytes) {
+  const char* suffix = "B";
+  double value = static_cast<double>(bytes);
+  if (bytes >= TiB) {
+    value /= static_cast<double>(TiB);
+    suffix = "TB";
+  } else if (bytes >= GiB) {
+    value /= static_cast<double>(GiB);
+    suffix = "GB";
+  } else if (bytes >= MiB) {
+    value /= static_cast<double>(MiB);
+    suffix = "MB";
+  } else if (bytes >= KiB) {
+    value /= static_cast<double>(KiB);
+    suffix = "KB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f%s", value, suffix);
+  return buf;
+}
+
+std::uint64_t parseBytes(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("parseBytes: empty input");
+  std::size_t i = 0;
+  std::uint64_t value = 0;
+  bool sawDigit = false;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    sawDigit = true;
+    ++i;
+  }
+  if (!sawDigit) throw std::invalid_argument("parseBytes: no digits");
+  // Skip whitespace between number and unit.
+  while (i < text.size() && text[i] == ' ') ++i;
+  if (i == text.size()) return value;
+  const char unit = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(text[i])));
+  std::uint64_t mult = 1;
+  switch (unit) {
+    case 'k': mult = KiB; break;
+    case 'm': mult = MiB; break;
+    case 'g': mult = GiB; break;
+    case 't': mult = TiB; break;
+    case 'b': mult = 1; break;
+    default:
+      throw std::invalid_argument("parseBytes: unknown unit suffix");
+  }
+  ++i;
+  // Optional trailing "B" / "iB".
+  if (i < text.size() && (text[i] == 'i' || text[i] == 'I')) ++i;
+  if (i < text.size() && (text[i] == 'b' || text[i] == 'B')) ++i;
+  if (i != text.size()) throw std::invalid_argument("parseBytes: trailing junk");
+  return value * mult;
+}
+
+std::string formatSeconds(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, seconds);
+  return buf;
+}
+
+double toMiBs(double bytesPerSecond) {
+  return bytesPerSecond / static_cast<double>(MiB);
+}
+
+double fromMiBs(double mibPerSecond) {
+  return mibPerSecond * static_cast<double>(MiB);
+}
+
+std::string formatBandwidthMiBs(double bytesPerSecond, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f MB/s", precision, toMiBs(bytesPerSecond));
+  return buf;
+}
+
+}  // namespace iop::util

@@ -1,0 +1,43 @@
+// Byte/time unit constants, formatting, and parsing.
+//
+// The paper expresses phase weights as "32MB", "4GB", ... and bandwidths in
+// MB/s.  Following IOR/IOzone convention (and the paper), "KB/MB/GB" here are
+// binary units (2^10/2^20/2^30 bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iop::util {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+inline constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+/// Render a byte count using the largest unit that divides it exactly
+/// ("32MB", "4GB"), falling back to a scaled decimal ("10.1MB") otherwise.
+/// Mirrors the paper's table notation.
+std::string formatBytes(std::uint64_t bytes);
+
+/// Render a byte count always scaled with two decimals ("10.12 MB").
+std::string formatBytesApprox(std::uint64_t bytes);
+
+/// Parse "32MB", "256KB", "1GB", "1048576", "4g" into bytes.
+/// Throws std::invalid_argument on malformed input.
+std::uint64_t parseBytes(std::string_view text);
+
+/// Render seconds as "1234.56" style fixed-point with the given precision.
+std::string formatSeconds(double seconds, int precision = 2);
+
+/// Render a bandwidth (bytes/second) in MB/s, paper convention.
+std::string formatBandwidthMiBs(double bytesPerSecond, int precision = 2);
+
+/// Convert bytes/second to MiB/second.
+double toMiBs(double bytesPerSecond);
+
+/// Convert MiB/second to bytes/second.
+double fromMiBs(double mibPerSecond);
+
+}  // namespace iop::util

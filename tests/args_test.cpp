@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "toolkit.hpp"
+#include "util/args.hpp"
+
+namespace iop::util {
+namespace {
+
+Args makeArgs() {
+  Args args;
+  args.addOption("config", "configuration", "A");
+  args.addOption("np", "processes");
+  args.addFlag("verbose", "noise");
+  return args;
+}
+
+void parseArgs(Args& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SeparateValueForm) {
+  auto args = makeArgs();
+  parseArgs(args, {"--config", "B", "--np", "16"});
+  EXPECT_EQ(args.get("config"), "B");
+  EXPECT_EQ(args.getInt("np", 0), 16);
+}
+
+TEST(Args, EqualsValueForm) {
+  auto args = makeArgs();
+  parseArgs(args, {"--np=64"});
+  EXPECT_EQ(args.getInt("np", 0), 64);
+}
+
+TEST(Args, DefaultsApply) {
+  auto args = makeArgs();
+  parseArgs(args, {});
+  EXPECT_EQ(args.get("config"), "A");
+  EXPECT_FALSE(args.has("np"));
+  EXPECT_EQ(args.getInt("np", 7), 7);
+}
+
+TEST(Args, FlagsAndPositionals) {
+  auto args = makeArgs();
+  parseArgs(args, {"--verbose", "file1", "file2"});
+  EXPECT_TRUE(args.flag("verbose"));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(Args, UnknownOptionThrows) {
+  auto args = makeArgs();
+  EXPECT_THROW(parseArgs(args, {"--nope", "x"}), std::invalid_argument);
+}
+
+TEST(Args, MissingValueThrows) {
+  auto args = makeArgs();
+  EXPECT_THROW(parseArgs(args, {"--np"}), std::invalid_argument);
+}
+
+TEST(Args, FlagWithValueThrows) {
+  auto args = makeArgs();
+  EXPECT_THROW(parseArgs(args, {"--verbose=1"}), std::invalid_argument);
+}
+
+TEST(Args, MissingRequiredThrowsOnGet) {
+  auto args = makeArgs();
+  parseArgs(args, {});
+  EXPECT_THROW(args.get("np"), std::invalid_argument);
+}
+
+TEST(Args, HelpRequested) {
+  auto args = makeArgs();
+  parseArgs(args, {"--help"});
+  EXPECT_TRUE(args.helpRequested());
+}
+
+TEST(Args, GetDouble) {
+  auto args = makeArgs();
+  parseArgs(args, {"--np", "2.5"});
+  EXPECT_DOUBLE_EQ(args.getDouble("np", 0), 2.5);
+}
+
+TEST(Args, UsageListsOptions) {
+  auto args = makeArgs();
+  auto text = args.usage("prog", "does things");
+  EXPECT_NE(text.find("--config"), std::string::npos);
+  EXPECT_NE(text.find("default: A"), std::string::npos);
+  EXPECT_NE(text.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iop::util
+
+namespace iop::tools {
+namespace {
+
+TEST(Toolkit, ParsesConfigIds) {
+  EXPECT_EQ(parseConfigId("A"), configs::ConfigId::A);
+  EXPECT_EQ(parseConfigId("b"), configs::ConfigId::B);
+  EXPECT_EQ(parseConfigId("finisterrae"), configs::ConfigId::Finisterrae);
+  EXPECT_EQ(parseConfigId("F"), configs::ConfigId::Finisterrae);
+  EXPECT_THROW(parseConfigId("z"), std::invalid_argument);
+}
+
+TEST(Toolkit, BuildsEveryKnownApp) {
+  auto cluster = configs::makeConfig(configs::ConfigId::A);
+  for (const char* app :
+       {"btio", "madbench2", "roms", "flash-io", "example"}) {
+    util::Args args;
+    addAppOptions(args);
+    std::vector<const char*> argv{"prog", "--app", app};
+    args.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(static_cast<bool>(makeAppMain(args, cluster))) << app;
+  }
+}
+
+TEST(Toolkit, RejectsUnknownApp) {
+  auto cluster = configs::makeConfig(configs::ConfigId::A);
+  util::Args args;
+  addAppOptions(args);
+  std::vector<const char*> argv{"prog", "--app", "doom"};
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(makeAppMain(args, cluster), std::invalid_argument);
+}
+
+TEST(Toolkit, BtioKnobsApplied) {
+  auto cluster = configs::makeConfig(configs::ConfigId::A);
+  util::Args args;
+  addAppOptions(args);
+  std::vector<const char*> argv{"prog", "--app", "btio", "--class", "D",
+                                "--subtype", "simple"};
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(static_cast<bool>(makeAppMain(args, cluster)));
+  std::vector<const char*> bad{"prog", "--app", "btio", "--class", "Z"};
+  util::Args args2;
+  addAppOptions(args2);
+  args2.parse(static_cast<int>(bad.size()), bad.data());
+  EXPECT_THROW(makeAppMain(args2, cluster), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iop::tools

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/replay.hpp"
+#include "analysis/runner.hpp"
+#include "apps/btio.hpp"
+#include "configs/configfile.hpp"
+#include "ior/ior.hpp"
+#include "storage/filesystem.hpp"
+#include "util/units.hpp"
+
+namespace iop::configs {
+namespace {
+
+using iop::util::MiB;
+
+const char* kSample = R"(
+# a PVFS-like custom cluster
+name test-cluster
+compute 4 gbe
+ionode nas gbe
+ionode ion0 gbe
+ionode ion1 gbe
+server nas raid5 5 sata stripe=256K cache=2G
+server ion0 disk ide writethrough
+server ion1 ssd read=800 write=600 channels=8
+mount /nfs nfs nas rpc=256K
+mount /par striped ion0,ion1 mds=nas stripe=64K count=0
+default-mount /par
+hints cb_nodes=2 cb_buffer=8M
+)";
+
+TEST(ConfigFile, ParsesFullSample) {
+  auto cfg = parseClusterConfig(kSample);
+  EXPECT_EQ(cfg.name, "test-cluster");
+  EXPECT_EQ(cfg.computeNodes.size(), 4u);
+  EXPECT_EQ(cfg.mount, "/par");
+  EXPECT_EQ(cfg.hints.cbNodes, 2);
+  EXPECT_EQ(cfg.hints.cbBufferSize, 8 * MiB);
+  EXPECT_EQ(cfg.topology->fs("/par").dataServers().size(), 2u);
+  EXPECT_EQ(cfg.topology->fs("/nfs").dataServers().size(), 1u);
+  // nas RAID5 contributes 5 disks; ion0 one; ion1 eight SSD channels.
+  EXPECT_EQ(cfg.topology->allDisks().size(), 5u + 1 + 8);
+}
+
+TEST(ConfigFile, DefaultMountIsFirstMountWhenUnspecified) {
+  auto cfg = parseClusterConfig(R"(
+compute 2 gbe
+ionode nas gbe
+server nas disk sata
+mount /only nfs nas
+)");
+  EXPECT_EQ(cfg.mount, "/only");
+}
+
+TEST(ConfigFile, RunnableEndToEnd) {
+  auto cfg = parseClusterConfig(kSample);
+  ior::IorParams p;
+  p.mount = cfg.mount;
+  p.np = 4;
+  p.blockSize = 16 * MiB;
+  p.transferSize = 2 * MiB;
+  auto result = ior::runIor(cfg, p);
+  EXPECT_GT(result.writeBandwidth, 0.0);
+  EXPECT_GT(result.readBandwidth, 0.0);
+}
+
+TEST(ConfigFile, UsableAsReplayTarget) {
+  // Characterize on paper config A, estimate on the custom cluster.
+  auto home = makeConfig(ConfigId::A);
+  apps::BtioParams app;
+  app.mount = home.mount;
+  app.cls = apps::BtClass::A;
+  app.dumpsOverride = 4;
+  auto run = analysis::runAndTrace(home, "btio", apps::makeBtio(app), 4);
+  analysis::Replayer replayer(
+      [] { return parseClusterConfig(kSample); }, "/par");
+  auto estimate = analysis::estimateIoTime(run.model, replayer);
+  EXPECT_GT(estimate.totalTimeSec, 0.0);
+}
+
+TEST(ConfigFile, ReportsLineNumbersOnErrors) {
+  try {
+    parseClusterConfig("compute 2 gbe\nbogus directive\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigFile, RejectsStructuralMistakes) {
+  // server on unknown node
+  EXPECT_THROW(parseClusterConfig("compute 2 gbe\nserver nas disk sata\n"),
+               std::invalid_argument);
+  // mount referencing server-less node
+  EXPECT_THROW(parseClusterConfig(
+                   "compute 2 gbe\nionode nas gbe\nmount /x nfs nas\n"),
+               std::invalid_argument);
+  // no compute nodes
+  EXPECT_THROW(parseClusterConfig(
+                   "ionode nas gbe\nserver nas disk sata\n"
+                   "mount /x nfs nas\n"),
+               std::invalid_argument);
+  // no mount
+  EXPECT_THROW(parseClusterConfig("compute 2 gbe\n"),
+               std::invalid_argument);
+  // duplicate server
+  EXPECT_THROW(parseClusterConfig(
+                   "compute 1 gbe\nionode nas gbe\nserver nas disk sata\n"
+                   "server nas disk sata\nmount /x nfs nas\n"),
+               std::invalid_argument);
+  // unknown link/disk class
+  EXPECT_THROW(parseClusterConfig("compute 2 token-ring\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parseClusterConfig(
+                   "compute 1 gbe\nionode nas gbe\nserver nas disk mfm\n"
+                   "mount /x nfs nas\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigFile, LoadFromDiskMatchesParse) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "iop_cluster.conf";
+  {
+    std::ofstream out(path);
+    out << kSample;
+  }
+  auto cfg = loadClusterConfig(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(cfg.name, "test-cluster");
+  EXPECT_THROW(loadClusterConfig("/no/such/file.conf"),
+               std::invalid_argument);
+}
+
+TEST(ConfigFile, WritethroughFlagApplies) {
+  auto cfg = parseClusterConfig(R"(
+compute 1 gbe
+ionode ion gbe
+server ion disk sata writethrough
+mount /x nfs ion
+)");
+  const auto& servers = cfg.topology->ioServers();
+  ASSERT_EQ(servers.size(), 1u);
+  EXPECT_TRUE(servers[0]->cache().params().writeThrough);
+}
+
+}  // namespace
+}  // namespace iop::configs

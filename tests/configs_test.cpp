@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "configs/configs.hpp"
+#include "ior/ior.hpp"
+#include "storage/filesystem.hpp"
+#include "util/units.hpp"
+
+namespace iop::configs {
+namespace {
+
+using iop::util::MiB;
+
+TEST(Configs, AllFourBuildAndDescribe) {
+  for (auto id : {ConfigId::A, ConfigId::B, ConfigId::C,
+                  ConfigId::Finisterrae}) {
+    auto cfg = makeConfig(id);
+    EXPECT_FALSE(cfg.computeNodes.empty());
+    EXPECT_NO_THROW(cfg.topology->fs(cfg.mount));
+    EXPECT_FALSE(describeConfig(id).empty());
+    EXPECT_STREQ(configName(id), cfg.name.c_str());
+  }
+}
+
+TEST(Configs, MountPointsMatchPaper) {
+  EXPECT_EQ(makeConfig(ConfigId::A).mount, "/raid/raid5");
+  EXPECT_EQ(makeConfig(ConfigId::B).mount, "/mnt/pvfs2");
+  EXPECT_EQ(makeConfig(ConfigId::C).mount, "/home");
+  EXPECT_EQ(makeConfig(ConfigId::Finisterrae).mount, "homesfs");
+}
+
+TEST(Configs, ServerCountsMatchPaper) {
+  auto a = makeConfig(ConfigId::A);
+  EXPECT_EQ(a.topology->fs(a.mount).dataServers().size(), 1u);
+  auto b = makeConfig(ConfigId::B);
+  EXPECT_EQ(b.topology->fs(b.mount).dataServers().size(), 3u);
+  auto f = makeConfig(ConfigId::Finisterrae);
+  EXPECT_EQ(f.topology->fs(f.mount).dataServers().size(), 18u);
+}
+
+TEST(Configs, DisksMatchPaperInventory) {
+  auto a = makeConfig(ConfigId::A);
+  EXPECT_EQ(a.topology->allDisks().size(), 5u);  // RAID5, 5 disks
+  auto b = makeConfig(ConfigId::B);
+  EXPECT_EQ(b.topology->allDisks().size(), 3u);  // 3 JBOD nodes, 1 each
+}
+
+TEST(Configs, FinisterraeFasterThanConfigCForLargeSequentialIo) {
+  // Table XII's selection outcome must be reproducible at the raw-IOR
+  // level: Lustre over Infiniband beats single-server NFS over GbE.
+  auto run = [](ConfigId id) {
+    auto cfg = makeConfig(id);
+    ior::IorParams p;
+    p.mount = cfg.mount;
+    p.np = 16;
+    p.blockSize = 64 * MiB;
+    p.transferSize = 4 * MiB;
+    p.collective = true;
+    return ior::runIor(cfg, p);
+  };
+  auto c = run(ConfigId::C);
+  auto f = run(ConfigId::Finisterrae);
+  EXPECT_GT(f.writeBandwidth, c.writeBandwidth);
+  EXPECT_GT(f.readBandwidth, c.readBandwidth);
+}
+
+TEST(Configs, FreshInstancesAreIndependent) {
+  auto one = makeConfig(ConfigId::A);
+  auto two = makeConfig(ConfigId::A);
+  EXPECT_NE(one.engine.get(), two.engine.get());
+  EXPECT_DOUBLE_EQ(two.engine->now(), 0.0);
+}
+
+}  // namespace
+}  // namespace iop::configs

@@ -1,0 +1,420 @@
+// Tests for the paper's Section-V extensions implemented in this repo:
+// the multi-op phase replayer and multi-file (ROMS-style) models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/multiop.hpp"
+#include "analysis/planner.hpp"
+#include "analysis/replay.hpp"
+#include "analysis/runner.hpp"
+#include "analysis/report.hpp"
+#include "analysis/synthesize.hpp"
+#include "analysis/trace_replay.hpp"
+#include "apps/btio.hpp"
+#include "apps/madbench.hpp"
+#include "apps/roms.hpp"
+#include "configs/configs.hpp"
+#include "util/units.hpp"
+
+namespace iop::analysis {
+namespace {
+
+using configs::ConfigId;
+using iop::util::MiB;
+
+core::IOModel madbenchModel(int np) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::MadbenchParams p;
+  p.mount = cfg.mount;
+  p.kpix = 4;
+  p.busyWorkSeconds = 0.01;
+  return runAndTrace(cfg, "madbench2", apps::makeMadbench(p), np).model;
+}
+
+TEST(MultiOp, ReplaysMixedPhaseWithPlausibleBandwidth) {
+  auto model = madbenchModel(8);
+  const core::Phase* mixed = nullptr;
+  for (const auto& ph : model.phases()) {
+    if (ph.ops.size() > 1) mixed = &ph;
+  }
+  ASSERT_NE(mixed, nullptr);
+  auto result = replayMultiOpPhase(
+      model, *mixed, [] { return configs::makeConfig(ConfigId::A); },
+      "/raid/raid5");
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.bandwidth, util::fromMiBs(5));
+  EXPECT_LT(result.bandwidth, util::fromMiBs(400));
+}
+
+TEST(MultiOp, CloseToMeasuredForMixedPhase) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::MadbenchParams p;
+  p.mount = cfg.mount;
+  p.kpix = 4;
+  p.busyWorkSeconds = 0.01;
+  auto run = runAndTrace(cfg, "madbench2", apps::makeMadbench(p), 8);
+  const core::Phase* mixed = nullptr;
+  for (const auto& ph : run.model.phases()) {
+    if (ph.ops.size() > 1) mixed = &ph;
+  }
+  ASSERT_NE(mixed, nullptr);
+  auto result = replayMultiOpPhase(
+      run.model, *mixed, [] { return configs::makeConfig(ConfigId::A); },
+      "/raid/raid5");
+  EXPECT_LT(relativeErrorPct(result.bandwidth, mixed->measuredBandwidth()),
+            40.0);
+}
+
+TEST(MultiOp, EstimateVariantUsesBothReplayers) {
+  auto model = madbenchModel(8);
+  Replayer ior([] { return configs::makeConfig(ConfigId::A); },
+               "/raid/raid5");
+  auto estimate = estimateIoTimeMultiOp(
+      model, ior, [] { return configs::makeConfig(ConfigId::A); },
+      "/raid/raid5");
+  ASSERT_EQ(estimate.phases.size(), model.phases().size());
+  EXPECT_GT(estimate.totalTimeSec, 0.0);
+  for (const auto& pe : estimate.phases) {
+    EXPECT_GT(pe.bandwidthCH, 0.0) << "phase " << pe.phaseId;
+  }
+}
+
+TEST(MultiOp, RejectsPhasesWithoutOffsets) {
+  auto model = madbenchModel(4);
+  core::Phase broken = model.phases().front();
+  broken.ops[0].initOffsetBytes.clear();
+  EXPECT_THROW(replayMultiOpPhase(
+                   model, broken,
+                   [] { return configs::makeConfig(ConfigId::A); },
+                   "/raid/raid5"),
+               std::invalid_argument);
+}
+
+analysis::AppRun romsRun(int np) {
+  auto cfg = configs::makeConfig(ConfigId::B);
+  apps::RomsParams p;
+  p.mount = cfg.mount;
+  p.steps = 20;
+  p.computePerStep = 0.01;
+  return runAndTrace(cfg, "roms", apps::makeRoms(p), np);
+}
+
+TEST(MultiFile, ModelCoversAllThreeFiles) {
+  auto run = romsRun(4);
+  EXPECT_EQ(run.model.files().size(), 3u);
+  std::set<int> filesWithPhases;
+  for (const auto& ph : run.model.phases()) filesWithPhases.insert(ph.idF);
+  EXPECT_EQ(filesWithPhases.size(), 3u);
+}
+
+TEST(MultiFile, PhaseWeightsConservePerFileBytes) {
+  auto run = romsRun(4);
+  for (const auto& f : run.model.files()) {
+    std::uint64_t traced = 0;
+    for (const auto& rec : run.trace.recordsForFile(f.fileId)) {
+      traced += rec.requestBytes;
+    }
+    std::uint64_t modeled = 0;
+    for (const auto& ph : run.model.phases()) {
+      if (ph.idF == f.fileId) modeled += ph.weightBytes;
+    }
+    EXPECT_EQ(modeled, traced) << "file " << f.fileId;
+  }
+}
+
+TEST(MultiFile, InterleavedFilesKeepPerFileFamilies) {
+  // History records (every 5 steps) and restart records (every 20) are
+  // interleaved in time; the history family must not be split by the
+  // restart phases in between.
+  auto run = romsRun(4);
+  std::set<int> hisFamilies;
+  std::set<int> rstFamilies;
+  for (const auto& ph : run.model.phases()) {
+    const auto* meta = run.trace.fileMeta(ph.idF);
+    ASSERT_NE(meta, nullptr);
+    if (meta->path == "ocean_his.nc") hisFamilies.insert(ph.familyId);
+    if (meta->path == "ocean_rst.nc") rstFamilies.insert(ph.familyId);
+  }
+  EXPECT_EQ(hisFamilies.size(), 1u);
+  EXPECT_EQ(rstFamilies.size(), 1u);
+}
+
+TEST(MultiFile, RecordAppendFormulaInferred) {
+  auto run = romsRun(4);
+  // History phases: initOffset = idP*rs + rs*np*(record-1), like Table XI.
+  const core::Phase* his = nullptr;
+  for (const auto& ph : run.model.phases()) {
+    const auto* meta = run.trace.fileMeta(ph.idF);
+    if (meta != nullptr && meta->path == "ocean_his.nc") {
+      his = &ph;
+      break;
+    }
+  }
+  ASSERT_NE(his, nullptr);
+  const auto& fn = his->ops[0].offsetFn;
+  EXPECT_TRUE(fn.exact);
+  EXPECT_DOUBLE_EQ(fn.aBytes, 8.0 * MiB);
+  EXPECT_DOUBLE_EQ(fn.cBytes, 4.0 * 8 * MiB);  // np * rs
+}
+
+TEST(MultiFile, EstimationCoversEveryFile) {
+  auto run = romsRun(4);
+  Replayer replayer([] { return configs::makeConfig(ConfigId::B); },
+                    "/mnt/pvfs2");
+  auto estimate = estimateIoTime(run.model, replayer);
+  EXPECT_EQ(estimate.phases.size(), run.model.phases().size());
+  EXPECT_GT(estimate.totalTimeSec, 0.0);
+  auto rows = compareEstimate(estimate, run.model);
+  EXPECT_GE(rows.size(), 3u);  // at least one group per file
+}
+
+TEST(TraceReplay, SameConfigReproducesMeasuredTimes) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::MadbenchParams p;
+  p.mount = cfg.mount;
+  p.kpix = 4;
+  p.busyWorkSeconds = 0.05;
+  auto run = runAndTrace(cfg, "madbench2", apps::makeMadbench(p), 8);
+  auto replay = replayTrace(
+      run.trace, [] { return configs::makeConfig(ConfigId::A); },
+      "/raid/raid5");
+  ASSERT_EQ(replay.measuredModel.phases().size(),
+            run.model.phases().size());
+  for (std::size_t i = 0; i < run.model.phases().size(); ++i) {
+    const auto& orig = run.model.phases()[i];
+    const auto& rep = replay.measuredModel.phases()[i];
+    EXPECT_EQ(orig.weightBytes, rep.weightBytes);
+    EXPECT_EQ(orig.rep, rep.rep);
+    // Same configuration + preserved think time: timings track closely.
+    EXPECT_LT(relativeErrorPct(rep.measuredIoTime(),
+                               orig.measuredIoTime()),
+              20.0)
+        << "phase " << orig.id;
+  }
+}
+
+TEST(TraceReplay, DifferentConfigKeepsPhaseStructure) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::BtioParams p;
+  p.mount = cfg.mount;
+  p.cls = apps::BtClass::A;
+  p.dumpsOverride = 6;
+  auto run = runAndTrace(cfg, "btio", apps::makeBtio(p), 4);
+  auto replay = replayTrace(
+      run.trace, [] { return configs::makeConfig(ConfigId::B); },
+      "/mnt/pvfs2");
+  ASSERT_EQ(replay.measuredModel.phases().size(), 7u);
+  EXPECT_EQ(replay.measuredModel.phases().back().rep, 6u);
+  EXPECT_GT(replay.makespanSeconds, 0.0);
+}
+
+TEST(TraceReplay, ThinkTimeOptionShrinksMakespan) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::BtioParams p;
+  p.mount = cfg.mount;
+  p.cls = apps::BtClass::A;
+  p.dumpsOverride = 4;
+  p.computePerStep = 0.5;  // plenty of think time
+  auto run = runAndTrace(cfg, "btio", apps::makeBtio(p), 4);
+  auto builder = [] { return configs::makeConfig(ConfigId::A); };
+  auto withThink = replayTrace(run.trace, builder, "/raid/raid5");
+  TraceReplayOptions noThink;
+  noThink.preserveThinkTime = false;
+  auto without = replayTrace(run.trace, builder, "/raid/raid5", noThink);
+  EXPECT_LT(without.makespanSeconds, withThink.makespanSeconds * 0.6);
+}
+
+TEST(TraceReplay, UnknownOperationRejected) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::BtioParams p;
+  p.mount = cfg.mount;
+  p.cls = apps::BtClass::A;
+  p.dumpsOverride = 2;
+  auto run = runAndTrace(cfg, "btio", apps::makeBtio(p), 4);
+  run.trace.perRank[0][0].op = "MPI_File_levitate";
+  EXPECT_THROW(replayTrace(run.trace,
+                           [] { return configs::makeConfig(ConfigId::A); },
+                           "/raid/raid5"),
+               std::runtime_error);
+}
+
+TEST(TraceReplay, ComparableAgainstEstimates) {
+  // The replay's measured model plugs straight into compareEstimate.
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::BtioParams p;
+  p.mount = cfg.mount;
+  p.cls = apps::BtClass::A;
+  p.dumpsOverride = 5;
+  auto run = runAndTrace(cfg, "btio", apps::makeBtio(p), 4);
+  Replayer replayer([] { return configs::makeConfig(ConfigId::B); },
+                    "/mnt/pvfs2");
+  auto estimate = estimateIoTime(run.model, replayer);
+  auto replay = replayTrace(
+      run.trace, [] { return configs::makeConfig(ConfigId::B); },
+      "/mnt/pvfs2");
+  auto rows = compareEstimate(estimate, replay.measuredModel);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) EXPECT_GT(row.timeMD, 0.0);
+}
+
+/// Compare two models structurally (weights, reps, ops, offsets).
+void expectSameStructure(const core::IOModel& a, const core::IOModel& b) {
+  ASSERT_EQ(a.phases().size(), b.phases().size());
+  for (std::size_t i = 0; i < a.phases().size(); ++i) {
+    const auto& pa = a.phases()[i];
+    const auto& pb = b.phases()[i];
+    EXPECT_EQ(pa.weightBytes, pb.weightBytes) << "phase " << pa.id;
+    EXPECT_EQ(pa.rep, pb.rep) << "phase " << pa.id;
+    EXPECT_EQ(pa.ranks, pb.ranks) << "phase " << pa.id;
+    ASSERT_EQ(pa.ops.size(), pb.ops.size()) << "phase " << pa.id;
+    for (std::size_t j = 0; j < pa.ops.size(); ++j) {
+      EXPECT_EQ(pa.ops[j].op, pb.ops[j].op);
+      EXPECT_EQ(pa.ops[j].rsBytes, pb.ops[j].rsBytes);
+      EXPECT_EQ(pa.ops[j].initOffsetBytes, pb.ops[j].initOffsetBytes);
+    }
+  }
+}
+
+TEST(Synthesize, MadbenchModelRoundTrips) {
+  // Extract a model, generate a synthetic app from it, trace THAT, and
+  // the extracted model must come back identical.
+  auto model = madbenchModel(8);
+  auto cfg = configs::makeConfig(ConfigId::B);
+  auto run = runAndTrace(cfg, "synthetic-madbench",
+                         makeSyntheticApp(model, cfg.mount), 8);
+  expectSameStructure(model, run.model);
+}
+
+TEST(Synthesize, BtioModelRoundTrips) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::BtioParams p;
+  p.mount = cfg.mount;
+  p.cls = apps::BtClass::A;
+  p.dumpsOverride = 8;
+  auto original = runAndTrace(cfg, "btio", apps::makeBtio(p), 4);
+  auto target = configs::makeConfig(ConfigId::C);
+  auto synthetic = runAndTrace(
+      target, "synthetic-btio",
+      makeSyntheticApp(original.model, target.mount), 4);
+  expectSameStructure(original.model, synthetic.model);
+}
+
+TEST(Synthesize, RomsMultiFileModelRoundTrips) {
+  auto run = romsRun(4);
+  auto cfg = configs::makeConfig(ConfigId::B);
+  auto synthetic = runAndTrace(cfg, "synthetic-roms",
+                               makeSyntheticApp(run.model, cfg.mount), 4);
+  expectSameStructure(run.model, synthetic.model);
+}
+
+TEST(Synthesize, RejectsUnsynthesizableModels) {
+  auto model = madbenchModel(4);
+  core::IOModel broken = model;
+  broken.phases()[0].ops[0].initOffsetBytes.clear();
+  EXPECT_THROW(makeSyntheticApp(broken, "/x"), std::invalid_argument);
+}
+
+TEST(Planner, OverlapMatchesHandComputation) {
+  // Two synthetic single-phase models with known windows.
+  auto mkModel = [](double start, double end) {
+    core::Phase ph;
+    ph.id = 1;
+    ph.startTime = start;
+    ph.endTime = end;
+    return core::IOModel("synthetic", 1, {}, {ph});
+  };
+  auto a = mkModel(0, 10);
+  auto b = mkModel(5, 20);
+  EXPECT_DOUBLE_EQ(ioOverlapSeconds(a, 0, b, 0), 5.0);
+  EXPECT_DOUBLE_EQ(ioOverlapSeconds(a, 0, b, 5), 0.0);  // b shifted away
+  EXPECT_DOUBLE_EQ(ioOverlapSeconds(a, 8, b, 0), 10.0);
+}
+
+TEST(Planner, StaggersSecondAppPastTheFirst) {
+  auto run = romsRun(4);
+  std::vector<const core::IOModel*> apps{&run.model, &run.model};
+  PlannerOptions opt;
+  opt.stepSeconds = 1.0;
+  auto plan = planStaggeredLaunch(apps, opt);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan[0].startOffset, 0.0);
+  EXPECT_GT(plan[1].startOffset, 0.0);
+  EXPECT_NEAR(ioOverlapSeconds(run.model, plan[0].startOffset, run.model,
+                               plan[1].startOffset),
+              0.0, 1e-9);
+}
+
+TEST(Planner, KeepsNonConflictingAppsUnstaggered) {
+  // An app with one early window and one with a late window don't clash:
+  // neither should be delayed.
+  auto mkModel = [](double start, double end) {
+    core::Phase ph;
+    ph.id = 1;
+    ph.startTime = start;
+    ph.endTime = end;
+    return core::IOModel("synthetic", 1, {}, {ph});
+  };
+  auto early = mkModel(0, 5);
+  auto late = mkModel(100, 110);
+  std::vector<const core::IOModel*> apps{&early, &late};
+  auto plan = planStaggeredLaunch(apps);
+  EXPECT_DOUBLE_EQ(plan[0].startOffset, 0.0);
+  EXPECT_DOUBLE_EQ(plan[1].startOffset, 0.0);
+}
+
+TEST(Planner, RejectsBadOptions) {
+  PlannerOptions opt;
+  opt.stepSeconds = 0;
+  EXPECT_THROW(planStaggeredLaunch({}, opt), std::invalid_argument);
+}
+
+TEST(Report, ContainsModelUsageAndRecommendation) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::MadbenchParams p;
+  p.mount = cfg.mount;
+  p.kpix = 4;
+  p.busyWorkSeconds = 0.01;
+  auto run = runAndTrace(cfg, "madbench2", apps::makeMadbench(p), 8);
+  ReportOptions options;
+  options.targets = {ConfigId::A, ConfigId::B};
+  auto report = generateReport(run, ConfigId::A, options);
+  EXPECT_NE(report.find("# I/O report: madbench2"), std::string::npos);
+  EXPECT_NE(report.find("idP*8*"), std::string::npos);
+  EXPECT_NE(report.find("System usage"), std::string::npos);
+  EXPECT_NE(report.find("Configuration B"), std::string::npos);
+  EXPECT_NE(report.find("**Recommendation:**"), std::string::npos);
+}
+
+TEST(Report, UsageSectionOptional) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::BtioParams p;
+  p.mount = cfg.mount;
+  p.cls = apps::BtClass::A;
+  p.dumpsOverride = 3;
+  auto run = runAndTrace(cfg, "btio", apps::makeBtio(p), 4);
+  ReportOptions options;
+  options.targets = {ConfigId::A};
+  options.includeUsage = false;
+  auto report = generateReport(run, ConfigId::A, options);
+  EXPECT_EQ(report.find("System usage"), std::string::npos);
+}
+
+TEST(Report, FamiliesCollapseIntoOneRow) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  apps::BtioParams p;
+  p.mount = cfg.mount;
+  p.cls = apps::BtClass::A;
+  p.dumpsOverride = 10;
+  auto run = runAndTrace(cfg, "btio", apps::makeBtio(p), 4);
+  ReportOptions options;
+  options.targets = {ConfigId::A};
+  options.includeUsage = false;
+  auto report = generateReport(run, ConfigId::A, options);
+  EXPECT_NE(report.find("| 1-10 |"), std::string::npos);
+  EXPECT_NE(report.find("| 11 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iop::analysis

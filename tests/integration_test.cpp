@@ -1,0 +1,99 @@
+// Cross-module integration tests: claims that only hold when the whole
+// stack — apps, MPI, storage, monitor, tracer, model — cooperates.
+#include <gtest/gtest.h>
+
+#include "analysis/runner.hpp"
+#include "apps/madbench.hpp"
+#include "configs/configs.hpp"
+#include "monitor/monitor.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/tracer.hpp"
+
+namespace iop {
+namespace {
+
+TEST(Integration, PhasesAreVisibleAtDeviceLevel) {
+  // The paper's Figure 8 claim: the I/O phases identified at library
+  // level are reflected at device level.  Classify each monitor sample by
+  // the phase whose wall window contains it and check that write phases
+  // show write-dominated device traffic and read phases read-dominated.
+  auto cfg = configs::makeConfig(configs::ConfigId::B);
+  apps::MadbenchParams params;
+  params.mount = cfg.mount;
+  params.kpix = 8;
+  params.busyWorkSeconds = 0.2;
+
+  trace::Tracer tracer("madbench2", 16);
+  monitor::DeviceMonitor mon(*cfg.engine, cfg.topology->allDisks(), 1.0);
+  mon.start();
+  auto opts = cfg.runtimeOptions(16, &tracer);
+  opts.onAppComplete = [&mon] { mon.stop(); };
+  mpi::Runtime runtime(*cfg.topology, opts);
+  runtime.runToCompletion(apps::makeMadbench(params));
+  auto model = core::extractModel(tracer.takeData());
+  ASSERT_EQ(model.phases().size(), 5u);
+
+  for (const auto& phase : model.phases()) {
+    const std::string type = phase.opTypeLabel();
+    double read = 0, write = 0;
+    int samples = 0;
+    for (const auto& sample : mon.samples()) {
+      if (sample.time < phase.startTime + 1.0 ||
+          sample.time > phase.endTime) {
+        continue;
+      }
+      for (const auto& disk : sample.disks) {
+        read += disk.sectorsReadPerSec;
+        write += disk.sectorsWrittenPerSec;
+      }
+      ++samples;
+    }
+    ASSERT_GT(samples, 0) << "phase " << phase.id;
+    if (type == "W") {
+      EXPECT_GT(write, read * 2) << "phase " << phase.id;
+    } else if (type == "R") {
+      EXPECT_GT(read, write * 2) << "phase " << phase.id;
+    } else {
+      EXPECT_GT(read, 0.0);
+      EXPECT_GT(write, 0.0);
+    }
+  }
+
+  // And the devices saturate during the phases (paper: "about the 100%").
+  EXPECT_GT(mon.peakUtilization(), 0.95);
+}
+
+TEST(Integration, TickClockIsWallTimeIndependent) {
+  // The same application produces identical tick sequences on a fast and
+  // a slow configuration, even though wall timings differ — the property
+  // that makes the model portable.
+  auto traceOn = [](configs::ConfigId id) {
+    auto cfg = configs::makeConfig(id);
+    apps::MadbenchParams p;
+    p.mount = cfg.mount;
+    p.kpix = 4;
+    p.busyWorkSeconds = 0.01;
+    return analysis::runAndTrace(cfg, "madbench2", apps::makeMadbench(p), 8)
+        .trace;
+  };
+  auto fast = traceOn(configs::ConfigId::Finisterrae);
+  auto slow = traceOn(configs::ConfigId::B);
+  ASSERT_EQ(fast.np, slow.np);
+  for (int r = 0; r < fast.np; ++r) {
+    const auto& a = fast.perRank[static_cast<std::size_t>(r)];
+    const auto& b = slow.perRank[static_cast<std::size_t>(r)];
+    ASSERT_EQ(a.size(), b.size());
+    bool timingsDiffer = false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].tick, b[k].tick);
+      EXPECT_EQ(a[k].offsetUnits, b[k].offsetUnits);
+      if (std::abs(a[k].duration - b[k].duration) > 1e-9) {
+        timingsDiffer = true;
+      }
+    }
+    EXPECT_TRUE(timingsDiffer) << "configs should differ in speed";
+  }
+}
+
+}  // namespace
+}  // namespace iop

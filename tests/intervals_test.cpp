@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/intervals.hpp"
+#include "util/rng.hpp"
+
+namespace iop::util {
+namespace {
+
+TEST(IntervalSet, InsertDisjoint) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  EXPECT_EQ(s.totalBytes(), 20u);
+  EXPECT_EQ(s.intervalCount(), 2u);
+}
+
+TEST(IntervalSet, InsertCoalescesOverlap) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(5, 15);
+  EXPECT_EQ(s.totalBytes(), 15u);
+  EXPECT_EQ(s.intervalCount(), 1u);
+}
+
+TEST(IntervalSet, InsertCoalescesTouching) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(10, 20);
+  EXPECT_EQ(s.intervalCount(), 1u);
+  EXPECT_TRUE(s.contains(0, 20));
+}
+
+TEST(IntervalSet, InsertBridgesMultiple) {
+  IntervalSet s;
+  s.insert(0, 5);
+  s.insert(10, 15);
+  s.insert(20, 25);
+  s.insert(3, 22);
+  EXPECT_EQ(s.intervalCount(), 1u);
+  EXPECT_EQ(s.totalBytes(), 25u);
+}
+
+TEST(IntervalSet, EmptyInsertIgnored) {
+  IntervalSet s;
+  s.insert(5, 5);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, EraseSplitsInterval) {
+  IntervalSet s;
+  s.insert(0, 30);
+  s.erase(10, 20);
+  EXPECT_EQ(s.intervalCount(), 2u);
+  EXPECT_EQ(s.totalBytes(), 20u);
+  EXPECT_TRUE(s.contains(0, 10));
+  EXPECT_TRUE(s.contains(20, 30));
+  EXPECT_FALSE(s.contains(9, 11));
+}
+
+TEST(IntervalSet, EraseAcrossIntervals) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(40, 50);
+  s.erase(5, 45);
+  EXPECT_EQ(s.totalBytes(), 10u);
+  EXPECT_TRUE(s.contains(0, 5));
+  EXPECT_TRUE(s.contains(45, 50));
+}
+
+TEST(IntervalSet, CoveredBytesPartial) {
+  IntervalSet s;
+  s.insert(10, 20);
+  EXPECT_EQ(s.coveredBytes(0, 30), 10u);
+  EXPECT_EQ(s.coveredBytes(15, 30), 5u);
+  EXPECT_EQ(s.coveredBytes(0, 5), 0u);
+}
+
+TEST(IntervalSet, GapsEnumeration) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  auto gaps = s.gaps(0, 50);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (IntervalSet::Interval{0, 10}));
+  EXPECT_EQ(gaps[1], (IntervalSet::Interval{20, 30}));
+  EXPECT_EQ(gaps[2], (IntervalSet::Interval{40, 50}));
+}
+
+TEST(IntervalSet, GapsFullyCovered) {
+  IntervalSet s;
+  s.insert(0, 100);
+  EXPECT_TRUE(s.gaps(10, 90).empty());
+}
+
+TEST(IntervalSet, GapsFullyUncovered) {
+  IntervalSet s;
+  auto gaps = s.gaps(5, 15);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].first, 5u);
+  EXPECT_EQ(gaps[0].second, 15u);
+}
+
+TEST(IntervalSet, ContainsEmptyRangeTrivially) {
+  IntervalSet s;
+  EXPECT_TRUE(s.contains(7, 7));
+}
+
+TEST(IntervalSet, ClearResets) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.totalBytes(), 0u);
+}
+
+TEST(IntervalSet, StressRandomAgainstBitmap) {
+  IntervalSet s;
+  std::vector<bool> ref(1000, false);
+  std::uint64_t state = 12345;
+  auto next = [&state] { return splitmix64(state); };
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t a = next() % 1000;
+    std::uint64_t b = next() % 1000;
+    if (a > b) std::swap(a, b);
+    if (next() % 3 == 0) {
+      s.erase(a, b);
+      for (std::uint64_t k = a; k < b; ++k) ref[k] = false;
+    } else {
+      s.insert(a, b);
+      for (std::uint64_t k = a; k < b; ++k) ref[k] = true;
+    }
+  }
+  std::uint64_t expected = 0;
+  for (bool v : ref) expected += v;
+  EXPECT_EQ(s.totalBytes(), expected);
+  for (std::uint64_t k = 0; k < 1000; k += 7) {
+    EXPECT_EQ(s.coveredBytes(k, k + 1), ref[k] ? 1u : 0u) << "at " << k;
+  }
+}
+
+}  // namespace
+}  // namespace iop::util

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "configs/configs.hpp"
+#include "ior/ior.hpp"
+#include "trace/tracer.hpp"
+#include "util/units.hpp"
+
+namespace iop::ior {
+namespace {
+
+using configs::ConfigId;
+using iop::util::MiB;
+
+IorParams baseParams(const configs::ClusterConfig& cfg) {
+  IorParams p;
+  p.mount = cfg.mount;
+  p.blockSize = 16 * MiB;
+  p.transferSize = 1 * MiB;
+  p.np = 4;
+  return p;
+}
+
+TEST(Ior, WriteReadBandwidthsPositiveAndBounded) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  auto result = runIor(cfg, baseParams(cfg));
+  EXPECT_GT(result.writeBandwidth, 10.0e6);
+  EXPECT_LT(result.writeBandwidth, 117.0e6 * 1.3);  // <= wire speed-ish
+  EXPECT_GT(result.readBandwidth, 10.0e6);
+  EXPECT_EQ(result.totalBytes, 4ull * 16 * MiB);
+  EXPECT_GT(result.writeOpsPerSec, 0.0);
+}
+
+TEST(Ior, SegmentsMultiplyData) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  auto p = baseParams(cfg);
+  p.segments = 3;
+  auto result = runIor(cfg, p);
+  EXPECT_EQ(result.totalBytes, 3ull * 4 * 16 * MiB);
+}
+
+TEST(Ior, CollectiveModeRuns) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  auto p = baseParams(cfg);
+  p.collective = true;
+  auto result = runIor(cfg, p);
+  EXPECT_GT(result.writeBandwidth, 0.0);
+  EXPECT_GT(result.readBandwidth, 0.0);
+}
+
+TEST(Ior, UniqueFilePerProcRuns) {
+  auto cfg = configs::makeConfig(ConfigId::B);
+  auto p = baseParams(cfg);
+  p.uniqueFilePerProc = true;
+  auto result = runIor(cfg, p);
+  EXPECT_GT(result.writeBandwidth, 0.0);
+}
+
+TEST(Ior, RandomSlowerThanSequentialOnDiskBoundConfig) {
+  // Config B (JBOD single disks) is device-bound: random transfer order
+  // forces seeks and must not be faster than sequential.
+  auto mk = [] {
+    auto cfg = configs::makeConfig(ConfigId::B);
+    IorParams p;
+    p.mount = cfg.mount;
+    p.blockSize = 256 * MiB;
+    p.transferSize = 256 * 1024;
+    p.np = 2;
+    return std::make_pair(std::move(cfg), p);
+  };
+  auto [cfgSeq, pSeq] = mk();
+  auto seq = runIor(cfgSeq, pSeq);
+  auto [cfgRnd, pRnd] = mk();
+  pRnd.accessMode = AccessMode::Random;
+  auto rnd = runIor(cfgRnd, pRnd);
+  EXPECT_LE(rnd.readBandwidth, seq.readBandwidth * 1.05);
+}
+
+TEST(Ior, DropCachesMakesReadsColdOnSmallFiles) {
+  auto mk = [](bool drop) {
+    auto cfg = configs::makeConfig(ConfigId::A);
+    IorParams p;
+    p.mount = cfg.mount;
+    p.blockSize = 32 * MiB;  // fits comfortably in the server cache
+    p.transferSize = 1 * MiB;
+    p.np = 2;
+    p.dropCachesBeforeRead = drop;
+    return runIor(cfg, p);
+  };
+  auto cold = mk(true);
+  auto warm = mk(false);
+  EXPECT_GT(warm.readBandwidth, cold.readBandwidth);
+}
+
+TEST(Ior, RejectsBadParameters) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  auto p = baseParams(cfg);
+  p.transferSize = 3 * MiB;  // does not divide blockSize
+  EXPECT_THROW(runIor(cfg, p), std::invalid_argument);
+  p = baseParams(cfg);
+  p.np = 0;
+  EXPECT_THROW(runIor(cfg, p), std::invalid_argument);
+}
+
+TEST(Ior, TracedRunShowsTwoPhaseStructure) {
+  // Figure 6: IOR's own I/O model is one write phase + one read phase.
+  auto cfg = configs::makeConfig(ConfigId::A);
+  trace::Tracer tracer("ior", 4);
+  auto p = baseParams(cfg);
+  runIor(cfg, p, &tracer);
+  const auto& data = tracer.data();
+  // Each rank did 16 writes + 16 reads.
+  EXPECT_EQ(data.perRank[0].size(), 32u);
+  int writes = 0;
+  for (const auto& rec : data.perRank[0]) {
+    writes += trace::isWriteOp(rec.op);
+  }
+  EXPECT_EQ(writes, 16);
+}
+
+TEST(Ior, SummaryRendersMetrics) {
+  auto cfg = configs::makeConfig(ConfigId::A);
+  auto result = runIor(cfg, baseParams(cfg));
+  auto text = result.summary();
+  EXPECT_NE(text.find("MB/s"), std::string::npos);
+  EXPECT_NE(text.find("IOPS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iop::ior

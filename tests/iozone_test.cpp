@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iozone/iozone.hpp"
+#include "sim/engine.hpp"
+#include "storage/blockdev.hpp"
+#include "storage/topology.hpp"
+#include "util/units.hpp"
+
+namespace iop::iozone {
+namespace {
+
+using iop::util::MiB;
+
+struct ServerFixture {
+  sim::Engine eng;
+  storage::Topology topo{eng};
+  storage::IoServer* server;
+
+  explicit ServerFixture(double diskBw = 100.0e6) {
+    auto& node = topo.addNode("ion", storage::gigabitEthernet());
+    storage::DiskParams dp;
+    dp.seqReadBw = diskBw;
+    dp.seqWriteBw = diskBw;
+    dp.positionTime = 8.0e-3;
+    storage::ServerParams sp;
+    sp.cache.sizeBytes = 64 * MiB;  // small so sweeps stay fast
+    server = &topo.addServer(
+        node, std::make_unique<storage::SingleDisk>(eng, dp), sp);
+  }
+};
+
+IozoneParams quickParams() {
+  IozoneParams p;
+  p.recordSizes = {256 * 1024, 1 * MiB};
+  return p;
+}
+
+TEST(Iozone, SequentialPeaksNearDeviceSpeed) {
+  ServerFixture f;
+  auto result = runIozone(f.eng, *f.server, quickParams());
+  EXPECT_GT(result.peakWriteBandwidth, 70.0e6);
+  EXPECT_LT(result.peakWriteBandwidth, 130.0e6);
+  EXPECT_GT(result.peakReadBandwidth, 70.0e6);
+}
+
+TEST(Iozone, RandomSlowerThanSequential) {
+  ServerFixture f;
+  auto result = runIozone(f.eng, *f.server, quickParams());
+  double seqRead = 0, rndRead = 0;
+  for (const auto& cell : result.cells) {
+    if (cell.recordSize != 256 * 1024) continue;
+    if (cell.pattern == Pattern::SequentialRead) seqRead = cell.bandwidth;
+    if (cell.pattern == Pattern::RandomRead) rndRead = cell.bandwidth;
+  }
+  EXPECT_GT(seqRead, 0.0);
+  EXPECT_LT(rndRead, seqRead * 0.6);  // seeks must hurt
+}
+
+TEST(Iozone, LargerRecordsHelpRandomAccess) {
+  ServerFixture f;
+  IozoneParams p;
+  p.recordSizes = {256 * 1024, 4 * MiB};
+  p.patterns = {Pattern::RandomRead};
+  auto result = runIozone(f.eng, *f.server, p);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_GT(result.cells[1].bandwidth, result.cells[0].bandwidth);
+}
+
+TEST(Iozone, FileSizeDefaultsToTwiceCache) {
+  // With FZ = 2 * cache, a sequential re-read cannot be served from cache,
+  // so the read peak reflects the device, not memory bandwidth.
+  ServerFixture f;
+  IozoneParams p;
+  p.recordSizes = {1 * MiB};
+  p.patterns = {Pattern::SequentialRead};
+  auto result = runIozone(f.eng, *f.server, p);
+  EXPECT_LT(result.peakReadBandwidth, 200.0e6);  // not memory speed
+}
+
+TEST(Iozone, RejectsBadRecordSize) {
+  ServerFixture f;
+  IozoneParams p;
+  p.recordSizes = {0};
+  EXPECT_THROW(runIozone(f.eng, *f.server, p), std::invalid_argument);
+}
+
+TEST(Iozone, TableRendersAllCells) {
+  ServerFixture f;
+  auto p = quickParams();
+  p.patterns = {Pattern::SequentialWrite, Pattern::SequentialRead};
+  auto result = runIozone(f.eng, *f.server, p);
+  auto text = result.renderTable();
+  EXPECT_NE(text.find("seq-write"), std::string::npos);
+  EXPECT_NE(text.find("256KB"), std::string::npos);
+  EXPECT_EQ(result.cells.size(), 4u);
+}
+
+TEST(Iozone, PatternNamesDistinct) {
+  EXPECT_STREQ(patternName(Pattern::StridedRead), "strided-read");
+  EXPECT_TRUE(isWritePattern(Pattern::RandomWrite));
+  EXPECT_FALSE(isWritePattern(Pattern::StridedRead));
+}
+
+}  // namespace
+}  // namespace iop::iozone

@@ -1,0 +1,185 @@
+// Assorted smaller behaviours not covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include "analysis/evaluate.hpp"
+#include "configs/configs.hpp"
+#include "core/iomodel.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+#include "storage/filesystem.hpp"
+#include "trace/tracer.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace iop {
+namespace {
+
+using iop::util::MiB;
+
+TEST(CommCost, LargerBroadcastsTakeLonger) {
+  auto timeBcast = [](std::uint64_t bytes) {
+    auto cfg = configs::makeConfig(configs::ConfigId::A);
+    mpi::Runtime rt(*cfg.topology, cfg.runtimeOptions(8));
+    return rt.runToCompletion([bytes](mpi::Rank& r) -> sim::Task<void> {
+      co_await r.bcast(bytes);
+    });
+  };
+  EXPECT_GT(timeBcast(64 * MiB), timeBcast(64));
+}
+
+TEST(CommCost, AllreduceCostsMoreThanBcast) {
+  auto cfg = configs::makeConfig(configs::ConfigId::A);
+  mpi::Runtime rt(*cfg.topology, cfg.runtimeOptions(8));
+  double bcastEnd = 0, allreduceEnd = 0;
+  rt.runToCompletion([&](mpi::Rank& r) -> sim::Task<void> {
+    const double t0 = r.engine().now();
+    co_await r.bcast(1 * MiB);
+    const double t1 = r.engine().now();
+    co_await r.allreduce(1 * MiB);
+    const double t2 = r.engine().now();
+    if (r.id() == 0) {
+      bcastEnd = t1 - t0;
+      allreduceEnd = t2 - t1;
+    }
+  });
+  EXPECT_GT(allreduceEnd, bcastEnd);
+}
+
+TEST(CommCost, BarrierWaitsButCostsLittle) {
+  auto cfg = configs::makeConfig(configs::ConfigId::A);
+  mpi::Runtime rt(*cfg.topology, cfg.runtimeOptions(4));
+  double elapsed = rt.runToCompletion([](mpi::Rank& r) -> sim::Task<void> {
+    co_await r.barrier();
+  });
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 0.01);
+}
+
+TEST(TableRender, RowsLongerThanHeaderArePadded) {
+  util::Table t;
+  t.setHeader({"a", "b"});
+  t.addRow({"1"});  // shorter than header
+  auto text = t.render();
+  EXPECT_NE(text.find("| 1 |"), std::string::npos);
+}
+
+TEST(ModelSeries, MaxPointsTruncates) {
+  trace::TraceData data;
+  data.appName = "series";
+  data.np = 2;
+  data.perRank.resize(2);
+  data.commEventsPerRank.assign(2, 0);
+  trace::FileMeta meta;
+  meta.fileId = 1;
+  meta.np = 2;
+  data.files.push_back(meta);
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < 10; ++i) {
+      trace::Record rec;
+      rec.rank = r;
+      rec.fileId = 1;
+      rec.op = "MPI_File_write";
+      rec.offsetUnits = static_cast<std::uint64_t>(i) * 100;
+      rec.tick = static_cast<std::uint64_t>(i) + 1;
+      rec.requestBytes = 100;
+      data.perRank[static_cast<std::size_t>(r)].push_back(rec);
+    }
+  }
+  auto model = core::extractModel(data);
+  auto series = model.renderGlobalPatternSeries(5);
+  int lines = 0;
+  for (char c : series) lines += c == '\n';
+  EXPECT_EQ(lines, 6);  // header + 5 points
+}
+
+TEST(ModelMetadata, UnknownFileGivesDefaults) {
+  core::IOModel model("x", 2, {}, {});
+  auto meta = model.metadataFor(42);
+  EXPECT_EQ(meta.accessMode, "Sequential");
+  EXPECT_TRUE(meta.blockingIo);
+}
+
+TEST(Evaluate, WriteReadPhasePeakIsTheAverage) {
+  // Build a minimal W-R phase and check eq. 5's denominator choice.
+  core::Phase phase;
+  phase.id = 1;
+  phase.ranks = {0};
+  phase.rep = 1;
+  core::PhaseOp w;
+  w.op = "MPI_File_write";
+  w.rsBytes = MiB;
+  core::PhaseOp r;
+  r.op = "MPI_File_read";
+  r.rsBytes = MiB;
+  phase.ops = {w, r};
+  phase.weightBytes = 2 * MiB;
+  phase.ioUnionSeconds = 1.0;
+  core::IOModel model("x", 1, {}, {phase});
+  auto rows = analysis::systemUsage(model, 100.0, 50.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].peakBandwidth, 75.0);
+  EXPECT_EQ(rows[0].opsLabel, "2 W-R");
+}
+
+TEST(PhaseSplit, ZeroGapSplitsEveryRepetition) {
+  // maxIntraPhaseTickGap = 0: even back-to-back repetitions separate.
+  trace::TraceData data;
+  data.appName = "splitall";
+  data.np = 1;
+  data.perRank.resize(1);
+  data.commEventsPerRank.assign(1, 0);
+  trace::FileMeta meta;
+  meta.fileId = 1;
+  meta.np = 1;
+  data.files.push_back(meta);
+  for (int i = 0; i < 5; ++i) {
+    trace::Record rec;
+    rec.rank = 0;
+    rec.fileId = 1;
+    rec.op = "MPI_File_write";
+    rec.offsetUnits = static_cast<std::uint64_t>(i) * 10;
+    rec.tick = static_cast<std::uint64_t>(i) + 1;
+    rec.requestBytes = 10;
+    data.perRank[0].push_back(rec);
+  }
+  core::PhaseDetectionOptions opt;
+  opt.maxIntraPhaseTickGap = 0;
+  EXPECT_EQ(core::detectPhases(data, opt).size(), 5u);
+  EXPECT_EQ(core::detectPhases(data).size(), 1u);
+}
+
+TEST(FsDescribe, MentionsTopologyPieces) {
+  auto a = configs::makeConfig(configs::ConfigId::A);
+  auto text = a.topology->fs(a.mount).describe();
+  EXPECT_NE(text.find("nfs"), std::string::npos);
+  EXPECT_NE(text.find("raid5"), std::string::npos);
+  auto f = configs::makeConfig(configs::ConfigId::Finisterrae);
+  auto ltext = f.topology->fs(f.mount).describe();
+  EXPECT_NE(ltext.find("striped(18 servers"), std::string::npos);
+  EXPECT_NE(ltext.find("count=1"), std::string::npos);
+}
+
+TEST(Runtime, RejectsInvalidOptions) {
+  auto cfg = configs::makeConfig(configs::ConfigId::A);
+  mpi::RuntimeOptions opts;
+  opts.np = 0;
+  opts.computeNodes = cfg.computeNodes;
+  EXPECT_THROW(mpi::Runtime(*cfg.topology, opts), std::invalid_argument);
+  opts.np = 2;
+  opts.computeNodes.clear();
+  EXPECT_THROW(mpi::Runtime(*cfg.topology, opts), std::invalid_argument);
+}
+
+TEST(Runtime, FileReopenedWithDifferentAccessTypeRejected) {
+  auto cfg = configs::makeConfig(configs::ConfigId::A);
+  mpi::Runtime rt(*cfg.topology, cfg.runtimeOptions(1));
+  EXPECT_THROW(
+      rt.runToCompletion([&](mpi::Rank& r) -> sim::Task<void> {
+        auto a = co_await r.open("/raid/raid5", "x", mpi::AccessType::Shared);
+        auto b = co_await r.open("/raid/raid5", "x", mpi::AccessType::Unique);
+      }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace iop

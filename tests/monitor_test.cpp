@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "monitor/monitor.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "storage/blockdev.hpp"
+#include "util/units.hpp"
+
+namespace iop::monitor {
+namespace {
+
+using iop::util::MiB;
+
+storage::DiskParams testDisk() {
+  storage::DiskParams p;
+  p.name = "sda";
+  p.seqReadBw = 100.0e6;
+  p.seqWriteBw = 100.0e6;
+  p.positionTime = 0;
+  p.perRequestOverhead = 0;
+  return p;
+}
+
+TEST(Monitor, SamplesRatesDuringActivity) {
+  sim::Engine eng;
+  storage::SingleDisk dev(eng, testDisk());
+  DeviceMonitor mon(eng, {&dev.disk()}, 1.0);
+  mon.start();
+  eng.spawn([](storage::SingleDisk& dev,
+               DeviceMonitor& mon) -> sim::Task<void> {
+    // 100 MB/s for 3 seconds.
+    for (int i = 0; i < 3; ++i) {
+      co_await dev.access(static_cast<std::uint64_t>(i) * 100 * MiB,
+                          100000000, storage::IoOp::Write);
+    }
+    mon.stop();
+  }(dev, mon));
+  eng.run();
+  ASSERT_GE(mon.samples().size(), 3u);
+  const auto& s = mon.samples()[1];
+  // ~100 MB/s of writes = ~195312 sectors/s.
+  EXPECT_NEAR(s.disks[0].sectorsWrittenPerSec, 100.0e6 / 512, 2000);
+  EXPECT_NEAR(s.disks[0].utilization, 1.0, 0.01);
+}
+
+TEST(Monitor, IdleIntervalsShowZero) {
+  sim::Engine eng;
+  storage::SingleDisk dev(eng, testDisk());
+  DeviceMonitor mon(eng, {&dev.disk()}, 1.0);
+  mon.start();
+  eng.spawn([](sim::Engine& e, storage::SingleDisk& dev,
+               DeviceMonitor& mon) -> sim::Task<void> {
+    co_await e.delay(2.5);  // idle
+    co_await dev.access(0, 50000000, storage::IoOp::Read);
+    mon.stop();
+  }(eng, dev, mon));
+  eng.run();
+  ASSERT_GE(mon.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(mon.samples()[0].disks[0].sectorsReadPerSec, 0.0);
+  EXPECT_DOUBLE_EQ(mon.samples()[0].disks[0].utilization, 0.0);
+}
+
+TEST(Monitor, PeakUtilization) {
+  sim::Engine eng;
+  storage::SingleDisk dev(eng, testDisk());
+  DeviceMonitor mon(eng, {&dev.disk()}, 1.0);
+  mon.start();
+  eng.spawn([](storage::SingleDisk& dev, DeviceMonitor& mon)
+                -> sim::Task<void> {
+    co_await dev.access(0, 200000000, storage::IoOp::Write);
+    mon.stop();
+  }(dev, mon));
+  eng.run();
+  EXPECT_NEAR(mon.peakUtilization(), 1.0, 0.01);
+}
+
+TEST(Monitor, CsvHasHeaderAndRows) {
+  sim::Engine eng;
+  storage::SingleDisk dev(eng, testDisk());
+  DeviceMonitor mon(eng, {&dev.disk()}, 0.5);
+  mon.start();
+  eng.spawn([](storage::SingleDisk& dev, DeviceMonitor& mon)
+                -> sim::Task<void> {
+    co_await dev.access(0, 100000000, storage::IoOp::Write);
+    mon.stop();
+  }(dev, mon));
+  eng.run();
+  auto csv = mon.renderCsv();
+  EXPECT_NE(csv.find("time,disk"), std::string::npos);
+  EXPECT_NE(csv.find("sda"), std::string::npos);
+}
+
+TEST(Monitor, RejectsNonPositiveInterval) {
+  sim::Engine eng;
+  EXPECT_THROW(DeviceMonitor(eng, {}, 0.0), std::invalid_argument);
+}
+
+TEST(Monitor, StartIsIdempotent) {
+  sim::Engine eng;
+  storage::SingleDisk dev(eng, testDisk());
+  DeviceMonitor mon(eng, {&dev.disk()}, 1.0);
+  mon.start();
+  mon.start();
+  mon.stop();
+  eng.run();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace iop::monitor

@@ -1,0 +1,607 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/file.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/engine.hpp"
+#include "storage/blockdev.hpp"
+#include "storage/filesystem.hpp"
+#include "storage/topology.hpp"
+#include "util/units.hpp"
+
+namespace iop::mpi {
+namespace {
+
+using iop::util::MiB;
+using storage::DiskParams;
+using storage::gigabitEthernet;
+
+/// A minimal test cluster: 4 compute nodes + 1 NFS server ("/fs") and a
+/// 3-server striped mount ("/pvfs").
+struct Cluster {
+  sim::Engine eng;
+  storage::Topology topo{eng};
+  std::vector<std::size_t> computeNodes;
+
+  Cluster() {
+    for (int i = 0; i < 4; ++i) {
+      topo.addNode("c" + std::to_string(i), gigabitEthernet());
+      computeNodes.push_back(static_cast<std::size_t>(i));
+    }
+    storage::Node& nas = topo.addNode("nas", gigabitEthernet());
+    auto mkdisk = [](const char* n) {
+      DiskParams p;
+      p.name = n;
+      p.seqReadBw = 120.0e6;
+      p.seqWriteBw = 110.0e6;
+      return p;
+    };
+    std::vector<DiskParams> raidMembers;
+    for (int i = 0; i < 5; ++i) raidMembers.push_back(mkdisk("nas-d"));
+    storage::IoServer& nasServer = topo.addServer(
+        nas, std::make_unique<storage::Raid5>(eng, raidMembers, 256 * 1024),
+        storage::ServerParams{});
+    topo.mount("/fs", std::make_unique<storage::NfsFS>(eng, nasServer));
+
+    std::vector<storage::IoServer*> ions;
+    for (int i = 0; i < 3; ++i) {
+      storage::Node& n =
+          topo.addNode("ion" + std::to_string(i), gigabitEthernet());
+      ions.push_back(&topo.addServer(
+          n, std::make_unique<storage::SingleDisk>(eng, mkdisk("ion-d")),
+          storage::ServerParams{}));
+    }
+    topo.mount("/pvfs", std::make_unique<storage::StripedFS>(
+                            eng, ions, nullptr, storage::StripedParams{}));
+  }
+
+  Runtime makeRuntime(int np, TraceSink* sink = nullptr, IoHints hints = {}) {
+    RuntimeOptions opt;
+    opt.np = np;
+    opt.computeNodes = computeNodes;
+    opt.sink = sink;
+    opt.hints = hints;
+    return Runtime(topo, opt);
+  }
+};
+
+/// TraceSink capturing everything in memory.
+struct CapturingSink : TraceSink {
+  std::vector<IoCallRecord> io;
+  std::vector<FileMetaRecord> meta;
+  std::vector<std::pair<int, std::string>> comm;
+
+  void onIoCall(const IoCallRecord& r) override { io.push_back(r); }
+  void onFileMeta(const FileMetaRecord& r) override { meta.push_back(r); }
+  void onCommEvent(int rank, std::uint64_t, const std::string& op,
+                   double) override {
+    comm.emplace_back(rank, op);
+  }
+};
+
+TEST(Runtime, LaunchesAllRanksAndReportsMakespan) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(4);
+  std::vector<int> started;
+  double elapsed = rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    started.push_back(r.id());
+    co_await r.compute(0.5 + 0.1 * r.id());
+  });
+  EXPECT_EQ(started.size(), 4u);
+  EXPECT_NEAR(elapsed, 0.8, 1e-9);  // slowest rank
+}
+
+TEST(Runtime, BarrierSynchronizesRanks) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(4);
+  std::vector<double> afterBarrier;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    co_await r.compute(0.1 * r.id());
+    co_await r.barrier();
+    afterBarrier.push_back(r.engine().now());
+  });
+  ASSERT_EQ(afterBarrier.size(), 4u);
+  for (double t : afterBarrier) EXPECT_NEAR(t, afterBarrier[0], 1e-9);
+  EXPECT_GE(afterBarrier[0], 0.3);  // waits for slowest
+}
+
+TEST(Runtime, TickCountsMpiEventsOnly) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(2);
+  std::map<int, std::uint64_t> ticks;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    co_await r.compute(0.2);     // not an MPI event
+    co_await r.barrier();        // tick 1
+    co_await r.bcast(1024);      // tick 2
+    co_await r.allreduce(8);     // tick 3
+    ticks[r.id()] = r.tick();
+  });
+  EXPECT_EQ(ticks[0], 3u);
+  EXPECT_EQ(ticks[1], 3u);
+}
+
+TEST(Runtime, RanksPlacedRoundRobin) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(4);
+  EXPECT_EQ(rt.rank(0).node().name(), "c0");
+  EXPECT_EQ(rt.rank(3).node().name(), "c3");
+}
+
+TEST(Runtime, SubCommunicatorBarrier) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(4);
+  Comm& gang = rt.createComm({0, 1});
+  std::vector<int> done;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    if (r.id() < 2) {
+      co_await gang.barrier(r);
+      done.push_back(r.id());
+    }
+    co_return;
+  });
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST(Runtime, TwoRuntimesShareOneTopology) {
+  Cluster cl;
+  RuntimeOptions opts;
+  opts.np = 2;
+  opts.computeNodes = cl.computeNodes;
+  opts.shutdownTopologyOnCompletion = false;
+  Runtime first(cl.topo, opts);
+  Runtime second(cl.topo, opts);
+  first.launch([](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "one.bin", AccessType::Shared);
+    co_await f->writeAt(static_cast<std::uint64_t>(r.id()) * MiB, MiB);
+  });
+  second.launch([](Rank& r) -> sim::Task<void> {
+    co_await r.compute(0.5);
+    auto f = co_await r.open("/fs", "two.bin", AccessType::Shared);
+    co_await f->writeAt(static_cast<std::uint64_t>(r.id()) * MiB, MiB);
+  });
+  cl.eng.spawn([](Runtime& a, Runtime& b, storage::Topology& topo)
+                   -> sim::Task<void> {
+    co_await a.completed().wait();
+    co_await b.completed().wait();
+    topo.shutdown();
+  }(first, second, cl.topo));
+  cl.eng.run();
+  EXPECT_GT(first.appElapsed(), 0.0);
+  EXPECT_GT(second.appElapsed(), first.appElapsed());
+}
+
+TEST(File, SharedOpenGivesSameLogicalFile) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(2);
+  std::vector<int> logicalIds;
+  std::vector<int> fsIds;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "data.bin", AccessType::Shared);
+    logicalIds.push_back(f->logicalFileId());
+    fsIds.push_back(f->fsFileId());
+    co_await f->close();
+  });
+  ASSERT_EQ(logicalIds.size(), 2u);
+  EXPECT_EQ(logicalIds[0], logicalIds[1]);
+  EXPECT_EQ(fsIds[0], fsIds[1]);
+}
+
+TEST(File, UniqueOpenGivesDistinctExtentNamespaces) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(2);
+  std::vector<int> fsIds;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "per-proc.bin", AccessType::Unique);
+    fsIds.push_back(f->fsFileId());
+    co_return;
+  });
+  ASSERT_EQ(fsIds.size(), 2u);
+  EXPECT_NE(fsIds[0], fsIds[1]);
+}
+
+TEST(File, ViewMapsContiguousWhenBlockEqualsStride) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(1);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "x", AccessType::Shared);
+    f->setView(100, 40, 8, 8);
+    auto ext = f->mapToExtents(2, 80);  // 2 etypes in, 2 etypes long
+    EXPECT_EQ(ext.size(), 1u);
+    if (ext.size() == 1) {
+      EXPECT_EQ(ext[0].offset, 100u + 2 * 40);
+      EXPECT_EQ(ext[0].bytes, 80u);
+    }
+    co_return;
+  });
+}
+
+TEST(File, ViewMapsStridedTiles) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(1);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "x", AccessType::Shared);
+    // etype 4 bytes; tiles of 2 etypes every 6 etypes; disp 0.
+    f->setView(0, 4, 2, 6);
+    auto ext = f->mapToExtents(0, 16);  // 4 etypes = 2 tiles
+    EXPECT_EQ(ext.size(), 2u);
+    if (ext.size() == 2) {
+      EXPECT_EQ(ext[0].offset, 0u);
+      EXPECT_EQ(ext[0].bytes, 8u);
+      EXPECT_EQ(ext[1].offset, 24u);  // next tile at stride 6 etypes * 4 B
+      EXPECT_EQ(ext[1].bytes, 8u);
+    }
+    co_return;
+  });
+}
+
+TEST(File, ViewRejectsBadArguments) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(1);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "x", AccessType::Shared);
+    EXPECT_THROW(f->setView(0, 0, 1, 1), std::invalid_argument);
+    EXPECT_THROW(f->setView(0, 4, 4, 2), std::invalid_argument);
+    f->setView(0, 4, 1, 1);
+    EXPECT_THROW(f->mapToExtents(0, 6), std::invalid_argument);
+    co_return;
+  });
+}
+
+TEST(File, IndividualPointerAdvances) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(1);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "x", AccessType::Shared);
+    co_await f->write(MiB);
+    EXPECT_EQ(f->pointer(), MiB);  // etype = 1 byte
+    co_await f->write(MiB);
+    EXPECT_EQ(f->pointer(), 2 * MiB);
+    f->seek(0);
+    co_await f->read(MiB);
+    EXPECT_EQ(f->pointer(), MiB);
+    co_return;
+  });
+}
+
+TEST(File, TraceRecordsMatchCalls) {
+  Cluster cl;
+  CapturingSink sink;
+  auto rt = cl.makeRuntime(2, &sink);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "traced.bin", AccessType::Shared);
+    co_await f->writeAt(static_cast<std::uint64_t>(r.id()) * MiB, MiB);
+    co_await f->readAt(static_cast<std::uint64_t>(r.id()) * MiB, MiB);
+    co_return;
+  });
+  ASSERT_EQ(sink.io.size(), 4u);
+  int writes = 0, reads = 0;
+  for (const auto& rec : sink.io) {
+    EXPECT_EQ(rec.requestBytes, MiB);
+    EXPECT_GT(rec.duration, 0.0);
+    if (rec.op == "MPI_File_write_at") ++writes;
+    if (rec.op == "MPI_File_read_at") ++reads;
+  }
+  EXPECT_EQ(writes, 2);
+  EXPECT_EQ(reads, 2);
+  // Metadata: explicit offsets, non-collective, shared.
+  ASSERT_EQ(sink.meta.size(), 1u);
+  EXPECT_TRUE(sink.meta[0].shared);
+  EXPECT_TRUE(sink.meta[0].sawExplicitOffsets);
+  EXPECT_FALSE(sink.meta[0].sawCollective);
+  EXPECT_FALSE(sink.meta[0].sawIndividualPointers);
+}
+
+TEST(File, CollectiveWriteCompletesTogetherAndMergesExtents) {
+  Cluster cl;
+  CapturingSink sink;
+  auto rt = cl.makeRuntime(4, &sink);
+  std::vector<double> doneAt;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "coll.bin", AccessType::Shared);
+    // Rank-contiguous blocks: the union is one contiguous 16 MiB extent.
+    co_await f->writeAtAll(static_cast<std::uint64_t>(r.id()) * 4 * MiB,
+                           4 * MiB);
+    doneAt.push_back(r.engine().now());
+    co_return;
+  });
+  ASSERT_EQ(doneAt.size(), 4u);
+  for (double t : doneAt) EXPECT_NEAR(t, doneAt[0], 1e-9);
+  ASSERT_EQ(sink.meta.size(), 1u);
+  EXPECT_TRUE(sink.meta[0].sawCollective);
+}
+
+TEST(File, CollectiveFasterThanIndependentForStridedPattern) {
+  // A nested-strided pattern (small tiles per rank): two-phase aggregation
+  // should beat independent small writes on NFS — the reason BT-IO uses
+  // the FULL subtype.
+  auto runWith = [](bool collective) {
+    Cluster cl;
+    auto rt = cl.makeRuntime(4);
+    return rt.runToCompletion([&, collective](Rank& r) -> sim::Task<void> {
+      auto f = co_await r.open("/fs", "strided.bin", AccessType::Shared);
+      // etype 40 B; each rank owns 64-etype tiles every 256 etypes.
+      f->setView(static_cast<std::uint64_t>(r.id()) * 64 * 40, 40, 64, 256);
+      for (int step = 0; step < 4; ++step) {
+        if (collective) {
+          co_await f->writeAtAll(static_cast<std::uint64_t>(step) * 4096,
+                                 4096 * 40);
+        } else {
+          co_await f->writeAt(static_cast<std::uint64_t>(step) * 4096,
+                              4096 * 40);
+        }
+      }
+      co_return;
+    });
+  };
+  const double tColl = runWith(true);
+  const double tInd = runWith(false);
+  EXPECT_LT(tColl, tInd);
+}
+
+TEST(File, CollectiveBufferingOffMatchesSimpleSubtype) {
+  Cluster cl;
+  IoHints hints;
+  hints.collectiveBuffering = false;
+  auto rt = cl.makeRuntime(4, nullptr, hints);
+  double t = rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "simple.bin", AccessType::Shared);
+    co_await f->writeAtAll(static_cast<std::uint64_t>(r.id()) * MiB, MiB);
+    co_return;
+  });
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(File, MadbenchStyleMetadata) {
+  Cluster cl;
+  CapturingSink sink;
+  auto rt = cl.makeRuntime(2, &sink);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "mad.bin", AccessType::Shared);
+    f->seek(static_cast<std::uint64_t>(r.id()) * 8 * MiB);
+    co_await f->write(MiB);
+    co_await f->read(MiB);
+    co_return;
+  });
+  ASSERT_EQ(sink.meta.size(), 1u);
+  EXPECT_TRUE(sink.meta[0].sawIndividualPointers);
+  EXPECT_FALSE(sink.meta[0].sawExplicitOffsets);
+  EXPECT_FALSE(sink.meta[0].sawCollective);
+  EXPECT_TRUE(sink.meta[0].shared);
+}
+
+TEST(File, TicksAlignAcrossRanksForSameOpSequence) {
+  Cluster cl;
+  CapturingSink sink;
+  auto rt = cl.makeRuntime(4, &sink);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "t.bin", AccessType::Shared);
+    for (int i = 0; i < 3; ++i) {
+      co_await f->writeAtAll(
+          static_cast<std::uint64_t>(i * 4 + r.id()) * MiB, MiB);
+    }
+    co_return;
+  });
+  // Group records by op index: every rank's i-th write has the same tick.
+  std::map<int, std::vector<std::uint64_t>> ticksByRank;
+  for (const auto& rec : sink.io) ticksByRank[rec.rank].push_back(rec.tick);
+  ASSERT_EQ(ticksByRank.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    for (auto& [rank, ticks] : ticksByRank) {
+      EXPECT_EQ(ticks[static_cast<std::size_t>(i)],
+                ticksByRank[0][static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Runtime, SendRecvRendezvousMovesPayload) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(2);
+  double recvDone = -1;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    if (r.id() == 0) {
+      co_await r.compute(1.0);  // sender arrives late
+      co_await r.send(1, 117000000);
+    } else {
+      co_await r.recv(0, 117000000);
+      recvDone = r.engine().now();
+    }
+  });
+  // Receive completes only after the sender arrived (t=1.0) plus the
+  // ~1 s payload transfer over GbE.
+  EXPECT_GT(recvDone, 1.9);
+  EXPECT_LT(recvDone, 2.2);
+}
+
+TEST(Runtime, SendRecvNonOvertaking) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(2);
+  std::vector<std::uint64_t> received;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    if (r.id() == 0) {
+      co_await r.send(1, 1000);
+      co_await r.send(1, 2000);
+      co_await r.send(1, 3000);
+    } else {
+      for (std::uint64_t expect : {1000u, 2000u, 3000u}) {
+        co_await r.recv(0, expect);
+        received.push_back(expect);
+      }
+    }
+  });
+  EXPECT_EQ(received, (std::vector<std::uint64_t>{1000, 2000, 3000}));
+}
+
+TEST(Runtime, SendRecvSizeMismatchThrows) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(2);
+  EXPECT_THROW(rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+                 if (r.id() == 0) {
+                   co_await r.send(1, 100);
+                 } else {
+                   co_await r.recv(0, 200);
+                 }
+               }),
+               std::runtime_error);
+}
+
+TEST(Runtime, SendRecvCountsAsMpiEvent) {
+  Cluster cl;
+  CapturingSink sink;
+  auto rt = cl.makeRuntime(2, &sink);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    if (r.id() == 0) {
+      co_await r.send(1, 8);
+    } else {
+      co_await r.recv(0, 8);
+    }
+  });
+  int sends = 0, recvs = 0;
+  for (const auto& [rank, op] : sink.comm) {
+    sends += op == "MPI_Send";
+    recvs += op == "MPI_Recv";
+  }
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(recvs, 1);
+}
+
+TEST(Runtime, HaloExchangePattern) {
+  // Ring halo exchange: everyone sends right, receives from the left —
+  // ordered to avoid rendezvous deadlock (even ranks send first).
+  Cluster cl;
+  auto rt = cl.makeRuntime(4);
+  int completed = 0;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    const int right = (r.id() + 1) % r.np();
+    const int left = (r.id() + r.np() - 1) % r.np();
+    if (r.id() % 2 == 0) {
+      co_await r.send(right, 65536);
+      co_await r.recv(left, 65536);
+    } else {
+      co_await r.recv(left, 65536);
+      co_await r.send(right, 65536);
+    }
+    ++completed;
+  });
+  EXPECT_EQ(completed, 4);
+}
+
+TEST(File, ReadSievingBeatsPerFragmentRequests) {
+  // Dense fragmented read through a strided view: sieving (one spanning
+  // read) vs a request/response round trip per fragment.
+  auto runWith = [](bool sieve) {
+    Cluster cl;
+    IoHints hints;
+    hints.dataSievingReads = sieve;
+    auto rt = cl.makeRuntime(1, nullptr, hints);
+    return rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+      auto f = co_await r.open("/fs", "frag.bin", AccessType::Shared);
+      // 16 KiB tiles every 32 KiB: 50% density.
+      f->setView(0, 1, 16384, 32768);
+      co_await f->readAt(0, 4 * MiB);
+      co_return;
+    });
+  };
+  const double sieved = runWith(true);
+  const double fragmented = runWith(false);
+  EXPECT_LT(sieved, fragmented * 0.8);
+}
+
+TEST(File, WriteSievingIsOptInAndReadModifiesWrites) {
+  Cluster cl;
+  IoHints hints;
+  hints.dataSievingWrites = true;
+  auto rt = cl.makeRuntime(1, nullptr, hints);
+  CapturingSink sink;
+  (void)sink;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "wsieve.bin", AccessType::Shared);
+    f->setView(0, 1, 16384, 32768);
+    co_await f->writeAt(0, MiB);
+    co_return;
+  });
+  // The RMW span read must have hit the server cache/device.
+  auto& fs = cl.topo.fs("/fs");
+  std::uint64_t bytesRead = 0;
+  for (auto* server : fs.dataServers()) {
+    bytesRead += server->cache().readHitBytes() +
+                 server->cache().readMissBytes();
+  }
+  EXPECT_GE(bytesRead, 2 * MiB - 32768);  // ~the 2 MiB span
+}
+
+TEST(File, DataSievingLeavesContiguousRequestsAlone) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(1);
+  CapturingSink sink;
+  (void)sink;
+  double t = rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "cont.bin", AccessType::Shared);
+    co_await f->writeAt(0, 4 * MiB);  // single extent: no sieving path
+    co_return;
+  });
+  // A 4 MiB contiguous write must not trigger the read-modify-write of
+  // the sieving path: quicker than 4 MiB read + 4 MiB write.
+  EXPECT_LT(t, 4.0 * MiB / 117.0e6 * 1.8);
+}
+
+TEST(File, NonBlockingOverlapsWithComputation) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(1);
+  double blockingTime = 0, overlappedTime = 0;
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "nb.bin", AccessType::Shared);
+    const double t0 = r.engine().now();
+    co_await f->writeAt(0, 64 * MiB);     // blocking
+    co_await r.compute(1.0);
+    blockingTime = r.engine().now() - t0;
+
+    const double t1 = r.engine().now();
+    auto req = f->iwriteAt(64 * MiB, 64 * MiB);  // overlapped
+    co_await r.compute(1.0);
+    co_await req.wait();
+    overlappedTime = r.engine().now() - t1;
+  });
+  EXPECT_LT(overlappedTime, blockingTime * 0.9);
+}
+
+TEST(File, NonBlockingReadCompletesAndTraces) {
+  Cluster cl;
+  CapturingSink sink;
+  auto rt = cl.makeRuntime(1, &sink);
+  rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/fs", "nb.bin", AccessType::Shared);
+    co_await f->writeAt(0, 4 * MiB);
+    auto req = f->ireadAt(0, 4 * MiB);
+    EXPECT_FALSE(req.test());
+    co_await req.wait();
+    EXPECT_TRUE(req.test());
+  });
+  bool sawIread = false;
+  for (const auto& rec : sink.io) {
+    if (rec.op == "MPI_File_iread_at") sawIread = true;
+  }
+  EXPECT_TRUE(sawIread);
+  ASSERT_EQ(sink.meta.size(), 1u);
+  EXPECT_TRUE(sink.meta[0].sawNonBlocking);
+}
+
+TEST(File, StripedMountUsableThroughMpiLayer) {
+  Cluster cl;
+  auto rt = cl.makeRuntime(4);
+  double t = rt.runToCompletion([&](Rank& r) -> sim::Task<void> {
+    auto f = co_await r.open("/pvfs", "p.bin", AccessType::Shared);
+    co_await f->writeAt(static_cast<std::uint64_t>(r.id()) * 8 * MiB,
+                        8 * MiB);
+    co_return;
+  });
+  EXPECT_GT(t, 0.0);
+  // 32 MiB over 3 GbE servers: should beat a single 117 MB/s link.
+  EXPECT_LT(t, 32.0 * MiB / 117.0e6 * 1.5);
+}
+
+}  // namespace
+}  // namespace iop::mpi

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace iop::sim {
+namespace {
+
+Task<void> appendAfter(Engine& eng, Time dt, std::vector<int>& log, int id) {
+  co_await eng.delay(dt);
+  log.push_back(id);
+}
+
+TEST(Engine, TimeAdvancesThroughDelays) {
+  Engine eng;
+  std::vector<double> seen;
+  eng.spawn([](Engine& e, std::vector<double>& out) -> Task<void> {
+    out.push_back(e.now());
+    co_await e.delay(1.5);
+    out.push_back(e.now());
+    co_await e.delay(2.5);
+    out.push_back(e.now());
+  }(eng, seen));
+  eng.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.0);
+  EXPECT_DOUBLE_EQ(seen[1], 1.5);
+  EXPECT_DOUBLE_EQ(seen[2], 4.0);
+}
+
+TEST(Engine, EventsOrderedByTimeThenSequence) {
+  Engine eng;
+  std::vector<int> log;
+  eng.spawn(appendAfter(eng, 2.0, log, 2));
+  eng.spawn(appendAfter(eng, 1.0, log, 1));
+  eng.spawn(appendAfter(eng, 2.0, log, 3));  // same time as id 2, spawned later
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ZeroDelayYieldsAfterPendingEvents) {
+  Engine eng;
+  std::vector<int> log;
+  eng.spawn([](Engine& e, std::vector<int>& out) -> Task<void> {
+    out.push_back(1);
+    co_await e.yield();
+    out.push_back(3);
+  }(eng, log));
+  eng.spawn([](std::vector<int>& out) -> Task<void> {
+    out.push_back(2);
+    co_return;
+  }(log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, NestedTaskAwaitPropagatesValues) {
+  Engine eng;
+  double result = 0;
+  eng.spawn([](Engine& e, double& out) -> Task<void> {
+    auto inner = [](Engine& e) -> Task<double> {
+      co_await e.delay(3.0);
+      co_return 42.5;
+    };
+    out = co_await inner(e);
+    out += e.now();
+  }(eng, result));
+  eng.run();
+  EXPECT_DOUBLE_EQ(result, 45.5);
+}
+
+TEST(Engine, ExceptionInDetachedTaskSurfacesFromRun) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<void> {
+    co_await e.delay(1.0);
+    throw std::runtime_error("boom");
+  }(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, ExceptionPropagatesThroughNestedAwait) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn([](Engine& e, bool& caught) -> Task<void> {
+    auto failing = [](Engine& e) -> Task<void> {
+      co_await e.delay(1.0);
+      throw std::logic_error("inner");
+    };
+    try {
+      co_await failing(e);
+    } catch (const std::logic_error&) {
+      caught = true;
+    }
+  }(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine eng;
+  Event ev(eng);  // never set
+  eng.spawn([](Event& ev) -> Task<void> { co_await ev.wait(); }(ev));
+  EXPECT_THROW(eng.run(), DeadlockError);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine eng;
+  std::vector<int> log;
+  eng.spawn(appendAfter(eng, 1.0, log, 1));
+  eng.spawn(appendAfter(eng, 5.0, log, 2));
+  eng.runUntil(3.0);
+  EXPECT_EQ(log, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+  eng.runUntil(10.0);
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, DeterministicEventCount) {
+  auto run = [] {
+    Engine eng(99);
+    std::vector<int> log;
+    for (int i = 0; i < 50; ++i) {
+      eng.spawn(appendAfter(eng, eng.rng().uniform(), log, i));
+    }
+    eng.run();
+    return std::make_pair(eng.eventsDispatched(), log);
+  };
+  auto [count1, log1] = run();
+  auto [count2, log2] = run();
+  EXPECT_EQ(count1, count2);
+  EXPECT_EQ(log1, log2);
+}
+
+TEST(Latch, ReleasesAllWaitersAtZero) {
+  Engine eng;
+  Latch latch(eng, 3);
+  int released = 0;
+  for (int i = 0; i < 2; ++i) {
+    eng.spawn([](Latch& l, int& r) -> Task<void> {
+      co_await l.wait();
+      ++r;
+    }(latch, released));
+  }
+  eng.spawn([](Engine& e, Latch& l) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await e.delay(1.0);
+      l.countDown();
+    }
+  }(eng, latch));
+  eng.run();
+  EXPECT_EQ(released, 2);
+}
+
+TEST(Latch, WaitAfterZeroCompletesImmediately) {
+  Engine eng;
+  Latch latch(eng, 0);
+  bool done = false;
+  eng.spawn([](Latch& l, bool& d) -> Task<void> {
+    co_await l.wait();
+    d = true;
+  }(latch, done));
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Latch, UnderflowThrows) {
+  Engine eng;
+  Latch latch(eng, 1);
+  latch.countDown();
+  EXPECT_THROW(latch.countDown(), std::logic_error);
+}
+
+TEST(Event, SetWakesAllAndStaysSet) {
+  Engine eng;
+  Event ev(eng);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Event& ev, int& woke) -> Task<void> {
+      co_await ev.wait();
+      ++woke;
+    }(ev, woke));
+  }
+  eng.spawn([](Engine& e, Event& ev) -> Task<void> {
+    co_await e.delay(2.0);
+    ev.set();
+  }(eng, ev));
+  eng.run();
+  EXPECT_EQ(woke, 3);
+  EXPECT_TRUE(ev.isSet());
+}
+
+TEST(Resource, SerializesCapacityOne) {
+  Engine eng;
+  Resource res(eng, 1);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Engine& e, Resource& r, std::vector<double>& out)
+                  -> Task<void> {
+      co_await r.use(2.0);
+      out.push_back(e.now());
+    }(eng, res, completions));
+  }
+  eng.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 4.0);
+  EXPECT_DOUBLE_EQ(completions[2], 6.0);
+}
+
+TEST(Resource, CapacityTwoRunsPairsConcurrently) {
+  Engine eng;
+  Resource res(eng, 2);
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn([](Engine& e, Resource& r, std::vector<double>& out)
+                  -> Task<void> {
+      co_await r.use(2.0);
+      out.push_back(e.now());
+    }(eng, res, completions));
+  }
+  eng.run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_DOUBLE_EQ(completions[1], 2.0);
+  EXPECT_DOUBLE_EQ(completions[3], 4.0);
+}
+
+TEST(Resource, FcfsOrderPreserved) {
+  Engine eng;
+  Resource res(eng, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.spawn([](Engine& e, Resource& r, std::vector<int>& out, int id)
+                  -> Task<void> {
+      co_await e.delay(0.1 * id);  // staggered arrival
+      co_await r.acquire();
+      out.push_back(id);
+      co_await e.delay(1.0);
+      r.release();
+    }(eng, res, order, i));
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Resource, BusyIntegralTracksUtilization) {
+  Engine eng;
+  Resource res(eng, 1);
+  eng.spawn([](Engine& e, Resource& r) -> Task<void> {
+    co_await r.use(3.0);
+    co_await e.delay(1.0);  // idle gap
+    co_await r.use(2.0);
+  }(eng, res));
+  eng.run();
+  EXPECT_DOUBLE_EQ(res.busyIntegral(eng.now()), 5.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 6.0);
+}
+
+TEST(Resource, ReleaseUnderflowThrows) {
+  Engine eng;
+  Resource res(eng, 1);
+  EXPECT_THROW(res.release(), std::logic_error);
+}
+
+TEST(Channel, PopWaitsForPush) {
+  Engine eng;
+  Channel<int> chan(eng);
+  std::vector<int> got;
+  eng.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    out.push_back(co_await c.pop());
+    out.push_back(co_await c.pop());
+  }(chan, got));
+  eng.spawn([](Engine& e, Channel<int>& c) -> Task<void> {
+    co_await e.delay(1.0);
+    c.push(10);
+    co_await e.delay(1.0);
+    c.push(20);
+  }(eng, chan));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20}));
+}
+
+TEST(Channel, BufferedPopsImmediately) {
+  Engine eng;
+  Channel<std::string> chan(eng);
+  chan.push("a");
+  chan.push("b");
+  std::vector<std::string> got;
+  eng.spawn([](Channel<std::string>& c,
+               std::vector<std::string>& out) -> Task<void> {
+    out.push_back(co_await c.pop());
+    out.push_back(co_await c.pop());
+  }(chan, got));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(WhenAll, WaitsForSlowestChild) {
+  Engine eng;
+  double doneAt = -1;
+  eng.spawn([](Engine& e, double& doneAt) -> Task<void> {
+    std::vector<Task<void>> kids;
+    for (int i = 1; i <= 3; ++i) {
+      kids.push_back([](Engine& e, double dt) -> Task<void> {
+        co_await e.delay(dt);
+      }(e, static_cast<double>(i)));
+    }
+    co_await whenAll(e, std::move(kids));
+    doneAt = e.now();
+  }(eng, doneAt));
+  eng.run();
+  EXPECT_DOUBLE_EQ(doneAt, 3.0);
+}
+
+TEST(WhenAll, EmptySetCompletesImmediately) {
+  Engine eng;
+  bool done = false;
+  eng.spawn([](Engine& e, bool& d) -> Task<void> {
+    co_await whenAll(e, {});
+    d = true;
+  }(eng, done));
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(WhenAll, ChildExceptionRethrownAfterAllFinish) {
+  Engine eng;
+  bool caught = false;
+  double caughtAt = 0;
+  eng.spawn([](Engine& e, bool& caught, double& at) -> Task<void> {
+    std::vector<Task<void>> kids;
+    kids.push_back([](Engine& e) -> Task<void> {
+      co_await e.delay(1.0);
+      throw std::runtime_error("child failed");
+    }(e));
+    kids.push_back([](Engine& e) -> Task<void> {
+      co_await e.delay(5.0);
+    }(e));
+    try {
+      co_await whenAll(e, std::move(kids));
+    } catch (const std::runtime_error&) {
+      caught = true;
+      at = e.now();
+    }
+  }(eng, caught, caughtAt));
+  eng.run();
+  EXPECT_TRUE(caught);
+  EXPECT_DOUBLE_EQ(caughtAt, 5.0);  // waits for all children first
+}
+
+}  // namespace
+}  // namespace iop::sim

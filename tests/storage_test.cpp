@@ -1,0 +1,665 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "storage/blockdev.hpp"
+#include "storage/cache.hpp"
+#include "storage/disk.hpp"
+#include "storage/filesystem.hpp"
+#include "storage/network.hpp"
+#include "storage/ssd.hpp"
+#include "storage/topology.hpp"
+#include "util/units.hpp"
+
+namespace iop::storage {
+namespace {
+
+using iop::util::MiB;
+
+/// Run a workload task to completion and return the simulated makespan.
+template <typename MakeTask>
+double timeIt(sim::Engine& eng, MakeTask&& make) {
+  double done = -1;
+  eng.spawn([](sim::Engine& e, MakeTask& make, double& done)
+                -> sim::Task<void> {
+    co_await make();
+    done = e.now();
+  }(eng, make, done));
+  eng.run();
+  return done;
+}
+
+DiskParams testDisk() {
+  DiskParams p;
+  p.seqReadBw = 100.0e6;
+  p.seqWriteBw = 100.0e6;
+  p.positionTime = 10.0e-3;
+  p.perRequestOverhead = 0;
+  return p;
+}
+
+TEST(Disk, SequentialAccessPaysNoSeek) {
+  sim::Engine eng;
+  Disk disk(eng, testDisk());
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await disk.access(0, 10 * MiB, IoOp::Write);
+    co_await disk.access(10 * MiB, 10 * MiB, IoOp::Write);
+  });
+  // 20 MiB at 100e6 B/s; first access is "positioned", second sequential.
+  EXPECT_NEAR(t, 20.0 * MiB / 100.0e6, 1e-9);
+  EXPECT_EQ(disk.counters().positionEvents, 0u);
+}
+
+TEST(Disk, BackwardJumpPaysSeek) {
+  sim::Engine eng;
+  Disk disk(eng, testDisk());
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await disk.access(100 * MiB, MiB, IoOp::Read);
+    co_await disk.access(0, MiB, IoOp::Read);
+  });
+  EXPECT_NEAR(t, 2.0 * MiB / 100.0e6 + 10.0e-3, 1e-9);
+  EXPECT_EQ(disk.counters().positionEvents, 1u);
+}
+
+TEST(Disk, SmallForwardJumpStaysSequential) {
+  sim::Engine eng;
+  Disk disk(eng, testDisk());
+  timeIt(eng, [&]() -> sim::Task<void> {
+    co_await disk.access(0, MiB, IoOp::Read);
+    co_await disk.access(MiB + 4096, MiB, IoOp::Read);  // within seqWindow
+  });
+  EXPECT_EQ(disk.counters().positionEvents, 0u);
+}
+
+TEST(Disk, CountersTrackSectors) {
+  sim::Engine eng;
+  Disk disk(eng, testDisk());
+  timeIt(eng, [&]() -> sim::Task<void> {
+    co_await disk.access(0, MiB, IoOp::Write);
+    co_await disk.access(MiB, 2 * MiB, IoOp::Read);
+  });
+  EXPECT_EQ(disk.counters().bytesWritten, MiB);
+  EXPECT_EQ(disk.counters().bytesRead, 2 * MiB);
+  EXPECT_EQ(disk.counters().sectorsWritten(), MiB / 512);
+  EXPECT_EQ(disk.counters().writeOps, 1u);
+  EXPECT_EQ(disk.counters().readOps, 1u);
+}
+
+TEST(Disk, ConcurrentRequestsSerialize) {
+  sim::Engine eng;
+  Disk disk(eng, testDisk());
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    std::vector<sim::Task<void>> ops;
+    ops.push_back(disk.access(0, 10 * MiB, IoOp::Write));
+    ops.push_back(disk.access(10 * MiB, 10 * MiB, IoOp::Write));
+    co_await sim::whenAll(eng, std::move(ops));
+  });
+  EXPECT_NEAR(t, 20.0 * MiB / 100.0e6, 1e-9);
+}
+
+std::vector<DiskParams> members(int n) {
+  std::vector<DiskParams> v;
+  for (int i = 0; i < n; ++i) {
+    auto p = testDisk();
+    p.name = "d" + std::to_string(i);
+    v.push_back(p);
+  }
+  return v;
+}
+
+TEST(Raid0, StripedRequestRunsMembersInParallel) {
+  sim::Engine eng;
+  Raid0 raid(eng, members(4), 256 * 1024);
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await raid.access(0, 40 * MiB, IoOp::Write);
+  });
+  // 40 MiB over 4 disks -> 10 MiB each in parallel.
+  EXPECT_NEAR(t, 10.0 * MiB / 100.0e6, 1e-6);
+}
+
+TEST(Raid0, IdealBandwidthSumsMembers) {
+  sim::Engine eng;
+  Raid0 raid(eng, members(4), 256 * 1024);
+  EXPECT_DOUBLE_EQ(raid.idealBandwidth(IoOp::Read), 400.0e6);
+}
+
+TEST(Raid0, SmallRequestTouchesOneMember) {
+  sim::Engine eng;
+  Raid0 raid(eng, members(4), 256 * 1024);
+  timeIt(eng, [&]() -> sim::Task<void> {
+    co_await raid.access(0, 64 * 1024, IoOp::Read);
+  });
+  std::vector<Disk*> disks;
+  raid.collectDisks(disks);
+  int touched = 0;
+  for (Disk* d : disks) touched += d->counters().readOps > 0;
+  EXPECT_EQ(touched, 1);
+}
+
+TEST(Raid0, RejectsDegenerateConfigs) {
+  sim::Engine eng;
+  EXPECT_THROW(Raid0(eng, members(1), 256 * 1024), std::invalid_argument);
+  EXPECT_THROW(Raid0(eng, members(2), 0), std::invalid_argument);
+}
+
+TEST(Raid5, FullStripeWriteUsesAllMembers) {
+  sim::Engine eng;
+  Raid5 raid(eng, members(5), 256 * 1024);  // row width 1 MiB
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await raid.access(0, 40 * MiB, IoOp::Write);
+  });
+  // 40 rows; every member (incl. parity) writes 40 * 256 KiB = 10 MiB.
+  EXPECT_NEAR(t, 10.0 * MiB / 100.0e6, 1e-6);
+  std::vector<Disk*> disks;
+  raid.collectDisks(disks);
+  for (Disk* d : disks) {
+    EXPECT_EQ(d->counters().bytesWritten, 10 * MiB);
+  }
+}
+
+TEST(Raid5, PartialWritePaysReadModifyWrite) {
+  sim::Engine eng;
+  Raid5 raid(eng, members(5), 256 * 1024);
+  timeIt(eng, [&]() -> sim::Task<void> {
+    co_await raid.access(0, 64 * 1024, IoOp::Write);  // sub-chunk write
+  });
+  std::vector<Disk*> disks;
+  raid.collectDisks(disks);
+  std::uint64_t reads = 0, writes = 0;
+  for (Disk* d : disks) {
+    reads += d->counters().readOps;
+    writes += d->counters().writeOps;
+  }
+  // Data chunk RMW + parity chunk RMW.
+  EXPECT_EQ(reads, 2u);
+  EXPECT_EQ(writes, 2u);
+}
+
+TEST(Raid5, ReadSpreadsOverMembers) {
+  sim::Engine eng;
+  Raid5 raid(eng, members(5), 256 * 1024);
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await raid.access(0, 40 * MiB, IoOp::Read);
+  });
+  // 40 MiB over 5 members (parity rotates) -> 8 MiB each.
+  EXPECT_NEAR(t, 8.0 * MiB / 100.0e6, 1e-6);
+}
+
+TEST(Raid5, WriteIdealBandwidthExcludesParity) {
+  sim::Engine eng;
+  Raid5 raid(eng, members(5), 256 * 1024);
+  EXPECT_DOUBLE_EQ(raid.idealBandwidth(IoOp::Write), 400.0e6);
+  EXPECT_DOUBLE_EQ(raid.idealBandwidth(IoOp::Read), 500.0e6);
+}
+
+TEST(Ssd, RandomCostsSameAsSequential) {
+  sim::Engine eng;
+  SsdParams sp;
+  Ssd ssd(eng, sp);
+  double seq = timeIt(eng, [&]() -> sim::Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      co_await ssd.access(static_cast<std::uint64_t>(i) * MiB, MiB,
+                          IoOp::Read);
+    }
+  });
+  sim::Engine eng2;
+  Ssd ssd2(eng2, sp);
+  double rnd = timeIt(eng2, [&]() -> sim::Task<void> {
+    // Same requests, scattered offsets.
+    for (std::uint64_t off : {700ull, 3ull, 512ull, 90ull, 41ull, 260ull,
+                              777ull, 123ull}) {
+      co_await ssd2.access(off * MiB, MiB, IoOp::Read);
+    }
+  });
+  EXPECT_NEAR(seq, rnd, 1e-9);
+}
+
+TEST(Ssd, LargeRequestEngagesAllChannels) {
+  sim::Engine eng;
+  SsdParams sp;
+  sp.readBandwidth = 400.0e6;
+  sp.channels = 4;
+  sp.readLatency = 0;
+  Ssd ssd(eng, sp);
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await ssd.access(0, 40 * MiB, IoOp::Read);
+  });
+  // 40 MiB striped over 4 parallel channels at 100e6 B/s each:
+  // 10 MiB per channel.
+  EXPECT_NEAR(t, 10.0 * MiB / 100.0e6, 1e-3);
+  std::vector<Disk*> chans;
+  ssd.collectDisks(chans);
+  EXPECT_EQ(chans.size(), 4u);
+  for (Disk* c : chans) EXPECT_EQ(c->counters().bytesRead, 10 * MiB);
+}
+
+TEST(Ssd, WriteAmplificationSlowsWrites) {
+  sim::Engine eng;
+  SsdParams sp;
+  sp.writeBandwidth = 400.0e6;
+  sp.writeAmplification = 2.0;
+  sp.writeLatency = 0;
+  Ssd ssd(eng, sp);
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await ssd.access(0, 40 * MiB, IoOp::Write);
+  });
+  // Effective payload rate halves under 2x amplification.
+  EXPECT_NEAR(t, 40.0 * MiB / 200.0e6, 1e-3);
+  EXPECT_DOUBLE_EQ(ssd.idealBandwidth(IoOp::Write), 200.0e6);
+}
+
+TEST(Ssd, RejectsBadParameters) {
+  sim::Engine eng;
+  SsdParams sp;
+  sp.channels = 0;
+  EXPECT_THROW(Ssd(eng, sp), std::invalid_argument);
+  sp = SsdParams{};
+  sp.writeAmplification = 0.5;
+  EXPECT_THROW(Ssd(eng, sp), std::invalid_argument);
+}
+
+TEST(Ssd, MuchFasterThanDiskForRandomReads) {
+  auto measure = [](BlockDevice& dev, sim::Engine& eng) {
+    return timeIt(eng, [&]() -> sim::Task<void> {
+      for (std::uint64_t off :
+           {900ull, 5ull, 333ull, 42ull, 610ull, 77ull, 480ull, 12ull}) {
+        co_await dev.access(off * MiB, 256 * 1024, IoOp::Read);
+      }
+    });
+  };
+  sim::Engine engDisk;
+  SingleDisk disk(engDisk, testDisk());
+  const double diskTime = measure(disk, engDisk);
+  sim::Engine engSsd;
+  Ssd ssd(engSsd, SsdParams{});
+  const double ssdTime = measure(ssd, engSsd);
+  EXPECT_GT(diskTime, ssdTime * 10);
+}
+
+TEST(Concat, RequestLandsOnOneMember) {
+  sim::Engine eng;
+  Concat jbod(eng, members(3), 1ULL << 40);
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await jbod.access(0, 10 * MiB, IoOp::Write);
+  });
+  EXPECT_NEAR(t, 10.0 * MiB / 100.0e6, 1e-9);
+  std::vector<Disk*> disks;
+  jbod.collectDisks(disks);
+  EXPECT_EQ(disks[0]->counters().writeOps, 1u);
+  EXPECT_EQ(disks[1]->counters().writeOps, 0u);
+}
+
+// --------------------------------------------------------------------- Cache
+
+CacheParams testCache() {
+  CacheParams p;
+  p.sizeBytes = 64 * MiB;
+  p.memBandwidth = 1.0e9;
+  p.dirtyLimitFraction = 0.5;  // 32 MiB dirty limit
+  p.flushChunk = 4 * MiB;
+  return p;
+}
+
+TEST(Cache, SmallWriteAbsorbedAtMemorySpeed) {
+  sim::Engine eng;
+  SingleDisk dev(eng, testDisk());
+  PageCache cache(eng, dev, testCache());
+  double writeDone = -1;
+  eng.spawn([](sim::Engine& e, PageCache& c, double& done) -> sim::Task<void> {
+    co_await c.write(0, 8 * MiB);
+    done = e.now();
+    c.shutdown();
+  }(eng, cache, writeDone));
+  eng.run();
+  // The write returns at memcpy speed, well before the disk finishes.
+  EXPECT_NEAR(writeDone, 8.0 * MiB / 1.0e9, 1e-6);
+  // But the flusher eventually pushed everything to the device.
+  EXPECT_EQ(dev.disk().counters().bytesWritten, 8 * MiB);
+  EXPECT_EQ(cache.dirtyBytes(), 0u);
+}
+
+TEST(Cache, DirtyLimitThrottlesToDiskRate) {
+  sim::Engine eng;
+  SingleDisk dev(eng, testDisk());
+  PageCache cache(eng, dev, testCache());
+  double done = -1;
+  eng.spawn([](sim::Engine& e, PageCache& c, double& done) -> sim::Task<void> {
+    // 200 MiB stream >> 32 MiB dirty limit: must drain at ~disk speed.
+    for (int i = 0; i < 50; ++i) {
+      co_await c.write(static_cast<std::uint64_t>(i) * 4 * MiB, 4 * MiB);
+    }
+    done = e.now();
+    c.shutdown();
+  }(eng, cache, done));
+  eng.run();
+  const double diskTime = 200.0 * MiB / 100.0e6;
+  EXPECT_GT(done, diskTime * 0.7);  // dominated by disk drain
+  EXPECT_EQ(dev.disk().counters().bytesWritten, 200 * MiB);
+}
+
+TEST(Cache, ReadHitCostsMemoryOnly) {
+  sim::Engine eng;
+  SingleDisk dev(eng, testDisk());
+  PageCache cache(eng, dev, testCache());
+  double firstRead = -1, secondRead = -1;
+  eng.spawn([](sim::Engine& e, PageCache& c, double& r1,
+               double& r2) -> sim::Task<void> {
+    co_await c.read(0, 8 * MiB);
+    r1 = e.now();
+    co_await c.read(0, 8 * MiB);
+    r2 = e.now() - r1;
+    c.shutdown();
+  }(eng, cache, firstRead, secondRead));
+  eng.run();
+  EXPECT_GT(firstRead, 8.0 * MiB / 100.0e6 * 0.9);  // device speed
+  EXPECT_NEAR(secondRead, 8.0 * MiB / 1.0e9, 1e-6);  // memory speed
+  EXPECT_EQ(cache.readMissBytes(), 8 * MiB);
+  EXPECT_EQ(cache.readHitBytes(), 8 * MiB);
+}
+
+TEST(Cache, EvictionDefeatsReuseBeyondCapacity) {
+  sim::Engine eng;
+  SingleDisk dev(eng, testDisk());
+  PageCache cache(eng, dev, testCache());  // 64 MiB capacity
+  eng.spawn([](PageCache& c) -> sim::Task<void> {
+    // Touch 128 MiB, then re-read the beginning: must miss again.
+    for (int i = 0; i < 16; ++i) {
+      co_await c.read(static_cast<std::uint64_t>(i) * 8 * MiB, 8 * MiB);
+    }
+    const auto missBefore = c.readMissBytes();
+    co_await c.read(0, 8 * MiB);
+    EXPECT_EQ(c.readMissBytes(), missBefore + 8 * MiB);
+    c.shutdown();
+  }(cache));
+  eng.run();
+  EXPECT_LE(cache.residentBytes(), 64 * MiB);
+}
+
+TEST(Cache, ReadAfterWriteHitsCache) {
+  sim::Engine eng;
+  SingleDisk dev(eng, testDisk());
+  PageCache cache(eng, dev, testCache());
+  eng.spawn([](PageCache& c) -> sim::Task<void> {
+    co_await c.write(0, 4 * MiB);
+    co_await c.read(0, 4 * MiB);
+    EXPECT_EQ(c.readMissBytes(), 0u);
+    c.shutdown();
+  }(cache));
+  eng.run();
+}
+
+TEST(Cache, FlushAllDrainsDirty) {
+  sim::Engine eng;
+  SingleDisk dev(eng, testDisk());
+  PageCache cache(eng, dev, testCache());
+  double flushed = -1;
+  eng.spawn([](sim::Engine& e, PageCache& c, SingleDisk& dev,
+               double& flushed) -> sim::Task<void> {
+    co_await c.write(0, 16 * MiB);
+    co_await c.flushAll();
+    flushed = e.now();
+    EXPECT_EQ(dev.disk().counters().bytesWritten, 16 * MiB);
+    c.shutdown();
+  }(eng, cache, dev, flushed));
+  eng.run();
+  EXPECT_GE(flushed, 16.0 * MiB / 100.0e6);
+}
+
+TEST(Cache, DisabledCacheGoesStraightToDevice) {
+  sim::Engine eng;
+  SingleDisk dev(eng, testDisk());
+  CacheParams p = testCache();
+  p.enabled = false;
+  PageCache cache(eng, dev, p);
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await cache.write(0, 10 * MiB);
+  });
+  EXPECT_NEAR(t, 10.0 * MiB / 100.0e6, 1e-9);
+}
+
+// ------------------------------------------------------------------- Network
+
+TEST(Network, TransferTimeMatchesBandwidthPlusLatency) {
+  sim::Engine eng;
+  Node a(eng, 0, "a", gigabitEthernet());
+  Node b(eng, 1, "b", gigabitEthernet());
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await transfer(eng, a, b, 117000000);  // exactly 1 s of payload
+  });
+  EXPECT_NEAR(t, 1.0 + 60e-6 + 2 * 30e-6, 1e-6);
+}
+
+TEST(Network, SameNodeTransferIsMemcpy) {
+  sim::Engine eng;
+  Node a(eng, 0, "a", gigabitEthernet());
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    co_await transfer(eng, a, a, 400 * MiB);
+  });
+  EXPECT_LT(t, 0.2);
+}
+
+TEST(Network, ReceiverNicSerializesIncomingTransfers) {
+  sim::Engine eng;
+  Node a(eng, 0, "a", gigabitEthernet());
+  Node b(eng, 1, "b", gigabitEthernet());
+  Node srv(eng, 2, "srv", gigabitEthernet());
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    std::vector<sim::Task<void>> ops;
+    ops.push_back(transfer(eng, a, srv, 117000000));
+    ops.push_back(transfer(eng, b, srv, 117000000));
+    co_await sim::whenAll(eng, std::move(ops));
+  });
+  EXPECT_GT(t, 2.0);  // rx is shared: both cannot land in 1 s
+}
+
+TEST(Network, DisjointPairsRunConcurrently) {
+  sim::Engine eng;
+  Node a(eng, 0, "a", gigabitEthernet());
+  Node b(eng, 1, "b", gigabitEthernet());
+  Node c(eng, 2, "c", gigabitEthernet());
+  Node d(eng, 3, "d", gigabitEthernet());
+  double t = timeIt(eng, [&]() -> sim::Task<void> {
+    std::vector<sim::Task<void>> ops;
+    ops.push_back(transfer(eng, a, b, 117000000));
+    ops.push_back(transfer(eng, c, d, 117000000));
+    co_await sim::whenAll(eng, std::move(ops));
+  });
+  EXPECT_LT(t, 1.1);
+}
+
+// --------------------------------------------------------------- Filesystems
+
+struct NfsFixture {
+  sim::Engine eng;
+  Topology topo{eng};
+  Node* client;
+  Node* serverNode;
+  IoServer* server;
+  FileSystem* fs;
+
+  NfsFixture() {
+    client = &topo.addNode("compute0", gigabitEthernet());
+    serverNode = &topo.addNode("nas", gigabitEthernet());
+    ServerParams sp;
+    sp.cache.sizeBytes = 512 * MiB;
+    auto dev = std::make_unique<Raid5>(eng, members(5), 256 * 1024);
+    server = &topo.addServer(*serverNode, std::move(dev), sp);
+    fs = &topo.mount("/nfs", std::make_unique<NfsFS>(eng, *server));
+  }
+
+  template <typename MakeTask>
+  double run(MakeTask&& make) {
+    double done = -1;
+    eng.spawn([](sim::Engine& e, Topology& topo, MakeTask& make,
+                 double& done) -> sim::Task<void> {
+      co_await make();
+      done = e.now();
+      topo.shutdown();
+    }(eng, topo, make, done));
+    eng.run();
+    return done;
+  }
+};
+
+TEST(NfsFS, LargeWriteApproachesWireSpeed) {
+  NfsFixture f;
+  const std::uint64_t bytes = 256 * MiB;
+  double t = f.run([&]() -> sim::Task<void> {
+    co_await f.fs->write(*f.client, 0, 0, bytes);
+  });
+  const double bw = static_cast<double>(bytes) / t;
+  EXPECT_GT(bw, 80.0e6);
+  EXPECT_LT(bw, 117.0e6);
+}
+
+TEST(NfsFS, ReadSlowerThanWrite) {
+  NfsFixture f;
+  const std::uint64_t bytes = 256 * MiB;
+  double tw = -1, tr = -1;
+  f.run([&]() -> sim::Task<void> {
+    const double t0 = f.eng.now();
+    co_await f.fs->write(*f.client, 0, 0, bytes);
+    const double t1 = f.eng.now();
+    co_await f.server->sync();
+    // Read a different file so the server cache cannot satisfy it.
+    const double t2 = f.eng.now();
+    co_await f.fs->read(*f.client, 1, 0, bytes);
+    const double t3 = f.eng.now();
+    tw = t1 - t0;
+    tr = t3 - t2;
+  });
+  EXPECT_GT(tr, tw);  // request/response round-trips beat write-behind
+}
+
+TEST(NfsFS, ConcurrentClientsShareServerLink) {
+  sim::Engine eng;
+  Topology topo(eng);
+  Node& c0 = topo.addNode("c0", gigabitEthernet());
+  Node& c1 = topo.addNode("c1", gigabitEthernet());
+  Node& nas = topo.addNode("nas", gigabitEthernet());
+  ServerParams sp;
+  auto dev = std::make_unique<Raid5>(eng, members(5), 256 * 1024);
+  IoServer& server = topo.addServer(nas, std::move(dev), sp);
+  FileSystem& fs = topo.mount("/nfs", std::make_unique<NfsFS>(eng, server));
+
+  double done = -1;
+  eng.spawn([](sim::Engine& e, Topology& topo, FileSystem& fs, Node& c0,
+               Node& c1, double& done) -> sim::Task<void> {
+    std::vector<sim::Task<void>> ops;
+    ops.push_back(fs.write(c0, 0, 0, 128 * MiB));
+    ops.push_back(fs.write(c1, 1, 0, 128 * MiB));
+    co_await sim::whenAll(e, std::move(ops));
+    done = e.now();
+    topo.shutdown();
+  }(eng, topo, fs, c0, c1, done));
+  eng.run();
+  const double aggBw = 256.0 * MiB / done;
+  EXPECT_LT(aggBw, 117.0e6);  // bounded by the single server NIC
+  EXPECT_GT(aggBw, 75.0e6);
+}
+
+struct StripedFixture {
+  sim::Engine eng;
+  Topology topo{eng};
+  std::vector<Node*> clients;
+  std::vector<IoServer*> servers;
+  FileSystem* fs;
+
+  explicit StripedFixture(int nServers, int nClients,
+                          StripedFS::Params params = {}) {
+    for (int i = 0; i < nClients; ++i) {
+      clients.push_back(
+          &topo.addNode("c" + std::to_string(i), gigabitEthernet()));
+    }
+    for (int i = 0; i < nServers; ++i) {
+      Node& n = topo.addNode("ion" + std::to_string(i), gigabitEthernet());
+      ServerParams sp;
+      auto dev = std::make_unique<SingleDisk>(eng, testDisk());
+      servers.push_back(&topo.addServer(n, std::move(dev), sp));
+    }
+    fs = &topo.mount("/pvfs",
+                     std::make_unique<StripedFS>(eng, servers, nullptr,
+                                                 params));
+  }
+
+  template <typename MakeTask>
+  double run(MakeTask&& make) {
+    double done = -1;
+    eng.spawn([](sim::Engine& e, Topology& topo, MakeTask& make,
+                 double& done) -> sim::Task<void> {
+      co_await make();
+      done = e.now();
+      topo.shutdown();
+    }(eng, topo, make, done));
+    eng.run();
+    return done;
+  }
+};
+
+TEST(StripedFS, AggregateExceedsSingleLink) {
+  StripedFixture f(3, 3);
+  double t = f.run([&]() -> sim::Task<void> {
+    std::vector<sim::Task<void>> ops;
+    for (int i = 0; i < 3; ++i) {
+      ops.push_back(f.fs->write(*f.clients[static_cast<std::size_t>(i)], i,
+                                0, 128 * MiB));
+    }
+    co_await sim::whenAll(f.eng, std::move(ops));
+  });
+  const double aggBw = 3.0 * 128.0 * MiB / t;
+  EXPECT_GT(aggBw, 150.0e6);  // > one GbE link: real parallelism
+}
+
+TEST(StripedFS, StripeCountLimitsServersUsed) {
+  StripedFS::Params p;
+  p.stripeCount = 1;
+  StripedFixture f(4, 1, p);
+  f.run([&]() -> sim::Task<void> {
+    co_await f.fs->write(*f.clients[0], 0, 0, 32 * MiB);
+  });
+  int touched = 0;
+  for (IoServer* s : f.servers) {
+    std::vector<Disk*> disks;
+    s->device().collectDisks(disks);
+    for (Disk* d : disks) touched += d->counters().bytesWritten > 0;
+  }
+  EXPECT_EQ(touched, 1);
+}
+
+TEST(StripedFS, IdealDeviceBandwidthSumsDataServers) {
+  StripedFixture f(3, 1);
+  EXPECT_DOUBLE_EQ(f.fs->idealDeviceBandwidth(IoOp::Read), 300.0e6);
+}
+
+TEST(Topology, MountAndLookup) {
+  sim::Engine eng;
+  Topology topo(eng);
+  Node& n = topo.addNode("nas", gigabitEthernet());
+  auto dev = std::make_unique<SingleDisk>(eng, testDisk());
+  IoServer& server = topo.addServer(n, std::move(dev), ServerParams{});
+  topo.mount("/data", std::make_unique<NfsFS>(eng, server));
+  EXPECT_NO_THROW(topo.fs("/data"));
+  EXPECT_THROW(topo.fs("/nope"), std::out_of_range);
+  EXPECT_THROW(
+      topo.mount("/data", std::make_unique<NfsFS>(eng, server)),
+      std::invalid_argument);
+  EXPECT_EQ(topo.allDisks().size(), 1u);
+  EXPECT_NE(topo.describe().find("/data"), std::string::npos);
+  topo.shutdown();
+  eng.run();
+}
+
+TEST(Topology, MetadataOpCompletes) {
+  NfsFixture f;
+  double t = f.run([&]() -> sim::Task<void> {
+    co_await f.fs->metadataOp(*f.client);
+  });
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 0.01);
+}
+
+}  // namespace
+}  // namespace iop::storage

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/summary.hpp"
+#include "trace/tracefile.hpp"
+#include "trace/tracer.hpp"
+
+namespace iop::trace {
+namespace {
+
+Record mkRec(int rank, int file, const char* op, std::uint64_t offset,
+             std::uint64_t tick, std::uint64_t rs) {
+  Record r;
+  r.rank = rank;
+  r.fileId = file;
+  r.op = op;
+  r.offsetUnits = offset;
+  r.tick = tick;
+  r.requestBytes = rs;
+  r.time = 22.198392;
+  r.duration = 0.131034;
+  return r;
+}
+
+TEST(Tracer, AccumulatesPerRank) {
+  Tracer tracer("app", 2);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write_at_all", 0, 148, 10612080));
+  tracer.onIoCall(mkRec(1, 1, "MPI_File_write_at_all", 0, 147, 10612080));
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write_at_all", 265302, 269,
+                        10612080));
+  const auto& data = tracer.data();
+  EXPECT_EQ(data.perRank[0].size(), 2u);
+  EXPECT_EQ(data.perRank[1].size(), 1u);
+}
+
+TEST(Tracer, RejectsOutOfRangeRank) {
+  Tracer tracer("app", 2);
+  EXPECT_THROW(tracer.onIoCall(mkRec(5, 1, "MPI_File_write", 0, 1, 10)),
+               std::out_of_range);
+}
+
+TEST(Tracer, CountsCommEvents) {
+  Tracer tracer("app", 2);
+  tracer.onCommEvent(0, 1, "MPI_Barrier", 0.0);
+  tracer.onCommEvent(0, 2, "MPI_Bcast", 0.1);
+  tracer.onCommEvent(1, 1, "MPI_Barrier", 0.0);
+  EXPECT_EQ(tracer.data().commEventsPerRank[0], 2u);
+  EXPECT_EQ(tracer.data().commEventsPerRank[1], 1u);
+}
+
+TEST(TraceData, RecordsForFileFilters) {
+  Tracer tracer("app", 1);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 0, 1, 10));
+  tracer.onIoCall(mkRec(0, 2, "MPI_File_write", 0, 2, 10));
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_read", 0, 3, 10));
+  EXPECT_EQ(tracer.data().recordsForFile(1).size(), 2u);
+  EXPECT_EQ(tracer.data().recordsForFile(2).size(), 1u);
+}
+
+TEST(TraceData, TotalBytes) {
+  Tracer tracer("app", 2);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 0, 1, 100));
+  tracer.onIoCall(mkRec(1, 1, "MPI_File_write", 0, 1, 250));
+  EXPECT_EQ(tracer.data().totalBytes(), 350u);
+}
+
+TEST(OpClassification, WriteAndCollective) {
+  EXPECT_TRUE(isWriteOp("MPI_File_write_at_all"));
+  EXPECT_TRUE(isWriteOp("MPI_File_write"));
+  EXPECT_FALSE(isWriteOp("MPI_File_read_at"));
+  EXPECT_TRUE(isCollectiveOp("MPI_File_write_at_all"));
+  EXPECT_TRUE(isCollectiveOp("MPI_File_read_all"));
+  EXPECT_FALSE(isCollectiveOp("MPI_File_write_at"));
+  EXPECT_FALSE(isCollectiveOp("MPI_File_write"));
+}
+
+TEST(TraceFile, WriteReadRoundTrip) {
+  Tracer tracer("rt-app", 2);
+  FileMeta meta;
+  meta.fileId = 1;
+  meta.path = "data.bin";
+  meta.shared = true;
+  meta.etypeBytes = 40;
+  meta.filetypeBlock = 265302;
+  meta.filetypeStride = 4 * 265302;
+  meta.sawCollective = true;
+  meta.sawExplicitOffsets = true;
+  meta.np = 2;
+  tracer.onFileMeta(meta);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write_at_all", 0, 148, 10612080));
+  tracer.onIoCall(mkRec(1, 1, "MPI_File_write_at_all", 0, 147, 10612080));
+  tracer.onCommEvent(0, 1, "MPI_Barrier", 0.0);
+
+  const auto dir = std::filesystem::temp_directory_path() / "iop_trace_rt";
+  writeTraces(dir, tracer.data());
+  auto loaded = readTraces(dir, "rt-app");
+  std::filesystem::remove_all(dir);
+
+  EXPECT_EQ(loaded.np, 2);
+  ASSERT_EQ(loaded.perRank[0].size(), 1u);
+  const auto& r = loaded.perRank[0][0];
+  EXPECT_EQ(r.op, "MPI_File_write_at_all");
+  EXPECT_EQ(r.tick, 148u);
+  EXPECT_EQ(r.requestBytes, 10612080u);
+  EXPECT_NEAR(r.time, 22.198392, 1e-9);
+  ASSERT_EQ(loaded.files.size(), 1u);
+  EXPECT_EQ(loaded.files[0].etypeBytes, 40u);
+  EXPECT_EQ(loaded.files[0].filetypeStride, 4u * 265302);
+  EXPECT_EQ(loaded.commEventsPerRank[0], 1u);
+}
+
+TEST(TraceFile, ReadMissingFileThrows) {
+  EXPECT_THROW(readTraces("/nonexistent-dir-xyz", "nope"),
+               std::runtime_error);
+}
+
+TEST(TraceFile, RenderTableMatchesFigure2Shape) {
+  Tracer tracer("fig2", 1);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write_at_all", 0, 148, 10612080));
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write_at_all", 265302, 269,
+                        10612080));
+  auto text = renderTraceTable(tracer.data(), 0);
+  EXPECT_NE(text.find("IdP"), std::string::npos);
+  EXPECT_NE(text.find("RequestSize"), std::string::npos);
+  EXPECT_NE(text.find("265302"), std::string::npos);
+  EXPECT_NE(text.find("10612080"), std::string::npos);
+}
+
+TEST(TraceFile, MaxRowsLimitsOutput) {
+  Tracer tracer("fig2", 1);
+  for (int i = 0; i < 10; ++i) {
+    tracer.onIoCall(mkRec(0, 1, "MPI_File_write", i * 10, 1 + i, 10));
+  }
+  auto text = renderTraceTable(tracer.data(), 0, 3);
+  int rows = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("MPI_File_write", pos)) != std::string::npos) {
+    ++rows;
+    pos += 1;
+  }
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(Summary, CountsOpsAndBytesPerFile) {
+  Tracer tracer("sum", 2);
+  FileMeta meta;
+  meta.fileId = 1;
+  meta.path = "a.dat";
+  meta.etypeBytes = 1;
+  tracer.onFileMeta(meta);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 0, 1, 100));
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 100, 2, 100));   // seq
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_read", 5000, 3, 200));   // jump
+  tracer.onIoCall(mkRec(1, 1, "MPI_File_write_at_all", 0, 1, 50));
+  auto summary = summarizeTrace(tracer.data());
+  ASSERT_EQ(summary.files.size(), 1u);
+  const auto& f = summary.files[0];
+  EXPECT_EQ(f.writeOps, 3u);
+  EXPECT_EQ(f.readOps, 1u);
+  EXPECT_EQ(f.bytesWritten, 250u);
+  EXPECT_EQ(f.bytesRead, 200u);
+  EXPECT_EQ(f.collectiveOps, 1u);
+  EXPECT_EQ(f.independentOps, 3u);
+  EXPECT_EQ(f.minRequest, 50u);
+  EXPECT_EQ(f.maxRequest, 200u);
+  EXPECT_EQ(summary.totalBytes, 450u);
+  // Two follow-up ops on rank 0 (one sequential, one jump); rank 1 has
+  // only a first op.
+  EXPECT_NEAR(f.sequentialFraction, 0.5, 1e-9);
+}
+
+TEST(Summary, EtypeScaledOffsetsCountAsSequential) {
+  Tracer tracer("sum", 1);
+  FileMeta meta;
+  meta.fileId = 1;
+  meta.path = "v.dat";
+  meta.etypeBytes = 40;
+  tracer.onFileMeta(meta);
+  // 400-byte requests advance the view offset by 10 etypes.
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write_at_all", 0, 1, 400));
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write_at_all", 10, 2, 400));
+  auto summary = summarizeTrace(tracer.data());
+  EXPECT_NEAR(summary.files[0].sequentialFraction, 1.0, 1e-9);
+}
+
+TEST(Summary, SizeHistogramBinsRequests) {
+  Tracer tracer("sum", 1);
+  FileMeta meta;
+  meta.fileId = 1;
+  meta.path = "h.dat";
+  tracer.onFileMeta(meta);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 0, 1, 50));        // 0-100
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 50, 2, 2048));     // 1K-10K
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 3000, 3, 5 << 20));  // 4M-10M
+  auto summary = summarizeTrace(tracer.data());
+  const auto& bins = summary.files[0].sizeBins;
+  EXPECT_EQ(bins[0], 1u);
+  EXPECT_EQ(bins[2], 1u);
+  EXPECT_EQ(bins[6], 1u);
+}
+
+TEST(Summary, RenderMentionsFilesAndHistogram) {
+  Tracer tracer("renderme", 1);
+  FileMeta meta;
+  meta.fileId = 1;
+  meta.path = "x.dat";
+  tracer.onFileMeta(meta);
+  tracer.onIoCall(mkRec(0, 1, "MPI_File_write", 0, 1, 1024));
+  auto text = summarizeTrace(tracer.data()).render();
+  EXPECT_NE(text.find("renderme"), std::string::npos);
+  EXPECT_NE(text.find("x.dat"), std::string::npos);
+  EXPECT_NE(text.find("histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iop::trace

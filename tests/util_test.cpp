@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/text.hpp"
+#include "util/units.hpp"
+
+namespace iop::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(5.0, 6.5);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    std::uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(13);
+  double sum = 0, sumSq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sumSq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Units, FormatExactUnits) {
+  EXPECT_EQ(formatBytes(32 * MiB), "32MB");
+  EXPECT_EQ(formatBytes(4 * GiB), "4GB");
+  EXPECT_EQ(formatBytes(256 * KiB), "256KB");
+  EXPECT_EQ(formatBytes(512), "512B");
+}
+
+TEST(Units, FormatInexactFallsBackToApprox) {
+  EXPECT_EQ(formatBytes(10612080), "10.12MB");
+}
+
+TEST(Units, ParseRoundTrips) {
+  EXPECT_EQ(parseBytes("32MB"), 32 * MiB);
+  EXPECT_EQ(parseBytes("256KB"), 256 * KiB);
+  EXPECT_EQ(parseBytes("4GB"), 4 * GiB);
+  EXPECT_EQ(parseBytes("1TiB"), TiB);
+  EXPECT_EQ(parseBytes("123"), 123u);
+  EXPECT_EQ(parseBytes("8 MB"), 8 * MiB);
+  EXPECT_EQ(parseBytes("2g"), 2 * GiB);
+}
+
+TEST(Units, ParseRejectsGarbage) {
+  EXPECT_THROW(parseBytes(""), std::invalid_argument);
+  EXPECT_THROW(parseBytes("MB"), std::invalid_argument);
+  EXPECT_THROW(parseBytes("12XB"), std::invalid_argument);
+  EXPECT_THROW(parseBytes("12MBx"), std::invalid_argument);
+}
+
+TEST(Units, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(toMiBs(fromMiBs(123.5)), 123.5);
+  EXPECT_EQ(formatBandwidthMiBs(fromMiBs(93.0)), "93.00 MB/s");
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t("Demo");
+  t.setHeader({"Phase", "Weight"}, {Align::Left, Align::Right});
+  t.addRow({"1", "4GB"});
+  t.addRow({"22", "1GB"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("| Phase |"), std::string::npos);
+  EXPECT_NE(out.find("|    4GB |"), std::string::npos);
+}
+
+TEST(Table, TsvOutputSkipsSeparators) {
+  Table t;
+  t.setHeader({"a", "b"});
+  t.addRow({"1", "2"});
+  t.addSeparator();
+  t.addRow({"3", "4"});
+  EXPECT_EQ(t.renderTsv(), "a\tb\n1\t2\n3\t4\n");
+}
+
+TEST(Text, SplitWhitespaceDropsRuns) {
+  auto parts = splitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Text, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Text, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(startsWith("MPI_File_write_at_all", "MPI_File_write"));
+  EXPECT_FALSE(startsWith("abc", "abcd"));
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace iop::util

@@ -1,0 +1,89 @@
+// iop-compare: validate the estimation on a configuration the way the
+// paper's Tables XIII/XIV do — characterize the application on a source
+// configuration, estimate on the target via IOR phase replay, run the
+// application on the target for ground truth, and report the relative
+// errors per phase group.
+//
+//   iop-compare --app btio --class D --np 64 --config A --target C
+#include <cstdio>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/replay.hpp"
+#include "analysis/runner.hpp"
+#include "configs/configfile.hpp"
+#include "toolkit.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  args.addOption("config", "source configuration (characterization)", "A");
+  args.addOption("target", "target configuration: A | B | C | finisterrae",
+                 "C");
+  args.addOption("target-file",
+                 "target cluster description file (overrides --target)");
+  args.addOption("np", "number of MPI processes", "16");
+  tools::addAppOptions(args);
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested()) {
+      std::printf("%s",
+                  args.usage("iop-compare",
+                             "Estimate vs measured I/O time on a target "
+                             "configuration (the validation stage).")
+                      .c_str());
+      return 0;
+    }
+    const int np = static_cast<int>(args.getInt("np", 16));
+
+    // Characterize.
+    auto source =
+        configs::makeConfig(tools::parseConfigId(args.get("config")));
+    auto charRun = analysis::runAndTrace(
+        source, args.get("app"), tools::makeAppMain(args, source), np);
+
+    // Target builder + a probe instance for the mount and the app rerun.
+    analysis::ConfigBuilder builder;
+    if (args.has("target-file")) {
+      const std::string path = args.get("target-file");
+      builder = [path] { return configs::loadClusterConfig(path); };
+    } else {
+      const auto id = tools::parseConfigId(args.get("target"));
+      builder = [id] { return configs::makeConfig(id); };
+    }
+    auto target = builder();
+    const std::string mount = target.mount;
+    std::printf("characterized %s (%d procs) on %s; validating on %s\n",
+                args.get("app").c_str(), np, source.name.c_str(),
+                target.name.c_str());
+
+    analysis::Replayer replayer(builder, mount);
+    auto estimate = analysis::estimateIoTime(charRun.model, replayer);
+
+    auto measured = analysis::runAndTrace(
+        target, args.get("app"), tools::makeAppMain(args, target), np);
+
+    auto rows = analysis::compareEstimate(estimate, measured.model);
+    util::Table table("Time_io(CH) vs Time_io(MD) on " + target.name);
+    table.setHeader({"Phase", "Time_CH (s)", "Time_MD (s)", "error_rel"},
+                    {util::Align::Left, util::Align::Right,
+                     util::Align::Right, util::Align::Right});
+    double worst = 0;
+    for (const auto& row : rows) {
+      char ch[32], md[32], err[16];
+      std::snprintf(ch, sizeof ch, "%.2f", row.timeCH);
+      std::snprintf(md, sizeof md, "%.2f", row.timeMD);
+      std::snprintf(err, sizeof err, "%.1f%%", row.errorPct);
+      table.addRow({row.label(), ch, md, err});
+      worst = std::max(worst, row.errorPct);
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("worst relative error: %.1f%% (%zu IOR runs)\n", worst,
+                replayer.benchmarkRuns());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-compare: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,76 @@
+// iop-estimate: estimate an application's I/O time on a target
+// configuration from its saved model, using IOR phase replay (eqs. 1-2) —
+// the application itself never runs on the target.
+//
+//   iop-estimate --model btio.model --config finisterrae
+//   iop-estimate --model mad.model --config B --multiop
+#include <cstdio>
+
+#include "analysis/multiop.hpp"
+#include "analysis/replay.hpp"
+#include "core/iomodel.hpp"
+#include "toolkit.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  args.addOption("model", "model file written by iop-model", "app.model");
+  tools::addConfigOptions(args, "target configuration");
+  args.addFlag("multiop",
+               "replay multi-operation phases with the exact-cycle "
+               "replayer instead of averaged IOR passes");
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested()) {
+      std::printf("%s",
+                  args.usage("iop-estimate",
+                             "Estimate I/O time on a target configuration "
+                             "via phase replay (the evaluation stage).")
+                      .c_str());
+      return 0;
+    }
+    auto model = core::IOModel::load(args.get("model"));
+    auto probe = tools::makeConfiguredCluster(args);
+    const std::string mount = probe.mount;
+    analysis::ConfigBuilder builder = tools::configuredBuilder(args);
+    analysis::Replayer replayer(builder, mount);
+    auto estimate =
+        args.flag("multiop")
+            ? analysis::estimateIoTimeMultiOp(model, replayer, builder,
+                                              mount)
+            : analysis::estimateIoTime(model, replayer);
+
+    util::Table table("Time_io(CH) of " + model.appName() + " (" +
+                      std::to_string(model.np()) + " processes) on " +
+                      probe.name);
+    table.setHeader({"Phase", "weight", "BW_CH (MB/s)", "Time_CH (s)"},
+                    {util::Align::Left, util::Align::Right,
+                     util::Align::Right, util::Align::Right});
+    for (const auto& row : estimate.familyRows()) {
+      const std::string label =
+          row.firstPhase == row.lastPhase
+              ? "Phase " + std::to_string(row.firstPhase)
+              : "Phase " + std::to_string(row.firstPhase) + "-" +
+                    std::to_string(row.lastPhase);
+      const double bw = row.timeCH > 0
+                            ? static_cast<double>(row.weightBytes) /
+                                  row.timeCH
+                            : 0;
+      char bwText[32], timeText[32];
+      std::snprintf(bwText, sizeof bwText, "%.1f", util::toMiBs(bw));
+      std::snprintf(timeText, sizeof timeText, "%.2f", row.timeCH);
+      table.addRow({label, util::formatBytesApprox(row.weightBytes),
+                    bwText, timeText});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("total estimated I/O time: %.2f s (%zu IOR runs)\n",
+                estimate.totalTimeSec, replayer.benchmarkRuns());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-estimate: %s\n", e.what());
+    return 1;
+  }
+}

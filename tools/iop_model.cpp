@@ -1,0 +1,48 @@
+// iop-model: extract the I/O abstract model from trace files.
+//
+//   iop-model --traces traces/ --app btio --out btio.model
+#include <cstdio>
+
+#include "core/iomodel.hpp"
+#include "trace/tracefile.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  args.addOption("traces", "directory written by iop-trace", "traces");
+  args.addOption("app", "application name used when tracing", "btio");
+  args.addOption("out", "output model file", "app.model");
+  args.addOption("max-gap",
+                 "max intra-phase tick gap (phase-splitting threshold)",
+                 "1");
+  args.addFlag("series", "also print the global-access-pattern series");
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested()) {
+      std::printf("%s",
+                  args.usage("iop-model",
+                             "Extract the phase-based I/O abstract model "
+                             "from a trace (the analysis stage).")
+                      .c_str());
+      return 0;
+    }
+    auto data = trace::readTraces(args.get("traces"), args.get("app"));
+    core::PhaseDetectionOptions opt;
+    opt.maxIntraPhaseTickGap =
+        static_cast<std::uint64_t>(args.getInt("max-gap", 1));
+    auto model = core::extractModel(data, opt);
+    std::printf("%s\n", model.renderSummary().c_str());
+    if (args.flag("series")) {
+      std::printf("%s", model.renderGlobalPatternSeries().c_str());
+    }
+    model.save(args.get("out"));
+    std::printf("model saved to %s\n", args.get("out").c_str());
+    std::printf("next: iop-estimate --model %s --config <target>\n",
+                args.get("out").c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-model: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,53 @@
+// iop-peaks: IOzone-style device-level characterization of a
+// configuration (eqs. 3-4): the per-node sweep and the aggregated BW_PK.
+//
+//   iop-peaks --config B
+#include <cstdio>
+
+#include "analysis/peaks.hpp"
+#include "iozone/iozone.hpp"
+#include "toolkit.hpp"
+#include "util/args.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  tools::addConfigOptions(args, "configuration");
+  args.addFlag("sweep", "print the full per-pattern IOzone sweep of the "
+                        "first I/O node");
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested()) {
+      std::printf("%s", args.usage("iop-peaks",
+                                   "Measure BW_PK at device level "
+                                   "(the system-characterization stage).")
+                            .c_str());
+      return 0;
+    }
+    auto cluster = tools::makeConfiguredCluster(args);
+    std::printf("%s\n%s", cluster.name.c_str(),
+                cluster.topology->describe().c_str());
+    if (args.flag("sweep")) {
+      auto& fs = cluster.topology->fs(cluster.mount);
+      auto sweep =
+          iozone::runIozone(*cluster.engine, *fs.dataServers().front());
+      std::printf("\n%s", sweep.renderTable().c_str());
+    }
+    auto fresh = tools::configuredBuilder(args)();
+    auto peaks = analysis::measurePeaks(fresh);
+    std::printf("\nper-node peaks:\n");
+    for (const auto& s : peaks.perServer) {
+      std::printf("  %-12s write %7.1f MB/s  read %7.1f MB/s\n",
+                  s.nodeName.c_str(), util::toMiBs(s.writePeak),
+                  util::toMiBs(s.readPeak));
+    }
+    std::printf("BW_PK (eqs. 3-4): write %.1f MB/s, read %.1f MB/s\n",
+                util::toMiBs(peaks.writePeak),
+                util::toMiBs(peaks.readPeak));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-peaks: %s\n", e.what());
+    return 1;
+  }
+}

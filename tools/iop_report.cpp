@@ -1,0 +1,54 @@
+// iop-report: the whole methodology in one command — trace an application
+// on a source configuration, extract its model, and produce a markdown
+// report with phase structure, system usage, and estimated I/O time on
+// every candidate configuration.
+//
+//   iop-report --app madbench2 --np 16 --config A --out report.md
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/report.hpp"
+#include "analysis/runner.hpp"
+#include "toolkit.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  tools::addConfigOptions(args, "source configuration to trace on");
+  args.addOption("np", "number of MPI processes", "16");
+  args.addOption("out", "output markdown file (- = stdout)", "-");
+  args.addFlag("no-usage", "skip the IOzone peak + usage section");
+  tools::addAppOptions(args);
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested()) {
+      std::printf("%s",
+                  args.usage("iop-report",
+                             "Trace, model, and evaluate an application "
+                             "across all configurations in one step.")
+                      .c_str());
+      return 0;
+    }
+    const auto sourceId = tools::parseConfigId(args.get("config"));
+    auto cluster = tools::makeConfiguredCluster(args);
+    const int np = static_cast<int>(args.getInt("np", 16));
+    auto run = analysis::runAndTrace(cluster, args.get("app"),
+                                     tools::makeAppMain(args, cluster), np);
+    analysis::ReportOptions options;
+    options.includeUsage = !args.flag("no-usage") && !args.has("config-file");
+    auto report = analysis::generateReport(run, sourceId, options);
+    if (args.get("out") == "-") {
+      std::printf("%s", report.c_str());
+    } else {
+      std::ofstream file(args.get("out"));
+      if (!file) throw std::runtime_error("cannot open " + args.get("out"));
+      file << report;
+      std::printf("report written to %s\n", args.get("out").c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-report: %s\n", e.what());
+    return 1;
+  }
+}

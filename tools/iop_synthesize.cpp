@@ -1,0 +1,64 @@
+// iop-synthesize: generate and run a synthetic benchmark from a saved
+// model — the model-driven replica of the application's I/O, executable on
+// any configuration (the paper's "benchmark to replicate the I/O" built
+// out in full).
+//
+//   iop-synthesize --model btio.model --config B
+//   iop-synthesize --model btio.model --config B --verify
+#include <cstdio>
+
+#include "analysis/runner.hpp"
+#include "analysis/synthesize.hpp"
+#include "core/compare.hpp"
+#include "core/iomodel.hpp"
+#include "toolkit.hpp"
+#include "util/args.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  args.addOption("model", "model file written by iop-model", "app.model");
+  tools::addConfigOptions(args, "configuration to run on");
+  args.addFlag("verify", "re-extract the synthetic run's model and check "
+                         "it matches the input (round-trip fidelity)");
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested()) {
+      std::printf("%s",
+                  args.usage("iop-synthesize",
+                             "Run a model-driven synthetic benchmark on a "
+                             "configuration.")
+                      .c_str());
+      return 0;
+    }
+    auto model = core::IOModel::load(args.get("model"));
+    auto cluster = tools::makeConfiguredCluster(args);
+    auto run = analysis::runAndTrace(
+        cluster, model.appName() + "-synthetic",
+        analysis::makeSyntheticApp(model, cluster.mount), model.np());
+    double ioTime = 0;
+    for (const auto& ph : run.model.phases()) {
+      ioTime += ph.measuredIoTime();
+    }
+    std::printf("synthetic %s on %s: makespan %.2f s, I/O time %.2f s, "
+                "%s moved\n",
+                model.appName().c_str(), cluster.name.c_str(),
+                run.makespanSeconds, ioTime,
+                util::formatBytesApprox(run.model.totalWeightBytes())
+                    .c_str());
+    if (args.flag("verify")) {
+      auto diff = core::compareModels(model, run.model);
+      std::printf("round-trip fidelity: %s\n",
+                  diff ? "OK" : "MISMATCH");
+      for (const auto& d : diff.differences) {
+        std::printf("  %s\n", d.c_str());
+      }
+      return diff ? 0 : 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-synthesize: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,116 @@
+#include "toolkit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/btio.hpp"
+#include "apps/flash_io.hpp"
+#include "configs/configfile.hpp"
+#include "apps/madbench.hpp"
+#include "apps/roms.hpp"
+#include "apps/strided_example.hpp"
+#include "util/units.hpp"
+
+namespace iop::tools {
+
+configs::ConfigId parseConfigId(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "a") return configs::ConfigId::A;
+  if (lower == "b") return configs::ConfigId::B;
+  if (lower == "c") return configs::ConfigId::C;
+  if (lower == "finisterrae" || lower == "f") {
+    return configs::ConfigId::Finisterrae;
+  }
+  throw std::invalid_argument(
+      "unknown configuration '" + name + "' (use A, B, C or finisterrae)");
+}
+
+void addConfigOptions(util::Args& args, const std::string& role) {
+  args.addOption("config", role + ": A | B | C | finisterrae", "A");
+  args.addOption("config-file",
+                 role + ": cluster description file (overrides --config)");
+}
+
+configs::ClusterConfig makeConfiguredCluster(const util::Args& args) {
+  if (args.has("config-file")) {
+    return configs::loadClusterConfig(args.get("config-file"));
+  }
+  return configs::makeConfig(parseConfigId(args.get("config")));
+}
+
+std::function<configs::ClusterConfig()> configuredBuilder(
+    const util::Args& args) {
+  if (args.has("config-file")) {
+    const std::string path = args.get("config-file");
+    return [path] { return configs::loadClusterConfig(path); };
+  }
+  const auto id = parseConfigId(args.get("config"));
+  return [id] { return configs::makeConfig(id); };
+}
+
+void addAppOptions(util::Args& args) {
+  args.addOption("app",
+                 "application: madbench2 | btio | roms | flash-io | example",
+                 "btio");
+  args.addOption("class", "btio: NPB class A|B|C|D", "C");
+  args.addOption("subtype", "btio: full | simple", "full");
+  args.addOption("kpix", "madbench2: map size in KPIX", "8");
+  args.addOption("bins", "madbench2: number of component matrices", "8");
+  args.addOption("gangs", "madbench2: gang count", "1");
+  args.addOption("steps", "roms: timesteps", "60");
+  args.addOption("unknowns", "flash-io: unknown-variable datasets", "24");
+}
+
+namespace {
+
+apps::BtClass parseBtClass(const std::string& name) {
+  if (name == "A" || name == "a") return apps::BtClass::A;
+  if (name == "B" || name == "b") return apps::BtClass::B;
+  if (name == "C" || name == "c") return apps::BtClass::C;
+  if (name == "D" || name == "d") return apps::BtClass::D;
+  throw std::invalid_argument("unknown BT class '" + name + "'");
+}
+
+}  // namespace
+
+mpi::Runtime::RankMain makeAppMain(const util::Args& args,
+                                   const configs::ClusterConfig& cluster) {
+  const std::string app = args.get("app");
+  if (app == "btio") {
+    apps::BtioParams p;
+    p.mount = cluster.mount;
+    p.cls = parseBtClass(args.get("class"));
+    p.fullSubtype = args.get("subtype") != "simple";
+    return apps::makeBtio(p);
+  }
+  if (app == "madbench2") {
+    apps::MadbenchParams p;
+    p.mount = cluster.mount;
+    p.kpix = static_cast<int>(args.getInt("kpix", 8));
+    p.bins = static_cast<int>(args.getInt("bins", 8));
+    p.gangs = static_cast<int>(args.getInt("gangs", 1));
+    return apps::makeMadbench(p);
+  }
+  if (app == "roms") {
+    apps::RomsParams p;
+    p.mount = cluster.mount;
+    p.steps = static_cast<int>(args.getInt("steps", 60));
+    return apps::makeRoms(p);
+  }
+  if (app == "flash-io") {
+    apps::FlashIoParams p;
+    p.mount = cluster.mount;
+    p.unknowns = static_cast<int>(args.getInt("unknowns", 24));
+    return apps::makeFlashIo(p);
+  }
+  if (app == "example") {
+    apps::StridedExampleParams p;
+    p.mount = cluster.mount;
+    return apps::makeStridedExample(p);
+  }
+  throw std::invalid_argument("unknown application '" + app + "'");
+}
+
+}  // namespace iop::tools

@@ -1,0 +1,33 @@
+// Shared plumbing for the iop-* command-line tools: configuration and
+// application specs parsed from CLI options.
+#pragma once
+
+#include <string>
+
+#include "configs/configs.hpp"
+#include "mpi/runtime.hpp"
+#include "util/args.hpp"
+
+namespace iop::tools {
+
+/// "A" | "B" | "C" | "finisterrae" (case-insensitive).
+configs::ConfigId parseConfigId(const std::string& name);
+
+/// Register --config / --config-file and resolve them: --config-file (a
+/// cluster description, see configs/configfile.hpp) wins over the named
+/// paper configuration.
+void addConfigOptions(util::Args& args, const std::string& role);
+configs::ClusterConfig makeConfiguredCluster(const util::Args& args);
+/// A builder producing fresh instances of the selected configuration.
+std::function<configs::ClusterConfig()> configuredBuilder(
+    const util::Args& args);
+
+/// Register the application-selection options (--app and its knobs).
+void addAppOptions(util::Args& args);
+
+/// Build the rank-main for the app selected by --app using the cluster's
+/// mount point.  Knows: madbench2, btio, roms, example, and "ior".
+mpi::Runtime::RankMain makeAppMain(const util::Args& args,
+                                   const configs::ClusterConfig& cluster);
+
+}  // namespace iop::tools
