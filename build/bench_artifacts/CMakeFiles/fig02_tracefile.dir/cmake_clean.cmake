@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_tracefile"
+  "../bench/fig02_tracefile.pdb"
+  "CMakeFiles/fig02_tracefile.dir/fig02_tracefile.cpp.o"
+  "CMakeFiles/fig02_tracefile.dir/fig02_tracefile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tracefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_lap"
+  "../bench/fig03_lap.pdb"
+  "CMakeFiles/fig03_lap.dir/fig03_lap.cpp.o"
+  "CMakeFiles/fig03_lap.dir/fig03_lap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_phases.cpp" "bench_artifacts/CMakeFiles/fig04_phases.dir/fig04_phases.cpp.o" "gcc" "bench_artifacts/CMakeFiles/fig04_phases.dir/fig04_phases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_artifacts/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/iop_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/iop_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ior/CMakeFiles/iop_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/iozone/CMakeFiles/iop_iozone.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/iop_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/configs/CMakeFiles/iop_configs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdf5/CMakeFiles/iop_hdf5.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/iop_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iop_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_phases"
+  "../bench/fig04_phases.pdb"
+  "CMakeFiles/fig04_phases.dir/fig04_phases.cpp.o"
+  "CMakeFiles/fig04_phases.dir/fig04_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

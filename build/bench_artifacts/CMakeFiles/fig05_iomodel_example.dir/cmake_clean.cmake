@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_iomodel_example"
+  "../bench/fig05_iomodel_example.pdb"
+  "CMakeFiles/fig05_iomodel_example.dir/fig05_iomodel_example.cpp.o"
+  "CMakeFiles/fig05_iomodel_example.dir/fig05_iomodel_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_iomodel_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_ior_model"
+  "../bench/fig06_ior_model.pdb"
+  "CMakeFiles/fig06_ior_model.dir/fig06_ior_model.cpp.o"
+  "CMakeFiles/fig06_ior_model.dir/fig06_ior_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ior_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

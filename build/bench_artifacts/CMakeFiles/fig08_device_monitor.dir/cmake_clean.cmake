@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_device_monitor"
+  "../bench/fig08_device_monitor.pdb"
+  "CMakeFiles/fig08_device_monitor.dir/fig08_device_monitor.cpp.o"
+  "CMakeFiles/fig08_device_monitor.dir/fig08_device_monitor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_device_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

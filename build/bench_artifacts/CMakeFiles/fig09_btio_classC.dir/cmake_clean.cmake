@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_btio_classC"
+  "../bench/fig09_btio_classC.pdb"
+  "CMakeFiles/fig09_btio_classC.dir/fig09_btio_classC.cpp.o"
+  "CMakeFiles/fig09_btio_classC.dir/fig09_btio_classC.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_btio_classC.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

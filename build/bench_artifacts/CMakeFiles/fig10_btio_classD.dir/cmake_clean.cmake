@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_btio_classD"
+  "../bench/fig10_btio_classD.pdb"
+  "CMakeFiles/fig10_btio_classD.dir/fig10_btio_classD.cpp.o"
+  "CMakeFiles/fig10_btio_classD.dir/fig10_btio_classD.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_btio_classD.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_btio_classD.
+# This may be replaced when dependencies are built.

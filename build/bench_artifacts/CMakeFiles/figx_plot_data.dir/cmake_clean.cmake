@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figx_plot_data"
+  "../bench/figx_plot_data.pdb"
+  "CMakeFiles/figx_plot_data.dir/figx_plot_data.cpp.o"
+  "CMakeFiles/figx_plot_data.dir/figx_plot_data.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figx_plot_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

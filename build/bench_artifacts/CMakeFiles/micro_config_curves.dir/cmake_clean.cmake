@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_config_curves"
+  "../bench/micro_config_curves.pdb"
+  "CMakeFiles/micro_config_curves.dir/micro_config_curves.cpp.o"
+  "CMakeFiles/micro_config_curves.dir/micro_config_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_config_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

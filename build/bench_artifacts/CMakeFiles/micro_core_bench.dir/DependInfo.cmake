@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_core_bench.cpp" "bench_artifacts/CMakeFiles/micro_core_bench.dir/micro_core_bench.cpp.o" "gcc" "bench_artifacts/CMakeFiles/micro_core_bench.dir/micro_core_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/iop_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iop_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

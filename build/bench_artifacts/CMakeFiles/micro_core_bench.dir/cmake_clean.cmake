@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_core_bench"
+  "../bench/micro_core_bench.pdb"
+  "CMakeFiles/micro_core_bench.dir/micro_core_bench.cpp.o"
+  "CMakeFiles/micro_core_bench.dir/micro_core_bench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_core_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab08_madbench_phases"
+  "../bench/tab08_madbench_phases.pdb"
+  "CMakeFiles/tab08_madbench_phases.dir/tab08_madbench_phases.cpp.o"
+  "CMakeFiles/tab08_madbench_phases.dir/tab08_madbench_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_madbench_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab09_usage_confA"
+  "../bench/tab09_usage_confA.pdb"
+  "CMakeFiles/tab09_usage_confA.dir/tab09_usage_confA.cpp.o"
+  "CMakeFiles/tab09_usage_confA.dir/tab09_usage_confA.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab09_usage_confA.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab09_usage_confA.
+# This may be replaced when dependencies are built.

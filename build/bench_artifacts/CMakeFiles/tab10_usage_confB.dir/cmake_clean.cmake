@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab10_usage_confB"
+  "../bench/tab10_usage_confB.pdb"
+  "CMakeFiles/tab10_usage_confB.dir/tab10_usage_confB.cpp.o"
+  "CMakeFiles/tab10_usage_confB.dir/tab10_usage_confB.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab10_usage_confB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab10_usage_confB.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab11_btio_phase_desc"
+  "../bench/tab11_btio_phase_desc.pdb"
+  "CMakeFiles/tab11_btio_phase_desc.dir/tab11_btio_phase_desc.cpp.o"
+  "CMakeFiles/tab11_btio_phase_desc.dir/tab11_btio_phase_desc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab11_btio_phase_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

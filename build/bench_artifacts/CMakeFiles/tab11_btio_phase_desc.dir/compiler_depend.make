@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab11_btio_phase_desc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab11_btio_phase_desc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab12_selection"
+  "../bench/tab12_selection.pdb"
+  "CMakeFiles/tab12_selection.dir/tab12_selection.cpp.o"
+  "CMakeFiles/tab12_selection.dir/tab12_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab12_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab13_error_confC"
+  "../bench/tab13_error_confC.pdb"
+  "CMakeFiles/tab13_error_confC.dir/tab13_error_confC.cpp.o"
+  "CMakeFiles/tab13_error_confC.dir/tab13_error_confC.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab13_error_confC.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

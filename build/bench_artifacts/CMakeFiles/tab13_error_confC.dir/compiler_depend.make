@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab13_error_confC.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab13_error_confC.
+# This may be replaced when dependencies are built.

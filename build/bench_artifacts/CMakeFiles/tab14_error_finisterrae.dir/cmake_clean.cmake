@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab14_error_finisterrae"
+  "../bench/tab14_error_finisterrae.pdb"
+  "CMakeFiles/tab14_error_finisterrae.dir/tab14_error_finisterrae.cpp.o"
+  "CMakeFiles/tab14_error_finisterrae.dir/tab14_error_finisterrae.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab14_error_finisterrae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab14_error_finisterrae.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabx_ablation_tick"
+  "../bench/tabx_ablation_tick.pdb"
+  "CMakeFiles/tabx_ablation_tick.dir/tabx_ablation_tick.cpp.o"
+  "CMakeFiles/tabx_ablation_tick.dir/tabx_ablation_tick.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabx_ablation_tick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

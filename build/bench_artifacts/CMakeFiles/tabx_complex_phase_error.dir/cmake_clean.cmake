@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabx_complex_phase_error"
+  "../bench/tabx_complex_phase_error.pdb"
+  "CMakeFiles/tabx_complex_phase_error.dir/tabx_complex_phase_error.cpp.o"
+  "CMakeFiles/tabx_complex_phase_error.dir/tabx_complex_phase_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabx_complex_phase_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

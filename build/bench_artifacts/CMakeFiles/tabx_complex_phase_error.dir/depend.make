@@ -1,0 +1,2 @@
+# Empty dependencies file for tabx_complex_phase_error.
+# This may be replaced when dependencies are built.

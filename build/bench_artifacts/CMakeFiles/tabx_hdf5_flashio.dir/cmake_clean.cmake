@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabx_hdf5_flashio"
+  "../bench/tabx_hdf5_flashio.pdb"
+  "CMakeFiles/tabx_hdf5_flashio.dir/tabx_hdf5_flashio.cpp.o"
+  "CMakeFiles/tabx_hdf5_flashio.dir/tabx_hdf5_flashio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabx_hdf5_flashio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tabx_hdf5_flashio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tabx_hdf5_flashio.
+# This may be replaced when dependencies are built.

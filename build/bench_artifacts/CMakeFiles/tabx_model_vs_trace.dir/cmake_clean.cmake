@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabx_model_vs_trace"
+  "../bench/tabx_model_vs_trace.pdb"
+  "CMakeFiles/tabx_model_vs_trace.dir/tabx_model_vs_trace.cpp.o"
+  "CMakeFiles/tabx_model_vs_trace.dir/tabx_model_vs_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabx_model_vs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tabx_model_vs_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabx_multifile_model"
+  "../bench/tabx_multifile_model.pdb"
+  "CMakeFiles/tabx_multifile_model.dir/tabx_multifile_model.cpp.o"
+  "CMakeFiles/tabx_multifile_model.dir/tabx_multifile_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabx_multifile_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

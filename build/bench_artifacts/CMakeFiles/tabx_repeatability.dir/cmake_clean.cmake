@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabx_repeatability"
+  "../bench/tabx_repeatability.pdb"
+  "CMakeFiles/tabx_repeatability.dir/tabx_repeatability.cpp.o"
+  "CMakeFiles/tabx_repeatability.dir/tabx_repeatability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabx_repeatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

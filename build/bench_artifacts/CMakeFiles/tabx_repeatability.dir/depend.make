@@ -1,0 +1,2 @@
+# Empty dependencies file for tabx_repeatability.
+# This may be replaced when dependencies are built.

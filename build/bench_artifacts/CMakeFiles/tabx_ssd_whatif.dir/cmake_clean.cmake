@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tabx_ssd_whatif"
+  "../bench/tabx_ssd_whatif.pdb"
+  "CMakeFiles/tabx_ssd_whatif.dir/tabx_ssd_whatif.cpp.o"
+  "CMakeFiles/tabx_ssd_whatif.dir/tabx_ssd_whatif.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabx_ssd_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

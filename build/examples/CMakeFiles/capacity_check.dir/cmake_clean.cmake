@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_check.dir/capacity_check.cpp.o"
+  "CMakeFiles/capacity_check.dir/capacity_check.cpp.o.d"
+  "capacity_check"
+  "capacity_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

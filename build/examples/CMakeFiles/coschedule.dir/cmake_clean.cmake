@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coschedule.dir/coschedule.cpp.o"
+  "CMakeFiles/coschedule.dir/coschedule.cpp.o.d"
+  "coschedule"
+  "coschedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

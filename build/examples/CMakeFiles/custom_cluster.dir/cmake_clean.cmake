@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_cluster.dir/custom_cluster.cpp.o"
+  "CMakeFiles/custom_cluster.dir/custom_cluster.cpp.o.d"
+  "custom_cluster"
+  "custom_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdf5_checkpoint.dir/hdf5_checkpoint.cpp.o"
+  "CMakeFiles/hdf5_checkpoint.dir/hdf5_checkpoint.cpp.o.d"
+  "hdf5_checkpoint"
+  "hdf5_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdf5_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_storage.dir/select_storage.cpp.o"
+  "CMakeFiles/select_storage.dir/select_storage.cpp.o.d"
+  "select_storage"
+  "select_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

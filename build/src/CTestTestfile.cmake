@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("storage")
+subdirs("mpi")
+subdirs("trace")
+subdirs("hdf5")
+subdirs("core")
+subdirs("ior")
+subdirs("iozone")
+subdirs("monitor")
+subdirs("apps")
+subdirs("configs")
+subdirs("analysis")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/evaluate.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/evaluate.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/evaluate.cpp.o.d"
+  "/root/repo/src/analysis/multiop.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/multiop.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/multiop.cpp.o.d"
+  "/root/repo/src/analysis/peaks.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/peaks.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/peaks.cpp.o.d"
+  "/root/repo/src/analysis/planner.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/planner.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/planner.cpp.o.d"
+  "/root/repo/src/analysis/replay.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/replay.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/replay.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/runner.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/runner.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/runner.cpp.o.d"
+  "/root/repo/src/analysis/synthesize.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/synthesize.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/synthesize.cpp.o.d"
+  "/root/repo/src/analysis/trace_replay.cpp" "src/analysis/CMakeFiles/iop_analysis.dir/trace_replay.cpp.o" "gcc" "src/analysis/CMakeFiles/iop_analysis.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/configs/CMakeFiles/iop_configs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ior/CMakeFiles/iop_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/iozone/CMakeFiles/iop_iozone.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/iop_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iop_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_analysis.dir/evaluate.cpp.o"
+  "CMakeFiles/iop_analysis.dir/evaluate.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/multiop.cpp.o"
+  "CMakeFiles/iop_analysis.dir/multiop.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/peaks.cpp.o"
+  "CMakeFiles/iop_analysis.dir/peaks.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/planner.cpp.o"
+  "CMakeFiles/iop_analysis.dir/planner.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/replay.cpp.o"
+  "CMakeFiles/iop_analysis.dir/replay.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/report.cpp.o"
+  "CMakeFiles/iop_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/runner.cpp.o"
+  "CMakeFiles/iop_analysis.dir/runner.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/synthesize.cpp.o"
+  "CMakeFiles/iop_analysis.dir/synthesize.cpp.o.d"
+  "CMakeFiles/iop_analysis.dir/trace_replay.cpp.o"
+  "CMakeFiles/iop_analysis.dir/trace_replay.cpp.o.d"
+  "libiop_analysis.a"
+  "libiop_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/btio.cpp" "src/apps/CMakeFiles/iop_apps.dir/btio.cpp.o" "gcc" "src/apps/CMakeFiles/iop_apps.dir/btio.cpp.o.d"
+  "/root/repo/src/apps/flash_io.cpp" "src/apps/CMakeFiles/iop_apps.dir/flash_io.cpp.o" "gcc" "src/apps/CMakeFiles/iop_apps.dir/flash_io.cpp.o.d"
+  "/root/repo/src/apps/madbench.cpp" "src/apps/CMakeFiles/iop_apps.dir/madbench.cpp.o" "gcc" "src/apps/CMakeFiles/iop_apps.dir/madbench.cpp.o.d"
+  "/root/repo/src/apps/roms.cpp" "src/apps/CMakeFiles/iop_apps.dir/roms.cpp.o" "gcc" "src/apps/CMakeFiles/iop_apps.dir/roms.cpp.o.d"
+  "/root/repo/src/apps/strided_example.cpp" "src/apps/CMakeFiles/iop_apps.dir/strided_example.cpp.o" "gcc" "src/apps/CMakeFiles/iop_apps.dir/strided_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdf5/CMakeFiles/iop_hdf5.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/iop_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iop_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

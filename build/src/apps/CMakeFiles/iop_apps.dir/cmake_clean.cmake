@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_apps.dir/btio.cpp.o"
+  "CMakeFiles/iop_apps.dir/btio.cpp.o.d"
+  "CMakeFiles/iop_apps.dir/flash_io.cpp.o"
+  "CMakeFiles/iop_apps.dir/flash_io.cpp.o.d"
+  "CMakeFiles/iop_apps.dir/madbench.cpp.o"
+  "CMakeFiles/iop_apps.dir/madbench.cpp.o.d"
+  "CMakeFiles/iop_apps.dir/roms.cpp.o"
+  "CMakeFiles/iop_apps.dir/roms.cpp.o.d"
+  "CMakeFiles/iop_apps.dir/strided_example.cpp.o"
+  "CMakeFiles/iop_apps.dir/strided_example.cpp.o.d"
+  "libiop_apps.a"
+  "libiop_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

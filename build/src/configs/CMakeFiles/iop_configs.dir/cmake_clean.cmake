@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_configs.dir/configfile.cpp.o"
+  "CMakeFiles/iop_configs.dir/configfile.cpp.o.d"
+  "CMakeFiles/iop_configs.dir/configs.cpp.o"
+  "CMakeFiles/iop_configs.dir/configs.cpp.o.d"
+  "libiop_configs.a"
+  "libiop_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

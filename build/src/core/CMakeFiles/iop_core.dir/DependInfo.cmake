@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compare.cpp" "src/core/CMakeFiles/iop_core.dir/compare.cpp.o" "gcc" "src/core/CMakeFiles/iop_core.dir/compare.cpp.o.d"
+  "/root/repo/src/core/iomodel.cpp" "src/core/CMakeFiles/iop_core.dir/iomodel.cpp.o" "gcc" "src/core/CMakeFiles/iop_core.dir/iomodel.cpp.o.d"
+  "/root/repo/src/core/lap.cpp" "src/core/CMakeFiles/iop_core.dir/lap.cpp.o" "gcc" "src/core/CMakeFiles/iop_core.dir/lap.cpp.o.d"
+  "/root/repo/src/core/offsetfn.cpp" "src/core/CMakeFiles/iop_core.dir/offsetfn.cpp.o" "gcc" "src/core/CMakeFiles/iop_core.dir/offsetfn.cpp.o.d"
+  "/root/repo/src/core/phase.cpp" "src/core/CMakeFiles/iop_core.dir/phase.cpp.o" "gcc" "src/core/CMakeFiles/iop_core.dir/phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/iop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/iop_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iop_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_core.dir/compare.cpp.o"
+  "CMakeFiles/iop_core.dir/compare.cpp.o.d"
+  "CMakeFiles/iop_core.dir/iomodel.cpp.o"
+  "CMakeFiles/iop_core.dir/iomodel.cpp.o.d"
+  "CMakeFiles/iop_core.dir/lap.cpp.o"
+  "CMakeFiles/iop_core.dir/lap.cpp.o.d"
+  "CMakeFiles/iop_core.dir/offsetfn.cpp.o"
+  "CMakeFiles/iop_core.dir/offsetfn.cpp.o.d"
+  "CMakeFiles/iop_core.dir/phase.cpp.o"
+  "CMakeFiles/iop_core.dir/phase.cpp.o.d"
+  "libiop_core.a"
+  "libiop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_hdf5.dir/h5.cpp.o"
+  "CMakeFiles/iop_hdf5.dir/h5.cpp.o.d"
+  "libiop_hdf5.a"
+  "libiop_hdf5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_hdf5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

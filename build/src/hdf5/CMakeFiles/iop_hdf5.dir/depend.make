@@ -1,0 +1,2 @@
+# Empty dependencies file for iop_hdf5.
+# This may be replaced when dependencies are built.

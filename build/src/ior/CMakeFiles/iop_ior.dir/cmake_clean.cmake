@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_ior.dir/ior.cpp.o"
+  "CMakeFiles/iop_ior.dir/ior.cpp.o.d"
+  "libiop_ior.a"
+  "libiop_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

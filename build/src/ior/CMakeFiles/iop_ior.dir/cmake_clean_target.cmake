@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiop_ior.a"
+)

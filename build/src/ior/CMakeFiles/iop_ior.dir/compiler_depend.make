@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iop_ior.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_iozone.dir/iozone.cpp.o"
+  "CMakeFiles/iop_iozone.dir/iozone.cpp.o.d"
+  "libiop_iozone.a"
+  "libiop_iozone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_iozone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/iop_monitor.dir/monitor.cpp.o.d"
+  "libiop_monitor.a"
+  "libiop_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/iop_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/iop_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/file.cpp" "src/mpi/CMakeFiles/iop_mpi.dir/file.cpp.o" "gcc" "src/mpi/CMakeFiles/iop_mpi.dir/file.cpp.o.d"
+  "/root/repo/src/mpi/rank.cpp" "src/mpi/CMakeFiles/iop_mpi.dir/rank.cpp.o" "gcc" "src/mpi/CMakeFiles/iop_mpi.dir/rank.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/mpi/CMakeFiles/iop_mpi.dir/runtime.cpp.o" "gcc" "src/mpi/CMakeFiles/iop_mpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/iop_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

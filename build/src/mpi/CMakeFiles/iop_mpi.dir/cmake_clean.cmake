@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_mpi.dir/comm.cpp.o"
+  "CMakeFiles/iop_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/iop_mpi.dir/file.cpp.o"
+  "CMakeFiles/iop_mpi.dir/file.cpp.o.d"
+  "CMakeFiles/iop_mpi.dir/rank.cpp.o"
+  "CMakeFiles/iop_mpi.dir/rank.cpp.o.d"
+  "CMakeFiles/iop_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/iop_mpi.dir/runtime.cpp.o.d"
+  "libiop_mpi.a"
+  "libiop_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

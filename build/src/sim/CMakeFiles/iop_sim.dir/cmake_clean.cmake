@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_sim.dir/engine.cpp.o"
+  "CMakeFiles/iop_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/iop_sim.dir/sync.cpp.o"
+  "CMakeFiles/iop_sim.dir/sync.cpp.o.d"
+  "libiop_sim.a"
+  "libiop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

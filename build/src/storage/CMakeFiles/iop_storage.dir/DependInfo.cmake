@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blockdev.cpp" "src/storage/CMakeFiles/iop_storage.dir/blockdev.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/blockdev.cpp.o.d"
+  "/root/repo/src/storage/cache.cpp" "src/storage/CMakeFiles/iop_storage.dir/cache.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/cache.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/iop_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/disk.cpp.o.d"
+  "/root/repo/src/storage/filesystem.cpp" "src/storage/CMakeFiles/iop_storage.dir/filesystem.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/filesystem.cpp.o.d"
+  "/root/repo/src/storage/network.cpp" "src/storage/CMakeFiles/iop_storage.dir/network.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/network.cpp.o.d"
+  "/root/repo/src/storage/server.cpp" "src/storage/CMakeFiles/iop_storage.dir/server.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/server.cpp.o.d"
+  "/root/repo/src/storage/ssd.cpp" "src/storage/CMakeFiles/iop_storage.dir/ssd.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/ssd.cpp.o.d"
+  "/root/repo/src/storage/topology.cpp" "src/storage/CMakeFiles/iop_storage.dir/topology.cpp.o" "gcc" "src/storage/CMakeFiles/iop_storage.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_storage.dir/blockdev.cpp.o"
+  "CMakeFiles/iop_storage.dir/blockdev.cpp.o.d"
+  "CMakeFiles/iop_storage.dir/cache.cpp.o"
+  "CMakeFiles/iop_storage.dir/cache.cpp.o.d"
+  "CMakeFiles/iop_storage.dir/disk.cpp.o"
+  "CMakeFiles/iop_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/iop_storage.dir/filesystem.cpp.o"
+  "CMakeFiles/iop_storage.dir/filesystem.cpp.o.d"
+  "CMakeFiles/iop_storage.dir/network.cpp.o"
+  "CMakeFiles/iop_storage.dir/network.cpp.o.d"
+  "CMakeFiles/iop_storage.dir/server.cpp.o"
+  "CMakeFiles/iop_storage.dir/server.cpp.o.d"
+  "CMakeFiles/iop_storage.dir/ssd.cpp.o"
+  "CMakeFiles/iop_storage.dir/ssd.cpp.o.d"
+  "CMakeFiles/iop_storage.dir/topology.cpp.o"
+  "CMakeFiles/iop_storage.dir/topology.cpp.o.d"
+  "libiop_storage.a"
+  "libiop_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

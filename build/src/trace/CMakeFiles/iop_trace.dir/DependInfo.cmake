@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/summary.cpp" "src/trace/CMakeFiles/iop_trace.dir/summary.cpp.o" "gcc" "src/trace/CMakeFiles/iop_trace.dir/summary.cpp.o.d"
+  "/root/repo/src/trace/tracefile.cpp" "src/trace/CMakeFiles/iop_trace.dir/tracefile.cpp.o" "gcc" "src/trace/CMakeFiles/iop_trace.dir/tracefile.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/iop_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/iop_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/iop_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iop_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_trace.dir/summary.cpp.o"
+  "CMakeFiles/iop_trace.dir/summary.cpp.o.d"
+  "CMakeFiles/iop_trace.dir/tracefile.cpp.o"
+  "CMakeFiles/iop_trace.dir/tracefile.cpp.o.d"
+  "CMakeFiles/iop_trace.dir/tracer.cpp.o"
+  "CMakeFiles/iop_trace.dir/tracer.cpp.o.d"
+  "libiop_trace.a"
+  "libiop_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_util.dir/args.cpp.o"
+  "CMakeFiles/iop_util.dir/args.cpp.o.d"
+  "CMakeFiles/iop_util.dir/intervals.cpp.o"
+  "CMakeFiles/iop_util.dir/intervals.cpp.o.d"
+  "CMakeFiles/iop_util.dir/rng.cpp.o"
+  "CMakeFiles/iop_util.dir/rng.cpp.o.d"
+  "CMakeFiles/iop_util.dir/table.cpp.o"
+  "CMakeFiles/iop_util.dir/table.cpp.o.d"
+  "CMakeFiles/iop_util.dir/text.cpp.o"
+  "CMakeFiles/iop_util.dir/text.cpp.o.d"
+  "CMakeFiles/iop_util.dir/units.cpp.o"
+  "CMakeFiles/iop_util.dir/units.cpp.o.d"
+  "libiop_util.a"
+  "libiop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configfile_test.dir/configfile_test.cpp.o"
+  "CMakeFiles/configfile_test.dir/configfile_test.cpp.o.d"
+  "configfile_test"
+  "configfile_test.pdb"
+  "configfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configs_test.dir/configs_test.cpp.o"
+  "CMakeFiles/configs_test.dir/configs_test.cpp.o.d"
+  "configs_test"
+  "configs_test.pdb"
+  "configs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdf5_test.dir/hdf5_test.cpp.o"
+  "CMakeFiles/hdf5_test.dir/hdf5_test.cpp.o.d"
+  "hdf5_test"
+  "hdf5_test.pdb"
+  "hdf5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdf5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ior_test.dir/ior_test.cpp.o"
+  "CMakeFiles/ior_test.dir/ior_test.cpp.o.d"
+  "ior_test"
+  "ior_test.pdb"
+  "ior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iozone_test.dir/iozone_test.cpp.o"
+  "CMakeFiles/iozone_test.dir/iozone_test.cpp.o.d"
+  "iozone_test"
+  "iozone_test.pdb"
+  "iozone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iozone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-compare.dir/iop_compare.cpp.o"
+  "CMakeFiles/iop-compare.dir/iop_compare.cpp.o.d"
+  "iop-compare"
+  "iop-compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

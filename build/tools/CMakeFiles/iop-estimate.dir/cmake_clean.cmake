@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-estimate.dir/iop_estimate.cpp.o"
+  "CMakeFiles/iop-estimate.dir/iop_estimate.cpp.o.d"
+  "iop-estimate"
+  "iop-estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

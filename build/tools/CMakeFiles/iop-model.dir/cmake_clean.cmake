@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-model.dir/iop_model.cpp.o"
+  "CMakeFiles/iop-model.dir/iop_model.cpp.o.d"
+  "iop-model"
+  "iop-model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-monitor.dir/iop_monitor.cpp.o"
+  "CMakeFiles/iop-monitor.dir/iop_monitor.cpp.o.d"
+  "iop-monitor"
+  "iop-monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-peaks.dir/iop_peaks.cpp.o"
+  "CMakeFiles/iop-peaks.dir/iop_peaks.cpp.o.d"
+  "iop-peaks"
+  "iop-peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

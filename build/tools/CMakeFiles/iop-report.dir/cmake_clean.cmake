@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-report.dir/iop_report.cpp.o"
+  "CMakeFiles/iop-report.dir/iop_report.cpp.o.d"
+  "iop-report"
+  "iop-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

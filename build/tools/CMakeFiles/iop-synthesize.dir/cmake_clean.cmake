@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-synthesize.dir/iop_synthesize.cpp.o"
+  "CMakeFiles/iop-synthesize.dir/iop_synthesize.cpp.o.d"
+  "iop-synthesize"
+  "iop-synthesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-synthesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

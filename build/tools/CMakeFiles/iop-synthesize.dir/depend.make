@@ -1,0 +1,2 @@
+# Empty dependencies file for iop-synthesize.
+# This may be replaced when dependencies are built.

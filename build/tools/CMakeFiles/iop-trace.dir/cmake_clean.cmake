@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop-trace.dir/iop_trace.cpp.o"
+  "CMakeFiles/iop-trace.dir/iop_trace.cpp.o.d"
+  "iop-trace"
+  "iop-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

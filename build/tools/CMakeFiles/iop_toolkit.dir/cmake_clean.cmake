@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_toolkit.dir/toolkit.cpp.o"
+  "CMakeFiles/iop_toolkit.dir/toolkit.cpp.o.d"
+  "libiop_toolkit.a"
+  "libiop_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iop_toolkit.
+# This may be replaced when dependencies are built.

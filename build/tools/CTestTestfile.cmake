@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_pipeline "/usr/bin/cmake" "-DTRACE=/root/repo/build/tools/iop-trace" "-DMODEL=/root/repo/build/tools/iop-model" "-DESTIMATE=/root/repo/build/tools/iop-estimate" "-DSYNTH=/root/repo/build/tools/iop-synthesize" "-DWORKDIR=/root/repo/build/pipeline_smoke" "-P" "/root/repo/tools/pipeline_test.cmake")
+set_tests_properties(tools_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
