@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/profiler.hpp"
+
 namespace iop::analysis {
 
 std::string ReplayPlanEntry::cacheKey() const {
@@ -54,6 +56,7 @@ ReplayPlanEntry planReplay(const core::IOModel& model,
 
 PhaseBandwidth Replayer::measure(const core::IOModel& model,
                                  const core::Phase& phase) {
+  IOP_PROFILE_SCOPE("replay.measure");
   auto entry = planReplay(model, phase, mount_);
   const std::string key = entry.cacheKey();
   auto it = cache_.find(key);

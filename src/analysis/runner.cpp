@@ -1,5 +1,7 @@
 #include "analysis/runner.hpp"
 
+#include "obs/profiler.hpp"
+
 namespace iop::analysis {
 
 AppRun runAndTrace(configs::ClusterConfig& cluster,
@@ -9,7 +11,10 @@ AppRun runAndTrace(configs::ClusterConfig& cluster,
   auto opts = cluster.runtimeOptions(np, &tracer);
   mpi::Runtime runtime(*cluster.topology, opts);
   AppRun run;
-  run.makespanSeconds = runtime.runToCompletion(std::move(main));
+  {
+    IOP_PROFILE_SCOPE("app.run");
+    run.makespanSeconds = runtime.runToCompletion(std::move(main));
+  }
   run.trace = tracer.takeData();
   run.model = core::extractModel(run.trace, options);
   return run;

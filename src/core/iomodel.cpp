@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "util/text.hpp"
 #include "util/units.hpp"
 
@@ -240,6 +241,7 @@ IOModel IOModel::load(const std::filesystem::path& path) {
 
 IOModel extractModel(const trace::TraceData& data,
                      const PhaseDetectionOptions& options) {
+  IOP_PROFILE_SCOPE("model.extract");
   return IOModel(data.appName, data.np, data.files,
                  detectPhases(data, options));
 }

@@ -1,5 +1,7 @@
 #include "core/lap.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
@@ -163,6 +165,7 @@ std::vector<Segment> segmentGreedy(const std::vector<trace::Record>& r,
 
 std::vector<Segment> segmentRecords(const std::vector<trace::Record>& records,
                                     const SegmentOptions& options) {
+  IOP_PROFILE_SCOPE("lap.segment");
   requireHomogeneous(records);
   if (options.maxCycle < 1) {
     throw std::invalid_argument("maxCycle must be >= 1");

@@ -1,5 +1,7 @@
 #include "core/phase.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 #include <map>
 #include <sstream>
@@ -120,6 +122,7 @@ std::string Phase::opTypeLabel() const {
 
 std::vector<Phase> detectPhases(const trace::TraceData& data,
                                 const PhaseDetectionOptions& options) {
+  IOP_PROFILE_SCOPE("phase.group");
   // 1. Per (rank, file): segment + tick-split into local phases.
   std::vector<LocalPhase> locals;
   for (int rank = 0; rank < data.np; ++rank) {

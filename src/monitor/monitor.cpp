@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/hub.hpp"
+
 namespace iop::monitor {
 
 DeviceMonitor::DeviceMonitor(sim::Engine& engine,
@@ -48,8 +50,38 @@ sim::Task<void> DeviceMonitor::samplerLoop() {
       base.bytesWritten = c.bytesWritten;
       base.busyIntegral = busy;
     }
+    observeSample(sample);
     samples_.push_back(std::move(sample));
   }
+}
+
+/// Mirror one iostat sample into the observability layer: the Fig.-8 data
+/// appears as counter tracks on the same device tracks that carry the disk
+/// request spans, plus peak-utilization metrics.
+void DeviceMonitor::observeSample(const Sample& sample) {
+  obs::Hub* o = engine_.obs();
+  if (o == nullptr) return;
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    const auto& ds = sample.disks[i];
+    if (o->trace != nullptr) {
+      // Same (kind, name) key as the disk's own spans -> same track.
+      const int tid = o->trace->track(obs::TrackKind::Device,
+                                      disks_[i]->params().name);
+      o->trace->counterSample(obs::TrackKind::Device, tid, "sectors_r/s",
+                              sample.time, ds.sectorsReadPerSec);
+      o->trace->counterSample(obs::TrackKind::Device, tid, "sectors_w/s",
+                              sample.time, ds.sectorsWrittenPerSec);
+      o->trace->counterSample(obs::TrackKind::Device, tid, "util %",
+                              sample.time, ds.utilization * 100.0);
+    }
+    if (o->metrics != nullptr) {
+      auto& peak =
+          o->metrics->gauge("monitor." + disks_[i]->params().name +
+                            ".peak_utilization");
+      if (ds.utilization > peak.value()) peak.set(ds.utilization);
+    }
+  }
+  if (o->metrics != nullptr) o->metrics->counter("monitor.samples").add(1);
 }
 
 std::string DeviceMonitor::renderCsv() const {

@@ -52,6 +52,7 @@ class DeviceMonitor {
 
  private:
   sim::Task<void> samplerLoop();
+  void observeSample(const Sample& sample);
 
   sim::Engine& engine_;
   std::vector<storage::Disk*> disks_;

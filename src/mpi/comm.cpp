@@ -4,10 +4,31 @@
 #include <stdexcept>
 
 #include "mpi/rank.hpp"
+#include "obs/hub.hpp"
 
 namespace iop::mpi {
 
 namespace {
+
+/// Span + wait-time histogram for one completed collective on `rank`.
+/// Runs after the rendezvous, so the duration includes the wait for the
+/// slowest member — the "barrier/collective wait" cost centre.
+void observeCollective(Rank& rank, const char* op, double entry) {
+  obs::Hub* o = rank.engine().obs();
+  if (o == nullptr) return;
+  const double now = rank.engine().now();
+  if (o->trace != nullptr) {
+    o->trace->span(obs::TrackKind::Rank, rank.obsTrack(), op, "mpi.coll",
+                   entry, now);
+  }
+  if (o->metrics != nullptr) {
+    o->metrics
+        ->histogram("mpi.collective_wait_seconds",
+                    obs::latencyBucketsSeconds())
+        .observe(now - entry);
+    o->metrics->counter("mpi.collectives").add(1);
+  }
+}
 
 /// Pure-delay collective cost body (barrier/bcast/allreduce trees).
 class DelayBody final : public CollectiveBody {
@@ -71,21 +92,27 @@ sim::Task<void> Comm::rendezvous(Rank& rank, CollectiveBody* body) {
 }
 
 sim::Task<void> Comm::barrier(Rank& rank) {
-  rank.noteCommEvent("MPI_Barrier");
+  rank.noteCommEvent("MPI_Barrier", false);
+  const double entry = engine_.now();
   DelayBody body(engine_, treeCost(0));
   co_await rendezvous(rank, &body);
+  observeCollective(rank, "MPI_Barrier", entry);
 }
 
 sim::Task<void> Comm::bcast(Rank& rank, std::uint64_t bytes) {
-  rank.noteCommEvent("MPI_Bcast");
+  rank.noteCommEvent("MPI_Bcast", false);
+  const double entry = engine_.now();
   DelayBody body(engine_, treeCost(bytes));
   co_await rendezvous(rank, &body);
+  observeCollective(rank, "MPI_Bcast", entry);
 }
 
 sim::Task<void> Comm::allreduce(Rank& rank, std::uint64_t bytes) {
-  rank.noteCommEvent("MPI_Allreduce");
+  rank.noteCommEvent("MPI_Allreduce", false);
+  const double entry = engine_.now();
   DelayBody body(engine_, 2 * treeCost(bytes));
   co_await rendezvous(rank, &body);
+  observeCollective(rank, "MPI_Allreduce", entry);
 }
 
 }  // namespace iop::mpi

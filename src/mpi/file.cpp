@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
 
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/hub.hpp"
 #include "sim/sync.hpp"
 
 namespace iop::mpi {
@@ -195,6 +197,29 @@ void File::emitTrace(const char* opName, std::uint64_t offsetEtypes,
     rec.time = entry;
     rec.duration = rank_.engine().now() - entry;
     sink->onIoCall(rec);
+  }
+  // Same seam feeds the observability layer: one span per MPI-IO call on
+  // the rank's track plus byte/latency metrics.
+  if (obs::Hub* o = rank_.engine().obs(); o != nullptr) {
+    const double now = rank_.engine().now();
+    const bool isWrite = std::string_view(opName).find("write") !=
+                         std::string_view::npos;
+    if (o->trace != nullptr) {
+      o->trace->span(obs::TrackKind::Rank, rank_.obsTrack(), opName,
+                     "mpi.io", entry, now,
+                     "\"file\":" + std::to_string(shared_->logicalId()) +
+                         ",\"offset\":" + std::to_string(offsetEtypes) +
+                         ",\"bytes\":" + std::to_string(bytes) +
+                         ",\"tick\":" + std::to_string(tick));
+    }
+    if (o->metrics != nullptr) {
+      o->metrics
+          ->counter(isWrite ? "mpi.io.bytes_written" : "mpi.io.bytes_read")
+          .add(static_cast<double>(bytes));
+      o->metrics
+          ->histogram("mpi.io.op_seconds", obs::latencyBucketsSeconds())
+          .observe(now - entry);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include "mpi/comm.hpp"
 #include "mpi/file.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/hub.hpp"
 
 namespace iop::mpi {
 
@@ -39,11 +40,27 @@ sim::Task<void> Rank::recv(int sourceRank, std::uint64_t bytes) {
   return runtime_.awaitMessage(*this, sourceRank, bytes);
 }
 
-void Rank::noteCommEvent(const std::string& op) {
+void Rank::noteCommEvent(const std::string& op, bool obsInstant) {
   const std::uint64_t t = bumpTick();
   if (TraceSink* sink = traceSink()) {
     sink->onCommEvent(id_, t, op, engine().now());
   }
+  if (obsInstant) {
+    if (obs::Hub* o = engine().obs(); o != nullptr && o->trace != nullptr) {
+      o->trace->instant(obs::TrackKind::Rank, obsTrack(), op, "mpi.comm",
+                        engine().now(),
+                        "\"tick\":" + std::to_string(t));
+    }
+  }
+}
+
+int Rank::obsTrack() {
+  if (obsTrack_ < 0) {
+    obs::Hub* o = engine().obs();
+    if (o == nullptr || o->trace == nullptr) return 0;
+    obsTrack_ = o->trace->rankTrack(id_);
+  }
+  return obsTrack_;
 }
 
 TraceSink* Rank::traceSink() noexcept { return runtime_.sink(); }

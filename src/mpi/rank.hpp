@@ -62,14 +62,20 @@ class Rank {
 
   /// --- internal hooks (used by Comm/File) ---
   std::uint64_t bumpTick() noexcept { return ++tick_; }
-  void noteCommEvent(const std::string& op);
+  /// Record a non-I/O MPI event.  `obsInstant` is false when the caller
+  /// emits its own richer span for the event (collectives in Comm).
+  void noteCommEvent(const std::string& op, bool obsInstant = true);
   TraceSink* traceSink() noexcept;
+
+  /// Cached Chrome-trace track id for this rank (-1 until first use).
+  int obsTrack();
 
  private:
   Runtime& runtime_;
   int id_;
   storage::Node& node_;
   std::uint64_t tick_ = 0;
+  int obsTrack_ = -1;
 };
 
 }  // namespace iop::mpi

@@ -1,0 +1,43 @@
+// Attachment point for simulation-wide observability.
+//
+// A Hub bundles the two optional sinks — a TraceRecorder (timeline spans,
+// instants, counter tracks) and a MetricsRegistry (named counters, gauges,
+// histograms).  Instrumented components reach the hub through their
+// sim::Engine (`engine.obs()`), which is null unless a caller attached one,
+// so the only cost of instrumentation in an unobserved run is a pointer
+// test.  Recording must never perturb the simulation: hub users may not
+// touch Engine::rng() or schedule/reorder events.
+//
+// Session is the convenience owner used by tools and tests: it owns one
+// recorder + one registry and exposes the Hub view to attach to engines.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace iop::obs {
+
+struct Hub {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool wantsTrace() const noexcept { return trace != nullptr; }
+  bool wantsMetrics() const noexcept { return metrics != nullptr; }
+};
+
+/// Owns one recorder and one registry; hand `hub()` to Engine::setObs.
+class Session {
+ public:
+  Session() { hub_.trace = &recorder_; hub_.metrics = &metrics_; }
+
+  Hub* hub() noexcept { return &hub_; }
+  TraceRecorder& recorder() noexcept { return recorder_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+ private:
+  TraceRecorder recorder_;
+  MetricsRegistry metrics_;
+  Hub hub_;
+};
+
+}  // namespace iop::obs

@@ -1,0 +1,80 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace iop::obs {
+
+Profiler& Profiler::global() {
+  static Profiler instance;
+  return instance;
+}
+
+void Profiler::attachTrace(TraceRecorder* recorder) {
+  recorder_ = recorder;
+  epoch_ = Clock::now();
+}
+
+void Profiler::record(const std::string& name, double seconds) {
+  auto& s = stats_[name];
+  if (s.calls == 0) {
+    s.minSec = seconds;
+    s.maxSec = seconds;
+  } else {
+    s.minSec = std::min(s.minSec, seconds);
+    s.maxSec = std::max(s.maxSec, seconds);
+  }
+  ++s.calls;
+  s.totalSec += seconds;
+}
+
+void Profiler::reset() {
+  stats_.clear();
+}
+
+void Profiler::emitSpan(const std::string& name, Clock::time_point begin,
+                        Clock::time_point end) {
+  if (recorder_ == nullptr) return;
+  auto sec = [this](Clock::time_point t) {
+    return std::chrono::duration<double>(t - epoch_).count();
+  };
+  const int tid = recorder_->track(TrackKind::Profiler, "pipeline");
+  recorder_->span(TrackKind::Profiler, tid, name, "profile",
+                  std::max(0.0, sec(begin)), std::max(0.0, sec(end)));
+}
+
+Profiler::Scope::~Scope() {
+  const auto end = Clock::now();
+  const double seconds = std::chrono::duration<double>(end - start_).count();
+  profiler_->record(name_, seconds);
+  profiler_->emitSpan(name_, start_, end);
+}
+
+std::string Profiler::renderReport() const {
+  std::vector<std::pair<std::string, ProfileStats>> rows(stats_.begin(),
+                                                         stats_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.totalSec != b.second.totalSec) {
+      return a.second.totalSec > b.second.totalSec;
+    }
+    return a.first < b.first;
+  });
+  std::ostringstream out;
+  out << "section                        calls     total ms      mean ms\n";
+  char buf[160];
+  for (const auto& [name, s] : rows) {
+    std::snprintf(buf, sizeof buf, "%-28s %7llu %12.3f %12.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(s.calls),
+                  s.totalSec * 1e3,
+                  s.calls ? s.totalSec * 1e3 / static_cast<double>(s.calls)
+                          : 0.0);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace iop::obs

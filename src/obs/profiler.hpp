@@ -1,0 +1,90 @@
+// Wall-clock profiler for the analysis pipeline (RAII scoped timers).
+//
+// Unlike the TraceRecorder and MetricsRegistry — which observe *simulated*
+// time and must stay deterministic — the profiler measures real elapsed
+// time of the host process: trace parsing, LAP segmentation, phase
+// grouping, replay.  Its numbers therefore never feed the metrics CSV
+// (which must be byte-identical across runs); they go to a human-readable
+// report and, when a recorder is attached, to the Profiler track of the
+// exported Chrome trace.
+//
+// The pipeline instruments itself against the process-wide instance via
+// IOP_PROFILE_SCOPE("name"); an unattached profiler still aggregates
+// (nanoseconds per scope), which is cheap enough to leave on everywhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace iop::obs {
+
+class TraceRecorder;
+
+struct ProfileStats {
+  std::uint64_t calls = 0;
+  double totalSec = 0;
+  double minSec = 0;
+  double maxSec = 0;
+};
+
+class Profiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Process-wide instance the pipeline macros use.
+  static Profiler& global();
+
+  /// Mirror every completed scope into `recorder`'s Profiler track
+  /// (timestamps = wall seconds since this call).  Pass nullptr to detach.
+  void attachTrace(TraceRecorder* recorder);
+
+  /// Record one completed section (seconds of wall time).
+  void record(const std::string& name, double seconds);
+
+  const std::map<std::string, ProfileStats>& stats() const noexcept {
+    return stats_;
+  }
+  void reset();
+
+  /// Aligned text report, longest total first.
+  std::string renderReport() const;
+
+  /// RAII scope: times construction..destruction into the profiler.
+  class Scope {
+   public:
+    Scope(Profiler& profiler, const char* name)
+        : profiler_(&profiler), name_(name), start_(Clock::now()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope();
+
+   private:
+    Profiler* profiler_;
+    const char* name_;
+    Clock::time_point start_;
+  };
+
+  Scope scope(const char* name) { return Scope(*this, name); }
+
+ private:
+  void emitSpan(const std::string& name, Clock::time_point begin,
+                Clock::time_point end);
+  friend class Scope;
+
+  std::map<std::string, ProfileStats> stats_;
+  TraceRecorder* recorder_ = nullptr;
+  Clock::time_point epoch_{};
+};
+
+}  // namespace iop::obs
+
+#define IOP_OBS_CONCAT_IMPL(a, b) a##b
+#define IOP_OBS_CONCAT(a, b) IOP_OBS_CONCAT_IMPL(a, b)
+
+/// Time the current C++ scope into the global profiler under `name`.
+#define IOP_PROFILE_SCOPE(name)                                      \
+  ::iop::obs::Profiler::Scope IOP_OBS_CONCAT(iop_profile_scope_,     \
+                                             __LINE__)(             \
+      ::iop::obs::Profiler::global(), name)

@@ -1,0 +1,182 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace iop::obs {
+
+namespace {
+
+constexpr double kUsPerSec = 1e6;
+
+const char* processName(TrackKind kind) {
+  switch (kind) {
+    case TrackKind::Rank: return "mpi ranks";
+    case TrackKind::Device: return "storage devices";
+    case TrackKind::Profiler: return "analysis profiler (wall clock)";
+    case TrackKind::Sim: return "simulation engine";
+  }
+  return "?";
+}
+
+/// Render a double the way the rest of the repo renders times: enough
+/// precision to round-trip microsecond timestamps, no locale surprises.
+std::string renderNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string TraceRecorder::jsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+int TraceRecorder::track(TrackKind kind, const std::string& name) {
+  const int pid = static_cast<int>(kind);
+  auto key = std::make_pair(pid, name);
+  auto it = trackIds_.find(key);
+  if (it != trackIds_.end()) return it->second;
+  const int tid = nextTid_[pid]++;
+  trackIds_.emplace(std::move(key), tid);
+  tracks_.push_back(Track{kind, tid, name});
+  return tid;
+}
+
+int TraceRecorder::rankTrack(int rank) {
+  return track(TrackKind::Rank, "rank " + std::to_string(rank));
+}
+
+void TraceRecorder::span(TrackKind kind, int tid, const std::string& name,
+                         const std::string& cat, double beginSec,
+                         double endSec, std::string argsJson) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = EventPhase::Complete;
+  ev.pid = static_cast<int>(kind);
+  ev.tid = tid;
+  ev.tsUs = beginSec * kUsPerSec;
+  ev.durUs = (endSec - beginSec) * kUsPerSec;
+  if (ev.durUs < 0) ev.durUs = 0;
+  ev.argsJson = std::move(argsJson);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(TrackKind kind, int tid, const std::string& name,
+                            const std::string& cat, double atSec,
+                            std::string argsJson) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = EventPhase::Instant;
+  ev.pid = static_cast<int>(kind);
+  ev.tid = tid;
+  ev.tsUs = atSec * kUsPerSec;
+  ev.argsJson = std::move(argsJson);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::counterSample(TrackKind kind, int tid,
+                                  const std::string& name, double atSec,
+                                  double value) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = "counter";
+  ev.phase = EventPhase::Counter;
+  ev.pid = static_cast<int>(kind);
+  ev.tid = tid;
+  ev.tsUs = atSec * kUsPerSec;
+  ev.argsJson = "\"value\":" + renderNumber(value);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::writeJson(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Metadata first: name the process groups and the tracks inside them.
+  std::vector<int> namedPids;
+  for (const auto& t : tracks_) {
+    const int pid = static_cast<int>(t.kind);
+    if (std::find(namedPids.begin(), namedPids.end(), pid) ==
+        namedPids.end()) {
+      namedPids.push_back(pid);
+      comma();
+      out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+          << ",\"tid\":0,\"args\":{\"name\":\""
+          << jsonEscape(processName(t.kind)) << "\"}}";
+    }
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\""
+        << jsonEscape(t.name) << "\"}}";
+  }
+
+  // Data events in timestamp order (stable sort keeps same-ts events in
+  // recording order, which for a deterministic sim is itself
+  // deterministic).
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const auto& ev : events_) ordered.push_back(&ev);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->tsUs < b->tsUs;
+                   });
+  for (const TraceEvent* ev : ordered) {
+    comma();
+    out << "{\"name\":\"" << jsonEscape(ev->name) << "\",\"cat\":\""
+        << jsonEscape(ev->cat) << "\",\"ph\":\""
+        << static_cast<char>(ev->phase) << "\",\"pid\":" << ev->pid
+        << ",\"tid\":" << ev->tid << ",\"ts\":" << renderNumber(ev->tsUs);
+    if (ev->phase == EventPhase::Complete) {
+      out << ",\"dur\":" << renderNumber(ev->durUs);
+    }
+    if (ev->phase == EventPhase::Instant) {
+      out << ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (!ev->argsJson.empty()) {
+      out << ",\"args\":{" << ev->argsJson << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+void TraceRecorder::saveJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("obs: cannot open trace output " + path);
+  }
+  writeJson(file);
+}
+
+}  // namespace iop::obs

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include "obs/hub.hpp"
+
 namespace iop::sim {
 
 namespace detail {
@@ -50,9 +52,32 @@ void Engine::dispatchUntil(Time limit, bool bounded) {
     queue_.pop();
     now_ = ev.when;
     ++dispatched_;
+    if (obs_ != nullptr && now_ >= obsNextSample_) sampleObs();
     ev.handle.resume();
     throwIfFailed();
   }
+}
+
+/// Throttled engine-level samples: ready-queue depth as a counter track,
+/// dispatch totals into the registry.  Sampling reads state only; it never
+/// schedules or consumes randomness.
+void Engine::sampleObs() {
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->gauge("sim.events_dispatched")
+        .set(static_cast<double>(dispatched_));
+    obs_->metrics->gauge("sim.live_processes")
+        .set(static_cast<double>(liveDetached_));
+  }
+  if (obs_->trace != nullptr) {
+    const int tid = obs_->trace->track(obs::TrackKind::Sim, "engine");
+    obs_->trace->counterSample(obs::TrackKind::Sim, tid, "ready queue",
+                               now_, static_cast<double>(queue_.size()));
+    obs_->trace->counterSample(
+        obs::TrackKind::Sim, tid, "dispatch rate", now_,
+        static_cast<double>(dispatched_ - obsLastDispatched_));
+  }
+  obsLastDispatched_ = dispatched_;
+  obsNextSample_ = now_ + obsSampleInterval_;
 }
 
 void Engine::throwIfFailed() {

@@ -17,6 +17,10 @@
 #include "sim/task.hpp"
 #include "util/rng.hpp"
 
+namespace iop::obs {
+struct Hub;
+}
+
 namespace iop::sim {
 
 /// Simulated time, in seconds.
@@ -96,6 +100,20 @@ class Engine {
   /// Number of detached processes that have not finished yet.
   int liveProcesses() const noexcept { return liveDetached_; }
 
+  /// Attach (or detach, with nullptr) an observability hub.  Everything
+  /// holding an Engine reference — disks, caches, NICs, the MPI layer —
+  /// reaches its sinks through here, so one call observes the whole
+  /// simulation.  Recording is passive: it must not consume rng() or
+  /// reorder the ready queue, so attaching cannot change a run's outcome.
+  void setObs(obs::Hub* hub) noexcept { obs_ = hub; }
+  obs::Hub* obs() const noexcept { return obs_; }
+
+  /// Seconds of simulated time between engine-level counter samples
+  /// (queue depth / dispatch rate) in the exported trace.
+  void setObsSampleInterval(Time interval) noexcept {
+    obsSampleInterval_ = interval > 0 ? interval : 0.1;
+  }
+
  private:
   friend void detail::reportDetachedException(Engine&, std::exception_ptr);
   friend void detail::noteDetachedTaskFinished(Engine&);
@@ -116,6 +134,7 @@ class Engine {
   void scheduleImpl(Time when, std::coroutine_handle<> h, bool owns);
   void dispatchUntil(Time limit, bool bounded);
   void throwIfFailed();
+  void sampleObs();
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
@@ -124,6 +143,11 @@ class Engine {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::exception_ptr firstException_{};
   util::Rng rng_;
+
+  obs::Hub* obs_ = nullptr;
+  Time obsSampleInterval_ = 0.1;
+  Time obsNextSample_ = 0;
+  std::uint64_t obsLastDispatched_ = 0;
 };
 
 }  // namespace iop::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/hub.hpp"
+
 namespace iop::storage {
 
 PageCache::PageCache(sim::Engine& engine, BlockDevice& device,
@@ -36,8 +38,38 @@ sim::Task<void> PageCache::flusherLoop() {
     flushInFlight_ = take;
     co_await device_.access(offset, take, IoOp::Write);
     flushInFlight_ = 0;
+    obsSampleDirty();
     spaceCv_.notifyAll();
     if (dirtyBytes() == 0) idleCv_.notifyAll();
+  }
+}
+
+/// Throttled "dirty bytes" counter track: shows the write-back backlog that
+/// makes device activity outlast the application's I/O phases (Fig. 8).
+void PageCache::obsSampleDirty() {
+  obs::Hub* o = engine_.obs();
+  if (o == nullptr || o->trace == nullptr) return;
+  if (engine_.now() < obsNextSample_ && dirtyBytes() != 0) return;
+  if (obsTrack_ < 0) {
+    obsTrack_ = o->trace->track(obs::TrackKind::Device,
+                                "cache " + device_.describe());
+  }
+  o->trace->counterSample(obs::TrackKind::Device, obsTrack_, "dirty bytes",
+                          engine_.now(), static_cast<double>(dirtyBytes()));
+  obsNextSample_ = engine_.now() + 0.1;
+}
+
+void PageCache::obsNoteRead(std::uint64_t hitBytes, std::uint64_t missBytes) {
+  obs::Hub* o = engine_.obs();
+  if (o == nullptr || o->metrics == nullptr) return;
+  o->metrics->counter("cache.read_hit_bytes")
+      .add(static_cast<double>(hitBytes));
+  o->metrics->counter("cache.read_miss_bytes")
+      .add(static_cast<double>(missBytes));
+  const double hits = o->metrics->counter("cache.read_hit_bytes").value();
+  const double misses = o->metrics->counter("cache.read_miss_bytes").value();
+  if (hits + misses > 0) {
+    o->metrics->gauge("cache.read_hit_ratio").set(hits / (hits + misses));
   }
 }
 
@@ -69,6 +101,7 @@ sim::Task<void> PageCache::write(std::uint64_t offset, std::uint64_t size) {
   resident_.insert(offset, offset + size);
   fifo_.emplace_back(offset, offset + size);
   evictIfNeeded();
+  obsSampleDirty();
   dirtyCv_.notifyAll();
 }
 
@@ -83,6 +116,7 @@ sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size) {
   for (const auto& [b, e] : gaps) missBytes += e - b;
   readHitBytes_ += size - missBytes;
   readMissBytes_ += missBytes;
+  obsNoteRead(size - missBytes, missBytes);
 
   if (!gaps.empty()) {
     // If the request is mostly uncached, fetch it as one spanning device

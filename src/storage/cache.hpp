@@ -100,6 +100,11 @@ class PageCache {
 
   std::uint64_t readHitBytes_ = 0;
   std::uint64_t readMissBytes_ = 0;
+
+  void obsNoteRead(std::uint64_t hitBytes, std::uint64_t missBytes);
+  void obsSampleDirty();
+  int obsTrack_ = -1;          ///< cached trace track id
+  double obsNextSample_ = 0;   ///< throttle for the dirty-bytes track
 };
 
 }  // namespace iop::storage

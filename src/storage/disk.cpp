@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/hub.hpp"
+
 namespace iop::storage {
 
 bool Disk::isSequential(std::uint64_t offset) const noexcept {
@@ -27,6 +29,12 @@ void Disk::setDegradation(double factor) {
 
 sim::Task<void> Disk::access(std::uint64_t offset, std::uint64_t size,
                              IoOp op) {
+  if (obs::Hub* o = engine_.obs(); o != nullptr && o->metrics != nullptr) {
+    // Depth seen by this request on arrival: waiters + the one in service.
+    o->metrics
+        ->histogram("disk.queue_depth", obs::depthBuckets())
+        .observe(static_cast<double>(arm_.queueLength() + arm_.inUse()));
+  }
   co_await arm_.acquire();
   // Evaluate sequentiality after queueing: the arm position is whatever the
   // previous request left behind.
@@ -41,8 +49,25 @@ sim::Task<void> Disk::access(std::uint64_t offset, std::uint64_t size,
     ++counters_.writeOps;
     counters_.bytesWritten += size;
   }
+  const double start = engine_.now();
   co_await engine_.delay(t);
   arm_.release();
+  if (obs::Hub* o = engine_.obs(); o != nullptr) {
+    const bool read = op == IoOp::Read;
+    if (o->metrics != nullptr) {
+      o->metrics->counter(read ? "disk.bytes_read" : "disk.bytes_written")
+          .add(static_cast<double>(size));
+    }
+    if (o->trace != nullptr) {
+      if (obsTrack_ < 0) {
+        obsTrack_ = o->trace->track(obs::TrackKind::Device, params_.name);
+      }
+      o->trace->span(obs::TrackKind::Device, obsTrack_,
+                     read ? "read" : "write", "disk", start, engine_.now(),
+                     "\"offset\":" + std::to_string(offset) +
+                         ",\"bytes\":" + std::to_string(size));
+    }
+  }
 }
 
 }  // namespace iop::storage

@@ -86,6 +86,7 @@ class Disk {
   std::uint64_t lastEnd_ = 0;
   bool touched_ = false;
   double degradation_ = 1.0;
+  int obsTrack_ = -1;  ///< cached trace track id (lazily registered)
 };
 
 }  // namespace iop::storage

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/hub.hpp"
+
 namespace iop::storage {
 
 LinkParams gigabitEthernet() {
@@ -16,6 +18,11 @@ LinkParams infiniband20G() {
 
 sim::Task<void> transfer(sim::Engine& engine, Node& src, Node& dst,
                          std::uint64_t bytes) {
+  if (obs::Hub* o = engine.obs(); o != nullptr && o->metrics != nullptr) {
+    o->metrics
+        ->counter(&src == &dst ? "net.loopback_bytes" : "net.bytes")
+        .add(static_cast<double>(bytes));
+  }
   if (&src == &dst) {
     // Loopback: a memory copy at a generous in-node rate.
     co_await engine.delay(static_cast<double>(bytes) / 4.0e9);

@@ -1,4 +1,5 @@
 #include "trace/tracefile.hpp"
+#include "obs/profiler.hpp"
 
 #include <cinttypes>
 #include <cstdio>
@@ -66,6 +67,7 @@ std::vector<Record> readRankFile(const fs::path& path) {
 }  // namespace
 
 void writeTraces(const fs::path& dir, const TraceData& data) {
+  IOP_PROFILE_SCOPE("trace.write");
   fs::create_directories(dir);
   for (int rank = 0; rank < data.np; ++rank) {
     writeRankFile(dir / traceFileName(data.appName, rank),
@@ -90,6 +92,7 @@ void writeTraces(const fs::path& dir, const TraceData& data) {
 }
 
 TraceData readTraces(const fs::path& dir, const std::string& appName) {
+  IOP_PROFILE_SCOPE("trace.parse");
   TraceData data;
   data.appName = appName;
   std::ifstream meta(dir / (appName + ".meta"));

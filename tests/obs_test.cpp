@@ -1,0 +1,306 @@
+// Observability layer tests: histogram bucket math, trace JSON export
+// (well-formed + time-ordered), deterministic metrics CSV, and the
+// invariant the whole subsystem is built around — attaching the obs hub
+// must not perturb the simulation.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/runner.hpp"
+#include "apps/btio.hpp"
+#include "configs/configs.hpp"
+#include "obs/hub.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/profiler.hpp"
+
+namespace iop {
+namespace {
+
+// --- a tiny recursive-descent JSON validator (structure only) -----------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') { ++pos_; return true; }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- histograms ---------------------------------------------------------
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  // "le" semantics: a value exactly on a bound lands in that bucket.
+  EXPECT_EQ(h.bucketIndex(0.5), 0u);
+  EXPECT_EQ(h.bucketIndex(1.0), 0u);
+  EXPECT_EQ(h.bucketIndex(1.000001), 1u);
+  EXPECT_EQ(h.bucketIndex(2.0), 1u);
+  EXPECT_EQ(h.bucketIndex(4.0), 2u);
+  EXPECT_EQ(h.bucketIndex(4.1), 3u);  // overflow (+Inf) bucket
+  EXPECT_EQ(h.bucketCounts().size(), 4u);
+}
+
+TEST(ObsMetrics, HistogramObserveAccumulates) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 12.5 / 3.0);
+  EXPECT_EQ(h.bucketCounts()[0], 1u);
+  EXPECT_EQ(h.bucketCounts()[1], 1u);
+  EXPECT_EQ(h.bucketCounts()[2], 1u);
+}
+
+TEST(ObsMetrics, DefaultBucketSetsAreAscending) {
+  for (const auto& bounds :
+       {obs::latencyBucketsSeconds(), obs::depthBuckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(ObsMetrics, RegistryInstrumentsAreStableAndKindChecked) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("a.count");
+  c.add(2.0);
+  EXPECT_EQ(&reg.counter("a.count"), &c);  // get-or-create memoizes
+  EXPECT_DOUBLE_EQ(reg.counter("a.count").value(), 2.0);
+  EXPECT_THROW(reg.gauge("a.count"), std::logic_error);
+  EXPECT_THROW(reg.histogram("a.count", {1.0}), std::logic_error);
+  EXPECT_EQ(reg.findCounter("missing"), nullptr);
+  EXPECT_NE(reg.findCounter("a.count"), nullptr);
+}
+
+// --- recorder -----------------------------------------------------------
+
+TEST(ObsRecorder, TracksAreMemoizedPerKind) {
+  obs::TraceRecorder rec;
+  const int a = rec.track(obs::TrackKind::Device, "disk0");
+  EXPECT_EQ(rec.track(obs::TrackKind::Device, "disk0"), a);
+  EXPECT_NE(rec.track(obs::TrackKind::Device, "disk1"), a);
+  // Same name under a different kind is a different track namespace.
+  EXPECT_EQ(rec.track(obs::TrackKind::Rank, "disk0"), 0);
+}
+
+TEST(ObsRecorder, JsonIsWellFormedAndTimeOrdered) {
+  obs::TraceRecorder rec;
+  const int tid = rec.rankTrack(0);
+  // Insert out of order and with strings that need escaping; export must
+  // still be valid JSON sorted by timestamp.
+  rec.span(obs::TrackKind::Rank, tid, "write \"a\\b\"\n", "mpi.io", 2.0, 3.0,
+           "\"bytes\":42");
+  rec.instant(obs::TrackKind::Rank, tid, "tick", "mpi.comm", 0.5);
+  rec.counterSample(obs::TrackKind::Sim, rec.track(obs::TrackKind::Sim, "q"),
+                    "depth", 1.0, 7.0);
+  std::ostringstream out;
+  rec.writeJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+
+  // Non-metadata events must come out time-ordered (500000, 1000000,
+  // 2000000 us) regardless of insertion order.
+  const auto instant = json.find("\"ph\":\"i\"");
+  const auto counter = json.find("\"ph\":\"C\"");
+  const auto span = json.find("\"ph\":\"X\"");
+  ASSERT_NE(instant, std::string::npos);
+  ASSERT_NE(counter, std::string::npos);
+  ASSERT_NE(span, std::string::npos);
+  EXPECT_LT(instant, counter);
+  EXPECT_LT(counter, span);
+}
+
+TEST(ObsRecorder, JsonEscape) {
+  EXPECT_EQ(obs::TraceRecorder::jsonEscape("a\"b\\c\n\t"),
+            "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(obs::TraceRecorder::jsonEscape(std::string(1, '\x01')),
+            "\\u0001");
+}
+
+// --- whole-simulation properties ----------------------------------------
+
+struct ObservedRun {
+  double makespan = 0;
+  std::string phaseTable;
+  std::string metricsCsv;
+  std::string traceJson;
+};
+
+ObservedRun runBtio(bool observed) {
+  auto cluster = configs::makeConfig(configs::ConfigId::A);
+  obs::Session session;
+  if (observed) cluster.engine->setObs(session.hub());
+  apps::BtioParams params;
+  params.mount = cluster.mount;
+  params.cls = apps::BtClass::A;
+  auto run =
+      analysis::runAndTrace(cluster, "btio", apps::makeBtio(params), 4);
+  ObservedRun result;
+  result.makespan = run.makespanSeconds;
+  result.phaseTable = core::renderPhaseTable(run.model.phases());
+  if (observed) {
+    result.metricsCsv = session.metrics().renderCsv();
+    std::ostringstream json;
+    session.recorder().writeJson(json);
+    result.traceJson = json.str();
+  }
+  return result;
+}
+
+TEST(ObsIntegration, MetricsCsvIsByteIdenticalAcrossRuns) {
+  const auto first = runBtio(true);
+  const auto second = runBtio(true);
+  ASSERT_FALSE(first.metricsCsv.empty());
+  EXPECT_EQ(first.metricsCsv, second.metricsCsv);
+  EXPECT_EQ(first.traceJson, second.traceJson);
+}
+
+TEST(ObsIntegration, AttachingObsDoesNotPerturbSimulation) {
+  // The zero-interference invariant: an observed BT-IO run must produce
+  // exactly the same makespan and phase table as an unobserved one.
+  const auto observed = runBtio(true);
+  const auto bare = runBtio(false);
+  EXPECT_DOUBLE_EQ(observed.makespan, bare.makespan);
+  EXPECT_EQ(observed.phaseTable, bare.phaseTable);
+}
+
+TEST(ObsIntegration, ObservedRunExportsAllTrackKinds) {
+  const auto run = runBtio(true);
+  ASSERT_TRUE(JsonChecker(run.traceJson).valid());
+  // Rank, device and simulation tracks all present (pids are part of the
+  // format contract; see obs::TrackKind).
+  EXPECT_NE(run.traceJson.find("\"mpi ranks\""), std::string::npos);
+  EXPECT_NE(run.traceJson.find("\"storage devices\""), std::string::npos);
+  EXPECT_NE(run.traceJson.find("\"simulation engine\""), std::string::npos);
+  EXPECT_NE(run.metricsCsv.find("mpi.io.bytes_written,counter"),
+            std::string::npos);
+  EXPECT_NE(run.metricsCsv.find("disk.queue_depth,histogram"),
+            std::string::npos);
+}
+
+TEST(ObsProfiler, ScopesFeedReportAndTrace) {
+  auto& prof = obs::Profiler::global();
+  obs::TraceRecorder rec;
+  prof.attachTrace(&rec);
+  { IOP_PROFILE_SCOPE("obs_test.scope"); }
+  prof.attachTrace(nullptr);
+  EXPECT_NE(prof.renderReport().find("obs_test.scope"), std::string::npos);
+  bool sawSpan = false;
+  for (const auto& ev : rec.events()) {
+    if (ev.name == "obs_test.scope" &&
+        ev.phase == obs::EventPhase::Complete) {
+      sawSpan = true;
+    }
+  }
+  EXPECT_TRUE(sawSpan);
+}
+
+}  // namespace
+}  // namespace iop

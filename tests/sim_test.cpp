@@ -102,9 +102,13 @@ TEST(Engine, ExceptionPropagatesThroughNestedAwait) {
 
 TEST(Engine, DeadlockDetected) {
   Engine eng;
-  Event ev(eng);  // never set
+  Event ev(eng);  // not set until after the deadlock fires
   eng.spawn([](Event& ev) -> Task<void> { co_await ev.wait(); }(ev));
   EXPECT_THROW(eng.run(), DeadlockError);
+  // Releasing the waiter drains it cleanly (its frame is parked in the
+  // event's waiter list, which nobody owns — leaving it would leak).
+  ev.set();
+  eng.run();
 }
 
 TEST(Engine, RunUntilStopsAtLimit) {

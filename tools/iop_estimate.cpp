@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   args.addFlag("multiop",
                "replay multi-operation phases with the exact-cycle "
                "replayer instead of averaged IOR passes");
+  tools::addObsOptions(args);
   try {
     args.parse(argc, argv);
     if (args.helpRequested()) {
@@ -35,7 +36,11 @@ int main(int argc, char** argv) {
     auto model = core::IOModel::load(args.get("model"));
     auto probe = tools::makeConfiguredCluster(args);
     const std::string mount = probe.mount;
-    analysis::ConfigBuilder builder = tools::configuredBuilder(args);
+    tools::ObsSession obsSession(args);
+    const auto configured = tools::configuredBuilder(args);
+    analysis::ConfigBuilder builder = [&obsSession, configured] {
+      return obsSession.attachedBuild(configured);
+    };
     analysis::Replayer replayer(builder, mount);
     auto estimate =
         args.flag("multiop")
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
     std::printf("%s", table.render().c_str());
     std::printf("total estimated I/O time: %.2f s (%zu IOR runs)\n",
                 estimate.totalTimeSec, replayer.benchmarkRuns());
+    obsSession.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-estimate: %s\n", e.what());

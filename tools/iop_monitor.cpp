@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   args.addOption("interval", "sampling interval in simulated seconds", "1");
   args.addOption("out", "CSV output file (- = stdout)", "-");
   tools::addAppOptions(args);
+  tools::addObsOptions(args);
   try {
     args.parse(argc, argv);
     if (args.helpRequested()) {
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     auto cluster = tools::makeConfiguredCluster(args);
+    tools::ObsSession obsSession(args);
+    obsSession.attach(*cluster.engine);
     const int np = static_cast<int>(args.getInt("np", 16));
     monitor::DeviceMonitor mon(*cluster.engine,
                                cluster.topology->allDisks(),
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
       file << csv;
       std::fprintf(stderr, "wrote %s\n", args.get("out").c_str());
     }
+    obsSession.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-monitor: %s\n", e.what());

@@ -1,0 +1,92 @@
+// iop-stats: run an application with the full observability stack attached
+// — per-rank MPI-IO spans, per-device activity tracks, simulation metrics,
+// and wall-clock profiling of the analysis pipeline — then print the
+// metric and profiler summaries and optionally export the timeline as
+// Chrome/Perfetto trace-event JSON.
+//
+//   iop-stats --app btio --class A --np 4 --config A
+//             --trace-out run.json --metrics-out run.csv
+#include <cstdio>
+
+#include "core/iomodel.hpp"
+#include "monitor/monitor.hpp"
+#include "mpi/runtime.hpp"
+#include "obs/hub.hpp"
+#include "obs/profiler.hpp"
+#include "toolkit.hpp"
+#include "trace/tracer.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  tools::addConfigOptions(args, "configuration to observe");
+  args.addOption("np", "number of MPI processes", "16");
+  args.addOption("interval", "device sampling interval in simulated seconds",
+                 "1");
+  tools::addAppOptions(args);
+  tools::addObsOptions(args);
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested()) {
+      std::printf("%s",
+                  args.usage("iop-stats",
+                             "Run an application with tracing, metrics and "
+                             "profiling attached; summarize and export.")
+                      .c_str());
+      return 0;
+    }
+    // Unlike the other tools, observability is the whole point here: build
+    // the session unconditionally and only gate the file exports on flags.
+    obs::Session session;
+    obs::Profiler::global().attachTrace(&session.recorder());
+
+    auto cluster = tools::makeConfiguredCluster(args);
+    cluster.engine->setObs(session.hub());
+    const int np = static_cast<int>(args.getInt("np", 16));
+    const std::string appName = args.get("app");
+
+    monitor::DeviceMonitor mon(*cluster.engine, cluster.topology->allDisks(),
+                               args.getDouble("interval", 1.0));
+    mon.start();
+    trace::Tracer tracer(appName, np);
+    auto opts = cluster.runtimeOptions(np, &tracer);
+    opts.onAppComplete = [&mon] { mon.stop(); };
+    mpi::Runtime runtime(*cluster.topology, opts);
+    double makespan = 0;
+    {
+      IOP_PROFILE_SCOPE("app.run");
+      makespan = runtime.runToCompletion(tools::makeAppMain(args, cluster));
+    }
+    auto data = tracer.takeData();
+    auto model = core::extractModel(data, {});
+    obs::Profiler::global().attachTrace(nullptr);
+
+    std::printf("%s ran %.2f simulated seconds with %d processes on %s; "
+                "%zu phases detected\n\n",
+                appName.c_str(), makespan, np, cluster.name.c_str(),
+                model.phases().size());
+    std::printf("%s\n", session.metrics().renderSummary().c_str());
+    std::printf("%s", obs::Profiler::global().renderReport().c_str());
+
+    if (args.has("trace-out")) {
+      session.recorder().saveJson(args.get("trace-out"));
+      std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
+                  session.recorder().eventCount(),
+                  args.get("trace-out").c_str());
+    }
+    if (args.has("metrics-out")) {
+      if (args.get("metrics-out") == "-") {
+        std::printf("%s", session.metrics().renderCsv().c_str());
+      } else {
+        session.metrics().saveCsv(args.get("metrics-out"));
+        std::printf("wrote %zu metrics to %s\n", session.metrics().size(),
+                    args.get("metrics-out").c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-stats: %s\n", e.what());
+    return 1;
+  }
+}

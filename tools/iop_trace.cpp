@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   args.addOption("np", "number of MPI processes", "16");
   args.addOption("out", "output directory for the trace files", "traces");
   tools::addAppOptions(args);
+  tools::addObsOptions(args);
   try {
     args.parse(argc, argv);
     if (args.helpRequested()) {
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     auto cluster = tools::makeConfiguredCluster(args);
+    tools::ObsSession obsSession(args);
+    obsSession.attach(*cluster.engine);
     const int np = static_cast<int>(args.getInt("np", 16));
     const std::string appName = args.get("app");
     std::printf("running %s with %d processes on %s...\n", appName.c_str(),
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
     auto run = analysis::runAndTrace(cluster, appName,
                                      tools::makeAppMain(args, cluster), np);
     trace::writeTraces(args.get("out"), run.trace);
+    obsSession.finish();
     std::printf("makespan: %.2f simulated seconds\n", run.makespanSeconds);
     std::printf("%s", trace::summarizeTrace(run.trace).render().c_str());
     std::printf("wrote %d trace files + metadata to %s/\n", np,

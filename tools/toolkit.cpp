@@ -1,9 +1,11 @@
 #include "toolkit.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "apps/btio.hpp"
+#include "obs/profiler.hpp"
 #include "apps/flash_io.hpp"
 #include "configs/configfile.hpp"
 #include "apps/madbench.hpp"
@@ -111,6 +113,73 @@ mpi::Runtime::RankMain makeAppMain(const util::Args& args,
     return apps::makeStridedExample(p);
   }
   throw std::invalid_argument("unknown application '" + app + "'");
+}
+
+void addObsOptions(util::Args& args) {
+  args.addOption("trace-out",
+                 "write a Chrome/Perfetto trace-event JSON of the run");
+  args.addOption("metrics-out",
+                 "write simulation metrics as CSV (- = stdout)");
+}
+
+ObsSession::ObsSession(const util::Args& args) {
+  const bool wantTrace = args.has("trace-out");
+  const bool wantMetrics = args.has("metrics-out");
+  if (!wantTrace && !wantMetrics) return;
+  session_ = std::make_unique<obs::Session>();
+  if (wantTrace) {
+    traceOut_ = args.get("trace-out");
+    // Mirror the analysis pipeline's wall-clock scopes into the trace.
+    obs::Profiler::global().attachTrace(&session_->recorder());
+    profilerAttached_ = true;
+  } else {
+    session_->hub()->trace = nullptr;
+  }
+  if (wantMetrics) {
+    metricsOut_ = args.get("metrics-out");
+  } else {
+    session_->hub()->metrics = nullptr;
+  }
+}
+
+void ObsSession::attach(sim::Engine& engine) {
+  if (session_ != nullptr) engine.setObs(session_->hub());
+}
+
+configs::ClusterConfig ObsSession::attachedBuild(
+    const std::function<configs::ClusterConfig()>& build) {
+  auto cluster = build();
+  attach(*cluster.engine);
+  return cluster;
+}
+
+ObsSession::~ObsSession() { detachProfiler(); }
+
+void ObsSession::detachProfiler() {
+  // The profiler singleton must never outlive-point at our recorder.
+  if (profilerAttached_) {
+    obs::Profiler::global().attachTrace(nullptr);
+    profilerAttached_ = false;
+  }
+}
+
+void ObsSession::finish() {
+  if (session_ == nullptr) return;
+  detachProfiler();
+  if (!traceOut_.empty()) {
+    session_->recorder().saveJson(traceOut_);
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 session_->recorder().eventCount(), traceOut_.c_str());
+  }
+  if (!metricsOut_.empty()) {
+    if (metricsOut_ == "-") {
+      std::printf("%s", session_->metrics().renderCsv().c_str());
+    } else {
+      session_->metrics().saveCsv(metricsOut_);
+      std::fprintf(stderr, "wrote %zu metrics to %s\n",
+                   session_->metrics().size(), metricsOut_.c_str());
+    }
+  }
 }
 
 }  // namespace iop::tools

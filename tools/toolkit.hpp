@@ -1,11 +1,14 @@
 // Shared plumbing for the iop-* command-line tools: configuration and
-// application specs parsed from CLI options.
+// application specs parsed from CLI options, plus the observability
+// session behind the --trace-out / --metrics-out flags.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "configs/configs.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/hub.hpp"
 #include "util/args.hpp"
 
 namespace iop::tools {
@@ -29,5 +32,40 @@ void addAppOptions(util::Args& args);
 /// mount point.  Knows: madbench2, btio, roms, example, and "ior".
 mpi::Runtime::RankMain makeAppMain(const util::Args& args,
                                    const configs::ClusterConfig& cluster);
+
+/// Register --trace-out (Chrome/Perfetto JSON) and --metrics-out (CSV).
+void addObsOptions(util::Args& args);
+
+/// Tool-side observability session driven by the flags above.  Inactive
+/// (and free) unless the user asked for at least one output; when active,
+/// attach() wires every engine the tool creates to the shared sinks and
+/// finish() writes the requested files.
+class ObsSession {
+ public:
+  explicit ObsSession(const util::Args& args);
+  ~ObsSession();  ///< detaches the profiler if finish() never ran
+
+  bool active() const noexcept { return session_ != nullptr; }
+  obs::Session* session() noexcept { return session_.get(); }
+
+  /// Attach the sinks to an engine (no-op when inactive).  Call for every
+  /// engine the tool builds — including fresh replay clusters.
+  void attach(sim::Engine& engine);
+
+  /// Wrap a config builder so replay clusters are attached on creation.
+  configs::ClusterConfig attachedBuild(
+      const std::function<configs::ClusterConfig()>& build);
+
+  /// Write --trace-out / --metrics-out and report to stderr.
+  void finish();
+
+ private:
+  void detachProfiler();
+
+  std::unique_ptr<obs::Session> session_;
+  std::string traceOut_;
+  std::string metricsOut_;
+  bool profilerAttached_ = false;
+};
 
 }  // namespace iop::tools
