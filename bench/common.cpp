@@ -1,7 +1,11 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 
+#include "obs/recorder.hpp"
 #include "util/units.hpp"
 
 namespace iop::bench {
@@ -58,6 +62,29 @@ std::string fmtPct(double pct) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.0f%%", pct);
   return buf;
+}
+
+void writeBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records) {
+  std::ostringstream out;
+  out << "{\"schema\":\"iop-bench/1\",\"results\":[";
+  bool first = true;
+  for (const auto& r : records) {
+    if (!first) out << ",";
+    first = false;
+    char nums[96];
+    std::snprintf(nums, sizeof nums,
+                  "\"iterations\":%lld,\"ns_per_op\":%.6g,"
+                  "\"bytes_per_second\":%.6g",
+                  static_cast<long long>(r.iterations), r.nsPerOp,
+                  r.bytesPerSecond);
+    out << "\n  {\"name\":\"" << obs::TraceRecorder::jsonEscape(r.name)
+        << "\"," << nums << "}";
+  }
+  out << "\n]}\n";
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot write " + path);
+  file << out.str();
 }
 
 }  // namespace iop::bench

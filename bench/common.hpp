@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/runner.hpp"
 #include "apps/btio.hpp"
@@ -39,5 +40,18 @@ analysis::AppRun traceOn(configs::ConfigId id, const std::string& appName,
 std::string fmtSec(double seconds);
 std::string fmtMiBs(double bytesPerSecond);
 std::string fmtPct(double pct);
+
+/// One machine-readable benchmark result (docs/OBSERVABILITY.md, "Bench
+/// JSON").  A zero means the dimension was not measured.
+struct BenchRecord {
+  std::string name;
+  std::int64_t iterations = 0;
+  double nsPerOp = 0;
+  double bytesPerSecond = 0;
+};
+
+/// Write records as a `{"schema":"iop-bench/1","results":[...]}` document.
+void writeBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records);
 
 }  // namespace iop::bench

@@ -23,6 +23,7 @@ int main() {
                    "read MB/s"},
                   {util::Align::Left, util::Align::Right, util::Align::Right,
                    util::Align::Right, util::Align::Right});
+  std::vector<bench::BenchRecord> records;
   for (auto id : ids) {
     for (int np : {4, 16}) {
       for (std::uint64_t t : {1 * MiB, 16 * MiB}) {
@@ -38,11 +39,27 @@ int main() {
                       util::formatBytes(t),
                       bench::fmtMiBs(r.writeBandwidth),
                       bench::fmtMiBs(r.readBandwidth)});
+        const std::string stem = std::string("ior/") +
+                                 configs::configName(id) + "/np" +
+                                 std::to_string(np) + "/t" +
+                                 util::formatBytes(t);
+        for (const auto& [dir, bw] :
+             {std::pair<const char*, double>{"write", r.writeBandwidth},
+              {"read", r.readBandwidth}}) {
+          bench::BenchRecord rec;
+          rec.name = stem + "/" + dir;
+          rec.iterations = 1;
+          rec.bytesPerSecond = bw;
+          records.push_back(std::move(rec));
+        }
       }
     }
     table.addSeparator();
   }
   std::printf("%s\n", table.render().c_str());
+  bench::writeBenchJson("BENCH_curves.json", records);
+  std::printf("wrote %zu bandwidth results to BENCH_curves.json\n",
+              records.size());
   std::printf("Expected shape: A and C saturate one GbE link (~100-117 "
               "MB/s writes, slower latency-bound reads); B is bound by its "
               "three old JBOD disks;\nFinisterrae sustains higher rates "

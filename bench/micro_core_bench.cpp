@@ -3,6 +3,11 @@
 // offset-function fitting on synthetic traces of growing size.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
 #include "core/iomodel.hpp"
 #include "sim/engine.hpp"
 #include "core/lap.hpp"
@@ -126,6 +131,57 @@ void BM_EngineEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventThroughput)->Arg(1)->Arg(16)->Arg(128);
 
+// Console output as usual, plus every per-iteration run collected into the
+// machine-readable BENCH_core.json (schema: docs/OBSERVABILITY.md) so the
+// perf trajectory accumulates across commits.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      iop::bench::BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = run.iterations;
+      if (run.iterations > 0) {
+        rec.nsPerOp =
+            run.real_accumulated_time / static_cast<double>(run.iterations) *
+            1e9;
+      }
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) rec.bytesPerSecond = it->second;
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<iop::bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<iop::bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string jsonOut = "BENCH_core.json";
+  // Peel off our own flag before google-benchmark sees the argument list.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      jsonOut = arg.substr(11);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  iop::bench::writeBenchJson(jsonOut, reporter.records());
+  std::printf("wrote %zu benchmark results to %s\n",
+              reporter.records().size(), jsonOut.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Bridge between the extracted I/O model and the critical-path engine
+// (obs/critpath.hpp): turn the model's phases into attribution windows and
+// render the combined blame report the iop-stats/iop-estimate --blame flag
+// prints.
+//
+// The report closes the loop on the paper's eq. 1-2: the simulator's own
+// dependency edges yield an attributed per-phase bandwidth BW_attr, which
+// plays the role of BW_CH — sum(weight / BW_attr) must reproduce the
+// attributed I/O time exactly, and the difference against the measured
+// phase windows is reported as the residual the phase model does not
+// explain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/iomodel.hpp"
+#include "obs/critpath.hpp"
+#include "obs/edges.hpp"
+
+namespace iop::analysis {
+
+/// Attribution windows for the model's phases: one window per phase,
+/// [startTime, endTime), labelled "W"/"R"/"W-R" + file id.  Phases whose
+/// repetitions interleave produce overlapping windows; the attribution
+/// resolves those smallest-window-first (see obs/critpath.hpp).
+std::vector<obs::PhaseWindow> phaseWindows(const core::IOModel& model);
+
+/// Critical path + per-phase blame + the eq. 1-2 consistency check, as one
+/// printable report.  `makespan` is the application elapsed time.
+std::string renderBlameReport(const obs::EdgeRecorder& edges,
+                              double makespan, const core::IOModel& model);
+
+}  // namespace iop::analysis

@@ -30,6 +30,23 @@ void observeCollective(Rank& rank, const char* op, double entry) {
   }
 }
 
+/// Open a Collective activity on `rank` for the dependency-edge graph.
+std::int64_t beginCollective(Rank& rank, const char* op,
+                             std::uint64_t bytes) {
+  obs::Hub* o = rank.engine().obs();
+  if (o == nullptr || o->edges == nullptr) return -1;
+  return o->edges->begin(obs::ActKind::Collective, rank.id(), op,
+                         rank.engine().now(), bytes);
+}
+
+void endCollective(Rank& rank, std::int64_t act) {
+  if (act < 0) return;
+  if (obs::Hub* o = rank.engine().obs();
+      o != nullptr && o->edges != nullptr) {
+    o->edges->end(act, rank.engine().now());
+  }
+}
+
 /// Pure-delay collective cost body (barrier/bcast/allreduce trees).
 class DelayBody final : public CollectiveBody {
  public:
@@ -74,18 +91,30 @@ double Comm::treeCost(std::uint64_t bytes) const noexcept {
          static_cast<double>(bytes) / 1.0e9 * depth;
 }
 
-sim::Task<void> Comm::rendezvous(Rank& rank, CollectiveBody* body) {
+sim::Task<void> Comm::rendezvous(Rank& rank, CollectiveBody* body,
+                                 std::int64_t cause) {
   auto it = seqOfRank_.find(rank.id());
   if (it == seqOfRank_.end()) {
     throw std::logic_error("rank not a member of this communicator");
   }
   const std::uint64_t seq = it->second++;
   Slot& s = slot(seq);
+  obs::Hub* o = engine_.obs();
+  obs::EdgeRecorder* er = o != nullptr ? o->edges : nullptr;
   if (++s.arrived == size()) {
+    // The release (and the body's cost) depends on every member having
+    // arrived: link each recorded arrival to this rank's activity.
+    if (er != nullptr && cause >= 0) {
+      for (std::int64_t a : s.arrivals) er->link(a, cause);
+    }
     if (body != nullptr) co_await body->run();
     s.done = true;
     s.cv->notifyAll();
   } else {
+    if (er != nullptr && cause >= 0) {
+      s.arrivals.push_back(er->instant(obs::ActKind::Collective, rank.id(),
+                                       "arrive", engine_.now(), cause));
+    }
     while (!s.done) co_await s.cv->wait();
   }
   retire(seq, s);
@@ -94,24 +123,30 @@ sim::Task<void> Comm::rendezvous(Rank& rank, CollectiveBody* body) {
 sim::Task<void> Comm::barrier(Rank& rank) {
   rank.noteCommEvent("MPI_Barrier", false);
   const double entry = engine_.now();
+  const std::int64_t act = beginCollective(rank, "MPI_Barrier", 0);
   DelayBody body(engine_, treeCost(0));
-  co_await rendezvous(rank, &body);
+  co_await rendezvous(rank, &body, act);
+  endCollective(rank, act);
   observeCollective(rank, "MPI_Barrier", entry);
 }
 
 sim::Task<void> Comm::bcast(Rank& rank, std::uint64_t bytes) {
   rank.noteCommEvent("MPI_Bcast", false);
   const double entry = engine_.now();
+  const std::int64_t act = beginCollective(rank, "MPI_Bcast", bytes);
   DelayBody body(engine_, treeCost(bytes));
-  co_await rendezvous(rank, &body);
+  co_await rendezvous(rank, &body, act);
+  endCollective(rank, act);
   observeCollective(rank, "MPI_Bcast", entry);
 }
 
 sim::Task<void> Comm::allreduce(Rank& rank, std::uint64_t bytes) {
   rank.noteCommEvent("MPI_Allreduce", false);
   const double entry = engine_.now();
+  const std::int64_t act = beginCollective(rank, "MPI_Allreduce", bytes);
   DelayBody body(engine_, 2 * treeCost(bytes));
-  co_await rendezvous(rank, &body);
+  co_await rendezvous(rank, &body, act);
+  endCollective(rank, act);
   observeCollective(rank, "MPI_Allreduce", entry);
 }
 

@@ -54,8 +54,12 @@ class Comm {
   /// Generic rendezvous: every member calls this; the last arrival runs
   /// `body` (may be null) before everyone is released.  `body` must stay
   /// alive until the returned task completes (keep it in the caller's
-  /// coroutine frame).
-  sim::Task<void> rendezvous(Rank& rank, CollectiveBody* body);
+  /// coroutine frame).  `cause` is the calling rank's obs activity for
+  /// this collective (-1 = untracked); member arrivals are recorded as
+  /// instants and linked to the last arriver's activity, expressing the
+  /// cross-rank dependency the per-rank cause chain cannot.
+  sim::Task<void> rendezvous(Rank& rank, CollectiveBody* body,
+                             std::int64_t cause = -1);
 
  private:
   struct Slot {
@@ -63,6 +67,7 @@ class Comm {
     int released = 0;
     bool done = false;
     std::unique_ptr<sim::CondVar> cv;
+    std::vector<std::int64_t> arrivals;  ///< obs arrival-instant ids
   };
 
   Slot& slot(std::uint64_t seq);

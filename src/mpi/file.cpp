@@ -18,16 +18,16 @@ namespace {
 sim::Task<void> shuffleTransfers(sim::Engine& eng,
                                  const std::vector<Contribution>& contribs,
                                  const std::vector<storage::Node*>& aggs,
-                                 bool toAggregators) {
+                                 bool toAggregators, std::int64_t cause) {
   std::vector<sim::Task<void>> xfers;
   for (std::size_t i = 0; i < contribs.size(); ++i) {
     const auto& c = contribs[i];
     storage::Node* agg = aggs[i % aggs.size()];
     if (c.node == agg || c.bytes == 0) continue;
     if (toAggregators) {
-      xfers.push_back(storage::transfer(eng, *c.node, *agg, c.bytes));
+      xfers.push_back(storage::transfer(eng, *c.node, *agg, c.bytes, cause));
     } else {
-      xfers.push_back(storage::transfer(eng, *agg, *c.node, c.bytes));
+      xfers.push_back(storage::transfer(eng, *agg, *c.node, c.bytes, cause));
     }
   }
   co_await sim::whenAll(eng, std::move(xfers));
@@ -38,12 +38,12 @@ sim::Task<void> shuffleTransfers(sim::Engine& eng,
 sim::Task<void> runExtentsFromNode(storage::FileSystem& fs,
                                    storage::Node& node,
                                    std::vector<Extent> extents,
-                                   bool isWrite) {
+                                   bool isWrite, std::int64_t cause) {
   for (const auto& e : extents) {
     if (isWrite) {
-      co_await fs.write(node, e.fsFileId, e.offset, e.bytes);
+      co_await fs.write(node, e.fsFileId, e.offset, e.bytes, cause);
     } else {
-      co_await fs.read(node, e.fsFileId, e.offset, e.bytes);
+      co_await fs.read(node, e.fsFileId, e.offset, e.bytes, cause);
     }
   }
 }
@@ -54,12 +54,13 @@ sim::Task<void> runExtentsFromNode(storage::FileSystem& fs,
 sim::Task<void> runTwoPhase(sim::Engine& eng, storage::FileSystem& fs,
                             const IoHints& hints,
                             std::vector<Contribution> contribs,
-                            bool isWrite) {
+                            bool isWrite, std::int64_t cause) {
   if (!hints.collectiveBuffering) {
     // "SIMPLE" behaviour: everyone writes their own pieces, concurrently.
     std::vector<sim::Task<void>> ops;
     for (auto& c : contribs) {
-      ops.push_back(runExtentsFromNode(fs, *c.node, c.extents, isWrite));
+      ops.push_back(
+          runExtentsFromNode(fs, *c.node, c.extents, isWrite, cause));
     }
     co_await sim::whenAll(eng, std::move(ops));
     co_return;
@@ -117,11 +118,11 @@ sim::Task<void> runTwoPhase(sim::Engine& eng, storage::FileSystem& fs,
   // so the shuffle overlaps the filesystem ops (an aggregator's NIC rx and
   // tx are separate channels); modeling them concurrently captures that.
   std::vector<sim::Task<void>> ops;
-  ops.push_back(shuffleTransfers(eng, contribs, aggs, isWrite));
+  ops.push_back(shuffleTransfers(eng, contribs, aggs, isWrite, cause));
   for (std::size_t a = 0; a < aggs.size(); ++a) {
     if (perAgg[a].empty()) continue;
-    ops.push_back(
-        runExtentsFromNode(fs, *aggs[a], std::move(perAgg[a]), isWrite));
+    ops.push_back(runExtentsFromNode(fs, *aggs[a], std::move(perAgg[a]),
+                                     isWrite, cause));
   }
   co_await sim::whenAll(eng, std::move(ops));
 }
@@ -238,6 +239,14 @@ sim::Task<void> File::independentOp(OpKind kind, std::uint64_t offsetEtypes,
                                     const char* opName) {
   const std::uint64_t tick = rank_.bumpTick();
   const double entry = rank_.engine().now();
+  // Root of the dependency chain for this call: everything the storage
+  // stack does on its behalf carries this id as (transitive) cause.
+  std::int64_t act = -1;
+  if (obs::Hub* o = rank_.engine().obs();
+      o != nullptr && o->edges != nullptr) {
+    act = o->edges->begin(obs::ActKind::MpiIo, rank_.id(), opName, entry,
+                          bytes);
+  }
   auto extents = mapToExtents(offsetEtypes, bytes);
   auto& fs = shared_->fs();
   const IoHints& hints = rank_.runtime().hints();
@@ -257,20 +266,26 @@ sim::Task<void> File::independentOp(OpKind kind, std::uint64_t offsetEtypes,
       const std::uint64_t chunk =
           std::min(spanEnd - cursor, hints.sieveBufferSize);
       co_await fs.read(rank_.node(), extents.front().fsFileId, cursor,
-                       chunk);
+                       chunk, act);
       if (kind == OpKind::Write) {
         co_await fs.write(rank_.node(), extents.front().fsFileId, cursor,
-                          chunk);
+                          chunk, act);
       }
       cursor += chunk;
     }
   } else {
     for (const auto& e : extents) {
       if (kind == OpKind::Write) {
-        co_await fs.write(rank_.node(), e.fsFileId, e.offset, e.bytes);
+        co_await fs.write(rank_.node(), e.fsFileId, e.offset, e.bytes, act);
       } else {
-        co_await fs.read(rank_.node(), e.fsFileId, e.offset, e.bytes);
+        co_await fs.read(rank_.node(), e.fsFileId, e.offset, e.bytes, act);
       }
+    }
+  }
+  if (act >= 0) {
+    if (obs::Hub* o = rank_.engine().obs();
+        o != nullptr && o->edges != nullptr) {
+      o->edges->end(act, rank_.engine().now());
     }
   }
   emitTrace(opName, offsetEtypes, bytes, tick, entry);
@@ -283,14 +298,20 @@ namespace {
 class TwoPhaseBody final : public CollectiveBody {
  public:
   TwoPhaseBody(sim::Engine& engine, SharedFileState& state,
-               const IoHints& hints, bool isWrite)
-      : engine_(engine), state_(state), hints_(hints), isWrite_(isWrite) {}
+               const IoHints& hints, bool isWrite, std::int64_t cause)
+      : engine_(engine),
+        state_(state),
+        hints_(hints),
+        isWrite_(isWrite),
+        cause_(cause) {}
 
   sim::Task<void> run() override {
     std::vector<Contribution> contribs = std::move(state_.pending());
     state_.pending().clear();
+    // Only the last-arriving rank's body runs, so `cause_` is its MPI-IO
+    // activity — the one the rendezvous arrival links point at.
     return runTwoPhase(engine_, state_.fs(), hints_, std::move(contribs),
-                       isWrite_);
+                       isWrite_, cause_);
   }
 
  private:
@@ -298,6 +319,7 @@ class TwoPhaseBody final : public CollectiveBody {
   SharedFileState& state_;
   const IoHints& hints_;
   bool isWrite_;
+  std::int64_t cause_;
 };
 
 }  // namespace
@@ -306,6 +328,12 @@ sim::Task<void> File::collectiveOp(OpKind kind, std::uint64_t offsetEtypes,
                                    std::uint64_t bytes, const char* opName) {
   const std::uint64_t tick = rank_.bumpTick();
   const double entry = rank_.engine().now();
+  std::int64_t act = -1;
+  if (obs::Hub* o = rank_.engine().obs();
+      o != nullptr && o->edges != nullptr) {
+    act = o->edges->begin(obs::ActKind::MpiIo, rank_.id(), opName, entry,
+                          bytes);
+  }
 
   Contribution contribution;
   contribution.node = &rank_.node();
@@ -319,9 +347,15 @@ sim::Task<void> File::collectiveOp(OpKind kind, std::uint64_t offsetEtypes,
   // and collectives on a file cannot overlap, so pending() accumulates
   // exactly this collective's np contributions.
   shared_->pending().push_back(std::move(contribution));
-  TwoPhaseBody body(rank_.engine(), *shared_, rt.hints(), isWrite);
-  co_await rt.world().rendezvous(rank_, &body);
+  TwoPhaseBody body(rank_.engine(), *shared_, rt.hints(), isWrite, act);
+  co_await rt.world().rendezvous(rank_, &body, act);
 
+  if (act >= 0) {
+    if (obs::Hub* o = rank_.engine().obs();
+        o != nullptr && o->edges != nullptr) {
+      o->edges->end(act, rank_.engine().now());
+    }
+  }
   emitTrace(opName, offsetEtypes, bytes, tick, entry);
 }
 

@@ -1,0 +1,108 @@
+#include "obs/capture.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iop::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("capture: " + what);
+}
+
+std::string expectLine(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) bad(std::string("truncated before ") + what);
+  return line;
+}
+
+/// "key rest" -> rest, checking the key.
+std::string keyed(const std::string& line, const std::string& key) {
+  if (line.size() < key.size() + 1 || line.compare(0, key.size(), key) != 0 ||
+      line[key.size()] != ' ') {
+    bad("expected '" + key + " ...', got '" + line + "'");
+  }
+  return line.substr(key.size() + 1);
+}
+
+}  // namespace
+
+void RunCapture::write(std::ostream& out) const {
+  out << "iop-capture v1\n";
+  out << "app " << app << "\n";
+  out << "np " << np << "\n";
+  out << "config " << config << "\n";
+  out << "makespan " << num(makespan) << "\n";
+  out << "phases " << phases.size() << "\n";
+  for (const auto& p : phases) {
+    out << "phase " << p.id << " " << p.familyId << " " << p.weightBytes
+        << " " << num(p.ioSeconds) << " " << num(p.bandwidth) << " "
+        << p.label << "\n";
+  }
+  std::size_t lines = 0;
+  for (char c : metricsCsv) {
+    if (c == '\n') ++lines;
+  }
+  if (!metricsCsv.empty() && metricsCsv.back() != '\n') ++lines;
+  out << "metrics " << lines << "\n";
+  out << metricsCsv;
+  if (!metricsCsv.empty() && metricsCsv.back() != '\n') out << "\n";
+  out << "end\n";
+}
+
+void RunCapture::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) bad("cannot open output " + path);
+  write(file);
+}
+
+RunCapture RunCapture::read(std::istream& in) {
+  RunCapture cap;
+  if (expectLine(in, "header") != "iop-capture v1") {
+    bad("not an iop-capture v1 file");
+  }
+  cap.app = keyed(expectLine(in, "app"), "app");
+  cap.np = std::stoi(keyed(expectLine(in, "np"), "np"));
+  cap.config = keyed(expectLine(in, "config"), "config");
+  cap.makespan = std::stod(keyed(expectLine(in, "makespan"), "makespan"));
+  const int nPhases =
+      std::stoi(keyed(expectLine(in, "phases"), "phases"));
+  for (int i = 0; i < nPhases; ++i) {
+    std::istringstream row(keyed(expectLine(in, "phase"), "phase"));
+    CapturePhase p;
+    if (!(row >> p.id >> p.familyId >> p.weightBytes >> p.ioSeconds >>
+          p.bandwidth)) {
+      bad("malformed phase row");
+    }
+    std::getline(row, p.label);
+    if (!p.label.empty() && p.label.front() == ' ') p.label.erase(0, 1);
+    cap.phases.push_back(std::move(p));
+  }
+  const int nMetrics =
+      std::stoi(keyed(expectLine(in, "metrics"), "metrics"));
+  std::string csv;
+  for (int i = 0; i < nMetrics; ++i) {
+    csv += expectLine(in, "metrics line");
+    csv += "\n";
+  }
+  cap.metricsCsv = std::move(csv);
+  if (expectLine(in, "end") != "end") bad("missing end marker");
+  return cap;
+}
+
+RunCapture RunCapture::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) bad("cannot open " + path);
+  return read(file);
+}
+
+}  // namespace iop::obs

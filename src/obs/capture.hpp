@@ -1,0 +1,52 @@
+// Run captures: the persisted per-run summary that iop-diff compares.
+//
+// A capture is a small, versioned text file holding the identity of a run
+// (app, np, configuration), its makespan, the per-phase measured times and
+// bandwidths, and the full metrics CSV (so histogram shapes travel with
+// it).  Produced by `iop-stats --capture-out`, consumed by `iop-diff`.
+//
+// Format (line-oriented, '#'-free, labels last so they may hold spaces):
+//   iop-capture v1
+//   app <name>
+//   np <n>
+//   config <name>
+//   makespan <seconds>
+//   phases <count>
+//   phase <id> <familyId> <weightBytes> <ioSeconds> <bandwidth> <label...>
+//   metrics <lineCount>
+//   <raw metrics CSV lines>
+//   end
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iop::obs {
+
+struct CapturePhase {
+  int id = 0;
+  int familyId = 0;
+  std::uint64_t weightBytes = 0;
+  double ioSeconds = 0;   ///< measured I/O time of the phase
+  double bandwidth = 0;   ///< weight / ioSeconds (bytes/s)
+  std::string label;      ///< "W"/"R"/"W-R" plus file id
+};
+
+struct RunCapture {
+  std::string app;
+  int np = 0;
+  std::string config;
+  double makespan = 0;
+  std::vector<CapturePhase> phases;
+  std::string metricsCsv;  ///< may be empty when metrics were off
+
+  void write(std::ostream& out) const;
+  void save(const std::string& path) const;
+
+  static RunCapture read(std::istream& in);      ///< throws on bad format
+  static RunCapture load(const std::string& path);
+};
+
+}  // namespace iop::obs

@@ -1,0 +1,233 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace iop::obs {
+
+namespace {
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", v);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+double relChange(double a, double b) {
+  if (a == 0) return b == 0 ? 0 : 100.0;
+  return 100.0 * (b - a) / a;
+}
+
+/// Normalized L1 distance between two bucket-count vectors (0 = identical
+/// shape, 2 = disjoint support).
+double l1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  double sumA = 0;
+  double sumB = 0;
+  for (double v : a) sumA += v;
+  for (double v : b) sumB += v;
+  if (sumA == 0 || sumB == 0) return sumA == sumB ? 0 : 2;
+  double d = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pa = i < a.size() ? a[i] / sumA : 0;
+    const double pb = i < b.size() ? b[i] / sumB : 0;
+    d += std::fabs(pa - pb);
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::vector<double>>>
+parseHistogramBuckets(const std::string& metricsCsv) {
+  std::vector<std::pair<std::string, std::vector<double>>> out;
+  std::istringstream in(metricsCsv);
+  std::string line;
+  while (std::getline(in, line)) {
+    // metric,kind,field,value — histogram bucket rows have field le_*.
+    const auto c1 = line.find(',');
+    if (c1 == std::string::npos) continue;
+    const auto c2 = line.find(',', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    const auto c3 = line.find(',', c2 + 1);
+    if (c3 == std::string::npos) continue;
+    if (line.compare(c1 + 1, c2 - c1 - 1, "histogram") != 0) continue;
+    if (line.compare(c2 + 1, 3, "le_") != 0) continue;
+    const std::string name = line.substr(0, c1);
+    const double value = std::strtod(line.c_str() + c3 + 1, nullptr);
+    if (out.empty() || out.back().first != name) {
+      out.emplace_back(name, std::vector<double>{});
+    }
+    out.back().second.push_back(value);
+  }
+  return out;
+}
+
+std::string DiffFinding::describe() const {
+  std::string what;
+  switch (kind) {
+    case Kind::Makespan: what = "makespan"; break;
+    case Kind::PhaseTime:
+      what = "phase " + std::to_string(phaseId) + " [" + subject + "] time";
+      break;
+    case Kind::PhaseBandwidth:
+      what = "phase " + std::to_string(phaseId) + " [" + subject +
+             "] bandwidth";
+      break;
+    case Kind::PhaseMissing:
+      what = "phase " + std::to_string(phaseId) + " [" + subject + "]";
+      break;
+    case Kind::HistogramShape:
+      what = "histogram " + subject + " shape";
+      break;
+  }
+  if (kind == Kind::PhaseMissing) {
+    return what + ": present in only one run";
+  }
+  if (kind == Kind::HistogramShape) {
+    return what + ": L1 distance " + num(after) +
+           (regression ? " (changed)" : "");
+  }
+  return what + ": " + num(before) + " -> " + num(after) + " (" +
+         pct(deltaPct) + (regression ? ", regression)" : ")");
+}
+
+std::size_t DiffResult::regressions() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.regression) ++n;
+  }
+  return n;
+}
+
+std::string DiffResult::render(const RunCapture& a,
+                               const RunCapture& b) const {
+  std::ostringstream out;
+  out << "diff: " << a.app << " np=" << a.np << " on " << a.config
+      << "  vs  " << b.app << " np=" << b.np << " on " << b.config << "\n";
+  out << "  makespan " << num(a.makespan) << " s -> " << num(b.makespan)
+      << " s (" << pct(relChange(a.makespan, b.makespan)) << ")\n";
+  if (findings.empty()) {
+    out << "  no changes beyond thresholds ("
+        << num(options.thresholdPct) << "% / L1 "
+        << num(options.histThreshold) << ")\n";
+  } else {
+    for (const auto& f : findings) {
+      out << "  " << (f.regression ? "REGRESSION  " : "change      ")
+          << f.describe() << "\n";
+    }
+  }
+  out << "  " << regressions() << " regression(s), " << findings.size()
+      << " finding(s)\n";
+  return out.str();
+}
+
+DiffResult diffCaptures(const RunCapture& a, const RunCapture& b,
+                        const DiffOptions& options) {
+  DiffResult result;
+  result.options = options;
+  auto& f = result.findings;
+
+  {
+    const double d = relChange(a.makespan, b.makespan);
+    if (std::fabs(d) > options.thresholdPct &&
+        std::fabs(b.makespan - a.makespan) > options.minSeconds) {
+      DiffFinding x;
+      x.kind = DiffFinding::Kind::Makespan;
+      x.regression = b.makespan > a.makespan;
+      x.subject = "makespan";
+      x.before = a.makespan;
+      x.after = b.makespan;
+      x.deltaPct = d;
+      f.push_back(std::move(x));
+    }
+  }
+
+  std::map<int, const CapturePhase*> phasesB;
+  for (const auto& p : b.phases) phasesB[p.id] = &p;
+  std::map<int, const CapturePhase*> phasesA;
+  for (const auto& p : a.phases) phasesA[p.id] = &p;
+
+  for (const auto& pa : a.phases) {
+    const auto it = phasesB.find(pa.id);
+    if (it == phasesB.end()) {
+      DiffFinding x;
+      x.kind = DiffFinding::Kind::PhaseMissing;
+      x.regression = true;
+      x.phaseId = pa.id;
+      x.subject = pa.label;
+      f.push_back(std::move(x));
+      continue;
+    }
+    const CapturePhase& pb = *it->second;
+    const double dt = relChange(pa.ioSeconds, pb.ioSeconds);
+    if (std::fabs(dt) > options.thresholdPct &&
+        std::fabs(pb.ioSeconds - pa.ioSeconds) > options.minSeconds) {
+      DiffFinding x;
+      x.kind = DiffFinding::Kind::PhaseTime;
+      x.regression = pb.ioSeconds > pa.ioSeconds;
+      x.phaseId = pa.id;
+      x.subject = pa.label;
+      x.before = pa.ioSeconds;
+      x.after = pb.ioSeconds;
+      x.deltaPct = dt;
+      f.push_back(std::move(x));
+    }
+    const double db = relChange(pa.bandwidth, pb.bandwidth);
+    if (std::fabs(db) > options.thresholdPct && pa.bandwidth > 0 &&
+        pb.bandwidth > 0) {
+      DiffFinding x;
+      x.kind = DiffFinding::Kind::PhaseBandwidth;
+      x.regression = pb.bandwidth < pa.bandwidth;
+      x.phaseId = pa.id;
+      x.subject = pa.label;
+      x.before = pa.bandwidth;
+      x.after = pb.bandwidth;
+      x.deltaPct = db;
+      f.push_back(std::move(x));
+    }
+  }
+  for (const auto& pb : b.phases) {
+    if (phasesA.count(pb.id) != 0) continue;
+    DiffFinding x;
+    x.kind = DiffFinding::Kind::PhaseMissing;
+    x.regression = true;
+    x.phaseId = pb.id;
+    x.subject = pb.label;
+    f.push_back(std::move(x));
+  }
+
+  if (!a.metricsCsv.empty() && !b.metricsCsv.empty()) {
+    const auto histA = parseHistogramBuckets(a.metricsCsv);
+    std::map<std::string, const std::vector<double>*> histB;
+    const auto parsedB = parseHistogramBuckets(b.metricsCsv);
+    for (const auto& [name, buckets] : parsedB) histB[name] = &buckets;
+    for (const auto& [name, bucketsA] : histA) {
+      const auto it = histB.find(name);
+      if (it == histB.end()) continue;
+      const double d = l1Distance(bucketsA, *it->second);
+      if (d > options.histThreshold) {
+        DiffFinding x;
+        x.kind = DiffFinding::Kind::HistogramShape;
+        x.regression = true;  // a shape change is always worth a look in CI
+        x.subject = name;
+        x.after = d;
+        f.push_back(std::move(x));
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace iop::obs

@@ -1,0 +1,59 @@
+// Run-to-run regression diffing over two captures.
+//
+// Phases are aligned by id (the model's phase sequence is stable for a
+// given application), then compared on measured I/O time, bandwidth, and
+// — when both captures carry metrics — the *shape* of every shared
+// queue-depth/latency histogram, measured as the normalized L1 distance
+// between bucket distributions.  Each comparison beyond its threshold
+// becomes a finding; `regressions()` counts only the ones that got
+// *worse*, which is what drives iop-diff's non-zero CI exit code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/capture.hpp"
+
+namespace iop::obs {
+
+struct DiffOptions {
+  /// Relative change in percent beyond which a per-phase time/bandwidth
+  /// delta or the makespan delta counts as a finding.
+  double thresholdPct = 5.0;
+  /// Normalized L1 distance (0..2) beyond which a histogram's bucket
+  /// distribution counts as changed shape.
+  double histThreshold = 0.25;
+  /// Ignore phase time deltas below this many seconds (fp noise floor).
+  double minSeconds = 1e-9;
+};
+
+struct DiffFinding {
+  enum class Kind { Makespan, PhaseTime, PhaseBandwidth, PhaseMissing,
+                    HistogramShape };
+  Kind kind = Kind::PhaseTime;
+  bool regression = false;  ///< true when B is worse than A
+  int phaseId = -1;         ///< phase findings only
+  std::string subject;      ///< phase label or histogram metric name
+  double before = 0;
+  double after = 0;
+  double deltaPct = 0;      ///< signed relative change, percent
+  std::string describe() const;
+};
+
+struct DiffResult {
+  DiffOptions options;
+  std::vector<DiffFinding> findings;
+
+  std::size_t regressions() const noexcept;
+  std::string render(const RunCapture& a, const RunCapture& b) const;
+};
+
+DiffResult diffCaptures(const RunCapture& a, const RunCapture& b,
+                        const DiffOptions& options = {});
+
+/// Parse the `le_*` bucket rows of every histogram in a metrics CSV
+/// (exposed for tests).  Returns metric -> ordered bucket counts.
+std::vector<std::pair<std::string, std::vector<double>>>
+parseHistogramBuckets(const std::string& metricsCsv);
+
+}  // namespace iop::obs

@@ -1,0 +1,102 @@
+// Dependency-edge recording between simulated events.
+//
+// The trace layer (recorder.hpp) answers "what happened when"; this layer
+// answers "what waited on what".  Instrumented seams record *activities*
+// — an MPI-IO operation, a collective, a network transfer, a page-cache
+// service, a disk request — each carrying the id of the activity that
+// caused it (the storage and MPI layers thread an explicit `cause`
+// parameter down the call chain, because ambient context does not survive
+// coroutine suspension).  Cross-rank dependencies that the cause chain
+// cannot express — a rendezvous releasing all members once the last one
+// arrived — are recorded as explicit links.
+//
+// Activity ids are assigned in recording order, so for a deterministic
+// simulation the recorded graph is itself deterministic.  Like the other
+// obs sinks, the recorder is passive: it never touches the engine RNG and
+// never schedules anything, so attaching it cannot perturb a run (the A/B
+// test in tests/obs_test.cpp pins this).
+//
+// The graph is consumed post-run by the critical-path engine
+// (critpath.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iop::obs {
+
+/// No causal parent: a root activity (rank program order applies) or a
+/// background process (page-cache flusher writes).
+inline constexpr std::int64_t kNoCause = -1;
+
+enum class ActKind : int {
+  MpiIo = 0,   ///< one MPI-IO call on one rank
+  Collective,  ///< barrier / bcast / allreduce / rendezvous arrival
+  Network,     ///< one NIC-to-NIC transfer
+  Cache,       ///< one page-cache service (server side)
+  Disk,        ///< one disk request, queueing included
+  Other,
+};
+
+const char* actKindName(ActKind kind);
+
+struct Activity {
+  std::int64_t id = -1;
+  ActKind kind = ActKind::Other;
+  int rank = -1;  ///< owning MPI rank; -1 for device/server-side work
+  double begin = 0;
+  double end = -1;  ///< < begin while still open
+  std::uint64_t bytes = 0;
+  std::int64_t cause = kNoCause;  ///< parent activity id
+  std::string label;              ///< op name or device description
+
+  bool closed() const noexcept { return end >= begin; }
+};
+
+/// Explicit cross-chain dependency: `succ` could not proceed before `pred`
+/// reached the linked point (rendezvous member arrival -> releasing op).
+struct CausalLink {
+  std::int64_t pred = -1;
+  std::int64_t succ = -1;
+};
+
+class EdgeRecorder {
+ public:
+  /// Open an activity; returns its id (pass as `cause` to downstream work).
+  std::int64_t begin(ActKind kind, int rank, std::string label, double at,
+                     std::uint64_t bytes = 0, std::int64_t cause = kNoCause);
+
+  /// Close an activity.  Ignores invalid ids (callers may hold kNoCause).
+  void end(std::int64_t id, double at);
+
+  /// Zero-duration activity (e.g. a rendezvous arrival marker).
+  std::int64_t instant(ActKind kind, int rank, std::string label, double at,
+                       std::int64_t cause = kNoCause);
+
+  /// Record an explicit dependency between two recorded activities.
+  void link(std::int64_t pred, std::int64_t succ);
+
+  /// Engine dispatch hook: advances the recorder's time horizon so
+  /// still-open activities can be clamped post-run.
+  void noteDispatch(double at) noexcept {
+    if (at > horizon_) horizon_ = at;
+    ++dispatches_;
+  }
+
+  const std::vector<Activity>& activities() const noexcept {
+    return activities_;
+  }
+  const std::vector<CausalLink>& links() const noexcept { return links_; }
+  double horizon() const noexcept { return horizon_; }
+  std::uint64_t dispatches() const noexcept { return dispatches_; }
+  std::size_t size() const noexcept { return activities_.size(); }
+
+ private:
+  std::vector<Activity> activities_;
+  std::vector<CausalLink> links_;
+  double horizon_ = 0;
+  std::uint64_t dispatches_ = 0;
+};
+
+}  // namespace iop::obs

@@ -1,17 +1,22 @@
 // Attachment point for simulation-wide observability.
 //
-// A Hub bundles the two optional sinks — a TraceRecorder (timeline spans,
-// instants, counter tracks) and a MetricsRegistry (named counters, gauges,
-// histograms).  Instrumented components reach the hub through their
-// sim::Engine (`engine.obs()`), which is null unless a caller attached one,
-// so the only cost of instrumentation in an unobserved run is a pointer
-// test.  Recording must never perturb the simulation: hub users may not
-// touch Engine::rng() or schedule/reorder events.
+// A Hub bundles the optional sinks — a TraceRecorder (timeline spans,
+// instants, counter tracks), a MetricsRegistry (named counters, gauges,
+// histograms), an EdgeRecorder (causal dependency edges for critical-path
+// analysis), and a Logger (structured JSONL warnings/diagnostics).
+// Instrumented components reach the hub through their sim::Engine
+// (`engine.obs()`), which is null unless a caller attached one, so the
+// only cost of instrumentation in an unobserved run is a pointer test.
+// Recording must never perturb the simulation: hub users may not touch
+// Engine::rng() or schedule/reorder events.
 //
 // Session is the convenience owner used by tools and tests: it owns one
-// recorder + one registry and exposes the Hub view to attach to engines.
+// instance of each sink and exposes the Hub view to attach to engines.
+// Unwanted sinks are disabled by nulling the corresponding Hub pointer.
 #pragma once
 
+#include "obs/edges.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 
@@ -20,23 +25,38 @@ namespace iop::obs {
 struct Hub {
   TraceRecorder* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  EdgeRecorder* edges = nullptr;
+  Logger* log = nullptr;
 
   bool wantsTrace() const noexcept { return trace != nullptr; }
   bool wantsMetrics() const noexcept { return metrics != nullptr; }
+  bool wantsEdges() const noexcept { return edges != nullptr; }
+  bool wantsLog(LogLevel lvl) const noexcept {
+    return log != nullptr && log->enabled(lvl);
+  }
 };
 
-/// Owns one recorder and one registry; hand `hub()` to Engine::setObs.
+/// Owns one sink of each kind; hand `hub()` to Engine::setObs.
 class Session {
  public:
-  Session() { hub_.trace = &recorder_; hub_.metrics = &metrics_; }
+  Session() {
+    hub_.trace = &recorder_;
+    hub_.metrics = &metrics_;
+    hub_.edges = &edges_;
+    hub_.log = &log_;
+  }
 
   Hub* hub() noexcept { return &hub_; }
   TraceRecorder& recorder() noexcept { return recorder_; }
   MetricsRegistry& metrics() noexcept { return metrics_; }
+  EdgeRecorder& edges() noexcept { return edges_; }
+  Logger& log() noexcept { return log_; }
 
  private:
   TraceRecorder recorder_;
   MetricsRegistry metrics_;
+  EdgeRecorder edges_;
+  Logger log_;
   Hub hub_;
 };
 

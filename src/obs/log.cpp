@@ -1,0 +1,51 @@
+#include "obs/log.hpp"
+
+#include <stdexcept>
+
+#include "obs/recorder.hpp"
+
+namespace iop::obs {
+
+LogLevel parseLogLevel(const std::string& name) {
+  if (name == "off") return LogLevel::Off;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "info") return LogLevel::Info;
+  if (name == "debug") return LogLevel::Debug;
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (use off, warn, info or debug)");
+}
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Off: return "off";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel lvl, const std::string& component,
+                 const std::string& event, const std::string& fieldsJson) {
+  if (!enabled(lvl)) return;
+  std::string line = "{\"level\":\"";
+  line += logLevelName(lvl);
+  line += "\",\"component\":\"";
+  line += TraceRecorder::jsonEscape(component);
+  line += "\",\"event\":\"";
+  line += TraceRecorder::jsonEscape(event);
+  line += "\"";
+  if (!fieldsJson.empty()) {
+    line += ",";
+    line += fieldsJson;
+  }
+  line += "}\n";
+  ++lines_;
+  if (capture_ != nullptr) {
+    *capture_ += line;
+    return;
+  }
+  std::fputs(line.c_str(), out_ != nullptr ? out_ : stderr);
+}
+
+}  // namespace iop::obs

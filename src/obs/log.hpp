@@ -1,0 +1,69 @@
+// Structured JSONL logging for engine warnings and tool diagnostics.
+//
+// One line per event: {"level":"warn","component":"disk","event":...,...}.
+// Components reach the logger through the obs::Hub (engine.obs()->log), so
+// an unattached run pays only a pointer test — the same contract as the
+// trace and metrics sinks.  The iop-* tools own one Logger each, driven by
+// the shared --log-level flag; this replaces ad-hoc stderr prints.
+//
+// The logger writes wall-clock-free, locale-free lines so output is
+// deterministic for a deterministic simulation (callers pass simulated
+// time as an explicit field when it matters).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace iop::obs {
+
+enum class LogLevel : int { Off = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// "off" | "warn" | "info" | "debug" (throws std::invalid_argument).
+LogLevel parseLogLevel(const std::string& name);
+const char* logLevelName(LogLevel level);
+
+class Logger {
+ public:
+  explicit Logger(LogLevel level = LogLevel::Warn, std::FILE* out = nullptr)
+      : level_(level), out_(out) {}
+
+  LogLevel level() const noexcept { return level_; }
+  void setLevel(LogLevel level) noexcept { level_ = level; }
+
+  bool enabled(LogLevel lvl) const noexcept {
+    return lvl != LogLevel::Off && static_cast<int>(lvl) <=
+                                       static_cast<int>(level_);
+  }
+
+  /// Emit one JSONL line.  `fieldsJson` is a pre-rendered `"k":v,...` tail
+  /// (same convention as TraceRecorder argsJson); may be empty.  Strings
+  /// inside fieldsJson must already be JSON-escaped by the caller.
+  void log(LogLevel lvl, const std::string& component,
+           const std::string& event, const std::string& fieldsJson = {});
+
+  void warn(const std::string& component, const std::string& event,
+            const std::string& fieldsJson = {}) {
+    log(LogLevel::Warn, component, event, fieldsJson);
+  }
+  void info(const std::string& component, const std::string& event,
+            const std::string& fieldsJson = {}) {
+    log(LogLevel::Info, component, event, fieldsJson);
+  }
+  void debug(const std::string& component, const std::string& event,
+             const std::string& fieldsJson = {}) {
+    log(LogLevel::Debug, component, event, fieldsJson);
+  }
+
+  /// Redirect output into a string (tests); nullptr restores the FILE*.
+  void captureTo(std::string* sink) noexcept { capture_ = sink; }
+
+  std::size_t lineCount() const noexcept { return lines_; }
+
+ private:
+  LogLevel level_;
+  std::FILE* out_;  ///< nullptr = stderr
+  std::string* capture_ = nullptr;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace iop::obs

@@ -1,6 +1,7 @@
 #include "obs/recorder.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -35,21 +36,66 @@ std::string renderNumber(double v) {
 std::string TraceRecorder::jsonEscape(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
-  for (unsigned char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
+  const auto* s = reinterpret_cast<const unsigned char*>(raw.data());
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n;) {
+    const unsigned char c = s[i];
+    if (c < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+      ++i;
+      continue;
+    }
+    // Non-ASCII: pass through only well-formed UTF-8 (the output must be a
+    // valid JSON document even for hostile track/span names); anything
+    // else — stray continuation bytes, overlong encodings, surrogates,
+    // truncated sequences, Latin-1 bytes — becomes U+FFFD.
+    std::size_t len = 0;
+    std::uint32_t cp = 0;
+    if ((c & 0xe0) == 0xc0) {
+      len = 2;
+      cp = c & 0x1fu;
+    } else if ((c & 0xf0) == 0xe0) {
+      len = 3;
+      cp = c & 0x0fu;
+    } else if ((c & 0xf8) == 0xf0) {
+      len = 4;
+      cp = c & 0x07u;
+    }
+    bool ok = len > 0 && i + len <= n;
+    for (std::size_t k = 1; ok && k < len; ++k) {
+      if ((s[i + k] & 0xc0) != 0x80) {
+        ok = false;
+      } else {
+        cp = (cp << 6) | (s[i + k] & 0x3fu);
+      }
+    }
+    if (ok) {
+      ok = (len == 2 && cp >= 0x80) || (len == 3 && cp >= 0x800) ||
+           (len == 4 && cp >= 0x10000);
+      if (cp > 0x10ffff || (cp >= 0xd800 && cp <= 0xdfff)) ok = false;
+    }
+    if (ok) {
+      out.append(raw, i, len);
+      i += len;
+    } else {
+      out += "\xef\xbf\xbd";  // U+FFFD replacement character
+      ++i;
     }
   }
   return out;

@@ -52,7 +52,12 @@ void Engine::dispatchUntil(Time limit, bool bounded) {
     queue_.pop();
     now_ = ev.when;
     ++dispatched_;
-    if (obs_ != nullptr && now_ >= obsNextSample_) sampleObs();
+    if (obs_ != nullptr) {
+      // Edge emission at dispatch: advance the recorder's time horizon so
+      // activities abandoned at teardown can be clamped post-run.
+      if (obs_->edges != nullptr) obs_->edges->noteDispatch(now_);
+      if (now_ >= obsNextSample_) sampleObs();
+    }
     ev.handle.resume();
     throwIfFailed();
   }
@@ -91,6 +96,12 @@ void Engine::throwIfFailed() {
 void Engine::run() {
   dispatchUntil(0, false);
   if (liveDetached_ > 0) {
+    if (obs_ != nullptr && obs_->wantsLog(obs::LogLevel::Warn)) {
+      obs_->log->warn("engine", "deadlock_detector_armed",
+                      "\"blocked_processes\":" +
+                          std::to_string(liveDetached_) +
+                          ",\"sim_time\":" + std::to_string(now_));
+    }
     throw DeadlockError("simulation deadlock: " +
                         std::to_string(liveDetached_) +
                         " process(es) blocked with an empty event queue");

@@ -21,8 +21,8 @@ struct MemberSlice {
 // ---------------------------------------------------------------- SingleDisk
 
 sim::Task<void> SingleDisk::access(std::uint64_t offset, std::uint64_t size,
-                                   IoOp op) {
-  co_await disk_.access(offset, size, op);
+                                   IoOp op, std::int64_t cause) {
+  co_await disk_.access(offset, size, op, cause);
 }
 
 void SingleDisk::collectDisks(std::vector<Disk*>& out) {
@@ -53,7 +53,7 @@ Raid0::Raid0(sim::Engine& engine, std::vector<DiskParams> members,
 }
 
 sim::Task<void> Raid0::access(std::uint64_t offset, std::uint64_t size,
-                              IoOp op) {
+                              IoOp op, std::int64_t cause) {
   const std::size_t n = disks_.size();
   std::vector<MemberSlice> slices(n);
   std::uint64_t cursor = offset;
@@ -77,8 +77,8 @@ sim::Task<void> Raid0::access(std::uint64_t offset, std::uint64_t size,
   std::vector<sim::Task<void>> ops;
   for (std::size_t m = 0; m < n; ++m) {
     if (slices[m].touched) {
-      ops.push_back(
-          disks_[m]->access(slices[m].firstOffset, slices[m].bytes, op));
+      ops.push_back(disks_[m]->access(slices[m].firstOffset,
+                                      slices[m].bytes, op, cause));
     }
   }
   co_await sim::whenAll(engine_, std::move(ops));
@@ -116,7 +116,7 @@ Raid5::Raid5(sim::Engine& engine, std::vector<DiskParams> members,
 }
 
 sim::Task<void> Raid5::access(std::uint64_t offset, std::uint64_t size,
-                              IoOp op) {
+                              IoOp op, std::int64_t cause) {
   const std::size_t n = disks_.size();
   const std::uint64_t rowWidth = stripeWidth();
 
@@ -149,7 +149,8 @@ sim::Task<void> Raid5::access(std::uint64_t offset, std::uint64_t size,
     for (std::size_t m = 0; m < n; ++m) {
       if (slices[m].touched) {
         ops.push_back(disks_[m]->access(slices[m].firstOffset,
-                                        slices[m].bytes, IoOp::Read));
+                                        slices[m].bytes, IoOp::Read,
+                                        cause));
       }
     }
     co_await sim::whenAll(engine_, std::move(ops));
@@ -166,7 +167,7 @@ sim::Task<void> Raid5::access(std::uint64_t offset, std::uint64_t size,
     const std::uint64_t rowEnd =
         (cursor / rowWidth + 1) * rowWidth;
     const std::uint64_t partEnd = std::min(end, rowEnd);
-    ops.push_back(writePartial(cursor, partEnd - cursor));
+    ops.push_back(writePartial(cursor, partEnd - cursor, cause));
     cursor = partEnd;
   }
   // Full rows.
@@ -178,21 +179,21 @@ sim::Task<void> Raid5::access(std::uint64_t offset, std::uint64_t size,
       // contiguous on the member.
       for (std::size_t m = 0; m < n; ++m) {
         ops.push_back(disks_[m]->access(firstRow * stripeUnit_,
-                                        fullRows * stripeUnit_,
-                                        IoOp::Write));
+                                        fullRows * stripeUnit_, IoOp::Write,
+                                        cause));
       }
       cursor += fullRows * rowWidth;
     }
   }
   // Tail partial row.
   if (cursor < end) {
-    ops.push_back(writePartial(cursor, end - cursor));
+    ops.push_back(writePartial(cursor, end - cursor, cause));
   }
   co_await sim::whenAll(engine_, std::move(ops));
 }
 
 sim::Task<void> Raid5::writePartial(std::uint64_t offset,
-                                    std::uint64_t size) {
+                                    std::uint64_t size, std::int64_t cause) {
   // Read-modify-write within a single row: each touched data chunk pays a
   // read + write on its member; the row's parity member pays a
   // stripe-unit read + write.
@@ -200,10 +201,10 @@ sim::Task<void> Raid5::writePartial(std::uint64_t offset,
   const std::uint64_t row = offset / stripeWidth();
   const std::size_t parityDisk = static_cast<std::size_t>(row % n);
 
-  auto rmw = [](Disk& disk, std::uint64_t off,
-                std::uint64_t bytes) -> sim::Task<void> {
-    co_await disk.access(off, bytes, IoOp::Read);
-    co_await disk.access(off, bytes, IoOp::Write);
+  auto rmw = [](Disk& disk, std::uint64_t off, std::uint64_t bytes,
+                std::int64_t cause) -> sim::Task<void> {
+    co_await disk.access(off, bytes, IoOp::Read, cause);
+    co_await disk.access(off, bytes, IoOp::Write, cause);
   };
 
   std::vector<sim::Task<void>> ops;
@@ -216,10 +217,11 @@ sim::Task<void> Raid5::writePartial(std::uint64_t offset,
     std::size_t member = static_cast<std::size_t>(chunkIdx % (n - 1));
     if (member >= parityDisk) ++member;
     const std::uint64_t memberOffset = row * stripeUnit_ + within;
-    ops.push_back(rmw(*disks_[member], memberOffset, chunk));
+    ops.push_back(rmw(*disks_[member], memberOffset, chunk, cause));
     cursor += chunk;
   }
-  ops.push_back(rmw(*disks_[parityDisk], row * stripeUnit_, stripeUnit_));
+  ops.push_back(
+      rmw(*disks_[parityDisk], row * stripeUnit_, stripeUnit_, cause));
   co_await sim::whenAll(engine_, std::move(ops));
 }
 
@@ -257,7 +259,7 @@ Concat::Concat(sim::Engine& engine, std::vector<DiskParams> members,
 }
 
 sim::Task<void> Concat::access(std::uint64_t offset, std::uint64_t size,
-                               IoOp op) {
+                               IoOp op, std::int64_t cause) {
   std::vector<sim::Task<void>> ops;
   std::uint64_t cursor = offset;
   const std::uint64_t end = offset + size;
@@ -267,7 +269,7 @@ sim::Task<void> Concat::access(std::uint64_t offset, std::uint64_t size,
     const std::uint64_t memberOffset = cursor % memberSpan_;
     const std::uint64_t chunk =
         std::min(end - cursor, memberSpan_ - memberOffset);
-    ops.push_back(disks_[member]->access(memberOffset, chunk, op));
+    ops.push_back(disks_[member]->access(memberOffset, chunk, op, cause));
     cursor += chunk;
   }
   co_await sim::whenAll(engine_, std::move(ops));

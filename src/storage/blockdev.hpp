@@ -23,9 +23,11 @@ class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
 
-  /// Service one logical request.
+  /// Service one logical request.  `cause` is the obs activity that issued
+  /// it (-1 = background); forwarded to the member disks for dependency
+  /// edges.
   virtual sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
-                                 IoOp op) = 0;
+                                 IoOp op, std::int64_t cause = -1) = 0;
 
   /// Member disks, for monitoring and peak estimation.
   virtual void collectDisks(std::vector<Disk*>& out) = 0;
@@ -45,7 +47,7 @@ class SingleDisk final : public BlockDevice {
       : disk_(engine, std::move(params)) {}
 
   sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
-                         IoOp op) override;
+                         IoOp op, std::int64_t cause = -1) override;
   void collectDisks(std::vector<Disk*>& out) override;
   double idealBandwidth(IoOp op) const noexcept override;
   std::string describe() const override;
@@ -64,7 +66,7 @@ class Raid0 final : public BlockDevice {
         std::uint64_t stripeUnit);
 
   sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
-                         IoOp op) override;
+                         IoOp op, std::int64_t cause = -1) override;
   void collectDisks(std::vector<Disk*>& out) override;
   double idealBandwidth(IoOp op) const noexcept override;
   std::string describe() const override;
@@ -89,7 +91,7 @@ class Raid5 final : public BlockDevice {
         std::uint64_t stripeUnit);
 
   sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
-                         IoOp op) override;
+                         IoOp op, std::int64_t cause = -1) override;
   void collectDisks(std::vector<Disk*>& out) override;
   double idealBandwidth(IoOp op) const noexcept override;
   std::string describe() const override;
@@ -99,7 +101,8 @@ class Raid5 final : public BlockDevice {
   }
 
  private:
-  sim::Task<void> writePartial(std::uint64_t offset, std::uint64_t size);
+  sim::Task<void> writePartial(std::uint64_t offset, std::uint64_t size,
+                               std::int64_t cause);
 
   sim::Engine& engine_;
   std::vector<std::unique_ptr<Disk>> disks_;
@@ -115,7 +118,7 @@ class Concat final : public BlockDevice {
          std::uint64_t memberSpan);
 
   sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
-                         IoOp op) override;
+                         IoOp op, std::int64_t cause = -1) override;
   void collectDisks(std::vector<Disk*>& out) override;
   double idealBandwidth(IoOp op) const noexcept override;
   std::string describe() const override;

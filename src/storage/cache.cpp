@@ -59,6 +59,24 @@ void PageCache::obsSampleDirty() {
   obsNextSample_ = engine_.now() + 0.1;
 }
 
+/// Open a Cache activity covering the caller-visible portion of a request
+/// (memcpy, dirty throttling, synchronous device waits).  Background flusher
+/// work is deliberately outside: it has no single requester.
+std::int64_t PageCache::obsBegin(std::uint64_t bytes, std::int64_t cause) {
+  obs::Hub* o = engine_.obs();
+  if (o == nullptr || o->edges == nullptr) return -1;
+  if (obsLabel_.empty()) obsLabel_ = "cache " + device_.describe();
+  return o->edges->begin(obs::ActKind::Cache, -1, obsLabel_, engine_.now(),
+                         bytes, cause);
+}
+
+void PageCache::obsEnd(std::int64_t act) {
+  if (act < 0) return;
+  if (obs::Hub* o = engine_.obs(); o != nullptr && o->edges != nullptr) {
+    o->edges->end(act, engine_.now());
+  }
+}
+
 void PageCache::obsNoteRead(std::uint64_t hitBytes, std::uint64_t missBytes) {
   obs::Hub* o = engine_.obs();
   if (o == nullptr || o->metrics == nullptr) return;
@@ -81,17 +99,22 @@ void PageCache::evictIfNeeded() {
   }
 }
 
-sim::Task<void> PageCache::write(std::uint64_t offset, std::uint64_t size) {
+sim::Task<void> PageCache::write(std::uint64_t offset, std::uint64_t size,
+                                 std::int64_t cause) {
+  const std::int64_t act = obsBegin(size, cause);
+  const std::int64_t down = act >= 0 ? act : cause;
   if (!params_.enabled) {
-    co_await device_.access(offset, size, IoOp::Write);
+    co_await device_.access(offset, size, IoOp::Write, down);
+    obsEnd(act);
     co_return;
   }
   co_await engine_.delay(static_cast<double>(size) / params_.memBandwidth);
   if (params_.writeThrough) {
-    co_await device_.access(offset, size, IoOp::Write);
+    co_await device_.access(offset, size, IoOp::Write, down);
     resident_.insert(offset, offset + size);
     fifo_.emplace_back(offset, offset + size);
     evictIfNeeded();
+    obsEnd(act);
     co_return;
   }
   while (dirtyBytes() + size > dirtyLimit()) {
@@ -103,11 +126,16 @@ sim::Task<void> PageCache::write(std::uint64_t offset, std::uint64_t size) {
   evictIfNeeded();
   obsSampleDirty();
   dirtyCv_.notifyAll();
+  obsEnd(act);
 }
 
-sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size) {
+sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size,
+                                std::int64_t cause) {
+  const std::int64_t act = obsBegin(size, cause);
+  const std::int64_t down = act >= 0 ? act : cause;
   if (!params_.enabled) {
-    co_await device_.access(offset, size, IoOp::Read);
+    co_await device_.access(offset, size, IoOp::Read, down);
+    obsEnd(act);
     co_return;
   }
   const std::uint64_t end = offset + size;
@@ -124,11 +152,11 @@ sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size) {
     if (missBytes * 4 >= size * 3) {
       const std::uint64_t b = gaps.front().first;
       const std::uint64_t e = gaps.back().second;
-      co_await device_.access(b, e - b, IoOp::Read);
+      co_await device_.access(b, e - b, IoOp::Read, down);
     } else {
       std::vector<sim::Task<void>> fetches;
       for (const auto& [b, e] : gaps) {
-        fetches.push_back(device_.access(b, e - b, IoOp::Read));
+        fetches.push_back(device_.access(b, e - b, IoOp::Read, down));
       }
       co_await sim::whenAll(engine_, std::move(fetches));
     }
@@ -140,6 +168,7 @@ sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size) {
   }
   // Copy-out of the full request at memory speed.
   co_await engine_.delay(static_cast<double>(size) / params_.memBandwidth);
+  obsEnd(act);
 }
 
 sim::Task<void> PageCache::flushAll() {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <utility>
 
 #include "sim/engine.hpp"
@@ -40,11 +41,14 @@ class PageCache {
   PageCache(sim::Engine& engine, BlockDevice& device, CacheParams params);
 
   /// Buffered write: memcpy cost + dirty-throttling; device writes happen
-  /// in the background.
-  sim::Task<void> write(std::uint64_t offset, std::uint64_t size);
+  /// in the background.  `cause` is the obs activity the write serves
+  /// (-1 = none); background flusher writes stay causeless.
+  sim::Task<void> write(std::uint64_t offset, std::uint64_t size,
+                        std::int64_t cause = -1);
 
   /// Buffered read: resident bytes at memory speed, gaps from the device.
-  sim::Task<void> read(std::uint64_t offset, std::uint64_t size);
+  sim::Task<void> read(std::uint64_t offset, std::uint64_t size,
+                       std::int64_t cause = -1);
 
   /// Block until all dirty data reached the device (fsync semantics).
   sim::Task<void> flushAll();
@@ -103,8 +107,11 @@ class PageCache {
 
   void obsNoteRead(std::uint64_t hitBytes, std::uint64_t missBytes);
   void obsSampleDirty();
+  std::int64_t obsBegin(std::uint64_t bytes, std::int64_t cause);
+  void obsEnd(std::int64_t act);
   int obsTrack_ = -1;          ///< cached trace track id
   double obsNextSample_ = 0;   ///< throttle for the dirty-bytes track
+  std::string obsLabel_;       ///< cached activity label
 };
 
 }  // namespace iop::storage

@@ -28,12 +28,29 @@ void Disk::setDegradation(double factor) {
 }
 
 sim::Task<void> Disk::access(std::uint64_t offset, std::uint64_t size,
-                             IoOp op) {
-  if (obs::Hub* o = engine_.obs(); o != nullptr && o->metrics != nullptr) {
+                             IoOp op, std::int64_t cause) {
+  std::int64_t act = -1;
+  if (obs::Hub* o = engine_.obs(); o != nullptr) {
     // Depth seen by this request on arrival: waiters + the one in service.
-    o->metrics
-        ->histogram("disk.queue_depth", obs::depthBuckets())
-        .observe(static_cast<double>(arm_.queueLength() + arm_.inUse()));
+    const int depth = arm_.queueLength() + arm_.inUse();
+    if (o->metrics != nullptr) {
+      o->metrics->histogram("disk.queue_depth", obs::depthBuckets())
+          .observe(static_cast<double>(depth));
+    }
+    if (depth >= 64 && !queueWarned_ && o->wantsLog(obs::LogLevel::Warn)) {
+      queueWarned_ = true;
+      o->log->warn("disk", "queue_saturated",
+                   "\"disk\":\"" +
+                       obs::TraceRecorder::jsonEscape(params_.name) +
+                       "\",\"depth\":" + std::to_string(depth) +
+                       ",\"sim_time\":" + std::to_string(engine_.now()));
+    }
+    if (o->edges != nullptr) {
+      // The activity opens at arrival, so queue wait is inside it — the
+      // critical path sees the latency the *request* experienced.
+      act = o->edges->begin(obs::ActKind::Disk, -1, params_.name,
+                            engine_.now(), size, cause);
+    }
   }
   co_await arm_.acquire();
   // Evaluate sequentiality after queueing: the arm position is whatever the
@@ -54,6 +71,7 @@ sim::Task<void> Disk::access(std::uint64_t offset, std::uint64_t size,
   arm_.release();
   if (obs::Hub* o = engine_.obs(); o != nullptr) {
     const bool read = op == IoOp::Read;
+    if (o->edges != nullptr) o->edges->end(act, engine_.now());
     if (o->metrics != nullptr) {
       o->metrics->counter(read ? "disk.bytes_read" : "disk.bytes_written")
           .add(static_cast<double>(size));

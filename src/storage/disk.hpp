@@ -55,8 +55,11 @@ class Disk {
   Disk(sim::Engine& engine, DiskParams params)
       : engine_(engine), params_(std::move(params)), arm_(engine, 1) {}
 
-  /// Perform one request; suspends for queueing + service time.
-  sim::Task<void> access(std::uint64_t offset, std::uint64_t size, IoOp op);
+  /// Perform one request; suspends for queueing + service time.  `cause`
+  /// is the obs activity that issued the request (-1 = background work,
+  /// e.g. cache write-back); used for critical-path dependency edges.
+  sim::Task<void> access(std::uint64_t offset, std::uint64_t size, IoOp op,
+                         std::int64_t cause = -1);
 
   /// Pure service time (no queueing) the next `access` with these arguments
   /// would take; used by tests and by analytic peak estimation.
@@ -87,6 +90,7 @@ class Disk {
   bool touched_ = false;
   double degradation_ = 1.0;
   int obsTrack_ = -1;  ///< cached trace track id (lazily registered)
+  bool queueWarned_ = false;  ///< saturation warning fired once per disk
 };
 
 }  // namespace iop::storage

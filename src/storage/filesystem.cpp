@@ -21,37 +21,37 @@ std::uint64_t FileSystem::fileBase(int fileId) {
 // ---------------------------------------------------------------------- NFS
 
 sim::Task<void> NfsFS::write(Node& client, int fileId, std::uint64_t offset,
-                             std::uint64_t size) {
+                             std::uint64_t size, std::int64_t cause) {
   const std::uint64_t base = fileBase(fileId);
   std::uint64_t cursor = 0;
   while (cursor < size) {
     const std::uint64_t chunk = std::min(size - cursor, params_.rpcSize);
     co_await engine_.delay(params_.clientPerRpcOverhead);
-    co_await transfer(engine_, client, server_.node(), chunk);
-    co_await server_.handleWrite(base + offset + cursor, chunk);
+    co_await transfer(engine_, client, server_.node(), chunk, cause);
+    co_await server_.handleWrite(base + offset + cursor, chunk, cause);
     cursor += chunk;
   }
 }
 
 sim::Task<void> NfsFS::read(Node& client, int fileId, std::uint64_t offset,
-                            std::uint64_t size) {
+                            std::uint64_t size, std::int64_t cause) {
   const std::uint64_t base = fileBase(fileId);
   std::uint64_t cursor = 0;
   while (cursor < size) {
     const std::uint64_t chunk = std::min(size - cursor, params_.rpcSize);
     co_await engine_.delay(params_.clientPerRpcOverhead);
     // Request RPC to the server, data response back.
-    co_await transfer(engine_, client, server_.node(), 256);
-    co_await server_.handleRead(base + offset + cursor, chunk);
-    co_await transfer(engine_, server_.node(), client, chunk);
+    co_await transfer(engine_, client, server_.node(), 256, cause);
+    co_await server_.handleRead(base + offset + cursor, chunk, cause);
+    co_await transfer(engine_, server_.node(), client, chunk, cause);
     cursor += chunk;
   }
 }
 
-sim::Task<void> NfsFS::metadataOp(Node& client) {
-  co_await transfer(engine_, client, server_.node(), 256);
+sim::Task<void> NfsFS::metadataOp(Node& client, std::int64_t cause) {
+  co_await transfer(engine_, client, server_.node(), 256, cause);
   co_await server_.handleMetadata();
-  co_await transfer(engine_, server_.node(), client, 256);
+  co_await transfer(engine_, server_.node(), client, 256, cause);
 }
 
 std::string NfsFS::describe() const {
@@ -80,7 +80,7 @@ int StripedFS::firstServer(int fileId) const noexcept {
 
 sim::Task<void> StripedFS::striped(Node& client, int fileId,
                                    std::uint64_t offset, std::uint64_t size,
-                                   IoOp op) {
+                                   IoOp op, std::int64_t cause) {
   const std::uint64_t base = fileBase(fileId);
   const int count = effectiveStripeCount();
   const int first = firstServer(fileId);
@@ -122,45 +122,47 @@ sim::Task<void> StripedFS::striped(Node& client, int fileId,
         dataServers_[static_cast<std::size_t>(
             (first + static_cast<int>(i)) % total)];
     ops.push_back(perServer(client, *server, slices[i].firstOffset,
-                            slices[i].bytes, op));
+                            slices[i].bytes, op, cause));
   }
   co_await sim::whenAll(engine_, std::move(ops));
 }
 
 sim::Task<void> StripedFS::perServer(Node& client, IoServer& server,
                                      std::uint64_t offset, std::uint64_t size,
-                                     IoOp op) {
+                                     IoOp op, std::int64_t cause) {
   std::uint64_t cursor = 0;
   while (cursor < size) {
     const std::uint64_t chunk = std::min(size - cursor, params_.rpcSize);
     co_await engine_.delay(params_.clientPerRpcOverhead);
     if (op == IoOp::Write) {
-      co_await transfer(engine_, client, server.node(), chunk);
-      co_await server.handleWrite(offset + cursor, chunk);
+      co_await transfer(engine_, client, server.node(), chunk, cause);
+      co_await server.handleWrite(offset + cursor, chunk, cause);
     } else {
-      co_await transfer(engine_, client, server.node(), 256);
-      co_await server.handleRead(offset + cursor, chunk);
-      co_await transfer(engine_, server.node(), client, chunk);
+      co_await transfer(engine_, client, server.node(), 256, cause);
+      co_await server.handleRead(offset + cursor, chunk, cause);
+      co_await transfer(engine_, server.node(), client, chunk, cause);
     }
     cursor += chunk;
   }
 }
 
 sim::Task<void> StripedFS::write(Node& client, int fileId,
-                                 std::uint64_t offset, std::uint64_t size) {
-  return striped(client, fileId, offset, size, IoOp::Write);
+                                 std::uint64_t offset, std::uint64_t size,
+                                 std::int64_t cause) {
+  return striped(client, fileId, offset, size, IoOp::Write, cause);
 }
 
 sim::Task<void> StripedFS::read(Node& client, int fileId,
-                                std::uint64_t offset, std::uint64_t size) {
-  return striped(client, fileId, offset, size, IoOp::Read);
+                                std::uint64_t offset, std::uint64_t size,
+                                std::int64_t cause) {
+  return striped(client, fileId, offset, size, IoOp::Read, cause);
 }
 
-sim::Task<void> StripedFS::metadataOp(Node& client) {
+sim::Task<void> StripedFS::metadataOp(Node& client, std::int64_t cause) {
   IoServer* mds = metadataServer_ ? metadataServer_ : dataServers_.front();
-  co_await transfer(engine_, client, mds->node(), 256);
+  co_await transfer(engine_, client, mds->node(), 256, cause);
   co_await mds->handleMetadata();
-  co_await transfer(engine_, mds->node(), client, 256);
+  co_await transfer(engine_, mds->node(), client, 256, cause);
 }
 
 std::vector<IoServer*> StripedFS::servers() {

@@ -27,13 +27,19 @@ class FileSystem {
   explicit FileSystem(sim::Engine& engine) : engine_(engine) {}
   virtual ~FileSystem() = default;
 
+  /// `cause` is the obs activity the request serves (-1 = none); it is
+  /// forwarded through the network and server layers for dependency edges.
+  /// Defaults live on these base declarations only.
   virtual sim::Task<void> write(Node& client, int fileId,
-                                std::uint64_t offset, std::uint64_t size) = 0;
+                                std::uint64_t offset, std::uint64_t size,
+                                std::int64_t cause = -1) = 0;
   virtual sim::Task<void> read(Node& client, int fileId,
-                               std::uint64_t offset, std::uint64_t size) = 0;
+                               std::uint64_t offset, std::uint64_t size,
+                               std::int64_t cause = -1) = 0;
 
   /// Metadata round-trip (open/close/stat).
-  virtual sim::Task<void> metadataOp(Node& client) = 0;
+  virtual sim::Task<void> metadataOp(Node& client,
+                                     std::int64_t cause = -1) = 0;
 
   /// Servers backing this filesystem (for peak analysis + monitoring).
   virtual std::vector<IoServer*> servers() = 0;
@@ -78,10 +84,10 @@ class NfsFS final : public FileSystem {
       : FileSystem(engine), server_(server), params_(params) {}
 
   sim::Task<void> write(Node& client, int fileId, std::uint64_t offset,
-                        std::uint64_t size) override;
+                        std::uint64_t size, std::int64_t cause = -1) override;
   sim::Task<void> read(Node& client, int fileId, std::uint64_t offset,
-                       std::uint64_t size) override;
-  sim::Task<void> metadataOp(Node& client) override;
+                       std::uint64_t size, std::int64_t cause = -1) override;
+  sim::Task<void> metadataOp(Node& client, std::int64_t cause = -1) override;
   std::vector<IoServer*> servers() override { return {&server_}; }
   std::string describe() const override;
 
@@ -108,10 +114,10 @@ class StripedFS final : public FileSystem {
             IoServer* metadataServer, Params params);
 
   sim::Task<void> write(Node& client, int fileId, std::uint64_t offset,
-                        std::uint64_t size) override;
+                        std::uint64_t size, std::int64_t cause = -1) override;
   sim::Task<void> read(Node& client, int fileId, std::uint64_t offset,
-                       std::uint64_t size) override;
-  sim::Task<void> metadataOp(Node& client) override;
+                       std::uint64_t size, std::int64_t cause = -1) override;
+  sim::Task<void> metadataOp(Node& client, std::int64_t cause = -1) override;
   std::vector<IoServer*> servers() override;
   std::vector<IoServer*> dataServers() override { return dataServers_; }
   std::string describe() const override;
@@ -121,10 +127,10 @@ class StripedFS final : public FileSystem {
   /// Split [offset, offset+size) into per-server aggregated slices and move
   /// them concurrently.
   sim::Task<void> striped(Node& client, int fileId, std::uint64_t offset,
-                          std::uint64_t size, IoOp op);
+                          std::uint64_t size, IoOp op, std::int64_t cause);
   sim::Task<void> perServer(Node& client, IoServer& server,
                             std::uint64_t offset, std::uint64_t size,
-                            IoOp op);
+                            IoOp op, std::int64_t cause);
   int effectiveStripeCount() const noexcept;
   /// First server index for a file (round-robin placement by fileId).
   int firstServer(int fileId) const noexcept;

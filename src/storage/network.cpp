@@ -17,11 +17,19 @@ LinkParams infiniband20G() {
 }
 
 sim::Task<void> transfer(sim::Engine& engine, Node& src, Node& dst,
-                         std::uint64_t bytes) {
-  if (obs::Hub* o = engine.obs(); o != nullptr && o->metrics != nullptr) {
-    o->metrics
-        ->counter(&src == &dst ? "net.loopback_bytes" : "net.bytes")
-        .add(static_cast<double>(bytes));
+                         std::uint64_t bytes, std::int64_t cause) {
+  std::int64_t act = -1;
+  if (obs::Hub* o = engine.obs(); o != nullptr) {
+    if (o->metrics != nullptr) {
+      o->metrics
+          ->counter(&src == &dst ? "net.loopback_bytes" : "net.bytes")
+          .add(static_cast<double>(bytes));
+    }
+    if (o->edges != nullptr && &src != &dst) {
+      act = o->edges->begin(obs::ActKind::Network, -1,
+                            src.name() + "->" + dst.name(), engine.now(),
+                            bytes, cause);
+    }
   }
   if (&src == &dst) {
     // Loopback: a memory copy at a generous in-node rate.
@@ -37,6 +45,11 @@ sim::Task<void> transfer(sim::Engine& engine, Node& src, Node& dst,
   co_await engine.delay(t);
   dst.rx().release();
   src.tx().release();
+  if (act >= 0) {
+    if (obs::Hub* o = engine.obs(); o != nullptr && o->edges != nullptr) {
+      o->edges->end(act, engine.now());
+    }
+  }
 }
 
 }  // namespace iop::storage

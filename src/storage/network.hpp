@@ -55,8 +55,10 @@ class Node {
 };
 
 /// Point-to-point transfer of `bytes` from src to dst.  Same-node transfers
-/// cost only a memory copy.
+/// cost only a memory copy.  `cause` is the obs::EdgeRecorder activity
+/// that issued the transfer (-1 = none); it threads causal dependency
+/// edges through the storage stack for critical-path analysis.
 sim::Task<void> transfer(sim::Engine& engine, Node& src, Node& dst,
-                         std::uint64_t bytes);
+                         std::uint64_t bytes, std::int64_t cause = -1);
 
 }  // namespace iop::storage

@@ -3,15 +3,16 @@
 namespace iop::storage {
 
 sim::Task<void> IoServer::handleWrite(std::uint64_t offset,
-                                      std::uint64_t size) {
+                                      std::uint64_t size,
+                                      std::int64_t cause) {
   co_await cpu_.use(params_.cpuPerRequest);
-  co_await cache_.write(offset, size);
+  co_await cache_.write(offset, size, cause);
 }
 
 sim::Task<void> IoServer::handleRead(std::uint64_t offset,
-                                     std::uint64_t size) {
+                                     std::uint64_t size, std::int64_t cause) {
   co_await cpu_.use(params_.cpuPerRequest);
-  co_await cache_.read(offset, size);
+  co_await cache_.read(offset, size, cause);
 }
 
 sim::Task<void> IoServer::handleMetadata() {

@@ -34,10 +34,14 @@ class IoServer {
         cpu_(engine, 1) {}
 
   /// Service a write request landing on this server (post-network).
-  sim::Task<void> handleWrite(std::uint64_t offset, std::uint64_t size);
+  /// `cause` is the obs activity the request serves (-1 = none); it is
+  /// forwarded down through the cache to the device for dependency edges.
+  sim::Task<void> handleWrite(std::uint64_t offset, std::uint64_t size,
+                              std::int64_t cause = -1);
 
   /// Service a read request landing on this server (post-network).
-  sim::Task<void> handleRead(std::uint64_t offset, std::uint64_t size);
+  sim::Task<void> handleRead(std::uint64_t offset, std::uint64_t size,
+                             std::int64_t cause = -1);
 
   /// Cheap metadata operation (open/close/stat).
   sim::Task<void> handleMetadata();

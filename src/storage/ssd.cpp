@@ -31,7 +31,7 @@ Ssd::Ssd(sim::Engine& engine, SsdParams params)
 }
 
 sim::Task<void> Ssd::access(std::uint64_t offset, std::uint64_t size,
-                            IoOp op) {
+                            IoOp op, std::int64_t cause) {
   // Per-request controller latency, then the payload striped over the
   // flash channels (aggregated per channel, like a RAID0 row).
   co_await engine_.delay(op == IoOp::Read ? params_.readLatency
@@ -62,7 +62,7 @@ sim::Task<void> Ssd::access(std::uint64_t offset, std::uint64_t size,
   for (std::size_t c = 0; c < n; ++c) {
     if (slices[c].touched) {
       ops.push_back(channels_[c]->access(slices[c].firstOffset,
-                                         slices[c].bytes, op));
+                                         slices[c].bytes, op, cause));
     }
   }
   co_await sim::whenAll(engine_, std::move(ops));

@@ -40,7 +40,7 @@ class Ssd final : public BlockDevice {
   Ssd(sim::Engine& engine, SsdParams params);
 
   sim::Task<void> access(std::uint64_t offset, std::uint64_t size,
-                         IoOp op) override;
+                         IoOp op, std::int64_t cause = -1) override;
   void collectDisks(std::vector<Disk*>& out) override;
   double idealBandwidth(IoOp op) const noexcept override;
   std::string describe() const override;

@@ -156,6 +156,27 @@ TEST(ObsMetrics, HistogramObserveAccumulates) {
   EXPECT_EQ(h.bucketCounts()[2], 1u);
 }
 
+TEST(ObsMetrics, CsvIsDeterministicAcrossInterleavedUpdates) {
+  // The CSV depends only on the accumulated values, not on the order
+  // instruments were updated (or interleaved between metrics).
+  obs::MetricsRegistry a;
+  a.counter("x.count").add(1);
+  a.histogram("y.depth", {1.0, 2.0}).observe(2.0);
+  a.counter("x.count").add(2);
+  a.histogram("y.depth", {1.0, 2.0}).observe(0.5);
+  obs::MetricsRegistry b;
+  b.histogram("y.depth", {1.0, 2.0}).observe(0.5);
+  b.counter("x.count").add(2);
+  b.histogram("y.depth", {1.0, 2.0}).observe(2.0);
+  b.counter("x.count").add(1);
+  EXPECT_EQ(a.renderCsv(), b.renderCsv());
+  // Bucket rows present, including the +Inf overflow row.
+  EXPECT_NE(a.renderCsv().find("y.depth,histogram,le_1,1"),
+            std::string::npos);
+  EXPECT_NE(a.renderCsv().find("y.depth,histogram,le_inf"),
+            std::string::npos);
+}
+
 TEST(ObsMetrics, DefaultBucketSetsAreAscending) {
   for (const auto& bounds :
        {obs::latencyBucketsSeconds(), obs::depthBuckets()}) {
@@ -224,6 +245,26 @@ TEST(ObsRecorder, JsonEscape) {
             "\\u0001");
 }
 
+TEST(ObsRecorder, HostileNamesRoundTripToValidJson) {
+  // Track and event names chosen to break naive serializers: quotes,
+  // backslashes, control characters, and bytes that are not valid UTF-8.
+  const std::string hostile = std::string("dev \"q\"\\\x01\n\x7f ") +
+                              "\xc3\x28" + "\xff\xfe" + " end";
+  obs::TraceRecorder rec;
+  const int tid = rec.track(obs::TrackKind::Device, hostile);
+  rec.span(obs::TrackKind::Device, tid, hostile, hostile, 0.0, 1.0,
+           "\"note\":\"" + obs::TraceRecorder::jsonEscape(hostile) + "\"");
+  rec.instant(obs::TrackKind::Device, tid, hostile, hostile, 0.5);
+  std::ostringstream out;
+  rec.writeJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Invalid byte sequences must have been replaced, never passed through.
+  EXPECT_EQ(json.find('\xff'), std::string::npos);
+  EXPECT_EQ(json.find("\xc3\x28"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
 // --- whole-simulation properties ----------------------------------------
 
 struct ObservedRun {
@@ -231,6 +272,8 @@ struct ObservedRun {
   std::string phaseTable;
   std::string metricsCsv;
   std::string traceJson;
+  std::size_t edgeActivities = 0;
+  std::size_t edgeLinks = 0;
 };
 
 ObservedRun runBtio(bool observed) {
@@ -250,6 +293,8 @@ ObservedRun runBtio(bool observed) {
     std::ostringstream json;
     session.recorder().writeJson(json);
     result.traceJson = json.str();
+    result.edgeActivities = session.edges().activities().size();
+    result.edgeLinks = session.edges().links().size();
   }
   return result;
 }
@@ -264,11 +309,22 @@ TEST(ObsIntegration, MetricsCsvIsByteIdenticalAcrossRuns) {
 
 TEST(ObsIntegration, AttachingObsDoesNotPerturbSimulation) {
   // The zero-interference invariant: an observed BT-IO run must produce
-  // exactly the same makespan and phase table as an unobserved one.
+  // exactly the same makespan and phase table as an unobserved one —
+  // including with dependency-edge recording active (the Session wires an
+  // EdgeRecorder by default, and the run below must actually feed it).
   const auto observed = runBtio(true);
   const auto bare = runBtio(false);
   EXPECT_DOUBLE_EQ(observed.makespan, bare.makespan);
   EXPECT_EQ(observed.phaseTable, bare.phaseTable);
+  EXPECT_GT(observed.edgeActivities, 0u);
+  EXPECT_GT(observed.edgeLinks, 0u);
+}
+
+TEST(ObsIntegration, EdgeGraphIsDeterministicAcrossRuns) {
+  const auto first = runBtio(true);
+  const auto second = runBtio(true);
+  EXPECT_EQ(first.edgeActivities, second.edgeActivities);
+  EXPECT_EQ(first.edgeLinks, second.edgeLinks);
 }
 
 TEST(ObsIntegration, ObservedRunExportsAllTrackKinds) {

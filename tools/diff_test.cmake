@@ -1,0 +1,54 @@
+# iop-diff smoke test, run as a CTest:
+#   two same-seed captures must diff clean (exit 0); a run with degraded
+#   disks must be flagged as a regression (exit 1).
+# Inputs: -DSTATS=... -DDIFF=... -DWORKDIR=...
+function(run_step)
+  execute_process(COMMAND ${ARGV}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(STEP_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+set(base --app madbench2 --np 4 --kpix 16 --config A)
+run_step(${STATS} ${base} --capture-out base.cap)
+run_step(${STATS} ${base} --capture-out same.cap)
+
+execute_process(COMMAND ${DIFF} base.cap same.cap
+                WORKING_DIRECTORY ${WORKDIR}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "same-seed captures reported regressions (${rc}):\n"
+                      "${out}\n${err}")
+endif()
+string(FIND "${out}" "0 regression(s)" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "same-seed diff output unexpected:\n${out}")
+endif()
+
+run_step(${STATS} ${base} --degrade-disks 4 --capture-out slow.cap)
+
+execute_process(COMMAND ${DIFF} base.cap slow.cap
+                WORKING_DIRECTORY ${WORKDIR}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "degraded run was not flagged:\n${out}")
+endif()
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "iop-diff failed rather than flagged (${rc}):\n"
+                      "${out}\n${err}")
+endif()
+string(FIND "${out}" "REGRESSION" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "degraded diff output missing REGRESSION:\n${out}")
+endif()
+
+message(STATUS "diff smoke test passed")

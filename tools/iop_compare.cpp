@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
                  "target cluster description file (overrides --target)");
   args.addOption("np", "number of MPI processes", "16");
   tools::addAppOptions(args);
+  tools::addLogOption(args);
   try {
     args.parse(argc, argv);
+    obs::Logger log(tools::toolLogLevel(args));
     if (args.helpRequested()) {
       std::printf("%s",
                   args.usage("iop-compare",
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
     std::printf("%s", table.render().c_str());
     std::printf("worst relative error: %.1f%% (%zu IOR runs)\n", worst,
                 replayer.benchmarkRuns());
+    log.info("tool", "complete");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-compare: %s\n", e.what());

@@ -1,0 +1,67 @@
+// iop-diff: compare two run captures (iop-stats --capture-out) and report
+// per-phase time/bandwidth regressions and histogram shape changes.  Exits
+// non-zero when regressions were found, so CI can gate on it:
+//
+//   iop-stats --app btio --class A --np 4 --capture-out base.cap
+//   iop-stats --app btio --class A --np 4 --capture-out head.cap
+//   iop-diff base.cap head.cap --threshold-pct 5
+#include <cstdio>
+
+#include "obs/capture.hpp"
+#include "obs/diff.hpp"
+#include "toolkit.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iop;
+  util::Args args;
+  args.addOption("threshold-pct",
+                 "relative change (%) flagged on makespan and per-phase "
+                 "time/bandwidth",
+                 "5");
+  args.addOption("hist-threshold",
+                 "normalized L1 distance (0..2) flagged on histogram "
+                 "bucket shapes",
+                 "0.25");
+  args.addOption("min-seconds",
+                 "ignore absolute time deltas below this floor", "1e-9");
+  tools::addLogOption(args);
+  try {
+    args.parse(argc, argv);
+    if (args.helpRequested() || args.positional().size() != 2) {
+      std::printf("%s",
+                  args.usage("iop-diff <before.cap> <after.cap>",
+                             "Diff two run captures; non-zero exit when "
+                             "the second run regressed.")
+                      .c_str());
+      return args.helpRequested() ? 0 : 2;
+    }
+    obs::Logger log(tools::toolLogLevel(args));
+    const auto before = obs::RunCapture::load(args.positional()[0]);
+    const auto after = obs::RunCapture::load(args.positional()[1]);
+    if (before.app != after.app || before.np != after.np) {
+      log.warn("diff", "identity_mismatch",
+               "\"before\":\"" + obs::TraceRecorder::jsonEscape(
+                                     before.app + "/" +
+                                     std::to_string(before.np)) +
+                   "\",\"after\":\"" +
+                   obs::TraceRecorder::jsonEscape(
+                       after.app + "/" + std::to_string(after.np)) +
+                   "\"");
+    }
+    obs::DiffOptions options;
+    options.thresholdPct = args.getDouble("threshold-pct", 5.0);
+    options.histThreshold = args.getDouble("hist-threshold", 0.25);
+    options.minSeconds = args.getDouble("min-seconds", 1e-9);
+    const auto result = obs::diffCaptures(before, after, options);
+    std::printf("%s", result.render(before, after).c_str());
+    log.info("diff", "complete",
+             "\"findings\":" + std::to_string(result.findings.size()) +
+                 ",\"regressions\":" +
+                 std::to_string(result.regressions()));
+    return result.regressions() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -6,10 +6,15 @@
 //   iop-estimate --model mad.model --config B --multiop
 #include <cstdio>
 
+#include "analysis/blame.hpp"
 #include "analysis/multiop.hpp"
 #include "analysis/replay.hpp"
+#include "analysis/synthesize.hpp"
 #include "core/iomodel.hpp"
+#include "mpi/runtime.hpp"
+#include "obs/hub.hpp"
 #include "toolkit.hpp"
+#include "trace/tracer.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -22,6 +27,9 @@ int main(int argc, char** argv) {
   args.addFlag("multiop",
                "replay multi-operation phases with the exact-cycle "
                "replayer instead of averaged IOR passes");
+  args.addFlag("blame",
+               "additionally run the model's synthetic replay on the "
+               "target and print its critical-path blame table");
   tools::addObsOptions(args);
   try {
     args.parse(argc, argv);
@@ -73,6 +81,26 @@ int main(int argc, char** argv) {
     std::printf("%s", table.render().c_str());
     std::printf("total estimated I/O time: %.2f s (%zu IOR runs)\n",
                 estimate.totalTimeSec, replayer.benchmarkRuns());
+    if (args.flag("blame")) {
+      // Simulate the whole model on the target (synthetic replay keeps
+      // inter-phase ordering and cache state) with dependency edges on,
+      // and decompose that run's critical path per phase.  BW_attr here
+      // is directly comparable to the BW_CH column above.
+      obs::Session blame;
+      blame.log().setLevel(tools::toolLogLevel(args));
+      auto cluster = configured();
+      cluster.engine->setObs(blame.hub());
+      trace::Tracer tracer(model.appName(), model.np());
+      mpi::Runtime runtime(*cluster.topology,
+                           cluster.runtimeOptions(model.np(), &tracer));
+      const double makespan = runtime.runToCompletion(
+          analysis::makeSyntheticApp(model, cluster.mount));
+      auto replayed = core::extractModel(tracer.takeData(), {});
+      std::printf("\nsynthetic replay on %s:\n%s", cluster.name.c_str(),
+                  analysis::renderBlameReport(blame.edges(), makespan,
+                                              replayed)
+                      .c_str());
+    }
     obsSession.finish();
     return 0;
   } catch (const std::exception& e) {

@@ -5,6 +5,7 @@
 
 #include "core/iomodel.hpp"
 #include "trace/tracefile.hpp"
+#include "toolkit.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
@@ -17,8 +18,10 @@ int main(int argc, char** argv) {
                  "max intra-phase tick gap (phase-splitting threshold)",
                  "1");
   args.addFlag("series", "also print the global-access-pattern series");
+  tools::addLogOption(args);
   try {
     args.parse(argc, argv);
+    obs::Logger log(tools::toolLogLevel(args));
     if (args.helpRequested()) {
       std::printf("%s",
                   args.usage("iop-model",
@@ -40,6 +43,7 @@ int main(int argc, char** argv) {
     std::printf("model saved to %s\n", args.get("out").c_str());
     std::printf("next: iop-estimate --model %s --config <target>\n",
                 args.get("out").c_str());
+    log.info("tool", "complete");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-model: %s\n", e.what());

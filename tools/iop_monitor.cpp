@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "monitor/monitor.hpp"
+#include "obs/hub.hpp"
 #include "mpi/runtime.hpp"
 #include "toolkit.hpp"
 #include "util/args.hpp"
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     }
     auto cluster = tools::makeConfiguredCluster(args);
     tools::ObsSession obsSession(args);
+    obs::Logger& log = obsSession.log();
     obsSession.attach(*cluster.engine);
     const int np = static_cast<int>(args.getInt("np", 16));
     monitor::DeviceMonitor mon(*cluster.engine,
@@ -41,12 +43,14 @@ int main(int argc, char** argv) {
     mpi::Runtime runtime(*cluster.topology, opts);
     const double makespan =
         runtime.runToCompletion(tools::makeAppMain(args, cluster));
-    std::fprintf(stderr,
-                 "%s ran %.2f simulated seconds on %s; %zu samples of %zu "
-                 "disks; peak utilization %.0f%%\n",
-                 args.get("app").c_str(), makespan, cluster.name.c_str(),
-                 mon.samples().size(), mon.disks().size(),
-                 mon.peakUtilization() * 100);
+    log.info("tool", "run_complete",
+             "\"app\":\"" +
+                 obs::TraceRecorder::jsonEscape(args.get("app")) +
+                 "\",\"makespan\":" + std::to_string(makespan) +
+                 ",\"samples\":" + std::to_string(mon.samples().size()) +
+                 ",\"disks\":" + std::to_string(mon.disks().size()) +
+                 ",\"peak_utilization\":" +
+                 std::to_string(mon.peakUtilization()));
     auto csv = mon.renderCsv();
     if (args.get("out") == "-") {
       std::printf("%s", csv.c_str());
@@ -54,7 +58,9 @@ int main(int argc, char** argv) {
       std::ofstream file(args.get("out"));
       if (!file) throw std::runtime_error("cannot open " + args.get("out"));
       file << csv;
-      std::fprintf(stderr, "wrote %s\n", args.get("out").c_str());
+      log.info("tool", "wrote_csv",
+               "\"path\":\"" +
+                   obs::TraceRecorder::jsonEscape(args.get("out")) + "\"");
     }
     obsSession.finish();
     return 0;

@@ -16,8 +16,10 @@ int main(int argc, char** argv) {
   tools::addConfigOptions(args, "configuration");
   args.addFlag("sweep", "print the full per-pattern IOzone sweep of the "
                         "first I/O node");
+  tools::addLogOption(args);
   try {
     args.parse(argc, argv);
+    obs::Logger log(tools::toolLogLevel(args));
     if (args.helpRequested()) {
       std::printf("%s", args.usage("iop-peaks",
                                    "Measure BW_PK at device level "
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
     std::printf("BW_PK (eqs. 3-4): write %.1f MB/s, read %.1f MB/s\n",
                 util::toMiBs(peaks.writePeak),
                 util::toMiBs(peaks.readPeak));
+    log.info("tool", "complete");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-peaks: %s\n", e.what());

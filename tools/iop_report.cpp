@@ -20,8 +20,10 @@ int main(int argc, char** argv) {
   args.addOption("out", "output markdown file (- = stdout)", "-");
   args.addFlag("no-usage", "skip the IOzone peak + usage section");
   tools::addAppOptions(args);
+  tools::addLogOption(args);
   try {
     args.parse(argc, argv);
+    obs::Logger log(tools::toolLogLevel(args));
     if (args.helpRequested()) {
       std::printf("%s",
                   args.usage("iop-report",
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
       file << report;
       std::printf("report written to %s\n", args.get("out").c_str());
     }
+    log.info("tool", "complete");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-report: %s\n", e.what());

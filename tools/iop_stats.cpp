@@ -1,18 +1,24 @@
 // iop-stats: run an application with the full observability stack attached
-// — per-rank MPI-IO spans, per-device activity tracks, simulation metrics,
-// and wall-clock profiling of the analysis pipeline — then print the
-// metric and profiler summaries and optionally export the timeline as
-// Chrome/Perfetto trace-event JSON.
+// — per-rank MPI-IO spans, per-device activity tracks, dependency edges,
+// simulation metrics, and wall-clock profiling of the analysis pipeline —
+// then print the metric and profiler summaries and optionally export the
+// timeline, a critical-path blame table, or a capture file for iop-diff.
 //
 //   iop-stats --app btio --class A --np 4 --config A
 //             --trace-out run.json --metrics-out run.csv
+//   iop-stats --app btio --class A --np 4 --blame
+//   iop-stats --app btio --np 4 --capture-out base.cap
+//   iop-stats --app btio --np 4 --degrade-disks 3 --capture-out slow.cap
 #include <cstdio>
 
+#include "analysis/blame.hpp"
 #include "core/iomodel.hpp"
 #include "monitor/monitor.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/capture.hpp"
 #include "obs/hub.hpp"
 #include "obs/profiler.hpp"
+#include "storage/topology.hpp"
 #include "toolkit.hpp"
 #include "trace/tracer.hpp"
 #include "util/args.hpp"
@@ -26,6 +32,14 @@ int main(int argc, char** argv) {
                  "1");
   tools::addAppOptions(args);
   tools::addObsOptions(args);
+  args.addFlag("blame",
+               "print the critical path and the per-phase blame table "
+               "derived from the dependency edges");
+  args.addOption("capture-out",
+                 "write a run capture (phases + metrics) for iop-diff");
+  args.addOption("degrade-disks",
+                 "scale every disk's service time by this factor (>= 1); "
+                 "fault injection for regression testing");
   try {
     args.parse(argc, argv);
     if (args.helpRequested()) {
@@ -39,10 +53,19 @@ int main(int argc, char** argv) {
     // Unlike the other tools, observability is the whole point here: build
     // the session unconditionally and only gate the file exports on flags.
     obs::Session session;
+    session.log().setLevel(tools::toolLogLevel(args));
     obs::Profiler::global().attachTrace(&session.recorder());
 
     auto cluster = tools::makeConfiguredCluster(args);
     cluster.engine->setObs(session.hub());
+    if (args.has("degrade-disks")) {
+      const double factor = args.getDouble("degrade-disks", 1.0);
+      for (storage::Disk* d : cluster.topology->allDisks()) {
+        d->setDegradation(factor);
+      }
+      session.log().info("tool", "disks_degraded",
+                         "\"factor\":" + std::to_string(factor));
+    }
     const int np = static_cast<int>(args.getInt("np", 16));
     const std::string appName = args.get("app");
 
@@ -69,6 +92,36 @@ int main(int argc, char** argv) {
     std::printf("%s\n", session.metrics().renderSummary().c_str());
     std::printf("%s", obs::Profiler::global().renderReport().c_str());
 
+    if (args.flag("blame")) {
+      std::printf("\n%s",
+                  analysis::renderBlameReport(session.edges(), makespan,
+                                              model)
+                      .c_str());
+    }
+    if (args.has("capture-out")) {
+      obs::RunCapture cap;
+      cap.app = appName;
+      cap.np = np;
+      cap.config = cluster.name;
+      cap.makespan = makespan;
+      for (const core::Phase& p : model.phases()) {
+        obs::CapturePhase cp;
+        cp.id = p.id;
+        cp.familyId = p.familyId;
+        cp.weightBytes = p.weightBytes;
+        cp.ioSeconds = p.measuredIoTime();
+        cp.bandwidth = p.measuredBandwidth();
+        cp.label = p.opTypeLabel() + " f" + std::to_string(p.idF);
+        cap.phases.push_back(std::move(cp));
+      }
+      cap.metricsCsv = session.metrics().renderCsv();
+      cap.save(args.get("capture-out"));
+      session.log().info(
+          "tool", "wrote_capture",
+          "\"path\":\"" +
+              obs::TraceRecorder::jsonEscape(args.get("capture-out")) +
+              "\",\"phases\":" + std::to_string(cap.phases.size()));
+    }
     if (args.has("trace-out")) {
       session.recorder().saveJson(args.get("trace-out"));
       std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",

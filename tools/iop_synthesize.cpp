@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
   tools::addConfigOptions(args, "configuration to run on");
   args.addFlag("verify", "re-extract the synthetic run's model and check "
                          "it matches the input (round-trip fidelity)");
+  tools::addLogOption(args);
   try {
     args.parse(argc, argv);
+    obs::Logger log(tools::toolLogLevel(args));
     if (args.helpRequested()) {
       std::printf("%s",
                   args.usage("iop-synthesize",
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
       }
       return diff ? 0 : 2;
     }
+    log.info("tool", "complete");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-synthesize: %s\n", e.what());

@@ -115,18 +115,33 @@ mpi::Runtime::RankMain makeAppMain(const util::Args& args,
   throw std::invalid_argument("unknown application '" + app + "'");
 }
 
+void addLogOption(util::Args& args) {
+  args.addOption("log-level",
+                 "structured JSONL diagnostics on stderr: off | warn | "
+                 "info | debug (default warn)");
+}
+
+obs::LogLevel toolLogLevel(const util::Args& args) {
+  return obs::parseLogLevel(args.getOr("log-level", "warn"));
+}
+
 void addObsOptions(util::Args& args) {
   args.addOption("trace-out",
                  "write a Chrome/Perfetto trace-event JSON of the run");
   args.addOption("metrics-out",
                  "write simulation metrics as CSV (- = stdout)");
+  addLogOption(args);
 }
 
 ObsSession::ObsSession(const util::Args& args) {
+  log_.setLevel(toolLogLevel(args));
   const bool wantTrace = args.has("trace-out");
   const bool wantMetrics = args.has("metrics-out");
-  if (!wantTrace && !wantMetrics) return;
+  // An explicit --log-level opts into engine-side logging (deadlock and
+  // saturation warnings) even without any file export.
+  if (!wantTrace && !wantMetrics && !args.has("log-level")) return;
   session_ = std::make_unique<obs::Session>();
+  session_->hub()->log = &log_;
   if (wantTrace) {
     traceOut_ = args.get("trace-out");
     // Mirror the analysis pipeline's wall-clock scopes into the trace.
@@ -168,16 +183,20 @@ void ObsSession::finish() {
   detachProfiler();
   if (!traceOut_.empty()) {
     session_->recorder().saveJson(traceOut_);
-    std::fprintf(stderr, "wrote %zu trace events to %s\n",
-                 session_->recorder().eventCount(), traceOut_.c_str());
+    log_.info("tool", "wrote_trace",
+              "\"path\":\"" + obs::TraceRecorder::jsonEscape(traceOut_) +
+                  "\",\"events\":" +
+                  std::to_string(session_->recorder().eventCount()));
   }
   if (!metricsOut_.empty()) {
     if (metricsOut_ == "-") {
       std::printf("%s", session_->metrics().renderCsv().c_str());
     } else {
       session_->metrics().saveCsv(metricsOut_);
-      std::fprintf(stderr, "wrote %zu metrics to %s\n",
-                   session_->metrics().size(), metricsOut_.c_str());
+      log_.info("tool", "wrote_metrics",
+                "\"path\":\"" + obs::TraceRecorder::jsonEscape(metricsOut_) +
+                    "\",\"metrics\":" +
+                    std::to_string(session_->metrics().size()));
     }
   }
 }

@@ -33,7 +33,15 @@ void addAppOptions(util::Args& args);
 mpi::Runtime::RankMain makeAppMain(const util::Args& args,
                                    const configs::ClusterConfig& cluster);
 
-/// Register --trace-out (Chrome/Perfetto JSON) and --metrics-out (CSV).
+/// Register --log-level (structured JSONL diagnostics on stderr); shared
+/// by every iop-* tool, including the offline ones.
+void addLogOption(util::Args& args);
+
+/// Resolve --log-level (default: warn).  Throws on unknown names.
+obs::LogLevel toolLogLevel(const util::Args& args);
+
+/// Register --trace-out (Chrome/Perfetto JSON), --metrics-out (CSV) and
+/// --log-level.
 void addObsOptions(util::Args& args);
 
 /// Tool-side observability session driven by the flags above.  Inactive
@@ -47,6 +55,10 @@ class ObsSession {
 
   bool active() const noexcept { return session_ != nullptr; }
   obs::Session* session() noexcept { return session_.get(); }
+
+  /// The tool's structured logger (level from --log-level).  Usable even
+  /// when the session is inactive — offline notices go through it too.
+  obs::Logger& log() noexcept { return log_; }
 
   /// Attach the sinks to an engine (no-op when inactive).  Call for every
   /// engine the tool builds — including fresh replay clusters.
@@ -63,6 +75,7 @@ class ObsSession {
   void detachProfiler();
 
   std::unique_ptr<obs::Session> session_;
+  obs::Logger log_;
   std::string traceOut_;
   std::string metricsOut_;
   bool profilerAttached_ = false;
