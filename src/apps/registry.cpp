@@ -1,0 +1,125 @@
+#include "apps/registry.hpp"
+
+#include <stdexcept>
+
+#include "apps/btio.hpp"
+#include "apps/flash_io.hpp"
+#include "apps/madbench.hpp"
+#include "apps/roms.hpp"
+#include "apps/strided_example.hpp"
+
+namespace iop::apps {
+
+namespace {
+
+[[noreturn]] void badValue(const std::string& app, const std::string& key,
+                           const std::string& value) {
+  throw std::invalid_argument("app " + app + ": bad value '" + value +
+                              "' for parameter '" + key + "'");
+}
+
+int intParam(const std::string& app, const AppParams& params,
+             const std::string& key, int fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(it->second, &used);
+    if (used != it->second.size()) badValue(app, key, it->second);
+    return v;
+  } catch (const std::invalid_argument&) {
+    badValue(app, key, it->second);
+  } catch (const std::out_of_range&) {
+    badValue(app, key, it->second);
+  }
+}
+
+BtClass parseBtClass(const std::string& name) {
+  if (name == "A" || name == "a") return BtClass::A;
+  if (name == "B" || name == "b") return BtClass::B;
+  if (name == "C" || name == "c") return BtClass::C;
+  if (name == "D" || name == "d") return BtClass::D;
+  throw std::invalid_argument("unknown BT class '" + name + "'");
+}
+
+void rejectUnknownKeys(const std::string& app, const AppParams& params,
+                       std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : params) {
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw std::invalid_argument("app " + app + ": unknown parameter '" +
+                                  key + "=" + value + "'");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> knownApps() {
+  return {"btio", "madbench2", "roms", "flash-io", "example"};
+}
+
+bool isKnownApp(const std::string& app) {
+  for (const auto& known : knownApps()) {
+    if (app == known) return true;
+  }
+  return false;
+}
+
+mpi::Runtime::RankMain makeApp(const std::string& app,
+                               const std::string& mount,
+                               const AppParams& params) {
+  if (app == "btio") {
+    rejectUnknownKeys(app, params, {"class", "subtype"});
+    BtioParams p;
+    p.mount = mount;
+    if (const auto it = params.find("class"); it != params.end()) {
+      p.cls = parseBtClass(it->second);
+    }
+    if (const auto it = params.find("subtype"); it != params.end()) {
+      if (it->second != "full" && it->second != "simple") {
+        badValue(app, "subtype", it->second);
+      }
+      p.fullSubtype = it->second != "simple";
+    }
+    return makeBtio(p);
+  }
+  if (app == "madbench2") {
+    rejectUnknownKeys(app, params, {"kpix", "bins", "gangs"});
+    MadbenchParams p;
+    p.mount = mount;
+    p.kpix = intParam(app, params, "kpix", p.kpix);
+    p.bins = intParam(app, params, "bins", p.bins);
+    p.gangs = intParam(app, params, "gangs", p.gangs);
+    return makeMadbench(p);
+  }
+  if (app == "roms") {
+    rejectUnknownKeys(app, params, {"steps"});
+    RomsParams p;
+    p.mount = mount;
+    p.steps = intParam(app, params, "steps", p.steps);
+    return makeRoms(p);
+  }
+  if (app == "flash-io") {
+    rejectUnknownKeys(app, params, {"unknowns"});
+    FlashIoParams p;
+    p.mount = mount;
+    p.unknowns = intParam(app, params, "unknowns", p.unknowns);
+    return makeFlashIo(p);
+  }
+  if (app == "example") {
+    rejectUnknownKeys(app, params, {});
+    StridedExampleParams p;
+    p.mount = mount;
+    return makeStridedExample(p);
+  }
+  throw std::invalid_argument("unknown application '" + app + "'");
+}
+
+}  // namespace iop::apps

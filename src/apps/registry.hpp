@@ -1,0 +1,35 @@
+// Name-based application factory shared by the iop-* tools and the sweep
+// campaign engine: build a RankMain for an application from a name and a
+// key=value parameter map, without every caller re-encoding the knobs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+
+namespace iop::apps {
+
+using AppParams = std::map<std::string, std::string>;
+
+/// Applications makeApp understands, with their accepted parameter keys
+/// (for usage text and campaign-file validation).
+std::vector<std::string> knownApps();
+
+/// True when `app` names a known application.
+bool isKnownApp(const std::string& app);
+
+/// Build the rank-main for `app` writing under `mount`.  Accepted params:
+///   btio:      class=A|B|C|D  subtype=full|simple
+///   madbench2: kpix=N  bins=N  gangs=N
+///   roms:      steps=N
+///   flash-io:  unknowns=N
+///   example:   (none)
+/// Throws std::invalid_argument on an unknown app, unknown parameter key,
+/// or malformed value.
+mpi::Runtime::RankMain makeApp(const std::string& app,
+                               const std::string& mount,
+                               const AppParams& params = {});
+
+}  // namespace iop::apps

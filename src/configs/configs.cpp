@@ -1,5 +1,6 @@
 #include "configs/configs.hpp"
 
+#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
@@ -21,6 +22,21 @@ const char* configName(ConfigId id) {
     case ConfigId::Finisterrae: return "Finisterrae";
   }
   return "?";
+}
+
+ConfigId parseConfigName(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "a") return ConfigId::A;
+  if (lower == "b") return ConfigId::B;
+  if (lower == "c") return ConfigId::C;
+  if (lower == "finisterrae" || lower == "f") return ConfigId::Finisterrae;
+  throw std::invalid_argument("unknown configuration '" + name +
+                              "' (use A, B, C or finisterrae)");
 }
 
 mpi::RuntimeOptions ClusterConfig::runtimeOptions(

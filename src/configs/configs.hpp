@@ -30,6 +30,10 @@ enum class ConfigId { A, B, C, Finisterrae };
 
 const char* configName(ConfigId id);
 
+/// Inverse of configName, case-insensitive ("a", "finisterrae", "f", ...).
+/// Throws std::invalid_argument on unknown names.
+ConfigId parseConfigName(const std::string& name);
+
 /// One instantiated configuration: owns the engine and topology.
 /// Move-only; create a fresh instance per measurement run so cache and
 /// device state start cold.

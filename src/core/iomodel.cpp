@@ -124,6 +124,17 @@ std::string IOModel::renderGlobalPatternSeries(std::size_t maxPoints) const {
 void IOModel::save(const std::filesystem::path& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path.string());
+  write(out);
+  if (!out) throw std::runtime_error("model write failed");
+}
+
+std::string IOModel::renderText() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+void IOModel::write(std::ostream& out) const {
   out << "# iop-model v1\n";
   out << "app " << appName_ << "\n";
   out << "np " << np_ << "\n";
@@ -158,7 +169,6 @@ void IOModel::save(const std::filesystem::path& path) const {
       out << "\n";
     }
   }
-  if (!out) throw std::runtime_error("model write failed");
 }
 
 IOModel IOModel::load(const std::filesystem::path& path) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,12 @@ class IOModel {
   /// Persist / restore (text format, versioned).
   void save(const std::filesystem::path& path) const;
   static IOModel load(const std::filesystem::path& path);
+
+  /// The save() serialization, to a stream / as a string.  renderText() is
+  /// the model's canonical content identity: the sweep cache hashes it, so
+  /// two models with identical text are interchangeable.
+  void write(std::ostream& out) const;
+  std::string renderText() const;
 
  private:
   std::string appName_;

@@ -1,0 +1,326 @@
+#include "obs/benchdiff.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace iop::obs {
+
+namespace {
+
+// Minimal scanner for the iop-bench/1 documents this repo writes: one
+// top-level object with a "schema" string and a "results" array of flat
+// objects holding string/number fields.  Anything outside that shape is
+// rejected with a position, which is all the robustness machine-written
+// bench artifacts need (no external JSON dependency).
+class BenchScanner {
+ public:
+  explicit BenchScanner(const std::string& text) : text_(text) {}
+
+  std::vector<BenchEntry> parse() {
+    skipSpace();
+    expect('{');
+    std::string schema;
+    std::vector<BenchEntry> entries;
+    bool first = true;
+    while (true) {
+      skipSpace();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        expect(',');
+        skipSpace();
+      }
+      first = false;
+      const std::string key = parseString();
+      skipSpace();
+      expect(':');
+      skipSpace();
+      if (key == "schema") {
+        schema = parseString();
+      } else if (key == "results") {
+        entries = parseResults();
+      } else {
+        skipValue();
+      }
+    }
+    if (schema != "iop-bench/1") {
+      throw std::invalid_argument("bench json: schema '" + schema +
+                                  "' is not iop-bench/1");
+    }
+    return entries;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("bench json, offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Bench names are ASCII; keep the escape verbatim.
+            out += "\\u";
+            break;
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parseNumber() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  void skipValue() {
+    const char c = peek();
+    if (c == '"') {
+      parseString();
+      return;
+    }
+    if (c == '{' || c == '[') {
+      // Depth-count over the container, string-aware.
+      int depth = 0;
+      while (true) {
+        const char d = peek();
+        if (d == '"') {
+          parseString();
+          continue;
+        }
+        ++pos_;
+        if (d == '{' || d == '[') {
+          ++depth;
+        } else if (d == '}' || d == ']') {
+          if (--depth == 0) return;
+        }
+      }
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return;
+    }
+    parseNumber();
+  }
+
+  std::vector<BenchEntry> parseResults() {
+    std::vector<BenchEntry> out;
+    expect('[');
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parseResult());
+      skipSpace();
+      if (peek() == ']') {
+        ++pos_;
+        return out;
+      }
+      expect(',');
+      skipSpace();
+    }
+  }
+
+  BenchEntry parseResult() {
+    BenchEntry entry;
+    expect('{');
+    bool first = true;
+    while (true) {
+      skipSpace();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        expect(',');
+        skipSpace();
+      }
+      first = false;
+      const std::string key = parseString();
+      skipSpace();
+      expect(':');
+      skipSpace();
+      if (key == "name") {
+        entry.name = parseString();
+      } else if (key == "iterations") {
+        entry.iterations = static_cast<std::int64_t>(parseNumber());
+      } else if (key == "ns_per_op") {
+        entry.nsPerOp = parseNumber();
+      } else if (key == "bytes_per_second") {
+        entry.bytesPerSecond = parseNumber();
+      } else {
+        skipValue();
+      }
+    }
+    if (entry.name.empty()) fail("result without a name");
+    return entry;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double relChange(double a, double b) {
+  if (a == 0) return b == 0 ? 0 : 100.0;
+  return 100.0 * (b - a) / a;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<BenchEntry> parseBenchJson(const std::string& text) {
+  return BenchScanner(text).parse();
+}
+
+std::string BenchDiffFinding::describe() const {
+  if (kind == Kind::Missing) {
+    return name + ": present in only one run";
+  }
+  const char* dim = kind == Kind::NsPerOp ? "ns/op" : "bytes/s";
+  char pct[32];
+  std::snprintf(pct, sizeof pct, "%+.1f%%", deltaPct);
+  return name + " " + dim + ": " + num(before) + " -> " + num(after) +
+         " (" + pct + (regression ? ", regression)" : ")");
+}
+
+std::size_t BenchDiffResult::regressions() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.regression) ++n;
+  }
+  return n;
+}
+
+std::string BenchDiffResult::render() const {
+  std::ostringstream out;
+  out << "bench diff: " << comparedResults << " shared result(s), "
+      << "threshold " << num(options.thresholdPct) << "%\n";
+  if (findings.empty()) {
+    out << "  no changes beyond threshold\n";
+  } else {
+    for (const auto& f : findings) {
+      out << "  " << (f.regression ? "REGRESSION  " : "change      ")
+          << f.describe() << "\n";
+    }
+  }
+  out << "  " << regressions() << " regression(s), " << findings.size()
+      << " finding(s)\n";
+  return out.str();
+}
+
+BenchDiffResult diffBenchResults(const std::vector<BenchEntry>& a,
+                                 const std::vector<BenchEntry>& b,
+                                 const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  result.options = options;
+  std::map<std::string, const BenchEntry*> byNameB;
+  for (const auto& e : b) byNameB[e.name] = &e;
+  std::map<std::string, bool> matchedB;
+
+  for (const auto& ea : a) {
+    const auto it = byNameB.find(ea.name);
+    if (it == byNameB.end()) {
+      BenchDiffFinding x;
+      x.kind = BenchDiffFinding::Kind::Missing;
+      x.name = ea.name;
+      result.findings.push_back(std::move(x));
+      continue;
+    }
+    matchedB[ea.name] = true;
+    ++result.comparedResults;
+    const BenchEntry& eb = *it->second;
+    if (ea.nsPerOp > 0 && eb.nsPerOp > 0) {
+      const double d = relChange(ea.nsPerOp, eb.nsPerOp);
+      if (std::fabs(d) > options.thresholdPct) {
+        BenchDiffFinding x;
+        x.kind = BenchDiffFinding::Kind::NsPerOp;
+        x.regression = eb.nsPerOp > ea.nsPerOp;
+        x.name = ea.name;
+        x.before = ea.nsPerOp;
+        x.after = eb.nsPerOp;
+        x.deltaPct = d;
+        result.findings.push_back(std::move(x));
+      }
+    }
+    if (ea.bytesPerSecond > 0 && eb.bytesPerSecond > 0) {
+      const double d = relChange(ea.bytesPerSecond, eb.bytesPerSecond);
+      if (std::fabs(d) > options.thresholdPct) {
+        BenchDiffFinding x;
+        x.kind = BenchDiffFinding::Kind::BytesPerSecond;
+        x.regression = eb.bytesPerSecond < ea.bytesPerSecond;
+        x.name = ea.name;
+        x.before = ea.bytesPerSecond;
+        x.after = eb.bytesPerSecond;
+        x.deltaPct = d;
+        result.findings.push_back(std::move(x));
+      }
+    }
+  }
+  for (const auto& eb : b) {
+    if (matchedB.count(eb.name) != 0) continue;
+    BenchDiffFinding x;
+    x.kind = BenchDiffFinding::Kind::Missing;
+    x.name = eb.name;
+    result.findings.push_back(std::move(x));
+  }
+  return result;
+}
+
+}  // namespace iop::obs

@@ -1,0 +1,57 @@
+// Trend comparison over two BENCH_*.json documents (iop-bench/1 schema,
+// written by bench::writeBenchJson and the micro-benchmarks).
+//
+// Results are matched by name; a benchmark whose ns_per_op grew or whose
+// bytes_per_second shrank beyond the threshold is a regression, which
+// drives iop-diff --bench's non-zero CI exit code and closes the
+// perf-trajectory loop over the per-commit bench artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iop::obs {
+
+struct BenchEntry {
+  std::string name;
+  std::int64_t iterations = 0;
+  double nsPerOp = 0;          ///< 0 = not measured
+  double bytesPerSecond = 0;   ///< 0 = not measured
+};
+
+/// Parse an iop-bench/1 document.  Throws std::invalid_argument on a
+/// schema mismatch or malformed JSON.
+std::vector<BenchEntry> parseBenchJson(const std::string& text);
+
+struct BenchDiffOptions {
+  /// Relative change (%) beyond which a ns_per_op / bytes_per_second delta
+  /// counts as a finding.
+  double thresholdPct = 10.0;
+};
+
+struct BenchDiffFinding {
+  enum class Kind { NsPerOp, BytesPerSecond, Missing };
+  Kind kind = Kind::NsPerOp;
+  bool regression = false;  ///< true when B is worse than A
+  std::string name;
+  double before = 0;
+  double after = 0;
+  double deltaPct = 0;
+  std::string describe() const;
+};
+
+struct BenchDiffResult {
+  BenchDiffOptions options;
+  std::vector<BenchDiffFinding> findings;
+  std::size_t comparedResults = 0;
+
+  std::size_t regressions() const noexcept;
+  std::string render() const;
+};
+
+BenchDiffResult diffBenchResults(const std::vector<BenchEntry>& a,
+                                 const std::vector<BenchEntry>& b,
+                                 const BenchDiffOptions& options = {});
+
+}  // namespace iop::obs

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 namespace iop::obs {
 
@@ -46,7 +47,120 @@ double l1Distance(const std::vector<double>& a, const std::vector<double>& b) {
   return d;
 }
 
+/// Weight similarity in [0, 1]: 1 for identical weights, approaching 0 as
+/// the weights diverge.
+double weightSimilarity(const CapturePhase& x, const CapturePhase& y) {
+  const double wa = static_cast<double>(x.weightBytes);
+  const double wb = static_cast<double>(y.weightBytes);
+  const double hi = std::max({wa, wb, 1.0});
+  return 1.0 - std::fabs(wa - wb) / hi;
+}
+
+/// Order-preserving alignment of two same-label phase sequences: a classic
+/// gap-allowed DP maximizing total weight similarity, with matches below
+/// kMinSimilarity forbidden (those phases are better reported missing than
+/// force-paired).  Group sizes are phase counts, so O(n*m) is fine.
+constexpr double kMinSimilarity = 0.5;
+
+std::vector<std::pair<const CapturePhase*, const CapturePhase*>>
+alignGroup(const std::vector<const CapturePhase*>& as,
+           const std::vector<const CapturePhase*>& bs) {
+  const std::size_t n = as.size();
+  const std::size_t m = bs.size();
+  std::vector<std::vector<double>> score(n + 1,
+                                         std::vector<double>(m + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      double best = std::max(score[i - 1][j], score[i][j - 1]);
+      const double sim = weightSimilarity(*as[i - 1], *bs[j - 1]);
+      if (sim >= kMinSimilarity) {
+        best = std::max(best, score[i - 1][j - 1] + sim);
+      }
+      score[i][j] = best;
+    }
+  }
+  std::vector<std::pair<const CapturePhase*, const CapturePhase*>> rev;
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0) {
+      const double sim = weightSimilarity(*as[i - 1], *bs[j - 1]);
+      if (sim >= kMinSimilarity &&
+          score[i][j] == score[i - 1][j - 1] + sim) {
+        rev.emplace_back(as[i - 1], bs[j - 1]);
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 && (j == 0 || score[i][j] == score[i - 1][j])) {
+      rev.emplace_back(as[i - 1], nullptr);
+      --i;
+    } else {
+      rev.emplace_back(nullptr, bs[j - 1]);
+      --j;
+    }
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
 }  // namespace
+
+AlignMode parseAlignMode(const std::string& name) {
+  if (name == "id") return AlignMode::ById;
+  if (name == "similarity") return AlignMode::BySimilarity;
+  throw std::invalid_argument("unknown align mode '" + name +
+                              "' (use id or similarity)");
+}
+
+std::vector<std::pair<const CapturePhase*, const CapturePhase*>>
+alignPhases(const RunCapture& a, const RunCapture& b, AlignMode mode) {
+  std::vector<std::pair<const CapturePhase*, const CapturePhase*>> pairs;
+  if (mode == AlignMode::ById) {
+    std::map<int, const CapturePhase*> phasesB;
+    for (const auto& p : b.phases) phasesB[p.id] = &p;
+    std::map<int, const CapturePhase*> matchedB;
+    for (const auto& pa : a.phases) {
+      const auto it = phasesB.find(pa.id);
+      if (it == phasesB.end()) {
+        pairs.emplace_back(&pa, nullptr);
+      } else {
+        pairs.emplace_back(&pa, it->second);
+        matchedB[pa.id] = it->second;
+      }
+    }
+    for (const auto& pb : b.phases) {
+      if (matchedB.count(pb.id) == 0) pairs.emplace_back(nullptr, &pb);
+    }
+    return pairs;
+  }
+
+  // BySimilarity: bucket both sides by label (keyed in a's order of first
+  // appearance, b-only labels after), then align each bucket's sequences.
+  std::vector<std::string> labelOrder;
+  std::map<std::string, std::vector<const CapturePhase*>> groupA;
+  std::map<std::string, std::vector<const CapturePhase*>> groupB;
+  for (const auto& pa : a.phases) {
+    if (groupA.count(pa.label) == 0 && groupB.count(pa.label) == 0) {
+      labelOrder.push_back(pa.label);
+    }
+    groupA[pa.label].push_back(&pa);
+  }
+  for (const auto& pb : b.phases) {
+    if (groupA.count(pb.label) == 0 && groupB.count(pb.label) == 0) {
+      labelOrder.push_back(pb.label);
+    }
+    groupB[pb.label].push_back(&pb);
+  }
+  std::vector<std::pair<const CapturePhase*, const CapturePhase*>> bOnly;
+  for (const auto& label : labelOrder) {
+    for (auto& pair : alignGroup(groupA[label], groupB[label])) {
+      (pair.first != nullptr ? pairs : bOnly).push_back(pair);
+    }
+  }
+  pairs.insert(pairs.end(), bOnly.begin(), bOnly.end());
+  return pairs;
+}
 
 std::vector<std::pair<std::string, std::vector<double>>>
 parseHistogramBuckets(const std::string& metricsCsv) {
@@ -153,23 +267,24 @@ DiffResult diffCaptures(const RunCapture& a, const RunCapture& b,
     }
   }
 
-  std::map<int, const CapturePhase*> phasesB;
-  for (const auto& p : b.phases) phasesB[p.id] = &p;
-  std::map<int, const CapturePhase*> phasesA;
-  for (const auto& p : a.phases) phasesA[p.id] = &p;
-
-  for (const auto& pa : a.phases) {
-    const auto it = phasesB.find(pa.id);
-    if (it == phasesB.end()) {
+  for (const auto& [paPtr, pbPtr] : alignPhases(a, b, options.align)) {
+    if (paPtr == nullptr || pbPtr == nullptr) {
+      const CapturePhase& only = paPtr != nullptr ? *paPtr : *pbPtr;
       DiffFinding x;
       x.kind = DiffFinding::Kind::PhaseMissing;
       x.regression = true;
-      x.phaseId = pa.id;
-      x.subject = pa.label;
+      x.phaseId = only.id;
+      x.subject = only.label;
       f.push_back(std::move(x));
       continue;
     }
-    const CapturePhase& pb = *it->second;
+    const CapturePhase& pa = *paPtr;
+    const CapturePhase& pb = *pbPtr;
+    // Under similarity alignment a pair may carry two different ids; name
+    // the match in the subject so findings stay traceable to both runs.
+    const std::string subject =
+        pa.id == pb.id ? pa.label
+                       : pa.label + " ~ b:" + std::to_string(pb.id);
     const double dt = relChange(pa.ioSeconds, pb.ioSeconds);
     if (std::fabs(dt) > options.thresholdPct &&
         std::fabs(pb.ioSeconds - pa.ioSeconds) > options.minSeconds) {
@@ -177,7 +292,7 @@ DiffResult diffCaptures(const RunCapture& a, const RunCapture& b,
       x.kind = DiffFinding::Kind::PhaseTime;
       x.regression = pb.ioSeconds > pa.ioSeconds;
       x.phaseId = pa.id;
-      x.subject = pa.label;
+      x.subject = subject;
       x.before = pa.ioSeconds;
       x.after = pb.ioSeconds;
       x.deltaPct = dt;
@@ -190,21 +305,12 @@ DiffResult diffCaptures(const RunCapture& a, const RunCapture& b,
       x.kind = DiffFinding::Kind::PhaseBandwidth;
       x.regression = pb.bandwidth < pa.bandwidth;
       x.phaseId = pa.id;
-      x.subject = pa.label;
+      x.subject = subject;
       x.before = pa.bandwidth;
       x.after = pb.bandwidth;
       x.deltaPct = db;
       f.push_back(std::move(x));
     }
-  }
-  for (const auto& pb : b.phases) {
-    if (phasesA.count(pb.id) != 0) continue;
-    DiffFinding x;
-    x.kind = DiffFinding::Kind::PhaseMissing;
-    x.regression = true;
-    x.phaseId = pb.id;
-    x.subject = pb.label;
-    f.push_back(std::move(x));
   }
 
   if (!a.metricsCsv.empty() && !b.metricsCsv.empty()) {

@@ -16,6 +16,17 @@
 
 namespace iop::obs {
 
+/// How phases of the two captures are matched before comparison.
+///   ById:         same phase id (the default; exact for unchanged models).
+///   BySimilarity: renumbering-tolerant — phases are grouped by label and
+///                 sequence-aligned within each group by weight similarity,
+///                 so a model extraction that renumbers phases still diffs
+///                 clean.
+enum class AlignMode { ById, BySimilarity };
+
+/// "id" | "similarity" (throws std::invalid_argument).
+AlignMode parseAlignMode(const std::string& name);
+
 struct DiffOptions {
   /// Relative change in percent beyond which a per-phase time/bandwidth
   /// delta or the makespan delta counts as a finding.
@@ -25,6 +36,7 @@ struct DiffOptions {
   double histThreshold = 0.25;
   /// Ignore phase time deltas below this many seconds (fp noise floor).
   double minSeconds = 1e-9;
+  AlignMode align = AlignMode::ById;
 };
 
 struct DiffFinding {
@@ -50,6 +62,12 @@ struct DiffResult {
 
 DiffResult diffCaptures(const RunCapture& a, const RunCapture& b,
                         const DiffOptions& options = {});
+
+/// Phase matching between two captures (exposed for tests).  Each pair has
+/// at least one side set; a nullptr side means the phase is unmatched.
+/// Pairs appear in a-order, with b-only phases appended in b-order.
+std::vector<std::pair<const CapturePhase*, const CapturePhase*>>
+alignPhases(const RunCapture& a, const RunCapture& b, AlignMode mode);
 
 /// Parse the `le_*` bucket rows of every histogram in a metrics CSV
 /// (exposed for tests).  Returns metric -> ordered bucket counts.

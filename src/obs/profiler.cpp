@@ -15,11 +15,13 @@ Profiler& Profiler::global() {
 }
 
 void Profiler::attachTrace(TraceRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
   recorder_ = recorder;
   epoch_ = Clock::now();
 }
 
 void Profiler::record(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& s = stats_[name];
   if (s.calls == 0) {
     s.minSec = seconds;
@@ -33,11 +35,20 @@ void Profiler::record(const std::string& name, double seconds) {
 }
 
 void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_.clear();
+}
+
+std::map<std::string, ProfileStats> Profiler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 void Profiler::emitSpan(const std::string& name, Clock::time_point begin,
                         Clock::time_point end) {
+  // The recorder itself is not synchronized; spans are only mirrored when
+  // one is attached, which tools do for single-threaded pipelines.
+  std::lock_guard<std::mutex> lock(mutex_);
   if (recorder_ == nullptr) return;
   auto sec = [this](Clock::time_point t) {
     return std::chrono::duration<double>(t - epoch_).count();
@@ -55,8 +66,9 @@ Profiler::Scope::~Scope() {
 }
 
 std::string Profiler::renderReport() const {
-  std::vector<std::pair<std::string, ProfileStats>> rows(stats_.begin(),
-                                                         stats_.end());
+  const auto snapshot = stats();
+  std::vector<std::pair<std::string, ProfileStats>> rows(snapshot.begin(),
+                                                         snapshot.end());
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     if (a.second.totalSec != b.second.totalSec) {
       return a.second.totalSec > b.second.totalSec;

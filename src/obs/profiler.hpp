@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace iop::obs {
@@ -40,12 +41,12 @@ class Profiler {
   /// (timestamps = wall seconds since this call).  Pass nullptr to detach.
   void attachTrace(TraceRecorder* recorder);
 
-  /// Record one completed section (seconds of wall time).
+  /// Record one completed section (seconds of wall time).  Thread-safe:
+  /// sweep workers profile concurrently into the global instance.
   void record(const std::string& name, double seconds);
 
-  const std::map<std::string, ProfileStats>& stats() const noexcept {
-    return stats_;
-  }
+  /// Snapshot of the per-scope aggregates.
+  std::map<std::string, ProfileStats> stats() const;
   void reset();
 
   /// Aligned text report, longest total first.
@@ -73,6 +74,7 @@ class Profiler {
                 Clock::time_point end);
   friend class Scope;
 
+  mutable std::mutex mutex_;
   std::map<std::string, ProfileStats> stats_;
   TraceRecorder* recorder_ = nullptr;
   Clock::time_point epoch_{};

@@ -1,10 +1,18 @@
 #include "storage/network.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/hub.hpp"
 
 namespace iop::storage {
+
+void Node::setDegradation(double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("degradation factor must be >= 1");
+  }
+  degradation_ = factor;
+}
 
 LinkParams gigabitEthernet() {
   // 1 Gb/s line rate; ~117 MB/s effective after TCP/IP framing.
@@ -39,9 +47,13 @@ sim::Task<void> transfer(sim::Engine& engine, Node& src, Node& dst,
   co_await src.tx().acquire();
   co_await dst.rx().acquire();
   const double bw = std::min(src.link().bandwidth, dst.link().bandwidth);
-  const double t = src.link().latency + src.link().perMessageOverhead +
-                   dst.link().perMessageOverhead +
-                   static_cast<double>(bytes) / bw;
+  // A degraded endpoint slows the whole transfer (the path runs at the
+  // slowest NIC); loopback copies never touch a NIC and stay unscaled.
+  const double degrade = std::max(src.degradation(), dst.degradation());
+  const double t = (src.link().latency + src.link().perMessageOverhead +
+                    dst.link().perMessageOverhead +
+                    static_cast<double>(bytes) / bw) *
+                   degrade;
   co_await engine.delay(t);
   dst.rx().release();
   src.tx().release();

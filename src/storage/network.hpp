@@ -46,12 +46,19 @@ class Node {
   sim::Resource& tx() noexcept { return tx_; }
   sim::Resource& rx() noexcept { return rx_; }
 
+  /// Fault injection: scale every transfer touching this NIC by `factor`
+  /// (>= 1; throws below).  Mirrors Disk::setDegradation so regression
+  /// gates can cover transfer-bound configurations (--degrade-net).
+  void setDegradation(double factor);
+  double degradation() const noexcept { return degradation_; }
+
  private:
   int id_;
   std::string name_;
   LinkParams link_;
   sim::Resource tx_;
   sim::Resource rx_;
+  double degradation_ = 1.0;
 };
 
 /// Point-to-point transfer of `bytes` from src to dst.  Same-node transfers

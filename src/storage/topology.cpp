@@ -46,6 +46,13 @@ std::vector<Disk*> Topology::allDisks() {
   return out;
 }
 
+std::vector<Node*> Topology::allNodes() {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
 void Topology::shutdown() {
   for (auto& s : servers_) s->shutdown();
 }

@@ -46,6 +46,9 @@ class Topology {
   /// All disks of all servers (for monitoring).
   std::vector<Disk*> allDisks();
 
+  /// All nodes, compute and I/O (for network fault injection).
+  std::vector<Node*> allNodes();
+
   /// Stop background cache flushers so Engine::run() can complete; call
   /// once the workload is done (the MPI runtime does this automatically).
   void shutdown();

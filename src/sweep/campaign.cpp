@@ -1,0 +1,366 @@
+#include "sweep/campaign.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/runner.hpp"
+#include "configs/configfile.hpp"
+#include "obs/recorder.hpp"
+#include "sweep/hash.hpp"
+#include "util/text.hpp"
+
+namespace iop::sweep {
+
+namespace {
+
+[[noreturn]] void fail(int lineNo, const std::string& message) {
+  throw std::invalid_argument("campaign line " + std::to_string(lineNo) +
+                              ": " + message);
+}
+
+std::string fmtFactor(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string stem(const std::string& path) {
+  return std::filesystem::path(path).stem().string();
+}
+
+std::string resolvePath(const std::filesystem::path& baseDir,
+                        const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.is_absolute()) return p.lexically_normal().string();
+  return (baseDir / p).lexically_normal().string();
+}
+
+std::vector<double> parseFactors(int lineNo,
+                                 const std::vector<std::string>& tokens) {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    char* end = nullptr;
+    const double v = std::strtod(tokens[i].c_str(), &end);
+    if (end != tokens[i].c_str() + tokens[i].size()) {
+      fail(lineNo, "bad factor '" + tokens[i] + "'");
+    }
+    if (v < 1.0) fail(lineNo, "degradation factors must be >= 1");
+    out.push_back(v);
+  }
+  if (out.empty()) fail(lineNo, "factor list needs at least one value");
+  return out;
+}
+
+ConfigSource parseConfigSource(int lineNo, const std::string& token,
+                               const std::filesystem::path& baseDir) {
+  ConfigSource src;
+  if (token.rfind("file=", 0) == 0) {
+    src.fromFile = true;
+    src.path = resolvePath(baseDir, token.substr(5));
+    src.label = stem(src.path);
+  } else {
+    try {
+      configs::parseConfigName(token);  // validate with a line reference
+    } catch (const std::exception& e) {
+      fail(lineNo, e.what());
+    }
+    src.name = token;
+    src.label = token;
+  }
+  return src;
+}
+
+/// Keep axis labels unique so reports and manifests are unambiguous.
+void disambiguate(std::vector<std::string*> labels) {
+  std::set<std::string> seen;
+  for (std::string* label : labels) {
+    std::string candidate = *label;
+    int n = 2;
+    while (!seen.insert(candidate).second) {
+      candidate = *label + "#" + std::to_string(n++);
+    }
+    *label = candidate;
+  }
+}
+
+std::string readFileText(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument(std::string("cannot open ") + what + " " +
+                                path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+ResolvedConfig resolveConfig(const ConfigSource& src) {
+  ResolvedConfig out;
+  out.label = src.label;
+  out.fromFile = src.fromFile;
+  if (src.fromFile) {
+    out.clusterText = readFileText(src.path, "cluster config");
+    out.identity = "cluster-file\n" + out.clusterText;
+  } else {
+    out.name = src.name;
+    // Normalize through the enum so "f" and "finisterrae" share a key.
+    out.identity = std::string("named-config\n") +
+                   configs::configName(configs::parseConfigName(src.name));
+  }
+  // Probe build: validates the description and captures the mount point.
+  auto probe = out.build(1.0, 1.0);
+  out.mount = probe.mount;
+  return out;
+}
+
+}  // namespace
+
+configs::ClusterConfig ResolvedConfig::build(double degradeDisks,
+                                             double degradeNet) const {
+  configs::ClusterConfig cfg =
+      fromFile ? configs::parseClusterConfig(clusterText)
+               : configs::makeConfig(configs::parseConfigName(name));
+  // != rather than > so out-of-range factors hit the setters' validation.
+  if (degradeDisks != 1.0) {
+    for (storage::Disk* d : cfg.topology->allDisks()) {
+      d->setDegradation(degradeDisks);
+    }
+  }
+  if (degradeNet != 1.0) {
+    for (storage::Node* n : cfg.topology->allNodes()) {
+      n->setDegradation(degradeNet);
+    }
+  }
+  return cfg;
+}
+
+std::string CampaignSpec::canonicalText() const {
+  std::ostringstream out;
+  out << "iop-campaign v1\n";
+  out << "campaign " << name << "\n";
+  out << "estimator " << estimatorVersion() << "\n";
+  for (const auto& m : models) {
+    out << "model " << m.label;
+    if (m.fromApp()) {
+      out << " app=" << m.app << " np=" << m.np;
+      for (const auto& [key, value] : m.params) {
+        out << " " << key << "=" << value;
+      }
+    } else {
+      out << " file=" << m.path;
+    }
+    out << "\n";
+  }
+  for (const auto& c : configs) {
+    out << "config " << c.label;
+    if (c.fromFile) {
+      out << " file=" << c.path;
+    } else {
+      out << " name=" << c.name;
+    }
+    out << "\n";
+  }
+  out << "degrade-disks";
+  for (double v : degradeDisks) out << " " << fmtFactor(v);
+  out << "\n";
+  out << "degrade-net";
+  for (double v : degradeNet) out << " " << fmtFactor(v);
+  out << "\n";
+  out << "characterize "
+      << (characterize.fromFile ? "file=" + characterize.path
+                                : characterize.name)
+      << "\n";
+  return out.str();
+}
+
+CampaignSpec parseCampaign(const std::string& text,
+                           const std::filesystem::path& baseDir) {
+  CampaignSpec spec;
+  spec.characterize.name = "A";
+  spec.characterize.label = "A";
+  bool sawDegradeDisks = false;
+  bool sawDegradeNet = false;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    auto tokens = util::splitWhitespace(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "name") {
+      if (tokens.size() < 2) fail(lineNo, "name needs a value");
+      spec.name = tokens[1];
+    } else if (directive == "model") {
+      if (tokens.size() < 2) fail(lineNo, "model <path>");
+      ModelSource m;
+      m.path = resolvePath(baseDir, tokens[1]);
+      m.label = stem(m.path);
+      spec.models.push_back(std::move(m));
+    } else if (directive == "app") {
+      if (tokens.size() < 2) fail(lineNo, "app <name> [key=value...]");
+      ModelSource m;
+      m.app = tokens[1];
+      if (!apps::isKnownApp(m.app)) {
+        fail(lineNo, "unknown application '" + m.app + "'");
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+          fail(lineNo, "app parameters must be key=value, got '" +
+                           tokens[i] + "'");
+        }
+        const std::string key = tokens[i].substr(0, eq);
+        const std::string value = tokens[i].substr(eq + 1);
+        if (key == "np") {
+          m.np = std::stoi(value);
+          if (m.np < 1) fail(lineNo, "np must be positive");
+        } else {
+          m.params[key] = value;
+        }
+      }
+      m.label = m.app + "-np" + std::to_string(m.np);
+      for (const auto& [key, value] : m.params) {
+        m.label += "-" + key + value;
+      }
+      spec.models.push_back(std::move(m));
+    } else if (directive == "config") {
+      if (tokens.size() < 2) fail(lineNo, "config <A|B|C|finisterrae>");
+      spec.configs.push_back(parseConfigSource(lineNo, tokens[1], baseDir));
+    } else if (directive == "config-file") {
+      if (tokens.size() < 2) fail(lineNo, "config-file <path>");
+      spec.configs.push_back(
+          parseConfigSource(lineNo, "file=" + tokens[1], baseDir));
+    } else if (directive == "degrade-disks") {
+      if (sawDegradeDisks) fail(lineNo, "duplicate degrade-disks");
+      sawDegradeDisks = true;
+      spec.degradeDisks = parseFactors(lineNo, tokens);
+    } else if (directive == "degrade-net") {
+      if (sawDegradeNet) fail(lineNo, "duplicate degrade-net");
+      sawDegradeNet = true;
+      spec.degradeNet = parseFactors(lineNo, tokens);
+    } else if (directive == "multiop") {
+      spec.multiop = true;
+    } else if (directive == "characterize") {
+      if (tokens.size() < 2) {
+        fail(lineNo, "characterize <config-name | file=path>");
+      }
+      spec.characterize = parseConfigSource(lineNo, tokens[1], baseDir);
+    } else {
+      fail(lineNo, "unknown directive '" + directive + "'");
+    }
+  }
+
+  if (spec.models.empty()) {
+    throw std::invalid_argument(
+        "campaign: at least one 'model' or 'app' line is required");
+  }
+  if (spec.configs.empty()) {
+    throw std::invalid_argument(
+        "campaign: at least one 'config' or 'config-file' line is "
+        "required");
+  }
+  std::vector<std::string*> modelLabels;
+  for (auto& m : spec.models) modelLabels.push_back(&m.label);
+  disambiguate(modelLabels);
+  std::vector<std::string*> configLabels;
+  for (auto& c : spec.configs) configLabels.push_back(&c.label);
+  disambiguate(configLabels);
+  return spec;
+}
+
+CampaignSpec loadCampaign(const std::filesystem::path& path) {
+  return parseCampaign(readFileText(path.string(), "campaign"),
+                       path.parent_path());
+}
+
+ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
+                                 obs::Logger* log) {
+  ResolvedCampaign out;
+  out.spec = spec;
+
+  for (const auto& src : spec.models) {
+    ResolvedModel m;
+    m.label = src.label;
+    if (src.fromApp()) {
+      // Characterization run (Section III-A): trace the app once on the
+      // characterize configuration and extract its subsystem-independent
+      // model.  This is the only application execution in a campaign.
+      auto cluster = resolveConfig(spec.characterize).build(1.0, 1.0);
+      auto run = analysis::runAndTrace(
+          cluster, src.label,
+          apps::makeApp(src.app, cluster.mount, src.params), src.np);
+      m.model = std::move(run.model);
+      if (log != nullptr) {
+        log->info("sweep", "characterized",
+                  "\"model\":\"" + obs::TraceRecorder::jsonEscape(src.label) +
+                      "\",\"phases\":" +
+                      std::to_string(m.model.phases().size()));
+      }
+    } else {
+      m.model = core::IOModel::load(src.path);
+    }
+    m.contentText = m.model.renderText();
+    out.models.push_back(std::move(m));
+  }
+
+  for (const auto& src : spec.configs) {
+    out.configs.push_back(resolveConfig(src));
+  }
+  return out;
+}
+
+std::string cellKey(const char* estimatorVersion,
+                    const std::string& modelText,
+                    const std::string& configIdentity, double degradeDisks,
+                    double degradeNet) {
+  ContentHash h;
+  h.update("iop-sweep/1");
+  h.update(estimatorVersion);
+  h.update(modelText);
+  h.update(configIdentity);
+  h.update("dd=" + fmtFactor(degradeDisks));
+  h.update("dn=" + fmtFactor(degradeNet));
+  return h.hex();
+}
+
+std::vector<CellSpec> ResolvedCampaign::planCells() const {
+  std::vector<CellSpec> cells;
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      for (double dd : spec.degradeDisks) {
+        for (double dn : spec.degradeNet) {
+          CellSpec cell;
+          cell.modelIndex = mi;
+          cell.configIndex = ci;
+          cell.degradeDisks = dd;
+          cell.degradeNet = dn;
+          cell.key = cellKey(spec.estimatorVersion(),
+                             models[mi].contentText, configs[ci].identity,
+                             dd, dn);
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::string ResolvedCampaign::cellTitle(const CellSpec& cell) const {
+  std::string title = models[cell.modelIndex].label + " @ " +
+                      configs[cell.configIndex].label;
+  if (cell.degradeDisks != 1.0) {
+    title += " dd=" + fmtFactor(cell.degradeDisks);
+  }
+  if (cell.degradeNet != 1.0) title += " dn=" + fmtFactor(cell.degradeNet);
+  return title;
+}
+
+}  // namespace iop::sweep

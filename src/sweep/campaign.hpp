@@ -1,0 +1,140 @@
+// Campaign specifications: the what-if grid a sweep evaluates.
+//
+// A campaign file is the same directive-per-line text format as the
+// cluster description files ('#' comments, whitespace tokens):
+//
+//   name btio-selection
+//   model models/btio-D.model          # model-file axis entry
+//   app btio np=4 class=C              # characterize-and-model axis entry
+//   characterize A                     # config app entries are traced on
+//   config C                           # candidate axis entry (repeatable)
+//   config finisterrae
+//   config-file clusters/ssd-nas.conf
+//   degrade-disks 1 4                  # fault grid (default: 1)
+//   degrade-net 1 2
+//   multiop                            # exact-cycle multi-op replay
+//
+// Cells = models x configs x degrade-disks x degrade-net, in exactly that
+// (declaration) order — the campaign's canonical cell order, which the
+// executor commits results in regardless of worker count.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "configs/configs.hpp"
+#include "core/iomodel.hpp"
+#include "obs/log.hpp"
+
+namespace iop::sweep {
+
+/// Estimator identity folded into every cache key: bump when the replay /
+/// estimation pipeline changes in a result-affecting way.
+inline constexpr const char* kEstimatorVersion = "iop-estimate/2";
+inline constexpr const char* kMultiOpEstimatorVersion =
+    "iop-estimate-multiop/1";
+
+/// One model axis entry: either a saved model file or an application to
+/// characterize on the campaign's characterize config.
+struct ModelSource {
+  std::string label;
+  std::string path;  ///< model file (empty for app entries)
+  std::string app;   ///< application name (empty for file entries)
+  int np = 4;        ///< app entries: process count
+  apps::AppParams params;
+
+  bool fromApp() const noexcept { return !app.empty(); }
+};
+
+/// One candidate configuration: a paper config by name or a cluster file.
+struct ConfigSource {
+  std::string label;
+  bool fromFile = false;
+  std::string name = "A";  ///< paper configuration (when !fromFile)
+  std::string path;        ///< cluster description file (when fromFile)
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<ModelSource> models;
+  std::vector<ConfigSource> configs;
+  std::vector<double> degradeDisks{1.0};
+  std::vector<double> degradeNet{1.0};
+  bool multiop = false;
+  ConfigSource characterize;  ///< default: paper configuration A
+
+  const char* estimatorVersion() const noexcept {
+    return multiop ? kMultiOpEstimatorVersion : kEstimatorVersion;
+  }
+
+  /// Deterministic re-rendering of the parsed spec (comments and
+  /// whitespace dropped): the store's campaign identity.
+  std::string canonicalText() const;
+};
+
+/// Parse a campaign.  Relative paths resolve against `baseDir`.  Throws
+/// std::invalid_argument with a line reference on malformed input.
+CampaignSpec parseCampaign(const std::string& text,
+                           const std::filesystem::path& baseDir);
+CampaignSpec loadCampaign(const std::filesystem::path& path);
+
+// ------------------------------------------------------------- Resolution
+
+struct ResolvedModel {
+  std::string label;
+  core::IOModel model;
+  std::string contentText;  ///< canonical model serialization (hash input)
+};
+
+struct ResolvedConfig {
+  std::string label;
+  std::string identity;     ///< hash input: config name or file content
+  bool fromFile = false;
+  std::string name;         ///< paper config name (when !fromFile)
+  std::string clusterText;  ///< cluster file content (when fromFile)
+  std::string mount;        ///< default mount of the configuration
+
+  /// Build a fresh, cold instance with the cell's fault factors applied.
+  /// Thread-safe: parses from the captured text, touches no shared state.
+  configs::ClusterConfig build(double degradeDisks,
+                               double degradeNet) const;
+};
+
+/// One cell of the campaign grid, with its content-addressed cache key.
+struct CellSpec {
+  std::size_t modelIndex = 0;
+  std::size_t configIndex = 0;
+  double degradeDisks = 1.0;
+  double degradeNet = 1.0;
+  std::string key;  ///< 16-hex ContentHash of (estimator, model, config,
+                    ///< faults)
+};
+
+struct ResolvedCampaign {
+  CampaignSpec spec;
+  std::vector<ResolvedModel> models;
+  std::vector<ResolvedConfig> configs;
+
+  /// The campaign grid in canonical order, cache keys computed.
+  std::vector<CellSpec> planCells() const;
+
+  std::string cellTitle(const CellSpec& cell) const;
+};
+
+/// Load model files, characterize app entries (serially, on the
+/// characterize config), and load cluster files.  Logs one line per
+/// characterization when `log` is set.
+ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
+                                 obs::Logger* log = nullptr);
+
+/// The cache key of one cell (exposed for tests): estimator version +
+/// model text + config identity + fault factors.
+std::string cellKey(const char* estimatorVersion,
+                    const std::string& modelText,
+                    const std::string& configIdentity, double degradeDisks,
+                    double degradeNet);
+
+}  // namespace iop::sweep

@@ -1,0 +1,237 @@
+#include "sweep/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "analysis/multiop.hpp"
+#include "analysis/replay.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
+
+namespace iop::sweep {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Serialized view of the (not thread-safe) Logger for worker threads.
+class SharedLog {
+ public:
+  explicit SharedLog(obs::Logger* log) : log_(log) {}
+
+  void info(const std::string& event, const std::string& fields) {
+    if (log_ == nullptr) return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    log_->info("sweep", event, fields);
+  }
+  void warn(const std::string& event, const std::string& fields) {
+    if (log_ == nullptr) return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    log_->warn("sweep", event, fields);
+  }
+
+ private:
+  obs::Logger* log_;
+  std::mutex mutex_;
+};
+
+std::string cellFields(const ResolvedCampaign& campaign,
+                       const CellSpec& cell) {
+  return "\"cell\":\"" +
+         obs::TraceRecorder::jsonEscape(campaign.cellTitle(cell)) +
+         "\",\"key\":\"" + cell.key + "\"";
+}
+
+}  // namespace
+
+CellResult evaluateCell(const ResolvedCampaign& campaign,
+                        const CellSpec& cell) {
+  IOP_PROFILE_SCOPE("sweep.cell");
+  const ResolvedModel& model = campaign.models[cell.modelIndex];
+  const ResolvedConfig& config = campaign.configs[cell.configIndex];
+
+  // Every measurement runs on a fresh, cold, private instance of the
+  // candidate configuration with the cell's fault factors applied.
+  analysis::ConfigBuilder builder = [&config, &cell]() {
+    return config.build(cell.degradeDisks, cell.degradeNet);
+  };
+  analysis::Replayer replayer(builder, config.mount);
+  analysis::Estimate estimate =
+      campaign.spec.multiop
+          ? analysis::estimateIoTimeMultiOp(model.model, replayer, builder,
+                                            config.mount)
+          : analysis::estimateIoTime(model.model, replayer);
+
+  CellResult result;
+  result.key = cell.key;
+  result.modelLabel = model.label;
+  result.configLabel = config.label;
+  result.degradeDisks = cell.degradeDisks;
+  result.degradeNet = cell.degradeNet;
+  result.estimator = campaign.spec.estimatorVersion();
+  result.np = model.model.np();
+  result.weightBytes = model.model.totalWeightBytes();
+  result.timeIo = estimate.totalTimeSec;
+  result.iorRuns = replayer.benchmarkRuns();
+  for (const auto& p : estimate.phases) {
+    result.phases.push_back({p.phaseId, p.familyId, p.weightBytes,
+                             p.bandwidthCH, p.timeCH});
+  }
+  return result;
+}
+
+SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
+                      const SweepOptions& options, obs::Logger* log,
+                      obs::MetricsRegistry* metrics) {
+  IOP_PROFILE_SCOPE("sweep.run");
+  if (options.jobs < 1) {
+    throw std::invalid_argument("sweep: jobs must be >= 1");
+  }
+  const auto startedAt = std::chrono::steady_clock::now();
+  SharedLog sharedLog(log);
+
+  store.initialize(campaign.spec.canonicalText(), options.force);
+
+  SweepOutcome outcome;
+  const std::vector<CellSpec> plan = campaign.planCells();
+  outcome.cells.resize(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    outcome.cells[i].spec = plan[i];
+  }
+
+  // Serial cache probe, plus key-dedup: identical cells (same key) are
+  // evaluated once and share the result.
+  std::vector<std::size_t> pending;       // owner index per unique key
+  std::map<std::string, std::size_t> owners;
+  std::map<std::string, std::vector<std::size_t>> followers;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    IOP_PROFILE_SCOPE("sweep.probe");
+    const CellSpec& cell = plan[i];
+    if (!options.force && store.hasCell(cell.key)) {
+      outcome.cells[i].status = CellOutcome::Status::Cached;
+      outcome.cells[i].result = store.loadCell(cell.key);
+      ++outcome.cacheHits;
+      sharedLog.info("cache_hit", cellFields(campaign, cell));
+      continue;
+    }
+    auto [it, inserted] = owners.emplace(cell.key, i);
+    if (inserted) {
+      pending.push_back(i);
+    } else {
+      followers[cell.key].push_back(i);
+    }
+  }
+
+  // Fixed-size pool over the pending list.  Each worker owns its cell's
+  // outcome slot exclusively; nothing else is shared mutable state.
+  std::atomic<std::size_t> cursor{0};
+  auto workerMain = [&]() {
+    for (;;) {
+      const std::size_t slot = cursor.fetch_add(1);
+      if (slot >= pending.size()) return;
+      const std::size_t index = pending[slot];
+      CellOutcome& out = outcome.cells[index];
+      const auto cellStart = std::chrono::steady_clock::now();
+      try {
+        out.result = evaluateCell(campaign, out.spec);
+        store.saveCell(out.result);
+        if (options.writeCaptures) {
+          store.saveCapture(out.spec.key, makeCellCapture(out.result));
+        }
+        out.status = CellOutcome::Status::Computed;
+        out.seconds = secondsSince(cellStart);
+        sharedLog.info(
+            "cell_done",
+            cellFields(campaign, out.spec) +
+                ",\"time_io\":" + std::to_string(out.result.timeIo) +
+                ",\"ior_runs\":" + std::to_string(out.result.iorRuns));
+      } catch (const std::exception& e) {
+        out.status = CellOutcome::Status::Failed;
+        out.error = e.what();
+        out.seconds = secondsSince(cellStart);
+        sharedLog.warn("cell_failed",
+                       cellFields(campaign, out.spec) + ",\"error\":\"" +
+                           obs::TraceRecorder::jsonEscape(e.what()) + "\"");
+      }
+    }
+  };
+
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(options.jobs), pending.size());
+  if (workers <= 1) {
+    workerMain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      pool.emplace_back(workerMain);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  // Propagate deduped results to the duplicate cells.
+  for (const auto& [key, dupes] : followers) {
+    const CellOutcome& owner = outcome.cells[owners.at(key)];
+    for (std::size_t index : dupes) {
+      outcome.cells[index].status = owner.status;
+      outcome.cells[index].result = owner.result;
+      outcome.cells[index].error = owner.error;
+    }
+  }
+
+  for (const auto& cell : outcome.cells) {
+    switch (cell.status) {
+      case CellOutcome::Status::Cached:
+        break;  // counted at probe time
+      case CellOutcome::Status::Computed:
+        ++outcome.computed;
+        break;
+      case CellOutcome::Status::Failed:
+        ++outcome.failures;
+        break;
+    }
+  }
+  // IOR cost from owners only: a deduped follower shares its owner's
+  // evaluation, so counting it again would overstate the run.
+  for (std::size_t index : pending) {
+    if (outcome.cells[index].status == CellOutcome::Status::Computed) {
+      outcome.iorRuns += outcome.cells[index].result.iorRuns;
+    }
+  }
+
+  // The manifest is rewritten serially, in canonical order, after the
+  // pool joins — the last step of a successful run.
+  store.writeManifest(campaign, plan);
+  outcome.wallSeconds = secondsSince(startedAt);
+
+  if (metrics != nullptr) {
+    metrics->counter("sweep.cells").add(static_cast<double>(plan.size()));
+    metrics->counter("sweep.cache_hits")
+        .add(static_cast<double>(outcome.cacheHits));
+    metrics->counter("sweep.computed")
+        .add(static_cast<double>(outcome.computed));
+    metrics->counter("sweep.failures")
+        .add(static_cast<double>(outcome.failures));
+    metrics->counter("sweep.ior_runs")
+        .add(static_cast<double>(outcome.iorRuns));
+  }
+  sharedLog.info(
+      "run_complete",
+      "\"cells\":" + std::to_string(plan.size()) +
+          ",\"cache_hits\":" + std::to_string(outcome.cacheHits) +
+          ",\"computed\":" + std::to_string(outcome.computed) +
+          ",\"failures\":" + std::to_string(outcome.failures) +
+          ",\"jobs\":" + std::to_string(options.jobs));
+  return outcome;
+}
+
+}  // namespace iop::sweep

@@ -1,0 +1,68 @@
+// The campaign executor: a fixed-size worker pool evaluating grid cells.
+//
+// Threading model: each worker evaluates one cell at a time with a
+// completely private stack — a fresh ClusterConfig (own sim::Engine, own
+// topology) built from captured text, a private Replayer, a private
+// Estimate.  Workers share only the atomic work cursor, the result slots
+// (disjoint per cell), and the store directory (disjoint files, atomic
+// renames).  The simulations themselves stay single-threaded and
+// deterministic, so a cell's bytes are a pure function of its cache key —
+// which is what makes the store byte-identical for any -j and lets a
+// second run be 100% cache hits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/store.hpp"
+
+namespace iop::sweep {
+
+struct SweepOptions {
+  int jobs = 1;              ///< worker threads (>= 1)
+  bool force = false;        ///< recompute cached cells (and replace a
+                             ///< mismatched store)
+  bool writeCaptures = true; ///< also commit iop-diff'able captures
+};
+
+struct CellOutcome {
+  enum class Status { Cached, Computed, Failed };
+
+  CellSpec spec;
+  Status status = Status::Failed;
+  CellResult result;    ///< valid unless Failed
+  std::string error;    ///< Failed only
+  double seconds = 0;   ///< wall time spent computing (0 for cached)
+};
+
+struct SweepOutcome {
+  std::vector<CellOutcome> cells;  ///< canonical campaign order
+  std::size_t cacheHits = 0;
+  std::size_t computed = 0;
+  std::size_t failures = 0;
+  std::size_t iorRuns = 0;  ///< IOR executions across computed cells
+  double wallSeconds = 0;
+
+  bool ok() const noexcept { return failures == 0; }
+};
+
+/// Evaluate one cell synchronously (no store involved).  The building
+/// block workers run; exposed for tests and the micro-benchmark.
+CellResult evaluateCell(const ResolvedCampaign& campaign,
+                        const CellSpec& cell);
+
+/// Run (or resume) a campaign against a store: probe the cache serially,
+/// evaluate the misses on `options.jobs` workers, commit results
+/// atomically, and rewrite the manifest in canonical order.  Logs per-cell
+/// progress to `log` and bumps `sweep.*` counters on `metrics` (either may
+/// be null).
+SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
+                      const SweepOptions& options,
+                      obs::Logger* log = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace iop::sweep

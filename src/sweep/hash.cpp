@@ -1,0 +1,34 @@
+#include "sweep/hash.hpp"
+
+namespace iop::sweep {
+
+void ContentHash::update(std::string_view bytes) noexcept {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = state_;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kPrime;
+  }
+  h ^= 0;  // field separator
+  h *= kPrime;
+  state_ = h;
+}
+
+std::string ContentHash::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = state_;
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string hashHex(std::string_view bytes) {
+  ContentHash h;
+  h.update(bytes);
+  return h.hex();
+}
+
+}  // namespace iop::sweep

@@ -1,0 +1,36 @@
+// Stable content hashing for the sweep result cache.
+//
+// Cache keys must be identical across runs, platforms and thread counts,
+// and must change whenever anything that could change a cell's result
+// changes: the model text, the configuration identity, the fault factors,
+// or the estimator implementation version.  FNV-1a 64 over a canonical
+// byte sequence gives exactly that (this is a cache key, not a security
+// boundary — collisions would only ever serve a stale result, and the
+// keyed inputs are a handful of small first-party texts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iop::sweep {
+
+class ContentHash {
+ public:
+  /// Feed bytes; a zero byte is appended after every update so field
+  /// boundaries can never alias ("ab"+"c" != "a"+"bc").
+  void update(std::string_view bytes) noexcept;
+
+  std::uint64_t value() const noexcept { return state_; }
+
+  /// 16 lowercase hex digits of value().
+  std::string hex() const;
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+/// One-shot convenience.
+std::string hashHex(std::string_view bytes);
+
+}  // namespace iop::sweep

@@ -1,0 +1,128 @@
+#include "sweep/rank.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "analysis/evaluate.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace iop::sweep {
+
+namespace {
+
+std::string groupTitle(const ResolvedCampaign& campaign,
+                       const CellSpec& cell) {
+  std::string title = campaign.models[cell.modelIndex].label;
+  if (cell.degradeDisks != 1.0 || cell.degradeNet != 1.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " [dd=%g dn=%g]", cell.degradeDisks,
+                  cell.degradeNet);
+    title += buf;
+  }
+  return title;
+}
+
+std::string statusName(CellOutcome::Status status) {
+  switch (status) {
+    case CellOutcome::Status::Cached:
+      return "cached";
+    case CellOutcome::Status::Computed:
+      return "computed";
+    case CellOutcome::Status::Failed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
+                                   const SweepOutcome& outcome) {
+  // Group cells by (model, fault scenario), preserving canonical order of
+  // first appearance.
+  std::vector<RankGroup> groups;
+  std::map<std::string, std::size_t> groupIndex;
+  for (const auto& cell : outcome.cells) {
+    const std::string title = groupTitle(campaign, cell.spec);
+    auto [it, inserted] = groupIndex.emplace(title, groups.size());
+    if (inserted) {
+      groups.push_back(RankGroup{title, {}});
+    }
+    groups[it->second].entries.push_back(RankedCell{&cell, 0, false});
+  }
+
+  for (auto& group : groups) {
+    std::stable_sort(group.entries.begin(), group.entries.end(),
+                     [](const RankedCell& a, const RankedCell& b) {
+                       const bool aOk =
+                           a.cell->status != CellOutcome::Status::Failed;
+                       const bool bOk =
+                           b.cell->status != CellOutcome::Status::Failed;
+                       if (aOk != bOk) return aOk;
+                       if (!aOk) return false;  // failures keep input order
+                       return a.cell->result.timeIo < b.cell->result.timeIo;
+                     });
+    // Selection is delegated to the paper's rule (analysis::
+    // selectConfiguration) rather than re-implemented: the candidate with
+    // the smallest estimated total I/O time wins.
+    std::vector<analysis::SelectionCandidate> candidates;
+    for (const auto& entry : group.entries) {
+      if (entry.cell->status == CellOutcome::Status::Failed) continue;
+      analysis::SelectionCandidate c;
+      c.name = entry.cell->result.configLabel;
+      c.estimate.totalTimeSec = entry.cell->result.timeIo;
+      candidates.push_back(std::move(c));
+    }
+    const analysis::SelectionCandidate* best =
+        analysis::selectConfiguration(candidates);
+    std::size_t rank = 0;
+    bool marked = false;
+    for (auto& entry : group.entries) {
+      if (entry.cell->status == CellOutcome::Status::Failed) continue;
+      entry.rank = ++rank;
+      if (!marked && best != nullptr &&
+          entry.cell->result.configLabel == best->name) {
+        entry.selected = true;
+        marked = true;
+      }
+    }
+  }
+  return groups;
+}
+
+std::string renderReport(const ResolvedCampaign& campaign,
+                         const SweepOutcome& outcome) {
+  std::string out;
+  for (const auto& group : rankOutcome(campaign, outcome)) {
+    util::Table table("Sweep ranking: " + group.title);
+    table.setHeader({"rank", "configuration", "Time_io (s)", "eff. BW",
+                     "IOR runs", "status"},
+                    {util::Align::Right, util::Align::Left,
+                     util::Align::Right, util::Align::Right,
+                     util::Align::Right, util::Align::Left});
+    for (const auto& entry : group.entries) {
+      const CellOutcome& cell = *entry.cell;
+      if (cell.status == CellOutcome::Status::Failed) {
+        table.addRow({"-", cell.result.configLabel.empty()
+                               ? campaign.configs[cell.spec.configIndex].label
+                               : cell.result.configLabel,
+                      "-", "-", "-", statusName(cell.status)});
+        continue;
+      }
+      std::string name = cell.result.configLabel;
+      if (entry.selected) name += "  <== selected";
+      table.addRow(
+          {std::to_string(entry.rank), name,
+           util::formatSeconds(cell.result.timeIo),
+           util::formatBandwidthMiBs(cell.result.effectiveBandwidth()),
+           std::to_string(cell.result.iorRuns), statusName(cell.status)});
+    }
+    out += table.render();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace iop::sweep

@@ -1,0 +1,39 @@
+// Ranking and reporting: turn a campaign store into the paper's
+// configuration-selection answer (Table XII, generalized).
+//
+// Cells are grouped per (model, fault scenario) — the axes a deployment
+// question holds fixed — and ranked by estimated Time_io ascending (eq. 1);
+// ties and context get the weight-normalized effective bandwidth
+// (total weight / Time_io).  The top-ranked candidate of each group is the
+// configuration the paper's methodology selects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/executor.hpp"
+
+namespace iop::sweep {
+
+struct RankedCell {
+  const CellOutcome* cell = nullptr;
+  std::size_t rank = 0;   ///< 1-based within its group
+  bool selected = false;  ///< rank 1 and not failed
+};
+
+struct RankGroup {
+  std::string title;  ///< "model [dd=.. dn=..]"
+  std::vector<RankedCell> entries;  ///< Time_io ascending, failures last
+};
+
+/// Group and rank a sweep's cells.  Order of groups follows canonical
+/// campaign order of their first cell.
+std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
+                                   const SweepOutcome& outcome);
+
+/// Render the ranked report (one table per group): rank, config, Time_io,
+/// effective bandwidth, IOR runs, cache/computed/failed status.
+std::string renderReport(const ResolvedCampaign& campaign,
+                         const SweepOutcome& outcome);
+
+}  // namespace iop::sweep

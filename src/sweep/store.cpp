@@ -1,0 +1,289 @@
+#include "sweep/store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/text.hpp"
+
+namespace iop::sweep {
+
+namespace {
+
+/// Shortest round-trip-exact rendering: cell files must be byte-identical
+/// for identical results, and parse back to the same double.
+std::string fmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = std::strtod(buf, nullptr);
+  if (back == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[40];
+      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+      if (std::strtod(shorter, nullptr) == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+[[noreturn]] void badCell(const std::string& message) {
+  throw std::invalid_argument("cell file: " + message);
+}
+
+double toDouble(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    badCell("bad number '" + token + "'");
+  }
+  return v;
+}
+
+std::uint64_t toU64(const std::string& token) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    badCell("bad integer '" + token + "'");
+  }
+  return v;
+}
+
+/// The rest of the line after the directive: labels may contain spaces.
+std::string restOfLine(const std::string& line) {
+  const auto space = line.find(' ');
+  return space == std::string::npos ? std::string() : line.substr(space + 1);
+}
+
+std::string readFileText(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Atomic commit: a reader (or a resumed run) never sees a partial file.
+/// The temp name embeds the final name, and each key is claimed by exactly
+/// one worker, so concurrent writers never collide.
+void writeAtomically(const std::filesystem::path& path,
+                     const std::string& text) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      throw std::runtime_error("failed writing " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+std::string CellResult::render() const {
+  std::ostringstream out;
+  out << "iop-cell v1\n";
+  out << "key " << key << "\n";
+  out << "degrade-disks " << fmtDouble(degradeDisks) << "\n";
+  out << "degrade-net " << fmtDouble(degradeNet) << "\n";
+  out << "estimator " << estimator << "\n";
+  out << "np " << np << "\n";
+  out << "weight " << weightBytes << "\n";
+  out << "time-io " << fmtDouble(timeIo) << "\n";
+  out << "ior-runs " << iorRuns << "\n";
+  out << "phases " << phases.size() << "\n";
+  for (const auto& p : phases) {
+    out << "phase " << p.id << " " << p.familyId << " " << p.weightBytes
+        << " " << fmtDouble(p.bandwidthCH) << " " << fmtDouble(p.timeCH)
+        << "\n";
+  }
+  out << "model " << modelLabel << "\n";
+  out << "config " << configLabel << "\n";
+  out << "end\n";
+  return out.str();
+}
+
+CellResult CellResult::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "iop-cell v1") {
+    badCell("missing 'iop-cell v1' header");
+  }
+  CellResult cell;
+  bool sawEnd = false;
+  std::size_t expectedPhases = 0;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      sawEnd = true;
+      break;
+    }
+    auto tokens = util::splitWhitespace(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    if (directive == "key" && tokens.size() == 2) {
+      cell.key = tokens[1];
+    } else if (directive == "degrade-disks" && tokens.size() == 2) {
+      cell.degradeDisks = toDouble(tokens[1]);
+    } else if (directive == "degrade-net" && tokens.size() == 2) {
+      cell.degradeNet = toDouble(tokens[1]);
+    } else if (directive == "estimator" && tokens.size() == 2) {
+      cell.estimator = tokens[1];
+    } else if (directive == "np" && tokens.size() == 2) {
+      cell.np = static_cast<int>(toU64(tokens[1]));
+    } else if (directive == "weight" && tokens.size() == 2) {
+      cell.weightBytes = toU64(tokens[1]);
+    } else if (directive == "time-io" && tokens.size() == 2) {
+      cell.timeIo = toDouble(tokens[1]);
+    } else if (directive == "ior-runs" && tokens.size() == 2) {
+      cell.iorRuns = toU64(tokens[1]);
+    } else if (directive == "phases" && tokens.size() == 2) {
+      expectedPhases = toU64(tokens[1]);
+    } else if (directive == "phase" && tokens.size() == 6) {
+      PhaseRow row;
+      row.id = static_cast<int>(toU64(tokens[1]));
+      row.familyId = static_cast<int>(toU64(tokens[2]));
+      row.weightBytes = toU64(tokens[3]);
+      row.bandwidthCH = toDouble(tokens[4]);
+      row.timeCH = toDouble(tokens[5]);
+      cell.phases.push_back(row);
+    } else if (directive == "model") {
+      cell.modelLabel = restOfLine(line);
+    } else if (directive == "config") {
+      cell.configLabel = restOfLine(line);
+    } else {
+      badCell("unknown line '" + line + "'");
+    }
+  }
+  if (!sawEnd) badCell("missing 'end'");
+  if (cell.key.empty()) badCell("missing key");
+  if (cell.phases.size() != expectedPhases) {
+    badCell("phase count mismatch");
+  }
+  return cell;
+}
+
+obs::RunCapture makeCellCapture(const CellResult& cell) {
+  obs::RunCapture capture;
+  capture.app = cell.modelLabel;
+  capture.np = cell.np;
+  capture.config = cell.configLabel;
+  capture.makespan = cell.timeIo;
+  for (const auto& p : cell.phases) {
+    obs::CapturePhase phase;
+    phase.id = p.id;
+    phase.familyId = p.familyId;
+    phase.weightBytes = p.weightBytes;
+    phase.ioSeconds = p.timeCH;
+    phase.bandwidth = p.bandwidthCH;
+    phase.label = "family " + std::to_string(p.familyId);
+    capture.phases.push_back(std::move(phase));
+  }
+  return capture;
+}
+
+CampaignStore::CampaignStore(std::filesystem::path root)
+    : root_(std::move(root)) {}
+
+std::filesystem::path CampaignStore::cellPath(const std::string& key) const {
+  return root_ / "cells" / (key + ".cell");
+}
+
+std::filesystem::path CampaignStore::capturePath(
+    const std::string& key) const {
+  return root_ / "captures" / (key + ".cap");
+}
+
+std::filesystem::path CampaignStore::manifestPath() const {
+  return root_ / "MANIFEST.txt";
+}
+
+CampaignStore::InitResult CampaignStore::initialize(
+    const std::string& canonicalText, bool replaceOnMismatch) {
+  const auto campaignFile = root_ / "campaign.txt";
+  InitResult result = InitResult::Created;
+  if (std::filesystem::exists(campaignFile)) {
+    if (readFileText(campaignFile) == canonicalText) {
+      result = InitResult::Matched;
+    } else if (replaceOnMismatch) {
+      std::filesystem::remove_all(root_ / "cells");
+      std::filesystem::remove_all(root_ / "captures");
+      std::filesystem::remove(manifestPath());
+      result = InitResult::Replaced;
+    } else {
+      throw std::runtime_error(
+          "store " + root_.string() +
+          " holds a different campaign; use --force to replace it or "
+          "choose another --store directory");
+    }
+  }
+  std::filesystem::create_directories(root_ / "cells");
+  std::filesystem::create_directories(root_ / "captures");
+  if (result != InitResult::Matched) {
+    writeAtomically(campaignFile, canonicalText);
+  }
+  return result;
+}
+
+bool CampaignStore::hasCell(const std::string& key) const {
+  return std::filesystem::exists(cellPath(key));
+}
+
+CellResult CampaignStore::loadCell(const std::string& key) const {
+  auto cell = CellResult::parse(readFileText(cellPath(key)));
+  if (cell.key != key) {
+    throw std::runtime_error("cell " + key + " holds key " + cell.key);
+  }
+  return cell;
+}
+
+void CampaignStore::saveCell(const CellResult& cell) const {
+  writeAtomically(cellPath(cell.key), cell.render());
+}
+
+void CampaignStore::saveCapture(const std::string& key,
+                                const obs::RunCapture& capture) const {
+  std::ostringstream out;
+  capture.write(out);
+  writeAtomically(capturePath(key), out.str());
+}
+
+void CampaignStore::writeManifest(const ResolvedCampaign& campaign,
+                                  const std::vector<CellSpec>& cells) const {
+  std::ostringstream out;
+  out << "iop-sweep-manifest v1\n";
+  out << "campaign " << campaign.spec.name << "\n";
+  out << "estimator " << campaign.spec.estimatorVersion() << "\n";
+  out << "cells " << cells.size() << "\n";
+  for (const auto& cell : cells) {
+    out << "cell " << cell.key << " dd=" << fmtDouble(cell.degradeDisks)
+        << " dn=" << fmtDouble(cell.degradeNet) << " "
+        << campaign.cellTitle(cell) << "\n";
+  }
+  out << "end\n";
+  writeAtomically(manifestPath(), out.str());
+}
+
+std::size_t CampaignStore::gc(const std::set<std::string>& liveKeys) const {
+  std::size_t removed = 0;
+  for (const char* sub : {"cells", "captures"}) {
+    const auto dir = root_ / sub;
+    if (!std::filesystem::exists(dir)) continue;
+    std::vector<std::filesystem::path> dead;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string key = entry.path().stem().string();
+      if (liveKeys.count(key) == 0) dead.push_back(entry.path());
+    }
+    for (const auto& path : dead) {
+      std::filesystem::remove(path);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace iop::sweep

@@ -1,0 +1,107 @@
+// On-disk campaign store: the content-addressed result cache that makes
+// sweeps resumable and re-runs free.
+//
+// Layout under the store directory:
+//   campaign.txt        canonical campaign text (identity of the store)
+//   cells/<key>.cell    one committed cell result ("iop-cell v1" text)
+//   captures/<key>.cap  the cell's diffable run capture (iop-capture v1)
+//   MANIFEST.txt        the grid in canonical cell order, written serially
+//                       after every run — byte-identical for any -j
+//
+// Cell files are written atomically (temp + rename) with fully
+// deterministic contents, so a store produced by N workers is
+// byte-identical to one produced serially, and a killed run leaves only
+// whole, reusable cells behind.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/capture.hpp"
+#include "sweep/campaign.hpp"
+
+namespace iop::sweep {
+
+/// One committed campaign cell: the estimate for (model, config, faults).
+struct CellResult {
+  struct PhaseRow {
+    int id = 0;
+    int familyId = 0;
+    std::uint64_t weightBytes = 0;
+    double bandwidthCH = 0;  ///< bytes/s
+    double timeCH = 0;       ///< seconds
+  };
+
+  std::string key;
+  std::string modelLabel;
+  std::string configLabel;
+  double degradeDisks = 1.0;
+  double degradeNet = 1.0;
+  std::string estimator;
+  int np = 0;
+  std::uint64_t weightBytes = 0;  ///< total model weight
+  double timeIo = 0;              ///< eq. (1): estimated total I/O time
+  std::size_t iorRuns = 0;        ///< IOR executions the estimate cost
+  std::vector<PhaseRow> phases;
+
+  /// Deterministic text serialization ("iop-cell v1").
+  std::string render() const;
+  static CellResult parse(const std::string& text);  ///< throws on bad text
+
+  /// Weight-normalized bandwidth of the whole run: weight / Time_io.
+  double effectiveBandwidth() const noexcept {
+    return timeIo > 0 ? static_cast<double>(weightBytes) / timeIo : 0;
+  }
+};
+
+/// Project a cell onto the obs capture schema so every campaign cell is
+/// diffable with iop-diff (app = model label, config = config label,
+/// makespan = estimated Time_io).
+obs::RunCapture makeCellCapture(const CellResult& cell);
+
+class CampaignStore {
+ public:
+  enum class InitResult {
+    Created,   ///< fresh store directory
+    Matched,   ///< existing store, same campaign: cells are reusable
+    Replaced,  ///< existing store, different campaign: wiped (force)
+  };
+
+  explicit CampaignStore(std::filesystem::path root);
+
+  /// Bind the store to a campaign.  An existing store whose campaign.txt
+  /// differs from `canonicalText` throws unless `replaceOnMismatch`, in
+  /// which case all cached cells are dropped.
+  InitResult initialize(const std::string& canonicalText,
+                        bool replaceOnMismatch = false);
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+  std::filesystem::path cellPath(const std::string& key) const;
+  std::filesystem::path capturePath(const std::string& key) const;
+  std::filesystem::path manifestPath() const;
+
+  bool hasCell(const std::string& key) const;
+  CellResult loadCell(const std::string& key) const;
+
+  /// Atomic (temp + rename) commit; contents depend only on `cell`.
+  void saveCell(const CellResult& cell) const;
+  void saveCapture(const std::string& key,
+                   const obs::RunCapture& capture) const;
+
+  /// Serially rewrite MANIFEST.txt for the given cells, in the canonical
+  /// order `cells` is already in.
+  void writeManifest(const ResolvedCampaign& campaign,
+                     const std::vector<CellSpec>& cells) const;
+
+  /// Drop cell/capture files whose key is not in `liveKeys`; returns the
+  /// number of files removed.
+  std::size_t gc(const std::set<std::string>& liveKeys) const;
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace iop::sweep

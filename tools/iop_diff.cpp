@@ -1,42 +1,84 @@
 // iop-diff: compare two run captures (iop-stats --capture-out) and report
-// per-phase time/bandwidth regressions and histogram shape changes.  Exits
+// per-phase time/bandwidth regressions and histogram shape changes, or —
+// with --bench — compare two BENCH_*.json documents (iop-bench/1).  Exits
 // non-zero when regressions were found, so CI can gate on it:
 //
 //   iop-stats --app btio --class A --np 4 --capture-out base.cap
 //   iop-stats --app btio --class A --np 4 --capture-out head.cap
 //   iop-diff base.cap head.cap --threshold-pct 5
+//   iop-diff --align=similarity old-model.cap new-model.cap
+//   iop-diff --bench BENCH_core.base.json BENCH_core.json
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
+#include "obs/benchdiff.hpp"
 #include "obs/capture.hpp"
 #include "obs/diff.hpp"
 #include "toolkit.hpp"
 #include "util/args.hpp"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int runBenchDiff(const iop::util::Args& args, iop::obs::Logger& log) {
+  using namespace iop;
+  obs::BenchDiffOptions options;
+  options.thresholdPct = args.getDouble("threshold-pct", 10.0);
+  const auto before = obs::parseBenchJson(readFile(args.positional()[0]));
+  const auto after = obs::parseBenchJson(readFile(args.positional()[1]));
+  const auto result = obs::diffBenchResults(before, after, options);
+  std::printf("%s", result.render().c_str());
+  log.info("diff", "bench_complete",
+           "\"findings\":" + std::to_string(result.findings.size()) +
+               ",\"regressions\":" +
+               std::to_string(result.regressions()));
+  return result.regressions() == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace iop;
   util::Args args;
   args.addOption("threshold-pct",
                  "relative change (%) flagged on makespan and per-phase "
-                 "time/bandwidth",
-                 "5");
+                 "time/bandwidth (capture mode, default 5) or per-result "
+                 "ns/op and bytes/s (--bench, default 10)");
   args.addOption("hist-threshold",
                  "normalized L1 distance (0..2) flagged on histogram "
                  "bucket shapes",
                  "0.25");
   args.addOption("min-seconds",
                  "ignore absolute time deltas below this floor", "1e-9");
+  args.addOption("align",
+                 "phase matching: id (default) | similarity "
+                 "(renumbering-tolerant, by label and weight)");
+  args.addFlag("bench",
+               "diff two BENCH_*.json files (iop-bench/1) instead of run "
+               "captures");
   tools::addLogOption(args);
   try {
     args.parse(argc, argv);
     if (args.helpRequested() || args.positional().size() != 2) {
       std::printf("%s",
-                  args.usage("iop-diff <before.cap> <after.cap>",
-                             "Diff two run captures; non-zero exit when "
-                             "the second run regressed.")
+                  args.usage("iop-diff <before> <after>",
+                             "Diff two run captures (or, with --bench, two "
+                             "bench JSON files); non-zero exit when the "
+                             "second run regressed.")
                       .c_str());
       return args.helpRequested() ? 0 : 2;
     }
     obs::Logger log(tools::toolLogLevel(args));
+    if (args.flag("bench")) return runBenchDiff(args, log);
+
     const auto before = obs::RunCapture::load(args.positional()[0]);
     const auto after = obs::RunCapture::load(args.positional()[1]);
     if (before.app != after.app || before.np != after.np) {
@@ -53,6 +95,7 @@ int main(int argc, char** argv) {
     options.thresholdPct = args.getDouble("threshold-pct", 5.0);
     options.histThreshold = args.getDouble("hist-threshold", 0.25);
     options.minSeconds = args.getDouble("min-seconds", 1e-9);
+    options.align = obs::parseAlignMode(args.getOr("align", "id"));
     const auto result = obs::diffCaptures(before, after, options);
     std::printf("%s", result.render(before, after).c_str());
     log.info("diff", "complete",

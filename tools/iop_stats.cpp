@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
   args.addOption("degrade-disks",
                  "scale every disk's service time by this factor (>= 1); "
                  "fault injection for regression testing");
+  args.addOption("degrade-net",
+                 "scale every network transfer by this factor (>= 1); "
+                 "fault injection for transfer-bound configurations");
   try {
     args.parse(argc, argv);
     if (args.helpRequested()) {
@@ -64,6 +67,14 @@ int main(int argc, char** argv) {
         d->setDegradation(factor);
       }
       session.log().info("tool", "disks_degraded",
+                         "\"factor\":" + std::to_string(factor));
+    }
+    if (args.has("degrade-net")) {
+      const double factor = args.getDouble("degrade-net", 1.0);
+      for (storage::Node* n : cluster.topology->allNodes()) {
+        n->setDegradation(factor);
+      }
+      session.log().info("tool", "net_degraded",
                          "\"factor\":" + std::to_string(factor));
     }
     const int np = static_cast<int>(args.getInt("np", 16));

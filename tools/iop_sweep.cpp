@@ -1,0 +1,198 @@
+// iop-sweep: parallel what-if campaigns over (model x configuration x
+// fault) grids, with a content-addressed on-disk result cache.
+//
+//   iop-sweep run    --campaign c.campaign --store out/ -j4
+//   iop-sweep resume --campaign c.campaign --store out/ -j4
+//   iop-sweep report --campaign c.campaign --store out/
+//   iop-sweep gc     --campaign c.campaign --store out/
+//
+// `run` evaluates every cell of the campaign grid, reusing any cell whose
+// cache key is already in the store; `resume` is the same operation by a
+// clearer name (an interrupted run left whole cells behind, so resuming
+// simply recomputes the missing ones).  `report` ranks the stored results
+// per model/fault group by estimated Time_io (the paper's configuration
+// selection).  `gc` drops cells orphaned by campaign edits.
+//
+// Exit codes: 0 ok, 1 cell failures (or missing cells in report), 2 usage
+// or campaign errors.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/executor.hpp"
+#include "sweep/rank.hpp"
+#include "sweep/store.hpp"
+#include "toolkit.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace iop;
+
+/// Expand the familiar make-style "-j4" / "-j 4" into "--jobs 4".
+std::vector<std::string> expandJobsShorthand(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() > 2 && arg.rfind("-j", 0) == 0) {
+      out.push_back("--jobs");
+      out.push_back(arg.substr(2));
+    } else if (arg == "-j") {
+      out.push_back("--jobs");
+    } else {
+      out.push_back(arg);
+    }
+  }
+  return out;
+}
+
+int parseJobs(const util::Args& args) {
+  const std::string text = args.getOr("jobs", "1");
+  std::size_t used = 0;
+  const int jobs = std::stoi(text, &used);
+  if (used != text.size() || jobs < 1) {
+    throw std::invalid_argument("--jobs must be a positive integer");
+  }
+  return jobs;
+}
+
+/// Load + resolve the campaign named by --campaign (characterizes any
+/// `app` entries, serially) and bind the store.
+struct LoadedCampaign {
+  sweep::ResolvedCampaign campaign;
+  sweep::CampaignStore store;
+};
+
+LoadedCampaign loadFor(const util::Args& args, obs::Logger& log) {
+  const std::string campaignPath = args.get("campaign");
+  const std::string storePath = args.get("store");
+  auto spec = sweep::loadCampaign(campaignPath);
+  return LoadedCampaign{sweep::resolveCampaign(spec, &log),
+                        sweep::CampaignStore(storePath)};
+}
+
+int cmdRun(const util::Args& args, tools::ObsSession& obs) {
+  auto loaded = loadFor(args, obs.log());
+  sweep::SweepOptions options;
+  options.jobs = parseJobs(args);
+  options.force = args.flag("force");
+  options.writeCaptures = !args.flag("no-captures");
+
+  obs::MetricsRegistry* metrics =
+      obs.active() ? &obs.session()->metrics() : nullptr;
+  const auto outcome = sweep::runSweep(loaded.campaign, loaded.store,
+                                       options, &obs.log(), metrics);
+
+  std::printf("campaign %s: %zu cells, %zu cached, %zu computed, "
+              "%zu failed (%.2fs wall, %zu IOR runs, -j%d)\n",
+              loaded.campaign.spec.name.c_str(), outcome.cells.size(),
+              outcome.cacheHits, outcome.computed, outcome.failures,
+              outcome.wallSeconds, outcome.iorRuns, options.jobs);
+  for (const auto& cell : outcome.cells) {
+    if (cell.status == sweep::CellOutcome::Status::Failed) {
+      std::fprintf(stderr, "iop-sweep: cell %s failed: %s\n",
+                   loaded.campaign.cellTitle(cell.spec).c_str(),
+                   cell.error.c_str());
+    }
+  }
+  std::printf("%s", sweep::renderReport(loaded.campaign, outcome).c_str());
+  return outcome.ok() ? 0 : 1;
+}
+
+int cmdReport(const util::Args& args, tools::ObsSession& obs) {
+  auto loaded = loadFor(args, obs.log());
+  // Build the outcome purely from the store: report never simulates.
+  sweep::SweepOutcome outcome;
+  std::size_t missing = 0;
+  for (const auto& cell : loaded.campaign.planCells()) {
+    sweep::CellOutcome out;
+    out.spec = cell;
+    if (loaded.store.hasCell(cell.key)) {
+      out.status = sweep::CellOutcome::Status::Cached;
+      out.result = loaded.store.loadCell(cell.key);
+      ++outcome.cacheHits;
+    } else {
+      out.status = sweep::CellOutcome::Status::Failed;
+      out.error = "not in store (run the campaign first)";
+      ++outcome.failures;
+      ++missing;
+    }
+    outcome.cells.push_back(std::move(out));
+  }
+  std::printf("%s", sweep::renderReport(loaded.campaign, outcome).c_str());
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "iop-sweep: %zu of %zu cells missing from %s\n", missing,
+                 outcome.cells.size(), loaded.store.root().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdGc(const util::Args& args, tools::ObsSession& obs) {
+  auto loaded = loadFor(args, obs.log());
+  std::set<std::string> live;
+  for (const auto& cell : loaded.campaign.planCells()) {
+    live.insert(cell.key);
+  }
+  const std::size_t removed = loaded.store.gc(live);
+  std::printf("gc: %zu live keys, %zu stale files removed\n", live.size(),
+              removed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args;
+  args.addOption("campaign", "campaign file (see docs/SWEEP.md)");
+  args.addOption("store", "campaign store directory (created on demand)");
+  args.addOption("jobs", "worker threads for `run` (also -jN)", "1");
+  args.addFlag("force",
+               "recompute cached cells; also replaces a store bound to a "
+               "different campaign");
+  args.addFlag("no-captures", "skip writing per-cell run captures");
+  tools::addObsOptions(args);
+
+  const auto expanded = expandJobsShorthand(argc, argv);
+  std::vector<char*> argvVec;
+  argvVec.reserve(expanded.size());
+  for (const auto& arg : expanded) {
+    argvVec.push_back(const_cast<char*>(arg.c_str()));
+  }
+
+  try {
+    args.parse(static_cast<int>(argvVec.size()), argvVec.data());
+    const auto& pos = args.positional();
+    const std::string usage = args.usage(
+        "iop-sweep <run|resume|report|gc> --campaign FILE --store DIR",
+        "Parallel what-if campaigns with a content-addressed result "
+        "cache.");
+    if (args.helpRequested() || pos.size() != 1) {
+      std::printf("%s", usage.c_str());
+      return args.helpRequested() ? 0 : 2;
+    }
+    tools::ObsSession obs(args);
+    const std::string& command = pos[0];
+    int rc = 2;
+    if (command == "run" || command == "resume") {
+      rc = cmdRun(args, obs);
+    } else if (command == "report") {
+      rc = cmdReport(args, obs);
+    } else if (command == "gc") {
+      rc = cmdGc(args, obs);
+    } else {
+      std::fprintf(stderr, "iop-sweep: unknown command '%s'\n%s",
+                   command.c_str(), usage.c_str());
+      return 2;
+    }
+    obs.finish();
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iop-sweep: %s\n", e.what());
+    return 2;
+  }
+}

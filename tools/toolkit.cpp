@@ -4,29 +4,15 @@
 #include <cstdio>
 #include <stdexcept>
 
-#include "apps/btio.hpp"
+#include "apps/registry.hpp"
 #include "obs/profiler.hpp"
-#include "apps/flash_io.hpp"
 #include "configs/configfile.hpp"
-#include "apps/madbench.hpp"
-#include "apps/roms.hpp"
-#include "apps/strided_example.hpp"
 #include "util/units.hpp"
 
 namespace iop::tools {
 
 configs::ConfigId parseConfigId(const std::string& name) {
-  std::string lower = name;
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  if (lower == "a") return configs::ConfigId::A;
-  if (lower == "b") return configs::ConfigId::B;
-  if (lower == "c") return configs::ConfigId::C;
-  if (lower == "finisterrae" || lower == "f") {
-    return configs::ConfigId::Finisterrae;
-  }
-  throw std::invalid_argument(
-      "unknown configuration '" + name + "' (use A, B, C or finisterrae)");
+  return configs::parseConfigName(name);
 }
 
 void addConfigOptions(util::Args& args, const std::string& role) {
@@ -65,54 +51,25 @@ void addAppOptions(util::Args& args) {
   args.addOption("unknowns", "flash-io: unknown-variable datasets", "24");
 }
 
-namespace {
-
-apps::BtClass parseBtClass(const std::string& name) {
-  if (name == "A" || name == "a") return apps::BtClass::A;
-  if (name == "B" || name == "b") return apps::BtClass::B;
-  if (name == "C" || name == "c") return apps::BtClass::C;
-  if (name == "D" || name == "d") return apps::BtClass::D;
-  throw std::invalid_argument("unknown BT class '" + name + "'");
-}
-
-}  // namespace
-
 mpi::Runtime::RankMain makeAppMain(const util::Args& args,
                                    const configs::ClusterConfig& cluster) {
   const std::string app = args.get("app");
+  apps::AppParams params;
+  // Forward only the knobs the selected app accepts; the registry rejects
+  // unknown keys, and every app option here has a default.
   if (app == "btio") {
-    apps::BtioParams p;
-    p.mount = cluster.mount;
-    p.cls = parseBtClass(args.get("class"));
-    p.fullSubtype = args.get("subtype") != "simple";
-    return apps::makeBtio(p);
+    params["class"] = args.get("class");
+    params["subtype"] = args.get("subtype");
+  } else if (app == "madbench2") {
+    params["kpix"] = args.get("kpix");
+    params["bins"] = args.get("bins");
+    params["gangs"] = args.get("gangs");
+  } else if (app == "roms") {
+    params["steps"] = args.get("steps");
+  } else if (app == "flash-io") {
+    params["unknowns"] = args.get("unknowns");
   }
-  if (app == "madbench2") {
-    apps::MadbenchParams p;
-    p.mount = cluster.mount;
-    p.kpix = static_cast<int>(args.getInt("kpix", 8));
-    p.bins = static_cast<int>(args.getInt("bins", 8));
-    p.gangs = static_cast<int>(args.getInt("gangs", 1));
-    return apps::makeMadbench(p);
-  }
-  if (app == "roms") {
-    apps::RomsParams p;
-    p.mount = cluster.mount;
-    p.steps = static_cast<int>(args.getInt("steps", 60));
-    return apps::makeRoms(p);
-  }
-  if (app == "flash-io") {
-    apps::FlashIoParams p;
-    p.mount = cluster.mount;
-    p.unknowns = static_cast<int>(args.getInt("unknowns", 24));
-    return apps::makeFlashIo(p);
-  }
-  if (app == "example") {
-    apps::StridedExampleParams p;
-    p.mount = cluster.mount;
-    return apps::makeStridedExample(p);
-  }
-  throw std::invalid_argument("unknown application '" + app + "'");
+  return apps::makeApp(app, cluster.mount, params);
 }
 
 void addLogOption(util::Args& args) {
