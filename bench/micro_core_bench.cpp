@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "sim/engine.hpp"
 #include "core/lap.hpp"
 #include "core/phase.hpp"
+#include "trace/tracefile.hpp"
 #include "trace/tracer.hpp"
 
 namespace {
@@ -44,6 +46,7 @@ trace::TraceData syntheticTrace(int np, int opsPerRank) {
   data.np = np;
   trace::FileMeta meta;
   meta.fileId = 1;
+  meta.path = "/scratch/synthetic.dat";
   meta.np = np;
   data.files.push_back(meta);
   for (int r = 0; r < np; ++r) {
@@ -129,7 +132,66 @@ void BM_EngineEventThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 1000);
 }
-BENCHMARK(BM_EngineEventThroughput)->Arg(1)->Arg(16)->Arg(128);
+BENCHMARK(BM_EngineEventThroughput)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_EngineSpawnChurn(benchmark::State& state) {
+  // Short-lived processes spawned in waves: dominated by coroutine-frame
+  // allocation and queue insertion rather than steady-state dispatch.
+  for (auto _ : state) {
+    iop::sim::Engine eng;
+    const int waves = static_cast<int>(state.range(0));
+    for (int w = 0; w < waves; ++w) {
+      for (int i = 0; i < 64; ++i) {
+        eng.spawnAt(0.001 * w,
+                    [](iop::sim::Engine& e) -> iop::sim::Task<void> {
+                      co_await e.delay(0.0005);
+                    }(eng));
+      }
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.eventsDispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_EngineSpawnChurn)->Arg(16)->Arg(256);
+
+void BM_EngineMixedDelays(benchmark::State& state) {
+  // Rng-driven delays across two timescales: exercises the scheduler's
+  // far-future spillover and window turnover, not just the uniform-gap
+  // fast path.
+  for (auto _ : state) {
+    iop::sim::Engine eng(7);
+    const int chains = static_cast<int>(state.range(0));
+    for (int c = 0; c < chains; ++c) {
+      eng.spawn([](iop::sim::Engine& e, int salt) -> iop::sim::Task<void> {
+        const double scale = salt % 4 == 0 ? 1.0 : 0.01;
+        for (int i = 0; i < 500; ++i) {
+          co_await e.delay(e.rng().uniform() * scale);
+        }
+      }(eng, c));
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.eventsDispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 500);
+}
+BENCHMARK(BM_EngineMixedDelays)->Arg(64);
+
+void BM_TraceParse(benchmark::State& state) {
+  // Trace read-back rate (records/s): the front half of every
+  // characterization.
+  const int np = 4;
+  const int ops = static_cast<int>(state.range(0));
+  const auto dir =
+      std::filesystem::temp_directory_path() / "iop_core_bench_traces";
+  trace::writeTraces(dir, syntheticTrace(np, ops));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::readTraces(dir, "synthetic"));
+  }
+  state.SetItemsProcessed(state.iterations() * np * ops);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_TraceParse)->Arg(1000)->Arg(10000);
 
 // Console output as usual, plus every per-iteration run collected into the
 // machine-readable BENCH_core.json (schema: docs/OBSERVABILITY.md) so the
@@ -165,15 +227,26 @@ class JsonCollector : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   std::string jsonOut = "BENCH_core.json";
-  // Peel off our own flag before google-benchmark sees the argument list.
-  for (int i = 1; i < argc; ++i) {
+  std::string engineJsonOut = "BENCH_engine.json";
+  // Peel off our own flags before google-benchmark sees the argument list.
+  for (int i = 1; i < argc;) {
     const std::string arg = argv[i];
+    std::string* target = nullptr;
+    std::size_t prefix = 0;
     if (arg.rfind("--json-out=", 0) == 0) {
-      jsonOut = arg.substr(11);
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
+      target = &jsonOut;
+      prefix = 11;
+    } else if (arg.rfind("--engine-json-out=", 0) == 0) {
+      target = &engineJsonOut;
+      prefix = 18;
     }
+    if (target == nullptr) {
+      ++i;
+      continue;
+    }
+    *target = arg.substr(prefix);
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -182,6 +255,20 @@ int main(int argc, char** argv) {
   iop::bench::writeBenchJson(jsonOut, reporter.records());
   std::printf("wrote %zu benchmark results to %s\n",
               reporter.records().size(), jsonOut.c_str());
+  // The engine-hot-path subset gets its own document: CI gates on it
+  // against the committed baseline (docs/PERFORMANCE.md).
+  std::vector<iop::bench::BenchRecord> engineRecords;
+  for (const auto& rec : reporter.records()) {
+    if (rec.name.rfind("BM_Engine", 0) == 0 ||
+        rec.name.rfind("BM_Trace", 0) == 0) {
+      engineRecords.push_back(rec);
+    }
+  }
+  if (!engineRecords.empty()) {
+    iop::bench::writeBenchJson(engineJsonOut, engineRecords);
+    std::printf("wrote %zu engine benchmark results to %s\n",
+                engineRecords.size(), engineJsonOut.c_str());
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <bit>
+
 #include "obs/hub.hpp"
 
 namespace iop::sim {
@@ -12,73 +14,94 @@ void reportDetachedException(Engine& engine, std::exception_ptr exc) {
 
 void noteDetachedTaskFinished(Engine& engine) { --engine.liveDetached_; }
 
+namespace {
+
+/// One FNV-1a-style fold per 64-bit word: cheap enough for the dispatch
+/// hot loop, yet any reordering of the (when, seq) stream changes it.
+inline std::uint64_t foldWord(std::uint64_t h, std::uint64_t word) noexcept {
+  return (h ^ word) * 1099511628211ULL;
+}
+
+}  // namespace
 }  // namespace detail
 
 Engine::Engine(std::uint64_t seed) : rng_(seed) {}
 
 Engine::~Engine() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  queue_.drainEach([this](const detail::QueuedEvent& ev) {
     if (ev.ownsHandle && ev.handle) {
       ev.handle.destroy();
       --liveDetached_;
     }
-  }
+  });
 }
 
 void Engine::spawn(Task<void> task) { spawnAt(now_, std::move(task)); }
 
 void Engine::spawnAt(Time when, Task<void> task) {
+  // Validate before detaching: on throw, ~Task still owns and frees the
+  // frame.
+  if (!std::isfinite(when)) {
+    throw std::invalid_argument("Engine::spawnAt: non-finite time");
+  }
   auto handle = task.release();
   if (!handle) return;
   handle.promise().engine = this;
   handle.promise().detached = true;
   ++liveDetached_;
-  scheduleImpl(when < now_ ? now_ : when, handle, true);
-}
-
-void Engine::scheduleImpl(Time when, std::coroutine_handle<> h, bool owns) {
-  queue_.push(Event{when, seq_++, h, owns});
+  scheduleImpl(when, handle, true);
 }
 
 void Engine::dispatchUntil(Time limit, bool bounded) {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    if (bounded && ev.when > limit) {
+  for (;;) {
+    const detail::QueuedEvent* top = queue_.peek(now_);
+    if (top == nullptr) return;
+    if (bounded && top->when > limit) {
       now_ = limit;
       return;
     }
-    queue_.pop();
+    const detail::QueuedEvent ev = queue_.pop(now_);
     now_ = ev.when;
     ++dispatched_;
-    if (obs_ != nullptr) {
-      // Edge emission at dispatch: advance the recorder's time horizon so
-      // activities abandoned at teardown can be clamped post-run.
-      if (obs_->edges != nullptr) obs_->edges->noteDispatch(now_);
-      if (now_ >= obsNextSample_) sampleObs();
-    }
+    orderDigest_ = detail::foldWord(
+        detail::foldWord(orderDigest_, std::bit_cast<std::uint64_t>(ev.when)),
+        ev.seq);
+    if (obs_ != nullptr) [[unlikely]] observeDispatch();
     ev.handle.resume();
-    throwIfFailed();
+    if (firstException_) [[unlikely]] throwIfFailed();
   }
+}
+
+void Engine::observeDispatch() {
+  // Edge emission at dispatch: advance the recorder's time horizon so
+  // activities abandoned at teardown can be clamped post-run.
+  if (obs_->edges != nullptr) obs_->edges->noteDispatch(now_);
+  if (now_ >= obsNextSample_) sampleObs();
 }
 
 /// Throttled engine-level samples: ready-queue depth as a counter track,
 /// dispatch totals into the registry.  Sampling reads state only; it never
-/// schedules or consumes randomness.
+/// schedules or consumes randomness.  Instrument handles and the track id
+/// are resolved once per setObs() — registries guarantee stable addresses —
+/// so the sample itself is just buffered appends.
 void Engine::sampleObs() {
   if (obs_->metrics != nullptr) {
-    obs_->metrics->gauge("sim.events_dispatched")
-        .set(static_cast<double>(dispatched_));
-    obs_->metrics->gauge("sim.live_processes")
-        .set(static_cast<double>(liveDetached_));
+    if (obsDispatchedGauge_ == nullptr) {
+      obsDispatchedGauge_ = &obs_->metrics->gauge("sim.events_dispatched");
+      obsLiveGauge_ = &obs_->metrics->gauge("sim.live_processes");
+    }
+    obsDispatchedGauge_->set(static_cast<double>(dispatched_));
+    obsLiveGauge_->set(static_cast<double>(liveDetached_));
   }
   if (obs_->trace != nullptr) {
-    const int tid = obs_->trace->track(obs::TrackKind::Sim, "engine");
-    obs_->trace->counterSample(obs::TrackKind::Sim, tid, "ready queue",
-                               now_, static_cast<double>(queue_.size()));
+    if (obsTrackId_ < 0) {
+      obsTrackId_ = obs_->trace->track(obs::TrackKind::Sim, "engine");
+    }
+    obs_->trace->counterSample(obs::TrackKind::Sim, obsTrackId_,
+                               "ready queue", now_,
+                               static_cast<double>(queue_.size()));
     obs_->trace->counterSample(
-        obs::TrackKind::Sim, tid, "dispatch rate", now_,
+        obs::TrackKind::Sim, obsTrackId_, "dispatch rate", now_,
         static_cast<double>(dispatched_ - obsLastDispatched_));
   }
   obsLastDispatched_ = dispatched_;

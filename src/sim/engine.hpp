@@ -1,25 +1,29 @@
 // Deterministic discrete-event simulation engine.
 //
-// The engine owns the simulated clock and a priority queue of ready
-// coroutines.  Events with equal timestamps run in scheduling order
-// (monotonic sequence numbers), so a run is a pure function of its inputs
-// and the RNG seed — a property the whole repository relies on for
-// reproducing the paper's tables.
+// The engine owns the simulated clock and a calendar queue of ready
+// coroutines (see readyqueue.hpp).  Events with equal timestamps run in
+// scheduling order (monotonic sequence numbers), so a run is a pure
+// function of its inputs and the RNG seed — a property the whole
+// repository relies on for reproducing the paper's tables.  The engine
+// folds every dispatched (when, seq) pair into a running FNV-1a digest;
+// tests compare digests across runs and schedulers to prove the order
+// never drifts.
 #pragma once
 
+#include <cmath>
 #include <coroutine>
 #include <cstdint>
-#include <queue>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
+#include "sim/readyqueue.hpp"
 #include "sim/task.hpp"
 #include "util/rng.hpp"
 
 namespace iop::obs {
 struct Hub;
-}
+class Gauge;
+}  // namespace iop::obs
 
 namespace iop::sim {
 
@@ -52,10 +56,13 @@ class Engine {
   /// frees itself on completion; uncaught exceptions surface from run().
   void spawn(Task<void> task);
 
-  /// Launch a detached process at an absolute future time.
+  /// Launch a detached process at an absolute future time.  Past times
+  /// clamp to now(); non-finite times throw std::invalid_argument.
   void spawnAt(Time when, Task<void> task);
 
-  /// Schedule a raw coroutine resumption (used by awaitables).
+  /// Schedule a raw coroutine resumption (used by awaitables).  Past times
+  /// clamp to now(); NaN/infinite times throw std::invalid_argument
+  /// instead of silently corrupting the queue order.
   void schedule(Time when, std::coroutine_handle<> h) {
     scheduleImpl(when, h, false);
   }
@@ -76,18 +83,22 @@ class Engine {
 
   /// Awaitable: suspend the calling coroutine for `dt` simulated seconds.
   /// A non-positive dt still yields through the event queue (runs after
-  /// already-scheduled same-time events).
+  /// already-scheduled same-time events).  Non-finite dt throws
+  /// std::invalid_argument at the co_await point.
   auto delay(Time dt) {
+    if (!std::isfinite(dt)) {
+      throw std::invalid_argument("Engine::delay: non-finite duration");
+    }
     struct Awaiter {
       Engine& engine;
       Time dt;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        engine.schedule(engine.now_ + (dt > 0 ? dt : 0), h);
+        engine.schedule(engine.now_ + dt, h);
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{*this, dt};
+    return Awaiter{*this, dt > 0 ? dt : 0};
   }
 
   /// Awaitable: reschedule at the current time, after pending same-time
@@ -97,6 +108,11 @@ class Engine {
   /// Number of events dispatched so far (for tests and micro-benchmarks).
   std::uint64_t eventsDispatched() const noexcept { return dispatched_; }
 
+  /// FNV-1a fold of every dispatched (when, seq) pair, in dispatch order.
+  /// Two runs with the same inputs must report the same digest; the
+  /// determinism tests pin it across scheduler implementations.
+  std::uint64_t orderDigest() const noexcept { return orderDigest_; }
+
   /// Number of detached processes that have not finished yet.
   int liveProcesses() const noexcept { return liveDetached_; }
 
@@ -105,7 +121,12 @@ class Engine {
   /// reaches its sinks through here, so one call observes the whole
   /// simulation.  Recording is passive: it must not consume rng() or
   /// reorder the ready queue, so attaching cannot change a run's outcome.
-  void setObs(obs::Hub* hub) noexcept { obs_ = hub; }
+  void setObs(obs::Hub* hub) noexcept {
+    obs_ = hub;
+    obsDispatchedGauge_ = nullptr;
+    obsLiveGauge_ = nullptr;
+    obsTrackId_ = -1;
+  }
   obs::Hub* obs() const noexcept { return obs_; }
 
   /// Seconds of simulated time between engine-level counter samples
@@ -118,29 +139,27 @@ class Engine {
   friend void detail::reportDetachedException(Engine&, std::exception_ptr);
   friend void detail::noteDetachedTaskFinished(Engine&);
 
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
-    /// True only for a detached frame's very first scheduling: if the
-    /// engine dies before dispatch, the frame must be destroyed here.
-    bool ownsHandle = false;
-    bool operator>(const Event& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+  void scheduleImpl(Time when, std::coroutine_handle<> h, bool owns) {
+    if (!std::isfinite(when)) {
+      throw std::invalid_argument("Engine::schedule: non-finite time");
     }
-  };
+    if (when < now_) when = now_;
+    queue_.push(detail::QueuedEvent{when, seq_++, h, owns}, now_);
+  }
 
-  void scheduleImpl(Time when, std::coroutine_handle<> h, bool owns);
   void dispatchUntil(Time limit, bool bounded);
   void throwIfFailed();
+  /// Cold path: edge horizon + throttled samples; only entered when a hub
+  /// is attached.
+  void observeDispatch();
   void sampleObs();
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t orderDigest_ = 1469598103934665603ULL;  // FNV-1a offset
   int liveDetached_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  detail::CalendarQueue queue_;
   std::exception_ptr firstException_{};
   util::Rng rng_;
 
@@ -148,6 +167,11 @@ class Engine {
   Time obsSampleInterval_ = 0.1;
   Time obsNextSample_ = 0;
   std::uint64_t obsLastDispatched_ = 0;
+  /// Cached instrument handles (stable addresses per MetricsRegistry /
+  /// TraceRecorder contract) so sampling skips the by-name lookups.
+  obs::Gauge* obsDispatchedGauge_ = nullptr;
+  obs::Gauge* obsLiveGauge_ = nullptr;
+  int obsTrackId_ = -1;
 };
 
 }  // namespace iop::sim

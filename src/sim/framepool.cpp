@@ -1,0 +1,56 @@
+#include "sim/framepool.hpp"
+
+#include <new>
+
+namespace iop::sim {
+
+FrameArena& FrameArena::local() {
+  thread_local FrameArena arena;
+  return arena;
+}
+
+FrameArena::~FrameArena() {
+  for (void* slab : slabs_) ::operator delete(slab);
+}
+
+void* FrameArena::allocate(std::size_t n) {
+  if (n == 0) n = 1;
+  if (n > kMaxPooled) {
+    ++stats_.fallbacks;
+    return ::operator new(n);
+  }
+  const std::size_t cls = (n - 1) / kGranularity;
+  if (void* head = freeLists_[cls]; head != nullptr) {
+    freeLists_[cls] = *static_cast<void**>(head);
+    ++stats_.reuses;
+    --stats_.freeFrames;
+    return head;
+  }
+  const std::size_t bytes = (cls + 1) * kGranularity;
+  if (slabLeft_ < bytes) {
+    slabs_.push_back(::operator new(kSlabBytes));
+    slabCur_ = static_cast<unsigned char*>(slabs_.back());
+    slabLeft_ = kSlabBytes;
+    stats_.slabBytes += kSlabBytes;
+  }
+  void* p = slabCur_;
+  slabCur_ += bytes;
+  slabLeft_ -= bytes;
+  ++stats_.slabCarves;
+  return p;
+}
+
+void FrameArena::deallocate(void* p, std::size_t n) noexcept {
+  if (p == nullptr) return;
+  if (n == 0) n = 1;
+  if (n > kMaxPooled) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t cls = (n - 1) / kGranularity;
+  *static_cast<void**>(p) = freeLists_[cls];
+  freeLists_[cls] = p;
+  ++stats_.freeFrames;
+}
+
+}  // namespace iop::sim

@@ -1,0 +1,62 @@
+// Thread-local free-list arena for coroutine frames.
+//
+// Every sim::Task<T> coroutine frame is allocated through the promise's
+// operator new (see task.hpp), which lands here instead of the global
+// heap.  Frames are carved from 64 KiB slabs in 64-byte size classes and
+// recycled through per-class free lists, so the steady state of a
+// simulation — spawning the same coroutine shapes over and over — does no
+// heap allocation at all.
+//
+// The arena is thread-local: a simulation runs entirely on one thread
+// (sweep workers each run their own engines), so allocation and release
+// always happen on the owning thread and no locks are needed.  Frames
+// larger than kMaxPooled fall through to the global heap.  Slabs are
+// released when the thread exits; engines never outlive their thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iop::sim {
+
+class FrameArena {
+ public:
+  struct Stats {
+    std::uint64_t slabCarves = 0;  ///< frames carved fresh from a slab
+    std::uint64_t reuses = 0;      ///< frames served from a free list
+    std::uint64_t fallbacks = 0;   ///< oversized frames via ::operator new
+    std::uint64_t slabBytes = 0;   ///< total bytes reserved in slabs
+    std::uint64_t freeFrames = 0;  ///< frames currently on free lists
+  };
+
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  ~FrameArena();
+
+  /// The calling thread's arena.
+  static FrameArena& local();
+
+  void* allocate(std::size_t n);
+  void deallocate(void* p, std::size_t n) noexcept;
+
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Largest frame size served from the pool; anything bigger uses the
+  /// global heap (counted in stats().fallbacks).
+  static constexpr std::size_t kMaxPooled = 2048;
+
+ private:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = kMaxPooled / kGranularity;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  void* freeLists_[kClasses] = {};
+  std::vector<void*> slabs_;  ///< ::operator new blocks (max_align_t aligned)
+  unsigned char* slabCur_ = nullptr;
+  std::size_t slabLeft_ = 0;
+  Stats stats_{};
+};
+
+}  // namespace iop::sim

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "sim/framepool.hpp"
 
 namespace iop::sim {
 
@@ -35,6 +38,16 @@ struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
   bool detached = false;
+
+  /// Coroutine frames come from the thread-local arena, not the heap: a
+  /// simulation spawns the same coroutine shapes over and over, and the
+  /// free lists recycle those frames with no allocator round trips.
+  static void* operator new(std::size_t n) {
+    return FrameArena::local().allocate(n);
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FrameArena::local().deallocate(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   void unhandled_exception() noexcept { exception = std::current_exception(); }

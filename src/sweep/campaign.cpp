@@ -1,15 +1,20 @@
 #include "sweep/campaign.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "analysis/runner.hpp"
 #include "configs/configfile.hpp"
 #include "obs/recorder.hpp"
 #include "sweep/hash.hpp"
+#include "sweep/store.hpp"
 #include "util/text.hpp"
 
 namespace iop::sweep {
@@ -281,40 +286,162 @@ CampaignSpec loadCampaign(const std::filesystem::path& path) {
                        path.parent_path());
 }
 
+std::string modelCacheKey(const ModelSource& src,
+                          const std::string& characterizeIdentity) {
+  ContentHash h;
+  h.update("iop-characterize/1");
+  h.update(src.app);
+  h.update("np=" + std::to_string(src.np));
+  for (const auto& [key, value] : src.params) {
+    h.update(key + "=" + value);
+  }
+  h.update(characterizeIdentity);
+  return h.hex();
+}
+
 ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
-                                 obs::Logger* log) {
+                                 const ResolveOptions& options) {
   ResolvedCampaign out;
   out.spec = spec;
 
-  for (const auto& src : spec.models) {
+  const std::size_t n = spec.models.size();
+  out.models.resize(n);
+
+  bool anyApp = false;
+  for (const auto& src : spec.models) anyApp = anyApp || src.fromApp();
+  // The characterize config is shared by every app entry; resolving it is
+  // a pure function of the spec, so once up front is enough.
+  ResolvedConfig charCfg;
+  if (anyApp) charCfg = resolveConfig(spec.characterize);
+
+  struct Outcome {
+    bool characterized = false;
+    bool cacheHit = false;
+  };
+  std::vector<Outcome> outcomes(n);
+  std::vector<std::exception_ptr> errors(n);
+
+  // Model entries are independent: file entries parse a model file, app
+  // entries run a whole characterization simulation on a private cluster
+  // instance.  Nothing here touches shared state, so they fan out freely.
+  auto resolveOne = [&](std::size_t i) {
+    const ModelSource& src = spec.models[i];
     ResolvedModel m;
     m.label = src.label;
     if (src.fromApp()) {
-      // Characterization run (Section III-A): trace the app once on the
-      // characterize configuration and extract its subsystem-independent
-      // model.  This is the only application execution in a campaign.
-      auto cluster = resolveConfig(spec.characterize).build(1.0, 1.0);
-      auto run = analysis::runAndTrace(
-          cluster, src.label,
-          apps::makeApp(src.app, cluster.mount, src.params), src.np);
-      m.model = std::move(run.model);
-      if (log != nullptr) {
-        log->info("sweep", "characterized",
-                  "\"model\":\"" + obs::TraceRecorder::jsonEscape(src.label) +
-                      "\",\"phases\":" +
-                      std::to_string(m.model.phases().size()));
+      const std::string key = modelCacheKey(src, charCfg.identity);
+      bool hit = false;
+      if (options.reuse) {
+        for (const auto& dir : options.modelCacheDirs) {
+          const auto path = dir / (key + ".model");
+          if (std::filesystem::exists(path)) {
+            m.model = core::IOModel::load(path);
+            hit = true;
+            break;
+          }
+        }
       }
+      if (!hit) {
+        // Characterization run (Section III-A): trace the app once on the
+        // characterize configuration and extract its subsystem-independent
+        // model.  This is the only application execution in a campaign.
+        auto cluster = charCfg.build(1.0, 1.0);
+        auto run = analysis::runAndTrace(
+            cluster, src.label,
+            apps::makeApp(src.app, cluster.mount, src.params), src.np);
+        m.model = std::move(run.model);
+      }
+      m.contentText = m.model.renderText();
+      if (!hit) {
+        // Model serialization round-trips exactly, so a future cache hit
+        // yields the same contentText — and therefore the same cell keys —
+        // as this characterization.
+        for (const auto& dir : options.modelCacheDirs) {
+          std::filesystem::create_directories(dir);
+          writeFileAtomically(dir / (key + ".model"), m.contentText);
+        }
+      }
+      outcomes[i].characterized = !hit;
+      outcomes[i].cacheHit = hit;
     } else {
       m.model = core::IOModel::load(src.path);
+      m.contentText = m.model.renderText();
     }
-    m.contentText = m.model.renderText();
-    out.models.push_back(std::move(m));
+    out.models[i] = std::move(m);
+  };
+
+  const std::size_t workers = std::min(
+      n, static_cast<std::size_t>(std::max(1, options.jobs)));
+  if (workers > 1) {
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i =
+              cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            resolveOne(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        resolveOne(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        break;
+      }
+    }
+  }
+  // First declared failure wins, independent of worker interleaving.
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Log after the join, in declaration order: the log stream is
+  // deterministic for any -j.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!spec.models[i].fromApp()) continue;
+    if (outcomes[i].cacheHit) {
+      ++out.modelCacheHits;
+      if (options.log != nullptr) {
+        options.log->info(
+            "sweep", "model_cache_hit",
+            "\"model\":\"" +
+                obs::TraceRecorder::jsonEscape(spec.models[i].label) + "\"");
+      }
+    } else {
+      ++out.characterized;
+      if (options.log != nullptr) {
+        options.log->info(
+            "sweep", "characterized",
+            "\"model\":\"" +
+                obs::TraceRecorder::jsonEscape(spec.models[i].label) +
+                "\",\"phases\":" +
+                std::to_string(out.models[i].model.phases().size()));
+      }
+    }
   }
 
   for (const auto& src : spec.configs) {
     out.configs.push_back(resolveConfig(src));
   }
   return out;
+}
+
+ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
+                                 obs::Logger* log) {
+  ResolveOptions options;
+  options.log = log;
+  return resolveCampaign(spec, options);
 }
 
 std::string cellKey(const char* estimatorVersion,

@@ -117,6 +117,8 @@ struct ResolvedCampaign {
   CampaignSpec spec;
   std::vector<ResolvedModel> models;
   std::vector<ResolvedConfig> configs;
+  std::size_t characterized = 0;   ///< app entries actually traced
+  std::size_t modelCacheHits = 0;  ///< app entries served from a model cache
 
   /// The campaign grid in canonical order, cache keys computed.
   std::vector<CellSpec> planCells() const;
@@ -124,11 +126,32 @@ struct ResolvedCampaign {
   std::string cellTitle(const CellSpec& cell) const;
 };
 
-/// Load model files, characterize app entries (serially, on the
-/// characterize config), and load cluster files.  Logs one line per
-/// characterization when `log` is set.
+/// Knobs for resolveCampaign.  Characterization runs (one per `app`
+/// entry) are independent simulations, so they fan out over `jobs` worker
+/// threads; `modelCacheDirs` are probed for a content-addressed model
+/// (keyed by app + parameters + characterize config) before tracing, and
+/// every computed model is written back to all of them.
+struct ResolveOptions {
+  int jobs = 1;
+  std::vector<std::filesystem::path> modelCacheDirs;
+  bool reuse = true;  ///< false: ignore cached models (still writes back)
+  obs::Logger* log = nullptr;
+};
+
+/// Load model files, characterize app entries (on the characterize
+/// config, across `options.jobs` workers), and load cluster files.  Logs
+/// one line per characterization, deterministically in declaration order.
+ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
+                                 const ResolveOptions& options);
+
+/// Serial convenience overload (jobs = 1, no model cache).
 ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
                                  obs::Logger* log = nullptr);
+
+/// Content-addressed model cache key for an `app` campaign entry: app
+/// name + np + parameters + the characterize config's identity.
+std::string modelCacheKey(const ModelSource& src,
+                          const std::string& characterizeIdentity);
 
 /// The cache key of one cell (exposed for tests): estimator version +
 /// model text + config identity + fault factors.

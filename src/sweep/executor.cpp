@@ -5,6 +5,7 @@
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -101,6 +102,11 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
 
   store.initialize(campaign.spec.canonicalText(), options.force);
 
+  std::optional<SharedStore> shared;
+  if (!options.sharedStore.empty()) {
+    shared.emplace(std::filesystem::path(options.sharedStore));
+  }
+
   SweepOutcome outcome;
   const std::vector<CellSpec> plan = campaign.planCells();
   outcome.cells.resize(plan.size());
@@ -121,6 +127,23 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
       outcome.cells[i].result = store.loadCell(cell.key);
       ++outcome.cacheHits;
       sharedLog.info("cache_hit", cellFields(campaign, cell));
+      continue;
+    }
+    if (!options.force && shared && shared->hasCell(cell.key)) {
+      // Adopt the shared result into the campaign store: cell bytes are a
+      // pure function of the key, so render() reproduces them exactly, and
+      // the regenerated capture matches what a local evaluation would have
+      // committed.
+      CellOutcome& out = outcome.cells[i];
+      out.status = CellOutcome::Status::Cached;
+      out.result = shared->loadCell(cell.key);
+      store.saveCell(out.result);
+      if (options.writeCaptures) {
+        store.saveCapture(cell.key, makeCellCapture(out.result));
+      }
+      ++outcome.cacheHits;
+      ++outcome.sharedHits;
+      sharedLog.info("shared_hit", cellFields(campaign, cell));
       continue;
     }
     auto [it, inserted] = owners.emplace(cell.key, i);
@@ -147,6 +170,9 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         if (options.writeCaptures) {
           store.saveCapture(out.spec.key, makeCellCapture(out.result));
         }
+        // Deposit into the shared pool as well; racing processes write
+        // identical bytes through unique temp names, so this is safe.
+        if (shared) shared->saveCell(out.result);
         out.status = CellOutcome::Status::Computed;
         out.seconds = secondsSince(cellStart);
         sharedLog.info(
@@ -217,6 +243,8 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
     metrics->counter("sweep.cells").add(static_cast<double>(plan.size()));
     metrics->counter("sweep.cache_hits")
         .add(static_cast<double>(outcome.cacheHits));
+    metrics->counter("sweep.shared_hits")
+        .add(static_cast<double>(outcome.sharedHits));
     metrics->counter("sweep.computed")
         .add(static_cast<double>(outcome.computed));
     metrics->counter("sweep.failures")
@@ -228,6 +256,7 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
       "run_complete",
       "\"cells\":" + std::to_string(plan.size()) +
           ",\"cache_hits\":" + std::to_string(outcome.cacheHits) +
+          ",\"shared_hits\":" + std::to_string(outcome.sharedHits) +
           ",\"computed\":" + std::to_string(outcome.computed) +
           ",\"failures\":" + std::to_string(outcome.failures) +
           ",\"jobs\":" + std::to_string(options.jobs));

@@ -27,6 +27,11 @@ struct SweepOptions {
   bool force = false;        ///< recompute cached cells (and replace a
                              ///< mismatched store)
   bool writeCaptures = true; ///< also commit iop-diff'able captures
+  /// Optional campaign-independent shared cache directory (SharedStore):
+  /// probed after the campaign store on a miss — a hit is adopted into the
+  /// campaign store — and every computed cell is deposited back.  Empty
+  /// disables sharing.
+  std::string sharedStore;
 };
 
 struct CellOutcome {
@@ -42,6 +47,8 @@ struct CellOutcome {
 struct SweepOutcome {
   std::vector<CellOutcome> cells;  ///< canonical campaign order
   std::size_t cacheHits = 0;
+  std::size_t sharedHits = 0;  ///< subset of cacheHits served by the
+                               ///< shared store
   std::size_t computed = 0;
   std::size_t failures = 0;
   std::size_t iorRuns = 0;  ///< IOR executions across computed cells

@@ -1,10 +1,17 @@
 #include "sweep/store.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "util/text.hpp"
 
@@ -66,12 +73,16 @@ std::string readFileText(const std::filesystem::path& path) {
   return buffer.str();
 }
 
-/// Atomic commit: a reader (or a resumed run) never sees a partial file.
-/// The temp name embeds the final name, and each key is claimed by exactly
-/// one worker, so concurrent writers never collide.
-void writeAtomically(const std::filesystem::path& path,
-                     const std::string& text) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
+}  // namespace
+
+void writeFileAtomically(const std::filesystem::path& path,
+                         const std::string& text) {
+  // Unique temp name per call: shared cache directories may see the same
+  // key written by several threads or processes at once.
+  static std::atomic<unsigned long> counter{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(static_cast<long>(getpid())) +
+      "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     out << text;
@@ -81,8 +92,6 @@ void writeAtomically(const std::filesystem::path& path,
   }
   std::filesystem::rename(tmp, path);
 }
-
-}  // namespace
 
 std::string CellResult::render() const {
   std::ostringstream out;
@@ -223,7 +232,7 @@ CampaignStore::InitResult CampaignStore::initialize(
   std::filesystem::create_directories(root_ / "cells");
   std::filesystem::create_directories(root_ / "captures");
   if (result != InitResult::Matched) {
-    writeAtomically(campaignFile, canonicalText);
+    writeFileAtomically(campaignFile, canonicalText);
   }
   return result;
 }
@@ -241,14 +250,14 @@ CellResult CampaignStore::loadCell(const std::string& key) const {
 }
 
 void CampaignStore::saveCell(const CellResult& cell) const {
-  writeAtomically(cellPath(cell.key), cell.render());
+  writeFileAtomically(cellPath(cell.key), cell.render());
 }
 
 void CampaignStore::saveCapture(const std::string& key,
                                 const obs::RunCapture& capture) const {
   std::ostringstream out;
   capture.write(out);
-  writeAtomically(capturePath(key), out.str());
+  writeFileAtomically(capturePath(key), out.str());
 }
 
 void CampaignStore::writeManifest(const ResolvedCampaign& campaign,
@@ -264,7 +273,7 @@ void CampaignStore::writeManifest(const ResolvedCampaign& campaign,
         << campaign.cellTitle(cell) << "\n";
   }
   out << "end\n";
-  writeAtomically(manifestPath(), out.str());
+  writeFileAtomically(manifestPath(), out.str());
 }
 
 std::size_t CampaignStore::gc(const std::set<std::string>& liveKeys) const {
@@ -284,6 +293,35 @@ std::size_t CampaignStore::gc(const std::set<std::string>& liveKeys) const {
     }
   }
   return removed;
+}
+
+SharedStore::SharedStore(std::filesystem::path root)
+    : root_(std::move(root)) {}
+
+std::filesystem::path SharedStore::cellPath(const std::string& key) const {
+  return root_ / "cells" / (key + ".cell");
+}
+
+std::filesystem::path SharedStore::modelDir() const {
+  return root_ / "models";
+}
+
+bool SharedStore::hasCell(const std::string& key) const {
+  return std::filesystem::exists(cellPath(key));
+}
+
+CellResult SharedStore::loadCell(const std::string& key) const {
+  auto cell = CellResult::parse(readFileText(cellPath(key)));
+  if (cell.key != key) {
+    throw std::runtime_error("shared cell " + key + " holds key " +
+                             cell.key);
+  }
+  return cell;
+}
+
+void SharedStore::saveCell(const CellResult& cell) const {
+  std::filesystem::create_directories(root_ / "cells");
+  writeFileAtomically(cellPath(cell.key), cell.render());
 }
 
 }  // namespace iop::sweep

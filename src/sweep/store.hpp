@@ -62,6 +62,43 @@ struct CellResult {
 /// makespan = estimated Time_io).
 obs::RunCapture makeCellCapture(const CellResult& cell);
 
+/// Atomically replace `path` with `text`.  Every call writes through a
+/// distinct temp name (pid + counter) before the rename, so concurrent
+/// writers — other threads or other iop-sweep processes sharing a cache
+/// directory — never observe a partial file and never clobber each
+/// other's temp files.  Racing writers of the same content-addressed key
+/// are harmless: both rename identical bytes into place.
+void writeFileAtomically(const std::filesystem::path& path,
+                         const std::string& text);
+
+/// Campaign-independent shared result cache: a flat content-addressed
+/// pool of cells (and characterization models) that overlapping campaigns
+/// can reuse.  Unlike CampaignStore it is bound to no campaign.txt — a
+/// cell's key already captures everything that determines its result, so
+/// any campaign may deposit into or draw from the pool.
+///
+/// Layout under the shared root:
+///   cells/<key>.cell    committed cell results, same format as the
+///                       campaign store (key-checked on load)
+///   models/<key>.model  characterization models keyed by modelCacheKey()
+class SharedStore {
+ public:
+  explicit SharedStore(std::filesystem::path root);
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+  std::filesystem::path cellPath(const std::string& key) const;
+  /// Model cache directory (for ResolveOptions::modelCacheDirs).
+  std::filesystem::path modelDir() const;
+
+  bool hasCell(const std::string& key) const;
+  CellResult loadCell(const std::string& key) const;
+  /// Atomic, race-safe commit (directories created on first write).
+  void saveCell(const CellResult& cell) const;
+
+ private:
+  std::filesystem::path root_;
+};
+
 class CampaignStore {
  public:
   enum class InitResult {

@@ -1,11 +1,14 @@
 #include "trace/tracefile.hpp"
 #include "obs/profiler.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "util/table.hpp"
 #include "util/text.hpp"
@@ -37,28 +40,97 @@ void writeRankFile(const fs::path& path,
   if (!out) throw std::runtime_error("write failed: " + path.string());
 }
 
-std::vector<Record> readRankFile(const fs::path& path) {
-  std::ifstream in(path);
+// --------------------------------------------------------------- parsing
+//
+// Rank files are parsed in a single pass over one whole-file buffer with
+// std::from_chars — no per-line streams, no per-token string copies.  A
+// trace directory is read back once per characterization, and on large
+// apps this path dominated model extraction.
+
+constexpr bool isSpace(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// Advance past blanks; the cursor stops at a token, '\n', or `end`.
+const char* skipBlanks(const char* p, const char* end) noexcept {
+  while (p != end && isSpace(*p)) ++p;
+  return p;
+}
+
+std::string_view nextToken(const char*& p, const char* end) noexcept {
+  p = skipBlanks(p, end);
+  const char* start = p;
+  while (p != end && !isSpace(*p) && *p != '\n') ++p;
+  return {start, static_cast<std::size_t>(p - start)};
+}
+
+template <typename T>
+bool parseNumber(std::string_view token, T& out) noexcept {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+std::string readWholeFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::string text;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size > 0) {
+    text.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(text.data(), size);
+  }
+  if (in.bad()) throw std::runtime_error("read failed: " + path.string());
+  return text;
+}
+
+std::vector<Record> readRankFile(const fs::path& path) {
+  const std::string text = readWholeFile(path);
   std::vector<Record> records;
-  std::string line;
-  while (std::getline(in, line)) {
-    auto trimmed = util::trim(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
-    auto tokens = util::splitWhitespace(trimmed);
-    if (tokens.size() != 8) {
-      throw std::runtime_error("malformed trace line in " + path.string() +
-                               ": " + line);
+  records.reserve(static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n')));
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  while (p != end) {
+    const char* const lineStart = p;
+    p = skipBlanks(p, end);
+    if (p == end) break;
+    if (*p == '\n') {
+      ++p;
+      continue;
+    }
+    if (*p == '#') {  // comment line
+      while (p != end && *p != '\n') ++p;
+      continue;
     }
     Record r;
-    r.rank = std::stoi(tokens[0]);
-    r.fileId = std::stoi(tokens[1]);
-    r.op = tokens[2];
-    r.offsetUnits = std::stoull(tokens[3]);
-    r.tick = std::stoull(tokens[4]);
-    r.requestBytes = std::stoull(tokens[5]);
-    r.time = std::stod(tokens[6]);
-    r.duration = std::stod(tokens[7]);
+    const std::string_view t0 = nextToken(p, end);
+    const std::string_view t1 = nextToken(p, end);
+    const std::string_view op = nextToken(p, end);
+    const std::string_view t3 = nextToken(p, end);
+    const std::string_view t4 = nextToken(p, end);
+    const std::string_view t5 = nextToken(p, end);
+    const std::string_view t6 = nextToken(p, end);
+    const std::string_view t7 = nextToken(p, end);
+    const char* const afterFields = skipBlanks(p, end);
+    const bool ok = parseNumber(t0, r.rank) && parseNumber(t1, r.fileId) &&
+                    !op.empty() && parseNumber(t3, r.offsetUnits) &&
+                    parseNumber(t4, r.tick) &&
+                    parseNumber(t5, r.requestBytes) &&
+                    parseNumber(t6, r.time) && parseNumber(t7, r.duration) &&
+                    (afterFields == end || *afterFields == '\n');
+    if (!ok) {
+      const char* lineEnd = lineStart;
+      while (lineEnd != end && *lineEnd != '\n') ++lineEnd;
+      throw std::runtime_error(
+          "malformed trace line in " + path.string() + ": " +
+          std::string(lineStart, static_cast<std::size_t>(lineEnd - lineStart)));
+    }
+    r.op.assign(op);
+    p = afterFields;
+    if (p != end) ++p;  // consume '\n'
     records.push_back(std::move(r));
   }
   return records;

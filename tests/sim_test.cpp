@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/framepool.hpp"
+#include "sim/readyqueue.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "util/rng.hpp"
 
 namespace iop::sim {
 namespace {
@@ -353,6 +359,240 @@ TEST(WhenAll, ChildExceptionRethrownAfterAllFinish) {
   eng.run();
   EXPECT_TRUE(caught);
   EXPECT_DOUBLE_EQ(caughtAt, 5.0);  // waits for all children first
+}
+
+// ----------------------------------------------------- scheduler identity
+//
+// The calendar-queue scheduler must dispatch in exactly the (when, seq)
+// order the binary heap did.  Two lines of defense: a golden digest of a
+// mixed workload captured against the pre-calendar engine, and a
+// randomized lockstep equivalence test against the reference HeapQueue.
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnvBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct Step {
+  int id;
+  double at;
+};
+
+Task<void> digestWorker(Engine& eng, Resource& res, std::vector<Step>& log,
+                        int id) {
+  log.push_back({id, eng.now()});
+  co_await eng.delay(0.001 * (id % 7));
+  log.push_back({id, eng.now()});
+  co_await res.use(0.01 + 0.001 * (id % 3));
+  log.push_back({id, eng.now()});
+  for (int i = 0; i < 3; ++i) {
+    co_await eng.delay(eng.rng().uniform() * 0.1);
+    log.push_back({id, eng.now()});
+  }
+  co_await eng.yield();
+  log.push_back({id, eng.now()});
+}
+
+std::uint64_t runDigestWorkload(std::uint64_t* orderDigest = nullptr) {
+  Engine eng(42);
+  Resource res(eng, 2);
+  std::vector<Step> log;
+  for (int id = 0; id < 64; ++id) {
+    if (id % 5 == 0) {
+      eng.spawnAt(0.002 * id, digestWorker(eng, res, log, id));
+    } else {
+      eng.spawn(digestWorker(eng, res, log, id));
+    }
+  }
+  eng.run();
+  if (orderDigest != nullptr) *orderDigest = eng.orderDigest();
+  std::uint64_t h = kFnvOffset;
+  for (const Step& s : log) {
+    h = fnvBytes(h, &s.id, sizeof s.id);
+    h = fnvBytes(h, &s.at, sizeof s.at);
+  }
+  const auto dispatched = eng.eventsDispatched();
+  h = fnvBytes(h, &dispatched, sizeof dispatched);
+  return h;
+}
+
+TEST(EngineDigest, GoldenWorkloadDigestIsStable) {
+  // Captured from the binary-heap scheduler before the calendar queue
+  // landed: 64 interleaved processes contending on a resource, with
+  // spawns, delays, rng-driven timing, and yields.  Any scheduler change
+  // that reorders a single dispatch, or perturbs one timestamp, moves
+  // this digest.
+  EXPECT_EQ(runDigestWorkload(), 0xb0c9eff8d3deb1a8ULL);
+}
+
+TEST(EngineDigest, OrderDigestIdenticalAcrossRuns) {
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  const std::uint64_t stepsA = runDigestWorkload(&first);
+  const std::uint64_t stepsB = runDigestWorkload(&second);
+  EXPECT_EQ(stepsA, stepsB);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, kFnvOffset);  // the digest actually accumulated
+}
+
+TEST(ReadyQueue, CalendarMatchesHeapOnRandomWorkloads) {
+  util::Rng rng(1234);
+  detail::CalendarQueue calendar;
+  detail::HeapQueue heap;
+  Time now = 0.0;
+  std::uint64_t seq = 0;
+
+  const auto pushBoth = [&](Time when) {
+    const detail::QueuedEvent ev{when, seq++, {}, false};
+    calendar.push(ev, now);
+    heap.push(ev, now);
+  };
+
+  for (int i = 0; i < 32; ++i) pushBoth(rng.uniform() * 2.0);
+
+  int pops = 0;
+  while (!heap.empty()) {
+    ASSERT_EQ(calendar.size(), heap.size());
+    const detail::QueuedEvent* top = calendar.peek(now);
+    ASSERT_NE(top, nullptr);
+    const detail::QueuedEvent expected = heap.pop(now);
+    EXPECT_EQ(top->when, expected.when);
+    EXPECT_EQ(top->seq, expected.seq);
+    const detail::QueuedEvent got = calendar.pop(now);
+    ASSERT_EQ(got.when, expected.when);
+    ASSERT_EQ(got.seq, expected.seq);
+    now = got.when;
+    ++pops;
+    if (pops >= 20000) continue;  // stop feeding, drain what's left
+    const double r = rng.uniform();
+    if (r < 0.2) {
+      pushBoth(now);  // FIFO lane
+    } else if (r < 0.7) {
+      pushBoth(now + rng.uniform() * 0.01);  // clustered near future
+    } else if (r < 0.95) {
+      pushBoth(now + rng.uniform());  // medium horizon
+    } else {
+      pushBoth(now + 50.0 + rng.uniform() * 100.0);  // far-future jump
+    }
+    if (r < 0.1) {
+      // Burst of ties at one timestamp: seq must break them.
+      const Time t = now + rng.uniform() * 0.05;
+      for (int k = 0; k < 5; ++k) pushBoth(t);
+    }
+  }
+  EXPECT_GE(pops, 20000);
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(calendar.peek(now), nullptr);
+}
+
+// ------------------------------------------------ schedule-time validation
+
+TEST(Engine, RejectsNonFiniteDelay) {
+  Engine eng;
+  EXPECT_THROW(eng.delay(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(eng.delay(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsNonFiniteSpawnTime) {
+  Engine eng;
+  std::vector<int> log;
+  EXPECT_THROW(
+      eng.spawnAt(std::numeric_limits<double>::quiet_NaN(),
+                  appendAfter(eng, 0.0, log, 1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      eng.spawnAt(std::numeric_limits<double>::infinity(),
+                  appendAfter(eng, 0.0, log, 2)),
+      std::invalid_argument);
+  // A rejected spawn leaks nothing and schedules nothing.
+  eng.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(eng.eventsDispatched(), 0u);
+}
+
+TEST(Engine, PastSpawnTimeClampsToNow) {
+  Engine eng;
+  std::vector<double> at;
+  eng.spawn([](Engine& e, std::vector<double>& out) -> Task<void> {
+    co_await e.delay(3.0);
+    out.push_back(e.now());
+  }(eng, at));
+  eng.run();
+  ASSERT_EQ(at.size(), 1u);
+  // now() is 3.0; a spawn dated in the past must run at now, not rewind.
+  eng.spawnAt(-5.0, [](Engine& e, std::vector<double>& out) -> Task<void> {
+    out.push_back(e.now());
+    co_return;
+  }(eng, at));
+  eng.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[1], 3.0);
+}
+
+// ----------------------------------------------------------- frame arena
+
+TEST(FrameArena, ReusesFramesAcrossSpawns) {
+  auto& arena = FrameArena::local();
+  const auto before = arena.stats();
+  Engine eng;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> log;
+    eng.spawn(appendAfter(eng, 0.001, log, round));
+    eng.run();
+    ASSERT_EQ(log.size(), 1u);
+  }
+  const auto after = arena.stats();
+  // Identical frames round after round: at most a few fresh carves, the
+  // rest served from the free list.
+  EXPECT_GT(after.reuses, before.reuses + 40);
+  EXPECT_GT(after.freeFrames, 0u);
+}
+
+TEST(FrameArena, OversizedFramesFallBackToHeap) {
+  auto& arena = FrameArena::local();
+  const auto before = arena.stats();
+  Engine eng;
+  int out = 0;
+  eng.spawn([](Engine& e, int& result) -> Task<void> {
+    // A live-across-suspend buffer larger than the largest pooled class
+    // forces this frame onto the global-heap fallback path.
+    char big[FrameArena::kMaxPooled * 2] = {};
+    big[0] = 1;
+    co_await e.delay(0.001);
+    big[sizeof big - 1] = 2;
+    result = big[0] + big[sizeof big - 1];
+  }(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 3);
+  const auto after = arena.stats();
+  EXPECT_GT(after.fallbacks, before.fallbacks);
+}
+
+TEST(FrameArena, GrowsSlabsUnderConcurrentLoad) {
+  auto& arena = FrameArena::local();
+  const auto before = arena.stats();
+  Engine eng;
+  std::vector<int> log;
+  // Thousands of frames live at once: the arena must carve several slabs
+  // rather than recycle, and release everything back to the free lists.
+  for (int id = 0; id < 4000; ++id) {
+    eng.spawn(appendAfter(eng, 0.001 * (1 + id % 97), log, id));
+  }
+  eng.run();
+  EXPECT_EQ(log.size(), 4000u);
+  const auto after = arena.stats();
+  EXPECT_GT(after.slabBytes, before.slabBytes);
+  EXPECT_GE(after.slabBytes - before.slabBytes, 2u * 64u * 1024u);
+  EXPECT_GT(after.freeFrames, before.freeFrames);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 // iop::sweep — campaign parsing, content-addressed caching, executor
 // determinism (-j1 == -jN byte-identical stores), resume and gc.
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -379,6 +380,129 @@ TEST(SweepConfig, BuildRejectsBadDegradation) {
   EXPECT_THROW(config.build(1.0, 0.5), std::invalid_argument);
   auto healthy = config.build(1.0, 1.0);
   EXPECT_FALSE(healthy.topology->allNodes().empty());
+}
+
+TEST(SweepDigest, GoldenCampaignDigestIsStable) {
+  // Captured from the binary-heap scheduler before the calendar queue
+  // landed: every cell of a 12-cell campaign, characterization included,
+  // must render byte-identical results on the new engine.
+  const auto campaign = resolveTestCampaign(
+      "name digest-probe\n"
+      "app example\n"
+      "config A\n"
+      "config B\n"
+      "degrade-disks 1 4\n"
+      "degrade-net 1 2 4\n");
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& cell : campaign.planCells()) {
+    const std::string bytes = sweep::evaluateCell(campaign, cell).render();
+    for (const unsigned char c : bytes) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  }
+  EXPECT_EQ(h, 0x3a83b0aec3e4ac97ULL);
+}
+
+TEST(CampaignResolve, ParallelCharacterizationMatchesSerial) {
+  // Two app entries so the worker pool has real fan-out; exercised under
+  // TSan in CI (tools/ci.sh) to prove the characterization runs share no
+  // state.
+  const char* text =
+      "name par-resolve\n"
+      "app example\n"
+      "app example np=2\n"
+      "config A\n";
+  const auto spec = sweep::parseCampaign(text, ".");
+
+  sweep::ResolveOptions serial;
+  serial.jobs = 1;
+  const auto a = sweep::resolveCampaign(spec, serial);
+  sweep::ResolveOptions parallel;
+  parallel.jobs = 4;
+  const auto b = sweep::resolveCampaign(spec, parallel);
+
+  EXPECT_EQ(a.characterized, 2u);
+  EXPECT_EQ(b.characterized, 2u);
+  ASSERT_EQ(a.models.size(), b.models.size());
+  for (std::size_t i = 0; i < a.models.size(); ++i) {
+    EXPECT_EQ(a.models[i].label, b.models[i].label);
+    EXPECT_EQ(a.models[i].contentText, b.models[i].contentText);
+  }
+}
+
+TEST(CampaignResolve, ModelCacheAvoidsRecharacterization) {
+  TempDir cache("modelcache");
+  const auto spec = sweep::parseCampaign(
+      "name cached-resolve\napp example\nconfig A\n", ".");
+  sweep::ResolveOptions options;
+  options.modelCacheDirs.push_back(cache.path());
+
+  const auto first = sweep::resolveCampaign(spec, options);
+  EXPECT_EQ(first.characterized, 1u);
+  EXPECT_EQ(first.modelCacheHits, 0u);
+
+  const auto second = sweep::resolveCampaign(spec, options);
+  EXPECT_EQ(second.characterized, 0u);
+  EXPECT_EQ(second.modelCacheHits, 1u);
+  // The cached model round-trips to the same canonical text, so cell keys
+  // are unchanged.
+  ASSERT_EQ(first.models.size(), 1u);
+  ASSERT_EQ(second.models.size(), 1u);
+  EXPECT_EQ(first.models[0].contentText, second.models[0].contentText);
+  ASSERT_EQ(first.planCells().size(), second.planCells().size());
+  EXPECT_EQ(first.planCells()[0].key, second.planCells()[0].key);
+
+  // reuse=false ignores the cache and characterizes again.
+  sweep::ResolveOptions fresh = options;
+  fresh.reuse = false;
+  const auto third = sweep::resolveCampaign(spec, fresh);
+  EXPECT_EQ(third.characterized, 1u);
+  EXPECT_EQ(third.modelCacheHits, 0u);
+  EXPECT_EQ(third.models[0].contentText, first.models[0].contentText);
+}
+
+TEST(SweepExecutor, SharedStoreReusesAcrossCampaigns) {
+  TempDir shared("sharedpool");
+  const auto first = resolveTestCampaign(
+      "name shared-a\napp example\nconfig A\nconfig B\n");
+  const auto second = resolveTestCampaign(
+      "name shared-b\napp example\nconfig B\nconfig C\n");
+
+  sweep::SweepOptions options;
+  options.jobs = 2;
+  options.sharedStore = shared.path().string();
+
+  TempDir storeA("shared_s1");
+  sweep::CampaignStore s1(storeA.path());
+  const auto outcomeA = sweep::runSweep(first, s1, options);
+  EXPECT_EQ(outcomeA.computed, 2u);
+  EXPECT_EQ(outcomeA.sharedHits, 0u);
+
+  // The overlapping cell (example @ B) comes out of the shared pool.
+  TempDir storeB("shared_s2");
+  sweep::CampaignStore s2(storeB.path());
+  const auto outcomeB = sweep::runSweep(second, s2, options);
+  EXPECT_EQ(outcomeB.computed, 1u);
+  EXPECT_EQ(outcomeB.cacheHits, 1u);
+  EXPECT_EQ(outcomeB.sharedHits, 1u);
+
+  // A third store for the same campaign is served entirely from the pool
+  // and ends up byte-identical to the computed one.
+  TempDir storeC("shared_s3");
+  sweep::CampaignStore s3(storeC.path());
+  const auto outcomeC = sweep::runSweep(second, s3, options);
+  EXPECT_EQ(outcomeC.computed, 0u);
+  EXPECT_EQ(outcomeC.cacheHits, 2u);
+  EXPECT_EQ(outcomeC.sharedHits, 2u);
+  EXPECT_EQ(snapshotTree(storeB.path()), snapshotTree(storeC.path()));
+
+  // Adopted cells pass the store's key check when read back.
+  sweep::SharedStore pool(shared.path());
+  for (const auto& cell : second.planCells()) {
+    ASSERT_TRUE(pool.hasCell(cell.key));
+    EXPECT_EQ(pool.loadCell(cell.key).key, cell.key);
+  }
 }
 
 }  // namespace

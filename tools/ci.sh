@@ -34,8 +34,12 @@ unset ASAN_OPTIONS
 run_flavor ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIOP_SANITIZE=undefined
 
 # ThreadSanitizer covers the one multithreaded subsystem: the sweep
-# executor.  Building only its test keeps the flavor cheap; everything
-# else in the tree is single-threaded by design.
+# layer — the cell-evaluation executor and the parallel app
+# characterization at campaign resolve (both in sweep_test, including
+# CampaignResolve.ParallelCharacterizationMatchesSerial and the shared
+# thread-local FrameArena under concurrent engines).  Building only its
+# test keeps the flavor cheap; everything else in the tree is
+# single-threaded by design.
 tsan_dir="$root/build-ci/tsan"
 echo "=== [tsan] configure + build sweep_test ==="
 cmake -B "$tsan_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -16,8 +16,10 @@
 // Exit codes: 0 ok, 1 cell failures (or missing cells in report), 2 usage
 // or campaign errors.
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/profiler.hpp"
@@ -59,38 +61,65 @@ int parseJobs(const util::Args& args) {
   return jobs;
 }
 
-/// Load + resolve the campaign named by --campaign (characterizes any
-/// `app` entries, serially) and bind the store.
+/// The shared cache directory: --shared-store, falling back to the
+/// IOP_SWEEP_STORE environment variable.  Empty means no sharing.
+std::string sharedStorePath(const util::Args& args) {
+  std::string path = args.getOr("shared-store", "");
+  if (path.empty()) {
+    if (const char* env = std::getenv("IOP_SWEEP_STORE")) path = env;
+  }
+  return path;
+}
+
+/// Load + resolve the campaign named by --campaign (characterizing any
+/// `app` entries across `jobs` workers, reusing cached models from the
+/// campaign and shared stores) and bind the store.
 struct LoadedCampaign {
   sweep::ResolvedCampaign campaign;
   sweep::CampaignStore store;
+  std::string sharedStore;  ///< empty: no shared cache
 };
 
-LoadedCampaign loadFor(const util::Args& args, obs::Logger& log) {
+LoadedCampaign loadFor(const util::Args& args, obs::Logger& log, int jobs) {
   const std::string campaignPath = args.get("campaign");
-  const std::string storePath = args.get("store");
+  sweep::CampaignStore store(args.get("store"));
+  std::string shared = sharedStorePath(args);
   auto spec = sweep::loadCampaign(campaignPath);
-  return LoadedCampaign{sweep::resolveCampaign(spec, &log),
-                        sweep::CampaignStore(storePath)};
+  sweep::ResolveOptions options;
+  options.jobs = jobs;
+  options.log = &log;
+  options.modelCacheDirs.push_back(store.root() / "models");
+  if (!shared.empty()) {
+    options.modelCacheDirs.push_back(sweep::SharedStore(shared).modelDir());
+  }
+  return LoadedCampaign{sweep::resolveCampaign(spec, options),
+                        std::move(store), std::move(shared)};
 }
 
 int cmdRun(const util::Args& args, tools::ObsSession& obs) {
-  auto loaded = loadFor(args, obs.log());
+  const int jobs = parseJobs(args);
+  auto loaded = loadFor(args, obs.log(), jobs);
   sweep::SweepOptions options;
-  options.jobs = parseJobs(args);
+  options.jobs = jobs;
   options.force = args.flag("force");
   options.writeCaptures = !args.flag("no-captures");
+  options.sharedStore = loaded.sharedStore;
 
   obs::MetricsRegistry* metrics =
       obs.active() ? &obs.session()->metrics() : nullptr;
   const auto outcome = sweep::runSweep(loaded.campaign, loaded.store,
                                        options, &obs.log(), metrics);
 
+  const std::string sharedNote =
+      loaded.sharedStore.empty()
+          ? std::string()
+          : ", " + std::to_string(outcome.sharedHits) + " shared hits";
   std::printf("campaign %s: %zu cells, %zu cached, %zu computed, "
-              "%zu failed (%.2fs wall, %zu IOR runs, -j%d)\n",
+              "%zu failed (%.2fs wall, %zu IOR runs, -j%d%s)\n",
               loaded.campaign.spec.name.c_str(), outcome.cells.size(),
               outcome.cacheHits, outcome.computed, outcome.failures,
-              outcome.wallSeconds, outcome.iorRuns, options.jobs);
+              outcome.wallSeconds, outcome.iorRuns, options.jobs,
+              sharedNote.c_str());
   for (const auto& cell : outcome.cells) {
     if (cell.status == sweep::CellOutcome::Status::Failed) {
       std::fprintf(stderr, "iop-sweep: cell %s failed: %s\n",
@@ -103,7 +132,7 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
 }
 
 int cmdReport(const util::Args& args, tools::ObsSession& obs) {
-  auto loaded = loadFor(args, obs.log());
+  auto loaded = loadFor(args, obs.log(), parseJobs(args));
   // Build the outcome purely from the store: report never simulates.
   sweep::SweepOutcome outcome;
   std::size_t missing = 0;
@@ -133,7 +162,7 @@ int cmdReport(const util::Args& args, tools::ObsSession& obs) {
 }
 
 int cmdGc(const util::Args& args, tools::ObsSession& obs) {
-  auto loaded = loadFor(args, obs.log());
+  auto loaded = loadFor(args, obs.log(), parseJobs(args));
   std::set<std::string> live;
   for (const auto& cell : loaded.campaign.planCells()) {
     live.insert(cell.key);
@@ -150,7 +179,12 @@ int main(int argc, char** argv) {
   util::Args args;
   args.addOption("campaign", "campaign file (see docs/SWEEP.md)");
   args.addOption("store", "campaign store directory (created on demand)");
-  args.addOption("jobs", "worker threads for `run` (also -jN)", "1");
+  args.addOption("jobs",
+                 "worker threads for `run` and characterization (also -jN)",
+                 "1");
+  args.addOption("shared-store",
+                 "campaign-independent shared cache directory reused "
+                 "across overlapping campaigns (env: IOP_SWEEP_STORE)");
   args.addFlag("force",
                "recompute cached cells; also replaces a store bound to a "
                "different campaign");
