@@ -87,7 +87,7 @@ sim::Task<void> issue(mpi::File& file, const core::PhaseOp& op,
 }
 
 sim::Task<void> syntheticMain(mpi::Rank& rank, const core::IOModel& model,
-                              const std::string& mount) {
+                              const std::string& mount, PhaseClock* clock) {
   // Open the model's files with their recorded views.
   std::map<int, std::shared_ptr<mpi::File>> files;
   for (const auto& meta : model.files()) {
@@ -101,7 +101,9 @@ sim::Task<void> syntheticMain(mpi::Rank& rank, const core::IOModel& model,
 
   std::uint64_t prevLastTick = 0;
   bool first = true;
+  std::size_t phaseIndex = 0;
   for (const auto& phase : model.phases()) {
+    const std::size_t thisPhase = phaseIndex++;
     // Recreate the inter-phase tick gap with communication events so the
     // synthetic trace splits into the same phases.
     if (!first && phase.firstTick > prevLastTick + 1) {
@@ -118,6 +120,7 @@ sim::Task<void> syntheticMain(mpi::Rank& rank, const core::IOModel& model,
     const auto* meta = metaFor(model, phase.idF);
     const std::uint64_t etype = meta != nullptr ? meta->etypeBytes : 1;
     mpi::File& file = *files.at(phase.idF);
+    if (clock != nullptr) clock->noteStart(thisPhase, rank.engine().now());
     for (std::uint64_t m = 0; m < phase.rep; ++m) {
       for (const auto& op : phase.ops) {
         const std::uint64_t offsetBytes = static_cast<std::uint64_t>(
@@ -126,18 +129,43 @@ sim::Task<void> syntheticMain(mpi::Rank& rank, const core::IOModel& model,
         co_await issue(file, op, offsetBytes / etype);
       }
     }
+    if (clock != nullptr) clock->noteEnd(thisPhase, rank.engine().now());
   }
   for (auto& [id, file] : files) co_await file->close();
 }
 
 }  // namespace
 
+void PhaseClock::noteStart(std::size_t phase, double now) {
+  if (windows.size() <= phase) windows.resize(phase + 1);
+  Window& w = windows[phase];
+  w.start = std::min(w.start, now);
+  w.touched = true;
+}
+
+void PhaseClock::noteEnd(std::size_t phase, double now) {
+  if (windows.size() <= phase) windows.resize(phase + 1);
+  Window& w = windows[phase];
+  w.end = std::max(w.end, now);
+  w.touched = true;
+}
+
+std::size_t PhaseClock::phaseAt(double t) const noexcept {
+  std::size_t found = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Window& w = windows[i];
+    if (w.touched && t >= w.start && t <= w.end) found = i;
+  }
+  return found;
+}
+
 mpi::Runtime::RankMain makeSyntheticApp(const core::IOModel& model,
-                                        const std::string& mount) {
+                                        const std::string& mount,
+                                        PhaseClock* clock) {
   validateModel(model);
   auto shared = std::make_shared<core::IOModel>(model);
-  return [shared, mount](mpi::Rank& rank) {
-    return syntheticMain(rank, *shared, mount);
+  return [shared, mount, clock](mpi::Rank& rank) {
+    return syntheticMain(rank, *shared, mount, clock);
   };
 }
 

@@ -14,20 +14,49 @@
 // ordering and cache state, at the cost of executing the whole model.
 #pragma once
 
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "core/iomodel.hpp"
 #include "mpi/runtime.hpp"
 
 namespace iop::analysis {
 
-/// Build a rank-main that executes `model` against `mount`.
+/// Observed per-phase execution windows of one synthetic replay: for each
+/// phase (in model order) the earliest start and latest end over the
+/// participating ranks.  Used by degraded-mode estimation to attribute
+/// fault stall time to phases.
+struct PhaseClock {
+  struct Window {
+    double start = std::numeric_limits<double>::infinity();
+    double end = 0.0;
+    bool touched = false;
+
+    double duration() const noexcept {
+      return touched ? end - start : 0.0;
+    }
+  };
+  std::vector<Window> windows;  ///< indexed by phase position in the model
+
+  void noteStart(std::size_t phase, double now);
+  void noteEnd(std::size_t phase, double now);
+
+  /// Index of the phase whose window contains `t` (latest match wins for
+  /// overlapping windows); npos when no window covers it.
+  std::size_t phaseAt(double t) const noexcept;
+};
+
+/// Build a rank-main that executes `model` against `mount`.  When `clock`
+/// is non-null it records per-phase execution windows (it must outlive the
+/// run; pass null for the legacy zero-overhead path).
 ///
 /// Requirements (violations throw std::invalid_argument up front):
 ///  * phases with collective operations must cover all np ranks;
 ///  * per-rank offsets and request sizes must be whole etypes of their
 ///    file's view.
 mpi::Runtime::RankMain makeSyntheticApp(const core::IOModel& model,
-                                        const std::string& mount);
+                                        const std::string& mount,
+                                        PhaseClock* clock = nullptr);
 
 }  // namespace iop::analysis

@@ -24,6 +24,10 @@
 #include "sim/engine.hpp"
 #include "storage/topology.hpp"
 
+namespace iop::fault {
+class FaultInjector;
+}
+
 namespace iop::configs {
 
 enum class ConfigId { A, B, C, Finisterrae };
@@ -44,6 +48,11 @@ struct ClusterConfig {
   std::vector<std::size_t> computeNodes;  ///< node indices usable for ranks
   std::string mount;                      ///< the evaluated mount point
   mpi::IoHints hints;                     ///< configuration-default hints
+
+  /// Fault injector attached by fault::installFaults (null = healthy run).
+  /// Held here so the ports the topology points at outlive the workload;
+  /// declared after topology so it is destroyed first.
+  std::shared_ptr<fault::FaultInjector> faults;
 
   /// Convenience: runtime options for `np` ranks on this cluster.
   mpi::RuntimeOptions runtimeOptions(int np,

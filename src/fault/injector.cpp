@@ -1,0 +1,235 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "configs/configs.hpp"
+#include "storage/disk.hpp"
+#include "storage/topology.hpp"
+
+namespace iop::fault {
+
+namespace {
+
+/// Hard cap on the recorded event history: a pathological plan (p=1 on a
+/// hot disk) must not turn a simulation into an OOM.
+constexpr std::size_t kMaxEvents = 100000;
+
+/// FNV-1a over the canonical plan text, mixed into the replica seed so
+/// that two plans with the same seed get unrelated streams.
+std::uint64_t hashText(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Selector match for "dN"/"nN" index forms.
+bool indexSelector(const std::string& selector, char prefix,
+                   std::size_t index) {
+  if (selector.size() < 2 || selector.front() != prefix) return false;
+  for (std::size_t i = 1; i < selector.size(); ++i) {
+    if (selector[i] < '0' || selector[i] > '9') return false;
+  }
+  return selector.substr(1) == std::to_string(index);
+}
+
+}  // namespace
+
+/// One target's fault stream: the rules that apply to it plus a private
+/// RNG split off the injector's master in attach order.
+class FaultInjector::Port final : public storage::FaultPort {
+ public:
+  Port(FaultInjector& owner, std::string target, util::Rng rng)
+      : owner_(owner), target_(std::move(target)), rng_(rng) {}
+
+  void addRule(const FaultRule* rule) { rules_.push_back(rule); }
+  bool hasRules() const noexcept { return !rules_.empty(); }
+  const std::string& target() const noexcept { return target_; }
+
+  storage::FaultVerdict onAttempt(double now, storage::IoOp,
+                                  std::uint64_t) override {
+    storage::FaultVerdict verdict;
+    // Down windows first — they are time-driven and consume no randomness,
+    // so skipping the probability draws below stays deterministic.
+    for (const FaultRule* rule : rules_) {
+      if (rule->kind == FaultRule::Kind::Down && rule->activeAt(now)) {
+        verdict.kind = storage::FaultVerdict::Kind::Down;
+        return verdict;
+      }
+    }
+    for (const FaultRule* rule : rules_) {
+      if (!rule->activeAt(now)) continue;
+      switch (rule->kind) {
+        case FaultRule::Kind::TransientError:
+          if (verdict.kind == storage::FaultVerdict::Kind::Ok &&
+              rng_.uniform() < rule->probability) {
+            verdict.kind = storage::FaultVerdict::Kind::TransientError;
+          }
+          break;
+        case FaultRule::Kind::Slow:
+          verdict.slowFactor = std::max(verdict.slowFactor, rule->factor);
+          break;
+        case FaultRule::Kind::Down:
+          break;  // handled above
+      }
+    }
+    return verdict;
+  }
+
+  const storage::RetryPolicy& policy() const override {
+    return owner_.plan_.policy;
+  }
+
+  double backoffDraw() override { return rng_.uniform(); }
+
+  void noteRetry(double now, double stallSec) override {
+    ++owner_.accounting_.retries;
+    owner_.accounting_.stallSeconds += stallSec;
+    owner_.record(now, "retry", target_, stallSec);
+  }
+
+  void noteExhausted(double now) override {
+    ++owner_.accounting_.exhausted;
+    owner_.record(now, "exhausted", target_, 0.0);
+  }
+
+ private:
+  FaultInjector& owner_;
+  std::string target_;
+  util::Rng rng_;
+  std::vector<const FaultRule*> rules_;
+};
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)),
+      seed_(seed),
+      master_(seed ^ hashText(plan_.canonicalText())) {}
+
+FaultInjector::~FaultInjector() = default;
+
+void FaultInjector::record(double time, const char* kind,
+                           std::string target, double seconds) {
+  if (events_.size() >= kMaxEvents) {
+    eventsTruncated_ = true;
+    return;
+  }
+  events_.push_back(FaultEvent{time, kind, std::move(target), seconds});
+}
+
+std::string FaultInjector::renderEventLog() const {
+  std::ostringstream out;
+  out << "fault-events v1 plan=" << hashText(plan_.canonicalText())
+      << " seed=" << seed_ << "\n";
+  for (const FaultEvent& e : events_) {
+    out << "t=" << formatDouble(e.time) << " " << e.kind << " " << e.target;
+    if (e.seconds != 0.0) out << " stall=" << formatDouble(e.seconds);
+    out << "\n";
+  }
+  if (eventsTruncated_) out << "(truncated at " << kMaxEvents << ")\n";
+  return out.str();
+}
+
+void FaultInjector::attach(configs::ClusterConfig& config) {
+  if (attached_) {
+    throw std::logic_error("FaultInjector::attach called twice");
+  }
+  attached_ = true;
+  storage::Topology& topology = *config.topology;
+  const std::vector<storage::Disk*> disks = topology.allDisks();
+  const std::vector<storage::Node*> nodes = topology.allNodes();
+  std::vector<std::size_t> matched(plan_.rules.size(), 0);
+
+  // Ranks place round-robin over the configuration's compute nodes
+  // (mpi::Runtime uses the same rule), so a `net ... rank=R` rule lands on
+  // the NIC that rank R actually uses.
+  auto rankNode = [&](int rank) -> std::size_t {
+    if (config.computeNodes.empty()) {
+      throw std::invalid_argument("fault plan " + plan_.source +
+                                  ": configuration has no compute nodes");
+    }
+    return config.computeNodes[static_cast<std::size_t>(rank) %
+                               config.computeNodes.size()];
+  };
+
+  // Deterministic attach order — every disk in topology order, then every
+  // node — so the master RNG splits identically for one (plan, seed) no
+  // matter the host or thread count.
+  for (std::size_t d = 0; d < disks.size(); ++d) {
+    auto port = std::make_unique<Port>(*this, disks[d]->params().name,
+                                       master_.split());
+    for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+      const FaultRule& rule = plan_.rules[r];
+      if (rule.target != FaultRule::Target::Disk) continue;
+      if (rule.selector == "*" || rule.selector == disks[d]->params().name ||
+          indexSelector(rule.selector, 'd', d)) {
+        port->addRule(&rule);
+        ++matched[r];
+      }
+    }
+    if (port->hasRules()) {
+      disks[d]->setFaultPort(port.get());
+      ports_.push_back(std::move(port));
+    }
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    auto port =
+        std::make_unique<Port>(*this, nodes[n]->name(), master_.split());
+    for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+      const FaultRule& rule = plan_.rules[r];
+      if (rule.target == FaultRule::Target::Node) {
+        if (rule.selector == "*" || rule.selector == nodes[n]->name() ||
+            indexSelector(rule.selector, 'n', n)) {
+          port->addRule(&rule);
+          ++matched[r];
+        }
+      } else if (rule.target == FaultRule::Target::NetRank) {
+        if (rankNode(rule.rank) == n) {
+          port->addRule(&rule);
+          ++matched[r];
+        }
+      }
+    }
+    if (port->hasRules()) {
+      nodes[n]->setFaultPort(port.get());
+      ports_.push_back(std::move(port));
+    }
+  }
+
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    if (matched[r] != 0) continue;
+    const FaultRule& rule = plan_.rules[r];
+    throw std::invalid_argument(
+        plan_.source + ":" + std::to_string(rule.line) + ": selector '" +
+        (rule.target == FaultRule::Target::NetRank
+             ? "rank=" + std::to_string(rule.rank)
+             : rule.selector) +
+        "' matches nothing in configuration " + config.name);
+  }
+
+  // Recovery wiring on the evaluated mount: the plan's retry policy plus
+  // failover accounting.
+  storage::RecoveryHooks hooks;
+  hooks.policy = &plan_.policy;
+  hooks.onFailover = [this](double now, const std::string& from,
+                            const std::string& to) {
+    ++accounting_.failovers;
+    record(now, "failover", from + "->" + to, 0.0);
+  };
+  topology.fs(config.mount).setRecovery(std::move(hooks));
+}
+
+std::shared_ptr<FaultInjector> installFaults(configs::ClusterConfig& config,
+                                             const FaultPlan& plan,
+                                             std::uint64_t seed) {
+  if (plan.empty()) return nullptr;
+  auto injector = std::make_shared<FaultInjector>(plan, seed);
+  injector->attach(config);
+  config.faults = injector;
+  return injector;
+}
+
+}  // namespace iop::fault

@@ -1,0 +1,94 @@
+// FaultInjector: binds a parsed FaultPlan to one instantiated cluster.
+//
+// attach() resolves the plan's selectors against the configuration's disks,
+// nodes, and rank placement, installs a storage::FaultPort per affected
+// target, and wires StripedFS failover through RecoveryHooks.  Every
+// random decision (transient-error draws, backoff jitter) comes from
+// per-port xoshiro streams split off a master seeded by
+// mix(replicaSeed, hash(plan.canonicalText())) in deterministic attach
+// order — so one (plan, seed) pair reproduces the exact same fault
+// history, retry counts, and Time_io on any host and at any -j.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "storage/faults.hpp"
+#include "util/rng.hpp"
+
+namespace iop::configs {
+struct ClusterConfig;
+}
+
+namespace iop::fault {
+
+/// One injected-fault occurrence, in simulation order.
+struct FaultEvent {
+  double time = 0.0;
+  std::string kind;    ///< "retry", "exhausted", "failover"
+  std::string target;  ///< device/NIC name, or "from->to" for failover
+  double seconds = 0.0;  ///< stall paid (retry) — 0 otherwise
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  /// Install ports + recovery hooks on the configuration's topology.
+  /// Throws std::invalid_argument if a selector matches nothing (a typo'd
+  /// plan should fail loudly, not silently inject nothing).  Call once,
+  /// before the workload runs; the injector must outlive the run.
+  void attach(configs::ClusterConfig& config);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  const storage::RetryPolicy& policy() const noexcept {
+    return plan_.policy;
+  }
+
+  struct Accounting {
+    std::uint64_t retries = 0;     ///< failed attempts that were retried
+    std::uint64_t exhausted = 0;   ///< operations that gave up (IoFault)
+    std::uint64_t failovers = 0;   ///< slices retargeted to another server
+    double stallSeconds = 0.0;     ///< total retry/backoff/timeout stall
+  };
+  const Accounting& accounting() const noexcept { return accounting_; }
+
+  /// Injected-fault history in simulation order (capped; see
+  /// eventsTruncated).  Byte-identical across replicas of one
+  /// (plan, seed) pair — the determinism tests diff this rendering.
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool eventsTruncated() const noexcept { return eventsTruncated_; }
+  std::string renderEventLog() const;
+
+ private:
+  class Port;
+
+  void record(double time, const char* kind, std::string target,
+              double seconds);
+
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+  util::Rng master_;
+  bool attached_ = false;
+  Accounting accounting_;
+  std::vector<FaultEvent> events_;
+  bool eventsTruncated_ = false;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+/// Convenience used by the estimator and tools: construct an injector for
+/// (plan, seed), attach it to `config`, park ownership in
+/// `config.faults`, and return it.  No-op (returns null) for empty plans,
+/// preserving the zero-perturbation fast path.
+std::shared_ptr<FaultInjector> installFaults(configs::ClusterConfig& config,
+                                             const FaultPlan& plan,
+                                             std::uint64_t seed);
+
+}  // namespace iop::fault

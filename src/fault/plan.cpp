@@ -1,0 +1,362 @@
+#include "fault/plan.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace iop::fault {
+
+namespace {
+
+constexpr double kForever = std::numeric_limits<double>::infinity();
+
+std::vector<std::string> splitTokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) out.push_back(token);
+  return out;
+}
+
+class LineParser {
+ public:
+  LineParser(const std::string& sourceName, int line)
+      : sourceName_(sourceName), line_(line) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument(sourceName_ + ":" + std::to_string(line_) +
+                                ": " + message);
+  }
+
+  double number(const std::string& text, const std::string& what) const {
+    double value = 0;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) {
+      fail("bad " + what + " '" + text + "'");
+    }
+    return value;
+  }
+
+  /// "2s" / "500ms" / "3us" / bare seconds.  `relative` (out) is set when
+  /// the value begins with '+'.
+  double time(std::string text, const std::string& what,
+              bool* relative = nullptr) const {
+    if (relative != nullptr) *relative = false;
+    if (!text.empty() && text.front() == '+') {
+      if (relative == nullptr) fail("'" + text + "': '+' not allowed here");
+      *relative = true;
+      text.erase(text.begin());
+    }
+    double scale = 1.0;
+    if (text.size() > 2 && text.compare(text.size() - 2, 2, "ms") == 0) {
+      scale = 1e-3;
+      text.resize(text.size() - 2);
+    } else if (text.size() > 2 &&
+               text.compare(text.size() - 2, 2, "us") == 0) {
+      scale = 1e-6;
+      text.resize(text.size() - 2);
+    } else if (text.size() > 1 && text.back() == 's') {
+      text.pop_back();
+    }
+    const double value = number(text, what);
+    if (value < 0) fail(what + " must be >= 0");
+    return value * scale;
+  }
+
+  /// "x4" / "x1.5" slowdown factor.
+  double factor(const std::string& text) const {
+    if (text.size() < 2 || text.front() != 'x') {
+      fail("expected a slowdown factor like 'x4', got '" + text + "'");
+    }
+    const double value = number(text.substr(1), "factor");
+    if (value < 1.0) fail("slowdown factor must be >= 1");
+    return value;
+  }
+
+  /// Split "key=value"; fails if `=` is missing.
+  std::pair<std::string, std::string> keyValue(const std::string& text) const {
+    const auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == text.size()) {
+      fail("expected key=value, got '" + text + "'");
+    }
+    return {text.substr(0, eq), text.substr(eq + 1)};
+  }
+
+ private:
+  const std::string& sourceName_;
+  int line_;
+};
+
+/// Window / probability options shared by disk/node/net rules.
+void applyRuleOption(const LineParser& p, FaultRule& rule,
+                     const std::string& token) {
+  const auto [key, value] = p.keyValue(token);
+  if (key == "from") {
+    rule.from = p.time(value, "from");
+  } else if (key == "until") {
+    rule.until = p.time(value, "until");
+  } else if (key == "p") {
+    const double prob = p.number(value, "probability");
+    if (prob < 0.0 || prob > 1.0) p.fail("p must be in [0, 1]");
+    rule.probability = prob;
+  } else {
+    p.fail("unknown option '" + key + "'");
+  }
+}
+
+FaultRule parseTargetRule(const LineParser& p, FaultRule::Target target,
+                          const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    p.fail("expected: <disk|node> <selector> <fault> [options]");
+  }
+  FaultRule rule;
+  rule.target = target;
+  rule.selector = tokens[1];
+  rule.until = kForever;
+  const std::string& kind = tokens[2];
+  std::size_t next = 3;
+  if (kind == "transient-error") {
+    rule.kind = FaultRule::Kind::TransientError;
+    rule.probability = 1.0;
+  } else if (kind == "slow") {
+    rule.kind = FaultRule::Kind::Slow;
+    if (next >= tokens.size()) p.fail("slow needs a factor (e.g. x4)");
+    rule.factor = p.factor(tokens[next++]);
+  } else if (kind == "down") {
+    rule.kind = FaultRule::Kind::Down;
+  } else if (kind == "crash") {
+    // Sugar for a down window: crash at=T restart=+D.
+    rule.kind = FaultRule::Kind::Down;
+    double at = 0.0;
+    double restart = kForever;
+    bool haveAt = false;
+    for (; next < tokens.size(); ++next) {
+      const auto [key, value] = p.keyValue(tokens[next]);
+      if (key == "at") {
+        at = p.time(value, "at");
+        haveAt = true;
+      } else if (key == "restart") {
+        bool relative = false;
+        restart = p.time(value, "restart", &relative);
+        if (!relative && haveAt && restart < at) {
+          p.fail("restart before the crash");
+        }
+        if (relative) restart = -restart;  // resolved after `at` is known
+      } else {
+        p.fail("unknown option '" + key + "' for crash");
+      }
+    }
+    if (!haveAt) p.fail("crash needs at=<time>");
+    rule.from = at;
+    rule.until = restart == kForever ? kForever
+                 : restart < 0      ? at - restart
+                                    : restart;
+    if (rule.until <= rule.from) p.fail("restart before the crash");
+    return rule;
+  } else {
+    p.fail("unknown fault '" + kind +
+           "' (expected transient-error, slow, down, or crash)");
+  }
+  for (; next < tokens.size(); ++next) {
+    applyRuleOption(p, rule, tokens[next]);
+  }
+  if (rule.until <= rule.from) p.fail("empty fault window (until <= from)");
+  return rule;
+}
+
+FaultRule parseNetRule(const LineParser& p,
+                       const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    p.fail("expected: net <straggler|transient-error> rank=N [options]");
+  }
+  FaultRule rule;
+  rule.target = FaultRule::Target::NetRank;
+  rule.until = kForever;
+  const std::string& kind = tokens[1];
+  std::size_t next = 2;
+  if (kind == "straggler") {
+    rule.kind = FaultRule::Kind::Slow;
+  } else if (kind == "transient-error") {
+    rule.kind = FaultRule::Kind::TransientError;
+    rule.probability = 1.0;
+  } else {
+    p.fail("unknown net fault '" + kind +
+           "' (expected straggler or transient-error)");
+  }
+  bool haveRank = false;
+  for (; next < tokens.size(); ++next) {
+    const std::string& token = tokens[next];
+    if (token.front() == 'x') {
+      rule.factor = p.factor(token);
+      continue;
+    }
+    const auto [key, value] = p.keyValue(token);
+    if (key == "rank") {
+      const double rank = p.number(value, "rank");
+      if (rank < 0 || rank != static_cast<double>(static_cast<int>(rank))) {
+        p.fail("rank must be a non-negative integer");
+      }
+      rule.rank = static_cast<int>(rank);
+      haveRank = true;
+    } else {
+      applyRuleOption(p, rule, token);
+    }
+  }
+  if (!haveRank) p.fail("net faults need rank=<N>");
+  if (rule.kind == FaultRule::Kind::Slow && rule.factor <= 1.0) {
+    p.fail("straggler needs a factor (e.g. x4)");
+  }
+  if (rule.until <= rule.from) p.fail("empty fault window (until <= from)");
+  return rule;
+}
+
+void parsePolicy(const LineParser& p, storage::RetryPolicy& policy,
+                 const std::vector<std::string>& tokens) {
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto [key, value] = p.keyValue(tokens[i]);
+    if (key == "timeout") {
+      policy.timeoutSec = p.time(value, "timeout");
+    } else if (key == "retries") {
+      const double n = p.number(value, "retries");
+      if (n < 0 || n != static_cast<double>(static_cast<int>(n))) {
+        p.fail("retries must be a non-negative integer");
+      }
+      policy.maxRetries = static_cast<int>(n);
+    } else if (key == "backoff") {
+      policy.backoffBaseSec = p.time(value, "backoff");
+    } else if (key == "max-backoff") {
+      policy.backoffMaxSec = p.time(value, "max-backoff");
+    } else if (key == "jitter") {
+      const double j = p.number(value, "jitter");
+      if (j < 0.0 || j >= 1.0) p.fail("jitter must be in [0, 1)");
+      policy.jitter = j;
+    } else if (key == "failover") {
+      if (value == "on") {
+        policy.failover = true;
+      } else if (value == "off") {
+        policy.failover = false;
+      } else {
+        p.fail("failover must be on or off");
+      }
+    } else {
+      p.fail("unknown policy knob '" + key + "'");
+    }
+  }
+}
+
+std::string renderTime(double t) {
+  return t == kForever ? "forever" : formatDouble(t) + "s";
+}
+
+}  // namespace
+
+/// Same scheme as the sweep store's number rendering, so plan identities
+/// and event logs are stable across platforms.
+std::string formatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = std::strtod(buf, nullptr);
+  if (back == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[40];
+      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+      if (std::strtod(shorter, nullptr) == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+std::string FaultPlan::canonicalText() const {
+  std::ostringstream out;
+  out << "faultplan v1\n";
+  out << "policy timeout=" << formatDouble(policy.timeoutSec)
+      << "s retries=" << policy.maxRetries
+      << " backoff=" << formatDouble(policy.backoffBaseSec)
+      << "s max-backoff=" << formatDouble(policy.backoffMaxSec)
+      << "s jitter=" << formatDouble(policy.jitter)
+      << " failover=" << (policy.failover ? "on" : "off") << "\n";
+  for (const FaultRule& rule : rules) {
+    switch (rule.target) {
+      case FaultRule::Target::Disk:
+        out << "disk " << rule.selector;
+        break;
+      case FaultRule::Target::Node:
+        out << "node " << rule.selector;
+        break;
+      case FaultRule::Target::NetRank:
+        out << "net rank=" << rule.rank;
+        break;
+    }
+    switch (rule.kind) {
+      case FaultRule::Kind::TransientError:
+        out << " transient-error p=" << formatDouble(rule.probability);
+        break;
+      case FaultRule::Kind::Slow:
+        out << " slow x" << formatDouble(rule.factor);
+        break;
+      case FaultRule::Kind::Down:
+        out << " down";
+        break;
+    }
+    out << " from=" << renderTime(rule.from)
+        << " until=" << renderTime(rule.until) << "\n";
+  }
+  return out.str();
+}
+
+FaultPlan parseFaultPlan(const std::string& text,
+                         const std::string& sourceName) {
+  FaultPlan plan;
+  plan.source = sourceName;
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto tokens = splitTokens(line);
+    if (tokens.empty()) continue;
+    const LineParser p(sourceName, lineNo);
+    const std::string& directive = tokens[0];
+    if (directive == "policy") {
+      parsePolicy(p, plan.policy, tokens);
+    } else if (directive == "disk") {
+      FaultRule rule = parseTargetRule(p, FaultRule::Target::Disk, tokens);
+      rule.line = lineNo;
+      plan.rules.push_back(std::move(rule));
+    } else if (directive == "node") {
+      FaultRule rule = parseTargetRule(p, FaultRule::Target::Node, tokens);
+      rule.line = lineNo;
+      plan.rules.push_back(std::move(rule));
+    } else if (directive == "net") {
+      FaultRule rule = parseNetRule(p, tokens);
+      rule.line = lineNo;
+      plan.rules.push_back(std::move(rule));
+    } else {
+      p.fail("unknown directive '" + directive +
+             "' (expected policy, disk, node, or net)");
+    }
+  }
+  return plan;
+}
+
+FaultPlan loadFaultPlan(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read fault plan: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseFaultPlan(buffer.str(), path.string());
+}
+
+}  // namespace iop::fault

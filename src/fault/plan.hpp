@@ -1,0 +1,77 @@
+// Declarative fault plans: a small text format describing *when* and
+// *where* the simulated I/O subsystem misbehaves.
+//
+//   # comments and blank lines are ignored
+//   policy timeout=0.5s retries=8 backoff=2ms jitter=0.25 failover=on
+//   disk d0 transient-error p=0.01 from=2s until=10s
+//   disk *  slow x2 from=4s
+//   disk raid5-d1 down from=3s until=6s
+//   node n3 crash at=5s restart=+2s
+//   net straggler rank=7 x4 from=1s
+//
+// Selectors: `*` matches every target of the kind; `dN`/`nN` selects the
+// N-th disk/node of the attached configuration; anything else matches a
+// device/node name exactly.  Times accept `s`/`ms`/`us` suffixes (bare
+// numbers are seconds); `restart=+2s` is relative to `at`.  Parsing is
+// strict — malformed lines fail with `file:line:` diagnostics, never
+// silently skip.
+//
+// Determinism contract: a plan's canonicalText() plus a replica seed fully
+// determine every injected fault, retry, backoff-jitter draw, and failover
+// in a run (see docs/FAULTS.md).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/faults.hpp"
+
+namespace iop::fault {
+
+struct FaultRule {
+  enum class Target { Disk, Node, NetRank };
+  enum class Kind { TransientError, Slow, Down };
+
+  Target target = Target::Disk;
+  Kind kind = Kind::Slow;
+  std::string selector;      ///< name, dN/nN index, or "*" (unused for rank)
+  int rank = -1;             ///< NetRank only
+  double probability = 0.0;  ///< TransientError: per-attempt failure rate
+  double factor = 1.0;       ///< Slow: service-time multiplier (>= 1)
+  double from = 0.0;         ///< window start (inclusive), sim seconds
+  double until = 0.0;        ///< window end (exclusive); +inf = forever
+  int line = 0;              ///< 1-based source line (diagnostics)
+
+  bool activeAt(double now) const noexcept {
+    return now >= from && now < until;
+  }
+};
+
+struct FaultPlan {
+  std::string source;  ///< file path or label the plan was parsed from
+  storage::RetryPolicy policy;
+  std::vector<FaultRule> rules;
+
+  bool empty() const noexcept { return rules.empty(); }
+
+  /// Normalized re-rendering: whitespace- and comment-insensitive, with
+  /// shortest-round-trip numbers.  This is the plan's identity for cache
+  /// keys and for seeding the injector's RNG streams.
+  std::string canonicalText() const;
+};
+
+/// Parse a plan from text.  `sourceName` labels diagnostics ("plan.fault:3:
+/// ...").  Throws std::invalid_argument on any malformed line.
+FaultPlan parseFaultPlan(const std::string& text,
+                         const std::string& sourceName);
+
+/// Read + parse a plan file.  Throws std::runtime_error if unreadable.
+FaultPlan loadFaultPlan(const std::filesystem::path& path);
+
+/// Shortest decimal that round-trips the exact double; the number format
+/// used by canonicalText() and the injector's event log.
+std::string formatDouble(double v);
+
+}  // namespace iop::fault

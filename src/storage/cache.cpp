@@ -36,12 +36,36 @@ sim::Task<void> PageCache::flusherLoop() {
     flushCursor_ = offset + take;
 
     flushInFlight_ = take;
-    co_await device_.access(offset, take, IoOp::Write);
+    bool faulted = false;
+    try {
+      co_await device_.access(offset, take, IoOp::Write);
+    } catch (const IoFault& e) {
+      // The device-level retry loop is already exhausted: the device is
+      // gone for good.  Drop the dirty data (it is unrecoverable), mark
+      // the cache failed, and wake everyone so blocked writers and
+      // flushAll() waiters observe the error instead of hanging forever.
+      faulted = true;
+      failed_ = true;
+      failedTarget_ = e.target();
+      failedWhat_ = std::string(e.what()) + " (write-back flush lost " +
+                    std::to_string(dirtyBytes()) + " dirty bytes)";
+    }
     flushInFlight_ = 0;
+    if (faulted) {
+      dirty_.clear();
+      obsSampleDirty();
+      spaceCv_.notifyAll();
+      idleCv_.notifyAll();
+      break;
+    }
     obsSampleDirty();
     spaceCv_.notifyAll();
     if (dirtyBytes() == 0) idleCv_.notifyAll();
   }
+}
+
+void PageCache::throwFailed() const {
+  throw IoFault(failedTarget_, failedWhat_);
 }
 
 /// Throttled "dirty bytes" counter track: shows the write-back backlog that
@@ -103,14 +127,28 @@ sim::Task<void> PageCache::write(std::uint64_t offset, std::uint64_t size,
                                  std::int64_t cause) {
   const std::int64_t act = obsBegin(size, cause);
   const std::int64_t down = act >= 0 ? act : cause;
+  if (failed_) {
+    obsEnd(act);
+    throwFailed();
+  }
   if (!params_.enabled) {
-    co_await device_.access(offset, size, IoOp::Write, down);
+    try {
+      co_await device_.access(offset, size, IoOp::Write, down);
+    } catch (...) {
+      obsEnd(act);
+      throw;
+    }
     obsEnd(act);
     co_return;
   }
   co_await engine_.delay(static_cast<double>(size) / params_.memBandwidth);
   if (params_.writeThrough) {
-    co_await device_.access(offset, size, IoOp::Write, down);
+    try {
+      co_await device_.access(offset, size, IoOp::Write, down);
+    } catch (...) {
+      obsEnd(act);
+      throw;
+    }
     resident_.insert(offset, offset + size);
     fifo_.emplace_back(offset, offset + size);
     evictIfNeeded();
@@ -119,6 +157,10 @@ sim::Task<void> PageCache::write(std::uint64_t offset, std::uint64_t size,
   }
   while (dirtyBytes() + size > dirtyLimit()) {
     co_await spaceCv_.wait();
+    if (failed_) {
+      obsEnd(act);
+      throwFailed();
+    }
   }
   dirty_.insert(offset, offset + size);
   resident_.insert(offset, offset + size);
@@ -133,8 +175,17 @@ sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size,
                                 std::int64_t cause) {
   const std::int64_t act = obsBegin(size, cause);
   const std::int64_t down = act >= 0 ? act : cause;
+  if (failed_) {
+    obsEnd(act);
+    throwFailed();
+  }
   if (!params_.enabled) {
-    co_await device_.access(offset, size, IoOp::Read, down);
+    try {
+      co_await device_.access(offset, size, IoOp::Read, down);
+    } catch (...) {
+      obsEnd(act);
+      throw;
+    }
     obsEnd(act);
     co_return;
   }
@@ -149,16 +200,21 @@ sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size,
   if (!gaps.empty()) {
     // If the request is mostly uncached, fetch it as one spanning device
     // read (read coalescing); otherwise fetch each gap.
-    if (missBytes * 4 >= size * 3) {
-      const std::uint64_t b = gaps.front().first;
-      const std::uint64_t e = gaps.back().second;
-      co_await device_.access(b, e - b, IoOp::Read, down);
-    } else {
-      std::vector<sim::Task<void>> fetches;
-      for (const auto& [b, e] : gaps) {
-        fetches.push_back(device_.access(b, e - b, IoOp::Read, down));
+    try {
+      if (missBytes * 4 >= size * 3) {
+        const std::uint64_t b = gaps.front().first;
+        const std::uint64_t e = gaps.back().second;
+        co_await device_.access(b, e - b, IoOp::Read, down);
+      } else {
+        std::vector<sim::Task<void>> fetches;
+        for (const auto& [b, e] : gaps) {
+          fetches.push_back(device_.access(b, e - b, IoOp::Read, down));
+        }
+        co_await sim::whenAll(engine_, std::move(fetches));
       }
-      co_await sim::whenAll(engine_, std::move(fetches));
+    } catch (...) {
+      obsEnd(act);
+      throw;
     }
     for (const auto& [b, e] : gaps) {
       resident_.insert(b, e);
@@ -173,9 +229,11 @@ sim::Task<void> PageCache::read(std::uint64_t offset, std::uint64_t size,
 
 sim::Task<void> PageCache::flushAll() {
   if (!params_.enabled) co_return;
+  if (failed_) throwFailed();
   dirtyCv_.notifyAll();
   while (dirtyBytes() > 0) {
     co_await idleCv_.wait();
+    if (failed_) throwFailed();  // fsync reports the lost write-back (EIO)
   }
 }
 

@@ -72,6 +72,10 @@ class PageCache {
   std::uint64_t readHitBytes() const noexcept { return readHitBytes_; }
   std::uint64_t readMissBytes() const noexcept { return readMissBytes_; }
 
+  /// True once the backing device exhausted its retries under fault
+  /// injection; every subsequent write/read/flush throws IoFault.
+  bool failed() const noexcept { return failed_; }
+
  private:
   sim::Task<void> flusherLoop();
   void evictIfNeeded();
@@ -101,6 +105,15 @@ class PageCache {
   sim::CondVar idleCv_;    // flushAll waits for full drain
 
   bool shutdown_ = false;
+
+  // Set when the flusher's device write exhausted its retries: the cache
+  // is permanently broken, dirty data is lost, and foreground requests
+  // surface the stored error instead of touching the dead device.
+  bool failed_ = false;
+  std::string failedTarget_;
+  std::string failedWhat_;
+
+  [[noreturn]] void throwFailed() const;
 
   std::uint64_t readHitBytes_ = 0;
   std::uint64_t readMissBytes_ = 0;

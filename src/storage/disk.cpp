@@ -53,6 +53,44 @@ sim::Task<void> Disk::access(std::uint64_t offset, std::uint64_t size,
     }
   }
   co_await arm_.acquire();
+  // Fault injection: consult the port before each attempt.  The null-port
+  // fast path takes the first branch immediately with slowFactor 1.0 —
+  // no RNG draws, no extra awaits, bit-identical to an uninstrumented run.
+  double slow = 1.0;
+  if (fault_ != nullptr) {
+    int attempt = 0;
+    for (;;) {
+      const FaultVerdict verdict = fault_->onAttempt(engine_.now(), op, size);
+      if (verdict.kind == FaultVerdict::Kind::Ok) {
+        slow = verdict.slowFactor;
+        break;
+      }
+      const RetryPolicy& policy = fault_->policy();
+      // A down device burns the full per-attempt timeout; a transient
+      // error fails fast after the controller overhead.
+      const double cost = verdict.kind == FaultVerdict::Kind::Down
+                              ? policy.timeoutSec
+                              : params_.perRequestOverhead * degradation_;
+      if (attempt >= policy.maxRetries) {
+        ++counters_.faultEvents;
+        co_await engine_.delay(cost);
+        arm_.release();
+        fault_->noteExhausted(engine_.now());
+        if (obs::Hub* o = engine_.obs(); o != nullptr && o->edges != nullptr) {
+          o->edges->end(act, engine_.now());
+        }
+        throw IoFault(params_.name,
+                      "disk " + params_.name + ": I/O error after " +
+                          std::to_string(attempt + 1) + " attempts");
+      }
+      const double stall =
+          cost + backoffDelay(policy, attempt, fault_->backoffDraw());
+      ++counters_.retryEvents;
+      co_await engine_.delay(stall);
+      fault_->noteRetry(engine_.now(), stall);
+      ++attempt;
+    }
+  }
   // Evaluate sequentiality after queueing: the arm position is whatever the
   // previous request left behind.
   const double t = serviceTime(offset, size, op);
@@ -67,7 +105,7 @@ sim::Task<void> Disk::access(std::uint64_t offset, std::uint64_t size,
     counters_.bytesWritten += size;
   }
   const double start = engine_.now();
-  co_await engine_.delay(t);
+  co_await engine_.delay(t * slow);
   arm_.release();
   if (obs::Hub* o = engine_.obs(); o != nullptr) {
     const bool read = op == IoOp::Read;

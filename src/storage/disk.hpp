@@ -17,6 +17,7 @@
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "storage/faults.hpp"
 
 namespace iop::storage {
 
@@ -41,6 +42,8 @@ struct DiskCounters {
   std::uint64_t bytesRead = 0;
   std::uint64_t bytesWritten = 0;
   std::uint64_t positionEvents = 0;  ///< requests that paid a seek
+  std::uint64_t retryEvents = 0;     ///< failed attempts that were retried
+  std::uint64_t faultEvents = 0;     ///< requests that exhausted retries
 
   std::uint64_t sectorsRead() const noexcept {
     return bytesRead / kSectorBytes;
@@ -79,6 +82,12 @@ class Disk {
   void setDegradation(double factor);
   double degradation() const noexcept { return degradation_; }
 
+  /// Fault injection: consult `port` before every attempt (null detaches;
+  /// the default).  The port outlives the disk's workload — it is owned by
+  /// the fault::FaultInjector attached to the cluster.
+  void setFaultPort(FaultPort* port) noexcept { fault_ = port; }
+  FaultPort* faultPort() const noexcept { return fault_; }
+
  private:
   bool isSequential(std::uint64_t offset) const noexcept;
 
@@ -89,6 +98,7 @@ class Disk {
   std::uint64_t lastEnd_ = 0;
   bool touched_ = false;
   double degradation_ = 1.0;
+  FaultPort* fault_ = nullptr;
   int obsTrack_ = -1;  ///< cached trace track id (lazily registered)
   bool queueWarned_ = false;  ///< saturation warning fired once per disk
 };

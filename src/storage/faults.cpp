@@ -1,0 +1,17 @@
+#include "storage/faults.hpp"
+
+#include <algorithm>
+
+namespace iop::storage {
+
+double backoffDelay(const RetryPolicy& policy, int attempt, double draw) {
+  double delay = policy.backoffBaseSec;
+  for (int i = 0; i < attempt && delay < policy.backoffMaxSec; ++i) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, policy.backoffMaxSec);
+  // draw in [0,1) -> jitter factor in [1 - jitter, 1 + jitter).
+  return delay * (1.0 + policy.jitter * (2.0 * draw - 1.0));
+}
+
+}  // namespace iop::storage

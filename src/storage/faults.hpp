@@ -1,0 +1,84 @@
+// Fault-injection hook points for the storage and network layers.
+//
+// The storage stack stays ignorant of fault *plans* (src/fault parses and
+// schedules those); it only knows how to consult an abstract FaultPort
+// before each device/NIC attempt and how to recover: bounded retry with
+// exponential backoff + jitter, a per-attempt timeout while a target is
+// down, and an IoFault once retries are exhausted.  A null port is the
+// fast path — no RNG draws, no extra awaits, bit-identical behaviour to a
+// build without fault injection (the zero-perturbation gate).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace iop::storage {
+
+enum class IoOp;  // disk.hpp
+
+/// Recovery knobs shared by every layer that retries (disk arm, NIC
+/// transfer, striped-FS failover).  One instance per fault plan; the
+/// `policy` directive in a plan overrides fields.
+struct RetryPolicy {
+  double timeoutSec = 0.5;    ///< charged per attempt against a down target
+  int maxRetries = 8;         ///< retries after the first attempt
+  double backoffBaseSec = 2.0e-3;  ///< first retry delay (doubles per retry)
+  double backoffMaxSec = 0.5;      ///< exponential backoff cap
+  double jitter = 0.25;       ///< +/- fraction of the backoff, seeded
+  bool failover = true;       ///< striped FS may retarget surviving servers
+};
+
+/// EIO in simulation form: an operation that exhausted its retries.  The
+/// target names the device/NIC that failed so blame tables and failover
+/// logs stay readable.
+class IoFault : public std::runtime_error {
+ public:
+  IoFault(std::string target, const std::string& what)
+      : std::runtime_error(what), target_(std::move(target)) {}
+  const std::string& target() const noexcept { return target_; }
+
+ private:
+  std::string target_;
+};
+
+/// What the injector decided about one attempt.
+struct FaultVerdict {
+  enum class Kind {
+    Ok,              ///< proceed (possibly slowed)
+    TransientError,  ///< this attempt fails fast (media error, dropped RPC)
+    Down,            ///< target is offline; the attempt burns the timeout
+  };
+  Kind kind = Kind::Ok;
+  double slowFactor = 1.0;  ///< >= 1; straggler/latency-spike multiplier
+};
+
+/// Per-target hook installed by fault::FaultInjector.  All methods are
+/// called from simulation coroutines (single-threaded per engine).
+class FaultPort {
+ public:
+  virtual ~FaultPort() = default;
+
+  /// Consulted immediately before each attempt at sim time `now`.
+  virtual FaultVerdict onAttempt(double now, IoOp op,
+                                 std::uint64_t bytes) = 0;
+
+  virtual const RetryPolicy& policy() const = 0;
+
+  /// Deterministic uniform draw in [0, 1) from the port's private seeded
+  /// stream; consumed only for backoff jitter on failed attempts.
+  virtual double backoffDraw() = 0;
+
+  /// Accounting: a failed attempt that will be retried after `stallSec`.
+  virtual void noteRetry(double now, double stallSec) = 0;
+
+  /// Accounting: retries exhausted; an IoFault is about to be thrown.
+  virtual void noteExhausted(double now) = 0;
+};
+
+/// Backoff before retry number `attempt` (0-based): exponential growth
+/// capped at backoffMaxSec, with seeded jitter spreading retries so lock-
+/// step clients do not re-collide.  `draw` is uniform in [0, 1).
+double backoffDelay(const RetryPolicy& policy, int attempt, double draw);
+
+}  // namespace iop::storage

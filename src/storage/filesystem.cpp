@@ -118,13 +118,45 @@ sim::Task<void> StripedFS::striped(Node& client, int fileId,
   std::vector<sim::Task<void>> ops;
   for (std::size_t i = 0; i < slices.size(); ++i) {
     if (!slices[i].touched) continue;
-    IoServer* server =
-        dataServers_[static_cast<std::size_t>(
-            (first + static_cast<int>(i)) % total)];
-    ops.push_back(perServer(client, *server, slices[i].firstOffset,
-                            slices[i].bytes, op, cause));
+    const std::size_t serverIdx = static_cast<std::size_t>(
+        (first + static_cast<int>(i)) % total);
+    ops.push_back(
+        recovery_.policy != nullptr
+            ? perServerWithFailover(client, serverIdx,
+                                    slices[i].firstOffset, slices[i].bytes,
+                                    op, cause)
+            : perServer(client, *dataServers_[serverIdx],
+                        slices[i].firstOffset, slices[i].bytes, op, cause));
   }
   co_await sim::whenAll(engine_, std::move(ops));
+}
+
+sim::Task<void> StripedFS::perServerWithFailover(
+    Node& client, std::size_t serverIdx, std::uint64_t offset,
+    std::uint64_t size, IoOp op, std::int64_t cause) {
+  // Failover models replica redirection cost in *time* only: the slice's
+  // server-local offsets are replayed verbatim on the replacement, which
+  // keeps sequentiality modelling intact without tracking placement.
+  const std::size_t total = dataServers_.size();
+  std::size_t tried = 0;
+  std::size_t idx = serverIdx;
+  for (;;) {
+    std::string failedNode;
+    try {
+      co_await perServer(client, *dataServers_[idx], offset, size, op,
+                         cause);
+      co_return;
+    } catch (const IoFault&) {
+      ++tried;
+      if (!recovery_.policy->failover || tried >= total) throw;
+      failedNode = dataServers_[idx]->node().name();
+    }
+    idx = (idx + 1) % total;
+    if (recovery_.onFailover) {
+      recovery_.onFailover(engine_.now(), failedNode,
+                           dataServers_[idx]->node().name());
+    }
+  }
 }
 
 sim::Task<void> StripedFS::perServer(Node& client, IoServer& server,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,10 +18,21 @@
 
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
+#include "storage/faults.hpp"
 #include "storage/network.hpp"
 #include "storage/server.hpp"
 
 namespace iop::storage {
+
+/// Recovery wiring installed by fault::FaultInjector: the retry policy of
+/// the active fault plan (null = no plan attached, take the unmodified
+/// fast path) and a callback for failover accounting.
+struct RecoveryHooks {
+  const RetryPolicy* policy = nullptr;
+  /// (sim time, failed server node, replacement server node)
+  std::function<void(double, const std::string&, const std::string&)>
+      onFailover;
+};
 
 class FileSystem {
  public:
@@ -54,7 +66,12 @@ class FileSystem {
 
   virtual std::string describe() const = 0;
 
+  /// Attach (or detach, with a default-constructed value) recovery wiring.
+  void setRecovery(RecoveryHooks hooks) { recovery_ = std::move(hooks); }
+  const RecoveryHooks& recovery() const noexcept { return recovery_; }
+
  protected:
+  RecoveryHooks recovery_;
   /// Per-server window base for a file; lazily assigns a fresh window.
   std::uint64_t fileBase(int fileId);
 
@@ -131,6 +148,14 @@ class StripedFS final : public FileSystem {
   sim::Task<void> perServer(Node& client, IoServer& server,
                             std::uint64_t offset, std::uint64_t size,
                             IoOp op, std::int64_t cause);
+  /// perServer plus graceful degradation: on IoFault, retarget the slice
+  /// at the next surviving data server (when the active recovery policy
+  /// allows failover), else rethrow.  Only instantiated when a fault plan
+  /// is attached, so healthy runs keep the exact legacy task tree.
+  sim::Task<void> perServerWithFailover(Node& client, std::size_t serverIdx,
+                                        std::uint64_t offset,
+                                        std::uint64_t size, IoOp op,
+                                        std::int64_t cause);
   int effectiveStripeCount() const noexcept;
   /// First server index for a file (round-robin placement by fileId).
   int firstServer(int fileId) const noexcept;

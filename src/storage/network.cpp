@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/hub.hpp"
+#include "storage/disk.hpp"  // IoOp definition for fault-port attempts
 
 namespace iop::storage {
 
@@ -46,10 +47,64 @@ sim::Task<void> transfer(sim::Engine& engine, Node& src, Node& dst,
   }
   co_await src.tx().acquire();
   co_await dst.rx().acquire();
+  // Fault injection: either endpoint's port can fail or slow the transfer.
+  // With both ports null (the default) this loop body never runs and the
+  // path below is bit-identical to an uninstrumented build.
+  double slow = 1.0;
+  if (src.faultPort() != nullptr || dst.faultPort() != nullptr) {
+    int attempt = 0;
+    for (;;) {
+      FaultVerdict worst{};
+      FaultPort* blame = nullptr;
+      Node* blameNode = nullptr;
+      for (Node* endpoint : {&src, &dst}) {
+        FaultPort* port = endpoint->faultPort();
+        if (port == nullptr) continue;
+        const FaultVerdict v =
+            port->onAttempt(engine.now(), IoOp::Write, bytes);
+        worst.slowFactor = std::max(worst.slowFactor, v.slowFactor);
+        if (static_cast<int>(v.kind) > static_cast<int>(worst.kind)) {
+          worst.kind = v.kind;
+          blame = port;
+          blameNode = endpoint;
+        }
+      }
+      if (worst.kind == FaultVerdict::Kind::Ok) {
+        slow = worst.slowFactor;
+        break;
+      }
+      const RetryPolicy& policy = blame->policy();
+      const double cost = worst.kind == FaultVerdict::Kind::Down
+                              ? policy.timeoutSec
+                              : src.link().perMessageOverhead;
+      if (attempt >= policy.maxRetries) {
+        co_await engine.delay(cost);
+        dst.rx().release();
+        src.tx().release();
+        blame->noteExhausted(engine.now());
+        if (act >= 0) {
+          if (obs::Hub* o = engine.obs();
+              o != nullptr && o->edges != nullptr) {
+            o->edges->end(act, engine.now());
+          }
+        }
+        throw IoFault(blameNode->name(),
+                      "nic " + blameNode->name() + ": transfer " +
+                          src.name() + "->" + dst.name() + " failed after " +
+                          std::to_string(attempt + 1) + " attempts");
+      }
+      const double stall =
+          cost + backoffDelay(policy, attempt, blame->backoffDraw());
+      co_await engine.delay(stall);
+      blame->noteRetry(engine.now(), stall);
+      ++attempt;
+    }
+  }
   const double bw = std::min(src.link().bandwidth, dst.link().bandwidth);
   // A degraded endpoint slows the whole transfer (the path runs at the
   // slowest NIC); loopback copies never touch a NIC and stay unscaled.
-  const double degrade = std::max(src.degradation(), dst.degradation());
+  const double degrade =
+      std::max(src.degradation(), dst.degradation()) * slow;
   const double t = (src.link().latency + src.link().perMessageOverhead +
                     dst.link().perMessageOverhead +
                     static_cast<double>(bytes) / bw) *

@@ -16,6 +16,7 @@
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "storage/faults.hpp"
 
 namespace iop::storage {
 
@@ -52,6 +53,12 @@ class Node {
   void setDegradation(double factor);
   double degradation() const noexcept { return degradation_; }
 
+  /// Fault injection: consult `port` before every transfer touching this
+  /// NIC (null detaches; the default).  Crash windows and stragglers from
+  /// a fault plan arrive through here.
+  void setFaultPort(FaultPort* port) noexcept { fault_ = port; }
+  FaultPort* faultPort() const noexcept { return fault_; }
+
  private:
   int id_;
   std::string name_;
@@ -59,6 +66,7 @@ class Node {
   sim::Resource tx_;
   sim::Resource rx_;
   double degradation_ = 1.0;
+  FaultPort* fault_ = nullptr;
 };
 
 /// Point-to-point transfer of `bytes` from src to dst.  Same-node transfers

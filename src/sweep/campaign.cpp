@@ -174,6 +174,15 @@ std::string CampaignSpec::canonicalText() const {
   out << "degrade-net";
   for (double v : degradeNet) out << " " << fmtFactor(v);
   out << "\n";
+  // Fault lines only when the axis was actually declared: a campaign
+  // without them must canonicalize byte-identically to pre-fault stores.
+  if (hasFaultAxis()) {
+    for (const auto& f : faults) {
+      out << "faultplan " << f.label
+          << (f.none() ? std::string(" none") : " file=" + f.path) << "\n";
+    }
+    out << "fault-seeds " << faultSeeds << "\n";
+  }
   out << "characterize "
       << (characterize.fromFile ? "file=" + characterize.path
                                 : characterize.name)
@@ -188,6 +197,8 @@ CampaignSpec parseCampaign(const std::string& text,
   spec.characterize.label = "A";
   bool sawDegradeDisks = false;
   bool sawDegradeNet = false;
+  bool sawFaultPlan = false;
+  bool sawFaultSeeds = false;
 
   std::istringstream in(text);
   std::string line;
@@ -251,6 +262,33 @@ CampaignSpec parseCampaign(const std::string& text,
       if (sawDegradeNet) fail(lineNo, "duplicate degrade-net");
       sawDegradeNet = true;
       spec.degradeNet = parseFactors(lineNo, tokens);
+    } else if (directive == "faultplan") {
+      if (tokens.size() < 2) fail(lineNo, "faultplan <none | file=path>");
+      // The first faultplan line replaces the implicit healthy default;
+      // declare `faultplan none` explicitly to keep the baseline cells.
+      if (!sawFaultPlan) spec.faults.clear();
+      sawFaultPlan = true;
+      FaultSource f;
+      if (tokens[1] == "none") {
+        f.label = "none";
+      } else if (tokens[1].rfind("file=", 0) == 0) {
+        f.path = resolvePath(baseDir, tokens[1].substr(5));
+        f.label = stem(f.path);
+      } else {
+        fail(lineNo, "faultplan wants 'none' or 'file=<path>', got '" +
+                         tokens[1] + "'");
+      }
+      spec.faults.push_back(std::move(f));
+    } else if (directive == "fault-seeds") {
+      if (sawFaultSeeds) fail(lineNo, "duplicate fault-seeds");
+      sawFaultSeeds = true;
+      if (tokens.size() != 2) fail(lineNo, "fault-seeds <count>");
+      try {
+        spec.faultSeeds = std::stoi(tokens[1]);
+      } catch (const std::exception&) {
+        fail(lineNo, "bad fault-seeds '" + tokens[1] + "'");
+      }
+      if (spec.faultSeeds < 1) fail(lineNo, "fault-seeds must be >= 1");
     } else if (directive == "multiop") {
       spec.multiop = true;
     } else if (directive == "characterize") {
@@ -278,6 +316,14 @@ CampaignSpec parseCampaign(const std::string& text,
   std::vector<std::string*> configLabels;
   for (auto& c : spec.configs) configLabels.push_back(&c.label);
   disambiguate(configLabels);
+  if (spec.faults.empty()) {
+    throw std::invalid_argument(
+        "campaign: faultplan lines replaced the healthy default but "
+        "declared no entries");
+  }
+  std::vector<std::string*> faultLabels;
+  for (auto& f : spec.faults) faultLabels.push_back(&f.label);
+  disambiguate(faultLabels);
   return spec;
 }
 
@@ -434,6 +480,17 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
   for (const auto& src : spec.configs) {
     out.configs.push_back(resolveConfig(src));
   }
+  for (const auto& src : spec.faults) {
+    ResolvedFault f;
+    f.label = src.label;
+    if (!src.none()) {
+      // Parse now so a typo'd plan fails the whole campaign with a
+      // file:line diagnostic instead of failing every faulted cell.
+      f.plan = fault::loadFaultPlan(src.path);
+      f.planText = f.plan.canonicalText();
+    }
+    out.faults.push_back(std::move(f));
+  }
   return out;
 }
 
@@ -447,7 +504,8 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
 std::string cellKey(const char* estimatorVersion,
                     const std::string& modelText,
                     const std::string& configIdentity, double degradeDisks,
-                    double degradeNet) {
+                    double degradeNet, const std::string& faultPlanText,
+                    std::uint64_t faultSeed) {
   ContentHash h;
   h.update("iop-sweep/1");
   h.update(estimatorVersion);
@@ -455,6 +513,12 @@ std::string cellKey(const char* estimatorVersion,
   h.update(configIdentity);
   h.update("dd=" + fmtFactor(degradeDisks));
   h.update("dn=" + fmtFactor(degradeNet));
+  // Fault fields enter the hash only for faulted cells: unfaulted keys
+  // must match every store written before the fault axis existed.
+  if (!faultPlanText.empty()) {
+    h.update("fault=" + faultPlanText);
+    h.update("fault-seed=" + std::to_string(faultSeed));
+  }
   return h.hex();
 }
 
@@ -464,15 +528,29 @@ std::vector<CellSpec> ResolvedCampaign::planCells() const {
     for (std::size_t ci = 0; ci < configs.size(); ++ci) {
       for (double dd : spec.degradeDisks) {
         for (double dn : spec.degradeNet) {
-          CellSpec cell;
-          cell.modelIndex = mi;
-          cell.configIndex = ci;
-          cell.degradeDisks = dd;
-          cell.degradeNet = dn;
-          cell.key = cellKey(spec.estimatorVersion(),
-                             models[mi].contentText, configs[ci].identity,
-                             dd, dn);
-          cells.push_back(std::move(cell));
+          for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            // The healthy entry is one cell with the legacy key; a plan
+            // entry fans out into fault-seeds deterministic replicas.
+            const std::uint64_t replicas =
+                faults[fi].none()
+                    ? 1
+                    : static_cast<std::uint64_t>(spec.faultSeeds);
+            for (std::uint64_t s = 1; s <= replicas; ++s) {
+              CellSpec cell;
+              cell.modelIndex = mi;
+              cell.configIndex = ci;
+              cell.degradeDisks = dd;
+              cell.degradeNet = dn;
+              cell.faultIndex = fi;
+              cell.faultSeed = faults[fi].none() ? 0 : s;
+              cell.key = cellKey(
+                  faults[fi].none() ? spec.estimatorVersion()
+                                    : kFaultEstimatorVersion,
+                  models[mi].contentText, configs[ci].identity, dd, dn,
+                  faults[fi].planText, cell.faultSeed);
+              cells.push_back(std::move(cell));
+            }
+          }
         }
       }
     }
@@ -487,6 +565,10 @@ std::string ResolvedCampaign::cellTitle(const CellSpec& cell) const {
     title += " dd=" + fmtFactor(cell.degradeDisks);
   }
   if (cell.degradeNet != 1.0) title += " dn=" + fmtFactor(cell.degradeNet);
+  if (cell.faulted()) {
+    title += " fault=" + faults[cell.faultIndex].label + " seed=" +
+             std::to_string(cell.faultSeed);
+  }
   return title;
 }
 

@@ -12,11 +12,17 @@
 //   config-file clusters/ssd-nas.conf
 //   degrade-disks 1 4                  # fault grid (default: 1)
 //   degrade-net 1 2
+//   faultplan none                     # fault axis entry (repeatable)
+//   faultplan file=plans/flaky.plan    # seeded fault-injection plan
+//   fault-seeds 3                      # replicas per faulted plan entry
 //   multiop                            # exact-cycle multi-op replay
 //
-// Cells = models x configs x degrade-disks x degrade-net, in exactly that
-// (declaration) order — the campaign's canonical cell order, which the
-// executor commits results in regardless of worker count.
+// Cells = models x configs x degrade-disks x degrade-net x faultplans
+// (x seeds for faulted plan entries), in exactly that (declaration) order
+// — the campaign's canonical cell order, which the executor commits
+// results in regardless of worker count.  A campaign with no faultplan
+// directive produces the exact same grid, keys and store bytes as before
+// the fault axis existed.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +33,7 @@
 #include "apps/registry.hpp"
 #include "configs/configs.hpp"
 #include "core/iomodel.hpp"
+#include "fault/plan.hpp"
 #include "obs/log.hpp"
 
 namespace iop::sweep {
@@ -36,6 +43,9 @@ namespace iop::sweep {
 inline constexpr const char* kEstimatorVersion = "iop-estimate/2";
 inline constexpr const char* kMultiOpEstimatorVersion =
     "iop-estimate-multiop/1";
+/// Faulted cells replay the whole model synthetically (degraded.hpp)
+/// instead of per-phase IOR mapping, so they carry their own version.
+inline constexpr const char* kFaultEstimatorVersion = "iop-estimate-fault/1";
 
 /// One model axis entry: either a saved model file or an application to
 /// characterize on the campaign's characterize config.
@@ -57,14 +67,31 @@ struct ConfigSource {
   std::string path;        ///< cluster description file (when fromFile)
 };
 
+/// One fault axis entry: "none" (the healthy baseline) or a fault plan
+/// file evaluated across `faultSeeds` seeded replicas.
+struct FaultSource {
+  std::string label = "none";
+  std::string path;  ///< fault plan file (empty for the none entry)
+
+  bool none() const noexcept { return path.empty(); }
+};
+
 struct CampaignSpec {
   std::string name = "campaign";
   std::vector<ModelSource> models;
   std::vector<ConfigSource> configs;
   std::vector<double> degradeDisks{1.0};
   std::vector<double> degradeNet{1.0};
+  std::vector<FaultSource> faults{FaultSource{}};
+  int faultSeeds = 1;  ///< replicas per faulted plan entry
   bool multiop = false;
   ConfigSource characterize;  ///< default: paper configuration A
+
+  /// True when the campaign has a fault axis beyond the default healthy
+  /// baseline — the only case where fault fields enter canonical texts.
+  bool hasFaultAxis() const noexcept {
+    return faults.size() != 1 || !faults.front().none() || faultSeeds != 1;
+  }
 
   const char* estimatorVersion() const noexcept {
     return multiop ? kMultiOpEstimatorVersion : kEstimatorVersion;
@@ -103,20 +130,34 @@ struct ResolvedConfig {
                                double degradeNet) const;
 };
 
+/// One fault axis entry with its plan parsed and canonicalized.
+struct ResolvedFault {
+  std::string label = "none";
+  fault::FaultPlan plan;  ///< empty for the none entry
+  std::string planText;   ///< plan.canonicalText() — hash input ("" = none)
+
+  bool none() const noexcept { return planText.empty(); }
+};
+
 /// One cell of the campaign grid, with its content-addressed cache key.
 struct CellSpec {
   std::size_t modelIndex = 0;
   std::size_t configIndex = 0;
   double degradeDisks = 1.0;
   double degradeNet = 1.0;
+  std::size_t faultIndex = 0;   ///< into ResolvedCampaign::faults
+  std::uint64_t faultSeed = 0;  ///< 0 = unfaulted (the none entry)
   std::string key;  ///< 16-hex ContentHash of (estimator, model, config,
                     ///< faults)
+
+  bool faulted() const noexcept { return faultSeed != 0; }
 };
 
 struct ResolvedCampaign {
   CampaignSpec spec;
   std::vector<ResolvedModel> models;
   std::vector<ResolvedConfig> configs;
+  std::vector<ResolvedFault> faults;
   std::size_t characterized = 0;   ///< app entries actually traced
   std::size_t modelCacheHits = 0;  ///< app entries served from a model cache
 
@@ -154,10 +195,14 @@ std::string modelCacheKey(const ModelSource& src,
                           const std::string& characterizeIdentity);
 
 /// The cache key of one cell (exposed for tests): estimator version +
-/// model text + config identity + fault factors.
+/// model text + config identity + fault factors.  The fault plan's
+/// canonical text and replica seed enter the hash only when a plan is
+/// present, so unfaulted keys are byte-identical to pre-fault stores.
 std::string cellKey(const char* estimatorVersion,
                     const std::string& modelText,
                     const std::string& configIdentity, double degradeDisks,
-                    double degradeNet);
+                    double degradeNet,
+                    const std::string& faultPlanText = std::string(),
+                    std::uint64_t faultSeed = 0);
 
 }  // namespace iop::sweep

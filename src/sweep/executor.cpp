@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "analysis/degraded.hpp"
 #include "analysis/multiop.hpp"
 #include "analysis/replay.hpp"
 #include "obs/profiler.hpp"
@@ -65,12 +66,6 @@ CellResult evaluateCell(const ResolvedCampaign& campaign,
   analysis::ConfigBuilder builder = [&config, &cell]() {
     return config.build(cell.degradeDisks, cell.degradeNet);
   };
-  analysis::Replayer replayer(builder, config.mount);
-  analysis::Estimate estimate =
-      campaign.spec.multiop
-          ? analysis::estimateIoTimeMultiOp(model.model, replayer, builder,
-                                            config.mount)
-          : analysis::estimateIoTime(model.model, replayer);
 
   CellResult result;
   result.key = cell.key;
@@ -78,9 +73,46 @@ CellResult evaluateCell(const ResolvedCampaign& campaign,
   result.configLabel = config.label;
   result.degradeDisks = cell.degradeDisks;
   result.degradeNet = cell.degradeNet;
-  result.estimator = campaign.spec.estimatorVersion();
   result.np = model.model.np();
   result.weightBytes = model.model.totalWeightBytes();
+
+  if (cell.faulted()) {
+    // Degraded-mode cell: one seeded replica of the whole-model synthetic
+    // replay under the fault plan.  Deterministic, so a replica whose run
+    // dies at phase level is still a committable (cacheable) result.
+    const ResolvedFault& faultSrc = campaign.faults[cell.faultIndex];
+    const auto degraded = analysis::estimateDegraded(
+        model.model, builder, faultSrc.plan, {cell.faultSeed});
+    const analysis::FaultReplica& replica = degraded.replicas.front();
+    result.estimator = kFaultEstimatorVersion;
+    result.faultLabel = faultSrc.label;
+    result.faultSeed = cell.faultSeed;
+    result.faultRetries = replica.retries;
+    result.faultFailovers = replica.failovers;
+    result.faultStallSeconds = replica.stallSeconds;
+    if (replica.ok) {
+      result.timeIo = replica.timeIo;
+    } else {
+      result.faultError = replica.error;
+    }
+    for (const auto& p : degraded.phases) {
+      const double bw = p.medianTimeSec > 0
+                            ? static_cast<double>(p.weightBytes) /
+                                  p.medianTimeSec
+                            : 0;
+      result.phases.push_back(
+          {p.phaseId, p.familyId, p.weightBytes, bw, p.medianTimeSec});
+    }
+    return result;
+  }
+
+  analysis::Replayer replayer(builder, config.mount);
+  analysis::Estimate estimate =
+      campaign.spec.multiop
+          ? analysis::estimateIoTimeMultiOp(model.model, replayer, builder,
+                                            config.mount)
+          : analysis::estimateIoTime(model.model, replayer);
+  result.estimator = campaign.spec.estimatorVersion();
   result.timeIo = estimate.totalTimeSec;
   result.iorRuns = replayer.benchmarkRuns();
   for (const auto& p : estimate.phases) {
@@ -123,28 +155,44 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
     IOP_PROFILE_SCOPE("sweep.probe");
     const CellSpec& cell = plan[i];
     if (!options.force && store.hasCell(cell.key)) {
-      outcome.cells[i].status = CellOutcome::Status::Cached;
-      outcome.cells[i].result = store.loadCell(cell.key);
-      ++outcome.cacheHits;
-      sharedLog.info("cache_hit", cellFields(campaign, cell));
-      continue;
+      // tryLoadCell treats a torn/corrupt file as a miss: the bad bytes
+      // move to quarantine/ and the cell drops through to recomputation.
+      std::string whyBad;
+      if (auto loaded = store.tryLoadCell(cell.key, &whyBad)) {
+        outcome.cells[i].status = CellOutcome::Status::Cached;
+        outcome.cells[i].result = std::move(*loaded);
+        ++outcome.cacheHits;
+        sharedLog.info("cache_hit", cellFields(campaign, cell));
+        continue;
+      }
+      ++outcome.quarantined;
+      sharedLog.warn("cell_quarantined",
+                     cellFields(campaign, cell) + ",\"error\":\"" +
+                         obs::TraceRecorder::jsonEscape(whyBad) + "\"");
     }
     if (!options.force && shared && shared->hasCell(cell.key)) {
       // Adopt the shared result into the campaign store: cell bytes are a
       // pure function of the key, so render() reproduces them exactly, and
       // the regenerated capture matches what a local evaluation would have
       // committed.
-      CellOutcome& out = outcome.cells[i];
-      out.status = CellOutcome::Status::Cached;
-      out.result = shared->loadCell(cell.key);
-      store.saveCell(out.result);
-      if (options.writeCaptures) {
-        store.saveCapture(cell.key, makeCellCapture(out.result));
+      std::string whyBad;
+      if (auto loaded = shared->tryLoadCell(cell.key, &whyBad)) {
+        CellOutcome& out = outcome.cells[i];
+        out.status = CellOutcome::Status::Cached;
+        out.result = std::move(*loaded);
+        store.saveCell(out.result);
+        if (options.writeCaptures) {
+          store.saveCapture(cell.key, makeCellCapture(out.result));
+        }
+        ++outcome.cacheHits;
+        ++outcome.sharedHits;
+        sharedLog.info("shared_hit", cellFields(campaign, cell));
+        continue;
       }
-      ++outcome.cacheHits;
-      ++outcome.sharedHits;
-      sharedLog.info("shared_hit", cellFields(campaign, cell));
-      continue;
+      ++outcome.quarantined;
+      sharedLog.warn("shared_cell_quarantined",
+                     cellFields(campaign, cell) + ",\"error\":\"" +
+                         obs::TraceRecorder::jsonEscape(whyBad) + "\"");
     }
     auto [it, inserted] = owners.emplace(cell.key, i);
     if (inserted) {
@@ -157,8 +205,16 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
   // Fixed-size pool over the pending list.  Each worker owns its cell's
   // outcome slot exclusively; nothing else is shared mutable state.
   std::atomic<std::size_t> cursor{0};
+  std::mutex doneMutex;  // serializes options.onCellDone
+  auto cancelled = [&options]() {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
   auto workerMain = [&]() {
     for (;;) {
+      // Check between cells, never mid-cell: a cancelled run keeps every
+      // result already committed and leaves no partial files behind.
+      if (cancelled()) return;
       const std::size_t slot = cursor.fetch_add(1);
       if (slot >= pending.size()) return;
       const std::size_t index = pending[slot];
@@ -188,6 +244,10 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
                        cellFields(campaign, out.spec) + ",\"error\":\"" +
                            obs::TraceRecorder::jsonEscape(e.what()) + "\"");
       }
+      if (options.onCellDone) {
+        std::lock_guard<std::mutex> guard(doneMutex);
+        options.onCellDone(out);
+      }
     }
   };
 
@@ -203,6 +263,18 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
     }
     for (auto& t : pool) t.join();
   }
+
+  // Every fetched slot was carried to completion (the cancel check sits
+  // before the fetch), so after the join the untaken tail is exactly
+  // [cursor, end) — those cells were never started and stay resumable.
+  const std::size_t taken =
+      std::min(cursor.load(std::memory_order_relaxed), pending.size());
+  for (std::size_t slot = taken; slot < pending.size(); ++slot) {
+    CellOutcome& out = outcome.cells[pending[slot]];
+    out.status = CellOutcome::Status::Skipped;
+    out.error = "interrupted before evaluation; resume to compute";
+  }
+  if (cancelled()) outcome.interrupted = true;
 
   // Propagate deduped results to the duplicate cells.
   for (const auto& [key, dupes] : followers) {
@@ -223,6 +295,9 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         break;
       case CellOutcome::Status::Failed:
         ++outcome.failures;
+        break;
+      case CellOutcome::Status::Skipped:
+        ++outcome.skipped;
         break;
     }
   }
@@ -249,6 +324,10 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         .add(static_cast<double>(outcome.computed));
     metrics->counter("sweep.failures")
         .add(static_cast<double>(outcome.failures));
+    metrics->counter("sweep.skipped")
+        .add(static_cast<double>(outcome.skipped));
+    metrics->counter("sweep.quarantined")
+        .add(static_cast<double>(outcome.quarantined));
     metrics->counter("sweep.ior_runs")
         .add(static_cast<double>(outcome.iorRuns));
   }
@@ -259,6 +338,10 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
           ",\"shared_hits\":" + std::to_string(outcome.sharedHits) +
           ",\"computed\":" + std::to_string(outcome.computed) +
           ",\"failures\":" + std::to_string(outcome.failures) +
+          ",\"skipped\":" + std::to_string(outcome.skipped) +
+          ",\"quarantined\":" + std::to_string(outcome.quarantined) +
+          ",\"interrupted\":" +
+          (outcome.interrupted ? "true" : "false") +
           ",\"jobs\":" + std::to_string(options.jobs));
   return outcome;
 }

@@ -11,7 +11,9 @@
 // second run be 100% cache hits.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "sweep/store.hpp"
 
 namespace iop::sweep {
+
+struct CellOutcome;
 
 struct SweepOptions {
   int jobs = 1;              ///< worker threads (>= 1)
@@ -32,15 +36,24 @@ struct SweepOptions {
   /// campaign store — and every computed cell is deposited back.  Empty
   /// disables sharing.
   std::string sharedStore;
+  /// Cooperative cancellation (SIGINT/SIGTERM in iop-sweep): when the
+  /// pointee becomes true, workers stop taking new cells after finishing
+  /// — and committing — the one in flight.  Untouched cells are reported
+  /// as Skipped and the outcome is marked interrupted; a later resume
+  /// picks up exactly the uncommitted remainder.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test/progress hook, invoked serially (under a lock) after each cell
+  /// is committed or fails.  May flip `cancel` to exercise shutdown.
+  std::function<void(const CellOutcome&)> onCellDone;
 };
 
 struct CellOutcome {
-  enum class Status { Cached, Computed, Failed };
+  enum class Status { Cached, Computed, Failed, Skipped };
 
   CellSpec spec;
   Status status = Status::Failed;
-  CellResult result;    ///< valid unless Failed
-  std::string error;    ///< Failed only
+  CellResult result;    ///< valid unless Failed/Skipped
+  std::string error;    ///< Failed/Skipped only
   double seconds = 0;   ///< wall time spent computing (0 for cached)
 };
 
@@ -49,12 +62,18 @@ struct SweepOutcome {
   std::size_t cacheHits = 0;
   std::size_t sharedHits = 0;  ///< subset of cacheHits served by the
                                ///< shared store
+  std::size_t quarantined = 0;  ///< corrupt cached cells set aside and
+                                ///< recomputed
   std::size_t computed = 0;
   std::size_t failures = 0;
+  std::size_t skipped = 0;  ///< cells not started before cancellation
   std::size_t iorRuns = 0;  ///< IOR executions across computed cells
   double wallSeconds = 0;
+  bool interrupted = false;  ///< cancellation stopped the run early
 
-  bool ok() const noexcept { return failures == 0; }
+  bool ok() const noexcept {
+    return failures == 0 && skipped == 0 && !interrupted;
+  }
 };
 
 /// Evaluate one cell synchronously (no store involved).  The building

@@ -1,9 +1,11 @@
 #include "sweep/rank.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 
+#include "analysis/degraded.hpp"
 #include "analysis/evaluate.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -21,6 +23,9 @@ std::string groupTitle(const ResolvedCampaign& campaign,
                   cell.degradeNet);
     title += buf;
   }
+  if (cell.faulted()) {
+    title += " [fault=" + campaign.faults[cell.faultIndex].label + "]";
+  }
   return title;
 }
 
@@ -32,8 +37,50 @@ std::string statusName(CellOutcome::Status status) {
       return "computed";
     case CellOutcome::Status::Failed:
       return "FAILED";
+    case CellOutcome::Status::Skipped:
+      return "SKIPPED";
   }
   return "?";
+}
+
+/// A replica completed its run: the executor committed it and the fault
+/// plan didn't kill the workload at phase level.
+bool replicaOk(const CellOutcome& cell) {
+  return (cell.status == CellOutcome::Status::Cached ||
+          cell.status == CellOutcome::Status::Computed) &&
+         !cell.result.faultFailed();
+}
+
+/// Collapse one configuration's seeded replicas into a single ranked
+/// entry: median Time_io over the surviving seeds, represented by the
+/// replica closest to that median.
+RankedCell aggregateSeeds(const std::vector<const CellOutcome*>& cells) {
+  RankedCell entry;
+  entry.seeds = cells.size();
+  entry.okSeeds = 0;
+  std::vector<double> times;
+  for (const CellOutcome* cell : cells) {
+    if (cell->status == CellOutcome::Status::Computed) {
+      entry.anyComputed = true;
+    }
+    if (!replicaOk(*cell)) continue;
+    ++entry.okSeeds;
+    times.push_back(cell->result.timeIo);
+  }
+  entry.timeIo = analysis::medianOf(times);
+  entry.cell = cells.front();
+  if (entry.okSeeds > 0) {
+    double bestDelta = -1;
+    for (const CellOutcome* cell : cells) {
+      if (!replicaOk(*cell)) continue;
+      const double delta = std::abs(cell->result.timeIo - entry.timeIo);
+      if (bestDelta < 0 || delta < bestDelta) {
+        bestDelta = delta;
+        entry.cell = cell;
+      }
+    }
+  }
+  return entry;
 }
 
 }  // namespace
@@ -41,38 +88,59 @@ std::string statusName(CellOutcome::Status status) {
 std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
                                    const SweepOutcome& outcome) {
   // Group cells by (model, fault scenario), preserving canonical order of
-  // first appearance.
-  std::vector<RankGroup> groups;
+  // first appearance; within a group, bucket seeded replicas per
+  // candidate configuration.
+  struct Bucket {
+    std::vector<const CellOutcome*> cells;
+  };
+  struct PendingGroup {
+    std::string title;
+    bool faulted = false;
+    std::vector<std::size_t> order;  // configIndex, first-appearance order
+    std::map<std::size_t, Bucket> byConfig;
+  };
+  std::vector<PendingGroup> pendingGroups;
   std::map<std::string, std::size_t> groupIndex;
   for (const auto& cell : outcome.cells) {
     const std::string title = groupTitle(campaign, cell.spec);
-    auto [it, inserted] = groupIndex.emplace(title, groups.size());
+    auto [it, inserted] = groupIndex.emplace(title, pendingGroups.size());
     if (inserted) {
-      groups.push_back(RankGroup{title, {}});
+      pendingGroups.push_back({title, cell.spec.faulted(), {}, {}});
     }
-    groups[it->second].entries.push_back(RankedCell{&cell, 0, false});
+    PendingGroup& pending = pendingGroups[it->second];
+    auto [bucketIt, newBucket] =
+        pending.byConfig.emplace(cell.spec.configIndex, Bucket{});
+    if (newBucket) pending.order.push_back(cell.spec.configIndex);
+    bucketIt->second.cells.push_back(&cell);
   }
 
-  for (auto& group : groups) {
+  std::vector<RankGroup> groups;
+  for (const auto& pending : pendingGroups) {
+    RankGroup group;
+    group.title = pending.title;
+    group.faulted = pending.faulted;
+    for (std::size_t configIndex : pending.order) {
+      group.entries.push_back(
+          aggregateSeeds(pending.byConfig.at(configIndex).cells));
+    }
+
     std::stable_sort(group.entries.begin(), group.entries.end(),
                      [](const RankedCell& a, const RankedCell& b) {
-                       const bool aOk =
-                           a.cell->status != CellOutcome::Status::Failed;
-                       const bool bOk =
-                           b.cell->status != CellOutcome::Status::Failed;
+                       const bool aOk = a.okSeeds > 0;
+                       const bool bOk = b.okSeeds > 0;
                        if (aOk != bOk) return aOk;
                        if (!aOk) return false;  // failures keep input order
-                       return a.cell->result.timeIo < b.cell->result.timeIo;
+                       return a.timeIo < b.timeIo;
                      });
     // Selection is delegated to the paper's rule (analysis::
     // selectConfiguration) rather than re-implemented: the candidate with
-    // the smallest estimated total I/O time wins.
+    // the smallest estimated (median, under faults) total I/O time wins.
     std::vector<analysis::SelectionCandidate> candidates;
     for (const auto& entry : group.entries) {
-      if (entry.cell->status == CellOutcome::Status::Failed) continue;
+      if (entry.okSeeds == 0) continue;
       analysis::SelectionCandidate c;
       c.name = entry.cell->result.configLabel;
-      c.estimate.totalTimeSec = entry.cell->result.timeIo;
+      c.estimate.totalTimeSec = entry.timeIo;
       candidates.push_back(std::move(c));
     }
     const analysis::SelectionCandidate* best =
@@ -80,7 +148,7 @@ std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
     std::size_t rank = 0;
     bool marked = false;
     for (auto& entry : group.entries) {
-      if (entry.cell->status == CellOutcome::Status::Failed) continue;
+      if (entry.okSeeds == 0) continue;
       entry.rank = ++rank;
       if (!marked && best != nullptr &&
           entry.cell->result.configLabel == best->name) {
@@ -88,6 +156,7 @@ std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
         marked = true;
       }
     }
+    groups.push_back(std::move(group));
   }
   return groups;
 }
@@ -97,27 +166,56 @@ std::string renderReport(const ResolvedCampaign& campaign,
   std::string out;
   for (const auto& group : rankOutcome(campaign, outcome)) {
     util::Table table("Sweep ranking: " + group.title);
-    table.setHeader({"rank", "configuration", "Time_io (s)", "eff. BW",
-                     "IOR runs", "status"},
-                    {util::Align::Right, util::Align::Left,
-                     util::Align::Right, util::Align::Right,
-                     util::Align::Right, util::Align::Left});
+    if (group.faulted) {
+      // Degraded groups rank by the median over seeded replicas and show
+      // survival instead of IOR cost (fault cells never run IOR).
+      table.setHeader({"rank", "configuration", "median Time_io (s)",
+                       "eff. BW", "seeds ok", "status"},
+                      {util::Align::Right, util::Align::Left,
+                       util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Left});
+    } else {
+      table.setHeader({"rank", "configuration", "Time_io (s)", "eff. BW",
+                       "IOR runs", "status"},
+                      {util::Align::Right, util::Align::Left,
+                       util::Align::Right, util::Align::Right,
+                       util::Align::Right, util::Align::Left});
+    }
     for (const auto& entry : group.entries) {
       const CellOutcome& cell = *entry.cell;
-      if (cell.status == CellOutcome::Status::Failed) {
-        table.addRow({"-", cell.result.configLabel.empty()
-                               ? campaign.configs[cell.spec.configIndex].label
-                               : cell.result.configLabel,
-                      "-", "-", "-", statusName(cell.status)});
+      const std::string configLabel =
+          cell.result.configLabel.empty()
+              ? campaign.configs[cell.spec.configIndex].label
+              : cell.result.configLabel;
+      const std::string seedsOk = std::to_string(entry.okSeeds) + "/" +
+                                  std::to_string(entry.seeds);
+      if (entry.okSeeds == 0) {
+        // Nothing survived: a plain failure, or every fault replica died
+        // at phase level (no failover left).
+        std::string status = statusName(cell.status);
+        if ((cell.status == CellOutcome::Status::Cached ||
+             cell.status == CellOutcome::Status::Computed) &&
+            cell.result.faultFailed()) {
+          status = "FAILED: " + cell.result.faultError;
+        }
+        table.addRow({"-", configLabel, "-", "-",
+                      group.faulted ? seedsOk : "-", status});
         continue;
       }
-      std::string name = cell.result.configLabel;
+      std::string name = configLabel;
       if (entry.selected) name += "  <== selected";
-      table.addRow(
-          {std::to_string(entry.rank), name,
-           util::formatSeconds(cell.result.timeIo),
-           util::formatBandwidthMiBs(cell.result.effectiveBandwidth()),
-           std::to_string(cell.result.iorRuns), statusName(cell.status)});
+      const double bw =
+          entry.timeIo > 0
+              ? static_cast<double>(cell.result.weightBytes) / entry.timeIo
+              : 0;
+      std::string status = entry.anyComputed ? "computed" : "cached";
+      if (entry.okSeeds < entry.seeds) status += " (partial)";
+      table.addRow({std::to_string(entry.rank), name,
+                    util::formatSeconds(entry.timeIo),
+                    util::formatBandwidthMiBs(bw),
+                    group.faulted ? seedsOk
+                                  : std::to_string(cell.result.iorRuns),
+                    status});
     }
     out += table.render();
     out += "\n";

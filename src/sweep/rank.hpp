@@ -6,6 +6,12 @@
 // ties and context get the weight-normalized effective bandwidth
 // (total weight / Time_io).  The top-ranked candidate of each group is the
 // configuration the paper's methodology selects.
+//
+// Fault-plan cells aggregate first: each configuration's seeded replicas
+// collapse into one entry ranked by its *median* degraded Time_io, so a
+// single unlucky seed cannot flip the selection.  Replicas whose run died
+// at phase level (retries exhausted, no failover) count against the entry
+// and drop it to the bottom when no seed survived.
 #pragma once
 
 #include <string>
@@ -16,13 +22,18 @@
 namespace iop::sweep {
 
 struct RankedCell {
-  const CellOutcome* cell = nullptr;
+  const CellOutcome* cell = nullptr;  ///< representative (median) cell
   std::size_t rank = 0;   ///< 1-based within its group
   bool selected = false;  ///< rank 1 and not failed
+  double timeIo = 0;      ///< median Time_io across the entry's seeds
+  std::size_t seeds = 1;    ///< replicas aggregated into this entry
+  std::size_t okSeeds = 1;  ///< replicas that completed
+  bool anyComputed = false;  ///< at least one replica freshly evaluated
 };
 
 struct RankGroup {
-  std::string title;  ///< "model [dd=.. dn=..]"
+  std::string title;  ///< "model [dd=.. dn=..] [fault=..]"
+  bool faulted = false;             ///< group carries seeded replicas
   std::vector<RankedCell> entries;  ///< Time_io ascending, failures last
 };
 

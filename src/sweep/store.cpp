@@ -13,6 +13,7 @@
 #include <unistd.h>
 #endif
 
+#include "sweep/hash.hpp"
 #include "util/text.hpp"
 
 namespace iop::sweep {
@@ -73,6 +74,41 @@ std::string readFileText(const std::filesystem::path& path) {
   return buffer.str();
 }
 
+/// Load a cell file, treating any defect — unreadable, unparsable, failed
+/// checksum, wrong key — as a cache miss: the bad file is moved into
+/// `quarantineDir` (kept for forensics, never silently deleted) and
+/// std::nullopt tells the caller to recompute.  A cell result is a pure
+/// function of its key, so recomputation always repairs the store.
+std::optional<CellResult> tryLoadCellFile(
+    const std::filesystem::path& path,
+    const std::filesystem::path& quarantineDir, const std::string& key,
+    std::string* whyBad) {
+  try {
+    auto cell = CellResult::parse(readFileText(path));
+    if (cell.key != key) {
+      badCell("holds key " + cell.key + ", expected " + key);
+    }
+    return cell;
+  } catch (const std::exception& e) {
+    if (whyBad != nullptr) *whyBad = e.what();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(quarantineDir, ec);
+  std::filesystem::path dst = quarantineDir / path.filename();
+  for (int n = 2; std::filesystem::exists(dst); ++n) {
+    dst = quarantineDir /
+          (path.stem().string() + "." + std::to_string(n) +
+           path.extension().string());
+  }
+  std::filesystem::rename(path, dst, ec);
+  if (ec) {
+    // Rename can fail (e.g. cross-device); removing still unblocks the
+    // recompute, losing only the forensic copy.
+    std::filesystem::remove(path, ec);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 void writeFileAtomically(const std::filesystem::path& path,
@@ -99,6 +135,16 @@ std::string CellResult::render() const {
   out << "key " << key << "\n";
   out << "degrade-disks " << fmtDouble(degradeDisks) << "\n";
   out << "degrade-net " << fmtDouble(degradeNet) << "\n";
+  if (faulted()) {
+    // Only degraded cells carry fault lines: healthy cells must render
+    // byte-identically to stores written before the fault axis existed.
+    out << "fault " << faultLabel << "\n";
+    out << "fault-seed " << faultSeed << "\n";
+    out << "fault-retries " << faultRetries << "\n";
+    out << "fault-failovers " << faultFailovers << "\n";
+    out << "fault-stall " << fmtDouble(faultStallSeconds) << "\n";
+    if (faultFailed()) out << "fault-error " << faultError << "\n";
+  }
   out << "estimator " << estimator << "\n";
   out << "np " << np << "\n";
   out << "weight " << weightBytes << "\n";
@@ -112,6 +158,10 @@ std::string CellResult::render() const {
   }
   out << "model " << modelLabel << "\n";
   out << "config " << configLabel << "\n";
+  // Integrity seal over everything above: a torn write, truncation or
+  // bit flip flips the checksum and the loader quarantines the file.
+  const std::string sealed = out.str();
+  out << "checksum " << hashHex(sealed) << "\n";
   out << "end\n";
   return out.str();
 }
@@ -125,7 +175,12 @@ CellResult CellResult::parse(const std::string& text) {
   CellResult cell;
   bool sawEnd = false;
   std::size_t expectedPhases = 0;
+  // Byte offset of the current line within `text`, maintained manually:
+  // the checksum line seals every byte before it.
+  std::size_t lineStart = text.find('\n') + 1;  // past the header
   while (std::getline(in, line)) {
+    const std::size_t thisLineStart = lineStart;
+    lineStart += line.size() + 1;
     if (line == "end") {
       sawEnd = true;
       break;
@@ -139,6 +194,25 @@ CellResult CellResult::parse(const std::string& text) {
       cell.degradeDisks = toDouble(tokens[1]);
     } else if (directive == "degrade-net" && tokens.size() == 2) {
       cell.degradeNet = toDouble(tokens[1]);
+    } else if (directive == "checksum" && tokens.size() == 2) {
+      const std::string actual = hashHex(
+          std::string_view(text).substr(0, thisLineStart));
+      if (actual != tokens[1]) {
+        badCell("checksum mismatch (stored " + tokens[1] + ", computed " +
+                actual + "): file is torn or corrupt");
+      }
+    } else if (directive == "fault") {
+      cell.faultLabel = restOfLine(line);
+    } else if (directive == "fault-seed" && tokens.size() == 2) {
+      cell.faultSeed = toU64(tokens[1]);
+    } else if (directive == "fault-retries" && tokens.size() == 2) {
+      cell.faultRetries = toU64(tokens[1]);
+    } else if (directive == "fault-failovers" && tokens.size() == 2) {
+      cell.faultFailovers = toU64(tokens[1]);
+    } else if (directive == "fault-stall" && tokens.size() == 2) {
+      cell.faultStallSeconds = toDouble(tokens[1]);
+    } else if (directive == "fault-error") {
+      cell.faultError = restOfLine(line);
     } else if (directive == "estimator" && tokens.size() == 2) {
       cell.estimator = tokens[1];
     } else if (directive == "np" && tokens.size() == 2) {
@@ -249,6 +323,11 @@ CellResult CampaignStore::loadCell(const std::string& key) const {
   return cell;
 }
 
+std::optional<CellResult> CampaignStore::tryLoadCell(
+    const std::string& key, std::string* whyBad) const {
+  return tryLoadCellFile(cellPath(key), root_ / "quarantine", key, whyBad);
+}
+
 void CampaignStore::saveCell(const CellResult& cell) const {
   writeFileAtomically(cellPath(cell.key), cell.render());
 }
@@ -317,6 +396,11 @@ CellResult SharedStore::loadCell(const std::string& key) const {
                              cell.key);
   }
   return cell;
+}
+
+std::optional<CellResult> SharedStore::tryLoadCell(
+    const std::string& key, std::string* whyBad) const {
+  return tryLoadCellFile(cellPath(key), root_ / "quarantine", key, whyBad);
 }
 
 void SharedStore::saveCell(const CellResult& cell) const {

@@ -7,6 +7,8 @@
 //   captures/<key>.cap  the cell's diffable run capture (iop-capture v1)
 //   MANIFEST.txt        the grid in canonical cell order, written serially
 //                       after every run — byte-identical for any -j
+//   quarantine/         cell files that failed their checksum or parse on
+//                       load, moved aside (not deleted) and recomputed
 //
 // Cell files are written atomically (temp + rename) with fully
 // deterministic contents, so a store produced by N workers is
@@ -16,6 +18,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -46,10 +49,25 @@ struct CellResult {
   double timeIo = 0;              ///< eq. (1): estimated total I/O time
   std::size_t iorRuns = 0;        ///< IOR executions the estimate cost
   std::vector<PhaseRow> phases;
+  // Degraded-mode cells only (faultSeed > 0); absent from healthy cells
+  // so their files stay byte-identical to pre-fault stores.
+  std::string faultLabel;
+  std::uint64_t faultSeed = 0;
+  std::uint64_t faultRetries = 0;
+  std::uint64_t faultFailovers = 0;
+  double faultStallSeconds = 0;
+  std::string faultError;  ///< run died at phase level (retries exhausted)
 
-  /// Deterministic text serialization ("iop-cell v1").
+  bool faulted() const noexcept { return faultSeed != 0; }
+  bool faultFailed() const noexcept { return !faultError.empty(); }
+
+  /// Deterministic text serialization ("iop-cell v1") ending in a
+  /// "checksum <16hex>" line (FNV over everything before it) so torn or
+  /// bit-flipped store files are detected on load.
   std::string render() const;
-  static CellResult parse(const std::string& text);  ///< throws on bad text
+  /// Throws on malformed text; files without a checksum line (written
+  /// before checksums existed) are accepted unverified.
+  static CellResult parse(const std::string& text);
 
   /// Weight-normalized bandwidth of the whole run: weight / Time_io.
   double effectiveBandwidth() const noexcept {
@@ -92,6 +110,11 @@ class SharedStore {
 
   bool hasCell(const std::string& key) const;
   CellResult loadCell(const std::string& key) const;
+  /// loadCell that treats corruption as a miss: a cell that fails to
+  /// parse, checksum or key-check is moved to quarantine/ (for forensics)
+  /// and std::nullopt is returned so the caller recomputes it.
+  std::optional<CellResult> tryLoadCell(const std::string& key,
+                                        std::string* whyBad = nullptr) const;
   /// Atomic, race-safe commit (directories created on first write).
   void saveCell(const CellResult& cell) const;
 
@@ -122,6 +145,10 @@ class CampaignStore {
 
   bool hasCell(const std::string& key) const;
   CellResult loadCell(const std::string& key) const;
+  /// Corruption-tolerant load: quarantines bad cells (see
+  /// SharedStore::tryLoadCell) and returns std::nullopt.
+  std::optional<CellResult> tryLoadCell(const std::string& key,
+                                        std::string* whyBad = nullptr) const;
 
   /// Atomic (temp + rename) commit; contents depend only on `cell`.
   void saveCell(const CellResult& cell) const;

@@ -86,6 +86,36 @@ std::string readWholeFile(const fs::path& path) {
   return text;
 }
 
+/// Render a (possibly hostile) input line for an error message: control
+/// bytes — including NULs, which would silently truncate the excerpt —
+/// are escaped as \xNN, and long lines are cut at 80 characters.  Error
+/// text must be safe to print to a terminal no matter what was in the
+/// file.
+std::string sanitizeExcerpt(const char* lineStart, const char* end) {
+  constexpr std::size_t kMaxExcerpt = 80;
+  const char* lineEnd = lineStart;
+  while (lineEnd != end && *lineEnd != '\n') ++lineEnd;
+  std::string out;
+  out.reserve(kMaxExcerpt + 16);
+  for (const char* p = lineStart; p != lineEnd; ++p) {
+    if (out.size() >= kMaxExcerpt) {
+      out += "... (";
+      out += std::to_string(static_cast<std::size_t>(lineEnd - lineStart));
+      out += " bytes)";
+      return out;
+    }
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
 std::vector<Record> readRankFile(const fs::path& path) {
   const std::string text = readWholeFile(path);
   std::vector<Record> records;
@@ -93,17 +123,19 @@ std::vector<Record> readRankFile(const fs::path& path) {
       std::count(text.begin(), text.end(), '\n')));
   const char* p = text.data();
   const char* const end = p + text.size();
+  std::size_t lineNo = 1;
   while (p != end) {
     const char* const lineStart = p;
     p = skipBlanks(p, end);
     if (p == end) break;
     if (*p == '\n') {
       ++p;
+      ++lineNo;
       continue;
     }
     if (*p == '#') {  // comment line
       while (p != end && *p != '\n') ++p;
-      continue;
+      continue;  // the '\n' (if any) is consumed by the next iteration
     }
     Record r;
     const std::string_view t0 = nextToken(p, end);
@@ -122,15 +154,21 @@ std::vector<Record> readRankFile(const fs::path& path) {
                     parseNumber(t6, r.time) && parseNumber(t7, r.duration) &&
                     (afterFields == end || *afterFields == '\n');
     if (!ok) {
-      const char* lineEnd = lineStart;
-      while (lineEnd != end && *lineEnd != '\n') ++lineEnd;
+      // A truncated final record (mid-write kill) and a corrupted line
+      // land here alike; file:line plus a sanitized excerpt makes the
+      // defect findable with a text editor.
       throw std::runtime_error(
-          "malformed trace line in " + path.string() + ": " +
-          std::string(lineStart, static_cast<std::size_t>(lineEnd - lineStart)));
+          path.string() + ":" + std::to_string(lineNo) +
+          ": malformed trace record (want 'IdP IdF op Offset tick "
+          "RequestSize time duration'): " +
+          sanitizeExcerpt(lineStart, end));
     }
     r.op.assign(op);
     p = afterFields;
-    if (p != end) ++p;  // consume '\n'
+    if (p != end) {
+      ++p;  // consume '\n'
+      ++lineNo;
+    }
     records.push_back(std::move(r));
   }
   return records;
@@ -167,41 +205,53 @@ TraceData readTraces(const fs::path& dir, const std::string& appName) {
   IOP_PROFILE_SCOPE("trace.parse");
   TraceData data;
   data.appName = appName;
-  std::ifstream meta(dir / (appName + ".meta"));
+  const fs::path metaPath = dir / (appName + ".meta");
+  std::ifstream meta(metaPath);
   if (!meta) {
     throw std::runtime_error("cannot open meta file for " + appName);
   }
   std::string line;
+  std::size_t lineNo = 0;
   while (std::getline(meta, line)) {
+    ++lineNo;
     auto trimmed = util::trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     auto tokens = util::splitWhitespace(trimmed);
-    if (tokens[0] == "np") {
-      data.np = std::stoi(tokens.at(1));
-    } else if (tokens[0] == "file") {
-      if (tokens.size() < 12) {
-        throw std::runtime_error("malformed meta file line: " + line);
+    // std::sto* throw bare "stoi"/out-of-range on hostile tokens; rewrap
+    // everything with the file:line so the bad record is findable.
+    try {
+      if (tokens[0] == "np") {
+        data.np = std::stoi(tokens.at(1));
+      } else if (tokens[0] == "file") {
+        if (tokens.size() < 12) {
+          throw std::runtime_error("needs at least 12 fields");
+        }
+        FileMeta f;
+        f.fileId = std::stoi(tokens[1]);
+        f.path = tokens[2];
+        f.shared = tokens[3] == "1";
+        f.etypeBytes = std::stoull(tokens[4]);
+        f.viewDisp = std::stoull(tokens[5]);
+        f.filetypeBlock = std::stoull(tokens[6]);
+        f.filetypeStride = std::stoull(tokens[7]);
+        f.sawCollective = tokens[8] == "1";
+        f.sawExplicitOffsets = tokens[9] == "1";
+        f.sawIndividualPointers = tokens[10] == "1";
+        f.np = std::stoi(tokens[11]);
+        if (tokens.size() > 12) f.sawNonBlocking = tokens[12] == "1";
+        data.files.push_back(std::move(f));
+      } else if (tokens[0] == "comm") {
+        const auto rank =
+            static_cast<std::size_t>(std::stoul(tokens.at(1)));
+        if (data.commEventsPerRank.size() <= rank) {
+          data.commEventsPerRank.resize(rank + 1, 0);
+        }
+        data.commEventsPerRank[rank] = std::stoull(tokens.at(2));
       }
-      FileMeta f;
-      f.fileId = std::stoi(tokens[1]);
-      f.path = tokens[2];
-      f.shared = tokens[3] == "1";
-      f.etypeBytes = std::stoull(tokens[4]);
-      f.viewDisp = std::stoull(tokens[5]);
-      f.filetypeBlock = std::stoull(tokens[6]);
-      f.filetypeStride = std::stoull(tokens[7]);
-      f.sawCollective = tokens[8] == "1";
-      f.sawExplicitOffsets = tokens[9] == "1";
-      f.sawIndividualPointers = tokens[10] == "1";
-      f.np = std::stoi(tokens[11]);
-      if (tokens.size() > 12) f.sawNonBlocking = tokens[12] == "1";
-      data.files.push_back(std::move(f));
-    } else if (tokens[0] == "comm") {
-      const auto rank = static_cast<std::size_t>(std::stoul(tokens.at(1)));
-      if (data.commEventsPerRank.size() <= rank) {
-        data.commEventsPerRank.resize(rank + 1, 0);
-      }
-      data.commEventsPerRank[rank] = std::stoull(tokens.at(2));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(metaPath.string() + ":" +
+                               std::to_string(lineNo) +
+                               ": malformed meta record (" + e.what() + ")");
     }
   }
   if (data.np <= 0) throw std::runtime_error("meta file missing np");

@@ -1,5 +1,6 @@
 // iop::sweep — campaign parsing, content-addressed caching, executor
 // determinism (-j1 == -jN byte-identical stores), resume and gc.
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -385,7 +386,10 @@ TEST(SweepConfig, BuildRejectsBadDegradation) {
 TEST(SweepDigest, GoldenCampaignDigestIsStable) {
   // Captured from the binary-heap scheduler before the calendar queue
   // landed: every cell of a 12-cell campaign, characterization included,
-  // must render byte-identical results on the new engine.
+  // must render byte-identical results on the new engine.  The trailing
+  // `checksum` seal is stripped before hashing — it is derived from the
+  // other bytes, and dropping it keeps the golden value comparable all
+  // the way back to stores written before cells were checksummed.
   const auto campaign = resolveTestCampaign(
       "name digest-probe\n"
       "app example\n"
@@ -395,7 +399,12 @@ TEST(SweepDigest, GoldenCampaignDigestIsStable) {
       "degrade-net 1 2 4\n");
   std::uint64_t h = 1469598103934665603ULL;
   for (const auto& cell : campaign.planCells()) {
-    const std::string bytes = sweep::evaluateCell(campaign, cell).render();
+    std::string bytes = sweep::evaluateCell(campaign, cell).render();
+    const auto seal = bytes.find("\nchecksum ");
+    if (seal != std::string::npos) {
+      const auto lineEnd = bytes.find('\n', seal + 1);
+      bytes.erase(seal, lineEnd - seal);
+    }
     for (const unsigned char c : bytes) {
       h ^= c;
       h *= 1099511628211ULL;
@@ -503,6 +512,272 @@ TEST(SweepExecutor, SharedStoreReusesAcrossCampaigns) {
     ASSERT_TRUE(pool.hasCell(cell.key));
     EXPECT_EQ(pool.loadCell(cell.key).key, cell.key);
   }
+}
+
+// ------------------------------------------------------ fault axis
+
+/// Write `text` to `dir/name` and return the path.
+std::filesystem::path writeFile(const std::filesystem::path& dir,
+                                const std::string& name,
+                                const std::string& text) {
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return path;
+}
+
+constexpr const char* kFlakyPlanText =
+    "policy timeout=20ms retries=6 backoff=1ms max-backoff=32ms "
+    "jitter=0.25\n"
+    "disk * transient-error p=0.2\n";
+
+/// A campaign with a fault axis: healthy baseline + 2 seeded replicas of
+/// a flaky-disk plan, over 2 configs -> 2 * (1 + 2) = 6 cells.
+sweep::ResolvedCampaign resolveFaultCampaign(const TempDir& dir) {
+  writeFile(dir.path(), "flaky.fault", kFlakyPlanText);
+  const std::string text =
+      "name fault-axis\n"
+      "app example\n"
+      "config A\n"
+      "config B\n"
+      "faultplan none\n"
+      "faultplan file=flaky.fault\n"
+      "fault-seeds 2\n";
+  return sweep::resolveCampaign(sweep::parseCampaign(text, dir.path()));
+}
+
+TEST(CampaignParse, FaultAxisParsesAndCanonicalizes) {
+  TempDir dir("faultparse");
+  const auto campaign = resolveFaultCampaign(dir);
+  ASSERT_EQ(campaign.spec.faults.size(), 2u);
+  EXPECT_TRUE(campaign.spec.faults[0].none());
+  EXPECT_EQ(campaign.spec.faults[1].label, "flaky");
+  EXPECT_EQ(campaign.spec.faultSeeds, 2);
+  EXPECT_TRUE(campaign.spec.hasFaultAxis());
+  ASSERT_EQ(campaign.faults.size(), 2u);
+  EXPECT_FALSE(campaign.faults[1].planText.empty());
+
+  const std::string canonical = campaign.spec.canonicalText();
+  EXPECT_NE(canonical.find("faultplan none none"), std::string::npos);
+  EXPECT_NE(canonical.find("fault-seeds 2"), std::string::npos);
+
+  // 2 configs x (healthy + 2 seeded flaky replicas).
+  const auto plan = campaign.planCells();
+  ASSERT_EQ(plan.size(), 6u);
+  std::size_t faulted = 0;
+  for (const auto& cell : plan) {
+    if (!cell.faulted()) continue;
+    ++faulted;
+    EXPECT_NE(campaign.cellTitle(cell).find("fault=flaky"),
+              std::string::npos);
+  }
+  EXPECT_EQ(faulted, 4u);
+
+  // Malformed fault directives fail loudly.
+  EXPECT_THROW(sweep::parseCampaign(
+                   "app example\nconfig A\nfaultplan bogus\n", "."),
+               std::invalid_argument);
+  EXPECT_THROW(sweep::parseCampaign(
+                   "app example\nconfig A\nfault-seeds 0\n", "."),
+               std::invalid_argument);
+}
+
+TEST(CampaignParse, NoFaultAxisKeepsLegacyIdentity) {
+  // A campaign that never mentions faults must canonicalize and key
+  // byte-identically to pre-fault stores (the back-compat gate).
+  auto spec = sweep::parseCampaign(kCampaignText, ".");
+  EXPECT_FALSE(spec.hasFaultAxis());
+  EXPECT_EQ(spec.canonicalText().find("faultplan"), std::string::npos);
+  EXPECT_EQ(spec.canonicalText().find("fault-seeds"), std::string::npos);
+  EXPECT_EQ(sweep::cellKey("est/1", "m", "c", 1.0, 1.0),
+            sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "", 0));
+}
+
+TEST(CellKey, RespondsToFaultPlanAndSeed) {
+  const std::string base =
+      sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "plan-a", 1);
+  EXPECT_EQ(base, sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "plan-a", 1));
+  EXPECT_NE(base, sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "plan-b", 1));
+  EXPECT_NE(base, sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "plan-a", 2));
+  EXPECT_NE(base, sweep::cellKey("est/1", "m", "c", 1.0, 1.0));
+}
+
+TEST(SweepExecutor, FaultAxisEndToEndDeterministicAndCached) {
+  TempDir dir("faultaxis");
+  const auto campaign = resolveFaultCampaign(dir);
+
+  TempDir serial("fault_serial");
+  TempDir parallel("fault_parallel");
+  sweep::CampaignStore storeSerial(serial.path());
+  sweep::CampaignStore storeParallel(parallel.path());
+
+  sweep::SweepOptions options;
+  options.jobs = 1;
+  const auto first = sweep::runSweep(campaign, storeSerial, options);
+  EXPECT_EQ(first.computed, 6u);
+  EXPECT_EQ(first.failures, 0u);
+
+  options.jobs = 4;
+  const auto par = sweep::runSweep(campaign, storeParallel, options);
+  EXPECT_EQ(par.computed, 6u);
+  // Same plan + seed must land on bit-identical stores at any -j.
+  EXPECT_EQ(snapshotTree(serial.path()), snapshotTree(parallel.path()));
+
+  // Faulted replicas hit the cache like any other cell.
+  const auto second = sweep::runSweep(campaign, storeSerial, options);
+  EXPECT_EQ(second.computed, 0u);
+  EXPECT_EQ(second.cacheHits, 6u);
+
+  // Faulted cells carry their accounting through the store round-trip.
+  bool sawFaulted = false;
+  for (const auto& cell : second.cells) {
+    if (!cell.spec.faulted()) continue;
+    sawFaulted = true;
+    EXPECT_EQ(cell.result.estimator, sweep::kFaultEstimatorVersion);
+    EXPECT_EQ(cell.result.faultLabel, "flaky");
+    EXPECT_EQ(cell.result.faultSeed, cell.spec.faultSeed);
+    EXPECT_GT(cell.result.faultRetries, 0u);
+    EXPECT_EQ(cell.result.iorRuns, 0u);  // degraded cells never run IOR
+  }
+  EXPECT_TRUE(sawFaulted);
+
+  // Ranking: healthy group + faulted group, the latter aggregated over
+  // seeds and ranked by median degraded Time_io.
+  const auto groups = sweep::rankOutcome(campaign, second);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_FALSE(groups[0].faulted);
+  EXPECT_TRUE(groups[1].faulted);
+  ASSERT_EQ(groups[1].entries.size(), 2u);
+  for (const auto& entry : groups[1].entries) {
+    EXPECT_EQ(entry.seeds, 2u);
+    EXPECT_EQ(entry.okSeeds, 2u);
+    EXPECT_GT(entry.timeIo, 0.0);
+  }
+  EXPECT_LE(groups[1].entries[0].timeIo, groups[1].entries[1].timeIo);
+  const std::string report = sweep::renderReport(campaign, second);
+  EXPECT_NE(report.find("[fault=flaky]"), std::string::npos);
+  EXPECT_NE(report.find("median Time_io (s)"), std::string::npos);
+  EXPECT_NE(report.find("seeds ok"), std::string::npos);
+}
+
+// -------------------------------------------------- store integrity
+
+TEST(SweepStore, ChecksumSealsEveryCell) {
+  sweep::CellResult cell;
+  cell.key = "00deadbeef001234";
+  cell.modelLabel = "m";
+  cell.configLabel = "c";
+  cell.estimator = "iop-estimate/2";
+  cell.timeIo = 12.25;
+  const std::string text = cell.render();
+  EXPECT_NE(text.find("\nchecksum "), std::string::npos);
+  // The rendered text round-trips; a flipped digit inside a value does
+  // not parse even though the line itself is still well-formed.
+  EXPECT_EQ(sweep::CellResult::parse(text).render(), text);
+  std::string tampered = text;
+  const auto pos = tampered.find("12.25");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[pos] = '9';
+  try {
+    sweep::CellResult::parse(tampered);
+    FAIL() << "tampered cell must not parse";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  // Legacy cells (written before checksums) still load.
+  std::string legacy = text;
+  const auto sumPos = legacy.find("\nchecksum ");
+  legacy = legacy.substr(0, sumPos + 1) + "end\n";
+  EXPECT_DOUBLE_EQ(sweep::CellResult::parse(legacy).timeIo, 12.25);
+}
+
+TEST(SweepStore, CorruptCellsAreQuarantinedAndRecomputed) {
+  const auto campaign = resolveTestCampaign(
+      "name quarantine\napp example\nconfig A\nconfig B\n");
+  TempDir dir("quarantine");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  sweep::runSweep(campaign, store, options);
+  const auto expected = snapshotTree(dir.path());
+
+  // Torn write: truncate one committed cell mid-file.
+  const auto plan = campaign.planCells();
+  const auto victim = store.cellPath(plan[0].key);
+  std::string bytes;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  std::ofstream(victim, std::ios::binary) << bytes.substr(0, bytes.size() / 2);
+
+  std::string whyBad;
+  EXPECT_FALSE(store.tryLoadCell(plan[0].key, &whyBad).has_value());
+  EXPECT_FALSE(whyBad.empty());
+  EXPECT_FALSE(std::filesystem::exists(victim));  // moved aside...
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "quarantine"));
+
+  // ...and the next run recomputes it, converging back on the same bytes
+  // (minus the quarantine folder).
+  const auto outcome = sweep::runSweep(campaign, store, options);
+  EXPECT_EQ(outcome.computed, 1u);
+  EXPECT_EQ(outcome.quarantined, 0u);  // already quarantined above
+  EXPECT_EQ(outcome.failures, 0u);
+  auto after = snapshotTree(dir.path());
+  for (auto it = after.begin(); it != after.end();) {
+    it = it->first.rfind("quarantine/", 0) == 0 ? after.erase(it) : ++it;
+  }
+  EXPECT_EQ(after, expected);
+}
+
+// ------------------------------------------------- graceful shutdown
+
+TEST(SweepExecutor, CancelSkipsUntakenCellsAndResumeConverges) {
+  const auto campaign = resolveTestCampaign(
+      "name cancel\napp example\nconfig A\nconfig B\n"
+      "degrade-disks 1 4\n");
+  ASSERT_EQ(campaign.planCells().size(), 4u);
+
+  TempDir full("cancel_full");
+  sweep::CampaignStore fullStore(full.path());
+  sweep::SweepOptions plain;
+  sweep::runSweep(campaign, fullStore, plain);
+  const auto expected = snapshotTree(full.path());
+
+  // Cancel after the first completed cell: in-flight work is committed,
+  // untaken cells are reported skipped, and the exit is resumable.
+  TempDir killed("cancel_killed");
+  sweep::CampaignStore killedStore(killed.path());
+  std::atomic<bool> cancel{false};
+  sweep::SweepOptions interruptible;
+  interruptible.jobs = 1;
+  interruptible.cancel = &cancel;
+  interruptible.onCellDone = [&](const sweep::CellOutcome&) {
+    cancel.store(true);
+  };
+  const auto interrupted =
+      sweep::runSweep(campaign, killedStore, interruptible);
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_FALSE(interrupted.ok());
+  EXPECT_EQ(interrupted.computed, 1u);
+  EXPECT_EQ(interrupted.skipped, 3u);
+  std::size_t skippedCells = 0;
+  for (const auto& cell : interrupted.cells) {
+    if (cell.status == sweep::CellOutcome::Status::Skipped) {
+      ++skippedCells;
+      EXPECT_NE(cell.error.find("resume"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(skippedCells, 3u);
+
+  // Resume finishes the remainder and lands on the uninterrupted bytes.
+  const auto resumed = sweep::runSweep(campaign, killedStore, plain);
+  EXPECT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.cacheHits, 1u);
+  EXPECT_EQ(resumed.computed, 3u);
+  EXPECT_EQ(snapshotTree(killed.path()), expected);
 }
 
 }  // namespace

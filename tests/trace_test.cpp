@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "trace/summary.hpp"
 #include "trace/tracefile.hpp"
@@ -113,6 +116,114 @@ TEST(TraceFile, WriteReadRoundTrip) {
 TEST(TraceFile, ReadMissingFileThrows) {
   EXPECT_THROW(readTraces("/nonexistent-dir-xyz", "nope"),
                std::runtime_error);
+}
+
+/// Scratch trace directory with a minimal valid meta file; tests then
+/// drop hostile rank files next to it.
+class HostileTraceDir {
+ public:
+  explicit HostileTraceDir(const std::string& name)
+      : dir_(std::filesystem::temp_directory_path() /
+             ("iop_trace_hostile_" + name)) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    writeFile("h.meta", "# iop-trace-meta v1\napp h\nnp 1\n");
+  }
+  ~HostileTraceDir() { std::filesystem::remove_all(dir_); }
+
+  void writeFile(const std::string& name, const std::string& bytes) {
+    std::ofstream out(dir_ / name, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// readTraces must fail with a diagnostic carrying every fragment in
+/// `needles` — at minimum the file and 1-based line of the bad record.
+void expectReadError(const HostileTraceDir& scratch,
+                     const std::vector<std::string>& needles) {
+  try {
+    readTraces(scratch.dir(), "h");
+    FAIL() << "expected malformed-trace error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    for (const auto& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "diagnostic '" << what << "' lacks '" << needle << "'";
+    }
+  }
+}
+
+TEST(TraceFileHostile, EmptyRankFileIsZeroRecords) {
+  HostileTraceDir scratch("empty");
+  scratch.writeFile("h.trace.0", "");
+  const auto data = readTraces(scratch.dir(), "h");
+  EXPECT_TRUE(data.perRank[0].empty());
+}
+
+TEST(TraceFileHostile, BlankLinesAndCommentsAreIgnored) {
+  HostileTraceDir scratch("comments");
+  scratch.writeFile("h.trace.0",
+                    "# header\n\n   \n0 1 MPI_File_write 0 1 100 0.5 0.1\n");
+  const auto data = readTraces(scratch.dir(), "h");
+  ASSERT_EQ(data.perRank[0].size(), 1u);
+  EXPECT_EQ(data.perRank[0][0].requestBytes, 100u);
+}
+
+TEST(TraceFileHostile, MidRecordTruncationNamesFileAndLine) {
+  // A kill mid-write leaves a final record missing fields.
+  HostileTraceDir scratch("truncated");
+  scratch.writeFile("h.trace.0",
+                    "0 1 MPI_File_write 0 1 100 0.5 0.1\n"
+                    "0 1 MPI_File_write 100 2 100 0.6");
+  expectReadError(scratch, {"h.trace.0:2:", "malformed trace record",
+                            "MPI_File_write 100 2 100 0.6"});
+}
+
+TEST(TraceFileHostile, NulBytesAreEscapedInTheDiagnostic) {
+  HostileTraceDir scratch("nul");
+  std::string line = "0 1 MPI_File_write 0";
+  line.push_back('\0');
+  line += "9 1 100 0.5 0.1\n";
+  scratch.writeFile("h.trace.0", line);
+  // The NUL lands inside the offset field and fails the parse; the
+  // excerpt must render it visibly instead of silently truncating the
+  // message at the first zero byte.
+  expectReadError(scratch, {"h.trace.0:1:", "\\x00"});
+}
+
+TEST(TraceFileHostile, HugeOffsetsRoundTrip) {
+  // Offsets past 2 GiB (and near UINT64_MAX) must parse exactly; 32-bit
+  // arithmetic anywhere in the parser would mangle them.
+  HostileTraceDir scratch("huge");
+  scratch.writeFile("h.trace.0",
+                    "0 1 MPI_File_write 4294967296 1 2147483648 0.5 0.1\n"
+                    "0 1 MPI_File_write 18446744073709551615 2 1 0.5 0.1\n");
+  const auto data = readTraces(scratch.dir(), "h");
+  ASSERT_EQ(data.perRank[0].size(), 2u);
+  EXPECT_EQ(data.perRank[0][0].offsetUnits, 4294967296ULL);
+  EXPECT_EQ(data.perRank[0][0].requestBytes, 2147483648ULL);
+  EXPECT_EQ(data.perRank[0][1].offsetUnits, 18446744073709551615ULL);
+}
+
+TEST(TraceFileHostile, OverlongLinesAreClippedInTheDiagnostic) {
+  HostileTraceDir scratch("overlong");
+  scratch.writeFile("h.trace.0", std::string(4096, 'A') + "\n");
+  expectReadError(scratch, {"h.trace.0:1:", "... (4096 bytes)"});
+}
+
+TEST(TraceFileHostile, MalformedMetaNamesFileAndLine) {
+  HostileTraceDir scratch("meta");
+  scratch.writeFile("h.meta", "# iop-trace-meta v1\napp h\nnp banana\n");
+  expectReadError(scratch, {"h.meta:3:", "malformed meta record"});
+
+  scratch.writeFile("h.meta",
+                    "app h\nnp 1\nfile 1 data.bin 1 40\n");  // short row
+  expectReadError(scratch, {"h.meta:3:", "needs at least 12 fields"});
 }
 
 TEST(TraceFile, RenderTableMatchesFigure2Shape) {

@@ -34,12 +34,15 @@ unset ASAN_OPTIONS
 run_flavor ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIOP_SANITIZE=undefined
 
 # ThreadSanitizer covers the one multithreaded subsystem: the sweep
-# layer — the cell-evaluation executor and the parallel app
-# characterization at campaign resolve (both in sweep_test, including
-# CampaignResolve.ParallelCharacterizationMatchesSerial and the shared
-# thread-local FrameArena under concurrent engines).  Building only its
-# test keeps the flavor cheap; everything else in the tree is
-# single-threaded by design.
+# layer — the cell-evaluation executor (including the fault-injected
+# degraded cells of SweepExecutor.FaultAxisEndToEndDeterministicAndCached
+# and the cancel/resume path), and the parallel app characterization at
+# campaign resolve (CampaignResolve.ParallelCharacterizationMatchesSerial,
+# with the shared thread-local FrameArena under concurrent engines).
+# Building only its test keeps the flavor cheap; everything else in the
+# tree is single-threaded by design.  The ASan/UBSan flavors above run the
+# full suite, so the hostile-input trace corpus (TraceFileHostile.*) and
+# the corrupt store-cell tests execute under both sanitizers.
 tsan_dir="$root/build-ci/tsan"
 echo "=== [tsan] configure + build sweep_test ==="
 cmake -B "$tsan_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -7,10 +7,12 @@
 #include <cstdio>
 
 #include "analysis/blame.hpp"
+#include "analysis/degraded.hpp"
 #include "analysis/multiop.hpp"
 #include "analysis/replay.hpp"
 #include "analysis/synthesize.hpp"
 #include "core/iomodel.hpp"
+#include "fault/plan.hpp"
 #include "mpi/runtime.hpp"
 #include "obs/hub.hpp"
 #include "toolkit.hpp"
@@ -30,6 +32,11 @@ int main(int argc, char** argv) {
   args.addFlag("blame",
                "additionally run the model's synthetic replay on the "
                "target and print its critical-path blame table");
+  args.addOption("fault-plan",
+                 "fault plan file (docs/FAULTS.md); adds degraded-mode "
+                 "Time_io across seeded fault replicas");
+  args.addOption("fault-seeds",
+                 "number of seeded fault replicas for --fault-plan", "3");
   tools::addObsOptions(args);
   try {
     args.parse(argc, argv);
@@ -81,6 +88,66 @@ int main(int argc, char** argv) {
     std::printf("%s", table.render().c_str());
     std::printf("total estimated I/O time: %.2f s (%zu IOR runs)\n",
                 estimate.totalTimeSec, replayer.benchmarkRuns());
+
+    if (args.has("fault-plan")) {
+      // Degraded mode: replay the whole model (synthetic app, preserving
+      // inter-phase ordering and absolute time) under the fault plan, once
+      // per seed, on fresh un-instrumented clusters.
+      const auto plan = fault::loadFaultPlan(args.get("fault-plan"));
+      const int nSeeds =
+          static_cast<int>(args.getInt("fault-seeds", 3));
+      if (nSeeds < 1) {
+        throw std::invalid_argument("--fault-seeds must be >= 1");
+      }
+      std::vector<std::uint64_t> seeds;
+      for (int i = 0; i < nSeeds; ++i) {
+        seeds.push_back(static_cast<std::uint64_t>(i + 1));
+      }
+      const auto degraded =
+          analysis::estimateDegraded(model, configured, plan, seeds);
+
+      util::Table dtable("degraded Time_io under " +
+                         args.get("fault-plan") + " (" +
+                         std::to_string(seeds.size()) + " replicas)");
+      dtable.setHeader(
+          {"Phase", "weight", "median T (s)", "median stall", "max stall"},
+          {util::Align::Left, util::Align::Right, util::Align::Right,
+           util::Align::Right, util::Align::Right});
+      for (const auto& row : degraded.phases) {
+        char t[32], st[32], mx[32];
+        std::snprintf(t, sizeof t, "%.2f", row.medianTimeSec);
+        std::snprintf(st, sizeof st, "%.3f", row.medianStallSec);
+        std::snprintf(mx, sizeof mx, "%.3f", row.maxStallSec);
+        dtable.addRow({"Phase " + std::to_string(row.phaseId),
+                       util::formatBytesApprox(row.weightBytes), t, st, mx});
+      }
+      std::printf("\n%s", dtable.render().c_str());
+      for (const auto& replica : degraded.replicas) {
+        if (replica.ok) {
+          std::printf("replica seed=%llu: Time_io %.2f s, %llu retries, "
+                      "%llu failovers, %.3f s stalled\n",
+                      static_cast<unsigned long long>(replica.seed),
+                      replica.timeIo,
+                      static_cast<unsigned long long>(replica.retries),
+                      static_cast<unsigned long long>(replica.failovers),
+                      replica.stallSeconds);
+        } else {
+          std::printf("replica seed=%llu: FAILED (%s)\n",
+                      static_cast<unsigned long long>(replica.seed),
+                      replica.error.c_str());
+        }
+      }
+      if (degraded.allFailed()) {
+        std::printf("degraded I/O time: all %zu replicas failed\n",
+                    degraded.replicas.size());
+      } else {
+        std::printf("degraded I/O time: min %.2f / median %.2f / max %.2f s "
+                    "over %zu of %zu replicas\n",
+                    degraded.minTimeIo, degraded.medianTimeIo,
+                    degraded.maxTimeIo, degraded.okReplicas,
+                    degraded.replicas.size());
+      }
+    }
     if (args.flag("blame")) {
       // Simulate the whole model on the target (synthetic replay keeps
       // inter-phase ordering and cache state) with dependency edges on,

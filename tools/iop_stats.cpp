@@ -13,6 +13,8 @@
 
 #include "analysis/blame.hpp"
 #include "core/iomodel.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "monitor/monitor.hpp"
 #include "mpi/runtime.hpp"
 #include "obs/capture.hpp"
@@ -43,6 +45,11 @@ int main(int argc, char** argv) {
   args.addOption("degrade-net",
                  "scale every network transfer by this factor (>= 1); "
                  "fault injection for transfer-bound configurations");
+  args.addOption("fault-plan",
+                 "fault plan file (docs/FAULTS.md): seeded transient "
+                 "errors, down windows, crashes, and stragglers with "
+                 "retry/backoff/failover recovery");
+  args.addOption("fault-seed", "replica seed for --fault-plan", "1");
   try {
     args.parse(argc, argv);
     if (args.helpRequested()) {
@@ -77,6 +84,19 @@ int main(int argc, char** argv) {
       session.log().info("tool", "net_degraded",
                          "\"factor\":" + std::to_string(factor));
     }
+    std::shared_ptr<fault::FaultInjector> injector;
+    if (args.has("fault-plan")) {
+      const auto plan = fault::loadFaultPlan(args.get("fault-plan"));
+      const auto seed =
+          static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
+      injector = fault::installFaults(cluster, plan, seed);
+      session.log().info(
+          "tool", "faults_attached",
+          "\"plan\":\"" +
+              obs::TraceRecorder::jsonEscape(args.get("fault-plan")) +
+              "\",\"seed\":" + std::to_string(seed) +
+              ",\"rules\":" + std::to_string(plan.rules.size()));
+    }
     const int np = static_cast<int>(args.getInt("np", 16));
     const std::string appName = args.get("app");
 
@@ -88,9 +108,19 @@ int main(int argc, char** argv) {
     opts.onAppComplete = [&mon] { mon.stop(); };
     mpi::Runtime runtime(*cluster.topology, opts);
     double makespan = 0;
+    std::string runError;
     {
       IOP_PROFILE_SCOPE("app.run");
-      makespan = runtime.runToCompletion(tools::makeAppMain(args, cluster));
+      try {
+        makespan =
+            runtime.runToCompletion(tools::makeAppMain(args, cluster));
+      } catch (const storage::IoFault& e) {
+        // The fault plan killed the run (retries exhausted, no failover
+        // left).  Surface the phase-level error but still report what the
+        // injector observed up to that point.
+        runError = e.what();
+        makespan = cluster.engine->now();
+      }
     }
     auto data = tracer.takeData();
     auto model = core::extractModel(data, {});
@@ -102,6 +132,22 @@ int main(int argc, char** argv) {
                 model.phases().size());
     std::printf("%s\n", session.metrics().renderSummary().c_str());
     std::printf("%s", obs::Profiler::global().renderReport().c_str());
+
+    if (injector != nullptr) {
+      const auto& acct = injector->accounting();
+      std::printf("\nfault plan %s (seed %llu): %llu retries, %llu "
+                  "exhausted, %llu failovers, %.3f s stalled, %zu events\n",
+                  args.get("fault-plan").c_str(),
+                  static_cast<unsigned long long>(injector->seed()),
+                  static_cast<unsigned long long>(acct.retries),
+                  static_cast<unsigned long long>(acct.exhausted),
+                  static_cast<unsigned long long>(acct.failovers),
+                  acct.stallSeconds, injector->events().size());
+    }
+    if (!runError.empty()) {
+      std::fprintf(stderr, "iop-stats: run failed under fault plan: %s\n",
+                   runError.c_str());
+    }
 
     if (args.flag("blame")) {
       std::printf("\n%s",
@@ -148,7 +194,7 @@ int main(int argc, char** argv) {
                     args.get("metrics-out").c_str());
       }
     }
-    return 0;
+    return runError.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "iop-stats: %s\n", e.what());
     return 1;

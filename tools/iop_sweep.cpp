@@ -15,8 +15,11 @@
 //
 // Exit codes: 0 ok, 1 cell failures (or missing cells in report), 2 usage
 // or campaign errors.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -33,6 +36,22 @@
 namespace {
 
 using namespace iop;
+
+/// SIGINT/SIGTERM request graceful shutdown: workers finish and commit
+/// the cells in flight, untouched cells stay resumable.  A second signal
+/// falls through to the default handler (immediate kill) — the store is
+/// safe either way because cells commit via atomic renames.
+std::atomic<bool> gCancelRequested{false};
+
+extern "C" void onShutdownSignal(int signum) {
+  gCancelRequested.store(true, std::memory_order_relaxed);
+  std::signal(signum, SIG_DFL);
+}
+
+void installShutdownHandlers() {
+  std::signal(SIGINT, onShutdownSignal);
+  std::signal(SIGTERM, onShutdownSignal);
+}
 
 /// Expand the familiar make-style "-j4" / "-j 4" into "--jobs 4".
 std::vector<std::string> expandJobsShorthand(int argc, char** argv) {
@@ -104,22 +123,30 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
   options.force = args.flag("force");
   options.writeCaptures = !args.flag("no-captures");
   options.sharedStore = loaded.sharedStore;
+  options.cancel = &gCancelRequested;
+  installShutdownHandlers();
 
   obs::MetricsRegistry* metrics =
       obs.active() ? &obs.session()->metrics() : nullptr;
   const auto outcome = sweep::runSweep(loaded.campaign, loaded.store,
                                        options, &obs.log(), metrics);
 
-  const std::string sharedNote =
+  std::string note =
       loaded.sharedStore.empty()
           ? std::string()
           : ", " + std::to_string(outcome.sharedHits) + " shared hits";
+  if (outcome.skipped > 0) {
+    note += ", " + std::to_string(outcome.skipped) + " skipped";
+  }
+  if (outcome.quarantined > 0) {
+    note += ", " + std::to_string(outcome.quarantined) + " quarantined";
+  }
   std::printf("campaign %s: %zu cells, %zu cached, %zu computed, "
               "%zu failed (%.2fs wall, %zu IOR runs, -j%d%s)\n",
               loaded.campaign.spec.name.c_str(), outcome.cells.size(),
               outcome.cacheHits, outcome.computed, outcome.failures,
               outcome.wallSeconds, outcome.iorRuns, options.jobs,
-              sharedNote.c_str());
+              note.c_str());
   for (const auto& cell : outcome.cells) {
     if (cell.status == sweep::CellOutcome::Status::Failed) {
       std::fprintf(stderr, "iop-sweep: cell %s failed: %s\n",
@@ -128,6 +155,16 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
     }
   }
   std::printf("%s", sweep::renderReport(loaded.campaign, outcome).c_str());
+  if (outcome.interrupted) {
+    std::fprintf(stderr,
+                 "iop-sweep: interrupted — %zu completed cells are "
+                 "committed; rerun `iop-sweep resume --campaign %s "
+                 "--store %s` to finish the remaining %zu\n",
+                 outcome.cacheHits + outcome.computed,
+                 args.get("campaign").c_str(), args.get("store").c_str(),
+                 outcome.skipped);
+    return 130;
+  }
   return outcome.ok() ? 0 : 1;
 }
 
@@ -139,13 +176,22 @@ int cmdReport(const util::Args& args, tools::ObsSession& obs) {
   for (const auto& cell : loaded.campaign.planCells()) {
     sweep::CellOutcome out;
     out.spec = cell;
+    std::string whyBad;
+    std::optional<sweep::CellResult> result;
     if (loaded.store.hasCell(cell.key)) {
+      // Corrupt cells are quarantined and reported missing, pointing the
+      // user at a resume instead of aborting the whole report.
+      result = loaded.store.tryLoadCell(cell.key, &whyBad);
+    }
+    if (result) {
       out.status = sweep::CellOutcome::Status::Cached;
-      out.result = loaded.store.loadCell(cell.key);
+      out.result = std::move(*result);
       ++outcome.cacheHits;
     } else {
       out.status = sweep::CellOutcome::Status::Failed;
-      out.error = "not in store (run the campaign first)";
+      out.error = whyBad.empty()
+                      ? "not in store (run the campaign first)"
+                      : "quarantined (" + whyBad + "); resume to recompute";
       ++outcome.failures;
       ++missing;
     }
