@@ -45,6 +45,22 @@ void Histogram::observe(double value) noexcept {
   if (value > max_) max_ = value;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument(
+        "cannot merge histograms with different bounds");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
 void MetricsRegistry::checkFree(const std::string& name,
                                 const char* wanted) const {
   const bool taken = (counters_.count(name) && wanted != std::string("c")) ||
@@ -89,6 +105,18 @@ const Histogram* MetricsRegistry::findHistogram(
     const std::string& name) const {
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).merge(c);
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).merge(g);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bounds()).merge(h);
+  }
 }
 
 std::string MetricsRegistry::renderCsv() const {

@@ -19,6 +19,7 @@ const char* processName(TrackKind kind) {
     case TrackKind::Device: return "storage devices";
     case TrackKind::Profiler: return "analysis profiler (wall clock)";
     case TrackKind::Sim: return "simulation engine";
+    case TrackKind::Worker: return "sweep workers (wall clock)";
   }
   return "?";
 }

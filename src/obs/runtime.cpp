@@ -1,0 +1,516 @@
+#include "obs/runtime.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace iop::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+/// Prometheus metric name: `sweep.cell_seconds` -> `iop_sweep_cell_seconds`.
+std::string promName(const std::string& name) {
+  std::string out = "iop_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Local atomic replace (obs cannot depend on the sweep store's helper):
+/// unique temp name, then rename.
+void replaceFile(const std::filesystem::path& path,
+                 const std::string& text) {
+  static std::atomic<unsigned long> counter{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(static_cast<long>(getpid())) +
+      "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      throw std::runtime_error("obs: failed writing " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ instruments
+
+void RuntimeGauge::add(double delta) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+RuntimeHistogram::RuntimeHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("runtime histogram needs at least one bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("runtime histogram bounds must be ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void RuntimeHistogram::observe(double value) noexcept {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> RuntimeHistogram::bucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- registry
+
+void RuntimeMetrics::checkFree(const std::string& name, char wanted) const {
+  const bool taken = (counters_.count(name) && wanted != 'c') ||
+                     (gauges_.count(name) && wanted != 'g') ||
+                     (histograms_.count(name) && wanted != 'h');
+  if (taken) {
+    throw std::logic_error("runtime metric '" + name +
+                           "' already registered with another kind");
+  }
+}
+
+RuntimeCounter& RuntimeMetrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  checkFree(name, 'c');
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<RuntimeCounter>();
+  return *slot;
+}
+
+RuntimeGauge& RuntimeMetrics::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  checkFree(name, 'g');
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<RuntimeGauge>();
+  return *slot;
+}
+
+RuntimeHistogram& RuntimeMetrics::histogram(const std::string& name,
+                                            std::vector<double> bounds) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  checkFree(name, 'h');
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<RuntimeHistogram>(std::move(bounds));
+  return *slot;
+}
+
+const RuntimeCounter* RuntimeMetrics::findCounter(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const RuntimeGauge* RuntimeMetrics::findGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const RuntimeHistogram* RuntimeMetrics::findHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string RuntimeMetrics::renderProm() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = promName(name) + "_total";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = promName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << num(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = promName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    const auto counts = h->bucketCounts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += counts[i];
+      out << prom << "_bucket{le=\"" << num(h->bounds()[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    cumulative += counts.back();
+    out << prom << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << prom << "_sum " << num(h->sum()) << "\n";
+    out << prom << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+void RuntimeMetrics::writeProm(const std::filesystem::path& path) const {
+  replaceFile(path, renderProm());
+}
+
+// ------------------------------------------------------------ snapshotter
+
+TelemetrySnapshotter::TelemetrySnapshotter(const RuntimeMetrics& metrics,
+                                           std::filesystem::path path,
+                                           int intervalMs)
+    : metrics_(metrics),
+      path_(std::move(path)),
+      intervalMs_(std::max(1, intervalMs)) {
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  writeOnce();  // the file exists from t=0, not only after one interval
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait_for(lock, std::chrono::milliseconds(intervalMs_),
+                   [this] { return stopping_; });
+      if (stopping_) return;
+      lock.unlock();
+      writeOnce();
+      lock.lock();
+    }
+  });
+}
+
+TelemetrySnapshotter::~TelemetrySnapshotter() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor must not throw; the final snapshot is best-effort here.
+  }
+}
+
+void TelemetrySnapshotter::stop() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  writeOnce();  // final state always lands on disk
+}
+
+void TelemetrySnapshotter::writeOnce() {
+  metrics_.writeProm(path_);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- journal
+
+RunJournal::RunJournal(std::filesystem::path path)
+    : path_(std::move(path)), epoch_(std::chrono::steady_clock::now()) {
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  file_ = std::fopen(path_.string().c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("obs: cannot open journal " + path_.string());
+  }
+  const auto unixMs =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  event("journal_start",
+        "\"schema\":\"" + std::string(kSchema) +
+            "\",\"unix_ms\":" + std::to_string(unixMs) +
+            ",\"pid\":" + std::to_string(static_cast<long>(getpid())));
+}
+
+RunJournal::~RunJournal() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+double RunJournal::elapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void RunJournal::event(const std::string& name,
+                       const std::string& fieldsJson) {
+  char ts[40];
+  std::snprintf(ts, sizeof ts, "%.6f", elapsedSeconds());
+  std::string line = "{\"t\":";
+  line += ts;
+  line += ",\"event\":\"";
+  line += TraceRecorder::jsonEscape(name);
+  line += "\"";
+  if (!fieldsJson.empty()) {
+    line += ",";
+    line += fieldsJson;
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  // One flush per event: the whole point of a flight recorder is that a
+  // SIGKILL loses at most the line being written.
+  std::fflush(file_);
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------- journal parser
+
+namespace {
+
+/// Decode a JSON string literal starting at text[i] == '"'.  Returns
+/// false on malformed input; on success `i` is one past the closing
+/// quote.
+bool parseJsonString(const std::string& text, std::size_t& i,
+                     std::string& out) {
+  if (i >= text.size() || text[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c != '\\') {
+      out += c;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= text.size()) return false;
+    const char esc = text[i + 1];
+    i += 2;
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 > text.size()) return false;
+        unsigned cp = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = text[i + static_cast<std::size_t>(k)];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        i += 4;
+        // Encode as UTF-8; lone surrogates become U+FFFD (the journal
+        // writer never emits them, but the parser must not crash).
+        if (cp >= 0xd800 && cp <= 0xdfff) cp = 0xfffd;
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xc0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+          out += static_cast<char>(0xe0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+          out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+void skipSpace(const std::string& text, std::size_t& i) {
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\r')) {
+    ++i;
+  }
+}
+
+/// Parse one flat JSON object line into a JournalEvent.  The journal only
+/// ever writes flat objects (no nesting), so nested values are rejected.
+bool parseJournalLine(const std::string& line, JournalEvent& out) {
+  out = JournalEvent{};
+  std::size_t i = 0;
+  skipSpace(line, i);
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skipSpace(line, i);
+  if (i < line.size() && line[i] == '}') return false;  // an empty event
+  for (;;) {
+    skipSpace(line, i);
+    std::string key;
+    if (!parseJsonString(line, i, key)) return false;
+    skipSpace(line, i);
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skipSpace(line, i);
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parseJsonString(line, i, value)) return false;
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        if (line[i] == '{' || line[i] == '[') return false;
+        ++i;
+      }
+      value = line.substr(start, i - start);
+      while (!value.empty() &&
+             (value.back() == ' ' || value.back() == '\t')) {
+        value.pop_back();
+      }
+      if (value.empty()) return false;
+    }
+    out.fields[key] = value;
+    skipSpace(line, i);
+    if (i >= line.size()) return false;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') {
+      ++i;
+      break;
+    }
+    return false;
+  }
+  skipSpace(line, i);
+  if (i != line.size()) return false;
+  const std::string* name = out.field("event");
+  const std::string* t = out.field("t");
+  if (name == nullptr || t == nullptr) return false;
+  out.name = *name;
+  char* end = nullptr;
+  out.t = std::strtod(t->c_str(), &end);
+  return end == t->c_str() + t->size();
+}
+
+}  // namespace
+
+JournalParse parseJournal(const std::string& text) {
+  JournalParse out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    const bool torn = end == std::string::npos;
+    if (torn) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    JournalEvent ev;
+    // A file that doesn't end in '\n' was cut mid-write: its final line
+    // is torn by definition, whether or not it happens to parse.
+    if (!torn && parseJournalLine(line, ev)) {
+      out.events.push_back(std::move(ev));
+    } else {
+      ++out.badLines;
+    }
+  }
+  return out;
+}
+
+JournalParse loadJournal(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("obs: cannot open journal " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseJournal(buffer.str());
+}
+
+// -------------------------------------------------------------- exec trace
+
+ExecTrace::ExecTrace() : epoch_(std::chrono::steady_clock::now()) {}
+
+double ExecTrace::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+int ExecTrace::workerTrack(std::size_t worker) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return recorder_.track(TrackKind::Worker,
+                         "worker " + std::to_string(worker));
+}
+
+int ExecTrace::controlTrack() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return recorder_.track(TrackKind::Worker, "executor");
+}
+
+void ExecTrace::span(int tid, const std::string& name,
+                     const std::string& cat, double beginSec, double endSec,
+                     std::string argsJson) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  recorder_.span(TrackKind::Worker, tid, name, cat, beginSec, endSec,
+                 std::move(argsJson));
+}
+
+void ExecTrace::instant(int tid, const std::string& name,
+                        const std::string& cat, double atSec,
+                        std::string argsJson) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  recorder_.instant(TrackKind::Worker, tid, name, cat, atSec,
+                    std::move(argsJson));
+}
+
+void ExecTrace::counterSample(int tid, const std::string& name, double atSec,
+                              double value) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  recorder_.counterSample(TrackKind::Worker, tid, name, atSec, value);
+}
+
+std::size_t ExecTrace::eventCount() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return recorder_.eventCount();
+}
+
+void ExecTrace::saveJson(const std::string& path) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  recorder_.saveJson(path);
+}
+
+}  // namespace iop::obs

@@ -1,8 +1,21 @@
 #include "sim/framepool.hpp"
 
+#include <algorithm>
 #include <new>
 
 namespace iop::sim {
+
+namespace {
+
+void* allocateSlab(std::size_t bytes) {
+  return ::operator new(bytes, std::align_val_t{bytes});
+}
+
+void releaseSlab(void* slab, std::size_t bytes) noexcept {
+  ::operator delete(slab, std::align_val_t{bytes});
+}
+
+}  // namespace
 
 FrameArena& FrameArena::local() {
   thread_local FrameArena arena;
@@ -10,7 +23,7 @@ FrameArena& FrameArena::local() {
 }
 
 FrameArena::~FrameArena() {
-  for (void* slab : slabs_) ::operator delete(slab);
+  for (void* slab : slabs_) releaseSlab(slab, kSlabBytes);
 }
 
 void* FrameArena::allocate(std::size_t n) {
@@ -22,21 +35,29 @@ void* FrameArena::allocate(std::size_t n) {
   const std::size_t cls = (n - 1) / kGranularity;
   if (void* head = freeLists_[cls]; head != nullptr) {
     freeLists_[cls] = *static_cast<void**>(head);
+    ++slabOf(head)->live;
     ++stats_.reuses;
     --stats_.freeFrames;
+    ++stats_.liveFrames;
     return head;
   }
   const std::size_t bytes = (cls + 1) * kGranularity;
   if (slabLeft_ < bytes) {
-    slabs_.push_back(::operator new(kSlabBytes));
-    slabCur_ = static_cast<unsigned char*>(slabs_.back());
-    slabLeft_ = kSlabBytes;
+    void* slab = allocateSlab(kSlabBytes);
+    new (slab) SlabHeader{};
+    slabs_.push_back(slab);
+    // The first granule belongs to the header, so frames never sit at
+    // the slab boundary and slabOf() stays unambiguous.
+    slabCur_ = static_cast<unsigned char*>(slab) + kGranularity;
+    slabLeft_ = kSlabBytes - kGranularity;
     stats_.slabBytes += kSlabBytes;
   }
   void* p = slabCur_;
   slabCur_ += bytes;
   slabLeft_ -= bytes;
+  ++slabOf(p)->live;
   ++stats_.slabCarves;
+  ++stats_.liveFrames;
   return p;
 }
 
@@ -50,7 +71,59 @@ void FrameArena::deallocate(void* p, std::size_t n) noexcept {
   const std::size_t cls = (n - 1) / kGranularity;
   *static_cast<void**>(p) = freeLists_[cls];
   freeLists_[cls] = p;
+  --slabOf(p)->live;
   ++stats_.freeFrames;
+  --stats_.liveFrames;
+}
+
+std::size_t FrameArena::trim() noexcept {
+  ++stats_.trims;
+  bool anyDead = false;
+  for (void* slab : slabs_) {
+    if (static_cast<SlabHeader*>(slab)->live == 0) {
+      anyDead = true;
+      break;
+    }
+  }
+  if (!anyDead) return 0;
+
+  // Purge recycled frames belonging to dead slabs from every free list
+  // *before* the slabs go away (the membership test reads the header).
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    void** link = &freeLists_[cls];
+    while (*link != nullptr) {
+      void* frame = *link;
+      if (slabOf(frame)->live == 0) {
+        *link = *static_cast<void**>(frame);
+        --stats_.freeFrames;
+      } else {
+        link = static_cast<void**>(frame);
+      }
+    }
+  }
+
+  // Drop the bump pointer if it points into a dying slab.  slabCur_ is
+  // strictly inside its slab whenever slabLeft_ > 0 (the header granule
+  // precedes all frames), so masking it down is safe; with slabLeft_ == 0
+  // the cursor may sit exactly on the next slab boundary, but then it is
+  // unusable anyway and can be dropped unconditionally.
+  if (slabLeft_ == 0 || slabOf(slabCur_)->live == 0) {
+    slabCur_ = nullptr;
+    slabLeft_ = 0;
+  }
+
+  std::size_t released = 0;
+  auto dead = std::stable_partition(
+      slabs_.begin(), slabs_.end(),
+      [](void* slab) { return static_cast<SlabHeader*>(slab)->live != 0; });
+  for (auto it = dead; it != slabs_.end(); ++it) {
+    releaseSlab(*it, kSlabBytes);
+    released += kSlabBytes;
+    ++stats_.slabsReleased;
+  }
+  slabs_.erase(dead, slabs_.end());
+  stats_.slabBytes -= released;
+  return released;
 }
 
 }  // namespace iop::sim

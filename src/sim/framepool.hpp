@@ -7,11 +7,20 @@
 // simulation — spawning the same coroutine shapes over and over — does no
 // heap allocation at all.
 //
+// Slabs are allocated 64 KiB-*aligned* and open with a SlabHeader holding
+// the count of outstanding (live) frames carved from that slab, so any
+// pooled frame pointer can be mapped back to its slab with a mask.  That
+// makes the arena shrinkable: trim() releases every slab whose live count
+// has fallen to zero (purging its frames from the free lists), returning
+// memory to the OS between campaign cells instead of holding the
+// high-water mark for the thread's lifetime.
+//
 // The arena is thread-local: a simulation runs entirely on one thread
 // (sweep workers each run their own engines), so allocation and release
 // always happen on the owning thread and no locks are needed.  Frames
-// larger than kMaxPooled fall through to the global heap.  Slabs are
-// released when the thread exits; engines never outlive their thread.
+// larger than kMaxPooled fall through to the global heap.  Remaining
+// slabs are released when the thread exits; engines never outlive their
+// thread.
 #pragma once
 
 #include <cstddef>
@@ -26,8 +35,11 @@ class FrameArena {
     std::uint64_t slabCarves = 0;  ///< frames carved fresh from a slab
     std::uint64_t reuses = 0;      ///< frames served from a free list
     std::uint64_t fallbacks = 0;   ///< oversized frames via ::operator new
-    std::uint64_t slabBytes = 0;   ///< total bytes reserved in slabs
+    std::uint64_t slabBytes = 0;   ///< bytes currently reserved in slabs
     std::uint64_t freeFrames = 0;  ///< frames currently on free lists
+    std::uint64_t liveFrames = 0;  ///< pooled frames currently outstanding
+    std::uint64_t trims = 0;           ///< trim() calls
+    std::uint64_t slabsReleased = 0;   ///< slabs returned by trim()
   };
 
   FrameArena() = default;
@@ -41,6 +53,15 @@ class FrameArena {
   void* allocate(std::size_t n);
   void deallocate(void* p, std::size_t n) noexcept;
 
+  /// Release every slab with no outstanding frames, purging its recycled
+  /// frames from the free lists first.  Returns the number of bytes
+  /// handed back to the OS.  Safe at any point between allocations; a
+  /// no-op when every slab still hosts a live frame (e.g. abandoned
+  /// daemon coroutine frames keep their slab pinned, by design).
+  std::size_t trim() noexcept;
+
+  std::size_t slabCount() const noexcept { return slabs_.size(); }
+
   const Stats& stats() const noexcept { return stats_; }
 
   /// Largest frame size served from the pool; anything bigger uses the
@@ -52,8 +73,20 @@ class FrameArena {
   static constexpr std::size_t kClasses = kMaxPooled / kGranularity;
   static constexpr std::size_t kSlabBytes = 64 * 1024;
 
+  /// Lives in the first granule of every slab; frames start right after,
+  /// so frame addresses are never slab-aligned and masking a frame
+  /// pointer down always finds its own slab's header.
+  struct SlabHeader {
+    std::uint64_t live = 0;  ///< outstanding frames carved from this slab
+  };
+
+  static SlabHeader* slabOf(void* frame) noexcept {
+    return reinterpret_cast<SlabHeader*>(
+        reinterpret_cast<std::uintptr_t>(frame) & ~(kSlabBytes - 1));
+  }
+
   void* freeLists_[kClasses] = {};
-  std::vector<void*> slabs_;  ///< ::operator new blocks (max_align_t aligned)
+  std::vector<void*> slabs_;   ///< kSlabBytes-aligned, header at offset 0
   unsigned char* slabCur_ = nullptr;
   std::size_t slabLeft_ = 0;
   Stats stats_{};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include "obs/recorder.hpp"
 #include "sweep/hash.hpp"
 #include "sweep/store.hpp"
+#include "sweep/telemetry.hpp"
 #include "util/text.hpp"
 
 namespace iop::sweep {
@@ -363,14 +365,16 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
   struct Outcome {
     bool characterized = false;
     bool cacheHit = false;
+    double seconds = 0;  ///< characterization wall time
   };
   std::vector<Outcome> outcomes(n);
   std::vector<std::exception_ptr> errors(n);
+  SweepTelemetry* tele = options.telemetry;
 
   // Model entries are independent: file entries parse a model file, app
   // entries run a whole characterization simulation on a private cluster
   // instance.  Nothing here touches shared state, so they fan out freely.
-  auto resolveOne = [&](std::size_t i) {
+  auto resolveOne = [&](std::size_t i, std::size_t worker) {
     const ModelSource& src = spec.models[i];
     ResolvedModel m;
     m.label = src.label;
@@ -391,11 +395,20 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
         // Characterization run (Section III-A): trace the app once on the
         // characterize configuration and extract its subsystem-independent
         // model.  This is the only application execution in a campaign.
+        const double t0 = tele != nullptr ? tele->now() : 0;
+        const auto charStart = std::chrono::steady_clock::now();
         auto cluster = charCfg.build(1.0, 1.0);
         auto run = analysis::runAndTrace(
             cluster, src.label,
             apps::makeApp(src.app, cluster.mount, src.params), src.np);
         m.model = std::move(run.model);
+        outcomes[i].seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          charStart)
+                .count();
+        if (tele != nullptr) {
+          tele->characterizeSpan(worker, src.label, t0, tele->now());
+        }
       }
       m.contentText = m.model.renderText();
       if (!hit) {
@@ -423,13 +436,13 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, w] {
         for (;;) {
           const std::size_t i =
               cursor.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
           try {
-            resolveOne(i);
+            resolveOne(i, w);
           } catch (...) {
             errors[i] = std::current_exception();
           }
@@ -440,7 +453,7 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       try {
-        resolveOne(i);
+        resolveOne(i, 0);
       } catch (...) {
         errors[i] = std::current_exception();
         break;
@@ -464,6 +477,7 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
             "\"model\":\"" +
                 obs::TraceRecorder::jsonEscape(spec.models[i].label) + "\"");
       }
+      if (tele != nullptr) tele->modelCacheHit(spec.models[i].label);
     } else {
       ++out.characterized;
       if (options.log != nullptr) {
@@ -473,6 +487,11 @@ ResolvedCampaign resolveCampaign(const CampaignSpec& spec,
                 obs::TraceRecorder::jsonEscape(spec.models[i].label) +
                 "\",\"phases\":" +
                 std::to_string(out.models[i].model.phases().size()));
+      }
+      if (tele != nullptr) {
+        tele->modelCharacterized(spec.models[i].label,
+                                 out.models[i].model.phases().size(),
+                                 outcomes[i].seconds);
       }
     }
   }

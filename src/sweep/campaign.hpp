@@ -38,6 +38,8 @@
 
 namespace iop::sweep {
 
+class SweepTelemetry;
+
 /// Estimator identity folded into every cache key: bump when the replay /
 /// estimation pipeline changes in a result-affecting way.
 inline constexpr const char* kEstimatorVersion = "iop-estimate/2";
@@ -177,6 +179,10 @@ struct ResolveOptions {
   std::vector<std::filesystem::path> modelCacheDirs;
   bool reuse = true;  ///< false: ignore cached models (still writes back)
   obs::Logger* log = nullptr;
+  /// Optional runtime telemetry (telemetry.hpp): characterization spans
+  /// land on the exec trace as they run; journal events and metrics are
+  /// emitted post-join in declaration order.  Observation-only.
+  SweepTelemetry* telemetry = nullptr;
 };
 
 /// Load model files, characterize app entries (on the characterize

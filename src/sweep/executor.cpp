@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -14,6 +15,8 @@
 #include "analysis/replay.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "sim/framepool.hpp"
+#include "sweep/telemetry.hpp"
 
 namespace iop::sweep {
 
@@ -131,12 +134,27 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
   }
   const auto startedAt = std::chrono::steady_clock::now();
   SharedLog sharedLog(log);
+  SweepTelemetry* tele = options.telemetry;
+
+  // Wall-clock pause between claim and evaluation, so tests/CI can kill
+  // the process deterministically mid-cell.  Affects timing only — never
+  // results — and is off (0) outside the test harness.
+  int testDelayMs = 0;
+  if (const char* env = std::getenv("IOP_SWEEP_TEST_CELL_DELAY_MS")) {
+    testDelayMs = std::atoi(env);
+  }
 
   store.initialize(campaign.spec.canonicalText(), options.force);
+  if (tele != nullptr) {
+    store.setRuntimeMetrics(&tele->runtime(), "store");
+  }
 
   std::optional<SharedStore> shared;
   if (!options.sharedStore.empty()) {
     shared.emplace(std::filesystem::path(options.sharedStore));
+    if (tele != nullptr) {
+      shared->setRuntimeMetrics(&tele->runtime(), "shared_store");
+    }
   }
 
   SweepOutcome outcome;
@@ -163,12 +181,20 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         outcome.cells[i].result = std::move(*loaded);
         ++outcome.cacheHits;
         sharedLog.info("cache_hit", cellFields(campaign, cell));
+        if (tele != nullptr) {
+          tele->cacheHit(campaign.cellTitle(cell), cell.key,
+                         /*shared=*/false);
+        }
         continue;
       }
       ++outcome.quarantined;
       sharedLog.warn("cell_quarantined",
                      cellFields(campaign, cell) + ",\"error\":\"" +
                          obs::TraceRecorder::jsonEscape(whyBad) + "\"");
+      if (tele != nullptr) {
+        tele->cellQuarantined(campaign.cellTitle(cell), cell.key, whyBad,
+                              /*shared=*/false);
+      }
     }
     if (!options.force && shared && shared->hasCell(cell.key)) {
       // Adopt the shared result into the campaign store: cell bytes are a
@@ -187,12 +213,20 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         ++outcome.cacheHits;
         ++outcome.sharedHits;
         sharedLog.info("shared_hit", cellFields(campaign, cell));
+        if (tele != nullptr) {
+          tele->cacheHit(campaign.cellTitle(cell), cell.key,
+                         /*shared=*/true);
+        }
         continue;
       }
       ++outcome.quarantined;
       sharedLog.warn("shared_cell_quarantined",
                      cellFields(campaign, cell) + ",\"error\":\"" +
                          obs::TraceRecorder::jsonEscape(whyBad) + "\"");
+      if (tele != nullptr) {
+        tele->cellQuarantined(campaign.cellTitle(cell), cell.key, whyBad,
+                              /*shared=*/true);
+      }
     }
     auto [it, inserted] = owners.emplace(cell.key, i);
     if (inserted) {
@@ -200,6 +234,13 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
     } else {
       followers[cell.key].push_back(i);
     }
+  }
+
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(options.jobs), pending.size());
+  if (tele != nullptr) {
+    tele->execStart(plan.size(), outcome.cacheHits, outcome.sharedHits,
+                    pending.size(), workers);
   }
 
   // Fixed-size pool over the pending list.  Each worker owns its cell's
@@ -210,18 +251,32 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
     return options.cancel != nullptr &&
            options.cancel->load(std::memory_order_relaxed);
   };
-  auto workerMain = [&]() {
+  auto workerMain = [&](std::size_t worker) {
+    if (tele != nullptr) tele->workerSpawn(worker);
     for (;;) {
       // Check between cells, never mid-cell: a cancelled run keeps every
       // result already committed and leaves no partial files behind.
-      if (cancelled()) return;
+      if (cancelled()) {
+        if (tele != nullptr) tele->shutdownNoticed();
+        break;
+      }
       const std::size_t slot = cursor.fetch_add(1);
-      if (slot >= pending.size()) return;
+      if (slot >= pending.size()) break;
       const std::size_t index = pending[slot];
       CellOutcome& out = outcome.cells[index];
+      const double tClaim = tele != nullptr ? tele->now() : 0;
+      if (tele != nullptr) {
+        tele->cellClaim(worker, campaign.cellTitle(out.spec),
+                        out.spec.key);
+      }
+      if (testDelayMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(testDelayMs));
+      }
       const auto cellStart = std::chrono::steady_clock::now();
       try {
         out.result = evaluateCell(campaign, out.spec);
+        const double tEval = tele != nullptr ? tele->now() : 0;
         store.saveCell(out.result);
         if (options.writeCaptures) {
           store.saveCapture(out.spec.key, makeCellCapture(out.result));
@@ -236,6 +291,12 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
             cellFields(campaign, out.spec) +
                 ",\"time_io\":" + std::to_string(out.result.timeIo) +
                 ",\"ior_runs\":" + std::to_string(out.result.iorRuns));
+        if (tele != nullptr) {
+          tele->cellCommit(worker, campaign.cellTitle(out.spec),
+                           out.spec.key, tClaim, tEval, tele->now(),
+                           out.result.timeIo, out.result.iorRuns,
+                           out.spec.faulted());
+        }
       } catch (const std::exception& e) {
         out.status = CellOutcome::Status::Failed;
         out.error = e.what();
@@ -243,23 +304,34 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         sharedLog.warn("cell_failed",
                        cellFields(campaign, out.spec) + ",\"error\":\"" +
                            obs::TraceRecorder::jsonEscape(e.what()) + "\"");
+        if (tele != nullptr) {
+          tele->cellFailed(worker, campaign.cellTitle(out.spec),
+                           out.spec.key, tClaim, tele->now(), e.what());
+        }
       }
       if (options.onCellDone) {
         std::lock_guard<std::mutex> guard(doneMutex);
         options.onCellDone(out);
       }
+      // Between cells the worker's engines are gone, so every coroutine
+      // slab with no abandoned daemon frames is dead — hand those back to
+      // the OS instead of holding the run's high-water mark.
+      auto& arena = sim::FrameArena::local();
+      const std::size_t released = arena.trim();
+      if (tele != nullptr) {
+        tele->arenaTrimmed(worker, released, arena.stats().slabBytes);
+      }
     }
+    if (tele != nullptr) tele->workerIdle(worker);
   };
 
-  const std::size_t workers = std::min<std::size_t>(
-      static_cast<std::size_t>(options.jobs), pending.size());
   if (workers <= 1) {
-    workerMain();
+    workerMain(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      pool.emplace_back(workerMain);
+      pool.emplace_back(workerMain, i);
     }
     for (auto& t : pool) t.join();
   }
@@ -273,6 +345,9 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
     CellOutcome& out = outcome.cells[pending[slot]];
     out.status = CellOutcome::Status::Skipped;
     out.error = "interrupted before evaluation; resume to compute";
+  }
+  if (tele != nullptr && taken < pending.size()) {
+    tele->cellsSkipped(pending.size() - taken);
   }
   if (cancelled()) outcome.interrupted = true;
 
@@ -343,6 +418,12 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
           ",\"interrupted\":" +
           (outcome.interrupted ? "true" : "false") +
           ",\"jobs\":" + std::to_string(options.jobs));
+  if (tele != nullptr) {
+    tele->runComplete(plan.size(), outcome.cacheHits, outcome.sharedHits,
+                      outcome.computed, outcome.failures, outcome.skipped,
+                      outcome.quarantined, outcome.interrupted,
+                      outcome.wallSeconds);
+  }
   return outcome;
 }
 

@@ -25,6 +25,7 @@
 namespace iop::sweep {
 
 struct CellOutcome;
+class SweepTelemetry;
 
 struct SweepOptions {
   int jobs = 1;              ///< worker threads (>= 1)
@@ -45,6 +46,10 @@ struct SweepOptions {
   /// Test/progress hook, invoked serially (under a lock) after each cell
   /// is committed or fails.  May flip `cancel` to exercise shutdown.
   std::function<void(const CellOutcome&)> onCellDone;
+  /// Optional runtime telemetry bundle (flight recorder, live metrics,
+  /// exec trace — see telemetry.hpp).  Observation-only: the store bytes
+  /// are identical with and without it.
+  SweepTelemetry* telemetry = nullptr;
 };
 
 struct CellOutcome {

@@ -13,6 +13,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/runtime.hpp"
 #include "sweep/hash.hpp"
 #include "util/text.hpp"
 
@@ -325,11 +326,24 @@ CellResult CampaignStore::loadCell(const std::string& key) const {
 
 std::optional<CellResult> CampaignStore::tryLoadCell(
     const std::string& key, std::string* whyBad) const {
-  return tryLoadCellFile(cellPath(key), root_ / "quarantine", key, whyBad);
+  auto loaded =
+      tryLoadCellFile(cellPath(key), root_ / "quarantine", key, whyBad);
+  if (runtime_ != nullptr) {
+    runtime_
+        ->counter(metricsPrefix_ +
+                  (loaded ? ".cell_loads" : ".quarantines"))
+        .add();
+  }
+  return loaded;
 }
 
 void CampaignStore::saveCell(const CellResult& cell) const {
-  writeFileAtomically(cellPath(cell.key), cell.render());
+  const std::string text = cell.render();
+  writeFileAtomically(cellPath(cell.key), text);
+  if (runtime_ != nullptr) {
+    runtime_->counter(metricsPrefix_ + ".cell_commits").add();
+    runtime_->counter(metricsPrefix_ + ".cell_bytes").add(text.size());
+  }
 }
 
 void CampaignStore::saveCapture(const std::string& key,
@@ -337,6 +351,15 @@ void CampaignStore::saveCapture(const std::string& key,
   std::ostringstream out;
   capture.write(out);
   writeFileAtomically(capturePath(key), out.str());
+  if (runtime_ != nullptr) {
+    runtime_->counter(metricsPrefix_ + ".capture_commits").add();
+  }
+}
+
+void CampaignStore::setRuntimeMetrics(obs::RuntimeMetrics* metrics,
+                                      std::string prefix) {
+  runtime_ = metrics;
+  metricsPrefix_ = std::move(prefix);
 }
 
 void CampaignStore::writeManifest(const ResolvedCampaign& campaign,
@@ -400,12 +423,31 @@ CellResult SharedStore::loadCell(const std::string& key) const {
 
 std::optional<CellResult> SharedStore::tryLoadCell(
     const std::string& key, std::string* whyBad) const {
-  return tryLoadCellFile(cellPath(key), root_ / "quarantine", key, whyBad);
+  auto loaded =
+      tryLoadCellFile(cellPath(key), root_ / "quarantine", key, whyBad);
+  if (runtime_ != nullptr) {
+    runtime_
+        ->counter(metricsPrefix_ +
+                  (loaded ? ".cell_loads" : ".quarantines"))
+        .add();
+  }
+  return loaded;
 }
 
 void SharedStore::saveCell(const CellResult& cell) const {
   std::filesystem::create_directories(root_ / "cells");
-  writeFileAtomically(cellPath(cell.key), cell.render());
+  const std::string text = cell.render();
+  writeFileAtomically(cellPath(cell.key), text);
+  if (runtime_ != nullptr) {
+    runtime_->counter(metricsPrefix_ + ".cell_commits").add();
+    runtime_->counter(metricsPrefix_ + ".cell_bytes").add(text.size());
+  }
+}
+
+void SharedStore::setRuntimeMetrics(obs::RuntimeMetrics* metrics,
+                                    std::string prefix) {
+  runtime_ = metrics;
+  metricsPrefix_ = std::move(prefix);
 }
 
 }  // namespace iop::sweep

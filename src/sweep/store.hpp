@@ -26,6 +26,10 @@
 #include "obs/capture.hpp"
 #include "sweep/campaign.hpp"
 
+namespace iop::obs {
+class RuntimeMetrics;
+}
+
 namespace iop::sweep {
 
 /// One committed campaign cell: the estimate for (model, config, faults).
@@ -118,8 +122,14 @@ class SharedStore {
   /// Atomic, race-safe commit (directories created on first write).
   void saveCell(const CellResult& cell) const;
 
+  /// Count store operations (commits, bytes, loads, quarantines) on
+  /// `metrics` under `<prefix>.`.  Observation-only; null disables.
+  void setRuntimeMetrics(obs::RuntimeMetrics* metrics, std::string prefix);
+
  private:
   std::filesystem::path root_;
+  obs::RuntimeMetrics* runtime_ = nullptr;
+  std::string metricsPrefix_;
 };
 
 class CampaignStore {
@@ -164,8 +174,14 @@ class CampaignStore {
   /// number of files removed.
   std::size_t gc(const std::set<std::string>& liveKeys) const;
 
+  /// Count store operations (commits, bytes, loads, quarantines) on
+  /// `metrics` under `<prefix>.`.  Observation-only; null disables.
+  void setRuntimeMetrics(obs::RuntimeMetrics* metrics, std::string prefix);
+
  private:
   std::filesystem::path root_;
+  obs::RuntimeMetrics* runtime_ = nullptr;
+  std::string metricsPrefix_;
 };
 
 }  // namespace iop::sweep

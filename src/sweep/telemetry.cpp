@@ -1,0 +1,421 @@
+#include "sweep/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace iop::sweep {
+
+namespace {
+
+std::string esc(const std::string& raw) {
+  return obs::TraceRecorder::jsonEscape(raw);
+}
+
+std::string fmtSec(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string fmtNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+constexpr auto kRenderInterval = std::chrono::milliseconds(100);
+
+}  // namespace
+
+// --------------------------------------------------------- ProgressMeter
+
+ProgressMeter::ProgressMeter(bool enabled, std::FILE* out)
+    : enabled_(enabled), out_(out) {}
+
+void ProgressMeter::begin(std::size_t cells, std::size_t cached,
+                          std::size_t shared, std::size_t pending,
+                          std::size_t workers) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    cells_ = cells;
+    cached_ = cached;
+    shared_ = shared;
+    pending_ = pending;
+    workers_ = std::max<std::size_t>(workers, 1);
+  }
+  maybeRender();
+}
+
+void ProgressMeter::claim() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++busy_;
+  }
+  maybeRender();
+}
+
+void ProgressMeter::cellDone(double seconds, bool failed) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++done_;
+    if (failed) ++failed_;
+    ewma_ = ewma_ == 0 ? seconds : 0.3 * seconds + 0.7 * ewma_;
+  }
+  maybeRender();
+}
+
+void ProgressMeter::release() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (busy_ > 0) --busy_;
+}
+
+std::size_t ProgressMeter::doneCells() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return done_;
+}
+
+double ProgressMeter::ewmaSeconds() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return ewma_;
+}
+
+double ProgressMeter::etaLocked() const {
+  if (pending_ <= done_ || workers_ == 0) return 0;
+  return ewma_ * static_cast<double>(pending_ - done_) /
+         static_cast<double>(workers_);
+}
+
+double ProgressMeter::etaSeconds() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return etaLocked();
+}
+
+double ProgressMeter::hitRate() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return cells_ == 0 ? 0 : static_cast<double>(cached_) /
+                               static_cast<double>(cells_);
+}
+
+std::string ProgressMeter::renderLocked() const {
+  char buf[256];
+  std::string line;
+  std::snprintf(buf, sizeof buf, "[%zu/%zu] ", done_, pending_);
+  line += buf;
+  std::snprintf(buf, sizeof buf, "computed %zu", done_ - failed_);
+  line += buf;
+  if (failed_ > 0) {
+    std::snprintf(buf, sizeof buf, " failed %zu", failed_);
+    line += buf;
+  }
+  std::snprintf(buf, sizeof buf, " | cached %zu", cached_);
+  line += buf;
+  if (shared_ > 0) {
+    std::snprintf(buf, sizeof buf, " (%zu shared)", shared_);
+    line += buf;
+  }
+  const double eta = etaLocked();
+  if (eta > 0) {
+    std::snprintf(buf, sizeof buf, " | eta %.1fs", eta);
+    line += buf;
+  }
+  std::snprintf(buf, sizeof buf, " | workers %zu/%zu busy", busy_,
+                workers_);
+  line += buf;
+  return line;
+}
+
+std::string ProgressMeter::renderLine() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return renderLocked();
+}
+
+void ProgressMeter::maybeRender() {
+  if (!enabled_ || out_ == nullptr) return;
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  if (lastRender_.time_since_epoch().count() != 0 &&
+      now - lastRender_ < kRenderInterval) {
+    return;
+  }
+  lastRender_ = now;
+  std::string line = renderLocked();
+  const std::size_t width = line.size();
+  // Pad with spaces so a shrinking line fully overwrites its predecessor.
+  if (width < lastWidth_) line.append(lastWidth_ - width, ' ');
+  lastWidth_ = width;
+  std::fprintf(out_, "\r%s", line.c_str());
+  std::fflush(out_);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_ || out_ == nullptr) return;
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::string line = renderLocked();
+  if (line.size() < lastWidth_) line.append(lastWidth_ - line.size(), ' ');
+  std::fprintf(out_, "\r%s\n", line.c_str());
+  std::fflush(out_);
+  enabled_ = false;  // finish() renders once
+}
+
+// -------------------------------------------------------- SweepTelemetry
+
+SweepTelemetry::SweepTelemetry(const TelemetryConfig& config)
+    : progress_(config.progress),
+      execTraceOut_(config.execTraceOut),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (!config.journalPath.empty()) {
+    journal_ = std::make_unique<obs::RunJournal>(config.journalPath);
+  }
+  if (!config.execTraceOut.empty()) {
+    trace_ = std::make_unique<obs::ExecTrace>();
+  }
+  if (!config.telemetryOut.empty()) {
+    snapshotter_ = std::make_unique<obs::TelemetrySnapshotter>(
+        runtime_, config.telemetryOut,
+        std::max(config.telemetryIntervalMs, 10));
+  }
+}
+
+SweepTelemetry::~SweepTelemetry() { finish(); }
+
+double SweepTelemetry::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SweepTelemetry::modelCacheHit(const std::string& model) {
+  runtime_.counter("sweep.model_cache_hits").add();
+  if (journal_) {
+    journal_->event("model_cache_hit", "\"model\":\"" + esc(model) + "\"");
+  }
+}
+
+void SweepTelemetry::modelCharacterized(const std::string& model,
+                                        std::size_t phases,
+                                        double seconds) {
+  runtime_.counter("sweep.characterized").add();
+  runtime_.histogram("sweep.resolve_seconds", obs::latencyBucketsSeconds())
+      .observe(seconds);
+  if (journal_) {
+    journal_->event("model_characterized",
+                    "\"model\":\"" + esc(model) +
+                        "\",\"phases\":" + std::to_string(phases) +
+                        ",\"seconds\":" + fmtSec(seconds));
+  }
+}
+
+void SweepTelemetry::characterizeSpan(std::size_t worker,
+                                      const std::string& model,
+                                      double beginSec, double endSec) {
+  if (!trace_) return;
+  trace_->span(trace_->workerTrack(worker), "characterize " + model,
+               "resolve", beginSec, endSec);
+}
+
+void SweepTelemetry::campaignStart(const std::string& name,
+                                   const std::string& configHash,
+                                   int jobs) {
+  if (journal_) {
+    journal_->event("campaign_start",
+                    "\"campaign\":\"" + esc(name) + "\",\"config\":\"" +
+                        esc(configHash) +
+                        "\",\"jobs\":" + std::to_string(jobs));
+  }
+}
+
+void SweepTelemetry::execStart(std::size_t cells, std::size_t cached,
+                               std::size_t shared, std::size_t pending,
+                               std::size_t workers) {
+  runtime_.counter("sweep.cells").add(cells);
+  runtime_.counter("sweep.pending").add(pending);
+  progress_.begin(cells, cached, shared, pending, workers);
+  if (journal_) {
+    journal_->event("exec_start",
+                    "\"cells\":" + std::to_string(cells) +
+                        ",\"cached\":" + std::to_string(cached) +
+                        ",\"shared\":" + std::to_string(shared) +
+                        ",\"pending\":" + std::to_string(pending) +
+                        ",\"workers\":" + std::to_string(workers));
+  }
+}
+
+void SweepTelemetry::cacheHit(const std::string& cell,
+                              const std::string& key, bool shared) {
+  runtime_.counter("sweep.cache_hits").add();
+  if (shared) runtime_.counter("sweep.shared_hits").add();
+  if (journal_) {
+    journal_->event(shared ? "shared_hit" : "cache_hit",
+                    "\"cell\":\"" + esc(cell) + "\",\"key\":\"" + esc(key) +
+                        "\"");
+  }
+}
+
+void SweepTelemetry::cellQuarantined(const std::string& cell,
+                                     const std::string& key,
+                                     const std::string& error,
+                                     bool shared) {
+  runtime_.counter("sweep.quarantined").add();
+  if (journal_) {
+    journal_->event("cell_quarantined",
+                    "\"cell\":\"" + esc(cell) + "\",\"key\":\"" + esc(key) +
+                        "\",\"error\":\"" + esc(error) + "\",\"shared\":" +
+                        (shared ? "true" : "false"));
+  }
+  if (trace_) {
+    trace_->instant(trace_->controlTrack(), "quarantine " + cell, "store",
+                    now(), "\"key\":\"" + esc(key) + "\"");
+  }
+}
+
+void SweepTelemetry::workerSpawn(std::size_t worker) {
+  runtime_.counter("sweep.worker_spawns").add();
+  if (journal_) {
+    journal_->event("worker_spawn",
+                    "\"worker\":" + std::to_string(worker));
+  }
+}
+
+void SweepTelemetry::workerIdle(std::size_t worker) {
+  if (journal_) {
+    journal_->event("worker_idle", "\"worker\":" + std::to_string(worker));
+  }
+}
+
+void SweepTelemetry::cellClaim(std::size_t worker, const std::string& cell,
+                               const std::string& key) {
+  runtime_.gauge("sweep.workers_busy").add(1);
+  progress_.claim();
+  if (journal_) {
+    journal_->event("cell_claim",
+                    "\"worker\":" + std::to_string(worker) +
+                        ",\"cell\":\"" + esc(cell) + "\",\"key\":\"" +
+                        esc(key) + "\"");
+  }
+}
+
+void SweepTelemetry::cellCommit(std::size_t worker, const std::string& cell,
+                                const std::string& key, double claimSec,
+                                double evalSec, double commitSec,
+                                double timeIo, std::size_t iorRuns,
+                                bool faulted) {
+  runtime_.counter("sweep.computed").add();
+  runtime_.histogram("sweep.replay_seconds", obs::latencyBucketsSeconds())
+      .observe(evalSec - claimSec);
+  runtime_.histogram("sweep.commit_seconds", obs::latencyBucketsSeconds())
+      .observe(commitSec - evalSec);
+  runtime_.gauge("sweep.workers_busy").add(-1);
+  progress_.cellDone(commitSec - claimSec, /*failed=*/false);
+  progress_.release();
+  if (journal_) {
+    journal_->event(
+        "cell_commit",
+        "\"worker\":" + std::to_string(worker) + ",\"cell\":\"" +
+            esc(cell) + "\",\"key\":\"" + esc(key) +
+            "\",\"seconds\":" + fmtSec(commitSec - claimSec) +
+            ",\"commit_seconds\":" + fmtSec(commitSec - evalSec) +
+            ",\"time_io\":" + fmtNum(timeIo) +
+            ",\"ior_runs\":" + std::to_string(iorRuns) +
+            ",\"faulted\":" + (faulted ? "true" : "false"));
+  }
+  if (trace_) {
+    const int tid = trace_->workerTrack(worker);
+    trace_->span(tid, "replay " + cell, "replay", claimSec, evalSec,
+                 "\"key\":\"" + esc(key) + "\"");
+    trace_->span(tid, "commit " + cell, "commit", evalSec, commitSec,
+                 "\"key\":\"" + esc(key) + "\"");
+    if (faulted) {
+      trace_->instant(tid, "fault " + cell, "fault", claimSec,
+                      "\"key\":\"" + esc(key) + "\"");
+    }
+  }
+}
+
+void SweepTelemetry::cellFailed(std::size_t worker, const std::string& cell,
+                                const std::string& key, double claimSec,
+                                double failSec, const std::string& error) {
+  runtime_.counter("sweep.failures").add();
+  runtime_.gauge("sweep.workers_busy").add(-1);
+  progress_.cellDone(failSec - claimSec, /*failed=*/true);
+  progress_.release();
+  if (journal_) {
+    journal_->event("cell_failed",
+                    "\"worker\":" + std::to_string(worker) +
+                        ",\"cell\":\"" + esc(cell) + "\",\"key\":\"" +
+                        esc(key) + "\",\"seconds\":" +
+                        fmtSec(failSec - claimSec) + ",\"error\":\"" +
+                        esc(error) + "\"");
+  }
+  if (trace_) {
+    const int tid = trace_->workerTrack(worker);
+    trace_->span(tid, "replay " + cell, "replay", claimSec, failSec,
+                 "\"key\":\"" + esc(key) + "\"");
+    trace_->instant(tid, "failed " + cell, "fault", failSec,
+                    "\"key\":\"" + esc(key) + "\"");
+  }
+}
+
+void SweepTelemetry::arenaTrimmed(std::size_t worker,
+                                  std::size_t releasedBytes,
+                                  std::size_t slabBytes) {
+  runtime_.counter("sim.arena_trim_bytes").add(releasedBytes);
+  // Last writer wins across workers: the gauge tracks one thread-local
+  // arena's footprint, which is representative — workers run the same
+  // kind of cells — without needing per-worker metric names.
+  runtime_.gauge("sim.arena_bytes").set(static_cast<double>(slabBytes));
+  if (trace_ && releasedBytes > 0) {
+    trace_->counterSample(trace_->workerTrack(worker), "arena bytes",
+                          now(), static_cast<double>(slabBytes));
+  }
+}
+
+void SweepTelemetry::shutdownNoticed() {
+  if (shutdownSeen_.exchange(true, std::memory_order_relaxed)) return;
+  runtime_.counter("sweep.shutdowns").add();
+  if (journal_) journal_->event("shutdown_requested");
+  if (trace_) {
+    trace_->instant(trace_->controlTrack(), "shutdown requested",
+                    "signal", now());
+  }
+}
+
+void SweepTelemetry::cellsSkipped(std::size_t count) {
+  runtime_.counter("sweep.skipped").add(count);
+  if (journal_) {
+    journal_->event("cells_skipped", "\"count\":" + std::to_string(count));
+  }
+}
+
+void SweepTelemetry::runComplete(std::size_t cells, std::size_t cacheHits,
+                                 std::size_t sharedHits,
+                                 std::size_t computed, std::size_t failures,
+                                 std::size_t skipped,
+                                 std::size_t quarantined, bool interrupted,
+                                 double wallSeconds) {
+  if (journal_) {
+    journal_->event(
+        "run_complete",
+        "\"cells\":" + std::to_string(cells) +
+            ",\"cache_hits\":" + std::to_string(cacheHits) +
+            ",\"shared_hits\":" + std::to_string(sharedHits) +
+            ",\"computed\":" + std::to_string(computed) +
+            ",\"failures\":" + std::to_string(failures) +
+            ",\"skipped\":" + std::to_string(skipped) +
+            ",\"quarantined\":" + std::to_string(quarantined) +
+            ",\"interrupted\":" + (interrupted ? "true" : "false") +
+            ",\"wall_seconds\":" + fmtSec(wallSeconds));
+  }
+}
+
+void SweepTelemetry::finish() {
+  if (finished_.exchange(true, std::memory_order_acq_rel)) return;
+  if (snapshotter_) snapshotter_->stop();
+  progress_.finish();
+  if (trace_ && !execTraceOut_.empty()) trace_->saveJson(execTraceOut_);
+}
+
+}  // namespace iop::sweep

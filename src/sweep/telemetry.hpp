@@ -1,0 +1,165 @@
+// Runtime telemetry for campaign execution: the glue between the sweep
+// executor and the obs wall-clock instruments (obs/runtime.hpp).
+//
+// One SweepTelemetry object per `iop-sweep run` bundles the three pillars:
+//
+//   * a RunJournal flight recorder under <store>/journal/ — every
+//     lifecycle event (campaign start, cache hits, cell claims/commits,
+//     worker spawns, shutdown) as one flushed JSONL line, so a crashed or
+//     SIGKILLed run leaves a reconstructable timeline (see postmortem.hpp);
+//   * a RuntimeMetrics registry (+ optional TelemetrySnapshotter writing
+//     Prometheus text exposition to --telemetry-out on a timer);
+//   * an optional ExecTrace emitting the execution itself — one
+//     Chrome/Perfetto track per worker, spans for characterize / replay /
+//     commit — to --exec-trace-out.
+//
+// Everything here is observation-only: no instrument feeds back into any
+// scheduling or result-affecting decision, so a store written with
+// telemetry on is byte-identical to one written with it off (the tests
+// and CI pin exactly that).  All hook methods are thread-safe; a null
+// SweepTelemetry pointer in SweepOptions/ResolveOptions disables the
+// whole subsystem at zero cost.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/runtime.hpp"
+
+namespace iop::sweep {
+
+struct TelemetryConfig {
+  std::string journalPath;    ///< JSONL flight recorder ("" = off)
+  std::string telemetryOut;   ///< Prometheus snapshot file ("" = off)
+  int telemetryIntervalMs = 500;
+  bool progress = false;      ///< live status line on stderr
+  std::string execTraceOut;   ///< Chrome trace of the execution ("" = off)
+};
+
+/// Progress accounting for one run, with an optional single-line TTY
+/// display.  `done` counts evaluated cells only (computed + failed);
+/// cached and shared-store hits are tracked separately so a resume that
+/// is 100% cache hits reports an honest 0-cells-evaluated, matching the
+/// journal, instead of an inflated done count.  The ETA is an EWMA of
+/// per-cell wall seconds scaled by the remaining pending cells per
+/// worker.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(bool enabled, std::FILE* out = stderr);
+
+  void begin(std::size_t cells, std::size_t cached, std::size_t shared,
+             std::size_t pending, std::size_t workers);
+  void claim();
+  void cellDone(double seconds, bool failed);
+  void release();  ///< a claimed cell finished (busy worker count -1)
+  void finish();   ///< final render + newline (enabled only)
+
+  std::size_t doneCells() const;
+  double ewmaSeconds() const;
+  double etaSeconds() const;
+  /// Fraction of the grid served from caches, in [0, 1].
+  double hitRate() const;
+  std::string renderLine() const;
+
+ private:
+  std::string renderLocked() const;
+  double etaLocked() const;
+  void maybeRender();
+
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  std::FILE* out_ = nullptr;
+  std::size_t cells_ = 0;
+  std::size_t cached_ = 0;
+  std::size_t shared_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t workers_ = 0;
+  std::size_t done_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t busy_ = 0;
+  double ewma_ = 0;  ///< EWMA of per-cell seconds (alpha = 0.3)
+  std::chrono::steady_clock::time_point lastRender_{};
+  std::size_t lastWidth_ = 0;
+};
+
+/// The per-run telemetry bundle.  Hook methods fan each event out to the
+/// journal, the metrics registry, the exec trace and the progress meter —
+/// whichever of those the config enabled.
+class SweepTelemetry {
+ public:
+  explicit SweepTelemetry(const TelemetryConfig& config);
+  ~SweepTelemetry();
+
+  SweepTelemetry(const SweepTelemetry&) = delete;
+  SweepTelemetry& operator=(const SweepTelemetry&) = delete;
+
+  obs::RuntimeMetrics& runtime() noexcept { return runtime_; }
+  obs::RunJournal* journal() noexcept { return journal_.get(); }
+  obs::ExecTrace* trace() noexcept { return trace_.get(); }
+  ProgressMeter& progress() noexcept { return progress_; }
+
+  /// Wall-clock seconds since construction (the exec-trace timebase).
+  double now() const;
+
+  // ---- campaign resolution (campaign.cpp) ----
+  void modelCacheHit(const std::string& model);
+  void modelCharacterized(const std::string& model, std::size_t phases,
+                          double seconds);
+  /// Trace-only: the characterize span on resolver-worker `worker`'s
+  /// track.  Safe from any thread while resolution runs.
+  void characterizeSpan(std::size_t worker, const std::string& model,
+                        double beginSec, double endSec);
+
+  // ---- run lifecycle (iop_sweep.cpp / executor.cpp) ----
+  void campaignStart(const std::string& name, const std::string& configHash,
+                     int jobs);
+  void execStart(std::size_t cells, std::size_t cached, std::size_t shared,
+                 std::size_t pending, std::size_t workers);
+  void cacheHit(const std::string& cell, const std::string& key,
+                bool shared);
+  void cellQuarantined(const std::string& cell, const std::string& key,
+                       const std::string& error, bool shared);
+  void workerSpawn(std::size_t worker);
+  void workerIdle(std::size_t worker);
+  void cellClaim(std::size_t worker, const std::string& cell,
+                 const std::string& key);
+  void cellCommit(std::size_t worker, const std::string& cell,
+                  const std::string& key, double claimSec, double evalSec,
+                  double commitSec, double timeIo, std::size_t iorRuns,
+                  bool faulted);
+  void cellFailed(std::size_t worker, const std::string& cell,
+                  const std::string& key, double claimSec, double failSec,
+                  const std::string& error);
+  void arenaTrimmed(std::size_t worker, std::size_t releasedBytes,
+                    std::size_t slabBytes);
+  void shutdownNoticed();  ///< idempotent: first caller journals it
+  void cellsSkipped(std::size_t count);
+  void runComplete(std::size_t cells, std::size_t cacheHits,
+                   std::size_t sharedHits, std::size_t computed,
+                   std::size_t failures, std::size_t skipped,
+                   std::size_t quarantined, bool interrupted,
+                   double wallSeconds);
+
+  /// Flush everything: stop the snapshot thread (writing one final
+  /// exposition), finish the progress line, save the exec trace.
+  /// Idempotent; also runs on destruction.
+  void finish();
+
+ private:
+  obs::RuntimeMetrics runtime_;
+  std::unique_ptr<obs::RunJournal> journal_;
+  std::unique_ptr<obs::ExecTrace> trace_;
+  std::unique_ptr<obs::TelemetrySnapshotter> snapshotter_;
+  ProgressMeter progress_;
+  std::string execTraceOut_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> shutdownSeen_{false};
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace iop::sweep

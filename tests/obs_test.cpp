@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -16,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/profiler.hpp"
+#include "obs/runtime.hpp"
 
 namespace iop {
 namespace {
@@ -197,6 +200,188 @@ TEST(ObsMetrics, RegistryInstrumentsAreStableAndKindChecked) {
   EXPECT_THROW(reg.histogram("a.count", {1.0}), std::logic_error);
   EXPECT_EQ(reg.findCounter("missing"), nullptr);
   EXPECT_NE(reg.findCounter("a.count"), nullptr);
+}
+
+// --- instrument merging (per-shard registries folded into one) ----------
+
+TEST(ObsMetrics, HistogramMergeWithZeroObservations) {
+  obs::Histogram a({1.0, 2.0});
+  obs::Histogram empty({1.0, 2.0});
+  a.observe(0.5);
+  a.observe(10.0);
+  a.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  obs::Histogram other({1.0, 2.0});
+  other.merge(empty);  // empty into empty stays empty
+  EXPECT_EQ(other.count(), 0u);
+  other.merge(a);  // an empty histogram absorbs a populated one wholesale
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.sum(), 10.5);
+  EXPECT_DOUBLE_EQ(other.min(), 0.5);
+  EXPECT_DOUBLE_EQ(other.max(), 10.0);
+}
+
+TEST(ObsMetrics, HistogramMergeSingleBucketOverflow) {
+  // A single bound yields two buckets (le_1 + inf): overflow counts on
+  // both sides must fold into the shared +Inf bucket.
+  obs::Histogram a({1.0});
+  obs::Histogram b({1.0});
+  a.observe(0.5);
+  a.observe(5.0);
+  b.observe(7.0);
+  b.observe(9.0);
+  a.merge(b);
+  ASSERT_EQ(a.bucketCounts().size(), 2u);
+  EXPECT_EQ(a.bucketCounts()[0], 1u);
+  EXPECT_EQ(a.bucketCounts()[1], 3u);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  obs::Histogram mismatched({2.0});
+  EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+}
+
+TEST(ObsMetrics, GaugeMergeRespectsTouchedState) {
+  obs::Gauge a;
+  obs::Gauge b;
+  obs::Gauge untouched;
+  a.set(5.0);
+  b.set(2.0);
+  a.merge(untouched);  // an untouched gauge merges as a no-op
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+  a.merge(b);  // the merged-in history is newer: its value wins
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);  // envelope covers both histories
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+}
+
+TEST(ObsMetrics, RegistryMergeFoldsAndChecksKinds) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("x.count").add(2);
+  b.counter("x.count").add(3);
+  b.gauge("q.depth").set(7.0);
+  b.histogram("y.lat", {1.0}).observe(0.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.counter("x.count").value(), 5.0);
+  EXPECT_DOUBLE_EQ(a.gauge("q.depth").value(), 7.0);
+  EXPECT_EQ(a.histogram("y.lat", {1.0}).count(), 1u);
+
+  const std::string before = a.renderCsv();
+  const obs::MetricsRegistry empty;
+  a.merge(empty);  // empty-registry merge is a no-op
+  EXPECT_EQ(a.renderCsv(), before);
+
+  obs::MetricsRegistry conflict;
+  conflict.gauge("x.count").set(1.0);
+  EXPECT_THROW(a.merge(conflict), std::logic_error);
+}
+
+// --- wall-clock runtime instruments (obs/runtime.hpp) -------------------
+
+TEST(ObsRuntime, RegistryIsStableAndKindChecked) {
+  obs::RuntimeMetrics m;
+  auto& c = m.counter("a.count");
+  c.add(2);
+  EXPECT_EQ(&m.counter("a.count"), &c);  // get-or-create memoizes
+  EXPECT_EQ(m.counter("a.count").value(), 2u);
+  EXPECT_THROW(m.gauge("a.count"), std::logic_error);
+  EXPECT_THROW(m.histogram("a.count", {1.0}), std::logic_error);
+  EXPECT_EQ(m.findCounter("missing"), nullptr);
+  EXPECT_EQ(m.findCounter("a.count"), &c);
+}
+
+TEST(ObsRuntime, RuntimeHistogramMatchesLeSemantics) {
+  obs::RuntimeHistogram h({1.0, 2.0});
+  h.observe(1.0);   // on-bound lands in that bucket
+  h.observe(1.5);
+  h.observe(99.0);  // overflow
+  const auto counts = h.bucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 101.5);
+}
+
+TEST(ObsRuntime, RenderPromFormatsAllInstrumentKinds) {
+  obs::RuntimeMetrics m;
+  m.counter("sweep.cells").add(3);
+  m.gauge("sim.arena_bytes").set(64.0);
+  auto& h = m.histogram("sweep.replay_seconds", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string prom = m.renderProm();
+  const auto npos = std::string::npos;
+  // Name mangling: <subsystem>.<quantity> -> iop_<subsystem>_<quantity>,
+  // counters with the conventional _total suffix.
+  EXPECT_NE(prom.find("# TYPE iop_sweep_cells_total counter"), npos);
+  EXPECT_NE(prom.find("iop_sweep_cells_total 3"), npos);
+  EXPECT_NE(prom.find("# TYPE iop_sim_arena_bytes gauge"), npos);
+  EXPECT_NE(prom.find("iop_sim_arena_bytes 64"), npos);
+  // Histogram buckets are cumulative, with the implicit +Inf bucket.
+  EXPECT_NE(prom.find("iop_sweep_replay_seconds_bucket{le=\"0.1\"} 1"),
+            npos);
+  EXPECT_NE(prom.find("iop_sweep_replay_seconds_bucket{le=\"1\"} 2"), npos);
+  EXPECT_NE(prom.find("iop_sweep_replay_seconds_bucket{le=\"+Inf\"} 3"),
+            npos);
+  EXPECT_NE(prom.find("iop_sweep_replay_seconds_count 3"), npos);
+  // Deterministic for a given state.
+  EXPECT_EQ(prom, m.renderProm());
+}
+
+TEST(ObsRuntime, SnapshotterWritesFinalSnapshotOnStop) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "iop_obs_snap_test";
+  std::filesystem::remove_all(dir);
+  obs::RuntimeMetrics m;
+  m.counter("a.count").add(1);
+  {
+    obs::TelemetrySnapshotter snap(m, dir / "m.prom", 50);
+    m.counter("a.count").add(1);
+  }  // destruction stops the thread and writes one final snapshot
+  std::ifstream in(dir / "m.prom");
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("iop_a_count_total 2"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsRuntime, JournalRoundTripsAndToleratesTornTail) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "iop_obs_journal_test";
+  std::filesystem::remove_all(dir);
+  const auto path = dir / "run.jsonl";
+  {
+    obs::RunJournal journal(path);  // creates parent directories
+    journal.event("cell_claim",
+                  "\"worker\":1,\"cell\":\"m \\\"q\\\" @ A\"");
+    journal.event("plain");
+  }
+  auto parsed = obs::loadJournal(path);
+  EXPECT_EQ(parsed.badLines, 0u);
+  ASSERT_EQ(parsed.events.size(), 3u);  // journal_start + the two above
+  EXPECT_EQ(parsed.events[0].name, "journal_start");
+  ASSERT_NE(parsed.events[0].field("schema"), nullptr);
+  EXPECT_EQ(*parsed.events[0].field("schema"), obs::RunJournal::kSchema);
+  EXPECT_EQ(parsed.events[1].name, "cell_claim");
+  ASSERT_NE(parsed.events[1].field("worker"), nullptr);
+  EXPECT_EQ(*parsed.events[1].field("worker"), "1");  // literal JSON text
+  ASSERT_NE(parsed.events[1].field("cell"), nullptr);
+  EXPECT_EQ(*parsed.events[1].field("cell"), "m \"q\" @ A");  // unescaped
+  EXPECT_LE(parsed.events[0].t, parsed.events[1].t);
+  EXPECT_EQ(parsed.events[2].name, "plain");
+
+  // A SIGKILL mid-write leaves one torn, unterminated tail line: it is
+  // counted in badLines, never fatal, and costs no parsed events.
+  std::ofstream(path, std::ios::app) << "{\"t\":9.0,\"event\":\"cell_com";
+  parsed = obs::loadJournal(path);
+  EXPECT_EQ(parsed.events.size(), 3u);
+  EXPECT_EQ(parsed.badLines, 1u);
+  std::filesystem::remove_all(dir);
 }
 
 // --- recorder -----------------------------------------------------------

@@ -577,6 +577,83 @@ TEST(FrameArena, OversizedFramesFallBackToHeap) {
   EXPECT_GT(after.fallbacks, before.fallbacks);
 }
 
+TEST(FrameArena, TrimReleasesFullyDeadSlabs) {
+  // A private arena (not local()): the thread-local one hosts abandoned
+  // daemon frames from other tests, which pin their slabs by design.
+  FrameArena arena;
+  std::vector<void*> frames;
+  // Two slabs' worth of 64-byte frames.
+  for (int i = 0; i < 1500; ++i) frames.push_back(arena.allocate(64));
+  ASSERT_GE(arena.slabCount(), 2u);
+  const auto grown = arena.stats();
+  EXPECT_EQ(grown.liveFrames, 1500u);
+
+  // Everything still live: trim must be a no-op.
+  EXPECT_EQ(arena.trim(), 0u);
+  EXPECT_EQ(arena.stats().slabBytes, grown.slabBytes);
+
+  for (void* p : frames) arena.deallocate(p, 64);
+  frames.clear();
+  const std::size_t released = arena.trim();
+  EXPECT_GE(released, 2u * 64u * 1024u);
+  EXPECT_EQ(arena.slabCount(), 0u);
+  const auto after = arena.stats();
+  EXPECT_EQ(after.slabBytes, 0u);
+  EXPECT_EQ(after.freeFrames, 0u);
+  EXPECT_EQ(after.liveFrames, 0u);
+  EXPECT_GT(after.slabsReleased, 0u);
+
+  // The arena must keep working after a full trim.
+  void* p = arena.allocate(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.stats().slabBytes, 64u * 1024u);
+  arena.deallocate(p, 64);
+}
+
+TEST(FrameArena, TrimKeepsSlabsHostingLiveFrames) {
+  FrameArena arena;
+  std::vector<void*> frames;
+  for (int i = 0; i < 1500; ++i) frames.push_back(arena.allocate(64));
+  ASSERT_GE(arena.slabCount(), 2u);
+  const std::size_t slabsBefore = arena.slabCount();
+
+  // Keep the very first frame (first slab) live, free the rest: every
+  // other slab dies, the pinned one survives with its free list intact.
+  void* pinned = frames.front();
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    arena.deallocate(frames[i], 64);
+  }
+  const std::size_t released = arena.trim();
+  EXPECT_GE(released, 64u * 1024u);
+  EXPECT_EQ(arena.slabCount(), 1u);
+  EXPECT_LT(arena.slabCount(), slabsBefore);
+  EXPECT_EQ(arena.stats().liveFrames, 1u);
+  EXPECT_GT(arena.stats().freeFrames, 0u);
+
+  // Recycled frames of the surviving slab are still servable.
+  const auto reusesBefore = arena.stats().reuses;
+  void* again = arena.allocate(64);
+  EXPECT_EQ(arena.stats().reuses, reusesBefore + 1);
+  arena.deallocate(again, 64);
+  arena.deallocate(pinned, 64);
+  EXPECT_GE(arena.trim(), 64u * 1024u);
+  EXPECT_EQ(arena.slabCount(), 0u);
+}
+
+TEST(FrameArena, TrimPreservesActiveBumpSlabWithLiveFrames) {
+  FrameArena arena;
+  void* keep = arena.allocate(64);
+  const auto carved = arena.stats();
+  // The bump slab hosts a live frame: trim must not touch it, and the
+  // next allocation must keep carving the same slab.
+  EXPECT_EQ(arena.trim(), 0u);
+  void* next = arena.allocate(64);
+  EXPECT_EQ(arena.stats().slabBytes, carved.slabBytes);
+  EXPECT_EQ(arena.stats().slabCarves, carved.slabCarves + 1);
+  arena.deallocate(next, 64);
+  arena.deallocate(keep, 64);
+}
+
 TEST(FrameArena, GrowsSlabsUnderConcurrentLoad) {
   auto& arena = FrameArena::local();
   const auto before = arena.stats();

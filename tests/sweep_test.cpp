@@ -7,14 +7,19 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/runtime.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/executor.hpp"
 #include "sweep/hash.hpp"
+#include "sweep/postmortem.hpp"
 #include "sweep/rank.hpp"
 #include "sweep/store.hpp"
+#include "sweep/telemetry.hpp"
 
 namespace {
 
@@ -778,6 +783,226 @@ TEST(SweepExecutor, CancelSkipsUntakenCellsAndResumeConverges) {
   EXPECT_EQ(resumed.cacheHits, 1u);
   EXPECT_EQ(resumed.computed, 3u);
   EXPECT_EQ(snapshotTree(killed.path()), expected);
+}
+
+// --- runtime telemetry --------------------------------------------------
+
+TEST(RuntimeTelemetry, ConcurrentInstrumentUpdatesAreLossless) {
+  // The hot-path contract: any number of workers may hammer the same
+  // counter / gauge / histogram concurrently without losing updates.
+  // (The TSan CI flavor builds exactly this test binary.)
+  obs::RuntimeMetrics metrics;
+  auto& counter = metrics.counter("sweep.cells");
+  auto& gauge = metrics.gauge("sim.arena_bytes");
+  auto& hist =
+      metrics.histogram("sweep.replay_seconds", {0.001, 0.01, 0.1});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        gauge.add(1.0);
+        hist.observe(0.005 * ((t + i) % 3 + 1));
+        // Registration while others increment must also be safe.
+        metrics.counter("sweep.computed").add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const auto total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(counter.value(), total);
+  EXPECT_EQ(metrics.counter("sweep.computed").value(), total);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(total));
+  EXPECT_EQ(hist.count(), total);
+  std::uint64_t bucketSum = 0;
+  for (const auto c : hist.bucketCounts()) bucketSum += c;
+  EXPECT_EQ(bucketSum, total);
+}
+
+TEST(RuntimeTelemetry, ProgressMeterCountsEvaluatedCellsOnly) {
+  // Satellite invariant: cache/shared hits never inflate `done`, so a
+  // resume that recomputes 4 of 10 cells reports 0..4, not 6..10.
+  sweep::ProgressMeter meter(false);
+  // 10 cells, 6 already served from caches (2 of those via the shared
+  // store), 4 pending for evaluation on 2 workers.
+  meter.begin(/*cells=*/10, /*cached=*/6, /*shared=*/2, /*pending=*/4,
+              /*workers=*/2);
+  EXPECT_EQ(meter.doneCells(), 0u);
+  EXPECT_DOUBLE_EQ(meter.hitRate(), 0.6);
+  meter.claim();
+  meter.cellDone(2.0, /*failed=*/false);
+  meter.release();
+  meter.claim();
+  meter.cellDone(4.0, /*failed=*/true);  // failures still count as done
+  meter.release();
+  EXPECT_EQ(meter.doneCells(), 2u);
+  // EWMA (alpha = 0.3) seeded by the first sample: 0.3*4 + 0.7*2 = 2.6.
+  EXPECT_NEAR(meter.ewmaSeconds(), 2.6, 1e-9);
+  // 2 pending cells left across 2 workers -> one EWMA interval.
+  EXPECT_NEAR(meter.etaSeconds(), 2.6, 1e-9);
+  const std::string line = meter.renderLine();
+  EXPECT_NE(line.find("2/4"), std::string::npos);
+  meter.finish();
+}
+
+TEST(RuntimeTelemetry, SweepWithTelemetryIsByteIdenticalToWithout) {
+  // The subsystem's reason to exist is that it may not exist: a store
+  // written with the full telemetry stack on must be byte-identical to
+  // one written with it off, journal directory aside.
+  const auto campaign = resolveTestCampaign();
+  TempDir plainDir("tele_off");
+  TempDir teleDir("tele_on");
+  TempDir sidecars("tele_sidecars");
+  std::filesystem::create_directories(sidecars.path());
+
+  sweep::CampaignStore plainStore(plainDir.path());
+  sweep::SweepOptions plainOptions;
+  plainOptions.jobs = 3;
+  const auto plain = sweep::runSweep(campaign, plainStore, plainOptions);
+  EXPECT_EQ(plain.computed, 12u);
+
+  sweep::TelemetryConfig config;
+  config.journalPath =
+      (teleDir.path() / "journal" / "run-1-1.jsonl").string();
+  config.telemetryOut = (sidecars.path() / "metrics.prom").string();
+  config.telemetryIntervalMs = 10;
+  config.execTraceOut = (sidecars.path() / "trace.json").string();
+  sweep::SweepTelemetry telemetry(config);
+  telemetry.campaignStart(campaign.spec.name,
+                          sweep::hashHex(campaign.spec.canonicalText()),
+                          3);
+  sweep::CampaignStore teleStore(teleDir.path());
+  sweep::SweepOptions teleOptions;
+  teleOptions.jobs = 3;
+  teleOptions.telemetry = &telemetry;
+  const auto instrumented =
+      sweep::runSweep(campaign, teleStore, teleOptions);
+  EXPECT_EQ(instrumented.computed, 12u);
+  telemetry.finish();
+
+  auto observed = snapshotTree(teleDir.path());
+  std::size_t journalFiles = 0;
+  for (auto it = observed.begin(); it != observed.end();) {
+    if (it->first.rfind("journal", 0) == 0) {
+      ++journalFiles;
+      it = observed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(journalFiles, 1u);
+  EXPECT_EQ(observed, snapshotTree(plainDir.path()));
+
+  // Identical estimates cell by cell, and the sidecar files materialized.
+  for (std::size_t i = 0; i < plain.cells.size(); ++i) {
+    EXPECT_EQ(plain.cells[i].result.render(),
+              instrumented.cells[i].result.render());
+  }
+  EXPECT_TRUE(
+      std::filesystem::exists(sidecars.path() / "metrics.prom"));
+  EXPECT_TRUE(std::filesystem::exists(sidecars.path() / "trace.json"));
+
+  // The journal both parses and analyzes as a complete, healthy run.
+  const auto parsed = obs::loadJournal(config.journalPath);
+  EXPECT_EQ(parsed.badLines, 0u);
+  const auto pm = sweep::analyzeJournal(parsed);
+  EXPECT_TRUE(pm.complete);
+  EXPECT_FALSE(pm.interrupted);
+  EXPECT_EQ(pm.commits, 12u);
+  EXPECT_EQ(pm.campaign, "sweep-test");
+  EXPECT_TRUE(pm.inFlight.empty());
+
+  // Metrics agree with the executor's own accounting.
+  const auto* computed =
+      telemetry.runtime().findCounter("sweep.computed");
+  ASSERT_NE(computed, nullptr);
+  EXPECT_EQ(computed->value(), 12u);
+  const auto* commits = telemetry.runtime().findCounter("store.cell_commits");
+  ASSERT_NE(commits, nullptr);
+  EXPECT_EQ(commits->value(), 12u);
+}
+
+TEST(Postmortem, ReconstructsInFlightCellsFromTornJournal) {
+  // A journal as a SIGKILLed -j2 run leaves it: two claims open, one
+  // commit, one failure, and a torn final line.
+  const std::string journal =
+      "{\"t\":0.0,\"event\":\"journal_start\",\"schema\":\"iop-journal/1\","
+      "\"unix_ms\":1700000000000,\"pid\":4242}\n"
+      "{\"t\":0.1,\"event\":\"campaign_start\",\"campaign\":\"pm-test\","
+      "\"config\":\"deadbeefdeadbeef\",\"jobs\":2}\n"
+      "{\"t\":0.2,\"event\":\"exec_start\",\"cells\":6,\"cached\":1,"
+      "\"shared\":0,\"pending\":5,\"workers\":2}\n"
+      "{\"t\":0.2,\"event\":\"cache_hit\",\"cell\":\"m @ A\",\"key\":\"k0\"}\n"
+      "{\"t\":0.3,\"event\":\"worker_spawn\",\"worker\":0}\n"
+      "{\"t\":0.3,\"event\":\"cell_claim\",\"worker\":0,\"cell\":\"m @ B\","
+      "\"key\":\"k1\"}\n"
+      "{\"t\":0.3,\"event\":\"worker_spawn\",\"worker\":1}\n"
+      "{\"t\":0.4,\"event\":\"cell_claim\",\"worker\":1,\"cell\":\"m @ C\","
+      "\"key\":\"k2\"}\n"
+      "{\"t\":0.9,\"event\":\"cell_commit\",\"worker\":0,\"cell\":\"m @ B\","
+      "\"key\":\"k1\",\"seconds\":0.6,\"commit_seconds\":0.01,"
+      "\"time_io\":12.5,\"ior_runs\":2,\"faulted\":false}\n"
+      "{\"t\":1.0,\"event\":\"cell_claim\",\"worker\":0,\"cell\":\"m @ D\","
+      "\"key\":\"k3\"}\n"
+      "{\"t\":1.1,\"event\":\"cell_failed\",\"worker\":1,\"cell\":\"m @ C\","
+      "\"key\":\"k2\",\"seconds\":0.7,\"error\":\"boom\"}\n"
+      "{\"t\":1.2,\"event\":\"cell_claim\",\"worker\":1,\"cell\":\"m @ E\","
+      "\"key\":\"k4\"}\n"
+      "{\"t\":1.3,\"event\":\"cell_com";  // torn by the kill
+  const auto pm = sweep::analyzeJournal(obs::parseJournal(journal));
+  EXPECT_EQ(pm.schema, "iop-journal/1");
+  EXPECT_EQ(pm.pid, 4242);
+  EXPECT_EQ(pm.campaign, "pm-test");
+  EXPECT_EQ(pm.jobs, 2);
+  EXPECT_EQ(pm.cells, 6u);
+  EXPECT_EQ(pm.pending, 5u);
+  EXPECT_EQ(pm.workers, 2u);
+  EXPECT_EQ(pm.cacheHits, 1u);
+  EXPECT_EQ(pm.claims, 4u);
+  EXPECT_EQ(pm.commits, 1u);
+  EXPECT_EQ(pm.failures, 1u);
+  EXPECT_EQ(pm.badLines, 1u);
+  EXPECT_FALSE(pm.complete);
+  EXPECT_EQ(pm.lastEventName, "cell_claim");
+  ASSERT_EQ(pm.inFlight.size(), 2u);  // claimed, never resolved
+  EXPECT_EQ(pm.inFlight[0].cell, "m @ D");
+  EXPECT_EQ(pm.inFlight[0].worker, 0u);
+  EXPECT_EQ(pm.inFlight[1].cell, "m @ E");
+  EXPECT_EQ(pm.inFlight[1].worker, 1u);
+
+  const std::string report = sweep::renderPostmortem(pm, "j.jsonl");
+  EXPECT_NE(report.find("INCOMPLETE"), std::string::npos);
+  EXPECT_NE(report.find("m @ D"), std::string::npos);
+  EXPECT_NE(report.find("m @ E"), std::string::npos);
+  EXPECT_NE(report.find("resume"), std::string::npos);
+
+  // A journal ending in run_complete analyzes as complete.
+  const auto done = sweep::analyzeJournal(obs::parseJournal(
+      "{\"t\":0.0,\"event\":\"journal_start\",\"schema\":\"iop-journal/1\","
+      "\"unix_ms\":1,\"pid\":1}\n"
+      "{\"t\":0.5,\"event\":\"run_complete\",\"cells\":6,\"cache_hits\":1,"
+      "\"shared_hits\":0,\"computed\":5,\"failures\":0,\"skipped\":0,"
+      "\"quarantined\":0,\"interrupted\":false,\"wall_seconds\":0.5}\n"));
+  EXPECT_TRUE(done.complete);
+  EXPECT_FALSE(done.interrupted);
+  const std::string okReport = sweep::renderPostmortem(done, "j.jsonl");
+  EXPECT_NE(okReport.find("run complete"), std::string::npos);
+}
+
+TEST(Postmortem, NewestJournalPicksLargestTimestamp) {
+  TempDir dir("journal_pick");
+  const auto journalDir = dir.path() / "journal";
+  std::filesystem::create_directories(journalDir);
+  EXPECT_EQ(sweep::newestJournal(dir.path()), std::filesystem::path{});
+  std::ofstream(journalDir / "run-999-1.jsonl") << "";
+  std::ofstream(journalDir / "run-1700000000001-9.jsonl") << "";
+  std::ofstream(journalDir / "run-1700000000002-3.jsonl") << "";
+  std::ofstream(journalDir / "notes.txt") << "";  // ignored
+  EXPECT_EQ(sweep::newestJournal(dir.path()).filename().string(),
+            "run-1700000000002-3.jsonl");
 }
 
 }  // namespace

@@ -36,9 +36,12 @@ run_flavor ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIOP_SANITIZE=undefined
 # ThreadSanitizer covers the one multithreaded subsystem: the sweep
 # layer — the cell-evaluation executor (including the fault-injected
 # degraded cells of SweepExecutor.FaultAxisEndToEndDeterministicAndCached
-# and the cancel/resume path), and the parallel app characterization at
+# and the cancel/resume path), the parallel app characterization at
 # campaign resolve (CampaignResolve.ParallelCharacterizationMatchesSerial,
-# with the shared thread-local FrameArena under concurrent engines).
+# with the shared thread-local FrameArena under concurrent engines), and
+# the runtime-telemetry instruments hammered from every worker
+# (RuntimeTelemetry.ConcurrentInstrumentUpdatesAreLossless, plus the
+# journal/snapshotter threads of the byte-identity test).
 # Building only its test keeps the flavor cheap; everything else in the
 # tree is single-threaded by design.  The ASan/UBSan flavors above run the
 # full suite, so the hostile-input trace corpus (TraceFileHostile.*) and

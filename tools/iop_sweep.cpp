@@ -5,6 +5,7 @@
 //   iop-sweep resume --campaign c.campaign --store out/ -j4
 //   iop-sweep report --campaign c.campaign --store out/
 //   iop-sweep gc     --campaign c.campaign --store out/
+//   iop-sweep postmortem --store out/
 //
 // `run` evaluates every cell of the campaign grid, reusing any cell whose
 // cache key is already in the store; `resume` is the same operation by a
@@ -12,24 +13,46 @@
 // simply recomputes the missing ones).  `report` ranks the stored results
 // per model/fault group by estimated Time_io (the paper's configuration
 // selection).  `gc` drops cells orphaned by campaign edits.
+// `postmortem` reconstructs the newest run's timeline from its flight
+// recorder journal (<store>/journal/run-*.jsonl, written by default) and
+// names the cells that were in flight when a crashed run ended.
 //
-// Exit codes: 0 ok, 1 cell failures (or missing cells in report), 2 usage
-// or campaign errors.
+// Runtime telemetry: every `run` journals its lifecycle events;
+// --telemetry-out FILE additionally snapshots live Prometheus-style
+// metrics on a timer, --progress draws a status line, and
+// --exec-trace-out FILE exports the execution itself (one track per
+// worker) as a Chrome/Perfetto trace.  None of this perturbs results:
+// the store bytes are identical with telemetry on or off.
+//
+// Exit codes: 0 ok, 1 cell failures (or missing cells in report, or an
+// incomplete journal in postmortem), 2 usage or campaign errors.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "obs/profiler.hpp"
+#include "obs/runtime.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/executor.hpp"
+#include "sweep/hash.hpp"
+#include "sweep/postmortem.hpp"
 #include "sweep/rank.hpp"
 #include "sweep/store.hpp"
+#include "sweep/telemetry.hpp"
 #include "toolkit.hpp"
 #include "util/args.hpp"
 
@@ -90,6 +113,47 @@ std::string sharedStorePath(const util::Args& args) {
   return path;
 }
 
+int parseTelemetryInterval(const util::Args& args) {
+  const std::string text = args.getOr("telemetry-interval-ms", "500");
+  std::size_t used = 0;
+  const int ms = std::stoi(text, &used);
+  if (used != text.size() || ms < 10) {
+    throw std::invalid_argument(
+        "--telemetry-interval-ms must be an integer >= 10");
+  }
+  return ms;
+}
+
+/// A fresh journal filename: run-<unix-ms>-<pid>.jsonl.  The embedded
+/// timestamp makes `postmortem` pick the newest run without trusting
+/// filesystem mtimes.
+std::string journalFileName() {
+  const auto unixMs =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  return "run-" + std::to_string(unixMs) + "-" +
+         std::to_string(static_cast<long>(getpid())) + ".jsonl";
+}
+
+/// Telemetry knobs shared by `run` and `resume`.  Journaling is on by
+/// default: it is cheap (one flushed line per event), lives outside the
+/// content-addressed areas of the store, and is the only record of what a
+/// crashed run was doing.
+sweep::TelemetryConfig telemetryConfig(const util::Args& args,
+                                       const sweep::CampaignStore& store) {
+  sweep::TelemetryConfig config;
+  if (!args.flag("no-journal")) {
+    config.journalPath =
+        (store.root() / "journal" / journalFileName()).string();
+  }
+  config.telemetryOut = args.getOr("telemetry-out", "");
+  config.telemetryIntervalMs = parseTelemetryInterval(args);
+  config.progress = args.flag("progress");
+  config.execTraceOut = args.getOr("exec-trace-out", "");
+  return config;
+}
+
 /// Load + resolve the campaign named by --campaign (characterizing any
 /// `app` entries across `jobs` workers, reusing cached models from the
 /// campaign and shared stores) and bind the store.
@@ -117,22 +181,43 @@ LoadedCampaign loadFor(const util::Args& args, obs::Logger& log, int jobs) {
 
 int cmdRun(const util::Args& args, tools::ObsSession& obs) {
   const int jobs = parseJobs(args);
-  auto loaded = loadFor(args, obs.log(), jobs);
+  sweep::CampaignStore store(args.get("store"));
+  const std::string shared = sharedStorePath(args);
+  auto spec = sweep::loadCampaign(args.get("campaign"));
+
+  // Telemetry comes up before resolution so characterization events land
+  // in the journal and on the exec trace too.
+  sweep::SweepTelemetry telemetry(telemetryConfig(args, store));
+  telemetry.campaignStart(spec.name, sweep::hashHex(spec.canonicalText()),
+                          jobs);
+
+  sweep::ResolveOptions resolve;
+  resolve.jobs = jobs;
+  resolve.log = &obs.log();
+  resolve.telemetry = &telemetry;
+  resolve.modelCacheDirs.push_back(store.root() / "models");
+  if (!shared.empty()) {
+    resolve.modelCacheDirs.push_back(sweep::SharedStore(shared).modelDir());
+  }
+  const auto campaign = sweep::resolveCampaign(spec, resolve);
+
   sweep::SweepOptions options;
   options.jobs = jobs;
   options.force = args.flag("force");
   options.writeCaptures = !args.flag("no-captures");
-  options.sharedStore = loaded.sharedStore;
+  options.sharedStore = shared;
   options.cancel = &gCancelRequested;
+  options.telemetry = &telemetry;
   installShutdownHandlers();
 
   obs::MetricsRegistry* metrics =
       obs.active() ? &obs.session()->metrics() : nullptr;
-  const auto outcome = sweep::runSweep(loaded.campaign, loaded.store,
-                                       options, &obs.log(), metrics);
+  const auto outcome =
+      sweep::runSweep(campaign, store, options, &obs.log(), metrics);
+  telemetry.finish();
 
   std::string note =
-      loaded.sharedStore.empty()
+      shared.empty()
           ? std::string()
           : ", " + std::to_string(outcome.sharedHits) + " shared hits";
   if (outcome.skipped > 0) {
@@ -143,18 +228,18 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
   }
   std::printf("campaign %s: %zu cells, %zu cached, %zu computed, "
               "%zu failed (%.2fs wall, %zu IOR runs, -j%d%s)\n",
-              loaded.campaign.spec.name.c_str(), outcome.cells.size(),
+              campaign.spec.name.c_str(), outcome.cells.size(),
               outcome.cacheHits, outcome.computed, outcome.failures,
               outcome.wallSeconds, outcome.iorRuns, options.jobs,
               note.c_str());
   for (const auto& cell : outcome.cells) {
     if (cell.status == sweep::CellOutcome::Status::Failed) {
       std::fprintf(stderr, "iop-sweep: cell %s failed: %s\n",
-                   loaded.campaign.cellTitle(cell.spec).c_str(),
+                   campaign.cellTitle(cell.spec).c_str(),
                    cell.error.c_str());
     }
   }
-  std::printf("%s", sweep::renderReport(loaded.campaign, outcome).c_str());
+  std::printf("%s", sweep::renderReport(campaign, outcome).c_str());
   if (outcome.interrupted) {
     std::fprintf(stderr,
                  "iop-sweep: interrupted — %zu completed cells are "
@@ -207,6 +292,25 @@ int cmdReport(const util::Args& args, tools::ObsSession& obs) {
   return 0;
 }
 
+int cmdPostmortem(const util::Args& args) {
+  std::filesystem::path path = args.getOr("journal", "");
+  if (path.empty()) {
+    path = sweep::newestJournal(args.get("store"));
+    if (path.empty()) {
+      std::fprintf(stderr,
+                   "iop-sweep: no run journals under %s/journal "
+                   "(journaling is on by default for `run`; was "
+                   "--no-journal used?)\n",
+                   args.get("store").c_str());
+      return 2;
+    }
+  }
+  const auto parsed = obs::loadJournal(path);
+  const auto pm = sweep::analyzeJournal(parsed);
+  std::printf("%s", sweep::renderPostmortem(pm, path).c_str());
+  return pm.complete ? 0 : 1;
+}
+
 int cmdGc(const util::Args& args, tools::ObsSession& obs) {
   auto loaded = loadFor(args, obs.log(), parseJobs(args));
   std::set<std::string> live;
@@ -235,6 +339,20 @@ int main(int argc, char** argv) {
                "recompute cached cells; also replaces a store bound to a "
                "different campaign");
   args.addFlag("no-captures", "skip writing per-cell run captures");
+  args.addOption("telemetry-out",
+                 "snapshot live runtime metrics (Prometheus text "
+                 "exposition) to this file on a timer");
+  args.addOption("telemetry-interval-ms",
+                 "snapshot period for --telemetry-out", "500");
+  args.addOption("exec-trace-out",
+                 "export the run's execution (one Chrome/Perfetto track "
+                 "per worker) to this JSON file");
+  args.addOption("journal",
+                 "journal file for `postmortem` (default: newest "
+                 "run-*.jsonl under <store>/journal)");
+  args.addFlag("progress", "live status line on stderr during `run`");
+  args.addFlag("no-journal",
+               "disable the flight-recorder journal for this run");
   tools::addObsOptions(args);
 
   const auto expanded = expandJobsShorthand(argc, argv);
@@ -248,7 +366,8 @@ int main(int argc, char** argv) {
     args.parse(static_cast<int>(argvVec.size()), argvVec.data());
     const auto& pos = args.positional();
     const std::string usage = args.usage(
-        "iop-sweep <run|resume|report|gc> --campaign FILE --store DIR",
+        "iop-sweep <run|resume|report|gc|postmortem> --campaign FILE "
+        "--store DIR",
         "Parallel what-if campaigns with a content-addressed result "
         "cache.");
     if (args.helpRequested() || pos.size() != 1) {
@@ -264,6 +383,8 @@ int main(int argc, char** argv) {
       rc = cmdReport(args, obs);
     } else if (command == "gc") {
       rc = cmdGc(args, obs);
+    } else if (command == "postmortem") {
+      rc = cmdPostmortem(args);
     } else {
       std::fprintf(stderr, "iop-sweep: unknown command '%s'\n%s",
                    command.c_str(), usage.c_str());
