@@ -1,5 +1,6 @@
 // Trend comparison over two BENCH_*.json documents (iop-bench/1 schema,
-// written by bench::writeBenchJson and the micro-benchmarks).
+// written by bench::writeBenchJson and the micro-benchmarks; parsing
+// lives in obs/benchjson.hpp, shared with the capture archive).
 //
 // Results are matched by name; a benchmark whose ns_per_op grew or whose
 // bytes_per_second shrank beyond the threshold is a regression, which
@@ -7,22 +8,12 @@
 // perf-trajectory loop over the per-commit bench artifacts.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/benchjson.hpp"
+
 namespace iop::obs {
-
-struct BenchEntry {
-  std::string name;
-  std::int64_t iterations = 0;
-  double nsPerOp = 0;          ///< 0 = not measured
-  double bytesPerSecond = 0;   ///< 0 = not measured
-};
-
-/// Parse an iop-bench/1 document.  Throws std::invalid_argument on a
-/// schema mismatch or malformed JSON.
-std::vector<BenchEntry> parseBenchJson(const std::string& text);
 
 struct BenchDiffOptions {
   /// Relative change (%) beyond which a ns_per_op / bytes_per_second delta

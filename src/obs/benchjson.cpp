@@ -1,0 +1,217 @@
+#include "obs/benchjson.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace iop::obs {
+
+namespace {
+
+// Minimal scanner for the iop-bench/1 documents this repo writes: one
+// top-level object with a "schema" string and a "results" array of flat
+// objects holding string/number fields.  Anything outside that shape is
+// rejected with a position, which is all the robustness machine-written
+// bench artifacts need (no external JSON dependency).
+class BenchScanner {
+ public:
+  explicit BenchScanner(const std::string& text) : text_(text) {}
+
+  std::vector<BenchEntry> parse() {
+    skipSpace();
+    expect('{');
+    std::string schema;
+    std::vector<BenchEntry> entries;
+    bool first = true;
+    while (true) {
+      skipSpace();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        expect(',');
+        skipSpace();
+      }
+      first = false;
+      const std::string key = parseString();
+      skipSpace();
+      expect(':');
+      skipSpace();
+      if (key == "schema") {
+        schema = parseString();
+      } else if (key == "results") {
+        entries = parseResults();
+      } else {
+        skipValue();
+      }
+    }
+    if (schema != "iop-bench/1") {
+      throw std::invalid_argument("bench json: schema '" + schema +
+                                  "' is not iop-bench/1");
+    }
+    return entries;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("bench json, offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Bench names are ASCII; keep the escape verbatim.
+            out += "\\u";
+            break;
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parseNumber() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  void skipValue() {
+    const char c = peek();
+    if (c == '"') {
+      parseString();
+      return;
+    }
+    if (c == '{' || c == '[') {
+      // Depth-count over the container, string-aware.
+      int depth = 0;
+      while (true) {
+        const char d = peek();
+        if (d == '"') {
+          parseString();
+          continue;
+        }
+        ++pos_;
+        if (d == '{' || d == '[') {
+          ++depth;
+        } else if (d == '}' || d == ']') {
+          if (--depth == 0) return;
+        }
+      }
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return;
+    }
+    parseNumber();
+  }
+
+  std::vector<BenchEntry> parseResults() {
+    std::vector<BenchEntry> out;
+    expect('[');
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parseResult());
+      skipSpace();
+      if (peek() == ']') {
+        ++pos_;
+        return out;
+      }
+      expect(',');
+      skipSpace();
+    }
+  }
+
+  BenchEntry parseResult() {
+    BenchEntry entry;
+    expect('{');
+    bool first = true;
+    while (true) {
+      skipSpace();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        expect(',');
+        skipSpace();
+      }
+      first = false;
+      const std::string key = parseString();
+      skipSpace();
+      expect(':');
+      skipSpace();
+      if (key == "name") {
+        entry.name = parseString();
+      } else if (key == "iterations") {
+        entry.iterations = static_cast<std::int64_t>(parseNumber());
+      } else if (key == "ns_per_op") {
+        entry.nsPerOp = parseNumber();
+      } else if (key == "bytes_per_second") {
+        entry.bytesPerSecond = parseNumber();
+      } else {
+        skipValue();
+      }
+    }
+    if (entry.name.empty()) fail("result without a name");
+    return entry;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<BenchEntry> parseBenchJson(const std::string& text) {
+  return BenchScanner(text).parse();
+}
+
+}  // namespace iop::obs

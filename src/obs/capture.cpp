@@ -59,10 +59,34 @@ void RunCapture::write(std::ostream& out) const {
   out << "end\n";
 }
 
-void RunCapture::save(const std::string& path) const {
-  std::ofstream file(path);
+CaptureFormat parseCaptureFormat(const std::string& name) {
+  if (name == "v1") return CaptureFormat::V1;
+  if (name == "v2") return CaptureFormat::V2;
+  throw std::invalid_argument("unknown capture format '" + name +
+                              "' (expected v1 or v2)");
+}
+
+std::string RunCapture::serialize(CaptureFormat format) const {
+  if (format == CaptureFormat::V2) return detail::encodeCaptureV2(*this);
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+void RunCapture::save(const std::string& path, CaptureFormat format) const {
+  std::ofstream file(path, std::ios::binary);
   if (!file) bad("cannot open output " + path);
-  write(file);
+  file << serialize(format);
+  if (!file) bad("failed writing " + path);
+}
+
+RunCapture RunCapture::parse(const std::string& bytes) {
+  // Both formats begin with a sniffable "iop-capture vN\n" line.
+  if (bytes.rfind("iop-capture v2\n", 0) == 0) {
+    return detail::decodeCaptureV2(bytes);
+  }
+  std::istringstream in(bytes);
+  return read(in);
 }
 
 RunCapture RunCapture::read(std::istream& in) {
@@ -100,9 +124,11 @@ RunCapture RunCapture::read(std::istream& in) {
 }
 
 RunCapture RunCapture::load(const std::string& path) {
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file) bad("cannot open " + path);
-  return read(file);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse(buffer.str());
 }
 
 }  // namespace iop::obs

@@ -1,11 +1,15 @@
 // Run captures: the persisted per-run summary that iop-diff compares.
 //
-// A capture is a small, versioned text file holding the identity of a run
+// A capture is a small, versioned file holding the identity of a run
 // (app, np, configuration), its makespan, the per-phase measured times and
 // bandwidths, and the full metrics CSV (so histogram shapes travel with
-// it).  Produced by `iop-stats --capture-out`, consumed by `iop-diff`.
+// it).  Produced by `iop-stats --capture-out`, consumed by `iop-diff` and
+// archived per-commit by the capture archive (obs/archive.hpp).
 //
-// Format (line-oriented, '#'-free, labels last so they may hold spaces):
+// Two on-disk formats share one first-line version stamp, so load()
+// sniffs and reads either transparently:
+//
+// v1 (line-oriented text, '#'-free, labels last so they may hold spaces):
 //   iop-capture v1
 //   app <name>
 //   np <n>
@@ -16,6 +20,12 @@
 //   metrics <lineCount>
 //   <raw metrics CSV lines>
 //   end
+//
+// v2 (columnar binary, self-contained — varint + delta + RLE + label
+// dictionary + front-coded metrics CSV, one FNV-1a64 checksum per block
+// so torn or bit-flipped files are detected, never mis-parsed; see
+// capturev2.cpp for the exact layout).  Typically 3-5x smaller than the
+// v1 encoding of the same run and byte-semantics-identical on read-back.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +44,11 @@ struct CapturePhase {
   std::string label;      ///< "W"/"R"/"W-R" plus file id
 };
 
+enum class CaptureFormat { V1, V2 };
+
+/// "v1" | "v2" (throws std::invalid_argument).
+CaptureFormat parseCaptureFormat(const std::string& name);
+
 struct RunCapture {
   std::string app;
   int np = 0;
@@ -42,11 +57,23 @@ struct RunCapture {
   std::vector<CapturePhase> phases;
   std::string metricsCsv;  ///< may be empty when metrics were off
 
-  void write(std::ostream& out) const;
-  void save(const std::string& path) const;
+  void write(std::ostream& out) const;  ///< v1 text
+  void save(const std::string& path,
+            CaptureFormat format = CaptureFormat::V1) const;
 
-  static RunCapture read(std::istream& in);      ///< throws on bad format
-  static RunCapture load(const std::string& path);
+  /// Serialize to a byte string in the requested format.
+  std::string serialize(CaptureFormat format) const;
+
+  static RunCapture read(std::istream& in);  ///< v1 text only (throws)
+  /// Version-sniffing parse of a whole file's bytes: reads v1 and v2.
+  static RunCapture parse(const std::string& bytes);
+  static RunCapture load(const std::string& path);  ///< sniffs v1/v2
 };
+
+namespace detail {
+/// v2 codec internals (capturev2.cpp); use RunCapture::parse/serialize.
+std::string encodeCaptureV2(const RunCapture& cap);
+RunCapture decodeCaptureV2(const std::string& bytes);
+}  // namespace detail
 
 }  // namespace iop::obs

@@ -1,0 +1,97 @@
+// Byte-level codec primitives for the columnar capture format v2:
+// LEB128 varints, zigzag signed mapping, little-endian IEEE doubles, and
+// FNV-1a 64 block checksums.  Header-only and deliberately tiny — this
+// is a first-party file format, not a general serialization library.
+//
+// Every decode helper takes (data, size, pos) and throws via the caller's
+// error function on truncation or malformed input; nothing here reads out
+// of bounds, which is what lets the capture reader survive the hostile
+// corpus in tests/trend_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace iop::obs::codec {
+
+inline void putVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+inline std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline void putZigzag(std::string& out, std::int64_t v) {
+  putVarint(out, zigzag(v));
+}
+
+inline void putF64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+inline void putString(std::string& out, const std::string& s) {
+  putVarint(out, s.size());
+  out.append(s);
+}
+
+/// FNV-1a 64 over a byte range (same function family as the sweep cache
+/// keys; this is torn-file detection, not a security boundary).
+inline std::uint64_t fnv1a(const char* data, std::size_t size) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Bounds-checked varint decode.  Returns false on truncation or an
+/// over-long (> 10 byte) encoding; `pos` advances only on success.
+inline bool getVarint(const char* data, std::size_t size, std::size_t& pos,
+                      std::uint64_t& out) noexcept {
+  std::uint64_t v = 0;
+  int shift = 0;
+  std::size_t p = pos;
+  while (p < size && shift < 64) {
+    const auto byte = static_cast<unsigned char>(data[p++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      pos = p;
+      out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline bool getF64(const char* data, std::size_t size, std::size_t& pos,
+                   double& out) noexcept {
+  if (size - pos < 8 || pos > size) return false;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(data[pos + i]))
+            << (8 * i);
+  }
+  pos += 8;
+  std::memcpy(&out, &bits, sizeof out);
+  return true;
+}
+
+}  // namespace iop::obs::codec

@@ -1,0 +1,340 @@
+#include "obs/trend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/archive.hpp"
+#include "obs/recorder.hpp"
+
+namespace iop::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Scale used to turn a raw delta into robust sigma units: consistent
+/// MAD estimator with a relative floor so deterministic histories
+/// (MAD = 0) still measure change sensibly.
+double robustScale(double mad, double median, const TrendOptions& options) {
+  const double consistent = 1.4826 * mad;
+  const double floor = options.relFloorPct / 100.0 * std::fabs(median);
+  return std::max({consistent, floor, 1e-12});
+}
+
+void judgeSeries(TrendSeries& s, const TrendOptions& options) {
+  if (s.points.size() < 2) return;
+  std::vector<double> history;
+  history.reserve(s.points.size() - 1);
+  for (std::size_t i = 0; i + 1 < s.points.size(); ++i) {
+    history.push_back(s.points[i].value);
+  }
+  s.baselineMedian = medianOf(history);
+  s.baselineMad = madOf(history, s.baselineMedian);
+  const double scale = robustScale(s.baselineMad, s.baselineMedian, options);
+  s.deviation = (s.points.back().value - s.baselineMedian) / scale;
+  if (history.size() < options.minHistory) return;
+  s.flagged = std::fabs(s.deviation) > options.madThreshold;
+  const bool worse = s.lowerIsBetter ? s.deviation > 0 : s.deviation < 0;
+  s.regression = s.flagged && worse;
+}
+
+struct SeriesBuilder {
+  // Keyed so iteration yields the canonical report order: captures
+  // grouped by (app, config, np) with makespan first, then the residual,
+  // then phases by id; bench snapshots after, by (name, result, field).
+  std::map<std::tuple<std::string, std::string, int, int, int, std::string>,
+           TrendSeries>
+      series;
+
+  TrendSeries& at(const std::string& kind, const std::string& app,
+                  const std::string& config, int np, int rank, int phaseId,
+                  const std::string& metric, bool lowerIsBetter) {
+    auto& s = series[{app, config, np, rank, phaseId, metric}];
+    if (s.metric.empty()) {
+      s.kind = kind;
+      s.app = app;
+      s.config = config;
+      s.np = np;
+      s.metric = metric;
+      s.lowerIsBetter = lowerIsBetter;
+    }
+    return s;
+  }
+
+  void addPoint(TrendSeries& s, const ArchiveEntry& entry, double value) {
+    s.points.push_back(TrendPoint{entry.seq, entry.label, value});
+  }
+};
+
+std::string pct(double deltaPct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", deltaPct);
+  return buf;
+}
+
+double relDeltaPct(double baseline, double latest) {
+  if (baseline == 0) return latest == 0 ? 0 : 100.0;
+  return 100.0 * (latest - baseline) / baseline;
+}
+
+std::string htmlEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double medianOf(std::vector<double> values) {
+  if (values.empty()) return 0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + mid);
+  return (lower + upper) / 2.0;
+}
+
+double madOf(const std::vector<double>& values, double median) {
+  if (values.empty()) return 0;
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) deviations.push_back(std::fabs(v - median));
+  return medianOf(std::move(deviations));
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const auto [minIt, maxIt] =
+      std::minmax_element(values.begin(), values.end());
+  const double lo = *minIt, hi = *maxIt;
+  std::string out;
+  for (const double v : values) {
+    int level = 3;  // flat series render mid-height
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string TrendSeries::title() const {
+  if (kind == "bench") return app + " " + metric;
+  return app + "/" + config + "/np" + std::to_string(np) + " " + metric;
+}
+
+std::size_t TrendReport::regressions() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : series) {
+    if (s.regression) ++n;
+  }
+  return n;
+}
+
+std::size_t TrendReport::flaggedSeries() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : series) {
+    if (s.flagged) ++n;
+  }
+  return n;
+}
+
+TrendReport analyzeTrends(const Archive& archive,
+                          const TrendOptions& options) {
+  TrendReport report;
+  report.options = options;
+  SeriesBuilder builder;
+
+  for (const auto& entry : archive.list()) {
+    if (entry.kind == "capture") {
+      const RunCapture cap = archive.loadCapture(entry);
+      auto& makespan = builder.at("capture", entry.app, entry.config,
+                                  entry.np, 0, 0, "makespan", true);
+      builder.addPoint(makespan, entry, cap.makespan);
+      double ioSum = 0;
+      for (const auto& p : cap.phases) ioSum += p.ioSeconds;
+      auto& residual = builder.at("capture", entry.app, entry.config,
+                                  entry.np, 1, 0, "eq12 residual", true);
+      builder.addPoint(residual, entry, cap.makespan - ioSum);
+      for (const auto& p : cap.phases) {
+        const std::string suffix =
+            std::to_string(p.id) + " [" + p.label + "]";
+        auto& time = builder.at("capture", entry.app, entry.config,
+                                entry.np, 2, p.id, "phase " + suffix +
+                                " time", true);
+        builder.addPoint(time, entry, p.ioSeconds);
+        auto& bw = builder.at("capture", entry.app, entry.config, entry.np,
+                              3, p.id, "phase " + suffix + " bandwidth",
+                              false);
+        builder.addPoint(bw, entry, p.bandwidth);
+      }
+    } else {
+      for (const auto& result : archive.loadBench(entry)) {
+        if (result.nsPerOp > 0) {
+          auto& ns = builder.at("bench", entry.app, entry.config, entry.np,
+                                4, 0, result.name + " ns/op", true);
+          builder.addPoint(ns, entry, result.nsPerOp);
+        }
+        if (result.bytesPerSecond > 0) {
+          auto& bps = builder.at("bench", entry.app, entry.config,
+                                 entry.np, 5, 0, result.name + " bytes/s",
+                                 false);
+          builder.addPoint(bps, entry, result.bytesPerSecond);
+        }
+      }
+    }
+  }
+
+  for (auto& [key, s] : builder.series) {
+    if (!options.metricFilter.empty() &&
+        s.title().find(options.metricFilter) == std::string::npos) {
+      continue;
+    }
+    judgeSeries(s, options);
+    report.series.push_back(std::move(s));
+  }
+  return report;
+}
+
+std::string TrendReport::renderText() const {
+  std::ostringstream out;
+  out << "trend report: " << series.size() << " series, threshold "
+      << num(options.madThreshold) << " sigma (rel floor "
+      << num(options.relFloorPct) << "%, min history "
+      << options.minHistory << ")\n";
+  for (const auto& s : series) {
+    std::vector<double> values;
+    values.reserve(s.points.size());
+    for (const auto& p : s.points) values.push_back(p.value);
+    out << "  " << s.title() << ": " << sparkline(values) << " n="
+        << s.points.size() << " last=" << num(s.latest());
+    if (s.points.size() >= 2) {
+      out << " median=" << num(s.baselineMedian) << " ("
+          << pct(relDeltaPct(s.baselineMedian, s.latest())) << ", "
+          << num(s.deviation) << " sigma)";
+    }
+    if (s.regression) {
+      out << " REGRESSION";
+    } else if (s.flagged) {
+      out << " improved";
+    }
+    out << "\n";
+  }
+  out << "  " << regressions() << " regression(s), " << flaggedSeries()
+      << " flagged of " << series.size() << " series\n";
+  return out.str();
+}
+
+std::string TrendReport::renderCheck() const {
+  std::ostringstream out;
+  for (const auto& s : series) {
+    if (!s.regression) continue;
+    out << "REGRESSION " << s.title() << ": " << num(s.latest()) << " vs "
+        << "median " << num(s.baselineMedian) << " ("
+        << pct(relDeltaPct(s.baselineMedian, s.latest())) << ", "
+        << num(s.deviation) << " sigma over " << (s.points.size() - 1)
+        << " prior runs, label " << s.points.back().label << ")\n";
+  }
+  return out.str();
+}
+
+std::string TrendReport::renderHtml() const {
+  std::ostringstream out;
+  out << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+      << "<title>iop-trend report</title>\n<style>\n"
+      << "body{font:14px/1.4 system-ui,sans-serif;margin:2em;"
+      << "color:#1a1a1a}\n"
+      << "table{border-collapse:collapse;width:100%}\n"
+      << "th,td{text-align:left;padding:4px 10px;"
+      << "border-bottom:1px solid #ddd;white-space:nowrap}\n"
+      << "td.num{text-align:right;font-variant-numeric:tabular-nums}\n"
+      << ".bad{color:#b00020;font-weight:600}\n"
+      << ".good{color:#1e7d32}\n"
+      << "svg{vertical-align:middle}\n"
+      << "</style></head><body>\n"
+      << "<h1>iop-trend report</h1>\n"
+      << "<p>" << series.size() << " series &middot; threshold "
+      << num(options.madThreshold) << " sigma &middot; rel floor "
+      << num(options.relFloorPct) << "% &middot; min history "
+      << options.minHistory << " &middot; " << regressions()
+      << " regression(s)</p>\n"
+      << "<table>\n<tr><th>series</th><th>trend</th><th>n</th>"
+      << "<th>last</th><th>median</th><th>&Delta;</th><th>sigma</th>"
+      << "<th>verdict</th></tr>\n";
+  for (const auto& s : series) {
+    std::vector<double> values;
+    values.reserve(s.points.size());
+    for (const auto& p : s.points) values.push_back(p.value);
+    // Inline SVG polyline, min-max normalized; the last point gets a dot.
+    const int w = 120, h = 24, pad = 2;
+    const auto [minIt, maxIt] =
+        std::minmax_element(values.begin(), values.end());
+    const double lo = *minIt, hi = *maxIt;
+    std::ostringstream pts;
+    double lastX = pad, lastY = h / 2.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double x =
+          values.size() == 1
+              ? pad
+              : pad + static_cast<double>(i) * (w - 2 * pad) /
+                          static_cast<double>(values.size() - 1);
+      const double y =
+          hi > lo ? h - pad - (values[i] - lo) / (hi - lo) * (h - 2 * pad)
+                  : h / 2.0;
+      if (i > 0) pts << " ";
+      pts << num(x) << "," << num(y);
+      lastX = x;
+      lastY = y;
+    }
+    const char* stroke = s.regression ? "#b00020"
+                         : s.flagged  ? "#1e7d32"
+                                      : "#4a6fa5";
+    out << "<tr><td>" << htmlEscape(s.title()) << "</td><td>"
+        << "<svg width=\"" << w << "\" height=\"" << h << "\">"
+        << "<polyline fill=\"none\" stroke=\"" << stroke
+        << "\" stroke-width=\"1.5\" points=\"" << pts.str() << "\"/>"
+        << "<circle cx=\"" << num(lastX) << "\" cy=\"" << num(lastY)
+        << "\" r=\"2.5\" fill=\"" << stroke << "\"/></svg></td>"
+        << "<td class=\"num\">" << s.points.size() << "</td>"
+        << "<td class=\"num\">" << num(s.latest()) << "</td>";
+    if (s.points.size() >= 2) {
+      out << "<td class=\"num\">" << num(s.baselineMedian) << "</td>"
+          << "<td class=\"num\">"
+          << pct(relDeltaPct(s.baselineMedian, s.latest())) << "</td>"
+          << "<td class=\"num\">" << num(s.deviation) << "</td>";
+    } else {
+      out << "<td class=\"num\"></td><td class=\"num\"></td>"
+          << "<td class=\"num\"></td>";
+    }
+    out << "<td>"
+        << (s.regression ? "<span class=\"bad\">REGRESSION</span>"
+            : s.flagged  ? "<span class=\"good\">improved</span>"
+                         : "ok")
+        << "</td></tr>\n";
+  }
+  out << "</table>\n</body></html>\n";
+  return out.str();
+}
+
+}  // namespace iop::obs

@@ -1,0 +1,108 @@
+// Trend engine: per-metric time series across a capture archive, with
+// robust baselines and change-point flagging — the longitudinal
+// counterpart of iop-diff's two-run comparison.
+//
+// For every (app, config, np) capture series the archive holds, the
+// engine extracts
+//   * makespan,
+//   * per-phase Time_io and bandwidth,
+//   * the eq. 1-2 residual (makespan minus the sum of per-phase measured
+//     I/O times — the compute/startup/unattributed remainder, so a
+//     regression that hides outside the I/O phases still surfaces),
+// and for every bench snapshot series, per-result ns/op and bytes/s.
+//
+// The change-point rule (docs/OBSERVABILITY.md): the newest point is
+// compared against the median of all prior points; the deviation is
+// measured in robust sigma units, scale = max(1.4826 * MAD,
+// relFloorPct% of |median|).  A deterministic history (MAD = 0 — the
+// common case for simulated metrics) falls back to the relative floor,
+// so a 20% makespan jump over five byte-identical runs is ~20 sigma.
+// A series flags only after `minHistory` prior points exist; a flagged
+// move in the bad direction (time up, bandwidth down) is a regression,
+// which drives iop-trend check's non-zero CI exit code.
+//
+// Everything here is deterministic: series and points are emitted in a
+// canonical order, so two runs over the same archive render identical
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iop::obs {
+
+class Archive;
+
+struct TrendOptions {
+  /// |deviation| in robust sigma units beyond which the newest point is
+  /// a change-point.
+  double madThreshold = 4.0;
+  /// Scale floor as a percentage of |baseline median|: protects against
+  /// MAD = 0 (deterministic histories) and keeps microscopic relative
+  /// moves from flagging.
+  double relFloorPct = 1.0;
+  /// Prior points required before a series may flag at all.
+  std::size_t minHistory = 3;
+  /// Substring filter on series metric names (empty = all).
+  std::string metricFilter;
+};
+
+struct TrendPoint {
+  std::uint64_t seq = 0;   ///< archive sequence number
+  std::string label;       ///< commit / tag the point was archived under
+  double value = 0;
+};
+
+struct TrendSeries {
+  std::string kind;     ///< "capture" | "bench"
+  std::string app;      ///< bench: snapshot name
+  std::string config;   ///< bench: "bench"
+  int np = 0;
+  std::string metric;   ///< "makespan", "phase 3 [W f0] time", "X ns/op"...
+  bool lowerIsBetter = true;
+  std::vector<TrendPoint> points;  ///< seq ascending
+
+  // Computed against all points but the newest:
+  double baselineMedian = 0;
+  double baselineMad = 0;
+  double deviation = 0;    ///< newest point, robust sigma units, signed
+  bool flagged = false;    ///< |deviation| > madThreshold (and history ok)
+  bool regression = false; ///< flagged in the bad direction
+
+  double latest() const noexcept {
+    return points.empty() ? 0 : points.back().value;
+  }
+  std::string title() const;  ///< "app/config/np4 metric"
+};
+
+struct TrendReport {
+  TrendOptions options;
+  std::vector<TrendSeries> series;  ///< canonical order, deterministic
+
+  std::size_t regressions() const noexcept;
+  std::size_t flaggedSeries() const noexcept;
+
+  /// Text report: one line per series with a block-character sparkline,
+  /// baseline stats and the change-point verdict.
+  std::string renderText() const;
+  /// Single-file HTML report with inline SVG sparklines (no external
+  /// assets), for sharing a trend snapshot.
+  std::string renderHtml() const;
+  /// Regressions only, one line each — what `iop-trend check` prints.
+  std::string renderCheck() const;
+};
+
+/// Extract and analyze every series of the archive.  Series order and
+/// content are a pure function of the archive's manifest + objects.
+TrendReport analyzeTrends(const Archive& archive,
+                          const TrendOptions& options = {});
+
+/// Robust statistics (exposed for tests).
+double medianOf(std::vector<double> values);
+double madOf(const std::vector<double>& values, double median);
+
+/// Block-character sparkline of `values` (exposed for tests).
+std::string sparkline(const std::vector<double>& values);
+
+}  // namespace iop::obs

@@ -107,16 +107,6 @@ class CalendarQueue {
       nowq_.push_back(ev);
       return;
     }
-    // Deterministic running estimate of inter-event gaps; sizes the next
-    // window's bucket width.  Sampling every 8th future push is enough to
-    // track the workload and keeps the multiply off the hot path (the
-    // counter is queue state, so the estimate is a pure function of the
-    // push sequence).
-    if (gapEma_ == 0) {
-      gapEma_ = ev.when - now;
-    } else if ((++emaTick_ & 7u) == 0) {
-      gapEma_ = gapEma_ * 0.875 + (ev.when - now) * 0.125;
-    }
     if (count_ == 0) {
       // Sole event in the queue (every container is empty): straight into
       // the run — the common shape for ping-pong chains of one process.
@@ -330,9 +320,25 @@ class CalendarQueue {
     // Heap pops arrive in ascending order.
     windowStart_ = tmp_.front().when;
     const Time range = tmp_.back().when - windowStart_;
-    Time w = gapEma_ > 0 ? gapEma_
-                         : (range > 0 ? range / static_cast<double>(kNumBuckets)
-                                      : 1.0);
+    // Per-window gap resample: the drained sample IS the population the
+    // window spreads across its buckets, so its own mean gap sizes the
+    // buckets.  A global push-time estimate tracks whichever chain pushes
+    // most often, and under mixed-density workloads (interleaved fast and
+    // slow timescales) that mis-sizes every window for the other chains —
+    // too-narrow buckets funnel the slow chain's events into the clamped
+    // last bucket, too-wide buckets pour the fast chain unsorted.  Blend
+    // across windows so one sparse sample doesn't whipsaw the width.
+    // Bucket width never affects dispatch order (see the determinism
+    // notes above), only how much work each pour has to sort.
+    if (sample > 1 && range > 0) {
+      const Time localGap = range / static_cast<double>(sample - 1);
+      windowGap_ =
+          windowGap_ > 0 ? windowGap_ * 0.5 + localGap * 0.5 : localGap;
+    }
+    Time w = windowGap_ > 0
+                 ? windowGap_
+                 : (range > 0 ? range / static_cast<double>(kNumBuckets)
+                              : 1.0);
     if (!(w > 0) || !std::isfinite(w)) w = 1.0;
     invWidth_ = 1.0 / w;
     if (!std::isfinite(invWidth_)) {
@@ -380,8 +386,10 @@ class CalendarQueue {
   /// Far-future min-heap (front = earliest), drained only by openWindow().
   std::vector<QueuedEvent> overflow_;
   std::vector<QueuedEvent> tmp_;
-  Time gapEma_ = 0;
-  unsigned emaTick_ = 0;
+  /// Cross-window EMA of the per-window mean gap (openWindow resamples it
+  /// from each drained overflow sample); 0 until the first multi-event
+  /// window.
+  Time windowGap_ = 0;
   std::size_t count_ = 0;
 };
 

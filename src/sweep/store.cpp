@@ -1,17 +1,10 @@
 #include "sweep/store.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-
-#ifdef _WIN32
-#include <process.h>
-#else
-#include <unistd.h>
-#endif
 
 #include "obs/runtime.hpp"
 #include "sweep/hash.hpp"
@@ -111,24 +104,6 @@ std::optional<CellResult> tryLoadCellFile(
 }
 
 }  // namespace
-
-void writeFileAtomically(const std::filesystem::path& path,
-                         const std::string& text) {
-  // Unique temp name per call: shared cache directories may see the same
-  // key written by several threads or processes at once.
-  static std::atomic<unsigned long> counter{0};
-  const std::filesystem::path tmp =
-      path.string() + ".tmp." + std::to_string(static_cast<long>(getpid())) +
-      "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << text;
-    if (!out) {
-      throw std::runtime_error("failed writing " + tmp.string());
-    }
-  }
-  std::filesystem::rename(tmp, path);
-}
 
 std::string CellResult::render() const {
   std::ostringstream out;

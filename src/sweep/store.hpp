@@ -25,6 +25,7 @@
 
 #include "obs/capture.hpp"
 #include "sweep/campaign.hpp"
+#include "util/fsatomic.hpp"
 
 namespace iop::obs {
 class RuntimeMetrics;
@@ -84,14 +85,9 @@ struct CellResult {
 /// makespan = estimated Time_io).
 obs::RunCapture makeCellCapture(const CellResult& cell);
 
-/// Atomically replace `path` with `text`.  Every call writes through a
-/// distinct temp name (pid + counter) before the rename, so concurrent
-/// writers — other threads or other iop-sweep processes sharing a cache
-/// directory — never observe a partial file and never clobber each
-/// other's temp files.  Racing writers of the same content-addressed key
-/// are harmless: both rename identical bytes into place.
-void writeFileAtomically(const std::filesystem::path& path,
-                         const std::string& text);
+/// Atomic temp-and-rename file replacement (implementation lives in
+/// util/fsatomic.hpp so the obs capture archive shares it).
+using util::writeFileAtomically;
 
 /// Campaign-independent shared result cache: a flat content-addressed
 /// pool of cells (and characterization models) that overlapping campaigns

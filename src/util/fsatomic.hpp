@@ -1,0 +1,19 @@
+// Atomic file replacement, shared by every on-disk store in the repo
+// (sweep campaign/shared stores, the obs capture archive).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace iop::util {
+
+/// Atomically replace `path` with `text`.  Every call writes through a
+/// distinct temp name (pid + counter) before the rename, so concurrent
+/// writers — other threads or other processes sharing a cache directory —
+/// never observe a partial file and never clobber each other's temp
+/// files.  Racing writers of the same content-addressed key are harmless:
+/// both rename identical bytes into place.
+void writeFileAtomically(const std::filesystem::path& path,
+                         const std::string& text);
+
+}  // namespace iop::util

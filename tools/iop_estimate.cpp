@@ -4,6 +4,7 @@
 //
 //   iop-estimate --model btio.model --config finisterrae
 //   iop-estimate --model mad.model --config B --multiop
+//   iop-estimate --model btio.model --config B --archive trends/
 #include <cstdio>
 
 #include "analysis/blame.hpp"
@@ -14,6 +15,8 @@
 #include "core/iomodel.hpp"
 #include "fault/plan.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/archive.hpp"
+#include "obs/capture.hpp"
 #include "obs/hub.hpp"
 #include "toolkit.hpp"
 #include "trace/tracer.hpp"
@@ -37,6 +40,11 @@ int main(int argc, char** argv) {
                  "Time_io across seeded fault replicas");
   args.addOption("fault-seeds",
                  "number of seeded fault replicas for --fault-plan", "3");
+  args.addOption("archive",
+                 "archive the per-family estimate as a capture into this "
+                 "trend-archive directory (see iop-trend)");
+  args.addOption("archive-label",
+                 "commit / tag label recorded with --archive entries", "");
   tools::addObsOptions(args);
   try {
     args.parse(argc, argv);
@@ -88,6 +96,35 @@ int main(int argc, char** argv) {
     std::printf("%s", table.render().c_str());
     std::printf("total estimated I/O time: %.2f s (%zu IOR runs)\n",
                 estimate.totalTimeSec, replayer.benchmarkRuns());
+
+    if (args.has("archive")) {
+      // Archive the estimate as a capture: one phase per family row, with
+      // Time_CH as the I/O time, so iop-trend tracks how the eq. 1-2
+      // prediction for this (model, config) pair drifts across commits.
+      obs::RunCapture cap;
+      cap.app = model.appName();
+      cap.np = model.np();
+      cap.config = probe.name;
+      cap.makespan = estimate.totalTimeSec;
+      for (const auto& row : estimate.familyRows()) {
+        obs::CapturePhase cp;
+        cp.id = row.firstPhase;
+        cp.familyId = row.firstPhase;
+        cp.weightBytes = row.weightBytes;
+        cp.ioSeconds = row.timeCH;
+        cp.bandwidth = row.timeCH > 0 ? static_cast<double>(row.weightBytes) /
+                                            row.timeCH
+                                      : 0;
+        cp.label = "family " + std::to_string(row.firstPhase) + "-" +
+                   std::to_string(row.lastPhase);
+        cap.phases.push_back(std::move(cp));
+      }
+      obs::Archive archive(args.get("archive"));
+      const auto entry = archive.addCapture(cap, args.get("archive-label"));
+      std::printf("archived estimate seq %llu (%s) into %s\n",
+                  static_cast<unsigned long long>(entry.seq),
+                  entry.hash.c_str(), args.get("archive").c_str());
+    }
 
     if (args.has("fault-plan")) {
       // Degraded mode: replay the whole model (synthetic app, preserving

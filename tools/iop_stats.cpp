@@ -9,6 +9,7 @@
 //   iop-stats --app btio --class A --np 4 --blame
 //   iop-stats --app btio --np 4 --capture-out base.cap
 //   iop-stats --app btio --np 4 --degrade-disks 3 --capture-out slow.cap
+//   iop-stats --app btio --np 4 --archive trends/ --archive-label v1.2
 #include <cstdio>
 
 #include "analysis/blame.hpp"
@@ -17,6 +18,7 @@
 #include "fault/plan.hpp"
 #include "monitor/monitor.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/archive.hpp"
 #include "obs/capture.hpp"
 #include "obs/hub.hpp"
 #include "obs/profiler.hpp"
@@ -39,6 +41,15 @@ int main(int argc, char** argv) {
                "derived from the dependency edges");
   args.addOption("capture-out",
                  "write a run capture (phases + metrics) for iop-diff");
+  args.addOption("capture-format",
+                 "capture file format for --capture-out: v1 (text) or v2 "
+                 "(columnar, block-compressed)",
+                 "v1");
+  args.addOption("archive",
+                 "archive the run capture into this trend-archive "
+                 "directory (see iop-trend)");
+  args.addOption("archive-label",
+                 "commit / tag label recorded with --archive entries", "");
   args.addOption("degrade-disks",
                  "scale every disk's service time by this factor (>= 1); "
                  "fault injection for regression testing");
@@ -155,7 +166,7 @@ int main(int argc, char** argv) {
                                               model)
                       .c_str());
     }
-    if (args.has("capture-out")) {
+    if (args.has("capture-out") || args.has("archive")) {
       obs::RunCapture cap;
       cap.app = appName;
       cap.np = np;
@@ -172,12 +183,25 @@ int main(int argc, char** argv) {
         cap.phases.push_back(std::move(cp));
       }
       cap.metricsCsv = session.metrics().renderCsv();
-      cap.save(args.get("capture-out"));
-      session.log().info(
-          "tool", "wrote_capture",
-          "\"path\":\"" +
-              obs::TraceRecorder::jsonEscape(args.get("capture-out")) +
-              "\",\"phases\":" + std::to_string(cap.phases.size()));
+      if (args.has("capture-out")) {
+        cap.save(args.get("capture-out"),
+                 obs::parseCaptureFormat(args.get("capture-format")));
+        session.log().info(
+            "tool", "wrote_capture",
+            "\"path\":\"" +
+                obs::TraceRecorder::jsonEscape(args.get("capture-out")) +
+                "\",\"phases\":" + std::to_string(cap.phases.size()));
+      }
+      if (args.has("archive")) {
+        obs::Archive archive(args.get("archive"));
+        const auto entry =
+            archive.addCapture(cap, args.get("archive-label"));
+        std::printf("archived capture seq %llu (%s, %llu bytes) into %s\n",
+                    static_cast<unsigned long long>(entry.seq),
+                    entry.hash.c_str(),
+                    static_cast<unsigned long long>(entry.bytes),
+                    args.get("archive").c_str());
+      }
     }
     if (args.has("trace-out")) {
       session.recorder().saveJson(args.get("trace-out"));

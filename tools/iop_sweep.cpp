@@ -44,6 +44,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/archive.hpp"
 #include "obs/profiler.hpp"
 #include "obs/runtime.hpp"
 #include "sweep/campaign.hpp"
@@ -240,6 +241,23 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
     }
   }
   std::printf("%s", sweep::renderReport(campaign, outcome).c_str());
+  if (args.has("archive") && !outcome.interrupted) {
+    // Archive each rank group's winning configuration, so iop-trend can
+    // watch the selected candidates' Time_io across campaign runs.
+    obs::Archive archive(args.get("archive"));
+    const std::string label = args.getOr("archive-label", "");
+    std::size_t archived = 0;
+    for (const auto& group : sweep::rankOutcome(campaign, outcome)) {
+      for (const auto& entry : group.entries) {
+        if (!entry.selected || entry.cell == nullptr) continue;
+        archive.addCapture(sweep::makeCellCapture(entry.cell->result),
+                           label);
+        ++archived;
+      }
+    }
+    std::printf("archived %zu campaign winner(s) into %s\n", archived,
+                args.get("archive").c_str());
+  }
   if (outcome.interrupted) {
     std::fprintf(stderr,
                  "iop-sweep: interrupted — %zu completed cells are "
@@ -339,6 +357,11 @@ int main(int argc, char** argv) {
                "recompute cached cells; also replaces a store bound to a "
                "different campaign");
   args.addFlag("no-captures", "skip writing per-cell run captures");
+  args.addOption("archive",
+                 "after `run`, archive each rank group's winning cell "
+                 "into this trend-archive directory (see iop-trend)");
+  args.addOption("archive-label",
+                 "commit / tag label recorded with --archive entries", "");
   args.addOption("telemetry-out",
                  "snapshot live runtime metrics (Prometheus text "
                  "exposition) to this file on a timer");
