@@ -58,7 +58,11 @@ int Rank::obsTrack() {
   if (obsTrack_ < 0) {
     obs::Hub* o = engine().obs();
     if (o == nullptr || o->trace == nullptr) return 0;
-    obsTrack_ = o->trace->rankTrack(id_);
+    const std::string& prefix = runtime_.trackPrefix();
+    obsTrack_ = prefix.empty()
+                    ? o->trace->rankTrack(id_)
+                    : o->trace->track(obs::TrackKind::Rank,
+                                      prefix + "rank " + std::to_string(id_));
   }
   return obsTrack_;
 }

@@ -59,6 +59,12 @@ class Node {
   void setFaultPort(FaultPort* port) noexcept { fault_ = port; }
   FaultPort* faultPort() const noexcept { return fault_; }
 
+  /// Multi-tenant co-scheduling: which tenant job this node's traffic
+  /// belongs to (-1 = untenanted; the default).  Filesystems forward the
+  /// tag to the I/O servers so the QoS arbiter can tell jobs apart.
+  void setTenantJob(int job) noexcept { tenantJob_ = job; }
+  int tenantJob() const noexcept { return tenantJob_; }
+
  private:
   int id_;
   std::string name_;
@@ -67,6 +73,7 @@ class Node {
   sim::Resource rx_;
   double degradation_ = 1.0;
   FaultPort* fault_ = nullptr;
+  int tenantJob_ = -1;
 };
 
 /// Point-to-point transfer of `bytes` from src to dst.  Same-node transfers

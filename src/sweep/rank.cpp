@@ -4,9 +4,13 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <tuple>
 
 #include "analysis/degraded.hpp"
 #include "analysis/evaluate.hpp"
+#include "storage/disk.hpp"
+#include "storage/filesystem.hpp"
+#include "storage/topology.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -25,6 +29,12 @@ std::string groupTitle(const ResolvedCampaign& campaign,
   }
   if (cell.faulted()) {
     title += " [fault=" + campaign.faults[cell.faultIndex].label + "]";
+  }
+  if (cell.tenanted()) {
+    if (!campaign.faults[cell.faultIndex].none()) {
+      title += " [fault=" + campaign.faults[cell.faultIndex].label + "]";
+    }
+    title += " [tenant=" + campaign.tenants[cell.tenantIndex].label + "]";
   }
   return title;
 }
@@ -83,6 +93,86 @@ RankedCell aggregateSeeds(const std::vector<const CellOutcome*>& cells) {
   return entry;
 }
 
+/// The report's device-saturation column: peak per-phase bandwidth over
+/// the configuration's aggregate ideal device bandwidth (the same
+/// "devices working in parallel" reference the paper's BW_PK reasoning
+/// uses, per op type).  A candidate can win on Time_io while pinning its
+/// devices at their limit — no headroom for growth or interference — so
+/// entries at >= 90% are flagged PINNED.  Values above 100% mean the
+/// page cache served part of the phase.
+class SaturationColumn {
+ public:
+  explicit SaturationColumn(const ResolvedCampaign& campaign)
+      : campaign_(campaign) {}
+
+  std::string render(const CellOutcome& cell) {
+    const auto& phases = cell.result.phases;
+    if (phases.empty()) return "-";
+    const auto [idealRead, idealWrite] =
+        ideals(cell.spec.configIndex, cell.spec.degradeDisks,
+               cell.spec.degradeNet);
+    // Stored phase rows carry the model phase id; the model knows the op
+    // type ("W", "R" or "W-R") that picks the reference bandwidth.
+    const auto& modelPhases =
+        campaign_.models[cell.spec.modelIndex].model.phases();
+    std::map<int, const core::Phase*> byId;
+    for (const auto& p : modelPhases) byId.emplace(p.id, &p);
+    double peak = 0;
+    bool any = false;
+    for (const auto& row : phases) {
+      if (row.bandwidthCH <= 0) continue;
+      // Mixed or unknown phases use the smaller reference: conservative,
+      // i.e. the flag fires earlier rather than later.
+      double ideal = std::min(idealRead, idealWrite);
+      auto it = byId.find(row.id);
+      if (it != byId.end()) {
+        const std::string op = it->second->opTypeLabel();
+        if (op == "W") {
+          ideal = idealWrite;
+        } else if (op == "R") {
+          ideal = idealRead;
+        }
+      }
+      if (ideal <= 0) continue;
+      peak = std::max(peak, row.bandwidthCH / ideal);
+      any = true;
+    }
+    if (!any) return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f%%", peak * 100.0);
+    std::string out = buf;
+    if (peak >= kPinnedThreshold) out += " PINNED";
+    return out;
+  }
+
+ private:
+  static constexpr double kPinnedThreshold = 0.9;
+
+  /// Ideal (read, write) aggregate device bandwidth per (config, dd, dn),
+  /// memoized — one probe build per distinct configuration in the report.
+  std::pair<double, double> ideals(std::size_t configIndex, double dd,
+                                   double dn) {
+    const auto key = std::make_tuple(configIndex, dd, dn);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    std::pair<double, double> value{0, 0};
+    try {
+      auto cfg = campaign_.configs[configIndex].build(dd, dn);
+      auto& fs = cfg.topology->fs(cfg.mount);
+      value = {fs.idealDeviceBandwidth(storage::IoOp::Read),
+               fs.idealDeviceBandwidth(storage::IoOp::Write)};
+    } catch (const std::exception&) {
+      // Unbuildable reference: the affected entries render "-".
+    }
+    return cache_.emplace(key, value).first->second;
+  }
+
+  const ResolvedCampaign& campaign_;
+  std::map<std::tuple<std::size_t, double, double>,
+           std::pair<double, double>>
+      cache_;
+};
+
 }  // namespace
 
 std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
@@ -105,7 +195,10 @@ std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
     const std::string title = groupTitle(campaign, cell.spec);
     auto [it, inserted] = groupIndex.emplace(title, pendingGroups.size());
     if (inserted) {
-      pendingGroups.push_back({title, cell.spec.faulted(), {}, {}});
+      // Tenanted groups aggregate seeded replicas exactly like faulted
+      // ones: median Time_io over the tenant seeds.
+      pendingGroups.push_back(
+          {title, cell.spec.faulted() || cell.spec.tenanted(), {}, {}});
     }
     PendingGroup& pending = pendingGroups[it->second];
     auto [bucketIt, newBucket] =
@@ -164,22 +257,25 @@ std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
 std::string renderReport(const ResolvedCampaign& campaign,
                          const SweepOutcome& outcome) {
   std::string out;
+  SaturationColumn saturation(campaign);
   for (const auto& group : rankOutcome(campaign, outcome)) {
     util::Table table("Sweep ranking: " + group.title);
     if (group.faulted) {
-      // Degraded groups rank by the median over seeded replicas and show
-      // survival instead of IOR cost (fault cells never run IOR).
+      // Degraded/tenanted groups rank by the median over seeded replicas
+      // and show survival instead of IOR cost (neither runs IOR).
       table.setHeader({"rank", "configuration", "median Time_io (s)",
-                       "eff. BW", "seeds ok", "status"},
+                       "eff. BW", "dev sat", "seeds ok", "status"},
                       {util::Align::Right, util::Align::Left,
                        util::Align::Right, util::Align::Right,
-                       util::Align::Right, util::Align::Left});
+                       util::Align::Right, util::Align::Right,
+                       util::Align::Left});
     } else {
       table.setHeader({"rank", "configuration", "Time_io (s)", "eff. BW",
-                       "IOR runs", "status"},
+                       "dev sat", "IOR runs", "status"},
                       {util::Align::Right, util::Align::Left,
                        util::Align::Right, util::Align::Right,
-                       util::Align::Right, util::Align::Left});
+                       util::Align::Right, util::Align::Right,
+                       util::Align::Left});
     }
     for (const auto& entry : group.entries) {
       const CellOutcome& cell = *entry.cell;
@@ -198,7 +294,7 @@ std::string renderReport(const ResolvedCampaign& campaign,
             cell.result.faultFailed()) {
           status = "FAILED: " + cell.result.faultError;
         }
-        table.addRow({"-", configLabel, "-", "-",
+        table.addRow({"-", configLabel, "-", "-", "-",
                       group.faulted ? seedsOk : "-", status});
         continue;
       }
@@ -213,6 +309,7 @@ std::string renderReport(const ResolvedCampaign& campaign,
       table.addRow({std::to_string(entry.rank), name,
                     util::formatSeconds(entry.timeIo),
                     util::formatBandwidthMiBs(bw),
+                    saturation.render(cell),
                     group.faulted ? seedsOk
                                   : std::to_string(cell.result.iorRuns),
                     status});

@@ -7,11 +7,17 @@
 // (total weight / Time_io).  The top-ranked candidate of each group is the
 // configuration the paper's methodology selects.
 //
-// Fault-plan cells aggregate first: each configuration's seeded replicas
-// collapse into one entry ranked by its *median* degraded Time_io, so a
-// single unlucky seed cannot flip the selection.  Replicas whose run died
-// at phase level (retries exhausted, no failover) count against the entry
-// and drop it to the bottom when no seed survived.
+// Fault-plan and tenant-spec cells aggregate first: each configuration's
+// seeded replicas collapse into one entry ranked by its *median*
+// (degraded / contended) Time_io, so a single unlucky seed cannot flip
+// the selection.  Replicas whose run died at phase level (retries
+// exhausted, no failover) count against the entry and drop it to the
+// bottom when no seed survived.
+//
+// Every table carries a "dev sat" column: the peak per-phase bandwidth
+// over the configuration's aggregate ideal device bandwidth.  Candidates
+// at >= 90% are flagged PINNED — they may win on Time_io while running a
+// device at its limit, with no headroom left.
 #pragma once
 
 #include <string>
@@ -32,7 +38,7 @@ struct RankedCell {
 };
 
 struct RankGroup {
-  std::string title;  ///< "model [dd=.. dn=..] [fault=..]"
+  std::string title;  ///< "model [dd=.. dn=..] [fault=..] [tenant=..]"
   bool faulted = false;             ///< group carries seeded replicas
   std::vector<RankedCell> entries;  ///< Time_io ascending, failures last
 };
@@ -43,7 +49,8 @@ std::vector<RankGroup> rankOutcome(const ResolvedCampaign& campaign,
                                    const SweepOutcome& outcome);
 
 /// Render the ranked report (one table per group): rank, config, Time_io,
-/// effective bandwidth, IOR runs, cache/computed/failed status.
+/// effective bandwidth, device saturation, IOR runs (or seeds ok),
+/// cache/computed/failed status.
 std::string renderReport(const ResolvedCampaign& campaign,
                          const SweepOutcome& outcome);
 

@@ -1,0 +1,50 @@
+#include "tenant/conflict.hpp"
+
+namespace iop::tenant {
+
+ConflictAnalyzer::ConflictAnalyzer(int jobCount)
+    : jobCount_(jobCount),
+      interference_(static_cast<std::size_t>(jobCount),
+                    std::vector<double>(static_cast<std::size_t>(jobCount),
+                                        0.0)) {}
+
+ServerConflict& ConflictAnalyzer::serverEntry(const std::string& server) {
+  auto [it, inserted] = servers_.emplace(server, ServerConflict{});
+  if (inserted) it->second.server = server;
+  return it->second;
+}
+
+void ConflictAnalyzer::noteWait(const std::string& server, int victim,
+                                int culprit, double seconds) {
+  if (victim < 0 || victim >= jobCount_) return;
+  if (culprit >= 0 && culprit < jobCount_ && culprit != victim) {
+    interference_[static_cast<std::size_t>(victim)]
+                 [static_cast<std::size_t>(culprit)] += seconds;
+  }
+  ServerConflict& entry = serverEntry(server);
+  ++entry.queuedRequests;
+  entry.queuedSeconds += seconds;
+}
+
+void ConflictAnalyzer::noteOverlap(const std::string& server,
+                                   double seconds) {
+  ServerConflict& entry = serverEntry(server);
+  ++entry.overlapWindows;
+  entry.overlapSeconds += seconds;
+}
+
+double ConflictAnalyzer::waitSeconds(int victim) const {
+  if (victim < 0 || victim >= jobCount_) return 0;
+  double sum = 0;
+  for (double v : interference_[static_cast<std::size_t>(victim)]) sum += v;
+  return sum;
+}
+
+std::vector<ServerConflict> ConflictAnalyzer::servers() const {
+  std::vector<ServerConflict> out;
+  out.reserve(servers_.size());
+  for (const auto& [name, entry] : servers_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace iop::tenant

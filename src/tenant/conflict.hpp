@@ -1,0 +1,60 @@
+// Cross-job interference accounting for multi-tenant runs.
+//
+// Every WfqArbiter (one per I/O server) reports into one ConflictAnalyzer:
+// how long each job's requests sat queued behind other tenants (the
+// victim x culprit interference matrix), and the per-server overlap
+// windows — wall-stretches where requests of two or more distinct jobs
+// were simultaneously in flight on one server.  The analyzer is passive
+// bookkeeping; rendering happens in report.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iop::tenant {
+
+struct ServerConflict {
+  std::string server;           ///< I/O server node name
+  double overlapSeconds = 0;    ///< time with >= 2 distinct jobs in flight
+  std::uint64_t overlapWindows = 0;
+  std::uint64_t queuedRequests = 0;  ///< requests that had to wait
+  double queuedSeconds = 0;          ///< total time those requests waited
+};
+
+class ConflictAnalyzer {
+ public:
+  explicit ConflictAnalyzer(int jobCount);
+
+  /// A request of `victim` waited `seconds` and was unblocked by a
+  /// completion of `culprit` on `server`.
+  void noteWait(const std::string& server, int victim, int culprit,
+                double seconds);
+
+  /// One closed overlap window on `server`.
+  void noteOverlap(const std::string& server, double seconds);
+
+  int jobCount() const noexcept { return jobCount_; }
+
+  /// interference[victim][culprit]: seconds victim spent queued behind a
+  /// slot culprit was holding.
+  const std::vector<std::vector<double>>& interference() const noexcept {
+    return interference_;
+  }
+
+  /// Total queued-behind-others time per victim job.
+  double waitSeconds(int victim) const;
+
+  /// Per-server accounting, in server-name order (deterministic).
+  std::vector<ServerConflict> servers() const;
+
+ private:
+  ServerConflict& serverEntry(const std::string& server);
+
+  int jobCount_;
+  std::vector<std::vector<double>> interference_;
+  std::map<std::string, ServerConflict> servers_;
+};
+
+}  // namespace iop::tenant

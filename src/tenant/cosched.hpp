@@ -1,0 +1,100 @@
+// Co-scheduling N app models against one shared storage configuration.
+//
+// runTenant() resolves each job of a TenantSpec to an I/O model (loading
+// a saved model or characterizing the named app on a fresh instance of
+// the target configuration), then replays every job's synthetic
+// application on ONE shared simulation engine and topology: per-job
+// compute-node partitions tagged with the job index, per-job JobView
+// mounts (file-id isolation + optional burst buffer), and a WfqArbiter on
+// every I/O server enforcing the QoS weights while a ConflictAnalyzer
+// records who waited behind whom.  Per-job slowdown compares against a
+// solo baseline replayed with identical machinery on a fresh instance of
+// the same configuration.
+//
+// Determinism: all arrival randomness comes from per-job xoshiro streams
+// split, in declaration order, off a master generator seeded with
+// mix(run seed, hash(spec.canonicalText())) — the same contract fault
+// plans follow.  Two runs with the same spec and seed are byte-identical;
+// a 1-job spec (arrival 0, repeat 1, no burst buffer) takes the exact
+// single-app replay path and reproduces its estimate bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/replay.hpp"
+#include "core/iomodel.hpp"
+#include "fault/plan.hpp"
+#include "tenant/conflict.hpp"
+#include "tenant/spec.hpp"
+
+namespace iop::tenant {
+
+struct TenantRunOptions {
+  /// Compose with a fault plan: installed on the shared contended
+  /// topology AND on every solo-baseline replica (same seed), so the
+  /// slowdown column isolates contention from faults.
+  const fault::FaultPlan* faultPlan = nullptr;
+  /// Name the ranks' trace tracks "job#<id> rank N" (for --trace-out).
+  bool perJobTracks = false;
+  /// Co-schedule this in-memory model as an extra foreground job
+  /// (id `foregroundId`, weight 1, arrival 0, repeat 1, no staging)
+  /// prepended to the spec's jobs.  This is the sweep's tenant axis: the
+  /// cell's model is estimated *under* the spec's background contention,
+  /// and jobs.front() of the result is the foreground.  The spec must not
+  /// already declare a job with that id.
+  const core::IOModel* foregroundModel = nullptr;
+  std::string foregroundId = "cell";
+};
+
+/// One phase row of a job's contended replay (first instance).
+struct JobPhase {
+  int id = 0;
+  int familyId = 0;
+  std::uint64_t weightBytes = 0;
+  double seconds = 0;
+};
+
+struct TenantJobResult {
+  std::string id;
+  std::string appName;
+  int np = 0;
+  double weight = 1.0;
+  bool burstBuffer = false;
+  std::vector<double> arrivals;  ///< resolved arrival times, sim seconds
+  int repeat = 1;
+  int instances = 0;        ///< arrivals x repeat actually run
+  double firstStart = 0;    ///< sim time the first instance launched
+  double lastEnd = 0;       ///< sim time the last instance completed
+  double soloTimeIo = 0;    ///< one instance alone on the configuration
+  double contendedTimeIo = 0;  ///< mean per-instance elapsed, contended
+  double slowdown = 1.0;       ///< contendedTimeIo / soloTimeIo
+  double waitSeconds = 0;      ///< queued behind other tenants (arbiter)
+  std::uint64_t bbAbsorbedBytes = 0;
+  std::uint64_t bbSpilledBytes = 0;
+  std::uint64_t bbDrainedBytes = 0;
+  std::vector<JobPhase> phases;  ///< contended first-instance windows
+};
+
+struct TenantResult {
+  std::uint64_t seed = 0;
+  std::string configName;
+  std::string specCanonical;
+  double makespan = 0;  ///< last job completion (background drain excl.)
+  double jain = 1.0;    ///< Jain fairness index over solo/contended shares
+  std::vector<TenantJobResult> jobs;
+  /// interference[victim][culprit]: seconds victim queued behind culprit.
+  std::vector<std::vector<double>> interference;
+  std::vector<ServerConflict> serverConflicts;
+};
+
+/// Simulate `spec` on the builder's configuration under `seed`.
+/// Throws std::invalid_argument for an empty spec and propagates model /
+/// characterization errors.
+TenantResult runTenant(const TenantSpec& spec,
+                       const analysis::ConfigBuilder& builder,
+                       std::uint64_t seed,
+                       const TenantRunOptions& options = {});
+
+}  // namespace iop::tenant

@@ -1,0 +1,46 @@
+#include "tenant/jobfs.hpp"
+
+namespace iop::tenant {
+
+JobView::JobView(sim::Engine& engine, storage::FileSystem& inner, int jobTag)
+    : storage::FileSystem(engine), inner_(inner), jobTag_(jobTag) {}
+
+void JobView::attachBurstBuffer(storage::BurstBufferParams params,
+                                storage::Node& drainClient) {
+  storage::Node* node = &drainClient;
+  burst_ = std::make_unique<storage::BurstBuffer>(
+      engine_, std::move(params),
+      [this, node](int fileId, std::uint64_t offset, std::uint64_t size,
+                   std::int64_t cause) {
+        return inner_.write(*node, fileId, offset, size, cause);
+      });
+}
+
+sim::Task<void> JobView::write(storage::Node& client, int fileId,
+                               std::uint64_t offset, std::uint64_t size,
+                               std::int64_t cause) {
+  if (burst_ != nullptr) {
+    return burst_->absorb(remap(fileId), offset, size, cause);
+  }
+  return inner_.write(client, remap(fileId), offset, size, cause);
+}
+
+sim::Task<void> JobView::read(storage::Node& client, int fileId,
+                              std::uint64_t offset, std::uint64_t size,
+                              std::int64_t cause) {
+  return inner_.read(client, remap(fileId), offset, size, cause);
+}
+
+sim::Task<void> JobView::metadataOp(storage::Node& client,
+                                    std::int64_t cause) {
+  return inner_.metadataOp(client, cause);
+}
+
+std::string JobView::describe() const {
+  std::string out =
+      "job#" + std::to_string(jobTag_) + "(" + inner_.describe() + ")";
+  if (burst_ != nullptr) out += "+burst-buffer";
+  return out;
+}
+
+}  // namespace iop::tenant

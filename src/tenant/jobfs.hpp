@@ -1,0 +1,62 @@
+// Per-job view of a shared filesystem.
+//
+// Each tenant job mounts its own JobView over the one real filesystem:
+// the view remaps file ids into a job-private range (so jobs never alias
+// each other's lazily-allocated extent windows) and, when the job asked
+// for it, stages writes through a node-local SSD burst buffer that drains
+// to the shared backing tier in the background.  Reads and metadata ops
+// pass straight through — the simulation models timing, not data, so
+// reading not-yet-drained bytes from the backing tier is a conservative
+// approximation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/filesystem.hpp"
+#include "storage/ssd.hpp"
+
+namespace iop::tenant {
+
+class JobView final : public storage::FileSystem {
+ public:
+  /// File ids are remapped as jobTag * kJobFileStride + fileId; the rank
+  /// layer's ids stay well under the stride (logicalId * 100000 + np).
+  static constexpr int kJobFileStride = 10'000'000;
+
+  JobView(sim::Engine& engine, storage::FileSystem& inner, int jobTag);
+
+  /// Stage this job's writes through a burst buffer; `drainClient` is the
+  /// (job-tagged) node that carries the background drain traffic.
+  void attachBurstBuffer(storage::BurstBufferParams params,
+                         storage::Node& drainClient);
+  storage::BurstBuffer* burstBuffer() noexcept { return burst_.get(); }
+
+  sim::Task<void> write(storage::Node& client, int fileId,
+                        std::uint64_t offset, std::uint64_t size,
+                        std::int64_t cause = -1) override;
+  sim::Task<void> read(storage::Node& client, int fileId,
+                       std::uint64_t offset, std::uint64_t size,
+                       std::int64_t cause = -1) override;
+  sim::Task<void> metadataOp(storage::Node& client,
+                             std::int64_t cause = -1) override;
+  std::vector<storage::IoServer*> servers() override {
+    return inner_.servers();
+  }
+  std::vector<storage::IoServer*> dataServers() override {
+    return inner_.dataServers();
+  }
+  std::string describe() const override;
+
+ private:
+  int remap(int fileId) const noexcept {
+    return jobTag_ * kJobFileStride + fileId;
+  }
+
+  storage::FileSystem& inner_;
+  int jobTag_;
+  std::unique_ptr<storage::BurstBuffer> burst_;
+};
+
+}  // namespace iop::tenant

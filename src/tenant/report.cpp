@@ -1,0 +1,128 @@
+#include "tenant/report.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/plan.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace iop::tenant {
+
+namespace {
+
+std::string sec(double s) { return util::formatSeconds(s, 4); }
+
+std::string ratio(double r) { return util::formatSeconds(r, 3); }
+
+}  // namespace
+
+std::string renderTenantReport(const TenantResult& result) {
+  std::ostringstream out;
+  out << "tenant run: " << result.jobs.size() << " job"
+      << (result.jobs.size() == 1 ? "" : "s") << " on " << result.configName
+      << " (seed " << result.seed << ")\n";
+  out << "makespan: " << sec(result.makespan) << " s\n";
+  out << "Jain fairness index: " << ratio(result.jain) << "\n\n";
+
+  util::Table jobs("per-job I/O time");
+  jobs.setHeader({"job", "app", "np", "weight", "bb", "inst", "solo s",
+                  "contended s", "slowdown", "wait s"},
+                 {util::Align::Left, util::Align::Left, util::Align::Right,
+                  util::Align::Right, util::Align::Left, util::Align::Right,
+                  util::Align::Right, util::Align::Right, util::Align::Right,
+                  util::Align::Right});
+  for (const TenantJobResult& job : result.jobs) {
+    jobs.addRow({job.id, job.appName, std::to_string(job.np),
+                 fault::formatDouble(job.weight),
+                 job.burstBuffer ? "on" : "off",
+                 std::to_string(job.instances), sec(job.soloTimeIo),
+                 sec(job.contendedTimeIo), ratio(job.slowdown),
+                 sec(job.waitSeconds)});
+  }
+  out << jobs.render();
+
+  // Victim x culprit wait matrix; only meaningful with >= 2 jobs.
+  if (result.jobs.size() > 1 && !result.interference.empty()) {
+    util::Table matrix("interference (s victim queued behind culprit)");
+    std::vector<std::string> header{"victim \\ culprit"};
+    std::vector<util::Align> align{util::Align::Left};
+    for (const TenantJobResult& job : result.jobs) {
+      header.push_back(job.id);
+      align.push_back(util::Align::Right);
+    }
+    matrix.setHeader(std::move(header), std::move(align));
+    for (std::size_t v = 0; v < result.jobs.size(); ++v) {
+      std::vector<std::string> row{result.jobs[v].id};
+      for (std::size_t c = 0; c < result.jobs.size(); ++c) {
+        row.push_back(v == c ? "-" : sec(result.interference[v][c]));
+      }
+      matrix.addRow(std::move(row));
+    }
+    out << "\n" << matrix.render();
+  }
+
+  if (!result.serverConflicts.empty()) {
+    util::Table servers("per-server contention");
+    servers.setHeader({"server", "overlap s", "windows", "queued reqs",
+                       "queued s"},
+                      {util::Align::Left, util::Align::Right,
+                       util::Align::Right, util::Align::Right,
+                       util::Align::Right});
+    for (const ServerConflict& s : result.serverConflicts) {
+      servers.addRow({s.server, sec(s.overlapSeconds),
+                      std::to_string(s.overlapWindows),
+                      std::to_string(s.queuedRequests),
+                      sec(s.queuedSeconds)});
+    }
+    out << "\n" << servers.render();
+  }
+
+  bool anyBurst = false;
+  for (const TenantJobResult& job : result.jobs) {
+    anyBurst = anyBurst || job.burstBuffer;
+  }
+  if (anyBurst) {
+    util::Table burst("burst-buffer staging");
+    burst.setHeader({"job", "absorbed", "spilled", "drained"},
+                    {util::Align::Left, util::Align::Right,
+                     util::Align::Right, util::Align::Right});
+    for (const TenantJobResult& job : result.jobs) {
+      if (!job.burstBuffer) continue;
+      burst.addRow({job.id, util::formatBytes(job.bbAbsorbedBytes),
+                    util::formatBytes(job.bbSpilledBytes),
+                    util::formatBytes(job.bbDrainedBytes)});
+    }
+    out << "\n" << burst.render();
+  }
+  return out.str();
+}
+
+obs::RunCapture makeJobCapture(const TenantResult& result,
+                               std::size_t jobIndex) {
+  if (jobIndex >= result.jobs.size()) {
+    throw std::invalid_argument("makeJobCapture: job index out of range");
+  }
+  const TenantJobResult& job = result.jobs[jobIndex];
+  obs::RunCapture cap;
+  cap.app = job.appName;
+  cap.np = job.np;
+  cap.config = result.configName + "+tenant" +
+               std::to_string(result.jobs.size());
+  cap.makespan = job.contendedTimeIo;
+  for (const JobPhase& phase : job.phases) {
+    obs::CapturePhase cp;
+    cp.id = phase.id;
+    cp.familyId = phase.familyId;
+    cp.weightBytes = phase.weightBytes;
+    cp.ioSeconds = phase.seconds;
+    cp.bandwidth = phase.seconds > 0
+                       ? static_cast<double>(phase.weightBytes) / phase.seconds
+                       : 0;
+    cp.label = "job " + job.id + " phase " + std::to_string(phase.id);
+    cap.phases.push_back(std::move(cp));
+  }
+  return cap;
+}
+
+}  // namespace iop::tenant

@@ -1,0 +1,25 @@
+// Rendering a TenantResult: the fairness/slowdown report and per-job
+// captures for the archive.
+#pragma once
+
+#include <string>
+
+#include "obs/capture.hpp"
+#include "tenant/cosched.hpp"
+
+namespace iop::tenant {
+
+/// The full deterministic text report: run header with the Jain fairness
+/// index, per-job table (solo vs contended Time_io, slowdown, arbiter
+/// wait), the victim x culprit interference matrix, per-server overlap
+/// accounting, and burst-buffer statistics when any job staged writes.
+/// Identical results render to identical bytes (CI reruns diff this).
+std::string renderTenantReport(const TenantResult& result);
+
+/// Capture of one job's contended replay (phase rows = first-instance
+/// windows) for `iop-tenant run --archive`: archived under a
+/// "<label>#<jobid>" label so iop-trend tracks each job separately.
+obs::RunCapture makeJobCapture(const TenantResult& result,
+                               std::size_t jobIndex);
+
+}  // namespace iop::tenant

@@ -1,0 +1,298 @@
+#include "tenant/spec.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/plan.hpp"
+
+namespace iop::tenant {
+
+namespace {
+
+// Hard sanity caps: a hostile spec must fail fast, not allocate for hours.
+// kMaxJobs keeps JobView's remapped file ids inside int range.
+constexpr int kMaxJobs = 200;
+constexpr int kMaxNp = 4096;
+constexpr int kMaxCount = 10000;
+constexpr int kMaxRepeat = 10000;
+
+std::vector<std::string> splitTokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) out.push_back(token);
+  return out;
+}
+
+class LineParser {
+ public:
+  LineParser(const std::string& sourceName, int line)
+      : sourceName_(sourceName), line_(line) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument(sourceName_ + ":" + std::to_string(line_) +
+                                ": " + message);
+  }
+
+  double number(const std::string& text, const std::string& what) const {
+    double value = 0;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) {
+      fail("bad " + what + " '" + text + "'");
+    }
+    return value;
+  }
+
+  int integer(const std::string& text, const std::string& what, int min,
+              int max) const {
+    const double v = number(text, what);
+    if (v != static_cast<double>(static_cast<int>(v))) {
+      fail(what + " must be an integer");
+    }
+    const int n = static_cast<int>(v);
+    if (n < min || n > max) {
+      fail(what + " must be in [" + std::to_string(min) + ", " +
+           std::to_string(max) + "]");
+    }
+    return n;
+  }
+
+  /// "2s" / "500ms" / "3us" / bare seconds.
+  double time(std::string text, const std::string& what) const {
+    double scale = 1.0;
+    if (text.size() > 2 && text.compare(text.size() - 2, 2, "ms") == 0) {
+      scale = 1e-3;
+      text.resize(text.size() - 2);
+    } else if (text.size() > 2 &&
+               text.compare(text.size() - 2, 2, "us") == 0) {
+      scale = 1e-6;
+      text.resize(text.size() - 2);
+    } else if (text.size() > 1 && text.back() == 's') {
+      text.pop_back();
+    }
+    const double value = number(text, what);
+    if (value < 0) fail(what + " must be >= 0");
+    return value * scale;
+  }
+
+  /// Split "key=value"; fails if `=` is missing.
+  std::pair<std::string, std::string> keyValue(const std::string& text) const {
+    const auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == text.size()) {
+      fail("expected key=value, got '" + text + "'");
+    }
+    return {text.substr(0, eq), text.substr(eq + 1)};
+  }
+
+ private:
+  const std::string& sourceName_;
+  int line_;
+};
+
+/// "0s" | "periodic:start=0s,every=30s,count=3" | "poisson:rate=0.1,count=4".
+ArrivalSpec parseArrival(const LineParser& p, const std::string& text) {
+  ArrivalSpec arrival;
+  const auto colon = text.find(':');
+  const std::string head =
+      colon == std::string::npos ? text : text.substr(0, colon);
+  if (head == "periodic" || head == "poisson") {
+    arrival.kind = head == "periodic" ? ArrivalSpec::Kind::Periodic
+                                      : ArrivalSpec::Kind::Poisson;
+    if (colon == std::string::npos || colon + 1 == text.size()) {
+      p.fail("arrival=" + head + " needs options, e.g. " + head +
+             (head == "periodic" ? ":start=0s,every=10s,count=3"
+                                 : ":rate=0.1,count=3"));
+    }
+    std::istringstream opts(text.substr(colon + 1));
+    std::string item;
+    bool haveEvery = false;
+    bool haveRate = false;
+    while (std::getline(opts, item, ',')) {
+      const auto [key, value] = p.keyValue(item);
+      if (key == "start" && arrival.kind == ArrivalSpec::Kind::Periodic) {
+        arrival.start = p.time(value, "start");
+      } else if (key == "every" &&
+                 arrival.kind == ArrivalSpec::Kind::Periodic) {
+        arrival.every = p.time(value, "every");
+        haveEvery = true;
+      } else if (key == "rate" && arrival.kind == ArrivalSpec::Kind::Poisson) {
+        arrival.rate = p.number(value, "rate");
+        if (arrival.rate <= 0 || !std::isfinite(arrival.rate)) {
+          p.fail("rate must be > 0 and finite");
+        }
+        haveRate = true;
+      } else if (key == "count") {
+        arrival.count = p.integer(value, "count", 1, kMaxCount);
+      } else {
+        p.fail("unknown arrival option '" + key + "' for " + head);
+      }
+    }
+    if (arrival.kind == ArrivalSpec::Kind::Periodic && !haveEvery) {
+      p.fail("periodic arrival needs every=<time>");
+    }
+    if (arrival.kind == ArrivalSpec::Kind::Poisson && !haveRate) {
+      p.fail("poisson arrival needs rate=<arrivals/s>");
+    }
+    return arrival;
+  }
+  if (colon != std::string::npos) {
+    p.fail("unknown arrival process '" + head +
+           "' (expected a time, periodic:..., or poisson:...)");
+  }
+  arrival.kind = ArrivalSpec::Kind::Fixed;
+  arrival.start = p.time(text, "arrival");
+  arrival.count = 1;
+  return arrival;
+}
+
+JobSpec parseJob(const LineParser& p, const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    p.fail("expected: job <id> model=<path>|app=<name> [options]");
+  }
+  JobSpec job;
+  job.id = tokens[1];
+  if (job.id.find('#') != std::string::npos) {
+    p.fail("job id must not contain '#' (reserved for track labels)");
+  }
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto [key, value] = p.keyValue(tokens[i]);
+    if (key == "model") {
+      job.modelPath = value;
+    } else if (key == "app") {
+      job.app = value;
+    } else if (key == "np") {
+      job.np = p.integer(value, "np", 1, kMaxNp);
+    } else if (key == "weight") {
+      job.weight = p.number(value, "weight");
+      if (job.weight <= 0 || !std::isfinite(job.weight)) {
+        p.fail("weight must be > 0 and finite");
+      }
+    } else if (key == "arrival") {
+      job.arrival = parseArrival(p, value);
+    } else if (key == "repeat") {
+      job.repeat = p.integer(value, "repeat", 1, kMaxRepeat);
+    } else if (key == "burst-buffer") {
+      if (value == "on") {
+        job.burstBuffer = true;
+      } else if (value == "off") {
+        job.burstBuffer = false;
+      } else {
+        p.fail("burst-buffer must be on or off");
+      }
+    } else if (key.rfind("app-", 0) == 0 && key.size() > 4) {
+      job.appParams[key.substr(4)] = value;
+    } else {
+      p.fail("unknown job option '" + key + "'");
+    }
+  }
+  if (job.modelPath.empty() == job.app.empty()) {
+    p.fail("job needs exactly one of model=<path> or app=<name>");
+  }
+  if (!job.modelPath.empty() && !job.appParams.empty()) {
+    p.fail("app-* parameters only apply to app= jobs");
+  }
+  return job;
+}
+
+std::string renderArrival(const ArrivalSpec& a) {
+  using fault::formatDouble;
+  switch (a.kind) {
+    case ArrivalSpec::Kind::Fixed:
+      return formatDouble(a.start) + "s";
+    case ArrivalSpec::Kind::Periodic:
+      return "periodic:start=" + formatDouble(a.start) +
+             "s,every=" + formatDouble(a.every) +
+             "s,count=" + std::to_string(a.count);
+    case ArrivalSpec::Kind::Poisson:
+      return "poisson:rate=" + formatDouble(a.rate) +
+             ",count=" + std::to_string(a.count);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string TenantSpec::canonicalText() const {
+  std::ostringstream out;
+  out << "tenantspec v1\n";
+  out << "arbiter slots=" << slots << "\n";
+  for (const JobSpec& job : jobs) {
+    out << "job " << job.id;
+    if (!job.modelPath.empty()) {
+      out << " model=" << job.modelPath;
+    } else {
+      out << " app=" << job.app;
+      for (const auto& [key, value] : job.appParams) {
+        out << " app-" << key << "=" << value;
+      }
+      out << " np=" << job.np;
+    }
+    out << " weight=" << fault::formatDouble(job.weight)
+        << " arrival=" << renderArrival(job.arrival)
+        << " repeat=" << job.repeat
+        << " burst-buffer=" << (job.burstBuffer ? "on" : "off") << "\n";
+  }
+  return out.str();
+}
+
+TenantSpec parseTenantSpec(const std::string& text,
+                           const std::string& sourceName) {
+  TenantSpec spec;
+  spec.source = sourceName;
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  std::set<std::string> ids;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto tokens = splitTokens(line);
+    if (tokens.empty()) continue;
+    const LineParser p(sourceName, lineNo);
+    const std::string& directive = tokens[0];
+    if (directive == "arbiter") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto [key, value] = p.keyValue(tokens[i]);
+        if (key == "slots") {
+          spec.slots = p.integer(value, "slots", 1, 1024);
+        } else {
+          p.fail("unknown arbiter knob '" + key + "'");
+        }
+      }
+    } else if (directive == "job") {
+      JobSpec job = parseJob(p, tokens);
+      job.line = lineNo;
+      if (!ids.insert(job.id).second) {
+        p.fail("duplicate job id '" + job.id + "'");
+      }
+      if (static_cast<int>(spec.jobs.size()) >= kMaxJobs) {
+        p.fail("too many jobs (max " + std::to_string(kMaxJobs) + ")");
+      }
+      spec.jobs.push_back(std::move(job));
+    } else {
+      p.fail("unknown directive '" + directive +
+             "' (expected arbiter or job)");
+    }
+  }
+  return spec;
+}
+
+TenantSpec loadTenantSpec(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read tenant spec: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseTenantSpec(buffer.str(), path.string());
+}
+
+}  // namespace iop::tenant

@@ -1,0 +1,75 @@
+// Declarative tenant specs: a small text format describing N jobs that
+// share one storage system (docs/TENANT.md).
+//
+//   # comments and blank lines are ignored
+//   arbiter slots=1
+//   job fg  app=example np=4 weight=2 arrival=0s
+//   job bg1 app=example np=4 arrival=periodic:start=5s,every=30s,count=3
+//   job bg2 model=mad.model arrival=poisson:rate=0.05,count=4 burst-buffer=on
+//
+// Each `job` line declares a tenant: either a saved I/O model
+// (`model=<path>`) or an application characterized on the fly
+// (`app=<name>` with optional `np=` and `app-<key>=<value>` knobs).
+// `weight` is the job's QoS share at the storage arbiter, `arrival` its
+// arrival process (fixed time, periodic train, or seeded Poisson), and
+// `repeat` replays the model back-to-back per arrival.  Times accept
+// `s`/`ms`/`us` suffixes (bare numbers are seconds).  Parsing is strict —
+// malformed lines fail with `file:line:` diagnostics, never silently skip.
+//
+// Determinism contract: a spec's canonicalText() plus a run seed fully
+// determine every Poisson arrival draw in a run; the arbiter itself is
+// RNG-free (see docs/TENANT.md).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iop::tenant {
+
+struct ArrivalSpec {
+  enum class Kind { Fixed, Periodic, Poisson };
+
+  Kind kind = Kind::Fixed;
+  double start = 0.0;  ///< Fixed: the arrival; Periodic: the first one
+  double every = 0.0;  ///< Periodic: inter-arrival gap, sim seconds
+  double rate = 0.0;   ///< Poisson: mean arrivals per sim second
+  int count = 1;       ///< instances launched (Fixed is always 1)
+};
+
+struct JobSpec {
+  std::string id;         ///< unique per spec; labels reports and tracks
+  std::string modelPath;  ///< saved model file (exclusive with `app`)
+  std::string app;        ///< registry app name (exclusive with `modelPath`)
+  std::map<std::string, std::string> appParams;  ///< from app-<key>=<v>
+  int np = 4;             ///< processes (app jobs; models carry their own)
+  double weight = 1.0;    ///< QoS share at the storage arbiter (> 0)
+  ArrivalSpec arrival;
+  int repeat = 1;         ///< back-to-back replays per arrival
+  bool burstBuffer = false;  ///< stage writes through the SSD burst buffer
+  int line = 0;           ///< 1-based source line (diagnostics)
+};
+
+struct TenantSpec {
+  std::string source;  ///< file path or label the spec was parsed from
+  int slots = 1;       ///< concurrent requests the arbiter admits per server
+  std::vector<JobSpec> jobs;
+
+  bool empty() const noexcept { return jobs.empty(); }
+
+  /// Normalized re-rendering: whitespace- and comment-insensitive, with
+  /// shortest-round-trip numbers.  This is the spec's identity for cache
+  /// keys and for seeding the co-scheduler's RNG streams.
+  std::string canonicalText() const;
+};
+
+/// Parse a spec from text.  `sourceName` labels diagnostics ("jobs.tenant:3:
+/// ...").  Throws std::invalid_argument on any malformed line.
+TenantSpec parseTenantSpec(const std::string& text,
+                           const std::string& sourceName);
+
+/// Read + parse a spec file.  Throws std::runtime_error if unreadable.
+TenantSpec loadTenantSpec(const std::filesystem::path& path);
+
+}  // namespace iop::tenant

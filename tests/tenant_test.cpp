@@ -1,0 +1,397 @@
+// iop::tenant — spec parsing with a hostile-input corpus, canonical-text
+// stability, seeded arrival determinism, the solo-equals-single-app
+// bit-exactness contract, weighted-fair-queueing QoS ordering, burst-
+// buffer staging accounting, and the sweep's tenant axis (grid fan-out,
+// cache-key backward compatibility, store round-trip).
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/runner.hpp"
+#include "analysis/synthesize.hpp"
+#include "apps/registry.hpp"
+#include "configs/configs.hpp"
+#include "mpi/runtime.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/executor.hpp"
+#include "sweep/store.hpp"
+#include "tenant/cosched.hpp"
+#include "tenant/spec.hpp"
+
+namespace {
+
+using namespace iop;
+
+// ------------------------------------------------------------- helpers
+
+analysis::ConfigBuilder builderFor(configs::ConfigId id) {
+  return [id] { return configs::makeConfig(id); };
+}
+
+/// Characterize the cheap strided example app once per np.
+const core::IOModel& exampleModel(int np) {
+  static std::map<int, core::IOModel> cache;
+  auto it = cache.find(np);
+  if (it == cache.end()) {
+    auto cluster = configs::makeConfig(configs::ConfigId::A);
+    it = cache
+             .emplace(np, analysis::runAndTrace(
+                              cluster, "example",
+                              apps::makeApp("example", cluster.mount), np)
+                              .model)
+             .first;
+  }
+  return it->second;
+}
+
+/// Parse must fail with std::invalid_argument carrying every needle.
+void expectParseError(const std::string& text,
+                      const std::vector<std::string>& needles) {
+  try {
+    tenant::parseTenantSpec(text, "spec");
+    FAIL() << "expected std::invalid_argument for: " << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const auto& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "diagnostic '" << what << "' lacks '" << needle << "'";
+    }
+  }
+}
+
+/// Scratch directory for files the campaign axis needs on disk.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(std::filesystem::temp_directory_path() /
+              ("iop_tenant_test_" + name)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+
+  std::filesystem::path write(const std::string& file,
+                              const std::string& text) const {
+    const auto p = path_ / file;
+    std::ofstream out(p, std::ios::binary);
+    out << text;
+    return p;
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+const char* kFullGrammar =
+    "# full grammar tour\n"
+    "arbiter slots=2\n"
+    "job fg app=example np=4 weight=2 arrival=0s\n"
+    "job ckpt app=example np=2 arrival=periodic:start=200ms,every=1s,"
+    "count=3 repeat=2\n"
+    "job bg model=saved.model weight=0.5 arrival=poisson:rate=2,count=1 "
+    "burst-buffer=on\n";
+
+// ------------------------------------------------------- spec parsing
+
+TEST(TenantSpec, ParsesTheDocumentedGrammar) {
+  const auto spec = tenant::parseTenantSpec(kFullGrammar, "spec");
+  EXPECT_EQ(spec.slots, 2);
+  ASSERT_EQ(spec.jobs.size(), 3u);
+
+  const auto& fg = spec.jobs[0];
+  EXPECT_EQ(fg.id, "fg");
+  EXPECT_EQ(fg.app, "example");
+  EXPECT_EQ(fg.np, 4);
+  EXPECT_DOUBLE_EQ(fg.weight, 2.0);
+  EXPECT_EQ(fg.arrival.kind, tenant::ArrivalSpec::Kind::Fixed);
+  EXPECT_DOUBLE_EQ(fg.arrival.start, 0.0);
+
+  const auto& ckpt = spec.jobs[1];
+  EXPECT_EQ(ckpt.arrival.kind, tenant::ArrivalSpec::Kind::Periodic);
+  EXPECT_DOUBLE_EQ(ckpt.arrival.start, 0.2);
+  EXPECT_DOUBLE_EQ(ckpt.arrival.every, 1.0);
+  EXPECT_EQ(ckpt.arrival.count, 3);
+  EXPECT_EQ(ckpt.repeat, 2);
+
+  const auto& bg = spec.jobs[2];
+  EXPECT_EQ(bg.modelPath, "saved.model");
+  EXPECT_DOUBLE_EQ(bg.weight, 0.5);
+  EXPECT_EQ(bg.arrival.kind, tenant::ArrivalSpec::Kind::Poisson);
+  EXPECT_DOUBLE_EQ(bg.arrival.rate, 2.0);
+  EXPECT_TRUE(bg.burstBuffer);
+}
+
+TEST(TenantSpec, CanonicalTextIsAFixedPoint) {
+  const auto spec = tenant::parseTenantSpec(kFullGrammar, "spec");
+  const std::string canonical = spec.canonicalText();
+  // Re-parsing the canonical body (minus its version header) must
+  // canonicalize to the same bytes — the determinism anchor the run seed
+  // is mixed from.
+  const auto body = canonical.substr(canonical.find('\n') + 1);
+  const auto reparsed = tenant::parseTenantSpec(body, "spec");
+  EXPECT_EQ(reparsed.canonicalText(), canonical);
+}
+
+TEST(TenantSpec, CanonicalTextIgnoresCommentsAndWhitespace) {
+  const auto a = tenant::parseTenantSpec(
+      "arbiter slots=1\njob a app=example np=2 arrival=0s\n", "a");
+  const auto b = tenant::parseTenantSpec(
+      "# comment\n\n  arbiter   slots=1\r\n"
+      "  job   a   app=example   np=2   arrival=0s  # trailing\n",
+      "b");
+  EXPECT_EQ(a.canonicalText(), b.canonicalText());
+}
+
+TEST(TenantSpec, HostileInputsFailCleanly) {
+  // Structural errors, each with its file:line diagnostic.
+  expectParseError("job\n", {"spec:1", "model=<path>|app=<name>"});
+  expectParseError("job a\n", {"model=<path>|app=<name>"});
+  expectParseError("job a weight=2\n", {"exactly one"});
+  expectParseError("job a app=example model=m.model\n", {"exactly one"});
+  expectParseError("job a model=m.model app-x=1\n", {"app-*"});
+  expectParseError("job a app=example nope=1\n", {"unknown job option"});
+  // '#' opens a comment, so an id carrying one truncates the line and the
+  // remainder fails loudly instead of silently renaming the job.
+  expectParseError("job a#1 app=example\n", {"spec:1"});
+  expectParseError("job a app=example\njob a app=example\n",
+                   {"spec:2", "duplicate job id"});
+  expectParseError("launch a app=example\n", {"unknown directive"});
+  expectParseError("arbiter slots=0\n", {"slots"});
+  expectParseError("arbiter slots=99999\n", {"slots"});
+  expectParseError("arbiter turbo=on\n", {"unknown arbiter knob"});
+
+  // Absurd numbers hit the sanity caps instead of allocating for hours.
+  expectParseError("job a app=example np=123456789\n", {"np"});
+  expectParseError("job a app=example repeat=99999999\n", {"repeat"});
+  expectParseError(
+      "job a app=example arrival=periodic:every=1s,count=99999999\n",
+      {"count"});
+  expectParseError("job a app=example weight=0\n", {"weight"});
+  expectParseError("job a app=example weight=nan\n", {"weight"});
+  expectParseError("job a app=example arrival=-5s\n", {">= 0"});
+  expectParseError("job a app=example arrival=poisson:rate=0,count=1\n",
+                   {"rate"});
+  expectParseError("job a app=example arrival=periodic:start=0s\n",
+                   {"every"});
+  expectParseError("job a app=example arrival=warp:x=1\n",
+                   {"unknown arrival process"});
+
+  // A job flood stops at the cap.
+  std::string flood;
+  for (int i = 0; i < 250; ++i) {
+    flood += "job j" + std::to_string(i) + " app=example\n";
+  }
+  expectParseError(flood, {"too many jobs"});
+}
+
+TEST(TenantSpec, TruncationsAndNulBytesNeverCrash) {
+  const std::string full(kFullGrammar);
+  // Every prefix must either parse or throw std::invalid_argument.
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    try {
+      tenant::parseTenantSpec(full.substr(0, len), "spec");
+    } catch (const std::invalid_argument&) {
+      // fine — clean rejection
+    }
+  }
+  // NUL bytes injected at every position: same contract.
+  for (std::size_t at = 0; at < full.size(); at += 7) {
+    std::string mutated = full;
+    mutated[at] = '\0';
+    try {
+      tenant::parseTenantSpec(mutated, "spec");
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+// --------------------------------------------------- run determinism
+
+TEST(TenantRun, SameSeedIsExactlyReproducible) {
+  const auto spec = tenant::parseTenantSpec(
+      "job a app=example np=2 arrival=poisson:rate=1,count=2\n"
+      "job b app=example np=2 weight=2 arrival=0s\n",
+      "spec");
+  const auto builder = builderFor(configs::ConfigId::B);
+  const auto r1 = tenant::runTenant(spec, builder, 5);
+  const auto r2 = tenant::runTenant(spec, builder, 5);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.jain, r2.jain);
+  ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+  for (std::size_t j = 0; j < r1.jobs.size(); ++j) {
+    EXPECT_EQ(r1.jobs[j].arrivals, r2.jobs[j].arrivals);
+    EXPECT_EQ(r1.jobs[j].contendedTimeIo, r2.jobs[j].contendedTimeIo);
+    EXPECT_EQ(r1.jobs[j].waitSeconds, r2.jobs[j].waitSeconds);
+  }
+
+  // A different seed draws different Poisson arrivals.
+  const auto r3 = tenant::runTenant(spec, builder, 6);
+  EXPECT_NE(r1.jobs[0].arrivals, r3.jobs[0].arrivals);
+}
+
+TEST(TenantRun, OneJobSpecMatchesSingleAppReplayBitExact) {
+  const auto spec = tenant::parseTenantSpec(
+      "job only app=example np=4 arrival=0s\n", "spec");
+  const auto builder = builderFor(configs::ConfigId::B);
+  const auto result = tenant::runTenant(spec, builder, 42);
+
+  // The direct single-app path: characterize, then replay synthetically
+  // on a fresh instance of the same configuration.
+  const core::IOModel& model = exampleModel(4);
+  auto fresh = builderFor(configs::ConfigId::B)();
+  analysis::PhaseClock clock;
+  mpi::Runtime runtime(*fresh.topology, fresh.runtimeOptions(model.np()));
+  const double expected = runtime.runToCompletion(
+      analysis::makeSyntheticApp(model, fresh.mount, &clock));
+
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].contendedTimeIo, expected);  // bit-exact
+  EXPECT_EQ(result.jobs[0].soloTimeIo, expected);
+  EXPECT_DOUBLE_EQ(result.jobs[0].slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(result.jain, 1.0);
+  EXPECT_EQ(result.makespan, expected);
+}
+
+TEST(TenantRun, ContentionSlowsEveryoneAndWeightsOrderTheDamage) {
+  const auto spec = tenant::parseTenantSpec(
+      "job heavy app=example np=2 weight=4 arrival=0s\n"
+      "job light app=example np=2 weight=0.25 arrival=0s\n",
+      "spec");
+  const auto result =
+      tenant::runTenant(spec, builderFor(configs::ConfigId::B), 7);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  const auto& heavy = result.jobs[0];
+  const auto& light = result.jobs[1];
+
+  // Contended never beats solo, and the QoS weight decides who hurts.
+  EXPECT_GE(heavy.contendedTimeIo, heavy.soloTimeIo);
+  EXPECT_GE(light.contendedTimeIo, light.soloTimeIo);
+  EXPECT_LE(heavy.slowdown, light.slowdown);
+  EXPECT_GT(result.jain, 0.0);
+  EXPECT_LE(result.jain, 1.0);
+
+  // The interference matrix is n x n and the victims actually waited.
+  ASSERT_EQ(result.interference.size(), 2u);
+  ASSERT_EQ(result.interference[0].size(), 2u);
+  EXPECT_GT(light.waitSeconds + heavy.waitSeconds, 0.0);
+}
+
+TEST(TenantRun, BurstBufferAbsorbsAndDrainsTheStagedWrites) {
+  const auto spec = tenant::parseTenantSpec(
+      "job bb app=example np=2 arrival=0s burst-buffer=on\n"
+      "job other app=example np=2 arrival=0s\n",
+      "spec");
+  const auto result =
+      tenant::runTenant(spec, builderFor(configs::ConfigId::B), 3);
+  const auto& bb = result.jobs[0];
+  EXPECT_TRUE(bb.burstBuffer);
+  EXPECT_GT(bb.bbAbsorbedBytes, 0u);
+  // Every absorbed byte reaches the shared store by the end of the run.
+  EXPECT_EQ(bb.bbDrainedBytes, bb.bbAbsorbedBytes);
+  EXPECT_FALSE(result.jobs[1].burstBuffer);
+  EXPECT_EQ(result.jobs[1].bbAbsorbedBytes, 0u);
+}
+
+// ------------------------------------------------- sweep tenant axis
+
+TEST(TenantAxis, CampaignParsesTenantDirectives) {
+  ScratchDir dir("campaign");
+  const auto tspec =
+      dir.write("bg.tenant", "job bg app=example np=2 arrival=0s\n");
+  const std::string text = "name t\napp example np=2\nconfig B\n"
+                           "tenantspec none\n"
+                           "tenantspec file=" + tspec.string() + "\n"
+                           "tenant-seeds 2\n";
+  const auto spec = sweep::parseCampaign(text, dir.path());
+  EXPECT_TRUE(spec.hasTenantAxis());
+  ASSERT_EQ(spec.tenants.size(), 2u);
+  EXPECT_TRUE(spec.tenants[0].none());
+  EXPECT_EQ(spec.tenants[1].label, "bg");
+  EXPECT_EQ(spec.tenantSeeds, 2);
+  EXPECT_NE(spec.canonicalText().find("tenantspec"), std::string::npos);
+
+  // A campaign without the axis canonicalizes with no tenant lines — the
+  // store-compat contract.
+  const auto plain =
+      sweep::parseCampaign("app example np=2\nconfig B\n", dir.path());
+  EXPECT_FALSE(plain.hasTenantAxis());
+  EXPECT_EQ(plain.canonicalText().find("tenant"), std::string::npos);
+}
+
+TEST(TenantAxis, CellKeysStayBackwardCompatible) {
+  // Untenanted keys are byte-identical with and without the trailing
+  // tenant parameters — pre-tenant stores keep hitting.
+  EXPECT_EQ(sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "plan-a", 1),
+            sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "plan-a", 1, "", 0));
+  const std::string base =
+      sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "", 0, "tenant-a", 1);
+  EXPECT_EQ(base,
+            sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "", 0, "tenant-a", 1));
+  EXPECT_NE(base,
+            sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "", 0, "tenant-b", 1));
+  EXPECT_NE(base,
+            sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "", 0, "tenant-a", 2));
+  EXPECT_NE(base, sweep::cellKey("est/1", "m", "c", 1.0, 1.0));
+  // A composed fault plan changes the key even at tenant-seed parity.
+  EXPECT_NE(base, sweep::cellKey("est/1", "m", "c", 1.0, 1.0, "plan-a", 0,
+                                 "tenant-a", 1));
+}
+
+TEST(TenantAxis, PlanFansOutAndEvaluatesTenantedCells) {
+  ScratchDir dir("plan");
+  exampleModel(2).save(dir.path() / "example.model");
+  const auto tspec =
+      dir.write("bg.tenant", "job bg app=example np=2 arrival=0s\n");
+  const auto campaignSpec = sweep::parseCampaign(
+      "model example.model\nconfig B\n"
+      "tenantspec none\n"
+      "tenantspec file=" + tspec.string() + "\n"
+      "tenant-seeds 2\n",
+      dir.path());
+  const auto campaign = sweep::resolveCampaign(campaignSpec);
+  const auto cells = campaign.planCells();
+  ASSERT_EQ(cells.size(), 3u);  // 1 untenanted + 2 tenant seeds
+  EXPECT_FALSE(cells[0].tenanted());
+  EXPECT_TRUE(cells[1].tenanted());
+  EXPECT_EQ(cells[1].tenantSeed, 1u);
+  EXPECT_EQ(cells[2].tenantSeed, 2u);
+  EXPECT_NE(cells[1].key, cells[2].key);
+  EXPECT_NE(campaign.cellTitle(cells[1]).find("tenant=bg"),
+            std::string::npos);
+
+  // The tenanted cell co-schedules the model as foreground "cell" and its
+  // contended Time_io is never better than the uncontended estimate's
+  // solo replay.
+  const auto result = sweep::evaluateCell(campaign, cells[1]);
+  EXPECT_EQ(result.estimator, sweep::kTenantEstimatorVersion);
+  EXPECT_TRUE(result.tenanted());
+  ASSERT_EQ(result.tenantJobs.size(), 2u);
+  EXPECT_EQ(result.tenantJobs[0].id, "cell");
+  EXPECT_EQ(result.tenantJobs[1].id, "bg");
+  EXPECT_GE(result.timeIo, result.tenantSoloTimeIo);
+  EXPECT_GT(result.tenantJain, 0.0);
+
+  // Store round-trip: tenant lines survive render -> parse exactly.
+  const auto back = sweep::CellResult::parse(result.render());
+  EXPECT_EQ(back.tenantLabel, result.tenantLabel);
+  EXPECT_EQ(back.tenantSeed, result.tenantSeed);
+  EXPECT_EQ(back.tenantJain, result.tenantJain);
+  EXPECT_EQ(back.tenantSoloTimeIo, result.tenantSoloTimeIo);
+  EXPECT_EQ(back.tenantSlowdown, result.tenantSlowdown);
+  ASSERT_EQ(back.tenantJobs.size(), result.tenantJobs.size());
+  EXPECT_EQ(back.tenantJobs[1].contendedTimeIo,
+            result.tenantJobs[1].contendedTimeIo);
+  EXPECT_EQ(back.render(), result.render());
+
+  // Untenanted cells render with no tenant lines at all (store compat).
+  const auto healthy = sweep::evaluateCell(campaign, cells[0]);
+  EXPECT_EQ(healthy.render().find("tenant"), std::string::npos);
+}
+
+}  // namespace
