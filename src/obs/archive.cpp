@@ -13,6 +13,7 @@
 #include "obs/codec.hpp"
 #include "obs/recorder.hpp"
 #include "util/fsatomic.hpp"
+#include "util/vfs.hpp"
 
 namespace iop::obs {
 
@@ -167,7 +168,13 @@ bool entryFromFields(const std::map<std::string, std::string>& fields,
   return true;
 }
 
-std::string renderManifestLine(const ArchiveEntry& e) {
+}  // namespace
+
+std::string archivePayloadHash(const std::string& bytes) {
+  return hashHex(bytes);
+}
+
+std::string renderArchiveManifestLine(const ArchiveEntry& e) {
   std::ostringstream out;
   out << "{\"schema\":\"" << kSchema << "\",\"seq\":" << e.seq
       << ",\"kind\":\"" << e.kind << "\",\"app\":\""
@@ -178,7 +185,17 @@ std::string renderManifestLine(const ArchiveEntry& e) {
   return out.str();
 }
 
-}  // namespace
+bool parseArchiveManifestLine(const std::string& line, ArchiveEntry& out) {
+  // Tolerate the trailing newline render emits, so render/parse round-
+  // trip without the caller having to strip it.
+  std::string trimmed = line;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\n' || trimmed.back() == '\r')) {
+    trimmed.pop_back();
+  }
+  std::map<std::string, std::string> fields;
+  return parseManifestLine(trimmed, fields) && entryFromFields(fields, out);
+}
 
 std::string ArchiveEntry::seriesKey() const {
   return app + "/" + config + "/" + std::to_string(np);
@@ -274,20 +291,16 @@ ArchiveEntry Archive::append(std::string kind, std::string app,
     }
   }
 
-  // Append-only manifest: one short line per entry through O_APPEND
-  // semantics, flushed before close so a crash costs at most this line.
-  std::FILE* manifest =
-      std::fopen(manifestPath().string().c_str(), "ab");
-  if (manifest == nullptr) {
-    fail("cannot append to " + manifestPath().string());
-  }
-  std::string line = renderManifestLine(entry);
+  // Append-only manifest: one short line per entry, appended with full
+  // durability barriers (flush + fsync, parent-dir fsync on creation) so
+  // a crash costs at most this line.
+  std::string line = renderArchiveManifestLine(entry);
   if (tornTail) line.insert(line.begin(), '\n');
-  const bool wrote =
-      std::fwrite(line.data(), 1, line.size(), manifest) == line.size() &&
-      std::fflush(manifest) == 0;
-  std::fclose(manifest);
-  if (!wrote) fail("failed appending to " + manifestPath().string());
+  try {
+    util::vfs::appendFile(manifestPath(), line, util::vfs::Durability::Durable);
+  } catch (const std::exception& e) {
+    fail("failed appending to " + manifestPath().string() + ": " + e.what());
+  }
   return entry;
 }
 
@@ -346,7 +359,7 @@ Archive::GcResult Archive::gc(std::size_t keepLastPerSeries) {
     std::reverse(kept.begin(), kept.end());
     result.prunedEntries = entries.size() - kept.size();
     std::string manifest;
-    for (const auto& e : kept) manifest += renderManifestLine(e);
+    for (const auto& e : kept) manifest += renderArchiveManifestLine(e);
     util::writeFileAtomically(manifestPath(), manifest);
   }
   std::set<std::string> live;

@@ -49,6 +49,17 @@ struct ArchiveEntry {
   std::string objectName() const;  ///< file name under objects/
 };
 
+/// 16-hex-digit FNV-1a64 of an object payload — the hash the archive
+/// content-addresses by.  Exposed so iop-fsck can verify objects against
+/// their manifest entries and filenames.
+std::string archivePayloadHash(const std::string& bytes);
+
+/// The manifest-line codec, exposed for iop-fsck: render one entry as
+/// its JSONL line (newline-terminated) / parse one line (false on torn,
+/// nested or schema-mismatched input, the lines list() skips).
+std::string renderArchiveManifestLine(const ArchiveEntry& entry);
+bool parseArchiveManifestLine(const std::string& line, ArchiveEntry& out);
+
 class Archive {
  public:
   /// Opens (and lazily creates) the archive rooted at `root`.

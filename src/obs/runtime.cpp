@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/vfs.hpp"
+
 #ifdef _WIN32
 #include <process.h>
 #else
@@ -31,24 +33,6 @@ std::string promName(const std::string& name) {
     out += ok ? c : '_';
   }
   return out;
-}
-
-/// Local atomic replace (obs cannot depend on the sweep store's helper):
-/// unique temp name, then rename.
-void replaceFile(const std::filesystem::path& path,
-                 const std::string& text) {
-  static std::atomic<unsigned long> counter{0};
-  const std::filesystem::path tmp =
-      path.string() + ".tmp." + std::to_string(static_cast<long>(getpid())) +
-      "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << text;
-    if (!out) {
-      throw std::runtime_error("obs: failed writing " + tmp.string());
-    }
-  }
-  std::filesystem::rename(tmp, path);
 }
 
 }  // namespace
@@ -184,7 +168,11 @@ std::string RuntimeMetrics::renderProm() const {
 }
 
 void RuntimeMetrics::writeProm(const std::filesystem::path& path) const {
-  replaceFile(path, renderProm());
+  // Scratch durability: snapshots are observational, re-written on a
+  // timer from a background thread, and must not perturb the
+  // deterministic barrier-op numbering the crash injector counts.
+  util::vfs::replaceFile(path, renderProm(),
+                         util::vfs::Durability::Scratch);
 }
 
 // ------------------------------------------------------------ snapshotter
@@ -244,10 +232,8 @@ RunJournal::RunJournal(std::filesystem::path path)
   if (path_.has_parent_path()) {
     std::filesystem::create_directories(path_.parent_path());
   }
-  file_ = std::fopen(path_.string().c_str(), "wb");
-  if (file_ == nullptr) {
-    throw std::runtime_error("obs: cannot open journal " + path_.string());
-  }
+  stream_ = std::make_unique<util::vfs::AppendStream>(
+      path_, util::vfs::Durability::Durable, /*truncate=*/true);
   const auto unixMs =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
@@ -260,8 +246,7 @@ RunJournal::RunJournal(std::filesystem::path path)
 
 RunJournal::~RunJournal() {
   std::lock_guard<std::mutex> guard(mutex_);
-  if (file_ != nullptr) std::fclose(file_);
-  file_ = nullptr;
+  stream_.reset();
 }
 
 double RunJournal::elapsedSeconds() const {
@@ -285,12 +270,23 @@ void RunJournal::event(const std::string& name,
   }
   line += "}\n";
   std::lock_guard<std::mutex> guard(mutex_);
-  if (file_ == nullptr) return;
-  std::fwrite(line.data(), 1, line.size(), file_);
-  // One flush per event: the whole point of a flight recorder is that a
-  // SIGKILL loses at most the line being written.
-  std::fflush(file_);
-  events_.fetch_add(1, std::memory_order_relaxed);
+  if (!stream_ || disabled_.load(std::memory_order_relaxed)) return;
+  // One durable append per event: the whole point of a flight recorder
+  // is that a SIGKILL loses at most the line being written.
+  if (stream_->append(line)) {
+    events_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // A journal that cannot write (ENOSPC, typically) must never take the
+  // campaign down: warn once, stop journaling, let the run finish.  The
+  // campaign's results are content-addressed store files — losing the
+  // flight recorder loses observability, not data.
+  disabled_.store(true, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "iop: journal %s disabled after write failure: %s "
+               "(disk full?); the run continues without it\n",
+               path_.string().c_str(), stream_->lastError().c_str());
+  stream_->close();
 }
 
 // --------------------------------------------------------- journal parser

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "obs/recorder.hpp"
+#include "util/vfs.hpp"
 
 namespace iop::obs {
 
@@ -187,21 +188,30 @@ class RunJournal {
   /// now).  Thread-safe.
   double elapsedSeconds() const;
 
-  /// Append one event line and flush it.  `fieldsJson` is a pre-rendered
-  /// `"k":v,...` tail (TraceRecorder::jsonEscape strings first); may be
-  /// empty.  Thread-safe.
+  /// Append one event line, flushed and fsync()ed (util::vfs barrier
+  /// semantics).  `fieldsJson` is a pre-rendered `"k":v,...` tail
+  /// (TraceRecorder::jsonEscape strings first); may be empty.
+  /// Thread-safe.  A write failure (ENOSPC, typically) disables the
+  /// journal with a one-time stderr warning instead of throwing — the
+  /// flight recorder must never take the campaign down.
   void event(const std::string& name, const std::string& fieldsJson = {});
 
   std::size_t eventCount() const noexcept {
     return events_.load(std::memory_order_relaxed);
   }
 
+  /// True once a write failure silenced the journal.
+  bool disabled() const noexcept {
+    return disabled_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::filesystem::path path_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<util::vfs::AppendStream> stream_;
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;
   std::atomic<std::size_t> events_{0};
+  std::atomic<bool> disabled_{false};
 };
 
 /// One parsed journal line.  `fields` holds every member of the JSON

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -18,6 +21,7 @@
 #include "sim/framepool.hpp"
 #include "sweep/telemetry.hpp"
 #include "tenant/cosched.hpp"
+#include "util/vfs.hpp"
 
 namespace iop::sweep {
 
@@ -56,6 +60,20 @@ std::string cellFields(const ResolvedCampaign& campaign,
          obs::TraceRecorder::jsonEscape(campaign.cellTitle(cell)) +
          "\",\"key\":\"" + cell.key + "\"";
 }
+
+/// Result slot shared between a worker and the detached evaluation thread
+/// the watchdog supervises.  The thread owns `result`/`error` until it
+/// flips `done`; after a hard-deadline abandonment nobody reads them, so
+/// the thread can finish (or hang) without touching anything the run
+/// still cares about.
+struct EvalTask {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  bool failed = false;
+  CellResult result;
+  std::string error;
+};
 
 }  // namespace
 
@@ -181,6 +199,13 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
   if (const char* env = std::getenv("IOP_SWEEP_TEST_CELL_DELAY_MS")) {
     testDelayMs = std::atoi(env);
   }
+  // Same, but applied to a cell's *first* attempt only, so watchdog tests
+  // can make attempt 1 overrun the hard deadline and the retry succeed.
+  int testDelayOnceMs = 0;
+  if (const char* env =
+          std::getenv("IOP_SWEEP_TEST_CELL_DELAY_ONCE_MS")) {
+    testDelayOnceMs = std::atoi(env);
+  }
 
   store.initialize(campaign.spec.canonicalText(), options.force);
   if (tele != nullptr) {
@@ -217,6 +242,15 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
       if (auto loaded = store.tryLoadCell(cell.key, &whyBad)) {
         outcome.cells[i].status = CellOutcome::Status::Cached;
         outcome.cells[i].result = std::move(*loaded);
+        // A torn capture iop-fsck quarantined leaves the cell intact but
+        // capture-less; captures are a pure function of the result, so
+        // regenerate in place and the store converges back to the bytes
+        // an uninterrupted run would have written.
+        if (options.writeCaptures &&
+            !std::filesystem::exists(store.capturePath(cell.key))) {
+          store.saveCapture(cell.key,
+                            makeCellCapture(outcome.cells[i].result));
+        }
         ++outcome.cacheHits;
         sharedLog.info("cache_hit", cellFields(campaign, cell));
         if (tele != nullptr) {
@@ -282,9 +316,16 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
   }
 
   // Fixed-size pool over the pending list.  Each worker owns its cell's
-  // outcome slot exclusively; nothing else is shared mutable state.
+  // outcome slot exclusively; the only other shared mutable state is the
+  // retry queue the watchdog feeds.
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> inFlight{0};
+  std::atomic<std::size_t> stuckCount{0};
   std::mutex doneMutex;  // serializes options.onCellDone
+  std::mutex retryMutex;
+  std::deque<std::size_t> retryQueue;  // watchdog second attempts
+  const bool watchdog = options.hardDeadlineSeconds > 0 ||
+                        options.softDeadlineSeconds > 0;
   auto cancelled = [&options]() {
     return options.cancel != nullptr &&
            options.cancel->load(std::memory_order_relaxed);
@@ -298,56 +339,232 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         if (tele != nullptr) tele->shutdownNoticed();
         break;
       }
-      const std::size_t slot = cursor.fetch_add(1);
-      if (slot >= pending.size()) break;
-      const std::size_t index = pending[slot];
+      // Retries first: a cell another worker abandoned is older work
+      // than anything still behind the cursor.
+      std::size_t index = 0;
+      int attempt = 1;
+      bool claimed = false;
+      {
+        std::lock_guard<std::mutex> guard(retryMutex);
+        if (!retryQueue.empty()) {
+          index = retryQueue.front();
+          retryQueue.pop_front();
+          attempt = 2;
+          claimed = true;
+        }
+      }
+      if (!claimed &&
+          cursor.load(std::memory_order_relaxed) < pending.size()) {
+        const std::size_t slot = cursor.fetch_add(1);
+        if (slot < pending.size()) {
+          index = pending[slot];
+          claimed = true;
+        }
+      }
+      if (!claimed) {
+        // Drained — but a cell still in flight elsewhere may yet be
+        // abandoned into the retry queue, so only leave once nothing is
+        // in flight anywhere.
+        if (inFlight.load(std::memory_order_acquire) > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        break;
+      }
+      inFlight.fetch_add(1, std::memory_order_acq_rel);
       CellOutcome& out = outcome.cells[index];
       const double tClaim = tele != nullptr ? tele->now() : 0;
       if (tele != nullptr) {
         tele->cellClaim(worker, campaign.cellTitle(out.spec),
                         out.spec.key);
       }
-      if (testDelayMs > 0) {
+      if (testDelayMs > 0 && !watchdog) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(testDelayMs));
       }
       const auto cellStart = std::chrono::steady_clock::now();
-      try {
-        out.result = evaluateCell(campaign, out.spec);
-        const double tEval = tele != nullptr ? tele->now() : 0;
-        store.saveCell(out.result);
-        if (options.writeCaptures) {
-          store.saveCapture(out.spec.key, makeCellCapture(out.result));
+      bool abandoned = false;
+      bool evalOk = false;
+      CellResult evalResult;
+      std::string evalError;
+      if (!watchdog) {
+        try {
+          evalResult = evaluateCell(campaign, out.spec);
+          evalOk = true;
+        } catch (const std::exception& e) {
+          evalError = e.what();
         }
-        // Deposit into the shared pool as well; racing processes write
-        // identical bytes through unique temp names, so this is safe.
-        if (shared) shared->saveCell(out.result);
-        out.status = CellOutcome::Status::Computed;
-        out.seconds = secondsSince(cellStart);
-        sharedLog.info(
-            "cell_done",
-            cellFields(campaign, out.spec) +
-                ",\"time_io\":" + std::to_string(out.result.timeIo) +
-                ",\"ior_runs\":" + std::to_string(out.result.iorRuns));
-        if (tele != nullptr) {
-          tele->cellCommit(worker, campaign.cellTitle(out.spec),
-                           out.spec.key, tClaim, tEval, tele->now(),
-                           out.result.timeIo, out.result.iorRuns,
-                           out.spec.faulted());
+      } else {
+        // Supervised evaluation: the cell computes on a detached thread
+        // (a hung evaluation must never hang the pool) that reads only
+        // `campaign` plus its private spec copy and writes only into
+        // `task`.  The worker waits out the deadlines here.
+        auto task = std::make_shared<EvalTask>();
+        const int delayMs =
+            testDelayMs + (attempt == 1 ? testDelayOnceMs : 0);
+        std::thread([task, &campaign, spec = out.spec, delayMs]() {
+          try {
+            if (delayMs > 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(delayMs));
+            }
+            CellResult r = evaluateCell(campaign, spec);
+            {
+              std::lock_guard<std::mutex> guard(task->mutex);
+              task->result = std::move(r);
+              task->done = true;
+            }
+            task->cv.notify_all();
+          } catch (const std::exception& e) {
+            {
+              std::lock_guard<std::mutex> guard(task->mutex);
+              task->error = e.what();
+              task->failed = true;
+              task->done = true;
+            }
+            task->cv.notify_all();
+          }
+        }).detach();
+
+        std::unique_lock<std::mutex> lock(task->mutex);
+        bool slow = false;
+        if (options.softDeadlineSeconds > 0) {
+          const bool doneSoft = task->cv.wait_for(
+              lock,
+              std::chrono::duration<double>(options.softDeadlineSeconds),
+              [&] { return task->done; });
+          if (!doneSoft) {
+            slow = true;
+            lock.unlock();
+            sharedLog.warn(
+                "cell_slow",
+                cellFields(campaign, out.spec) + ",\"deadline_s\":" +
+                    std::to_string(options.softDeadlineSeconds));
+            if (tele != nullptr) {
+              tele->cellSlow(worker, campaign.cellTitle(out.spec),
+                             out.spec.key, options.softDeadlineSeconds);
+            }
+            lock.lock();
+          }
         }
-      } catch (const std::exception& e) {
-        out.status = CellOutcome::Status::Failed;
-        out.error = e.what();
-        out.seconds = secondsSince(cellStart);
-        sharedLog.warn("cell_failed",
-                       cellFields(campaign, out.spec) + ",\"error\":\"" +
-                           obs::TraceRecorder::jsonEscape(e.what()) + "\"");
-        if (tele != nullptr) {
-          tele->cellFailed(worker, campaign.cellTitle(out.spec),
-                           out.spec.key, tClaim, tele->now(), e.what());
+        bool finished;
+        if (options.hardDeadlineSeconds > 0) {
+          finished = task->cv.wait_until(
+              lock,
+              cellStart +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          options.hardDeadlineSeconds)),
+              [&] { return task->done; });
+        } else {
+          task->cv.wait(lock, [&] { return task->done; });
+          finished = true;
+        }
+        if (slow && tele != nullptr) tele->cellSlowResolved();
+        if (finished) {
+          evalOk = !task->failed;
+          if (evalOk) {
+            evalResult = std::move(task->result);
+          } else {
+            evalError = task->error;
+          }
+        } else {
+          abandoned = true;
         }
       }
-      if (options.onCellDone) {
+      if (abandoned) {
+        stuckCount.fetch_add(1, std::memory_order_relaxed);
+        const bool retrying = attempt < 2;
+        out.status = CellOutcome::Status::Failed;
+        out.error = "stuck: evaluation exceeded the hard deadline (" +
+                    std::to_string(options.hardDeadlineSeconds) +
+                    "s) on attempt " + std::to_string(attempt);
+        out.seconds = secondsSince(cellStart);
+        // Leave a marker so an operator (and iop-fsck) can tell the cell
+        // was abandoned, not merely slow.  Scratch durability: markers
+        // are advisory and must not perturb crash-point numbering.
+        try {
+          const std::filesystem::path marker =
+              store.root() / "quarantine" /
+              (out.spec.key + ".stuck." + std::to_string(attempt));
+          std::filesystem::create_directories(marker.parent_path());
+          util::vfs::replaceFile(
+              marker,
+              "stuck: " + campaign.cellTitle(out.spec) + " attempt " +
+                  std::to_string(attempt) + " exceeded hard deadline " +
+                  std::to_string(options.hardDeadlineSeconds) + "s\n",
+              util::vfs::Durability::Scratch);
+        } catch (const std::exception&) {
+          // Best-effort: a marker failure must not fail the run.
+        }
+        sharedLog.warn("cell_stuck",
+                       cellFields(campaign, out.spec) +
+                           ",\"attempt\":" + std::to_string(attempt) +
+                           ",\"retry\":" +
+                           (retrying ? "true" : "false"));
+        if (tele != nullptr) {
+          tele->cellStuck(worker, campaign.cellTitle(out.spec),
+                          out.spec.key, attempt,
+                          options.hardDeadlineSeconds, retrying);
+        }
+        if (retrying) {
+          // Queue before the in-flight decrement below, so idle workers
+          // never observe "nothing in flight, nothing queued" while the
+          // retry is in between.
+          std::lock_guard<std::mutex> guard(retryMutex);
+          retryQueue.push_back(index);
+        }
+      } else {
+        if (evalOk) {
+          try {
+            out.result = std::move(evalResult);
+            const double tEval = tele != nullptr ? tele->now() : 0;
+            store.saveCell(out.result);
+            if (options.writeCaptures) {
+              store.saveCapture(out.spec.key,
+                                makeCellCapture(out.result));
+            }
+            // Deposit into the shared pool as well; racing processes
+            // write identical bytes through unique temp names, so this
+            // is safe.
+            if (shared) shared->saveCell(out.result);
+            out.status = CellOutcome::Status::Computed;
+            out.seconds = secondsSince(cellStart);
+            sharedLog.info(
+                "cell_done",
+                cellFields(campaign, out.spec) + ",\"time_io\":" +
+                    std::to_string(out.result.timeIo) +
+                    ",\"ior_runs\":" +
+                    std::to_string(out.result.iorRuns));
+            if (tele != nullptr) {
+              tele->cellCommit(worker, campaign.cellTitle(out.spec),
+                               out.spec.key, tClaim, tEval, tele->now(),
+                               out.result.timeIo, out.result.iorRuns,
+                               out.spec.faulted());
+            }
+          } catch (const std::exception& e) {
+            evalOk = false;
+            evalError = e.what();
+          }
+        }
+        if (!evalOk) {
+          out.status = CellOutcome::Status::Failed;
+          out.error = evalError;
+          out.seconds = secondsSince(cellStart);
+          sharedLog.warn(
+              "cell_failed",
+              cellFields(campaign, out.spec) + ",\"error\":\"" +
+                  obs::TraceRecorder::jsonEscape(evalError) + "\"");
+          if (tele != nullptr) {
+            tele->cellFailed(worker, campaign.cellTitle(out.spec),
+                             out.spec.key, tClaim, tele->now(),
+                             evalError);
+          }
+        }
+      }
+      const bool terminal = !(abandoned && attempt < 2);
+      if (terminal && options.onCellDone) {
         std::lock_guard<std::mutex> guard(doneMutex);
         options.onCellDone(out);
       }
@@ -359,6 +576,7 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
       if (tele != nullptr) {
         tele->arenaTrimmed(worker, released, arena.stats().slabBytes);
       }
+      inFlight.fetch_sub(1, std::memory_order_acq_rel);
     }
     if (tele != nullptr) tele->workerIdle(worker);
   };
@@ -388,6 +606,7 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
     tele->cellsSkipped(pending.size() - taken);
   }
   if (cancelled()) outcome.interrupted = true;
+  outcome.stuck = stuckCount.load(std::memory_order_relaxed);
 
   // Propagate deduped results to the duplicate cells.
   for (const auto& [key, dupes] : followers) {
@@ -441,6 +660,8 @@ SweepOutcome runSweep(const ResolvedCampaign& campaign, CampaignStore& store,
         .add(static_cast<double>(outcome.skipped));
     metrics->counter("sweep.quarantined")
         .add(static_cast<double>(outcome.quarantined));
+    metrics->counter("sweep.stuck")
+        .add(static_cast<double>(outcome.stuck));
     metrics->counter("sweep.ior_runs")
         .add(static_cast<double>(outcome.iorRuns));
   }

@@ -50,6 +50,23 @@ struct SweepOptions {
   /// exec trace — see telemetry.hpp).  Observation-only: the store bytes
   /// are identical with and without it.
   SweepTelemetry* telemetry = nullptr;
+  /// Hung-worker watchdog (0 = off, the default).  With a soft deadline,
+  /// a cell still evaluating after that many wall seconds is journaled as
+  /// `cell_slow` (and counts on the `sweep.slow_cells` gauge) but keeps
+  /// running.  With a hard deadline, a cell that exceeds it is abandoned:
+  /// the evaluation thread is left to finish (or hang) in the background
+  /// — it only ever computes, it never touches the store — a
+  /// `quarantine/<key>.stuck.<attempt>` marker is written, and the cell
+  /// is retried once on whichever worker is free next.  A second timeout
+  /// fails the cell with a "stuck" error.  Deadlines don't perturb
+  /// results: a store written with the watchdog on is byte-identical to
+  /// one written with it off (abandoned attempts commit nothing).
+  /// Caveat: an abandoned evaluation may still be running when runSweep
+  /// returns; it references only the ResolvedCampaign, so callers must
+  /// keep the campaign alive for the process lifetime when enabling hard
+  /// deadlines (iop-sweep does).
+  double softDeadlineSeconds = 0;
+  double hardDeadlineSeconds = 0;
 };
 
 struct CellOutcome {
@@ -72,6 +89,8 @@ struct SweepOutcome {
   std::size_t computed = 0;
   std::size_t failures = 0;
   std::size_t skipped = 0;  ///< cells not started before cancellation
+  std::size_t stuck = 0;    ///< watchdog hard-deadline abandonments
+                            ///< (includes retried attempts)
   std::size_t iorRuns = 0;  ///< IOR executions across computed cells
   double wallSeconds = 0;
   bool interrupted = false;  ///< cancellation stopped the run early

@@ -1,0 +1,540 @@
+#include "sweep/fsck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <system_error>
+
+#ifndef _WIN32
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+#include "core/iomodel.hpp"
+#include "obs/archive.hpp"
+#include "obs/capture.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/store.hpp"
+#include "util/vfs.hpp"
+
+namespace iop::sweep {
+
+namespace {
+
+std::string readText(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string relPath(const std::filesystem::path& root,
+                    const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto rel = std::filesystem::relative(path, root, ec);
+  return ec ? path.string() : rel.generic_string();
+}
+
+/// The damage-classification context one fsck pass accumulates into.
+struct Check {
+  std::filesystem::path root;
+  FsckOptions options;
+  FsckReport report;
+
+  void finding(const std::filesystem::path& path, FsckDamage damage,
+               FsckSeverity severity, std::string detail,
+               std::string action) {
+    FsckFinding f;
+    f.path = relPath(root, path);
+    f.damage = damage;
+    f.severity = severity;
+    f.detail = std::move(detail);
+    f.action = std::move(action);
+    report.findings.push_back(std::move(f));
+  }
+
+  /// Move `path` into <root>/quarantine (keeping forensics), mirroring
+  /// the store's own quarantine naming (a .2/.3 suffix on collision).
+  std::string quarantine(const std::filesystem::path& path) {
+    if (!options.repair) return "would quarantine";
+    const auto dir = root / "quarantine";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::filesystem::path dst = dir / path.filename();
+    for (int n = 2; std::filesystem::exists(dst); ++n) {
+      dst = dir / (path.stem().string() + "." + std::to_string(n) +
+                   path.extension().string());
+    }
+    std::filesystem::rename(path, dst, ec);
+    if (ec) {
+      std::filesystem::remove(path, ec);
+      return "removed (quarantine rename failed)";
+    }
+    return "quarantined as " + relPath(root, dst);
+  }
+
+  std::string removeFile(const std::filesystem::path& path) {
+    if (!options.repair) return "would remove";
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return ec ? "remove failed: " + ec.message() : "removed";
+  }
+};
+
+/// True when `pid` belongs to a live process.  Errs on the side of alive
+/// (never reap another writer's working files); on platforms without
+/// kill(2) everything is considered alive.
+bool pidAlive(long pid) {
+#ifndef _WIN32
+  if (pid <= 0) return true;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+#else
+  (void)pid;
+  return true;
+#endif
+}
+
+/// Parse the `<pid>` out of a vfs temp name `<orig>.tmp.<pid>.<n>`;
+/// returns false when `name` is not a vfs temp.
+bool parseTempPid(const std::string& name, long& pid) {
+  const auto at = name.rfind(".tmp.");
+  if (at == std::string::npos) return false;
+  const std::string tail = name.substr(at + 5);  // "<pid>.<n>"
+  const auto dot = tail.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= tail.size()) {
+    return false;
+  }
+  const std::string pidPart = tail.substr(0, dot);
+  const std::string seqPart = tail.substr(dot + 1);
+  auto allDigits = [](const std::string& s) {
+    return !s.empty() &&
+           std::all_of(s.begin(), s.end(),
+                       [](unsigned char c) { return std::isdigit(c); });
+  };
+  if (!allDigits(pidPart) || !allDigits(seqPart)) return false;
+  pid = std::strtol(pidPart.c_str(), nullptr, 10);
+  return true;
+}
+
+/// Sweep `.tmp.<pid>.<n>` files of dead writers anywhere under the root
+/// (skipping quarantine/, whose contents are frozen forensics).
+void sweepOrphanTemps(Check& check) {
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(check.root, ec);
+  const std::filesystem::recursive_directory_iterator end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->is_directory()) {
+      if (it->path().filename() == "quarantine") it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file()) continue;
+    long pid = 0;
+    if (!parseTempPid(it->path().filename().string(), pid)) continue;
+    ++check.report.scanned;
+#ifndef _WIN32
+    if (pid == static_cast<long>(::getpid())) continue;
+#endif
+    if (pidAlive(pid)) continue;
+    const std::string action = check.removeFile(it->path());
+    check.finding(it->path(), FsckDamage::OrphanTemp,
+                  FsckSeverity::Repaired,
+                  "temp file of dead writer pid " + std::to_string(pid),
+                  action);
+  }
+}
+
+/// Truncate an append-only text file back to its last whole line.  The
+/// torn tail is by definition the crashed writer's final, incomplete
+/// record; everything before it is intact.
+void truncateTornTail(Check& check, const std::filesystem::path& path,
+                      FsckDamage damage) {
+  std::string text;
+  try {
+    text = readText(path);
+  } catch (const std::exception&) {
+    return;
+  }
+  ++check.report.scanned;
+  if (text.empty() || text.back() == '\n') return;
+  const auto lastNl = text.rfind('\n');
+  const std::uintmax_t keep = lastNl == std::string::npos ? 0 : lastNl + 1;
+  std::string action = "would truncate to " + std::to_string(keep) + " bytes";
+  if (check.options.repair) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep, ec);
+    action = ec ? "truncate failed: " + ec.message()
+                : "truncated to " + std::to_string(keep) + " bytes";
+  }
+  check.finding(path, damage, FsckSeverity::Repaired,
+                "ends mid-record (torn final line)", action);
+}
+
+/// Journals are live while their writer is: the pid is embedded in the
+/// run-<unix-ms>-<pid>.jsonl filename, so only dead writers' tails are
+/// touched.
+void checkJournals(Check& check) {
+  const auto dir = check.root / "journal";
+  std::error_code ec;
+  for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
+    if (!file.is_regular_file()) continue;
+    const std::string name = file.path().filename().string();
+    if (name.rfind("run-", 0) != 0 ||
+        file.path().extension() != ".jsonl") {
+      continue;
+    }
+    const std::string stem = file.path().stem().string();
+    const auto dash = stem.rfind('-');
+    if (dash == std::string::npos) continue;
+    const long pid = std::strtol(stem.c_str() + dash + 1, nullptr, 10);
+    if (pidAlive(pid)) continue;
+    truncateTornTail(check, file.path(), FsckDamage::TornJournalTail);
+  }
+}
+
+void checkCampaignFile(Check& check) {
+  const auto path = check.root / "campaign.txt";
+  if (!std::filesystem::exists(path)) return;
+  ++check.report.scanned;
+  std::string text;
+  try {
+    text = readText(path);
+  } catch (const std::exception&) {
+    return;
+  }
+  const std::string& expected = check.options.expectedCampaign;
+  bool torn = false;
+  std::string why;
+  if (!expected.empty()) {
+    if (text != expected && expected.rfind(text, 0) == 0) {
+      // A strict prefix of the expected text is a torn write.  A
+      // *different* full text is left alone: CampaignStore::initialize's
+      // wrong-campaign guard must keep firing for it.
+      torn = true;
+      why = "strict prefix of the expected campaign text (torn write)";
+    }
+  }
+  if (!torn && (expected.empty() || text != expected)) {
+    // campaign.txt holds the canonical rendering (CampaignSpec::
+    // canonicalText) that only string comparison ever consumes, so the
+    // sanity check is structural: the header must be intact and the file
+    // newline-terminated.  A torn half that happens to satisfy both is
+    // caught by the strict-prefix rule when the campaign is known.
+    if (text.rfind("iop-campaign v1\n", 0) != 0) {
+      torn = true;
+      why = "missing 'iop-campaign v1' header";
+    } else if (text.back() != '\n') {
+      torn = true;
+      why = "not newline-terminated (torn tail)";
+    }
+  }
+  if (!torn) return;
+  const std::string action = check.quarantine(path);
+  check.finding(path, FsckDamage::TornCampaignFile, FsckSeverity::Repaired,
+                why, action + "; resume rebinds the store");
+}
+
+void checkModels(Check& check, const std::filesystem::path& dir) {
+  std::error_code ec;
+  for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
+    if (!file.is_regular_file() || file.path().extension() != ".model") {
+      continue;
+    }
+    ++check.report.scanned;
+    try {
+      core::IOModel::load(file.path());
+    } catch (const std::exception& e) {
+      const std::string action = check.quarantine(file.path());
+      check.finding(file.path(), FsckDamage::TornModel,
+                    FsckSeverity::Repaired, e.what(),
+                    action + "; resume re-characterizes");
+    }
+  }
+}
+
+void checkCells(Check& check) {
+  const auto dir = check.root / "cells";
+  std::error_code ec;
+  for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
+    if (!file.is_regular_file() || file.path().extension() != ".cell") {
+      continue;
+    }
+    ++check.report.scanned;
+    const std::string key = file.path().stem().string();
+    try {
+      const CellResult cell = CellResult::parse(readText(file.path()));
+      if (cell.key != key) {
+        const std::string action = check.quarantine(file.path());
+        check.finding(file.path(), FsckDamage::WrongKey,
+                      FsckSeverity::Repaired,
+                      "holds key " + cell.key + ", expected " + key,
+                      action + "; resume recomputes");
+      }
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      const FsckDamage damage =
+          what.find("checksum mismatch") != std::string::npos
+              ? FsckDamage::ChecksumMismatch
+              : FsckDamage::TornCell;
+      const std::string action = check.quarantine(file.path());
+      check.finding(file.path(), damage, FsckSeverity::Repaired, what,
+                    action + "; resume recomputes");
+    }
+  }
+}
+
+void checkCaptures(Check& check) {
+  const auto dir = check.root / "captures";
+  std::error_code ec;
+  for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
+    if (!file.is_regular_file() || file.path().extension() != ".cap") {
+      continue;
+    }
+    ++check.report.scanned;
+    try {
+      obs::RunCapture::parse(readText(file.path()));
+    } catch (const std::exception& e) {
+      const std::string action = check.quarantine(file.path());
+      check.finding(file.path(), FsckDamage::TornCapture,
+                    FsckSeverity::Repaired, e.what(),
+                    action + "; resume regenerates from the cell");
+    }
+  }
+}
+
+void checkArchiveTree(Check& check) {
+  const auto manifest = check.root / "MANIFEST.jsonl";
+  // The torn tail first, so the line scan below sees whole lines only.
+  if (std::filesystem::exists(manifest)) {
+    truncateTornTail(check, manifest, FsckDamage::TornManifestTail);
+  }
+
+  std::string text;
+  try {
+    text = std::filesystem::exists(manifest) ? readText(manifest)
+                                             : std::string();
+  } catch (const std::exception&) {
+    text.clear();
+  }
+  // In a dry run the torn tail is still present; ignore the final
+  // partial line the same way repair would have.
+  if (!text.empty() && text.back() != '\n') {
+    const auto lastNl = text.rfind('\n');
+    text.resize(lastNl == std::string::npos ? 0 : lastNl + 1);
+  }
+
+  std::vector<std::string> keptLines;
+  std::vector<obs::ArchiveEntry> entries;
+  bool rewrite = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    obs::ArchiveEntry entry;
+    if (!obs::parseArchiveManifestLine(line, entry)) {
+      check.finding(manifest, FsckDamage::BadManifestLine,
+                    FsckSeverity::Repaired,
+                    "line " + std::to_string(lineNo) + " does not parse",
+                    check.options.repair ? "dropped" : "would drop");
+      rewrite = true;
+      continue;
+    }
+    keptLines.push_back(line + "\n");
+    entries.push_back(std::move(entry));
+  }
+
+  // Referenced objects: presence always, content when deep.  A missing
+  // or corrupt payload is real data loss — captures and bench snapshots
+  // are not recomputable — so the entry is dropped and the damage is
+  // Unrecoverable.
+  std::vector<bool> keep(entries.size(), true);
+  std::set<std::string> referenced;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto object = check.root / "objects" / entries[i].objectName();
+    ++check.report.scanned;
+    if (!std::filesystem::exists(object)) {
+      check.finding(object, FsckDamage::MissingObject,
+                    FsckSeverity::Unrecoverable,
+                    "referenced by manifest seq " +
+                        std::to_string(entries[i].seq) + " but absent",
+                    check.options.repair ? "entry dropped"
+                                         : "would drop entry");
+      keep[i] = false;
+      rewrite = true;
+      continue;
+    }
+    if (check.options.deep) {
+      std::string bytes;
+      try {
+        bytes = readText(object);
+      } catch (const std::exception&) {
+        bytes.clear();
+      }
+      if (obs::archivePayloadHash(bytes) != entries[i].hash) {
+        const std::string action = check.quarantine(object);
+        check.finding(object, FsckDamage::CorruptObject,
+                      FsckSeverity::Unrecoverable,
+                      "payload does not match manifest hash " +
+                          entries[i].hash,
+                      action + "; entry dropped");
+        keep[i] = false;
+        rewrite = true;
+        continue;
+      }
+    }
+    referenced.insert(entries[i].objectName());
+  }
+
+  if (rewrite && check.options.repair) {
+    std::string rebuilt;
+    for (std::size_t i = 0; i < keptLines.size(); ++i) {
+      if (keep[i]) rebuilt += keptLines[i];
+    }
+    util::vfs::replaceFile(manifest, rebuilt,
+                           util::vfs::Durability::Durable);
+  }
+
+  // Unreferenced objects: valid ones stay (a crashed writer's dropped
+  // manifest append; re-adding reuses them), but an object whose name
+  // does not match its content is a torn write nothing points at.
+  std::error_code ec;
+  for (const auto& file : std::filesystem::directory_iterator(
+           check.root / "objects", ec)) {
+    if (!file.is_regular_file()) continue;
+    const std::string name = file.path().filename().string();
+    long tempPid = 0;
+    if (parseTempPid(name, tempPid)) continue;  // the temp sweep's job
+    if (referenced.count(name) > 0) continue;
+    ++check.report.scanned;
+    const auto dot = name.find('.');
+    const std::string nameHash =
+        dot == std::string::npos ? name : name.substr(0, dot);
+    std::string bytes;
+    try {
+      bytes = readText(file.path());
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (obs::archivePayloadHash(bytes) == nameHash) continue;
+    const std::string action = check.quarantine(file.path());
+    check.finding(file.path(), FsckDamage::OrphanObject,
+                  FsckSeverity::Repaired,
+                  "unreferenced and name does not match content hash",
+                  action);
+  }
+}
+
+void sortFindings(FsckReport& report) {
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const FsckFinding& a, const FsckFinding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.damage != b.damage) return a.damage < b.damage;
+              return a.detail < b.detail;
+            });
+}
+
+}  // namespace
+
+const char* fsckDamageName(FsckDamage damage) {
+  switch (damage) {
+    case FsckDamage::TornCell: return "torn-cell";
+    case FsckDamage::ChecksumMismatch: return "checksum-mismatch";
+    case FsckDamage::WrongKey: return "wrong-key";
+    case FsckDamage::TornCapture: return "torn-capture";
+    case FsckDamage::TornModel: return "torn-model";
+    case FsckDamage::TornCampaignFile: return "torn-campaign-file";
+    case FsckDamage::OrphanTemp: return "orphan-temp";
+    case FsckDamage::TornManifestTail: return "torn-manifest-tail";
+    case FsckDamage::BadManifestLine: return "bad-manifest-line";
+    case FsckDamage::MissingObject: return "missing-object";
+    case FsckDamage::CorruptObject: return "corrupt-object";
+    case FsckDamage::OrphanObject: return "orphan-object";
+    case FsckDamage::TornJournalTail: return "torn-journal-tail";
+  }
+  return "unknown";
+}
+
+bool FsckReport::unrecoverable() const noexcept {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const FsckFinding& f) {
+                       return f.severity == FsckSeverity::Unrecoverable;
+                     });
+}
+
+int FsckReport::exitCode() const noexcept {
+  if (unrecoverable()) return 2;
+  return findings.empty() ? 0 : 1;
+}
+
+std::string FsckReport::render(const std::string& title) const {
+  std::ostringstream out;
+  out << "iop-fsck: " << title << "\n";
+  for (const auto& f : findings) {
+    out << "  "
+        << (f.severity == FsckSeverity::Unrecoverable ? "UNRECOVERABLE"
+                                                      : "repaired")
+        << " " << fsckDamageName(f.damage) << " " << f.path << ": "
+        << f.detail << " (" << f.action << ")\n";
+  }
+  std::size_t bad = 0;
+  for (const auto& f : findings) {
+    if (f.severity == FsckSeverity::Unrecoverable) ++bad;
+  }
+  if (findings.empty()) {
+    out << "  clean (" << scanned << " files scanned)\n";
+  } else {
+    out << "iop-fsck: " << findings.size() << " finding"
+        << (findings.size() == 1 ? "" : "s") << " (" << bad
+        << " unrecoverable), " << scanned << " files scanned\n";
+  }
+  return out.str();
+}
+
+FsckReport fsckCampaignStore(const std::filesystem::path& root,
+                             const FsckOptions& options) {
+  Check check{root, options, {}};
+  if (!std::filesystem::exists(root)) return check.report;
+  checkCampaignFile(check);
+  checkModels(check, root / "models");
+  if (options.deep) {
+    checkCells(check);
+    checkCaptures(check);
+  }
+  checkJournals(check);
+  sweepOrphanTemps(check);
+  sortFindings(check.report);
+  return check.report;
+}
+
+FsckReport fsckSharedStore(const std::filesystem::path& root,
+                           const FsckOptions& options) {
+  Check check{root, options, {}};
+  if (!std::filesystem::exists(root)) return check.report;
+  checkModels(check, root / "models");
+  if (options.deep) checkCells(check);
+  sweepOrphanTemps(check);
+  sortFindings(check.report);
+  return check.report;
+}
+
+FsckReport fsckArchive(const std::filesystem::path& root,
+                       const FsckOptions& options) {
+  Check check{root, options, {}};
+  if (!std::filesystem::exists(root)) return check.report;
+  checkArchiveTree(check);
+  sweepOrphanTemps(check);
+  sortFindings(check.report);
+  return check.report;
+}
+
+}  // namespace iop::sweep

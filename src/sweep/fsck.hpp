@@ -1,0 +1,117 @@
+// iop-fsck: the unified crash-recovery check for every on-disk artifact
+// this toolkit persists — campaign stores, shared stores and capture
+// archives.
+//
+// Everything durable is written through util::vfs with full barriers
+// (fsync temp, rename, fsync parent directory), so a crash at any point
+// leaves one of a small, enumerable set of damage shapes:
+//
+//   torn            a half-written file renamed into place (or a torn
+//                   append tail) — caught by the cell checksum, the model
+//                   / capture parsers, or a missing trailing newline
+//   checksum-mismatch  a cell whose seal does not match its bytes
+//   orphan-temp     a `.tmp.<pid>.<n>` file whose writer is dead
+//   bad-manifest-line  an archive manifest line that does not parse
+//   missing-object / corrupt-object  a manifest entry whose payload is
+//                   gone or fails its content hash (unrecoverable: the
+//                   bytes cannot be regenerated)
+//   orphan-object   an unreferenced archive object whose name does not
+//                   match its content (a torn write with no entry)
+//   torn-journal-tail  a flight-recorder journal ending mid-line
+//
+// Repairs are conservative: damaged files are moved to quarantine/ (or,
+// for append tails, truncated back to the last whole record), never
+// silently deleted — except dead writers' temp files, which carry no
+// information.  Store cells, captures and models are pure functions of
+// their keys, so quarantine + `iop-sweep resume` always converges back to
+// the byte-identical store an uninterrupted run would have written.
+// Archive objects are *not* recomputable; a missing or corrupt referenced
+// object is therefore Unrecoverable (exit code 2) and repair drops the
+// entry so the rest of the archive stays usable.
+//
+// `iop-sweep run/resume` and `iop-trend` run the quick (deep=false) check
+// on startup; the `iop-fsck` tool defaults to the deep check.  A second
+// fsck pass over a repaired tree is always clean.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace iop::sweep {
+
+enum class FsckDamage {
+  TornCell,           ///< cell file fails to parse (not a checksum seal)
+  ChecksumMismatch,   ///< cell checksum seal does not match its bytes
+  WrongKey,           ///< cell parses but holds a different key
+  TornCapture,        ///< capture file fails to parse
+  TornModel,          ///< cached characterization model fails to load
+  TornCampaignFile,   ///< campaign.txt torn or unparsable
+  OrphanTemp,         ///< .tmp.<pid>.<n> left by a dead writer
+  TornManifestTail,   ///< archive manifest ends mid-line
+  BadManifestLine,    ///< archive manifest line does not parse
+  MissingObject,      ///< referenced archive object is gone
+  CorruptObject,      ///< referenced archive object fails its hash
+  OrphanObject,       ///< unreferenced object whose name != content hash
+  TornJournalTail,    ///< journal from a dead writer ends mid-line
+};
+
+/// Stable kebab-case name (report and test vocabulary).
+const char* fsckDamageName(FsckDamage damage);
+
+enum class FsckSeverity {
+  Repaired,       ///< repaired (or repairable, in a dry run)
+  Unrecoverable,  ///< data loss: the bytes cannot be regenerated
+};
+
+struct FsckFinding {
+  std::string path;  ///< relative to the checked root
+  FsckDamage damage = FsckDamage::TornCell;
+  FsckSeverity severity = FsckSeverity::Repaired;
+  std::string detail;  ///< what was wrong
+  std::string action;  ///< what repair did (or a dry run would do)
+};
+
+struct FsckOptions {
+  /// false = dry run: classify and report, touch nothing.  Findings and
+  /// the exit code are identical either way.
+  bool repair = true;
+  /// Also verify captures, cells and archive object payloads byte-by-
+  /// byte.  The quick check (false) covers what would break a resume:
+  /// campaign.txt, cached models, orphan temps and journal tails.
+  bool deep = false;
+  /// Canonical campaign text the store should be bound to ("" = skip the
+  /// comparison).  A campaign.txt that is a strict prefix of it is a torn
+  /// write and is quarantined; a *different* full text is left alone so
+  /// CampaignStore::initialize keeps its wrong-campaign guard.
+  std::string expectedCampaign;
+};
+
+struct FsckReport {
+  std::vector<FsckFinding> findings;  ///< sorted by (path, damage)
+  std::size_t scanned = 0;            ///< files examined
+
+  bool clean() const noexcept { return findings.empty(); }
+  bool unrecoverable() const noexcept;
+  /// 0 clean / 1 damage found and repaired (or repairable) / 2 at least
+  /// one unrecoverable finding.
+  int exitCode() const noexcept;
+  /// Deterministic multi-line report (no timestamps, sorted findings).
+  std::string render(const std::string& title) const;
+};
+
+/// Check one campaign store (cells/, captures/, models/, campaign.txt,
+/// journal/, stray temps).  A missing root is clean.
+FsckReport fsckCampaignStore(const std::filesystem::path& root,
+                             const FsckOptions& options = {});
+
+/// Check one shared store (cells/, models/, stray temps).
+FsckReport fsckSharedStore(const std::filesystem::path& root,
+                           const FsckOptions& options = {});
+
+/// Check one capture archive (MANIFEST.jsonl, objects/, stray temps).
+FsckReport fsckArchive(const std::filesystem::path& root,
+                       const FsckOptions& options = {});
+
+}  // namespace iop::sweep

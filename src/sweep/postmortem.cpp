@@ -68,11 +68,16 @@ Postmortem analyzeJournal(const obs::JournalParse& parsed) {
       cell.claimedAt = ev.t;
       open[cell.key] = pm.inFlight.size();
       pm.inFlight.push_back(std::move(cell));
-    } else if (ev.name == "cell_commit" || ev.name == "cell_failed") {
+    } else if (ev.name == "cell_commit" || ev.name == "cell_failed" ||
+               ev.name == "cell_stuck") {
       if (ev.name == "cell_commit") {
         ++pm.commits;
-      } else {
+      } else if (ev.name == "cell_failed") {
         ++pm.failures;
+      } else {
+        // Watchdog abandonment: the claim is closed either way; a
+        // retrying cell re-enters via a fresh cell_claim.
+        ++pm.stuck;
       }
       auto it = open.find(strField(ev, "key"));
       if (it != open.end()) {
@@ -126,6 +131,7 @@ std::string renderPostmortem(const Postmortem& pm,
   out << "progress:   " << pm.commits << " committed, " << pm.failures
       << " failed, " << pm.cacheHits << " cache hits";
   if (pm.sharedHits > 0) out << " (" << pm.sharedHits << " shared)";
+  if (pm.stuck > 0) out << ", " << pm.stuck << " stuck";
   if (pm.quarantined > 0) out << ", " << pm.quarantined << " quarantined";
   if (pm.skippedCells > 0) out << ", " << pm.skippedCells << " skipped";
   out << "\n";

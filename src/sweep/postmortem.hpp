@@ -52,6 +52,7 @@ struct Postmortem {
   std::size_t claims = 0;
   std::size_t commits = 0;
   std::size_t failures = 0;
+  std::size_t stuck = 0;  ///< watchdog hard-deadline abandonments
   std::size_t skippedCells = 0;
 
   bool shutdownRequested = false;

@@ -321,6 +321,7 @@ void SweepTelemetry::cellCommit(std::size_t worker, const std::string& cell,
             ",\"time_io\":" + fmtNum(timeIo) +
             ",\"ior_runs\":" + std::to_string(iorRuns) +
             ",\"faulted\":" + (faulted ? "true" : "false"));
+    maybeNoteJournalDisabled();
   }
   if (trace_) {
     const int tid = trace_->workerTrack(worker);
@@ -349,12 +350,61 @@ void SweepTelemetry::cellFailed(std::size_t worker, const std::string& cell,
                         esc(key) + "\",\"seconds\":" +
                         fmtSec(failSec - claimSec) + ",\"error\":\"" +
                         esc(error) + "\"");
+    maybeNoteJournalDisabled();
   }
   if (trace_) {
     const int tid = trace_->workerTrack(worker);
     trace_->span(tid, "replay " + cell, "replay", claimSec, failSec,
                  "\"key\":\"" + esc(key) + "\"");
     trace_->instant(tid, "failed " + cell, "fault", failSec,
+                    "\"key\":\"" + esc(key) + "\"");
+  }
+}
+
+void SweepTelemetry::cellSlow(std::size_t worker, const std::string& cell,
+                              const std::string& key, double deadlineSec) {
+  runtime_.counter("sweep.cells_slow").add();
+  runtime_.gauge("sweep.slow_cells").add(1);
+  if (journal_) {
+    journal_->event("cell_slow",
+                    "\"worker\":" + std::to_string(worker) +
+                        ",\"cell\":\"" + esc(cell) + "\",\"key\":\"" +
+                        esc(key) +
+                        "\",\"deadline_s\":" + fmtSec(deadlineSec));
+    maybeNoteJournalDisabled();
+  }
+  if (trace_) {
+    trace_->instant(trace_->workerTrack(worker), "slow " + cell, "watchdog",
+                    now(), "\"key\":\"" + esc(key) + "\"");
+  }
+}
+
+void SweepTelemetry::cellSlowResolved() {
+  runtime_.gauge("sweep.slow_cells").add(-1);
+}
+
+void SweepTelemetry::cellStuck(std::size_t worker, const std::string& cell,
+                               const std::string& key, int attempt,
+                               double deadlineSec, bool retrying) {
+  runtime_.counter("sweep.cells_stuck").add();
+  runtime_.gauge("sweep.workers_busy").add(-1);
+  progress_.release();
+  if (!retrying) {
+    progress_.cellDone(deadlineSec, /*failed=*/true);
+  }
+  if (journal_) {
+    journal_->event("cell_stuck",
+                    "\"worker\":" + std::to_string(worker) +
+                        ",\"cell\":\"" + esc(cell) + "\",\"key\":\"" +
+                        esc(key) + "\",\"attempt\":" +
+                        std::to_string(attempt) +
+                        ",\"deadline_s\":" + fmtSec(deadlineSec) +
+                        ",\"retry\":" + (retrying ? "true" : "false"));
+    maybeNoteJournalDisabled();
+  }
+  if (trace_) {
+    const int tid = trace_->workerTrack(worker);
+    trace_->instant(tid, "stuck " + cell, "watchdog", now(),
                     "\"key\":\"" + esc(key) + "\"");
   }
 }
@@ -411,8 +461,17 @@ void SweepTelemetry::runComplete(std::size_t cells, std::size_t cacheHits,
   }
 }
 
+void SweepTelemetry::maybeNoteJournalDisabled() {
+  if (!journal_ || !journal_->disabled()) return;
+  if (journalDisabledNoted_.exchange(true, std::memory_order_relaxed)) {
+    return;
+  }
+  runtime_.counter("sweep.journal_disabled").add();
+}
+
 void SweepTelemetry::finish() {
   if (finished_.exchange(true, std::memory_order_acq_rel)) return;
+  maybeNoteJournalDisabled();
   if (snapshotter_) snapshotter_->stop();
   progress_.finish();
   if (trace_ && !execTraceOut_.empty()) trace_->saveJson(execTraceOut_);

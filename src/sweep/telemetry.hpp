@@ -135,6 +135,19 @@ class SweepTelemetry {
   void cellFailed(std::size_t worker, const std::string& cell,
                   const std::string& key, double claimSec, double failSec,
                   const std::string& error);
+  /// Watchdog: a cell crossed its soft deadline (still running).  The
+  /// `sweep.slow_cells` gauge goes +1 here and -1 when the cell resolves
+  /// (commit, failure or hard-deadline abandonment).
+  void cellSlow(std::size_t worker, const std::string& cell,
+                const std::string& key, double deadlineSec);
+  void cellSlowResolved();
+  /// Watchdog: a cell crossed its hard deadline and was abandoned.
+  /// `retrying` is true when attempt 1 was quarantined and the cell was
+  /// queued for one retry on another worker; false means the retry also
+  /// stuck and the cell is terminally failed.
+  void cellStuck(std::size_t worker, const std::string& cell,
+                 const std::string& key, int attempt, double deadlineSec,
+                 bool retrying);
   void arenaTrimmed(std::size_t worker, std::size_t releasedBytes,
                     std::size_t slabBytes);
   void shutdownNoticed();  ///< idempotent: first caller journals it
@@ -151,6 +164,11 @@ class SweepTelemetry {
   void finish();
 
  private:
+  /// Bumps `sweep.journal_disabled` (once) after a journal write failure
+  /// silenced the flight recorder, so the loss shows up in the metrics
+  /// even though the journal itself can no longer record it.
+  void maybeNoteJournalDisabled();
+
   obs::RuntimeMetrics runtime_;
   std::unique_ptr<obs::RunJournal> journal_;
   std::unique_ptr<obs::ExecTrace> trace_;
@@ -160,6 +178,7 @@ class SweepTelemetry {
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> shutdownSeen_{false};
   std::atomic<bool> finished_{false};
+  std::atomic<bool> journalDisabledNoted_{false};
 };
 
 }  // namespace iop::sweep

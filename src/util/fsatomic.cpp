@@ -1,33 +1,12 @@
 #include "util/fsatomic.hpp"
 
-#include <atomic>
-#include <fstream>
-#include <stdexcept>
-
-#ifdef _WIN32
-#include <process.h>
-#else
-#include <unistd.h>
-#endif
+#include "util/vfs.hpp"
 
 namespace iop::util {
 
 void writeFileAtomically(const std::filesystem::path& path,
                          const std::string& text) {
-  // Unique temp name per call: shared cache directories may see the same
-  // key written by several threads or processes at once.
-  static std::atomic<unsigned long> counter{0};
-  const std::filesystem::path tmp =
-      path.string() + ".tmp." + std::to_string(static_cast<long>(getpid())) +
-      "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << text;
-    if (!out) {
-      throw std::runtime_error("failed writing " + tmp.string());
-    }
-  }
-  std::filesystem::rename(tmp, path);
+  vfs::replaceFile(path, text, vfs::Durability::Durable);
 }
 
 }  // namespace iop::util

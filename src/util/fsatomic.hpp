@@ -7,12 +7,15 @@
 
 namespace iop::util {
 
-/// Atomically replace `path` with `text`.  Every call writes through a
-/// distinct temp name (pid + counter) before the rename, so concurrent
-/// writers — other threads or other processes sharing a cache directory —
-/// never observe a partial file and never clobber each other's temp
-/// files.  Racing writers of the same content-addressed key are harmless:
-/// both rename identical bytes into place.
+/// Atomically and durably replace `path` with `text`: the historical
+/// name for util::vfs::replaceFile with full durability barriers (fsync
+/// the temp before the rename, fsync the parent directory after).  Every
+/// call writes through a distinct temp name (pid + counter), so
+/// concurrent writers — other threads or other processes sharing a cache
+/// directory — never observe a partial file and never clobber each
+/// other's temp files; the temp is unlinked if the write or rename
+/// fails.  Racing writers of the same content-addressed key are
+/// harmless: both rename identical bytes into place.
 void writeFileAtomically(const std::filesystem::path& path,
                          const std::string& text);
 

@@ -1,0 +1,278 @@
+#include "util/vfs.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#ifdef _WIN32
+#include <io.h>
+#include <process.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace iop::util::vfs {
+
+namespace {
+
+std::atomic<std::uint64_t> gBarrierOps{0};
+std::atomic<std::uint64_t> gCrashPoint{0};
+std::atomic<int> gCrashMode{-1};
+std::once_flag gEnvOnce;
+
+void loadCrashEnv() {
+  std::call_once(gEnvOnce, [] {
+    if (const char* env = std::getenv("IOP_CRASH_POINT")) {
+      gCrashPoint.store(std::strtoull(env, nullptr, 10),
+                        std::memory_order_relaxed);
+    }
+    if (const char* env = std::getenv("IOP_CRASH_MODE")) {
+      gCrashMode.store(std::atoi(env), std::memory_order_relaxed);
+    }
+  });
+}
+
+struct CrashPlan {
+  bool crash = false;
+  int mode = 0;
+};
+
+/// Count one Durable barrier op; tells the caller whether this op is the
+/// armed crash point and which tear mode to simulate.
+CrashPlan noteBarrierOp() {
+  loadCrashEnv();
+  const std::uint64_t op =
+      gBarrierOps.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t point = gCrashPoint.load(std::memory_order_relaxed);
+  if (point == 0 || op != point) return {};
+  int mode = gCrashMode.load(std::memory_order_relaxed);
+  if (mode < 0) mode = static_cast<int>(op % 3);
+  return {true, mode};
+}
+
+/// A simulated power cut: no destructors, no stdio flushing, nothing —
+/// the on-disk state is exactly what the tear left behind.
+[[noreturn]] void crashNow() { std::_Exit(kCrashExitCode); }
+
+void writeRaw(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  if (!out) {
+    throw std::runtime_error("vfs: failed writing " + path.string());
+  }
+}
+
+void rawAppend(const std::filesystem::path& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << data;
+  out.flush();
+}
+
+std::filesystem::path uniqueTempName(const std::filesystem::path& path) {
+  // Unique per call: shared cache directories may see the same key
+  // written by several threads or processes at once.
+  static std::atomic<unsigned long> counter{0};
+  return path.string() + ".tmp." +
+         std::to_string(static_cast<long>(getpid())) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+#ifndef _WIN32
+void fsyncFd(int fd, const std::filesystem::path& path) {
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("vfs: fsync " + path.string() + ": " +
+                             std::strerror(err));
+  }
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+void setCrashPoint(std::uint64_t point) {
+  loadCrashEnv();  // a later env read must not clobber an explicit arm
+  gCrashPoint.store(point, std::memory_order_relaxed);
+}
+
+std::uint64_t crashPoint() {
+  loadCrashEnv();
+  return gCrashPoint.load(std::memory_order_relaxed);
+}
+
+void setCrashMode(int mode) {
+  loadCrashEnv();
+  gCrashMode.store(mode, std::memory_order_relaxed);
+}
+
+std::uint64_t barrierOps() {
+  return gBarrierOps.load(std::memory_order_relaxed);
+}
+
+void resetBarrierOps() {
+  gBarrierOps.store(0, std::memory_order_relaxed);
+}
+
+void fsyncFile(const std::filesystem::path& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("vfs: cannot open " + path.string() +
+                             " for fsync: " + std::strerror(errno));
+  }
+  fsyncFd(fd, path);
+#else
+  (void)path;
+#endif
+}
+
+void fsyncParentDir(const std::filesystem::path& path) {
+#ifndef _WIN32
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("vfs: cannot open directory " + dir.string() +
+                             " for fsync: " + std::strerror(errno));
+  }
+  fsyncFd(fd, dir);
+#else
+  (void)path;
+#endif
+}
+
+void replaceFile(const std::filesystem::path& path, const std::string& text,
+                 Durability durability) {
+  const std::filesystem::path tmp = uniqueTempName(path);
+  if (durability == Durability::Durable) {
+    const CrashPlan plan = noteBarrierOp();
+    if (plan.crash) {
+      // The three torn states a power cut can leave a replace in:
+      //   mode 0  truncated bytes renamed into place (data not durable,
+      //           rename was)
+      //   mode 1  an orphaned, torn temp next to the intact old file
+      //   mode 2  nothing at all (the whole op dropped)
+      const std::string prefix = text.substr(0, text.size() / 2);
+      if (plan.mode % 3 == 0) {
+        writeRaw(tmp, prefix);
+        std::filesystem::rename(tmp, path);
+      } else if (plan.mode % 3 == 1) {
+        writeRaw(tmp, prefix);
+      }
+      crashNow();
+    }
+  }
+  try {
+    writeRaw(tmp, text);
+    if (durability == Durability::Durable) fsyncFile(tmp);
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    // Never leak the temp: a failed replace leaves the directory exactly
+    // as it was (fsck sweeps the temps of writers that died too hard to
+    // reach this handler).
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  if (durability == Durability::Durable) fsyncParentDir(path);
+}
+
+void appendFile(const std::filesystem::path& path, const std::string& data,
+                Durability durability) {
+  const bool fresh = !std::filesystem::exists(path);
+  if (durability == Durability::Durable) {
+    const CrashPlan plan = noteBarrierOp();
+    if (plan.crash) {
+      // Torn append states: a half-written record (no terminator) or a
+      // dropped one.
+      if (plan.mode % 2 == 0 && !data.empty()) {
+        rawAppend(path, data.substr(0, data.size() / 2));
+      }
+      crashNow();
+    }
+  }
+  std::FILE* file = std::fopen(path.string().c_str(), "ab");
+  if (file == nullptr) {
+    throw std::runtime_error("vfs: cannot append to " + path.string() +
+                             ": " + std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(data.data(), 1, data.size(), file) == data.size() &&
+      std::fflush(file) == 0;
+#ifndef _WIN32
+  const bool synced =
+      durability != Durability::Durable || ::fsync(fileno(file)) == 0;
+#else
+  const bool synced = true;
+#endif
+  const int err = errno;
+  std::fclose(file);
+  if (!wrote || !synced) {
+    throw std::runtime_error("vfs: failed appending to " + path.string() +
+                             ": " + std::strerror(err));
+  }
+  if (durability == Durability::Durable && fresh) fsyncParentDir(path);
+}
+
+AppendStream::AppendStream(std::filesystem::path path, Durability durability,
+                           bool truncate)
+    : path_(std::move(path)), durability_(durability) {
+  const bool fresh = truncate || !std::filesystem::exists(path_);
+  file_ = std::fopen(path_.string().c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("vfs: cannot open " + path_.string() + ": " +
+                             std::strerror(errno));
+  }
+#ifndef _WIN32
+  if (durability_ == Durability::Durable && fresh) {
+    fsyncParentDir(path_);  // the file's directory entry is durable too
+  }
+#else
+  (void)fresh;
+#endif
+}
+
+AppendStream::~AppendStream() { close(); }
+
+bool AppendStream::append(const std::string& data) {
+  if (file_ == nullptr || failed_) return false;
+  if (durability_ == Durability::Durable) {
+    const CrashPlan plan = noteBarrierOp();
+    if (plan.crash) {
+      if (plan.mode % 2 == 0 && !data.empty()) {
+        std::fwrite(data.data(), 1, data.size() / 2, file_);
+        std::fflush(file_);
+      }
+      crashNow();
+    }
+  }
+  errno = 0;
+  const bool wrote =
+      std::fwrite(data.data(), 1, data.size(), file_) == data.size() &&
+      std::fflush(file_) == 0;
+#ifndef _WIN32
+  const bool synced = !wrote || durability_ != Durability::Durable ||
+                      ::fsync(fileno(file_)) == 0;
+#else
+  const bool synced = true;
+#endif
+  if (!wrote || !synced) {
+    failed_ = true;
+    lastError_ = errno != 0 ? std::strerror(errno) : "short write";
+    return false;
+  }
+  return true;
+}
+
+void AppendStream::close() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace iop::util::vfs

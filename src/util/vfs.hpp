@@ -1,0 +1,112 @@
+// The durability layer every on-disk store writes through.
+//
+// Two jobs, one choke point:
+//
+//  * Real durability barriers.  A "committed" file is only crash-safe
+//    when its bytes were fsync()ed before the rename and the directory
+//    entry was fsync()ed after it; an appended record is only durable
+//    once the data hit the file *and* (for a fresh file) its directory.
+//    replaceFile()/appendFile()/AppendStream place exactly those
+//    barriers, so the sweep stores, the capture archive and the run
+//    journal inherit crash consistency from one implementation instead
+//    of five ad-hoc ones.
+//
+//  * Deterministic crash-point injection.  Every barrier-crossing
+//    (Durability::Durable) operation bumps a process-wide counter; when
+//    the counter reaches the configured crash point the operation
+//    simulates what a power cut at its weakest moment leaves behind — a
+//    truncated committed file, an orphaned temp, a half-appended record,
+//    or nothing at all — and the process exits immediately with
+//    kCrashExitCode.  With a single-threaded writer the Nth barrier op is
+//    always the same op, so the crash harness can enumerate every crash
+//    point of a run and assert that fsck + resume converge.
+//
+// Durability::Scratch keeps the atomic temp+rename shape but skips both
+// the fsyncs and the crash accounting — for observational outputs
+// (telemetry snapshots) that may be produced on background threads and
+// must not perturb the deterministic barrier-op numbering.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace iop::util::vfs {
+
+enum class Durability {
+  Scratch,  ///< atomic shape only: no fsync, no crash accounting
+  Durable,  ///< full barriers; counted as one crash-injectable op
+};
+
+/// Exit code of a simulated crash (distinct from every tool's normal
+/// 0/1/2/130 codes, so harnesses can tell "injected crash" from "died").
+constexpr int kCrashExitCode = 86;
+
+/// Arm the crash injector: the `point`-th Durable op (1-based, counted
+/// process-wide) tears and exits.  0 disarms.  The environment variables
+/// IOP_CRASH_POINT / IOP_CRASH_MODE arm it for whole processes.
+void setCrashPoint(std::uint64_t point);
+std::uint64_t crashPoint();
+
+/// Force one tear mode for the injected crash (see the mode table in
+/// docs/DURABILITY.md); -1 (default) derives the mode from the op number
+/// so an enumeration sweep exercises all of them.
+void setCrashMode(int mode);
+
+/// Durable barrier ops performed so far in this process.
+std::uint64_t barrierOps();
+void resetBarrierOps();
+
+/// fsync one file / the directory containing `path`.  Throws
+/// std::runtime_error when the kernel refuses — a failed barrier means
+/// the durability contract does not hold, which callers must not paper
+/// over.  No-ops on platforms without fsync semantics.
+void fsyncFile(const std::filesystem::path& path);
+void fsyncParentDir(const std::filesystem::path& path);
+
+/// Atomically replace `path` with `text`: unique temp (pid + counter),
+/// write, fsync temp, rename, fsync parent directory.  The temp file is
+/// unlinked on any failure, so an interrupted writer leaks nothing it
+/// can help.  Concurrent writers of the same content-addressed path are
+/// harmless: both rename identical bytes into place.
+void replaceFile(const std::filesystem::path& path, const std::string& text,
+                 Durability durability = Durability::Durable);
+
+/// Append `data` to `path` (creating it if needed), flush, fsync the
+/// file, and — when this append created the file — fsync the parent
+/// directory.  One barrier op.
+void appendFile(const std::filesystem::path& path, const std::string& data,
+                Durability durability = Durability::Durable);
+
+/// A long-lived append handle (the run journal): every append() is
+/// written, flushed and fsync()ed as one barrier op.  append() reports
+/// failure by returning false instead of throwing — an append-only
+/// telemetry stream hitting ENOSPC must never take the campaign down —
+/// and stays failed once it failed.
+class AppendStream {
+ public:
+  /// Opens `path` ("wb" when `truncate`, else "ab").  Throws when the
+  /// file cannot be opened.
+  AppendStream(std::filesystem::path path, Durability durability,
+               bool truncate = false);
+  ~AppendStream();
+
+  AppendStream(const AppendStream&) = delete;
+  AppendStream& operator=(const AppendStream&) = delete;
+
+  /// False on the first write/flush/fsync failure and every call after.
+  bool append(const std::string& data);
+  bool failed() const noexcept { return failed_; }
+  const std::string& lastError() const noexcept { return lastError_; }
+  void close();
+
+ private:
+  std::filesystem::path path_;
+  std::FILE* file_ = nullptr;
+  Durability durability_;
+  bool failed_ = false;
+  std::string lastError_;
+};
+
+}  // namespace iop::util::vfs

@@ -1005,4 +1005,183 @@ TEST(Postmortem, NewestJournalPicksLargestTimestamp) {
             "run-1700000000002-3.jsonl");
 }
 
+/// Set an environment variable for the lifetime of one scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::string readFileText(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SweepWatchdog, SoftDeadlineJournalsSlowCellsWithoutFailingThem) {
+  // One cell, delayed 300ms past a 50ms soft deadline: the run journals
+  // cell_slow (and bumps the slow-cell instruments) but the cell still
+  // commits normally.
+  const auto campaign =
+      resolveTestCampaign("name tiny\napp example\nconfig A\n");
+  ASSERT_EQ(campaign.planCells().size(), 1u);
+  TempDir dir("watchdog_soft");
+  ScopedEnv delay("IOP_SWEEP_TEST_CELL_DELAY_ONCE_MS", "300");
+
+  sweep::TelemetryConfig config;
+  config.journalPath = (dir.path() / "journal" / "run-1-1.jsonl").string();
+  sweep::SweepTelemetry telemetry(config);
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.softDeadlineSeconds = 0.05;
+  options.telemetry = &telemetry;
+  const auto outcome = sweep::runSweep(campaign, store, options);
+  telemetry.finish();
+
+  EXPECT_EQ(outcome.computed, 1u);
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_EQ(outcome.stuck, 0u);
+  const std::string journal = readFileText(config.journalPath);
+  EXPECT_NE(journal.find("cell_slow"), std::string::npos);
+  EXPECT_EQ(journal.find("cell_stuck"), std::string::npos);
+  const auto* slow = telemetry.runtime().findCounter("sweep.cells_slow");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->value(), 1u);
+}
+
+TEST(SweepWatchdog, HardDeadlineAbandonsOnceThenRetrySucceeds) {
+  // Attempt 1 sleeps 600ms against a 150ms hard deadline and is
+  // abandoned; the retry (no delay) succeeds, so the run completes with
+  // stuck=1, no failures, a quarantine marker, and — the core invariant
+  // — a store byte-identical to one written with the watchdog off.
+  const auto campaign =
+      resolveTestCampaign("name tiny\napp example\nconfig A\n");
+  TempDir plain("watchdog_off");
+  sweep::CampaignStore plainStore(plain.path());
+  sweep::runSweep(campaign, plainStore, {});
+  const auto expected = snapshotTree(plain.path());
+
+  TempDir dir("watchdog_hard");
+  ScopedEnv delay("IOP_SWEEP_TEST_CELL_DELAY_ONCE_MS", "600");
+  sweep::TelemetryConfig config;
+  config.journalPath = (dir.path() / "journal" / "run-1-1.jsonl").string();
+  sweep::SweepTelemetry telemetry(config);
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.hardDeadlineSeconds = 0.15;
+  options.telemetry = &telemetry;
+  const auto outcome = sweep::runSweep(campaign, store, options);
+  telemetry.finish();
+
+  EXPECT_EQ(outcome.stuck, 1u);
+  EXPECT_EQ(outcome.computed, 1u);
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_EQ(outcome.cells[0].status,
+            sweep::CellOutcome::Status::Computed);
+  const std::string key = campaign.planCells()[0].key;
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "quarantine" /
+                                      (key + ".stuck.1")));
+
+  // Byte-identical store, the stuck marker and journal aside.
+  auto observed = snapshotTree(dir.path());
+  for (auto it = observed.begin(); it != observed.end();) {
+    if (it->first.rfind("journal", 0) == 0 ||
+        it->first.rfind("quarantine", 0) == 0) {
+      it = observed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(observed, expected);
+
+  // The journal records the abandonment and the postmortem counts it
+  // without leaving the claim open.
+  const std::string journal = readFileText(config.journalPath);
+  EXPECT_NE(journal.find("cell_stuck"), std::string::npos);
+  const auto pm =
+      sweep::analyzeJournal(obs::loadJournal(config.journalPath));
+  EXPECT_EQ(pm.stuck, 1u);
+  EXPECT_TRUE(pm.inFlight.empty());
+  const auto* stuck = telemetry.runtime().findCounter("sweep.cells_stuck");
+  ASSERT_NE(stuck, nullptr);
+  EXPECT_EQ(stuck->value(), 1u);
+
+  // The abandoned evaluation thread may still be sleeping; give it time
+  // to drain before the campaign (which it references) is destroyed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+}
+
+TEST(SweepWatchdog, SecondTimeoutFailsTheCellTerminally) {
+  // Both attempts overrun the deadline: the cell fails with a "stuck"
+  // error instead of retrying forever.
+  const auto campaign =
+      resolveTestCampaign("name tiny\napp example\nconfig A\n");
+  TempDir dir("watchdog_terminal");
+  ScopedEnv delay("IOP_SWEEP_TEST_CELL_DELAY_MS", "500");
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.hardDeadlineSeconds = 0.1;
+  const auto outcome = sweep::runSweep(campaign, store, options);
+
+  EXPECT_EQ(outcome.stuck, 2u);  // both attempts
+  EXPECT_EQ(outcome.failures, 1u);
+  EXPECT_EQ(outcome.cells[0].status, sweep::CellOutcome::Status::Failed);
+  EXPECT_NE(outcome.cells[0].error.find("stuck"), std::string::npos);
+  const std::string key = campaign.planCells()[0].key;
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "quarantine" /
+                                      (key + ".stuck.2")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+}
+
+#ifdef __linux__
+TEST(RuntimeTelemetry, JournalDisablesItselfOnDiskFullInsteadOfThrowing) {
+  // /dev/full accepts the open and fails every flush with ENOSPC — the
+  // exact failure mode the journal must absorb: one stderr warning, the
+  // disabled flag, and the run carries on.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  obs::RunJournal journal("/dev/full");
+  journal.event("campaign_start", "\"campaign\":\"x\"");
+  EXPECT_TRUE(journal.disabled());
+  journal.event("cell_commit");  // silently dropped, no throw
+  EXPECT_TRUE(journal.disabled());
+}
+
+TEST(RuntimeTelemetry, SweepSurvivesJournalOnFullDisk) {
+  // End to end: a full-disk journal never fails the campaign, and the
+  // one-time sweep.journal_disabled counter records that it happened.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  const auto campaign = resolveTestCampaign();
+  TempDir dir("journal_enospc");
+  sweep::TelemetryConfig config;
+  config.journalPath = "/dev/full";
+  sweep::SweepTelemetry telemetry(config);
+  telemetry.campaignStart(campaign.spec.name, "cfg", 2);
+  sweep::CampaignStore store(dir.path());
+  sweep::SweepOptions options;
+  options.jobs = 2;
+  options.telemetry = &telemetry;
+  const auto outcome = sweep::runSweep(campaign, store, options);
+  telemetry.finish();
+
+  EXPECT_EQ(outcome.computed, 12u);
+  EXPECT_EQ(outcome.failures, 0u);
+  ASSERT_NE(telemetry.journal(), nullptr);
+  EXPECT_TRUE(telemetry.journal()->disabled());
+  const auto* disabled =
+      telemetry.runtime().findCounter("sweep.journal_disabled");
+  ASSERT_NE(disabled, nullptr);
+  EXPECT_EQ(disabled->value(), 1u);  // noted once, not once per event
+}
+#endif  // __linux__
+
 }  // namespace

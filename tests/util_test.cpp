@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/text.hpp"
 #include "util/units.hpp"
+#include "util/vfs.hpp"
 
 namespace iop::util {
 namespace {
@@ -170,6 +174,168 @@ TEST(Text, StartsWith) {
 TEST(Text, Join) {
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
+}
+
+// -- vfs: durability barriers and crash injection -------------------------
+
+class VfsTempDir {
+ public:
+  explicit VfsTempDir(const std::string& name)
+      : path_(std::filesystem::temp_directory_path() /
+              ("iop_vfs_test_" + name)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~VfsTempDir() { std::filesystem::remove_all(path_); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t tempFileCount(const std::filesystem::path& dir) {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") !=
+        std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Vfs, ReplaceFileWritesAtomicallyAndCountsBarrierOps) {
+  VfsTempDir dir("replace");
+  const auto path = dir.path() / "file.txt";
+  const auto before = vfs::barrierOps();
+  vfs::replaceFile(path, "hello\n");
+  EXPECT_EQ(slurp(path), "hello\n");
+  EXPECT_EQ(vfs::barrierOps(), before + 1);
+  vfs::replaceFile(path, "world\n");
+  EXPECT_EQ(slurp(path), "world\n");
+  EXPECT_EQ(vfs::barrierOps(), before + 2);
+  EXPECT_EQ(tempFileCount(dir.path()), 0u);
+}
+
+TEST(Vfs, ScratchDurabilitySkipsCrashAccounting) {
+  VfsTempDir dir("scratch");
+  const auto before = vfs::barrierOps();
+  vfs::replaceFile(dir.path() / "snap.prom", "metric 1\n",
+                   vfs::Durability::Scratch);
+  EXPECT_EQ(vfs::barrierOps(), before);  // observational outputs do not
+                                         // perturb crash-point numbering
+  EXPECT_EQ(slurp(dir.path() / "snap.prom"), "metric 1\n");
+}
+
+TEST(Vfs, ReplaceFileCleansUpItsTempOnFailure) {
+  VfsTempDir dir("cleanup");
+  // Renaming a regular file over a non-empty directory fails: the temp
+  // must not be left behind (the leak the fsck temp sweep exists for is
+  // writers that die, not writers that fail).
+  const auto target = dir.path() / "occupied";
+  std::filesystem::create_directories(target / "child");
+  EXPECT_THROW(vfs::replaceFile(target, "text"), std::exception);
+  EXPECT_EQ(tempFileCount(dir.path()), 0u);
+  EXPECT_TRUE(std::filesystem::is_directory(target / "child"));
+}
+
+TEST(Vfs, AppendFileCreatesAndAppends) {
+  VfsTempDir dir("append");
+  const auto path = dir.path() / "log.jsonl";
+  const auto before = vfs::barrierOps();
+  vfs::appendFile(path, "one\n");
+  vfs::appendFile(path, "two\n");
+  EXPECT_EQ(slurp(path), "one\ntwo\n");
+  EXPECT_EQ(vfs::barrierOps(), before + 2);
+}
+
+TEST(Vfs, AppendStreamFlushesEachRecord) {
+  VfsTempDir dir("stream");
+  const auto path = dir.path() / "journal.jsonl";
+  vfs::AppendStream stream(path, vfs::Durability::Durable,
+                           /*truncate=*/true);
+  EXPECT_TRUE(stream.append("a\n"));
+  EXPECT_TRUE(stream.append("b\n"));
+  EXPECT_FALSE(stream.failed());
+  // Durable appends are visible before close: each one was flushed and
+  // fsync()ed as its own barrier.
+  EXPECT_EQ(slurp(path), "a\nb\n");
+  stream.close();
+  EXPECT_FALSE(stream.append("after close\n"));
+}
+
+// Death tests: the injected crash exits the child with kCrashExitCode
+// and leaves exactly the advertised torn state for the parent to inspect.
+using VfsCrashDeathTest = ::testing::Test;
+
+TEST(VfsCrashDeathTest, ModeZeroRenamesTruncatedBytesIntoPlace) {
+  VfsTempDir dir("tear0");
+  const auto path = dir.path() / "cell.txt";
+  vfs::replaceFile(path, "old-contents\n");
+  EXPECT_EXIT(
+      {
+        vfs::setCrashMode(0);
+        vfs::setCrashPoint(vfs::barrierOps() + 1);
+        vfs::replaceFile(path, "new-contents\n");
+      },
+      ::testing::ExitedWithCode(vfs::kCrashExitCode), "");
+  // Half the new bytes, renamed into place: durable rename, torn data.
+  const std::string text = slurp(path);
+  EXPECT_EQ(text, std::string("new-contents\n").substr(0, 6));
+}
+
+TEST(VfsCrashDeathTest, ModeOneLeavesAnOrphanTempBesideTheOldFile) {
+  VfsTempDir dir("tear1");
+  const auto path = dir.path() / "cell.txt";
+  vfs::replaceFile(path, "old-contents\n");
+  EXPECT_EXIT(
+      {
+        vfs::setCrashMode(1);
+        vfs::setCrashPoint(vfs::barrierOps() + 1);
+        vfs::replaceFile(path, "new-contents\n");
+      },
+      ::testing::ExitedWithCode(vfs::kCrashExitCode), "");
+  EXPECT_EQ(slurp(path), "old-contents\n");  // old file intact
+  EXPECT_EQ(tempFileCount(dir.path()), 1u);  // the orphan fsck sweeps
+}
+
+TEST(VfsCrashDeathTest, ModeTwoDropsTheWholeOperation) {
+  VfsTempDir dir("tear2");
+  const auto path = dir.path() / "cell.txt";
+  vfs::replaceFile(path, "old-contents\n");
+  EXPECT_EXIT(
+      {
+        vfs::setCrashMode(2);
+        vfs::setCrashPoint(vfs::barrierOps() + 1);
+        vfs::replaceFile(path, "new-contents\n");
+      },
+      ::testing::ExitedWithCode(vfs::kCrashExitCode), "");
+  EXPECT_EQ(slurp(path), "old-contents\n");
+  EXPECT_EQ(tempFileCount(dir.path()), 0u);
+}
+
+TEST(VfsCrashDeathTest, AppendTearLeavesHalfARecordWithNoTerminator) {
+  VfsTempDir dir("tear_append");
+  const auto path = dir.path() / "manifest.jsonl";
+  vfs::appendFile(path, "whole-record\n");
+  EXPECT_EXIT(
+      {
+        vfs::setCrashMode(0);
+        vfs::setCrashPoint(vfs::barrierOps() + 1);
+        vfs::appendFile(path, "torn-record\n");
+      },
+      ::testing::ExitedWithCode(vfs::kCrashExitCode), "");
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.rfind("whole-record\n", 0), 0u);
+  EXPECT_GT(text.size(), std::string("whole-record\n").size());
+  EXPECT_NE(text.back(), '\n');  // the torn tail fsck truncates
 }
 
 }  // namespace

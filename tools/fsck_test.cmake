@@ -1,0 +1,75 @@
+# iop-fsck exit-code contract, run as a CTest:
+#   --help exits 0; a clean (empty) store exits 0; a garbage cell exits 1
+#   and a second pass over the repaired store exits 0; a manifest entry
+#   whose archive object is missing exits 2.
+# Inputs: -DFSCK=... -DWORKDIR=...
+function(run_fsck expected_rc)
+  execute_process(COMMAND ${FSCK} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "iop-fsck ${ARGN} exited ${rc}, expected "
+                        "${expected_rc}:\n${out}\n${err}")
+  endif()
+  set(FSCK_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# --help prints usage and exits 0.
+run_fsck(0 --help)
+string(FIND "${FSCK_OUTPUT}" "Exit codes" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "--help output missing exit-code contract:\n"
+                      "${FSCK_OUTPUT}")
+endif()
+
+# No targets is a usage error (3).
+run_fsck(3)
+
+# A clean store: directories exist, nothing damaged.
+file(MAKE_DIRECTORY ${WORKDIR}/store/cells)
+run_fsck(0 --store store)
+
+# Garbage where a cell should be -> repaired (1), quarantined, and the
+# second pass is clean (0).
+file(WRITE ${WORKDIR}/store/cells/deadbeef.cell "not a cell at all\n")
+run_fsck(1 --store store)
+string(FIND "${FSCK_OUTPUT}" "torn-cell" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "garbage cell not classified torn-cell:\n"
+                      "${FSCK_OUTPUT}")
+endif()
+if(EXISTS ${WORKDIR}/store/cells/deadbeef.cell)
+  message(FATAL_ERROR "garbage cell was not quarantined")
+endif()
+if(NOT EXISTS ${WORKDIR}/store/quarantine/deadbeef.cell)
+  message(FATAL_ERROR "quarantine copy of the garbage cell is missing")
+endif()
+run_fsck(0 --store store)
+
+# --dry-run classifies without touching anything and uses the same codes.
+file(WRITE ${WORKDIR}/store/cells/feedface.cell "garbage again\n")
+run_fsck(1 --store store --dry-run)
+if(NOT EXISTS ${WORKDIR}/store/cells/feedface.cell)
+  message(FATAL_ERROR "--dry-run removed the damaged cell")
+endif()
+run_fsck(1 --store store)
+run_fsck(0 --store store)
+
+# An archive manifest entry whose object payload is gone is unrecoverable
+# (2); repair drops the entry, so the second pass is clean.
+file(MAKE_DIRECTORY ${WORKDIR}/trends/objects)
+file(WRITE ${WORKDIR}/trends/MANIFEST.jsonl
+     "{\"schema\":\"iop-archive/1\",\"seq\":1,\"kind\":\"bench\",\"app\":\"x\",\"config\":\"bench\",\"np\":0,\"label\":\"t\",\"hash\":\"00000000deadbeef\",\"bytes\":4}\n")
+run_fsck(2 --archive trends)
+string(FIND "${FSCK_OUTPUT}" "missing-object" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "missing object not classified:\n${FSCK_OUTPUT}")
+endif()
+run_fsck(0 --archive trends)
+
+message(STATUS "fsck contract test passed")

@@ -49,6 +49,7 @@
 #include "obs/runtime.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/executor.hpp"
+#include "sweep/fsck.hpp"
 #include "sweep/hash.hpp"
 #include "sweep/postmortem.hpp"
 #include "sweep/rank.hpp"
@@ -186,6 +187,21 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
   const std::string shared = sharedStorePath(args);
   auto spec = sweep::loadCampaign(args.get("campaign"));
 
+  // Quick crash-recovery preflight (iop-fsck's library check): quarantine
+  // a torn campaign.txt or cached model, truncate dead writers' journal
+  // tails, sweep their temp files — before anything in the store is
+  // opened.  Quiet when the store is clean.
+  {
+    sweep::FsckOptions fsck;
+    fsck.expectedCampaign = spec.canonicalText();
+    const auto preflight = sweep::fsckCampaignStore(store.root(), fsck);
+    if (!preflight.clean()) {
+      std::fprintf(
+          stderr, "%s",
+          preflight.render("preflight " + store.root().string()).c_str());
+    }
+  }
+
   // Telemetry comes up before resolution so characterization events land
   // in the journal and on the exec trace too.
   sweep::SweepTelemetry telemetry(telemetryConfig(args, store));
@@ -209,6 +225,12 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
   options.sharedStore = shared;
   options.cancel = &gCancelRequested;
   options.telemetry = &telemetry;
+  options.softDeadlineSeconds = args.getDouble("soft-deadline-s", 0.0);
+  options.hardDeadlineSeconds = args.getDouble("hard-deadline-s", 0.0);
+  if (options.softDeadlineSeconds < 0 || options.hardDeadlineSeconds < 0) {
+    throw std::invalid_argument(
+        "--soft-deadline-s / --hard-deadline-s must be >= 0");
+  }
   installShutdownHandlers();
 
   obs::MetricsRegistry* metrics =
@@ -226,6 +248,9 @@ int cmdRun(const util::Args& args, tools::ObsSession& obs) {
   }
   if (outcome.quarantined > 0) {
     note += ", " + std::to_string(outcome.quarantined) + " quarantined";
+  }
+  if (outcome.stuck > 0) {
+    note += ", " + std::to_string(outcome.stuck) + " stuck";
   }
   std::printf("campaign %s: %zu cells, %zu cached, %zu computed, "
               "%zu failed (%.2fs wall, %zu IOR runs, -j%d%s)\n",
@@ -376,6 +401,15 @@ int main(int argc, char** argv) {
   args.addFlag("progress", "live status line on stderr during `run`");
   args.addFlag("no-journal",
                "disable the flight-recorder journal for this run");
+  args.addOption("soft-deadline-s",
+                 "watchdog: journal `cell_slow` when a cell evaluates "
+                 "longer than this many wall seconds (0 = off)",
+                 "0");
+  args.addOption("hard-deadline-s",
+                 "watchdog: abandon a cell stuck past this many wall "
+                 "seconds, quarantine a .stuck marker, retry it once "
+                 "(0 = off)",
+                 "0");
   tools::addObsOptions(args);
 
   const auto expanded = expandJobsShorthand(argc, argv);

@@ -20,6 +20,7 @@
 
 #include "obs/archive.hpp"
 #include "obs/trend.hpp"
+#include "sweep/fsck.hpp"
 #include "util/args.hpp"
 #include "util/fsatomic.hpp"
 #include "util/table.hpp"
@@ -37,6 +38,16 @@ std::string readFileText(const std::string& path) {
   return buffer.str();
 }
 
+/// Quick crash-recovery preflight (iop-fsck's library check): truncate a
+/// torn manifest tail, drop entries whose objects are gone, sweep dead
+/// writers' temps — before the archive is read.  Quiet when clean.
+void fsckPreflight(const std::string& root) {
+  const auto report = sweep::fsckArchive(root, sweep::FsckOptions{});
+  if (!report.clean()) {
+    std::fprintf(stderr, "%s", report.render("preflight " + root).c_str());
+  }
+}
+
 obs::TrendOptions trendOptions(const util::Args& args) {
   obs::TrendOptions options;
   options.madThreshold = args.getDouble("mad-threshold", 4.0);
@@ -51,6 +62,7 @@ obs::TrendOptions trendOptions(const util::Args& args) {
 }
 
 int cmdArchive(const util::Args& args, const std::string& action) {
+  fsckPreflight(args.get("archive"));
   obs::Archive archive(args.get("archive"));
   if (action == "add") {
     const bool haveCapture = args.has("capture");
@@ -117,6 +129,7 @@ int cmdArchive(const util::Args& args, const std::string& action) {
 }
 
 int cmdReport(const util::Args& args) {
+  fsckPreflight(args.get("archive"));
   obs::Archive archive(args.get("archive"));
   const auto report = obs::analyzeTrends(archive, trendOptions(args));
   if (args.has("html")) {
@@ -135,6 +148,7 @@ int cmdReport(const util::Args& args) {
 }
 
 int cmdCheck(const util::Args& args) {
+  fsckPreflight(args.get("archive"));
   obs::Archive archive(args.get("archive"));
   const auto report = obs::analyzeTrends(archive, trendOptions(args));
   std::printf("%s", report.renderCheck().c_str());
